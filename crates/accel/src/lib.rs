@@ -1,0 +1,47 @@
+//! Accelerator performance and energy models.
+//!
+//! The ASV hardware (Sec. 5.2, Sec. 6.1) is a conventional systolic-array DNN
+//! accelerator — 24×24 PEs at 1 GHz, a 1.5 MB unified double-buffered SRAM,
+//! four LPDDR3-1600 channels — minimally extended with an
+//! absolute-difference mode per PE and two extra point-wise operations in the
+//! scalar unit so the ISM algorithm's optical flow and block matching can run
+//! on the same datapath.  This crate prices workloads on that hardware and on
+//! the comparison baselines of the evaluation:
+//!
+//! * [`energy`] — per-operation energy constants and the energy accounting
+//!   used by every model.
+//! * [`report`] — the [`ExecutionReport`] all models produce.
+//! * [`systolic`] — the ASV/baseline systolic accelerator: runs stereo
+//!   networks at any [`OptLevel`](asv_dataflow::OptLevel) and runs ISM
+//!   non-key frames (optical flow + block matching) on the extended PE array
+//!   and scalar unit.
+//! * [`baselines`] — the Eyeriss-style spatial architecture, the mobile
+//!   Pascal GPU and the GANNX deconvolution accelerator models used in
+//!   Fig. 13 and Fig. 14.
+//! * [`overhead`] — the area/power overhead accounting of Sec. 7.1.
+//!
+//! # Example
+//!
+//! ```
+//! use asv_accel::systolic::SystolicAccelerator;
+//! use asv_dataflow::OptLevel;
+//! use asv_dnn::zoo;
+//!
+//! let accel = SystolicAccelerator::asv_default();
+//! let net = zoo::flownetc(96, 192);
+//! let baseline = accel.run_network(&net, OptLevel::Baseline);
+//! let optimized = accel.run_network(&net, OptLevel::Ilar);
+//! assert!(optimized.seconds < baseline.seconds);
+//! assert!(optimized.energy_joules < baseline.energy_joules);
+//! ```
+
+pub mod baselines;
+pub mod energy;
+pub mod ism;
+pub mod overhead;
+pub mod report;
+pub mod systolic;
+
+pub use energy::EnergyModel;
+pub use report::ExecutionReport;
+pub use systolic::SystolicAccelerator;

@@ -1,0 +1,106 @@
+//! Hardware area and power overhead accounting (Sec. 7.1).
+//!
+//! ASV extends a conventional systolic-array accelerator in three places:
+//! each PE gains an accumulate-absolute-difference mode (for SAD block
+//! matching), the scalar unit gains the two point-wise optical-flow
+//! operations, and a small amount of glue logic handles comparisons and
+//! control flow.  The paper reports the resulting overhead as 6.3 % area and
+//! 2.3 % power per PE, and below 0.5 % of the whole accelerator.  This module
+//! reproduces that accounting from the per-block constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Post-layout characteristics of the baseline accelerator and the ASV
+/// extensions, in the paper's 16 nm implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaPowerBudget {
+    /// Total accelerator area in mm² (PE array + SRAM + scalar unit + NoC).
+    pub total_area_mm2: f64,
+    /// Total accelerator power in watts at nominal load.
+    pub total_power_w: f64,
+    /// Number of PEs.
+    pub pe_count: usize,
+    /// Area of one baseline PE in µm².
+    pub pe_area_um2: f64,
+    /// Power of one baseline PE in mW.
+    pub pe_power_mw: f64,
+    /// Extra area per PE for the absolute-difference mode, in µm².
+    pub pe_sad_extra_area_um2: f64,
+    /// Extra power per PE for the absolute-difference mode, in mW.
+    pub pe_sad_extra_power_mw: f64,
+    /// Extra area of the scalar-unit extensions, in mm².
+    pub scalar_extra_area_mm2: f64,
+    /// Extra power of the scalar-unit extensions, in mW.
+    pub scalar_extra_power_mw: f64,
+}
+
+impl AreaPowerBudget {
+    /// The paper's 24×24-PE, 16 nm configuration: 3.0 mm² total, with the PE
+    /// extension costing 15.3 µm² / 0.02 mW per PE and the scalar extension
+    /// 0.02 mm² / 2.2 mW.
+    pub fn asv_16nm() -> Self {
+        Self {
+            total_area_mm2: 3.0,
+            total_power_w: 1.2,
+            pe_count: 576,
+            pe_area_um2: 243.0,
+            pe_power_mw: 0.87,
+            pe_sad_extra_area_um2: 15.3,
+            pe_sad_extra_power_mw: 0.02,
+            scalar_extra_area_mm2: 0.005,
+            scalar_extra_power_mw: 2.2,
+        }
+    }
+
+    /// Per-PE area overhead fraction of the absolute-difference extension.
+    pub fn pe_area_overhead(&self) -> f64 {
+        self.pe_sad_extra_area_um2 / self.pe_area_um2
+    }
+
+    /// Per-PE power overhead fraction of the absolute-difference extension.
+    pub fn pe_power_overhead(&self) -> f64 {
+        self.pe_sad_extra_power_mw / self.pe_power_mw
+    }
+
+    /// Whole-accelerator area overhead fraction of all ASV extensions.
+    pub fn total_area_overhead(&self) -> f64 {
+        let extra_mm2 =
+            self.pe_count as f64 * self.pe_sad_extra_area_um2 * 1e-6 + self.scalar_extra_area_mm2;
+        extra_mm2 / self.total_area_mm2
+    }
+
+    /// Whole-accelerator power overhead fraction of all ASV extensions.
+    pub fn total_power_overhead(&self) -> f64 {
+        let extra_w =
+            self.pe_count as f64 * self.pe_sad_extra_power_mw * 1e-3 + self.scalar_extra_power_mw * 1e-3;
+        extra_w / self.total_power_w
+    }
+}
+
+impl Default for AreaPowerBudget {
+    fn default() -> Self {
+        Self::asv_16nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_pe_overheads_match_the_paper() {
+        let b = AreaPowerBudget::asv_16nm();
+        // Sec. 7.1: 6.3 % area and 2.3 % power overhead per PE.
+        assert!((b.pe_area_overhead() - 0.063).abs() < 0.005, "{}", b.pe_area_overhead());
+        assert!((b.pe_power_overhead() - 0.023).abs() < 0.005, "{}", b.pe_power_overhead());
+    }
+
+    #[test]
+    fn total_overheads_stay_below_half_a_percent_area_and_one_percent_power() {
+        let b = AreaPowerBudget::asv_16nm();
+        assert!(b.total_area_overhead() < 0.005, "{}", b.total_area_overhead());
+        assert!(b.total_power_overhead() < 0.02, "{}", b.total_power_overhead());
+        assert!(b.total_area_overhead() > 0.0);
+        assert!(b.total_power_overhead() > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Execution reports shared by all accelerator models.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of executing a workload (one frame's worth of work unless stated
+/// otherwise) on one of the hardware models.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Latency in accelerator cycles (0 for models that are not cycle-based).
+    pub cycles: u64,
+    /// Latency in seconds.
+    pub seconds: f64,
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+    /// Scalar (point-wise) operations performed.
+    pub scalar_ops: u64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// SRAM traffic in bytes.
+    pub sram_bytes: u64,
+    /// Energy in joules.
+    pub energy_joules: f64,
+}
+
+impl ExecutionReport {
+    /// Frames per second if this report describes one frame of work.
+    pub fn fps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.seconds
+        }
+    }
+
+    /// Speedup of this report relative to `other` (how many times faster this
+    /// one is).
+    pub fn speedup_over(&self, other: &ExecutionReport) -> f64 {
+        if self.seconds <= 0.0 {
+            f64::INFINITY
+        } else {
+            other.seconds / self.seconds
+        }
+    }
+
+    /// Fractional energy reduction relative to `other` (1 − E/E_other).
+    pub fn energy_reduction_vs(&self, other: &ExecutionReport) -> f64 {
+        if other.energy_joules <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.energy_joules / other.energy_joules
+        }
+    }
+
+    /// Element-wise sum of two reports (work executed back to back).
+    pub fn combine(&self, other: &ExecutionReport) -> ExecutionReport {
+        ExecutionReport {
+            cycles: self.cycles + other.cycles,
+            seconds: self.seconds + other.seconds,
+            macs: self.macs + other.macs,
+            scalar_ops: self.scalar_ops + other.scalar_ops,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+            sram_bytes: self.sram_bytes + other.sram_bytes,
+            energy_joules: self.energy_joules + other.energy_joules,
+        }
+    }
+
+    /// This report scaled by a constant factor (e.g. amortising one key frame
+    /// over a propagation window).
+    pub fn scaled(&self, factor: f64) -> ExecutionReport {
+        ExecutionReport {
+            cycles: (self.cycles as f64 * factor).round() as u64,
+            seconds: self.seconds * factor,
+            macs: (self.macs as f64 * factor).round() as u64,
+            scalar_ops: (self.scalar_ops as f64 * factor).round() as u64,
+            dram_bytes: (self.dram_bytes as f64 * factor).round() as u64,
+            sram_bytes: (self.sram_bytes as f64 * factor).round() as u64,
+            energy_joules: self.energy_joules * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seconds: f64, energy: f64) -> ExecutionReport {
+        ExecutionReport { seconds, energy_joules: energy, cycles: 100, macs: 10, ..Default::default() }
+    }
+
+    #[test]
+    fn fps_and_speedup() {
+        let fast = report(0.01, 1.0);
+        let slow = report(0.05, 4.0);
+        assert!((fast.fps() - 100.0).abs() < 1e-9);
+        assert!((fast.speedup_over(&slow) - 5.0).abs() < 1e-9);
+        assert!((fast.energy_reduction_vs(&slow) - 0.75).abs() < 1e-9);
+        let degenerate = report(0.0, 0.0);
+        assert!(degenerate.fps().is_infinite());
+        assert_eq!(fast.energy_reduction_vs(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn combine_and_scale() {
+        let a = report(1.0, 2.0);
+        let b = report(3.0, 4.0);
+        let c = a.combine(&b);
+        assert_eq!(c.seconds, 4.0);
+        assert_eq!(c.energy_joules, 6.0);
+        assert_eq!(c.cycles, 200);
+        let half = a.scaled(0.5);
+        assert_eq!(half.seconds, 0.5);
+        assert_eq!(half.cycles, 50);
+        assert_eq!(half.macs, 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! The ASV systolic-array accelerator model (and its unoptimized baseline).
+
+use crate::energy::EnergyModel;
+use crate::report::ExecutionReport;
+use asv_dataflow::network::schedule_network;
+use asv_dataflow::{HwConfig, OptLevel};
+use asv_dnn::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the scalar (point-wise) unit attached to the systolic
+/// array (Sec. 6.1: 8 lanes at 250 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarUnitConfig {
+    /// Number of parallel lanes.
+    pub lanes: usize,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+}
+
+impl Default for ScalarUnitConfig {
+    fn default() -> Self {
+        Self { lanes: 8, frequency_hz: 250.0e6 }
+    }
+}
+
+/// The systolic-array accelerator: a dataflow hardware configuration, a
+/// scalar unit and an energy model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystolicAccelerator {
+    hw: HwConfig,
+    scalar: ScalarUnitConfig,
+    energy: EnergyModel,
+}
+
+impl SystolicAccelerator {
+    /// Creates an accelerator from explicit configurations.
+    pub fn new(hw: HwConfig, scalar: ScalarUnitConfig, energy: EnergyModel) -> Self {
+        Self { hw, scalar, energy }
+    }
+
+    /// The evaluation configuration of Sec. 6.1.
+    pub fn asv_default() -> Self {
+        Self { hw: HwConfig::asv_default(), scalar: ScalarUnitConfig::default(), energy: EnergyModel::asv_16nm() }
+    }
+
+    /// The dataflow hardware configuration.
+    pub fn hw(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// The energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The scalar-unit configuration.
+    pub fn scalar_unit(&self) -> &ScalarUnitConfig {
+        &self.scalar
+    }
+
+    /// Returns a copy of the accelerator with a different hardware
+    /// configuration (used by the Fig. 12 sensitivity sweep).
+    pub fn with_hw(&self, hw: HwConfig) -> Self {
+        Self { hw, ..self.clone() }
+    }
+
+    /// Executes one inference of `network` at the given optimization level
+    /// and returns its cost.
+    pub fn run_network(&self, network: &NetworkSpec, level: OptLevel) -> ExecutionReport {
+        let cost = schedule_network(network, &self.hw, level);
+        self.report_from_counts(cost.total_cycles, cost.total_macs, 0, cost.total_dram_bytes, cost.total_sram_bytes)
+    }
+
+    /// Executes only the deconvolution layers of `network` (the basis of
+    /// Fig. 11a).
+    pub fn run_deconv_layers(&self, network: &NetworkSpec, level: OptLevel) -> ExecutionReport {
+        let cost = schedule_network(network, &self.hw, level);
+        let deconv = cost.deconv_cost();
+        self.report_from_counts(deconv.cycles, deconv.macs, 0, deconv.dram_bytes(), deconv.sram_bytes)
+    }
+
+    /// Prices work expressed directly as operation counts: `array_ops`
+    /// multiply-accumulate (or accumulate-absolute-difference) operations on
+    /// the systolic array plus `scalar_ops` point-wise operations on the
+    /// scalar unit, moving `dram_bytes` to/from DRAM.
+    ///
+    /// The array and the scalar unit overlap in time (the latency is the
+    /// maximum of the two), which is how ISM's optical flow and block
+    /// matching are mapped (Sec. 5.1).
+    pub fn run_op_counts(&self, array_ops: u64, scalar_ops: u64, dram_bytes: u64) -> ExecutionReport {
+        let array_cycles = array_ops.div_ceil(self.hw.pe_count());
+        let array_seconds = array_cycles as f64 / self.hw.frequency_hz;
+        let scalar_seconds =
+            scalar_ops as f64 / (self.scalar.lanes as f64 * self.scalar.frequency_hz);
+        let memory_seconds =
+            dram_bytes as f64 / (self.hw.dram_bytes_per_cycle * self.hw.frequency_hz);
+        let seconds = array_seconds.max(scalar_seconds).max(memory_seconds);
+        let cycles = (seconds * self.hw.frequency_hz).ceil() as u64;
+        // All array operands are staged through the SRAM at least once.
+        let sram_bytes = dram_bytes + array_ops * 2;
+        let energy = self.energy.energy_joules(array_ops, sram_bytes, dram_bytes, scalar_ops, seconds);
+        ExecutionReport {
+            cycles,
+            seconds,
+            macs: array_ops,
+            scalar_ops,
+            dram_bytes,
+            sram_bytes,
+            energy_joules: energy,
+        }
+    }
+
+    fn report_from_counts(
+        &self,
+        cycles: u64,
+        macs: u64,
+        scalar_ops: u64,
+        dram_bytes: u64,
+        sram_bytes: u64,
+    ) -> ExecutionReport {
+        let seconds = self.hw.cycles_to_seconds(cycles);
+        let energy = self.energy.energy_joules(macs, sram_bytes, dram_bytes, scalar_ops, seconds);
+        ExecutionReport { cycles, seconds, macs, scalar_ops, dram_bytes, sram_bytes, energy_joules: energy }
+    }
+}
+
+impl Default for SystolicAccelerator {
+    fn default() -> Self {
+        Self::asv_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_dnn::zoo;
+
+    #[test]
+    fn optimizations_improve_latency_and_energy() {
+        let accel = SystolicAccelerator::asv_default();
+        let net = zoo::dispnet(96, 192);
+        let baseline = accel.run_network(&net, OptLevel::Baseline);
+        let dct = accel.run_network(&net, OptLevel::Dct);
+        let ilar = accel.run_network(&net, OptLevel::Ilar);
+        assert!(dct.seconds < baseline.seconds);
+        assert!(ilar.seconds <= dct.seconds);
+        assert!(ilar.energy_joules < baseline.energy_joules);
+        assert!(baseline.fps() > 0.0);
+    }
+
+    #[test]
+    fn deconv_only_speedup_exceeds_whole_network_speedup() {
+        let accel = SystolicAccelerator::asv_default();
+        let net = zoo::flownetc(96, 192);
+        let full_base = accel.run_network(&net, OptLevel::Baseline);
+        let full_opt = accel.run_network(&net, OptLevel::Ilar);
+        let deconv_base = accel.run_deconv_layers(&net, OptLevel::Baseline);
+        let deconv_opt = accel.run_deconv_layers(&net, OptLevel::Ilar);
+        let full_speedup = full_opt.speedup_over(&full_base);
+        let deconv_speedup = deconv_opt.speedup_over(&deconv_base);
+        assert!(deconv_speedup > full_speedup, "deconv {deconv_speedup} vs full {full_speedup}");
+        assert!(deconv_speedup > 2.0, "deconv speedup {deconv_speedup}");
+    }
+
+    #[test]
+    fn op_count_execution_overlaps_array_and_scalar() {
+        let accel = SystolicAccelerator::asv_default();
+        let array_only = accel.run_op_counts(1_000_000_000, 0, 0);
+        let scalar_only = accel.run_op_counts(0, 1_000_000, 0);
+        let both = accel.run_op_counts(1_000_000_000, 1_000_000, 0);
+        assert!(both.seconds <= array_only.seconds + scalar_only.seconds);
+        assert!(both.seconds >= array_only.seconds.max(scalar_only.seconds) * 0.999);
+        assert!(both.energy_joules > array_only.energy_joules);
+    }
+
+    #[test]
+    fn memory_bound_op_counts_are_limited_by_bandwidth() {
+        let accel = SystolicAccelerator::asv_default();
+        let r = accel.run_op_counts(1000, 0, 1_000_000_000);
+        // 1 GB over 25.6 GB/s ≈ 39 ms.
+        assert!(r.seconds > 0.03 && r.seconds < 0.05, "{}", r.seconds);
+    }
+
+    #[test]
+    fn with_hw_changes_resources() {
+        let accel = SystolicAccelerator::asv_default();
+        let small = accel.with_hw(HwConfig::asv_default().with_pe_array(8, 8));
+        let net = zoo::dispnet(96, 192);
+        let big_r = accel.run_network(&net, OptLevel::Ilar);
+        let small_r = small.run_network(&net, OptLevel::Ilar);
+        assert!(small_r.seconds > big_r.seconds);
+    }
+}

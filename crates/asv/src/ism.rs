@@ -1,0 +1,387 @@
+//! The invariant-based stereo matching (ISM) pipeline of Sec. 3.
+//!
+//! ISM exploits the *correspondence invariant*: two pixels that are
+//! projections of the same scene point remain a correspondence pair in every
+//! frame, even as their image locations move.  The pipeline therefore runs
+//! the expensive stereo network only on key frames and, on the frames in
+//! between, moves the known correspondences along the estimated motion and
+//! repairs them with a cheap local search:
+//!
+//! 1. **DNN inference** (key frames) — the surrogate stereo estimator
+//!    produces a dense disparity map.
+//! 2. **Reconstruct correspondences** — every disparity-map entry is turned
+//!    into a left/right pixel pair.
+//! 3. **Propagate correspondences** (non-key frames) — dense optical flow in
+//!    the left and right views moves both members of each pair to the new
+//!    frame; their horizontal offset is the propagated disparity.
+//! 4. **Refine correspondences** — block matching in a narrow window centred
+//!    on the propagated disparity absorbs motion-estimation noise.
+
+use asv_dnn::{SurrogateParams, SurrogateStereoDnn};
+use asv_flow::farneback::{farneback_flow, FarnebackParams};
+use asv_flow::FlowField;
+use asv_image::Image;
+use asv_scene::StereoSequence;
+use asv_stereo::block_matching::{refine_with_initial, BlockMatchParams};
+use asv_stereo::{DisparityMap, StereoError};
+use serde::{Deserialize, Serialize};
+
+/// Whether a frame was processed as a key frame (DNN) or a non-key frame
+/// (propagation + refinement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameKind {
+    /// Full (surrogate) DNN inference.
+    KeyFrame,
+    /// Correspondences propagated from the previous frame and refined.
+    NonKeyFrame,
+}
+
+/// How key frames are selected.
+///
+/// The paper's micro-sequencer statically selects every `PW`-th frame
+/// (Sec. 5.2) and notes that adaptive schemes are feasible; the adaptive
+/// policy implemented here re-keys early when the estimated motion between
+/// consecutive frames exceeds a threshold, bounding how stale the propagated
+/// correspondences can become.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyFramePolicy {
+    /// A key frame every `propagation_window` frames (the paper's default).
+    Static,
+    /// A key frame every `propagation_window` frames *or* as soon as the
+    /// median motion magnitude (pixels/frame) of the left view exceeds the
+    /// threshold, whichever comes first.
+    AdaptiveMotion {
+        /// Median motion magnitude (pixels) that forces a new key frame.
+        max_median_motion_px: f32,
+    },
+}
+
+/// Configuration of the ISM pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsmConfig {
+    /// Propagation window: a key frame every `propagation_window` frames
+    /// (PW-2 and PW-4 in Fig. 9).  A window of 1 degenerates to running the
+    /// DNN on every frame.
+    pub propagation_window: usize,
+    /// Key-frame selection policy.
+    pub key_frame_policy: KeyFramePolicy,
+    /// Optical-flow parameters used for correspondence propagation.
+    pub flow: FarnebackParams,
+    /// Block-matching parameters used for correspondence refinement.
+    pub refine: BlockMatchParams,
+    /// Surrogate (key-frame estimator) parameters.
+    pub surrogate: SurrogateParams,
+}
+
+impl Default for IsmConfig {
+    fn default() -> Self {
+        Self {
+            propagation_window: 4,
+            key_frame_policy: KeyFramePolicy::Static,
+            flow: FarnebackParams::default(),
+            refine: BlockMatchParams { max_disparity: 64, refine_radius: 3, ..Default::default() },
+            surrogate: SurrogateParams::default(),
+        }
+    }
+}
+
+/// Result of processing one frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// How the frame was processed.
+    pub kind: FrameKind,
+    /// The estimated disparity map.
+    pub disparity: DisparityMap,
+}
+
+/// Result of processing a whole sequence.
+#[derive(Debug, Clone)]
+pub struct IsmResult {
+    /// Per-frame results in temporal order.
+    pub frames: Vec<FrameResult>,
+}
+
+impl IsmResult {
+    /// Number of key frames in the result.
+    pub fn key_frame_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.kind == FrameKind::KeyFrame).count()
+    }
+
+    /// Number of non-key frames in the result.
+    pub fn non_key_frame_count(&self) -> usize {
+        self.frames.len() - self.key_frame_count()
+    }
+}
+
+/// The ISM pipeline: a key-frame estimator plus the propagation machinery.
+#[derive(Debug, Clone)]
+pub struct IsmPipeline {
+    config: IsmConfig,
+    surrogate: SurrogateStereoDnn,
+}
+
+impl IsmPipeline {
+    /// Creates a pipeline from a configuration and the stereo network the
+    /// key-frame estimator stands in for.
+    pub fn new(config: IsmConfig, surrogate: SurrogateStereoDnn) -> Self {
+        Self { config, surrogate }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &IsmConfig {
+        &self.config
+    }
+
+    /// Processes one stereo sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matcher errors (mismatched frame sizes, empty frames).
+    pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, StereoError> {
+        let mut frames = Vec::with_capacity(sequence.len());
+        let mut previous: Option<(Image, Image, DisparityMap)> = None;
+        let window = self.config.propagation_window.max(1);
+        let mut since_key = 0usize;
+
+        for frame in sequence.frames() {
+            let mut is_key = previous.is_none() || since_key >= window;
+            // The adaptive policy re-keys early when the scene moves too fast
+            // for propagation to stay reliable.
+            if !is_key {
+                if let KeyFramePolicy::AdaptiveMotion { max_median_motion_px } =
+                    self.config.key_frame_policy
+                {
+                    let (prev_left, _, _) =
+                        previous.as_ref().expect("non-key frames always have a predecessor");
+                    let flow = farneback_flow(prev_left, &frame.left, &self.config.flow)
+                        .map_err(|e| StereoError::invalid_parameter(e))?;
+                    let motion =
+                        (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
+                    if motion > max_median_motion_px {
+                        is_key = true;
+                    }
+                }
+            }
+            let (kind, disparity) = if is_key {
+                let map = self.surrogate.infer(&frame.left, &frame.right)?;
+                since_key = 1;
+                (FrameKind::KeyFrame, map)
+            } else {
+                let (prev_left, prev_right, prev_disparity) =
+                    previous.as_ref().expect("non-key frames always have a predecessor");
+                let map = self.propagate_and_refine(
+                    prev_left,
+                    prev_right,
+                    prev_disparity,
+                    &frame.left,
+                    &frame.right,
+                )?;
+                since_key += 1;
+                (FrameKind::NonKeyFrame, map)
+            };
+            previous = Some((frame.left.clone(), frame.right.clone(), disparity.clone()));
+            frames.push(FrameResult { kind, disparity });
+        }
+        Ok(IsmResult { frames })
+    }
+
+    /// Steps 2–4 of the algorithm for one non-key frame.
+    fn propagate_and_refine(
+        &self,
+        prev_left: &Image,
+        prev_right: &Image,
+        prev_disparity: &DisparityMap,
+        left: &Image,
+        right: &Image,
+    ) -> Result<DisparityMap, StereoError> {
+        // Step 3: motion of both views from t to t+1.
+        let flow_left = farneback_flow(prev_left, left, &self.config.flow)
+            .map_err(|e| StereoError::invalid_parameter(e))?;
+        let flow_right = farneback_flow(prev_right, right, &self.config.flow)
+            .map_err(|e| StereoError::invalid_parameter(e))?;
+
+        // Steps 2 + 3: reconstruct each correspondence pair from the previous
+        // disparity map and move both members along their view's motion.
+        let propagated = propagate_correspondences(prev_disparity, &flow_left, &flow_right);
+
+        // Step 4: refine with a narrow block-matching search around the
+        // propagated disparity.
+        refine_with_initial(left, right, &propagated, &self.config.refine)
+    }
+}
+
+/// Moves every correspondence pair of `prev_disparity` along the left/right
+/// motion fields and rebuilds a disparity map registered to the new left
+/// frame.  Pixels that receive no propagated correspondence (disocclusions,
+/// pixels that moved out of the frame) are filled from their horizontal
+/// neighbours.
+pub fn propagate_correspondences(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+) -> DisparityMap {
+    let width = prev_disparity.width();
+    let height = prev_disparity.height();
+    let mut propagated = DisparityMap::invalid(width, height);
+
+    for y in 0..height {
+        for x in 0..width {
+            let Some(d) = prev_disparity.get(x, y) else { continue };
+            // Left member of the pair moves with the left-view flow.
+            let (ul, vl) = flow_left.at(x, y);
+            let new_lx = x as f32 + ul;
+            let new_ly = y as f32 + vl;
+            // Right member (at x - d in the right view) moves with the
+            // right-view flow.
+            let rx = x as f32 - d;
+            if rx < 0.0 {
+                continue;
+            }
+            let (ur, _vr) = flow_right.sample(rx, y as f32);
+            let new_rx = rx + ur;
+            let new_d = new_lx - new_rx;
+            let ix = new_lx.round();
+            let iy = new_ly.round();
+            if ix < 0.0 || iy < 0.0 || ix >= width as f32 || iy >= height as f32 || new_d < 0.0 {
+                continue;
+            }
+            propagated.set(ix as usize, iy as usize, new_d);
+        }
+    }
+    propagated.fill_invalid_horizontally();
+    propagated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_dnn::zoo;
+    use asv_scene::SceneConfig;
+
+    fn pipeline(window: usize, max_disparity: usize) -> IsmPipeline {
+        let config = IsmConfig {
+            propagation_window: window,
+            refine: BlockMatchParams { max_disparity, refine_radius: 3, ..Default::default() },
+            surrogate: SurrogateParams { max_disparity, occlusion_handling: true },
+            ..Default::default()
+        };
+        let surrogate = SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate);
+        IsmPipeline::new(config, surrogate)
+    }
+
+    fn small_sequence(frames: usize, seed: u64) -> StereoSequence {
+        let config = SceneConfig::scene_flow_like(64, 48).with_seed(seed).with_objects(3);
+        StereoSequence::generate(&config, frames)
+    }
+
+    #[test]
+    fn key_frame_schedule_follows_propagation_window() {
+        let seq = small_sequence(6, 3);
+        let result = pipeline(3, 32).process_sequence(&seq).unwrap();
+        let kinds: Vec<FrameKind> = result.frames.iter().map(|f| f.kind).collect();
+        assert_eq!(kinds[0], FrameKind::KeyFrame);
+        assert_eq!(kinds[1], FrameKind::NonKeyFrame);
+        assert_eq!(kinds[2], FrameKind::NonKeyFrame);
+        assert_eq!(kinds[3], FrameKind::KeyFrame);
+        assert_eq!(result.key_frame_count(), 2);
+        assert_eq!(result.non_key_frame_count(), 4);
+    }
+
+    #[test]
+    fn window_of_one_runs_dnn_every_frame() {
+        let seq = small_sequence(3, 4);
+        let result = pipeline(1, 32).process_sequence(&seq).unwrap();
+        assert_eq!(result.key_frame_count(), 3);
+    }
+
+    #[test]
+    fn non_key_frames_stay_close_to_ground_truth() {
+        let seq = small_sequence(4, 5);
+        let result = pipeline(4, 32).process_sequence(&seq).unwrap();
+        for (frame, truth) in result.frames.iter().zip(seq.frames()) {
+            let err = frame.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+            assert!(err < 0.25, "{:?} error {err}", frame.kind);
+        }
+    }
+
+    #[test]
+    fn ism_accuracy_is_close_to_per_frame_dnn_accuracy() {
+        // The Fig. 9 claim: propagating correspondences instead of re-running
+        // the DNN costs almost no accuracy.
+        let seq = small_sequence(4, 7);
+        let ism = pipeline(4, 32).process_sequence(&seq).unwrap();
+        let dnn = pipeline(1, 32).process_sequence(&seq).unwrap();
+        let mut ism_err = 0.0;
+        let mut dnn_err = 0.0;
+        for ((a, b), truth) in ism.frames.iter().zip(&dnn.frames).zip(seq.frames()) {
+            ism_err += a.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+            dnn_err += b.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+        }
+        let n = seq.len() as f64;
+        assert!(
+            ism_err / n <= dnn_err / n + 0.05,
+            "ISM error {} vs DNN error {}",
+            ism_err / n,
+            dnn_err / n
+        );
+    }
+
+    #[test]
+    fn propagation_shifts_disparities_with_motion() {
+        // A synthetic correspondence field moved by constant flow: disparities
+        // translate and (with equal flows in both views) keep their value.
+        let prev = DisparityMap::constant(16, 8, 5.0);
+        let flow_l = FlowField::constant(16, 8, 2.0, 0.0);
+        let flow_r = FlowField::constant(16, 8, 2.0, 0.0);
+        let propagated = propagate_correspondences(&prev, &flow_l, &flow_r);
+        assert_eq!(propagated.get(10, 4), Some(5.0));
+        // If the right view moves less than the left, disparity grows.
+        let flow_r_slow = FlowField::constant(16, 8, 1.0, 0.0);
+        let propagated = propagate_correspondences(&prev, &flow_l, &flow_r_slow);
+        assert_eq!(propagated.get(10, 4), Some(6.0));
+    }
+
+    #[test]
+    fn propagation_fills_disocclusions() {
+        let mut prev = DisparityMap::constant(16, 8, 4.0);
+        prev.invalidate(0, 0);
+        let zero = FlowField::zeros(16, 8);
+        let propagated = propagate_correspondences(&prev, &zero, &zero);
+        // Every pixel valid after horizontal filling.
+        assert_eq!(propagated.valid_fraction(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_policy_rekeys_under_fast_motion() {
+        // A zero-motion threshold forces every frame to become a key frame as
+        // soon as any motion is detected; a huge threshold reproduces the
+        // static schedule.
+        let seq = small_sequence(6, 13);
+        let base = pipeline(4, 32);
+        let make = |policy| {
+            let config = IsmConfig { key_frame_policy: policy, ..*base.config() };
+            IsmPipeline::new(config, SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate))
+        };
+        let eager = make(KeyFramePolicy::AdaptiveMotion { max_median_motion_px: 0.0 })
+            .process_sequence(&seq)
+            .unwrap();
+        let relaxed = make(KeyFramePolicy::AdaptiveMotion { max_median_motion_px: 1e6 })
+            .process_sequence(&seq)
+            .unwrap();
+        let static_schedule = base.process_sequence(&seq).unwrap();
+        assert!(eager.key_frame_count() >= static_schedule.key_frame_count());
+        assert_eq!(relaxed.key_frame_count(), static_schedule.key_frame_count());
+    }
+
+    #[test]
+    fn errors_propagate_from_mismatched_frames() {
+        let config = IsmConfig::default();
+        let surrogate = SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate);
+        let pipeline = IsmPipeline::new(config, surrogate);
+        // Sequence with zero frames is fine (empty result).
+        let empty =
+            StereoSequence::generate(&SceneConfig::scene_flow_like(32, 24).with_objects(1), 0);
+        let result = pipeline.process_sequence(&empty).unwrap();
+        assert!(result.frames.is_empty());
+    }
+}

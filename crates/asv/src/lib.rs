@@ -1,0 +1,45 @@
+//! ASV: the accelerated stereo vision system (the paper's primary
+//! contribution), tying together the ISM algorithm, the deconvolution
+//! optimizations and the accelerator models.
+//!
+//! The crate exposes three layers of API:
+//!
+//! * [`ism`] — the invariant-based stereo matching pipeline (Sec. 3): DNN
+//!   (surrogate) inference on key frames, correspondence reconstruction,
+//!   propagation through dense optical flow, and block-matching refinement on
+//!   non-key frames.  This is the functional algorithm that produces
+//!   disparity maps from stereo video.
+//! * [`perf`] — the system performance/energy model (Sec. 7): per-frame
+//!   latency and energy of the four system variants the paper compares
+//!   (baseline DNN accelerator, +DCO, +ISM, +both), plus the baseline
+//!   hardware platforms.
+//! * [`system`] — [`AsvSystem`], the top-level object a user instantiates to
+//!   run both of the above with one configuration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asv::system::{AsvSystem, AsvConfig};
+//! use asv_scene::{SceneConfig, StereoSequence};
+//!
+//! // A small synthetic stereo sequence (the dataset substitute).
+//! let scene = SceneConfig::scene_flow_like(64, 48).with_seed(1);
+//! let sequence = StereoSequence::generate(&scene, 4);
+//!
+//! // ASV with a propagation window of 2 (every other frame is a key frame).
+//! let system = AsvSystem::new(AsvConfig { propagation_window: 2, ..AsvConfig::small() });
+//! let result = system.process_sequence(&sequence).unwrap();
+//! assert_eq!(result.frames.len(), 4);
+//!
+//! // Accuracy is measured with the three-pixel-error metric of the paper.
+//! let accuracy = system.evaluate_accuracy(&sequence).unwrap();
+//! assert!(accuracy.ism_error_rate <= 0.5);
+//! ```
+
+pub mod ism;
+pub mod perf;
+pub mod system;
+
+pub use ism::{FrameKind, IsmConfig, IsmPipeline, IsmResult, KeyFramePolicy};
+pub use perf::{AsvVariant, SystemPerformanceModel, VariantReport};
+pub use system::{AccuracyReport, AsvConfig, AsvSystem};

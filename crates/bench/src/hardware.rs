@@ -1,0 +1,328 @@
+//! Hardware-level experiments: the stage distribution (Fig. 3), the system
+//! speedup/energy ablation (Fig. 10), the deconvolution-optimization ablation
+//! (Fig. 11), the resource sensitivity sweep (Fig. 12), the Eyeriss/GPU
+//! comparison (Fig. 13), the GANNX comparison (Fig. 14) and the hardware
+//! overhead table (Sec. 7.1).
+
+use asv::perf::{AsvVariant, SystemPerformanceModel};
+use asv_accel::baselines::{EyerissModel, GannxModel, GpuModel};
+use asv_accel::ism::NonKeyFrameConfig;
+use asv_accel::overhead::AreaPowerBudget;
+use asv_accel::systolic::SystolicAccelerator;
+use asv_accel::ExecutionReport;
+use asv_dataflow::{HwConfig, OptLevel};
+use asv_dnn::network::StageDistribution;
+use asv_dnn::{gan, zoo, NetworkSpec};
+use serde::{Deserialize, Serialize};
+
+fn eval_suite() -> Vec<NetworkSpec> {
+    zoo::suite(crate::EVAL_HEIGHT, crate::EVAL_WIDTH, crate::EVAL_MAX_DISPARITY)
+}
+
+fn nonkey_config() -> NonKeyFrameConfig {
+    NonKeyFrameConfig::with_resolution(crate::EVAL_WIDTH, crate::EVAL_HEIGHT)
+}
+
+/// Fig. 3: the per-stage MAC distribution of each stereo network.
+pub fn figure3_stage_distribution() -> Vec<StageDistribution> {
+    eval_suite().iter().map(NetworkSpec::stage_distribution).collect()
+}
+
+/// One bar group of Fig. 10: speedup and energy reduction of each ASV variant
+/// relative to the baseline accelerator, for one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Network name.
+    pub network: String,
+    /// Speedup of ISM alone.
+    pub ism_speedup: f64,
+    /// Speedup of the deconvolution optimizations alone.
+    pub dco_speedup: f64,
+    /// Speedup of the combined system.
+    pub combined_speedup: f64,
+    /// Energy reduction of ISM alone (fraction).
+    pub ism_energy_reduction: f64,
+    /// Energy reduction of DCO alone (fraction).
+    pub dco_energy_reduction: f64,
+    /// Energy reduction of the combined system (fraction).
+    pub combined_energy_reduction: f64,
+}
+
+/// Fig. 10: speedup and energy reduction of the ASV variants (PW-4).
+pub fn figure10_speedup_energy() -> Vec<SpeedupRow> {
+    let model = SystemPerformanceModel::new(SystolicAccelerator::asv_default(), nonkey_config(), 4);
+    eval_suite()
+        .iter()
+        .map(|net| {
+            let reports = model.variant_reports(net);
+            let get = |v: AsvVariant| reports.iter().find(|r| r.variant == v).unwrap().clone();
+            SpeedupRow {
+                network: net.name.clone(),
+                ism_speedup: get(AsvVariant::Ism).speedup,
+                dco_speedup: get(AsvVariant::Dco).speedup,
+                combined_speedup: get(AsvVariant::IsmDco).speedup,
+                ism_energy_reduction: get(AsvVariant::Ism).energy_reduction,
+                dco_energy_reduction: get(AsvVariant::Dco).energy_reduction,
+                combined_energy_reduction: get(AsvVariant::IsmDco).energy_reduction,
+            }
+        })
+        .collect()
+}
+
+/// One row of Fig. 11: the contribution of each deconvolution optimization,
+/// on the deconvolution layers alone and on the whole network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeconvOptRow {
+    /// Network name.
+    pub network: String,
+    /// Speedups over the unoptimized baseline, deconvolution layers only:
+    /// (DCT, ConvR, ILAR).
+    pub deconv_speedup: [f64; 3],
+    /// Energy reductions (fractions), deconvolution layers only.
+    pub deconv_energy_reduction: [f64; 3],
+    /// Speedups over the baseline for the whole network.
+    pub network_speedup: [f64; 3],
+    /// Energy reductions (fractions) for the whole network.
+    pub network_energy_reduction: [f64; 3],
+}
+
+/// Fig. 11: DCT vs ConvR vs ILAR, on deconvolution layers and whole networks.
+pub fn figure11_deconv_opts() -> Vec<DeconvOptRow> {
+    let accel = SystolicAccelerator::asv_default();
+    let levels = [OptLevel::Dct, OptLevel::ConvR, OptLevel::Ilar];
+    eval_suite()
+        .iter()
+        .map(|net| {
+            let deconv_base = accel.run_deconv_layers(net, OptLevel::Baseline);
+            let full_base = accel.run_network(net, OptLevel::Baseline);
+            let mut row = DeconvOptRow {
+                network: net.name.clone(),
+                deconv_speedup: [0.0; 3],
+                deconv_energy_reduction: [0.0; 3],
+                network_speedup: [0.0; 3],
+                network_energy_reduction: [0.0; 3],
+            };
+            for (i, &level) in levels.iter().enumerate() {
+                let deconv = accel.run_deconv_layers(net, level);
+                let full = accel.run_network(net, level);
+                row.deconv_speedup[i] = deconv.speedup_over(&deconv_base);
+                row.deconv_energy_reduction[i] = deconv.energy_reduction_vs(&deconv_base);
+                row.network_speedup[i] = full.speedup_over(&full_base);
+                row.network_energy_reduction[i] = full.energy_reduction_vs(&full_base);
+            }
+            row
+        })
+        .collect()
+}
+
+/// One cell of the Fig. 12 sensitivity heatmaps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityCell {
+    /// Square PE array dimension (8 ⇒ 8×8).
+    pub pe_dim: usize,
+    /// On-chip buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// DCO speedup over the baseline *on this same configuration*.
+    pub speedup: f64,
+    /// DCO energy reduction (fraction) on this configuration.
+    pub energy_reduction: f64,
+}
+
+/// Fig. 12: DCO speedup/energy sensitivity to PE-array and buffer size, on
+/// FlowNetC, each cell normalized to the baseline with the same resources.
+pub fn figure12_sensitivity() -> Vec<SensitivityCell> {
+    let net = zoo::flownetc(crate::EVAL_HEIGHT, crate::EVAL_WIDTH);
+    let pe_dims = [8usize, 16, 24, 32, 40, 48, 56];
+    let buffers = [512 * 1024u64, 1024 * 1024, 1536 * 1024, 2048 * 1024, 2560 * 1024, 3 * 1024 * 1024];
+    let mut cells = Vec::new();
+    for &buffer in &buffers {
+        for &dim in &pe_dims {
+            let hw = HwConfig::asv_default().with_pe_array(dim, dim).with_buffer_bytes(buffer);
+            let accel = SystolicAccelerator::asv_default().with_hw(hw);
+            let baseline = accel.run_network(&net, OptLevel::Baseline);
+            let optimized = accel.run_network(&net, OptLevel::Ilar);
+            cells.push(SensitivityCell {
+                pe_dim: dim,
+                buffer_bytes: buffer,
+                speedup: optimized.speedup_over(&baseline),
+                energy_reduction: optimized.energy_reduction_vs(&baseline),
+            });
+        }
+    }
+    cells
+}
+
+/// One platform row of Fig. 13 (normalized to plain Eyeriss).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformRow {
+    /// Platform / variant name.
+    pub name: String,
+    /// Speedup relative to plain Eyeriss (higher is better).
+    pub speedup_vs_eyeriss: f64,
+    /// Energy normalized to plain Eyeriss (lower is better).
+    pub normalized_energy: f64,
+}
+
+/// Fig. 13: ASV variants vs Eyeriss (with and without the transformation) vs
+/// a mobile GPU, averaged over the four stereo networks and normalized to
+/// plain Eyeriss.
+pub fn figure13_platforms() -> Vec<PlatformRow> {
+    let suite = eval_suite();
+    let model = SystemPerformanceModel::new(SystolicAccelerator::asv_default(), nonkey_config(), 4);
+    let eyeriss = EyerissModel::matched_to(HwConfig::asv_default());
+    let gpu = GpuModel::jetson_tx2();
+
+    // Average per-frame reports across networks for each platform/variant.
+    let average = |reports: Vec<ExecutionReport>| -> ExecutionReport {
+        let n = reports.len() as f64;
+        reports.into_iter().fold(ExecutionReport::default(), |acc, r| acc.combine(&r)).scaled(1.0 / n)
+    };
+
+    let eyeriss_plain = average(suite.iter().map(|n| eyeriss.run_network(n, false)).collect());
+    let eyeriss_dct = average(suite.iter().map(|n| eyeriss.run_network(n, true)).collect());
+    let gpu_avg = average(suite.iter().map(|n| gpu.run_network(n)).collect());
+    let asv_dco = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::Dco)).collect());
+    let asv_ism = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::Ism)).collect());
+    let asv_full = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::IsmDco)).collect());
+
+    let row = |name: &str, report: &ExecutionReport| PlatformRow {
+        name: name.to_owned(),
+        speedup_vs_eyeriss: report.speedup_over(&eyeriss_plain),
+        normalized_energy: report.energy_joules / eyeriss_plain.energy_joules,
+    };
+    vec![
+        row("Eyeriss", &eyeriss_plain),
+        row("Eyeriss+DCT", &eyeriss_dct),
+        row("GPU", &gpu_avg),
+        row("ASV-DCO", &asv_dco),
+        row("ASV-ISM", &asv_ism),
+        row("ASV-DCO+ISM", &asv_full),
+    ]
+}
+
+/// One GAN row of Fig. 14 (normalized to Eyeriss).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GanRow {
+    /// GAN name.
+    pub network: String,
+    /// ASV speedup over Eyeriss.
+    pub asv_speedup: f64,
+    /// GANNX speedup over Eyeriss.
+    pub gannx_speedup: f64,
+    /// ASV energy reduction factor over Eyeriss (Eyeriss energy / ASV energy).
+    pub asv_energy_reduction: f64,
+    /// GANNX energy reduction factor over Eyeriss.
+    pub gannx_energy_reduction: f64,
+}
+
+/// Fig. 14: ASV (software deconvolution optimizations on a stock systolic
+/// array) vs the dedicated GANNX accelerator, on six GAN generators,
+/// normalized to Eyeriss.
+pub fn figure14_gans() -> Vec<GanRow> {
+    let accel = SystolicAccelerator::asv_default();
+    let gannx = GannxModel::matched_to(HwConfig::asv_default());
+    let eyeriss = EyerissModel::matched_to(HwConfig::asv_default());
+    gan::gannx_suite()
+        .iter()
+        .map(|net| {
+            let eye = eyeriss.run_network(net, false);
+            let asv = accel.run_network(net, OptLevel::Ilar);
+            let gx = gannx.run_network(net);
+            GanRow {
+                network: net.name.clone(),
+                asv_speedup: asv.speedup_over(&eye),
+                gannx_speedup: gx.speedup_over(&eye),
+                asv_energy_reduction: eye.energy_joules / asv.energy_joules,
+                gannx_energy_reduction: eye.energy_joules / gx.energy_joules,
+            }
+        })
+        .collect()
+}
+
+/// Sec. 7.1: the hardware overhead accounting.
+pub fn overhead_table() -> AreaPowerBudget {
+    AreaPowerBudget::asv_16nm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_distribution_covers_four_networks() {
+        let rows = figure3_stage_distribution();
+        assert_eq!(rows.len(), 4);
+        let avg_dr: f64 = rows.iter().map(|r| r.disparity_refinement).sum::<f64>() / rows.len() as f64;
+        // Fig. 3: deconvolution (DR) is a significant minority on average.
+        assert!(avg_dr > 0.15 && avg_dr < 0.6, "average DR share {avg_dr}");
+    }
+
+    #[test]
+    fn figure10_combined_beats_individual_optimizations() {
+        let rows = figure10_speedup_energy();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.combined_speedup >= row.ism_speedup, "{row:?}");
+            assert!(row.combined_speedup >= row.dco_speedup, "{row:?}");
+            assert!(row.ism_speedup > 1.0 && row.dco_speedup > 1.0, "{row:?}");
+            assert!(row.combined_energy_reduction > 0.5, "{row:?}");
+        }
+        let avg: f64 = rows.iter().map(|r| r.combined_speedup).sum::<f64>() / rows.len() as f64;
+        assert!(avg > 3.0, "average combined speedup {avg}");
+    }
+
+    #[test]
+    fn figure11_ilar_dominates_convr_on_energy() {
+        let rows = figure11_deconv_opts();
+        for row in &rows {
+            // Deconv-layer speedups: DCT alone already gives a large speedup.
+            assert!(row.deconv_speedup[0] > 1.5, "{row:?}");
+            // ConvR and ILAR never hurt relative to DCT.
+            assert!(row.deconv_speedup[1] >= row.deconv_speedup[0] * 0.99, "{row:?}");
+            assert!(row.deconv_speedup[2] >= row.deconv_speedup[1] * 0.99, "{row:?}");
+            // ILAR gives at least as much energy reduction as ConvR.
+            assert!(
+                row.network_energy_reduction[2] >= row.network_energy_reduction[1] - 1e-9,
+                "{row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure12_every_configuration_benefits() {
+        let cells = figure12_sensitivity();
+        assert_eq!(cells.len(), 42);
+        for cell in &cells {
+            assert!(cell.speedup >= 1.0, "{cell:?}");
+            assert!(cell.energy_reduction > 0.0, "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn figure13_asv_beats_eyeriss_and_gpu() {
+        let rows = figure13_platforms();
+        let by = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
+        assert!((by("Eyeriss").speedup_vs_eyeriss - 1.0).abs() < 1e-9);
+        assert!(by("Eyeriss+DCT").speedup_vs_eyeriss > 1.0);
+        assert!(by("GPU").speedup_vs_eyeriss < 1.0);
+        assert!(by("ASV-DCO+ISM").speedup_vs_eyeriss > by("Eyeriss+DCT").speedup_vs_eyeriss);
+        assert!(by("ASV-DCO+ISM").normalized_energy < 1.0);
+        assert!(by("GPU").normalized_energy > 1.0);
+    }
+
+    #[test]
+    fn figure14_asv_outperforms_gannx_on_average() {
+        let rows = figure14_gans();
+        assert_eq!(rows.len(), 6);
+        let avg_asv: f64 = rows.iter().map(|r| r.asv_speedup).sum::<f64>() / rows.len() as f64;
+        let avg_gx: f64 = rows.iter().map(|r| r.gannx_speedup).sum::<f64>() / rows.len() as f64;
+        assert!(avg_asv > avg_gx, "ASV {avg_asv} vs GANNX {avg_gx}");
+        assert!(avg_gx > 1.0);
+    }
+
+    #[test]
+    fn overhead_is_below_half_percent() {
+        let b = overhead_table();
+        assert!(b.total_area_overhead() < 0.005);
+    }
+}

@@ -1,0 +1,102 @@
+//! Hardware resource description used by the scheduler and the accelerator
+//! models.
+
+use serde::{Deserialize, Serialize};
+
+/// Resources of a systolic-array DNN accelerator (the `R*` of Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Processing-element rows.
+    pub pe_rows: usize,
+    /// Processing-element columns.
+    pub pe_cols: usize,
+    /// Unified on-chip buffer capacity in bytes (working + filling halves).
+    pub buffer_bytes: u64,
+    /// Sustained DRAM bandwidth in bytes per accelerator cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Accelerator clock frequency in hertz.
+    pub frequency_hz: f64,
+}
+
+impl HwConfig {
+    /// The ASV evaluation configuration (Sec. 6.1): 24×24 PEs at 1 GHz, a
+    /// 1.5 MB unified SRAM and four LPDDR3-1600 channels (≈ 25.6 GB/s).
+    pub fn asv_default() -> Self {
+        Self {
+            pe_rows: 24,
+            pe_cols: 24,
+            buffer_bytes: 3 * 512 * 1024, // 1.5 MB
+            dram_bytes_per_cycle: 25.6,   // 25.6 GB/s at 1 GHz
+            frequency_hz: 1.0e9,
+        }
+    }
+
+    /// Returns the configuration with a different square PE array size.
+    pub fn with_pe_array(mut self, rows: usize, cols: usize) -> Self {
+        self.pe_rows = rows;
+        self.pe_cols = cols;
+        self
+    }
+
+    /// Returns the configuration with a different buffer capacity.
+    pub fn with_buffer_bytes(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Total number of PEs (`A*` in Eq. 6).
+    pub fn pe_count(&self) -> u64 {
+        (self.pe_rows * self.pe_cols) as u64
+    }
+
+    /// Peak multiply-accumulate throughput in operations per second.
+    pub fn peak_macs_per_second(&self) -> f64 {
+        self.pe_count() as f64 * self.frequency_hz
+    }
+
+    /// Capacity of one double-buffer half — the budget a single round's data
+    /// must fit in (Eq. 10).
+    pub fn round_buffer_bytes(&self) -> u64 {
+        self.buffer_bytes / 2
+    }
+
+    /// Converts a cycle count into seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        Self::asv_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let hw = HwConfig::asv_default();
+        assert_eq!(hw.pe_count(), 576);
+        assert_eq!(hw.buffer_bytes, 1_572_864);
+        assert_eq!(hw.round_buffer_bytes(), 786_432);
+        // 576 MACs/cycle at 1 GHz = 0.576 TMAC/s ⇒ 1.152 Tera ops/s counting
+        // multiply and add separately, the paper's raw throughput figure.
+        assert!((hw.peak_macs_per_second() * 2.0 - 1.152e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn builder_methods_modify_resources() {
+        let hw = HwConfig::asv_default().with_pe_array(8, 8).with_buffer_bytes(512 * 1024);
+        assert_eq!(hw.pe_count(), 64);
+        assert_eq!(hw.buffer_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let hw = HwConfig::asv_default();
+        assert!((hw.cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+}

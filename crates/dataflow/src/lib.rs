@@ -1,0 +1,50 @@
+//! Systolic-array dataflow optimizer: tiling, data reuse and the
+//! constrained-optimization scheduler of Sec. 4.2.
+//!
+//! The ASV software stack lowers every layer — dense convolutions and the
+//! sub-convolutions produced by the deconvolution transformation — onto a
+//! systolic-array accelerator with a unified, double-buffered on-chip buffer.
+//! Because the buffer cannot hold a whole layer, the layer executes in
+//! *rounds*; each round loads an ifmap tile and a subset of filters, and the
+//! round's latency is the maximum of its compute time and its DRAM transfer
+//! time (Eq. 5).  Choosing the tile shape, the per-sub-kernel filter counts
+//! and the reuse order (`β`, Eq. 7) is the constrained optimization the paper
+//! solves with an iterated greedy/Knapsack heuristic.
+//!
+//! Modules:
+//!
+//! * [`hw`] — hardware resource description ([`HwConfig`]): PE array, buffer,
+//!   DRAM bandwidth.
+//! * [`workload`] — per-layer workload extracted from `asv-dnn` layer specs,
+//!   including the sub-kernel list of transformed deconvolutions.
+//! * [`model`] — the round latency/traffic model (Eqs. 5–10).
+//! * [`solver`] — schedule generators: a generic low-reuse baseline, the
+//!   greedy Knapsack optimizer with and without inter-layer activation reuse
+//!   (ILAR), and an exhaustive reference used to validate the greedy solver
+//!   on small layers.
+//! * [`network`] — whole-network scheduling under the four optimization
+//!   levels compared in Fig. 11 (baseline, DCT, ConvR, ILAR).
+//!
+//! # Example
+//!
+//! ```
+//! use asv_dataflow::{hw::HwConfig, network::{schedule_network, OptLevel}};
+//! use asv_dnn::zoo;
+//!
+//! let net = zoo::flownetc(96, 192);
+//! let hw = HwConfig::asv_default();
+//! let baseline = schedule_network(&net, &hw, OptLevel::Baseline);
+//! let ilar = schedule_network(&net, &hw, OptLevel::Ilar);
+//! assert!(ilar.total_cycles < baseline.total_cycles);
+//! ```
+
+pub mod hw;
+pub mod model;
+pub mod network;
+pub mod solver;
+pub mod workload;
+
+pub use hw::HwConfig;
+pub use network::{schedule_network, NetworkCost, OptLevel};
+pub use solver::{LayerCost, LayerSchedule, ReuseOrder, Round};
+pub use workload::LayerWorkload;

@@ -1,0 +1,203 @@
+//! Round-level latency and traffic model (Eqs. 5–10 of the paper).
+//!
+//! A layer executes in rounds; in each round the accelerator computes with
+//! the data in the working half of the double buffer while the filling half
+//! is loaded, so the round's latency is `max(compute, memory)` (Eq. 5).  The
+//! model prices one round from the ifmap-tile size, the per-sub-kernel filter
+//! counts and which of the operands actually need to be (re)loaded from DRAM
+//! this round.
+
+use crate::hw::HwConfig;
+use crate::workload::{LayerWorkload, ELEMENT_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled round: an ifmap tile plus a set of filters, with flags for
+/// which operands must be fetched from DRAM (operands already resident from
+/// the previous round are not re-fetched — this is the reuse order `β` of
+/// Eq. 7 made explicit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Round {
+    /// Number of ifmap positions (pixels/voxels) in this round's tile.
+    pub positions: u64,
+    /// Filters of each sub-kernel processed this round (`C_k^i` in Eq. 6).
+    pub filters: Vec<u64>,
+    /// Whether the ifmap tile must be loaded from DRAM this round.
+    pub load_ifmap: bool,
+    /// Whether the filters must be loaded from DRAM this round.
+    pub load_weights: bool,
+}
+
+/// Cost of one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundCost {
+    /// Latency in cycles (`max(compute, memory)`).
+    pub cycles: u64,
+    /// Compute cycles (Eq. 6).
+    pub compute_cycles: u64,
+    /// Memory cycles (Eqs. 7–9).
+    pub memory_cycles: u64,
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes streamed through the on-chip SRAM (reads + writes).
+    pub sram_bytes: u64,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+}
+
+/// Ofmap bytes produced by `filters` filters over `positions` ifmap positions.
+pub fn ofmap_bytes(workload: &LayerWorkload, positions: u64, filters: u64) -> u64 {
+    (positions as f64 * workload.ofmap_per_position).ceil() as u64 * filters * ELEMENT_BYTES
+}
+
+/// Ifmap bytes of a tile with `positions` positions.
+pub fn ifmap_tile_bytes(workload: &LayerWorkload, positions: u64) -> u64 {
+    positions * workload.in_channels as u64 * ELEMENT_BYTES
+}
+
+/// Checks the buffer constraint of Eq. 10 for one round: the ifmap tile, the
+/// loaded filters and the produced ofmap tile must fit in one double-buffer
+/// half.
+pub fn fits_in_buffer(workload: &LayerWorkload, hw: &HwConfig, positions: u64, filters: &[u64]) -> bool {
+    let mut total = ifmap_tile_bytes(workload, positions);
+    for (k, &count) in filters.iter().enumerate() {
+        total += workload.filter_bytes(k) * count;
+        total += ofmap_bytes(workload, positions, count);
+    }
+    total <= hw.round_buffer_bytes()
+}
+
+/// Prices one round (Eqs. 5–9).
+pub fn round_cost(workload: &LayerWorkload, hw: &HwConfig, round: &Round) -> RoundCost {
+    // Compute time: each sub-kernel occupies the array in turn (Eq. 6's ceil
+    // per sub-kernel — sub-kernels of different shapes cannot share the
+    // array).
+    let mut compute_cycles = 0u64;
+    let mut macs = 0u64;
+    let mut weight_bytes = 0u64;
+    let mut ofmap_total = 0u64;
+    for (k, &count) in round.filters.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let kernel_macs = workload.macs_per_filter(k, round.positions) * count;
+        macs += kernel_macs;
+        compute_cycles += kernel_macs.div_ceil(hw.pe_count());
+        weight_bytes += workload.filter_bytes(k) * count;
+        ofmap_total += ofmap_bytes(workload, round.positions, count);
+    }
+
+    let ifmap_bytes = ifmap_tile_bytes(workload, round.positions);
+    let mut dram_read = 0u64;
+    if round.load_ifmap {
+        dram_read += ifmap_bytes;
+    }
+    if round.load_weights {
+        dram_read += weight_bytes;
+    }
+    // Newly computed ofmap elements are always written back (Appendix B).
+    let dram_write = ofmap_total;
+    let memory_cycles = ((dram_read + dram_write) as f64 / hw.dram_bytes_per_cycle).ceil() as u64;
+
+    // SRAM traffic: the ifmap tile and the active filters are streamed into
+    // the array once per round and the ofmap tile is written once.
+    let sram_bytes = ifmap_bytes + weight_bytes + ofmap_total;
+
+    RoundCost {
+        cycles: compute_cycles.max(memory_cycles),
+        compute_cycles,
+        memory_cycles,
+        dram_read_bytes: dram_read,
+        dram_write_bytes: dram_write,
+        sram_bytes,
+        macs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_dnn::{LayerSpec, Stage};
+
+    fn workload() -> LayerWorkload {
+        let spec = LayerSpec::deconv2d("d", Stage::DisparityRefinement, 16, 8, 20, 20, 4, 2, 1);
+        LayerWorkload::transformed(&spec)
+    }
+
+    #[test]
+    fn compute_bound_round_latency_is_compute() {
+        let wl = workload();
+        let hw = HwConfig::asv_default();
+        let round = Round {
+            positions: wl.ifmap_positions(),
+            filters: vec![8, 8, 8, 8],
+            load_ifmap: true,
+            load_weights: true,
+        };
+        let cost = round_cost(&wl, &hw, &round);
+        assert_eq!(cost.cycles, cost.compute_cycles.max(cost.memory_cycles));
+        assert!(cost.macs > 0);
+        assert!(cost.dram_read_bytes > 0);
+        assert!(cost.dram_write_bytes > 0);
+        assert!(cost.sram_bytes >= cost.dram_read_bytes);
+    }
+
+    #[test]
+    fn skipping_loads_reduces_dram_traffic_only() {
+        let wl = workload();
+        let hw = HwConfig::asv_default();
+        let base = Round {
+            positions: wl.ifmap_positions(),
+            filters: vec![8, 8, 8, 8],
+            load_ifmap: true,
+            load_weights: true,
+        };
+        let reuse = Round { load_ifmap: false, ..base.clone() };
+        let a = round_cost(&wl, &hw, &base);
+        let b = round_cost(&wl, &hw, &reuse);
+        assert!(b.dram_read_bytes < a.dram_read_bytes);
+        assert_eq!(a.compute_cycles, b.compute_cycles);
+        assert_eq!(a.macs, b.macs);
+    }
+
+    #[test]
+    fn empty_filter_groups_cost_nothing_to_compute() {
+        let wl = workload();
+        let hw = HwConfig::asv_default();
+        let round = Round { positions: 100, filters: vec![0, 0, 0, 0], load_ifmap: true, load_weights: true };
+        let cost = round_cost(&wl, &hw, &round);
+        assert_eq!(cost.compute_cycles, 0);
+        assert_eq!(cost.macs, 0);
+        assert!(cost.memory_cycles > 0); // the ifmap load still costs
+    }
+
+    #[test]
+    fn buffer_constraint_detects_overflow() {
+        let wl = workload();
+        let hw = HwConfig::asv_default().with_buffer_bytes(4096);
+        // The whole ifmap plus all filters cannot fit a 4 KB buffer.
+        assert!(!fits_in_buffer(&wl, &hw, wl.ifmap_positions(), &[8, 8, 8, 8]));
+        // A tiny tile with a single filter fits.
+        assert!(fits_in_buffer(&wl, &hw, 8, &[1, 0, 0, 0]));
+    }
+
+    #[test]
+    fn per_sub_kernel_ceiling_penalises_small_kernels() {
+        // Eq. 6 applies the ceiling per sub-kernel: four tiny sub-kernels can
+        // cost more cycles than one kernel with the same total MACs.
+        let spec = LayerSpec::deconv2d("d", Stage::DisparityRefinement, 1, 1, 4, 4, 2, 2, 0);
+        let wl = LayerWorkload::transformed(&spec);
+        let hw = HwConfig::asv_default();
+        let round = Round {
+            positions: wl.ifmap_positions(),
+            filters: vec![1; wl.sub_kernels.len()],
+            load_ifmap: true,
+            load_weights: true,
+        };
+        let cost = round_cost(&wl, &hw, &round);
+        // Four sub-kernels -> at least four cycles even though the MAC count
+        // is far below the PE count.
+        assert!(cost.compute_cycles >= wl.sub_kernels.len() as u64);
+    }
+}

@@ -1,0 +1,231 @@
+//! Whole-network scheduling under the optimization levels compared in
+//! Fig. 10 and Fig. 11.
+
+use crate::hw::HwConfig;
+use crate::solver::{convr_cost, generic_schedule, ilar_cost, schedule_cost, LayerCost};
+use crate::workload::LayerWorkload;
+use asv_dnn::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// How aggressively the software stack optimizes the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No deconvolution transformation, static buffer partition (the
+    /// conventional-accelerator baseline of Sec. 6.2).
+    Baseline,
+    /// Deconvolution-to-convolution transformation only (DCT in Fig. 11).
+    Dct,
+    /// DCT plus the per-layer data-reuse optimizer, without inter-layer
+    /// activation reuse (ConvR).
+    ConvR,
+    /// The full ASV software stack: DCT plus the reuse optimizer exploiting
+    /// ILAR (ILAR).
+    Ilar,
+}
+
+impl OptLevel {
+    /// All levels in ascending order of sophistication.
+    pub fn all() -> [OptLevel; 4] {
+        [OptLevel::Baseline, OptLevel::Dct, OptLevel::ConvR, OptLevel::Ilar]
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "baseline",
+            OptLevel::Dct => "DCT",
+            OptLevel::ConvR => "ConvR",
+            OptLevel::Ilar => "ILAR",
+        }
+    }
+}
+
+/// Cost of one layer within a scheduled network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Whether the layer is a deconvolution.
+    pub is_deconv: bool,
+    /// The layer's cost.
+    pub cost: LayerCost,
+}
+
+/// Cost of a whole network under one optimization level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Network name.
+    pub network: String,
+    /// Optimization level used.
+    pub level: OptLevel,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Total latency in cycles.
+    pub total_cycles: u64,
+    /// Total multiply-accumulates.
+    pub total_macs: u64,
+    /// Total DRAM traffic in bytes.
+    pub total_dram_bytes: u64,
+    /// Total SRAM traffic in bytes.
+    pub total_sram_bytes: u64,
+}
+
+impl NetworkCost {
+    /// Summed cost of deconvolution layers only (the basis of Fig. 11a).
+    pub fn deconv_cost(&self) -> LayerCost {
+        let mut total = LayerCost::default();
+        for layer in self.layers.iter().filter(|l| l.is_deconv) {
+            total.accumulate(&layer.cost);
+        }
+        total
+    }
+
+    /// Summed cost of every layer.
+    pub fn total_cost(&self) -> LayerCost {
+        let mut total = LayerCost::default();
+        for layer in &self.layers {
+            total.accumulate(&layer.cost);
+        }
+        total
+    }
+}
+
+/// Picks the cheaper of two layer costs (cycles first, DRAM traffic as the
+/// tie breaker).
+fn better_of(a: LayerCost, b: LayerCost) -> LayerCost {
+    if a.cycles < b.cycles || (a.cycles == b.cycles && a.dram_bytes() <= b.dram_bytes()) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Schedules every layer of `network` on `hw` at the given optimization
+/// level and returns the accumulated cost.
+pub fn schedule_network(network: &NetworkSpec, hw: &HwConfig, level: OptLevel) -> NetworkCost {
+    let mut layers = Vec::with_capacity(network.layers.len());
+    let mut total = LayerCost::default();
+    for spec in &network.layers {
+        let is_deconv = spec.op.is_deconv();
+        let cost = match level {
+            OptLevel::Baseline => {
+                let wl = LayerWorkload::naive(spec);
+                schedule_cost(&wl, hw, &generic_schedule(&wl, hw))
+            }
+            OptLevel::Dct => {
+                let wl = LayerWorkload::transformed(spec);
+                schedule_cost(&wl, hw, &generic_schedule(&wl, hw))
+            }
+            OptLevel::ConvR => {
+                // The reuse optimizer never selects a schedule worse than the
+                // generic one it starts from.
+                let wl = LayerWorkload::transformed(spec);
+                let generic = schedule_cost(&wl, hw, &generic_schedule(&wl, hw));
+                better_of(convr_cost(&wl, hw), generic)
+            }
+            OptLevel::Ilar => {
+                // ILAR's search space strictly contains ConvR's (it may simply
+                // choose not to share the ifmap), so keep whichever is better.
+                let wl = LayerWorkload::transformed(spec);
+                let generic = schedule_cost(&wl, hw, &generic_schedule(&wl, hw));
+                better_of(ilar_cost(&wl, hw), better_of(convr_cost(&wl, hw), generic))
+            }
+        };
+        total.accumulate(&cost);
+        layers.push(LayerReport { name: spec.name.clone(), is_deconv, cost });
+    }
+    NetworkCost {
+        network: network.name.clone(),
+        level,
+        layers,
+        total_cycles: total.cycles,
+        total_macs: total.macs,
+        total_dram_bytes: total.dram_bytes(),
+        total_sram_bytes: total.sram_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_dnn::zoo;
+
+    fn small_suite() -> Vec<asv_dnn::NetworkSpec> {
+        zoo::suite(96, 192, 48)
+    }
+
+    #[test]
+    fn optimization_levels_improve_monotonically() {
+        let hw = HwConfig::asv_default();
+        for net in small_suite() {
+            let costs: Vec<NetworkCost> =
+                OptLevel::all().iter().map(|&lvl| schedule_network(&net, &hw, lvl)).collect();
+            // Cycles: baseline ≥ DCT ≥ ConvR ≥ ILAR.
+            for pair in costs.windows(2) {
+                assert!(
+                    pair[1].total_cycles <= pair[0].total_cycles,
+                    "{}: {} ({}) vs {} ({})",
+                    net.name,
+                    pair[0].level.label(),
+                    pair[0].total_cycles,
+                    pair[1].level.label(),
+                    pair[1].total_cycles
+                );
+            }
+            // DRAM traffic: ILAR no worse than ConvR.
+            assert!(costs[3].total_dram_bytes <= costs[2].total_dram_bytes, "{}", net.name);
+        }
+    }
+
+    #[test]
+    fn dct_speedup_on_deconv_layers_matches_sparsity() {
+        // The transformation removes the zero-operand MACs: deconvolution-only
+        // MACs drop by ~4x for 2-D networks and ~8x for 3-D networks.
+        let hw = HwConfig::asv_default();
+        for net in small_suite() {
+            let baseline = schedule_network(&net, &hw, OptLevel::Baseline);
+            let dct = schedule_network(&net, &hw, OptLevel::Dct);
+            let ratio = baseline.deconv_cost().macs as f64 / dct.deconv_cost().macs as f64;
+            if net.is_3d {
+                assert!(ratio > 5.0, "{}: mac ratio {ratio}", net.name);
+            } else {
+                assert!(ratio > 3.0 && ratio < 5.0, "{}: mac ratio {ratio}", net.name);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_network_speedup_is_in_paper_band() {
+        // Fig. 11b: deconvolution optimizations alone speed up the whole
+        // network by roughly 1.4x - 1.6x on average.
+        let hw = HwConfig::asv_default();
+        let mut speedups = Vec::new();
+        for net in small_suite() {
+            let baseline = schedule_network(&net, &hw, OptLevel::Baseline);
+            let ilar = schedule_network(&net, &hw, OptLevel::Ilar);
+            speedups.push(baseline.total_cycles as f64 / ilar.total_cycles as f64);
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        assert!(avg > 1.15 && avg < 3.0, "average DCO speedup {avg}");
+    }
+
+    #[test]
+    fn deconv_cost_covers_only_deconv_layers() {
+        let hw = HwConfig::asv_default();
+        let net = zoo::dispnet(96, 192);
+        let cost = schedule_network(&net, &hw, OptLevel::Ilar);
+        let deconv = cost.deconv_cost();
+        let total = cost.total_cost();
+        assert!(deconv.cycles < total.cycles);
+        assert!(deconv.macs > 0);
+        assert_eq!(total.cycles, cost.total_cycles);
+        assert_eq!(total.dram_bytes(), cost.total_dram_bytes);
+    }
+
+    #[test]
+    fn level_labels_are_stable() {
+        assert_eq!(OptLevel::Baseline.label(), "baseline");
+        assert_eq!(OptLevel::Ilar.label(), "ILAR");
+        assert_eq!(OptLevel::all().len(), 4);
+    }
+}

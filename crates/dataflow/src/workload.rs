@@ -1,0 +1,341 @@
+//! Per-layer workloads as seen by the scheduler.
+//!
+//! A [`LayerWorkload`] is the scheduler's view of one layer: the ifmap volume
+//! it must stream, the list of (sub-)kernels that consume that ifmap, and how
+//! many output elements each filter produces per ifmap position.  Dense
+//! convolutions have exactly one entry in the sub-kernel list; transformed
+//! deconvolutions have `2^N` entries sharing the same ifmap — which is
+//! precisely the structure inter-layer activation reuse (ILAR) exploits.
+
+use asv_deconv::decompose::sub_kernel_shapes;
+use asv_dnn::{LayerOp, LayerSpec};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per activation/weight element (16-bit fixed point).
+pub const ELEMENT_BYTES: u64 = 2;
+
+/// One (sub-)kernel consuming the workload's ifmap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubKernel {
+    /// Kernel depth (1 for 2-D layers).
+    pub kd: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+impl SubKernel {
+    /// Spatial volume of the sub-kernel.
+    pub fn volume(&self) -> u64 {
+        (self.kd * self.kh * self.kw) as u64
+    }
+}
+
+/// The scheduler's view of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerWorkload {
+    /// Layer name (propagated from the network description).
+    pub name: String,
+    /// Input channels (`I` in Eq. 6).
+    pub in_channels: usize,
+    /// Output channels per sub-kernel (`C` in Eq. 11).
+    pub out_channels: usize,
+    /// Ifmap depth (1 for 2-D layers).
+    pub ifmap_d: usize,
+    /// Ifmap height.
+    pub ifmap_h: usize,
+    /// Ifmap width.
+    pub ifmap_w: usize,
+    /// Sub-kernels sharing this ifmap (1 for a dense convolution, `2^N` for a
+    /// transformed deconvolution).
+    pub sub_kernels: Vec<SubKernel>,
+    /// Output positions produced per ifmap position per filter (1/s² for a
+    /// stride-`s` convolution, ≈ 1 for transformed-deconvolution
+    /// sub-convolutions).
+    pub ofmap_per_position: f64,
+    /// Whether this workload came from a deconvolution layer.
+    pub from_deconv: bool,
+}
+
+impl LayerWorkload {
+    /// Total ifmap positions (`D × H × W`).
+    pub fn ifmap_positions(&self) -> u64 {
+        (self.ifmap_d * self.ifmap_h * self.ifmap_w) as u64
+    }
+
+    /// Total ifmap bytes.
+    pub fn ifmap_bytes(&self) -> u64 {
+        self.ifmap_positions() * self.in_channels as u64 * ELEMENT_BYTES
+    }
+
+    /// Bytes of one filter of sub-kernel `k` (all input channels).
+    pub fn filter_bytes(&self, k: usize) -> u64 {
+        self.sub_kernels[k].volume() * self.in_channels as u64 * ELEMENT_BYTES
+    }
+
+    /// Total weight bytes across every sub-kernel and filter.
+    pub fn total_weight_bytes(&self) -> u64 {
+        (0..self.sub_kernels.len())
+            .map(|k| self.filter_bytes(k) * self.out_channels as u64)
+            .sum()
+    }
+
+    /// Total ofmap bytes produced by the layer.
+    pub fn total_ofmap_bytes(&self) -> u64 {
+        let per_kernel =
+            (self.ifmap_positions() as f64 * self.ofmap_per_position).ceil() as u64 * self.out_channels as u64;
+        per_kernel * self.sub_kernels.len() as u64 * ELEMENT_BYTES
+    }
+
+    /// Multiply-accumulates of the whole layer.
+    pub fn total_macs(&self) -> u64 {
+        self.sub_kernels
+            .iter()
+            .map(|sk| {
+                (self.ifmap_positions() as f64
+                    * self.ofmap_per_position
+                    * self.in_channels as f64
+                    * self.out_channels as f64
+                    * sk.volume() as f64)
+                    .ceil() as u64
+            })
+            .sum()
+    }
+
+    /// MACs performed by one filter of sub-kernel `k` on an ifmap tile of
+    /// `positions` ifmap positions.
+    pub fn macs_per_filter(&self, k: usize, positions: u64) -> u64 {
+        (positions as f64 * self.ofmap_per_position * self.in_channels as f64 * self.sub_kernels[k].volume() as f64)
+            .ceil() as u64
+    }
+
+    /// Builds the workload of a dense convolution or of a *naive* (untransformed)
+    /// deconvolution, which a conventional accelerator executes as a dense
+    /// convolution over the zero-upsampled ifmap.
+    pub fn naive(spec: &LayerSpec) -> Self {
+        match spec.op {
+            LayerOp::Conv2d { kh, kw, stride, .. } => {
+                let (_, oh, ow) = spec.output_dims();
+                let ratio = if spec.in_h * spec.in_w == 0 {
+                    0.0
+                } else {
+                    (oh * ow) as f64 / (spec.in_h * spec.in_w) as f64
+                };
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: 1,
+                    ifmap_h: spec.in_h,
+                    ifmap_w: spec.in_w,
+                    sub_kernels: vec![SubKernel { kd: 1, kh, kw }],
+                    ofmap_per_position: ratio,
+                    from_deconv: false,
+                }
+                .validated(stride)
+            }
+            LayerOp::Conv3d { kd, kh, kw, stride, .. } => {
+                let (od, oh, ow) = spec.output_dims();
+                let in_vol = spec.in_d * spec.in_h * spec.in_w;
+                let ratio = if in_vol == 0 { 0.0 } else { (od * oh * ow) as f64 / in_vol as f64 };
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: spec.in_d,
+                    ifmap_h: spec.in_h,
+                    ifmap_w: spec.in_w,
+                    sub_kernels: vec![SubKernel { kd, kh, kw }],
+                    ofmap_per_position: ratio,
+                    from_deconv: false,
+                }
+                .validated(stride)
+            }
+            LayerOp::Deconv2d { kh, kw, .. } => {
+                // Naive execution convolves the upsampled ifmap; the workload
+                // therefore streams (and tiles over) the output-sized map.
+                let (_, oh, ow) = spec.output_dims();
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: 1,
+                    ifmap_h: oh,
+                    ifmap_w: ow,
+                    sub_kernels: vec![SubKernel { kd: 1, kh, kw }],
+                    ofmap_per_position: 1.0,
+                    from_deconv: true,
+                }
+            }
+            LayerOp::Deconv3d { kd, kh, kw, .. } => {
+                let (od, oh, ow) = spec.output_dims();
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: od,
+                    ifmap_h: oh,
+                    ifmap_w: ow,
+                    sub_kernels: vec![SubKernel { kd, kh, kw }],
+                    ofmap_per_position: 1.0,
+                    from_deconv: true,
+                }
+            }
+            LayerOp::Pointwise { .. } => Self {
+                name: spec.name.clone(),
+                in_channels: spec.in_channels,
+                out_channels: spec.out_channels,
+                ifmap_d: spec.in_d,
+                ifmap_h: spec.in_h,
+                ifmap_w: spec.in_w,
+                sub_kernels: Vec::new(),
+                ofmap_per_position: 1.0,
+                from_deconv: false,
+            },
+        }
+    }
+
+    fn validated(self, _stride: usize) -> Self {
+        self
+    }
+
+    /// Builds the workload of a layer after the deconvolution transformation:
+    /// deconvolutions become a set of sub-kernels sharing the original
+    /// (small) ifmap; other layers are unchanged.
+    pub fn transformed(spec: &LayerSpec) -> Self {
+        match spec.op {
+            LayerOp::Deconv2d { kh, kw, .. } => {
+                let shapes = sub_kernel_shapes(&[kh, kw]);
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: 1,
+                    ifmap_h: spec.in_h,
+                    ifmap_w: spec.in_w,
+                    sub_kernels: shapes
+                        .into_iter()
+                        .filter(|s| s.iter().all(|&d| d > 0))
+                        .map(|s| SubKernel { kd: 1, kh: s[0], kw: s[1] })
+                        .collect(),
+                    ofmap_per_position: 1.0,
+                    from_deconv: true,
+                }
+            }
+            LayerOp::Deconv3d { kd, kh, kw, .. } => {
+                let shapes = sub_kernel_shapes(&[kd, kh, kw]);
+                Self {
+                    name: spec.name.clone(),
+                    in_channels: spec.in_channels,
+                    out_channels: spec.out_channels,
+                    ifmap_d: spec.in_d,
+                    ifmap_h: spec.in_h,
+                    ifmap_w: spec.in_w,
+                    sub_kernels: shapes
+                        .into_iter()
+                        .filter(|s| s.iter().all(|&d| d > 0))
+                        .map(|s| SubKernel { kd: s[0], kh: s[1], kw: s[2] })
+                        .collect(),
+                    ofmap_per_position: 1.0,
+                    from_deconv: true,
+                }
+            }
+            _ => Self::naive(spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_dnn::Stage;
+
+    #[test]
+    fn conv_workload_matches_layer_spec_macs() {
+        let spec = LayerSpec::conv2d("c", Stage::FeatureExtraction, 16, 32, 64, 64, 3, 1, 1);
+        let wl = LayerWorkload::naive(&spec);
+        assert_eq!(wl.sub_kernels.len(), 1);
+        // Same-resolution conv: workload MACs equal the spec's MACs exactly.
+        assert_eq!(wl.total_macs(), spec.effective_macs());
+        assert_eq!(wl.ifmap_bytes(), spec.ifmap_bytes());
+        assert_eq!(wl.total_weight_bytes(), spec.weight_bytes());
+        assert!(!wl.from_deconv);
+    }
+
+    #[test]
+    fn strided_conv_reduces_ofmap_ratio() {
+        let spec = LayerSpec::conv2d("c", Stage::FeatureExtraction, 16, 32, 64, 64, 3, 2, 1);
+        let wl = LayerWorkload::naive(&spec);
+        assert!(wl.ofmap_per_position < 0.3);
+        // MAC counts agree with the layer spec to within rounding.
+        let a = wl.total_macs() as f64;
+        let b = spec.effective_macs() as f64;
+        assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn naive_deconv_streams_output_sized_map() {
+        let spec = LayerSpec::deconv2d("d", Stage::DisparityRefinement, 64, 32, 30, 40, 4, 2, 1);
+        let wl = LayerWorkload::naive(&spec);
+        let (_, oh, ow) = spec.output_dims();
+        assert_eq!((wl.ifmap_h, wl.ifmap_w), (oh, ow));
+        assert!(wl.from_deconv);
+        // Naive MACs are ~4x the transformed MACs for stride-2 2-D deconvolution.
+        let transformed = LayerWorkload::transformed(&spec);
+        let ratio = wl.total_macs() as f64 / transformed.total_macs() as f64;
+        assert!(ratio > 3.5 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn transformed_deconv_has_four_sub_kernels_sharing_ifmap() {
+        let spec = LayerSpec::deconv2d("d", Stage::DisparityRefinement, 64, 32, 30, 40, 4, 2, 1);
+        let wl = LayerWorkload::transformed(&spec);
+        assert_eq!(wl.sub_kernels.len(), 4);
+        assert_eq!((wl.ifmap_h, wl.ifmap_w), (30, 40));
+        // 4x4 kernel decomposes into four 2x2 sub-kernels: total weight volume
+        // preserved.
+        assert_eq!(wl.total_weight_bytes(), spec.weight_bytes());
+        // Transformed MACs match the spec's effective (non-zero) MACs closely.
+        let a = wl.total_macs() as f64;
+        let b = spec.effective_macs() as f64;
+        assert!((a - b).abs() / b < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn transformed_3d_deconv_has_eight_sub_kernels() {
+        let spec = LayerSpec::deconv3d("d3", Stage::DisparityRefinement, 32, 16, 12, 20, 24, 3, 2, 1);
+        let wl = LayerWorkload::transformed(&spec);
+        assert_eq!(wl.sub_kernels.len(), 8);
+        assert_eq!(wl.total_weight_bytes(), spec.weight_bytes());
+        let naive = LayerWorkload::naive(&spec);
+        let ratio = naive.total_macs() as f64 / wl.total_macs() as f64;
+        assert!(ratio > 6.0 && ratio < 9.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn filter_bytes_and_macs_per_filter() {
+        let spec = LayerSpec::deconv2d("d", Stage::DisparityRefinement, 8, 4, 10, 10, 3, 2, 1);
+        let wl = LayerWorkload::transformed(&spec);
+        // Largest sub-kernel of a 3x3 kernel is 2x2.
+        let largest = wl
+            .sub_kernels
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, sk)| sk.volume())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(wl.sub_kernels[largest].volume(), 4);
+        assert_eq!(wl.filter_bytes(largest), 4 * 8 * ELEMENT_BYTES);
+        assert_eq!(wl.macs_per_filter(largest, 100), 100 * 8 * 4);
+    }
+
+    #[test]
+    fn pointwise_layers_have_no_sub_kernels() {
+        let spec = LayerSpec::pointwise("relu", Stage::Other, 16, 1, 8, 8, 1);
+        let wl = LayerWorkload::naive(&spec);
+        assert!(wl.sub_kernels.is_empty());
+        assert_eq!(wl.total_macs(), 0);
+        assert_eq!(LayerWorkload::transformed(&spec), wl);
+    }
+}

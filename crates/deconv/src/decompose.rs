@@ -1,0 +1,281 @@
+//! Sub-kernel decomposition (Sec. 4.1 and Appendix A).
+//!
+//! A kernel element at index `(k0, k1, ..., k_{N-1})` lands in the sub-kernel
+//! selected by the parity of each index: sub-kernel `k` (with binary digits
+//! `δ_j = (k >> j) & 1`) holds element `(i0, ..., i_{N-1})` taken from kernel
+//! position `(2·i0 + δ0, ..., 2·i_{N-1} + δ_{N-1})`.  This module implements
+//! that extraction for 2-D and 3-D kernels stored as `asv-tensor` tensors, and
+//! exposes the shape formula for arbitrary dimensionality so the scheduling
+//! code can size sub-kernels without materialising them.
+
+use asv_tensor::{Shape4, Shape5, Tensor4, Tensor5, TensorError};
+
+/// Result alias matching `asv-tensor`'s error type.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Shapes of the `2^dims.len()` sub-kernels produced by decomposing a kernel
+/// with the given per-dimension sizes (stride-2 decomposition, Appendix A).
+///
+/// Sub-kernel `k` has, along dimension `j`, size
+/// `floor((dims[j] - δ_j + 1) / 2)` with `δ_j = (k >> j) & 1`, i.e.
+/// `ceil(dims[j] / 2)` when `δ_j = 0` and `floor(dims[j] / 2)` when
+/// `δ_j = 1`.
+pub fn sub_kernel_shapes(dims: &[usize]) -> Vec<Vec<usize>> {
+    let n = dims.len();
+    (0..(1usize << n))
+        .map(|k| {
+            dims.iter()
+                .enumerate()
+                .map(|(j, &size)| {
+                    let delta = (k >> j) & 1;
+                    (size + 1 - delta) / 2
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sub-kernel element lookup of Appendix A: the element at `coords` of
+/// sub-kernel `k` comes from this index of the original kernel (one entry per
+/// dimension), or `None` if the sub-kernel does not extend that far.
+pub fn source_index(dims: &[usize], k: usize, coords: &[usize]) -> Option<Vec<usize>> {
+    if coords.len() != dims.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(dims.len());
+    for (j, (&size, &c)) in dims.iter().zip(coords).enumerate() {
+        let delta = (k >> j) & 1;
+        let idx = 2 * c + delta;
+        if idx >= size {
+            return None;
+        }
+        out.push(idx);
+    }
+    Some(out)
+}
+
+/// The four sub-kernels of a 2-D deconvolution kernel, indexed by the parity
+/// `(δ_row, δ_col)` of the kernel elements they contain.
+///
+/// Each sub-kernel keeps the `Co×Ci` channel layout of the original kernel;
+/// only the spatial extent shrinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubKernelGrid2d {
+    /// `kernels[δ_row][δ_col]`.
+    kernels: [[Tensor4; 2]; 2],
+}
+
+impl SubKernelGrid2d {
+    /// Sub-kernel with row parity `dy` and column parity `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy` or `dx` is not 0 or 1.
+    pub fn get(&self, dy: usize, dx: usize) -> &Tensor4 {
+        &self.kernels[dy][dx]
+    }
+
+    /// Iterates the four sub-kernels along with their `(δ_row, δ_col)`
+    /// parities, in the paper's S0..S3 order (S0 = even/even).
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &Tensor4)> {
+        [(0usize, 0usize), (1, 0), (0, 1), (1, 1)]
+            .into_iter()
+            .map(move |(dy, dx)| ((dy, dx), &self.kernels[dy][dx]))
+    }
+
+    /// Total number of kernel elements across all sub-kernels (must equal the
+    /// element count of the original kernel).
+    pub fn total_elements(&self) -> usize {
+        self.iter().map(|(_, k)| k.shape().volume()).sum()
+    }
+}
+
+/// Decomposes a 2-D deconvolution kernel (`Co×Ci×KH×KW`) into its four
+/// sub-kernels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for an empty kernel.
+pub fn decompose_kernel2d(kernel: &Tensor4) -> Result<SubKernelGrid2d> {
+    let sh = kernel.shape();
+    if sh.h == 0 || sh.w == 0 || sh.n == 0 || sh.c == 0 {
+        return Err(TensorError::invalid_parameter("cannot decompose an empty kernel"));
+    }
+    let build = |dy: usize, dx: usize| -> Tensor4 {
+        let sub_h = (sh.h + 1 - dy) / 2;
+        let sub_w = (sh.w + 1 - dx) / 2;
+        Tensor4::from_fn(Shape4::new(sh.n, sh.c, sub_h, sub_w), |oc, ic, i, j| {
+            kernel.at(oc, ic, 2 * i + dy, 2 * j + dx)
+        })
+    };
+    Ok(SubKernelGrid2d { kernels: [[build(0, 0), build(0, 1)], [build(1, 0), build(1, 1)]] })
+}
+
+/// The eight sub-kernels of a 3-D deconvolution kernel, indexed by
+/// `(δ_depth, δ_row, δ_col)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubKernelGrid3d {
+    kernels: Vec<Tensor5>,
+}
+
+impl SubKernelGrid3d {
+    /// Sub-kernel with depth/row/column parities `(dz, dy, dx)`.
+    pub fn get(&self, dz: usize, dy: usize, dx: usize) -> &Tensor5 {
+        &self.kernels[(dz << 2) | (dy << 1) | dx]
+    }
+
+    /// Iterates all eight sub-kernels with their parities.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize, usize), &Tensor5)> {
+        self.kernels.iter().enumerate().map(|(i, k)| (((i >> 2) & 1, (i >> 1) & 1, i & 1), k))
+    }
+
+    /// Total number of kernel elements across all sub-kernels.
+    pub fn total_elements(&self) -> usize {
+        self.kernels.iter().map(|k| k.shape().volume()).sum()
+    }
+}
+
+/// Decomposes a 3-D deconvolution kernel (`Co×Ci×KD×KH×KW`) into its eight
+/// sub-kernels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for an empty kernel.
+pub fn decompose_kernel3d(kernel: &Tensor5) -> Result<SubKernelGrid3d> {
+    let sh = kernel.shape();
+    if sh.d == 0 || sh.h == 0 || sh.w == 0 || sh.n == 0 || sh.c == 0 {
+        return Err(TensorError::invalid_parameter("cannot decompose an empty kernel"));
+    }
+    let mut kernels = Vec::with_capacity(8);
+    for index in 0..8usize {
+        let dz = (index >> 2) & 1;
+        let dy = (index >> 1) & 1;
+        let dx = index & 1;
+        let sub_d = (sh.d + 1 - dz) / 2;
+        let sub_h = (sh.h + 1 - dy) / 2;
+        let sub_w = (sh.w + 1 - dx) / 2;
+        kernels.push(Tensor5::from_fn(
+            Shape5::new(sh.n, sh.c, sub_d, sub_h, sub_w),
+            |oc, ic, d, i, j| kernel.at(oc, ic, 2 * d + dz, 2 * i + dy, 2 * j + dx),
+        ));
+    }
+    Ok(SubKernelGrid3d { kernels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_for_3x3_kernel_match_paper() {
+        // Paper Sec. 4.1: a 3×3 kernel decomposes into 2×2, 1×2, 2×1 and 1×1
+        // sub-kernels.
+        let shapes = sub_kernel_shapes(&[3, 3]);
+        assert_eq!(shapes.len(), 4);
+        assert_eq!(shapes[0], vec![2, 2]); // δ = (0,0)
+        assert_eq!(shapes[1], vec![1, 2]); // δ = (1,0): rows floor(3/2)=1
+        assert_eq!(shapes[2], vec![2, 1]);
+        assert_eq!(shapes[3], vec![1, 1]);
+    }
+
+    #[test]
+    fn shapes_preserve_total_element_count() {
+        for dims in [vec![3, 3], vec![4, 4], vec![5, 3], vec![3, 3, 3], vec![4, 4, 4], vec![2, 5, 7]] {
+            let total: usize = sub_kernel_shapes(&dims)
+                .iter()
+                .map(|s| s.iter().product::<usize>())
+                .sum();
+            let expected: usize = dims.iter().product();
+            assert_eq!(total, expected, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn source_index_follows_appendix_a() {
+        // For sub-kernel k with δ_j = (k >> j) & 1, element (i, j) comes from
+        // kernel (2i + δ0, 2j + δ1).  Dimension order here is (row, col) with
+        // bit 0 = row.
+        let idx = source_index(&[3, 3], 0b00, &[1, 1]).unwrap();
+        assert_eq!(idx, vec![2, 2]);
+        let idx = source_index(&[3, 3], 0b01, &[0, 1]).unwrap();
+        assert_eq!(idx, vec![1, 2]);
+        assert!(source_index(&[3, 3], 0b01, &[1, 0]).is_none()); // row 3 out of range
+        assert!(source_index(&[3, 3], 0, &[0]).is_none()); // wrong arity
+    }
+
+    #[test]
+    fn decompose_3x3_extracts_named_elements() {
+        // Kernel [a b c; d e f; g h i] = 1..9 row-major.
+        let kernel = Tensor4::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w + 1) as f32);
+        let grid = decompose_kernel2d(&kernel).unwrap();
+        // S(0,0): even rows and columns → [a c; g i] = [1 3; 7 9].
+        assert_eq!(grid.get(0, 0).as_slice(), &[1.0, 3.0, 7.0, 9.0]);
+        // S(1,0): odd rows, even columns → [d f] = [4 6].
+        assert_eq!(grid.get(1, 0).as_slice(), &[4.0, 6.0]);
+        // S(0,1): even rows, odd columns → [b; h] = [2; 8].
+        assert_eq!(grid.get(0, 1).as_slice(), &[2.0, 8.0]);
+        // S(1,1): odd rows and columns → [e] = [5].
+        assert_eq!(grid.get(1, 1).as_slice(), &[5.0]);
+        assert_eq!(grid.total_elements(), 9);
+    }
+
+    #[test]
+    fn decompose_4x4_covers_all_elements_once() {
+        let kernel = Tensor4::from_fn(Shape4::new(2, 3, 4, 4), |oc, ic, h, w| {
+            (oc * 1000 + ic * 100 + h * 10 + w) as f32
+        });
+        let grid = decompose_kernel2d(&kernel).unwrap();
+        assert_eq!(grid.total_elements(), 2 * 3 * 16);
+        // Every sub-kernel of a 4x4 kernel is 2x2.
+        for (_, sub) in grid.iter() {
+            assert_eq!(sub.shape().h, 2);
+            assert_eq!(sub.shape().w, 2);
+            assert_eq!(sub.shape().n, 2);
+            assert_eq!(sub.shape().c, 3);
+        }
+        // Sum of all sub-kernel elements equals the sum of the original.
+        let sub_sum: f64 = grid.iter().map(|(_, k)| k.sum()).sum();
+        assert!((sub_sum - kernel.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn decompose_rejects_empty_kernels() {
+        let empty = Tensor4::zeros(Shape4::new(0, 1, 3, 3));
+        assert!(decompose_kernel2d(&empty).is_err());
+        let empty3 = Tensor5::zeros(Shape5::new(1, 1, 0, 3, 3));
+        assert!(decompose_kernel3d(&empty3).is_err());
+    }
+
+    #[test]
+    fn decompose_3d_produces_eight_sub_kernels() {
+        let kernel = Tensor5::from_fn(Shape5::new(1, 2, 3, 3, 3), |_, ic, d, h, w| {
+            (ic * 1000 + d * 100 + h * 10 + w) as f32
+        });
+        let grid = decompose_kernel3d(&kernel).unwrap();
+        assert_eq!(grid.iter().count(), 8);
+        assert_eq!(grid.total_elements(), 2 * 27);
+        // δ = (0,0,0) holds the 2x2x2 even-index corner sub-kernel.
+        let s0 = grid.get(0, 0, 0);
+        assert_eq!(s0.shape().d, 2);
+        assert_eq!(s0.at(0, 0, 1, 1, 1), (200 + 20 + 2) as f32);
+        // δ = (1,1,1) holds the single centre element (1,1,1) per channel pair.
+        let s7 = grid.get(1, 1, 1);
+        assert_eq!((s7.shape().d, s7.shape().h, s7.shape().w), (1, 1, 1));
+        assert_eq!(s7.at(0, 0, 0, 0, 0), (100 + 10 + 1) as f32);
+        let s7b = grid.get(1, 1, 1);
+        assert_eq!(s7b.at(0, 1, 0, 0, 0), (1000 + 100 + 10 + 1) as f32);
+    }
+
+    #[test]
+    fn shapes_agree_with_materialised_decomposition() {
+        let kernel = Tensor4::from_fn(Shape4::new(1, 1, 5, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let grid = decompose_kernel2d(&kernel).unwrap();
+        let shapes = sub_kernel_shapes(&[5, 4]);
+        // Order in sub_kernel_shapes: bit 0 = first dim (rows).
+        assert_eq!(grid.get(0, 0).shape().h, shapes[0][0]);
+        assert_eq!(grid.get(0, 0).shape().w, shapes[0][1]);
+        assert_eq!(grid.get(1, 0).shape().h, shapes[1][0]);
+        assert_eq!(grid.get(0, 1).shape().w, shapes[2][1]);
+        assert_eq!(grid.get(1, 1).shape().h, shapes[3][0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Software deconvolution transformation (Sec. 4.1 and Appendix A of the ASV
+//! paper).
+//!
+//! A stride-2 deconvolution computed the standard way first upsamples its
+//! ifmap with interleaved zeros and then runs a dense convolution over the
+//! enlarged map; in 2-D three quarters of the multiply-accumulates then have a
+//! zero operand (seven eighths in 3-D).  The ASV observation is that the
+//! non-zero work decomposes *exactly* into `2^N` dense convolutions of the
+//! original ifmap with `2^N` sub-kernels extracted from the original kernel by
+//! index parity, followed by a gather that interleaves the partial outputs.
+//! Dense convolutions are what systolic-array DNN accelerators are built for,
+//! so the transformation removes the sparsity without any hardware support —
+//! and because every sub-convolution reads the *same* ifmap, it exposes the
+//! inter-layer activation reuse (ILAR) that the `asv-dataflow` crate
+//! schedules for.
+//!
+//! This crate provides:
+//!
+//! * [`decompose`] — sub-kernel extraction for 2-D and 3-D kernels, plus the
+//!   general N-dimensional index formula of Appendix A.
+//! * [`transform`] — the transformed deconvolution itself (sub-convolutions +
+//!   gather), equivalence-tested against two independent reference
+//!   implementations.
+//!
+//! # Convention
+//!
+//! The transform follows the paper's formulation of deconvolution: the ifmap
+//! is zero-upsampled *with a surrounding zero ring* (a 3×3 ifmap becomes 7×7
+//! as in Fig. 6) and then cross-correlated with the kernel as stored.
+//! Deep-learning frameworks use the spatially flipped kernel instead; the two
+//! conventions are related by [`transform::flip_kernel2d`] and the
+//! equivalence is covered by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use asv_tensor::{Tensor4, Shape4};
+//! use asv_deconv::transform::{paper_deconv2d, transformed_deconv2d};
+//!
+//! let ifmap = Tensor4::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w) as f32);
+//! let kernel = Tensor4::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w + 1) as f32);
+//! let reference = paper_deconv2d(&ifmap, &kernel, 0).unwrap();
+//! let transformed = transformed_deconv2d(&ifmap, &kernel, 0).unwrap();
+//! assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-5);
+//! ```
+
+pub mod decompose;
+pub mod transform;
+
+pub use decompose::{decompose_kernel2d, decompose_kernel3d, sub_kernel_shapes, SubKernelGrid2d};
+pub use transform::{paper_deconv2d, paper_deconv3d, transformed_deconv2d, transformed_deconv3d};

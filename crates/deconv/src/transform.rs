@@ -1,0 +1,496 @@
+//! The deconvolution-to-convolution transformation and its reference.
+//!
+//! [`paper_deconv2d`] / [`paper_deconv3d`] implement the *standard*
+//! deconvolution exactly as Fig. 6 of the paper draws it: zero-insertion
+//! upsampling with a surrounding zero ring, followed by a dense
+//! cross-correlation with the kernel.  [`transformed_deconv2d`] /
+//! [`transformed_deconv3d`] compute the same result as `2^N` dense
+//! sub-convolutions of the *original* (small) ifmap followed by a gather, the
+//! form that maps efficiently onto a systolic-array accelerator.
+
+use crate::decompose::{decompose_kernel2d, decompose_kernel3d};
+use asv_tensor::conv::{conv2d, conv3d, Conv2dParams, Conv3dParams};
+use asv_tensor::{Shape4, Shape5, Tensor4, Tensor5, TensorError};
+
+/// Result alias matching `asv-tensor`'s error type.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Upsamples an ifmap with interleaved zeros *and* a surrounding zero ring:
+/// element `(i, j)` moves to `(2i + 1, 2j + 1)` of a `(2H+1)×(2W+1)` map
+/// (a 3×3 ifmap becomes 7×7, as in Fig. 6).
+pub fn upsample_with_ring2d(input: &Tensor4) -> Tensor4 {
+    let sh = input.shape();
+    let mut out = Tensor4::zeros(Shape4::new(sh.n, sh.c, 2 * sh.h + 1, 2 * sh.w + 1));
+    for n in 0..sh.n {
+        for c in 0..sh.c {
+            for h in 0..sh.h {
+                for w in 0..sh.w {
+                    out.set(n, c, 2 * h + 1, 2 * w + 1, input.at(n, c, h, w));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 3-D analogue of [`upsample_with_ring2d`].
+pub fn upsample_with_ring3d(input: &Tensor5) -> Tensor5 {
+    let sh = input.shape();
+    let mut out = Tensor5::zeros(Shape5::new(sh.n, sh.c, 2 * sh.d + 1, 2 * sh.h + 1, 2 * sh.w + 1));
+    for n in 0..sh.n {
+        for c in 0..sh.c {
+            for d in 0..sh.d {
+                for h in 0..sh.h {
+                    for w in 0..sh.w {
+                        out.set(n, c, 2 * d + 1, 2 * h + 1, 2 * w + 1, input.at(n, c, d, h, w));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Swaps a kernel from `Co×Ci×KH×KW` to `Ci×Co×KH×KW` layout and flips it
+/// spatially — the mapping between the paper's deconvolution convention and
+/// the deep-learning-framework (`conv_transpose`) convention implemented in
+/// `asv_tensor::deconv`.
+pub fn flip_kernel2d(kernel: &Tensor4) -> Tensor4 {
+    let sh = kernel.shape();
+    Tensor4::from_fn(Shape4::new(sh.c, sh.n, sh.h, sh.w), |ci, co, ky, kx| {
+        kernel.at(co, ci, sh.h - 1 - ky, sh.w - 1 - kx)
+    })
+}
+
+fn check_channels(in_c: usize, kernel_in_c: usize, what: &str) -> Result<()> {
+    if in_c != kernel_in_c {
+        return Err(TensorError::shape_mismatch(format!(
+            "{what}: ifmap channels {in_c} vs kernel input channels {kernel_in_c}"
+        )));
+    }
+    Ok(())
+}
+
+fn crop_output(full: usize, crop: usize, what: &str) -> Result<usize> {
+    full.checked_sub(2 * crop)
+        .filter(|&v| v > 0)
+        .ok_or_else(|| TensorError::invalid_parameter(format!("{what}: crop {crop} larger than output {full}")))
+}
+
+/// Standard stride-2 deconvolution in the paper's convention: upsample with
+/// zeros (plus ring), correlate with the kernel, then crop `crop` pixels from
+/// every border.
+///
+/// `kernel` is laid out `Co×Ci×KH×KW`; the output has `Co` channels and
+/// spatial size `2·in + 2 − k − 2·crop` per dimension.
+///
+/// # Errors
+///
+/// Returns an error when channel counts disagree, when the kernel does not
+/// fit the upsampled ifmap, or when `crop` consumes the whole output.
+pub fn paper_deconv2d(input: &Tensor4, kernel: &Tensor4, crop: usize) -> Result<Tensor4> {
+    let ish = input.shape();
+    let ksh = kernel.shape();
+    check_channels(ish.c, ksh.c, "paper_deconv2d")?;
+    let full_h = (2 * ish.h + 2).checked_sub(ksh.h).ok_or_else(|| {
+        TensorError::shape_mismatch("paper_deconv2d: kernel taller than upsampled ifmap")
+    })?;
+    let full_w = (2 * ish.w + 2).checked_sub(ksh.w).ok_or_else(|| {
+        TensorError::shape_mismatch("paper_deconv2d: kernel wider than upsampled ifmap")
+    })?;
+    let out_h = crop_output(full_h, crop, "paper_deconv2d")?;
+    let out_w = crop_output(full_w, crop, "paper_deconv2d")?;
+
+    let upsampled = upsample_with_ring2d(input);
+    let full = conv2d(&upsampled, kernel, &Conv2dParams { stride: 1, padding: 0 })?;
+    debug_assert_eq!(full.shape().h, full_h);
+    debug_assert_eq!(full.shape().w, full_w);
+    Ok(Tensor4::from_fn(Shape4::new(ish.n, ksh.n, out_h, out_w), |n, c, h, w| {
+        full.at(n, c, h + crop, w + crop)
+    }))
+}
+
+/// 3-D analogue of [`paper_deconv2d`] (`kernel` laid out `Co×Ci×KD×KH×KW`).
+///
+/// # Errors
+///
+/// Same error conditions as [`paper_deconv2d`].
+pub fn paper_deconv3d(input: &Tensor5, kernel: &Tensor5, crop: usize) -> Result<Tensor5> {
+    let ish = input.shape();
+    let ksh = kernel.shape();
+    check_channels(ish.c, ksh.c, "paper_deconv3d")?;
+    let full_d = (2 * ish.d + 2)
+        .checked_sub(ksh.d)
+        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel deeper than upsampled ifmap"))?;
+    let full_h = (2 * ish.h + 2)
+        .checked_sub(ksh.h)
+        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel taller than upsampled ifmap"))?;
+    let full_w = (2 * ish.w + 2)
+        .checked_sub(ksh.w)
+        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel wider than upsampled ifmap"))?;
+    let out_d = crop_output(full_d, crop, "paper_deconv3d")?;
+    let out_h = crop_output(full_h, crop, "paper_deconv3d")?;
+    let out_w = crop_output(full_w, crop, "paper_deconv3d")?;
+
+    let upsampled = upsample_with_ring3d(input);
+    let full = conv3d(&upsampled, kernel, &Conv3dParams { stride: 1, padding: 0 })?;
+    Ok(Tensor5::from_fn(Shape5::new(ish.n, ksh.n, out_d, out_h, out_w), |n, c, d, h, w| {
+        full.at(n, c, d + crop, h + crop, w + crop)
+    }))
+}
+
+/// Number of output positions of parity `p` along one dimension, for input
+/// size `input`, kernel size `kernel` (full output size `2·input + 2 −
+/// kernel`).
+fn parity_count(input: usize, kernel: usize, p: usize) -> usize {
+    let full = 2 * input + 2 - kernel; // guaranteed ≥ 1 by callers
+    // Positions o = 2m + p with o < full.
+    if full > p {
+        (full - p).div_ceil(2)
+    } else {
+        0
+    }
+}
+
+/// The transformed stride-2 deconvolution of Sec. 4.1: four dense
+/// sub-convolutions of the original ifmap followed by a parity gather,
+/// numerically identical to [`paper_deconv2d`].
+///
+/// # Errors
+///
+/// Same error conditions as [`paper_deconv2d`].
+pub fn transformed_deconv2d(input: &Tensor4, kernel: &Tensor4, crop: usize) -> Result<Tensor4> {
+    let ish = input.shape();
+    let ksh = kernel.shape();
+    check_channels(ish.c, ksh.c, "transformed_deconv2d")?;
+    let full_h = (2 * ish.h + 2).checked_sub(ksh.h).ok_or_else(|| {
+        TensorError::shape_mismatch("transformed_deconv2d: kernel taller than upsampled ifmap")
+    })?;
+    let full_w = (2 * ish.w + 2).checked_sub(ksh.w).ok_or_else(|| {
+        TensorError::shape_mismatch("transformed_deconv2d: kernel wider than upsampled ifmap")
+    })?;
+    let out_h = crop_output(full_h, crop, "transformed_deconv2d")?;
+    let out_w = crop_output(full_w, crop, "transformed_deconv2d")?;
+
+    let grid = decompose_kernel2d(kernel)?;
+    let mut full = Tensor4::zeros(Shape4::new(ish.n, ksh.n, full_h, full_w));
+
+    // Each output parity class (p_y, p_x) is produced by one dense
+    // sub-convolution with the sub-kernel of parity δ = 1 − p.
+    for py in 0..2usize {
+        for px in 0..2usize {
+            let dy = 1 - py;
+            let dx = 1 - px;
+            let sub = grid.get(dy, dx);
+            let ssh = sub.shape();
+            if ssh.h == 0 || ssh.w == 0 {
+                continue;
+            }
+            let rows = parity_count(ish.h, ksh.h, py);
+            let cols = parity_count(ish.w, ksh.w, px);
+            for n in 0..ish.n {
+                for oc in 0..ksh.n {
+                    for m in 0..rows {
+                        for c in 0..cols {
+                            let mut acc = 0.0f32;
+                            for ic in 0..ish.c {
+                                for q in 0..ssh.h {
+                                    let iy = m + q;
+                                    if iy >= ish.h {
+                                        continue;
+                                    }
+                                    for r in 0..ssh.w {
+                                        let ix = c + r;
+                                        if ix >= ish.w {
+                                            continue;
+                                        }
+                                        acc += input.at(n, ic, iy, ix) * sub.at(oc, ic, q, r);
+                                    }
+                                }
+                            }
+                            full.set(n, oc, 2 * m + py, 2 * c + px, acc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Tensor4::from_fn(Shape4::new(ish.n, ksh.n, out_h, out_w), |n, c, h, w| {
+        full.at(n, c, h + crop, w + crop)
+    }))
+}
+
+/// 3-D analogue of [`transformed_deconv2d`]: eight dense sub-convolutions
+/// plus gather, numerically identical to [`paper_deconv3d`].
+///
+/// # Errors
+///
+/// Same error conditions as [`paper_deconv3d`].
+pub fn transformed_deconv3d(input: &Tensor5, kernel: &Tensor5, crop: usize) -> Result<Tensor5> {
+    let ish = input.shape();
+    let ksh = kernel.shape();
+    check_channels(ish.c, ksh.c, "transformed_deconv3d")?;
+    let full_d = (2 * ish.d + 2).checked_sub(ksh.d).ok_or_else(|| {
+        TensorError::shape_mismatch("transformed_deconv3d: kernel deeper than upsampled ifmap")
+    })?;
+    let full_h = (2 * ish.h + 2).checked_sub(ksh.h).ok_or_else(|| {
+        TensorError::shape_mismatch("transformed_deconv3d: kernel taller than upsampled ifmap")
+    })?;
+    let full_w = (2 * ish.w + 2).checked_sub(ksh.w).ok_or_else(|| {
+        TensorError::shape_mismatch("transformed_deconv3d: kernel wider than upsampled ifmap")
+    })?;
+    let out_d = crop_output(full_d, crop, "transformed_deconv3d")?;
+    let out_h = crop_output(full_h, crop, "transformed_deconv3d")?;
+    let out_w = crop_output(full_w, crop, "transformed_deconv3d")?;
+
+    let grid = decompose_kernel3d(kernel)?;
+    let mut full = Tensor5::zeros(Shape5::new(ish.n, ksh.n, full_d, full_h, full_w));
+
+    for pz in 0..2usize {
+        for py in 0..2usize {
+            for px in 0..2usize {
+                let sub = grid.get(1 - pz, 1 - py, 1 - px);
+                let ssh = sub.shape();
+                if ssh.d == 0 || ssh.h == 0 || ssh.w == 0 {
+                    continue;
+                }
+                let deps = parity_count(ish.d, ksh.d, pz);
+                let rows = parity_count(ish.h, ksh.h, py);
+                let cols = parity_count(ish.w, ksh.w, px);
+                for n in 0..ish.n {
+                    for oc in 0..ksh.n {
+                        for zd in 0..deps {
+                            for m in 0..rows {
+                                for c in 0..cols {
+                                    let mut acc = 0.0f32;
+                                    for ic in 0..ish.c {
+                                        for s in 0..ssh.d {
+                                            let iz = zd + s;
+                                            if iz >= ish.d {
+                                                continue;
+                                            }
+                                            for q in 0..ssh.h {
+                                                let iy = m + q;
+                                                if iy >= ish.h {
+                                                    continue;
+                                                }
+                                                for r in 0..ssh.w {
+                                                    let ix = c + r;
+                                                    if ix >= ish.w {
+                                                        continue;
+                                                    }
+                                                    acc += input.at(n, ic, iz, iy, ix)
+                                                        * sub.at(oc, ic, s, q, r);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    full.set(n, oc, 2 * zd + pz, 2 * m + py, 2 * c + px, acc);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Tensor5::from_fn(Shape5::new(ish.n, ksh.n, out_d, out_h, out_w), |n, c, d, h, w| {
+        full.at(n, c, d + crop, h + crop, w + crop)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_tensor::deconv::{deconv2d_scatter, DeconvParams};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn upsample_with_ring_matches_figure6() {
+        let input = Tensor4::filled(Shape4::new(1, 1, 3, 3), 1.0);
+        let up = upsample_with_ring2d(&input);
+        assert_eq!(up.shape(), Shape4::new(1, 1, 7, 7));
+        assert_eq!(up.sum(), 9.0);
+        assert_eq!(up.at(0, 0, 1, 1), 1.0);
+        assert_eq!(up.at(0, 0, 0, 0), 0.0);
+        assert_eq!(up.at(0, 0, 6, 6), 0.0);
+    }
+
+    #[test]
+    fn figure6_output_patterns() {
+        // Kernel [a..i] = 1..9 and an impulse ifmap with only A non-zero.
+        // Fig. 6 gives (1,1) = A·e, (1,2) = A·d + B·f, (2,1) = A·b + D·h and
+        // (2,2) = A·a + B·c + D·g + E·i; with B = D = E = 0 these reduce to
+        // A·e, A·d, A·b and A·a.
+        let mut input = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
+        input.set(0, 0, 0, 0, 1.0);
+        let kernel = Tensor4::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w + 1) as f32);
+        let out = paper_deconv2d(&input, &kernel, 0).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 5, 5));
+        assert_eq!(out.at(0, 0, 0, 0), 5.0); // (1,1) = A·e
+        assert_eq!(out.at(0, 0, 0, 1), 4.0); // (1,2) = A·d + B·f = A·d
+        assert_eq!(out.at(0, 0, 1, 0), 2.0); // (2,1) = A·b + D·h = A·b
+        assert_eq!(out.at(0, 0, 1, 1), 1.0); // (2,2) = A·a + ... = A·a
+        let transformed = transformed_deconv2d(&input, &kernel, 0).unwrap();
+        assert!(out.max_abs_diff(&transformed).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transform_matches_reference_3x3() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let input = Tensor4::random(Shape4::new(2, 3, 5, 6), -1.0, 1.0, &mut rng);
+        let kernel = Tensor4::random(Shape4::new(4, 3, 3, 3), -1.0, 1.0, &mut rng);
+        for crop in 0..2 {
+            let reference = paper_deconv2d(&input, &kernel, crop).unwrap();
+            let transformed = transformed_deconv2d(&input, &kernel, crop).unwrap();
+            assert_eq!(reference.shape(), transformed.shape());
+            assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "crop {crop}");
+        }
+    }
+
+    #[test]
+    fn transform_matches_reference_4x4() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let input = Tensor4::random(Shape4::new(1, 2, 4, 7), -1.0, 1.0, &mut rng);
+        let kernel = Tensor4::random(Shape4::new(3, 2, 4, 4), -1.0, 1.0, &mut rng);
+        let reference = paper_deconv2d(&input, &kernel, 1).unwrap();
+        let transformed = transformed_deconv2d(&input, &kernel, 1).unwrap();
+        assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn transform_handles_non_square_kernels() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let input = Tensor4::random(Shape4::new(1, 1, 4, 4), -1.0, 1.0, &mut rng);
+        for (kh, kw) in [(1, 3), (2, 5), (5, 2), (1, 1)] {
+            let kernel = Tensor4::random(Shape4::new(2, 1, kh, kw), -1.0, 1.0, &mut rng);
+            let reference = paper_deconv2d(&input, &kernel, 0).unwrap();
+            let transformed = transformed_deconv2d(&input, &kernel, 0).unwrap();
+            assert!(
+                reference.max_abs_diff(&transformed).unwrap() < 1e-4,
+                "kernel {kh}x{kw}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_convention_equals_framework_scatter_with_flipped_kernel() {
+        // paper_deconv(I, K) == conv_transpose(I, flip(K)) with stride 2 and
+        // padding (k − 2); this pins down the convention relationship.
+        let mut rng = SmallRng::seed_from_u64(45);
+        let input = Tensor4::random(Shape4::new(1, 2, 4, 5), -1.0, 1.0, &mut rng);
+        for k in [3usize, 4] {
+            let kernel = Tensor4::random(Shape4::new(3, 2, k, k), -1.0, 1.0, &mut rng);
+            let paper = paper_deconv2d(&input, &kernel, 0).unwrap();
+            let framework = deconv2d_scatter(
+                &input,
+                &flip_kernel2d(&kernel),
+                &DeconvParams { stride: 2, padding: k - 2 },
+            )
+            .unwrap();
+            assert_eq!(paper.shape(), framework.shape());
+            assert!(paper.max_abs_diff(&framework).unwrap() < 1e-4, "kernel {k}x{k}");
+        }
+    }
+
+    #[test]
+    fn transform_errors_mirror_reference_errors() {
+        let input = Tensor4::zeros(Shape4::new(1, 2, 3, 3));
+        let wrong_channels = Tensor4::zeros(Shape4::new(1, 3, 3, 3));
+        assert!(paper_deconv2d(&input, &wrong_channels, 0).is_err());
+        assert!(transformed_deconv2d(&input, &wrong_channels, 0).is_err());
+        let kernel = Tensor4::zeros(Shape4::new(1, 2, 3, 3));
+        // Crop so large the output disappears.
+        assert!(paper_deconv2d(&input, &kernel, 10).is_err());
+        assert!(transformed_deconv2d(&input, &kernel, 10).is_err());
+    }
+
+    #[test]
+    fn transform_matches_reference_3d() {
+        let mut rng = SmallRng::seed_from_u64(46);
+        let input = Tensor5::random(Shape5::new(1, 2, 3, 3, 4), -1.0, 1.0, &mut rng);
+        let kernel = Tensor5::random(Shape5::new(2, 2, 3, 3, 3), -1.0, 1.0, &mut rng);
+        for crop in 0..2 {
+            let reference = paper_deconv3d(&input, &kernel, crop).unwrap();
+            let transformed = transformed_deconv3d(&input, &kernel, crop).unwrap();
+            assert_eq!(reference.shape(), transformed.shape());
+            assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "crop {crop}");
+        }
+    }
+
+    #[test]
+    fn transformed_3d_errors_on_bad_inputs() {
+        let input = Tensor5::zeros(Shape5::new(1, 2, 2, 2, 2));
+        let wrong = Tensor5::zeros(Shape5::new(1, 3, 3, 3, 3));
+        assert!(transformed_deconv3d(&input, &wrong, 0).is_err());
+        assert!(paper_deconv3d(&input, &wrong, 0).is_err());
+    }
+
+    #[test]
+    fn parity_counts_cover_full_output() {
+        for input in 1..6usize {
+            for kernel in 1..=5usize {
+                if kernel > 2 * input + 1 {
+                    continue;
+                }
+                let full = 2 * input + 2 - kernel;
+                assert_eq!(
+                    parity_count(input, kernel, 0) + parity_count(input, kernel, 1),
+                    full,
+                    "input {input} kernel {kernel}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The transformed deconvolution equals the reference deconvolution
+        /// for arbitrary small shapes, channel counts and crops.
+        #[test]
+        fn transform_equivalence_2d(
+            h in 1usize..5,
+            w in 1usize..5,
+            kh in 1usize..5,
+            kw in 1usize..5,
+            ci in 1usize..3,
+            co in 1usize..3,
+            crop in 0usize..2,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(kh <= 2 * h + 1 && kw <= 2 * w + 1);
+            let full_h = 2 * h + 2 - kh;
+            let full_w = 2 * w + 2 - kw;
+            prop_assume!(full_h > 2 * crop && full_w > 2 * crop);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let input = Tensor4::random(Shape4::new(1, ci, h, w), -1.0, 1.0, &mut rng);
+            let kernel = Tensor4::random(Shape4::new(co, ci, kh, kw), -1.0, 1.0, &mut rng);
+            let reference = paper_deconv2d(&input, &kernel, crop).unwrap();
+            let transformed = transformed_deconv2d(&input, &kernel, crop).unwrap();
+            prop_assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4);
+        }
+
+        /// 3-D equivalence on small shapes.
+        #[test]
+        fn transform_equivalence_3d(
+            d in 1usize..3,
+            h in 1usize..3,
+            w in 1usize..3,
+            k in 1usize..4,
+            seed in 0u64..1000,
+        ) {
+            prop_assume!(k <= 2 * d + 1 && k <= 2 * h + 1 && k <= 2 * w + 1);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let input = Tensor5::random(Shape5::new(1, 2, d, h, w), -1.0, 1.0, &mut rng);
+            let kernel = Tensor5::random(Shape5::new(2, 2, k, k, k), -1.0, 1.0, &mut rng);
+            let reference = paper_deconv3d(&input, &kernel, 0).unwrap();
+            let transformed = transformed_deconv3d(&input, &kernel, 0).unwrap();
+            prop_assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4);
+        }
+    }
+}

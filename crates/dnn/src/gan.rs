@@ -1,0 +1,209 @@
+//! Generator networks of the GANs used in the GANNX comparison (Sec. 7.6,
+//! Fig. 14).
+//!
+//! All six generators are deconvolution-dominated image synthesis networks;
+//! the layer lists below follow the published generator architectures
+//! (DCGAN-style 4-stage stride-2 deconvolution stacks, scaled per network) so
+//! the deconvolution optimizations have the same structural material to work
+//! with as in the original comparison.
+
+use crate::layer::{LayerSpec, Stage};
+use crate::network::NetworkSpec;
+
+/// Builds a DCGAN-style generator: a projected latent vector reshaped to a
+/// `base_channels × 4 × 4` volume followed by stride-2 deconvolutions up to
+/// `output_size`, ending with `output_channels` image channels.
+fn deconv_generator(
+    name: &str,
+    base_channels: usize,
+    output_size: usize,
+    output_channels: usize,
+) -> NetworkSpec {
+    assert!(output_size >= 8 && output_size.is_power_of_two(), "output size must be a power of two ≥ 8");
+    let mut layers = Vec::new();
+    let mut channels = base_channels;
+    let mut size = 4usize;
+    let mut index = 0usize;
+    while size < output_size {
+        let next_size = size * 2;
+        let is_last = next_size == output_size;
+        let out_c = if is_last { output_channels } else { (channels / 2).max(output_channels) };
+        layers.push(LayerSpec::deconv2d(
+            &format!("{name}_deconv{index}"),
+            Stage::DisparityRefinement,
+            channels,
+            out_c,
+            size,
+            size,
+            4,
+            2,
+            1,
+        ));
+        layers.push(LayerSpec::pointwise(
+            &format!("{name}_act{index}"),
+            Stage::Other,
+            out_c,
+            1,
+            next_size,
+            next_size,
+            1,
+        ));
+        channels = out_c;
+        size = next_size;
+        index += 1;
+    }
+    NetworkSpec::new(name, false, layers)
+}
+
+/// DCGAN generator (64×64 RGB output).
+pub fn dcgan() -> NetworkSpec {
+    deconv_generator("DCGAN", 512, 64, 3)
+}
+
+/// GP-GAN blending generator (64×64 RGB output, wider than DCGAN).
+pub fn gp_gan() -> NetworkSpec {
+    deconv_generator("GP-GAN", 1024, 64, 3)
+}
+
+/// ArtGAN generator (128×128 RGB output).
+pub fn artgan() -> NetworkSpec {
+    deconv_generator("ArtGAN", 512, 128, 3)
+}
+
+/// MAGAN generator (64×64 RGB output, narrow).
+pub fn magan() -> NetworkSpec {
+    deconv_generator("MAGAN", 256, 64, 3)
+}
+
+/// 3D-GAN generator: 3-D deconvolutions producing a 64³ occupancy volume.
+pub fn gan3d() -> NetworkSpec {
+    let mut layers = Vec::new();
+    let mut channels = 512usize;
+    let mut size = 4usize;
+    let mut index = 0usize;
+    while size < 64 {
+        let next = size * 2;
+        let is_last = next == 64;
+        let out_c = if is_last { 1 } else { channels / 2 };
+        layers.push(LayerSpec::deconv3d(
+            &format!("3D-GAN_deconv{index}"),
+            Stage::DisparityRefinement,
+            channels,
+            out_c,
+            size,
+            size,
+            size,
+            4,
+            2,
+            1,
+        ));
+        channels = out_c;
+        size = next;
+        index += 1;
+    }
+    NetworkSpec::new("3D-GAN", true, layers)
+}
+
+/// DiscoGAN generator: an encoder/decoder image-to-image translator whose
+/// decoder half is deconvolutional.
+pub fn discogan() -> NetworkSpec {
+    let mut layers = Vec::new();
+    // Encoder (convolutions).
+    let mut channels = 3usize;
+    let mut size = 64usize;
+    for (i, out_c) in [64usize, 128, 256, 512].iter().enumerate() {
+        layers.push(LayerSpec::conv2d(
+            &format!("DiscoGAN_conv{i}"),
+            Stage::FeatureExtraction,
+            channels,
+            *out_c,
+            size,
+            size,
+            4,
+            2,
+            1,
+        ));
+        channels = *out_c;
+        size /= 2;
+    }
+    // Decoder (deconvolutions).
+    for (i, out_c) in [256usize, 128, 64, 3].iter().enumerate() {
+        layers.push(LayerSpec::deconv2d(
+            &format!("DiscoGAN_deconv{i}"),
+            Stage::DisparityRefinement,
+            channels,
+            *out_c,
+            size,
+            size,
+            4,
+            2,
+            1,
+        ));
+        channels = *out_c;
+        size *= 2;
+    }
+    NetworkSpec::new("DiscoGAN", false, layers)
+}
+
+/// The six GANs of the GANNX comparison, in the order of Fig. 14.
+pub fn gannx_suite() -> Vec<NetworkSpec> {
+    vec![dcgan(), gp_gan(), artgan(), magan(), gan3d(), discogan()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_six_generators() {
+        let suite = gannx_suite();
+        assert_eq!(suite.len(), 6);
+        let names: Vec<&str> = suite.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["DCGAN", "GP-GAN", "ArtGAN", "MAGAN", "3D-GAN", "DiscoGAN"]);
+    }
+
+    #[test]
+    fn generators_are_deconvolution_dominated() {
+        for net in gannx_suite() {
+            let frac = net.deconv_mac_fraction();
+            assert!(frac > 0.5, "{}: deconv fraction {frac}", net.name);
+        }
+    }
+
+    #[test]
+    fn output_resolution_doubles_each_deconv_stage() {
+        let net = dcgan();
+        let deconvs: Vec<_> = net.deconv_layers().collect();
+        assert_eq!(deconvs.len(), 4);
+        let (_, h, w) = deconvs.last().unwrap().output_dims();
+        assert_eq!((h, w), (64, 64));
+        let (_, h, _) = artgan().deconv_layers().last().unwrap().output_dims();
+        assert_eq!(h, 128);
+    }
+
+    #[test]
+    fn gan3d_uses_three_d_deconvolutions() {
+        let net = gan3d();
+        assert!(net.is_3d);
+        assert!(net.layers.iter().all(|l| l.op.dims() == 3));
+        let (d, h, w) = net.layers.last().unwrap().output_dims();
+        assert_eq!((d, h, w), (64, 64, 64));
+    }
+
+    #[test]
+    fn discogan_has_both_encoder_and_decoder() {
+        let net = discogan();
+        let convs = net.layers.iter().filter(|l| l.op.is_conv()).count();
+        let deconvs = net.deconv_layers().count();
+        assert_eq!(convs, 4);
+        assert_eq!(deconvs, 4);
+        let (_, h, w) = net.layers.last().unwrap().output_dims();
+        assert_eq!((h, w), (64, 64));
+    }
+
+    #[test]
+    fn wider_generators_cost_more() {
+        assert!(gp_gan().total_naive_macs() > dcgan().total_naive_macs());
+        assert!(dcgan().total_naive_macs() > magan().total_naive_macs());
+    }
+}

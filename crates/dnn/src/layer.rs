@@ -1,0 +1,481 @@
+//! Layer-level intermediate representation with arithmetic and traffic
+//! accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes per activation/weight element (the accelerator uses 16-bit
+/// fixed point, Sec. 5.2).
+pub const ELEMENT_BYTES: u64 = 2;
+
+/// Pipeline stage a layer belongs to (Sec. 2.2 of the paper): feature
+/// extraction, matching optimization or disparity refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Feature extraction (convolutional encoder).
+    FeatureExtraction,
+    /// Matching optimization (correlation / cost-volume processing).
+    MatchingOptimization,
+    /// Disparity refinement (deconvolutional decoder).
+    DisparityRefinement,
+    /// Anything else (activations, normalisation, output heads).
+    Other,
+}
+
+impl Stage {
+    /// Short label used in reports ("FE", "MO", "DR", "Other").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::FeatureExtraction => "FE",
+            Stage::MatchingOptimization => "MO",
+            Stage::DisparityRefinement => "DR",
+            Stage::Other => "Other",
+        }
+    }
+}
+
+/// The operation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerOp {
+    /// Dense 2-D convolution.
+    Conv2d {
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+    },
+    /// 2-D transposed convolution (deconvolution).
+    Deconv2d {
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Upsampling stride.
+        stride: usize,
+        /// Output cropping.
+        padding: usize,
+    },
+    /// Dense 3-D convolution.
+    Conv3d {
+        /// Kernel depth.
+        kd: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride in all three dimensions.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+    },
+    /// 3-D transposed convolution.
+    Deconv3d {
+        /// Kernel depth.
+        kd: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Upsampling stride.
+        stride: usize,
+        /// Output cropping.
+        padding: usize,
+    },
+    /// A point-wise layer (activation, element-wise op) costing
+    /// `ops_per_element` scalar operations per output element.
+    Pointwise {
+        /// Scalar operations per element.
+        ops_per_element: u64,
+    },
+}
+
+impl LayerOp {
+    /// Whether the operation is a (2-D or 3-D) deconvolution.
+    pub fn is_deconv(&self) -> bool {
+        matches!(self, LayerOp::Deconv2d { .. } | LayerOp::Deconv3d { .. })
+    }
+
+    /// Whether the operation is a (2-D or 3-D) dense convolution.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerOp::Conv2d { .. } | LayerOp::Conv3d { .. })
+    }
+
+    /// Spatial dimensionality of the operation (2 or 3); point-wise layers
+    /// report 2.
+    pub fn dims(&self) -> u32 {
+        match self {
+            LayerOp::Conv3d { .. } | LayerOp::Deconv3d { .. } => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// A fully specified layer: operation, channel counts and input volume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human readable layer name (e.g. `"deconv4"`).
+    pub name: String,
+    /// Pipeline stage the layer belongs to.
+    pub stage: Stage,
+    /// Operation performed.
+    pub op: LayerOp,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filter count).
+    pub out_channels: usize,
+    /// Input depth (1 for 2-D layers).
+    pub in_d: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+}
+
+fn conv_out(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    if padded < kernel || stride == 0 {
+        0
+    } else {
+        (padded - kernel) / stride + 1
+    }
+}
+
+fn deconv_out(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    if input == 0 {
+        return 0;
+    }
+    let grown = (input - 1) * stride + kernel;
+    grown.saturating_sub(2 * padding)
+}
+
+impl LayerSpec {
+    /// Creates a 2-D convolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: &str,
+        stage: Stage,
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            op: LayerOp::Conv2d { kh: kernel, kw: kernel, stride, padding },
+            in_channels,
+            out_channels,
+            in_d: 1,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Creates a 2-D deconvolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deconv2d(
+        name: &str,
+        stage: Stage,
+        in_channels: usize,
+        out_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            op: LayerOp::Deconv2d { kh: kernel, kw: kernel, stride, padding },
+            in_channels,
+            out_channels,
+            in_d: 1,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Creates a 3-D convolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv3d(
+        name: &str,
+        stage: Stage,
+        in_channels: usize,
+        out_channels: usize,
+        in_d: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            op: LayerOp::Conv3d { kd: kernel, kh: kernel, kw: kernel, stride, padding },
+            in_channels,
+            out_channels,
+            in_d,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Creates a 3-D deconvolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deconv3d(
+        name: &str,
+        stage: Stage,
+        in_channels: usize,
+        out_channels: usize,
+        in_d: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            op: LayerOp::Deconv3d { kd: kernel, kh: kernel, kw: kernel, stride, padding },
+            in_channels,
+            out_channels,
+            in_d,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Creates a point-wise layer over the given volume.
+    pub fn pointwise(
+        name: &str,
+        stage: Stage,
+        channels: usize,
+        in_d: usize,
+        in_h: usize,
+        in_w: usize,
+        ops_per_element: u64,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            stage,
+            op: LayerOp::Pointwise { ops_per_element },
+            in_channels: channels,
+            out_channels: channels,
+            in_d,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Output volume `(depth, height, width)`.
+    pub fn output_dims(&self) -> (usize, usize, usize) {
+        match self.op {
+            LayerOp::Conv2d { kh, kw, stride, padding } => {
+                (self.in_d, conv_out(self.in_h, kh, stride, padding), conv_out(self.in_w, kw, stride, padding))
+            }
+            LayerOp::Deconv2d { kh, kw, stride, padding } => (
+                self.in_d,
+                deconv_out(self.in_h, kh, stride, padding),
+                deconv_out(self.in_w, kw, stride, padding),
+            ),
+            LayerOp::Conv3d { kd, kh, kw, stride, padding } => (
+                conv_out(self.in_d, kd, stride, padding),
+                conv_out(self.in_h, kh, stride, padding),
+                conv_out(self.in_w, kw, stride, padding),
+            ),
+            LayerOp::Deconv3d { kd, kh, kw, stride, padding } => (
+                deconv_out(self.in_d, kd, stride, padding),
+                deconv_out(self.in_h, kh, stride, padding),
+                deconv_out(self.in_w, kw, stride, padding),
+            ),
+            LayerOp::Pointwise { .. } => (self.in_d, self.in_h, self.in_w),
+        }
+    }
+
+    /// Number of kernel elements per filter (`in_channels × k...`).
+    pub fn kernel_volume(&self) -> u64 {
+        let spatial = match self.op {
+            LayerOp::Conv2d { kh, kw, .. } | LayerOp::Deconv2d { kh, kw, .. } => (kh * kw) as u64,
+            LayerOp::Conv3d { kd, kh, kw, .. } | LayerOp::Deconv3d { kd, kh, kw, .. } => (kd * kh * kw) as u64,
+            LayerOp::Pointwise { .. } => 0,
+        };
+        spatial * self.in_channels as u64
+    }
+
+    /// Number of input activation elements.
+    pub fn ifmap_elements(&self) -> u64 {
+        (self.in_channels * self.in_d * self.in_h * self.in_w) as u64
+    }
+
+    /// Number of output activation elements.
+    pub fn ofmap_elements(&self) -> u64 {
+        let (d, h, w) = self.output_dims();
+        (self.out_channels * d * h * w) as u64
+    }
+
+    /// Number of weight elements.
+    pub fn weight_elements(&self) -> u64 {
+        self.kernel_volume() * self.out_channels as u64
+    }
+
+    /// Bytes of input activations.
+    pub fn ifmap_bytes(&self) -> u64 {
+        self.ifmap_elements() * ELEMENT_BYTES
+    }
+
+    /// Bytes of output activations.
+    pub fn ofmap_bytes(&self) -> u64 {
+        self.ofmap_elements() * ELEMENT_BYTES
+    }
+
+    /// Bytes of weights.
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_elements() * ELEMENT_BYTES
+    }
+
+    /// Multiply-accumulate count of the layer when executed the *useful* way:
+    /// dense convolutions count every output × kernel element; deconvolutions
+    /// count only the multiplications with non-zero ifmap operands, i.e. the
+    /// cost after the software transformation of Sec. 4.1 (each original
+    /// kernel element touches each ifmap element exactly once).
+    pub fn effective_macs(&self) -> u64 {
+        match self.op {
+            LayerOp::Conv2d { .. } | LayerOp::Conv3d { .. } => {
+                let (d, h, w) = self.output_dims();
+                (d * h * w) as u64 * self.out_channels as u64 * self.kernel_volume()
+            }
+            LayerOp::Deconv2d { .. } | LayerOp::Deconv3d { .. } => {
+                (self.in_d * self.in_h * self.in_w) as u64
+                    * self.out_channels as u64
+                    * self.kernel_volume()
+            }
+            LayerOp::Pointwise { ops_per_element } => self.ofmap_elements() * ops_per_element,
+        }
+    }
+
+    /// Multiply-accumulate count of a *naive* execution that upsamples the
+    /// deconvolution ifmap with zeros and runs a dense convolution over it
+    /// (the baseline the paper's transformation removes).  Identical to
+    /// [`LayerSpec::effective_macs`] for non-deconvolution layers.
+    pub fn naive_macs(&self) -> u64 {
+        match self.op {
+            LayerOp::Deconv2d { .. } | LayerOp::Deconv3d { .. } => {
+                let (d, h, w) = self.output_dims();
+                (d * h * w) as u64 * self.out_channels as u64 * self.kernel_volume()
+            }
+            _ => self.effective_macs(),
+        }
+    }
+
+    /// Fraction of naive deconvolution MACs wasted on zero operands
+    /// (0 for non-deconvolution layers).
+    pub fn sparsity_waste(&self) -> f64 {
+        let naive = self.naive_macs();
+        if naive == 0 || !self.op.is_deconv() {
+            return 0.0;
+        }
+        1.0 - self.effective_macs() as f64 / naive as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(Stage::FeatureExtraction.label(), "FE");
+        assert_eq!(Stage::MatchingOptimization.label(), "MO");
+        assert_eq!(Stage::DisparityRefinement.label(), "DR");
+        assert_eq!(Stage::Other.label(), "Other");
+    }
+
+    #[test]
+    fn conv2d_output_dims_and_macs() {
+        let l = LayerSpec::conv2d("c1", Stage::FeatureExtraction, 3, 64, 128, 256, 7, 2, 3);
+        let (d, h, w) = l.output_dims();
+        assert_eq!((d, h, w), (1, 64, 128));
+        // MACs = out elements * in_c * k * k
+        let expected = 64u64 * 64 * 128 * 3 * 7 * 7;
+        assert_eq!(l.effective_macs(), expected);
+        assert_eq!(l.naive_macs(), expected);
+        assert_eq!(l.sparsity_waste(), 0.0);
+        assert_eq!(l.weight_elements(), 64 * 3 * 7 * 7);
+        assert_eq!(l.ifmap_elements(), 3 * 128 * 256);
+        assert_eq!(l.ifmap_bytes(), 2 * 3 * 128 * 256);
+    }
+
+    #[test]
+    fn deconv2d_transformed_vs_naive_macs() {
+        let l = LayerSpec::deconv2d("d1", Stage::DisparityRefinement, 64, 32, 30, 40, 4, 2, 1);
+        let (_, oh, ow) = l.output_dims();
+        assert_eq!((oh, ow), (60, 80));
+        // Effective (transformed) MACs: ifmap positions × out_c × in_c × k².
+        assert_eq!(l.effective_macs(), 30 * 40 * 32 * 64 * 16);
+        // Naive MACs: ofmap positions × out_c × in_c × k².
+        assert_eq!(l.naive_macs(), 60 * 80 * 32 * 64 * 16);
+        // Stride-2 2-D deconvolution wastes ~75 % of naive MACs.
+        assert!((l.sparsity_waste() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deconv3d_waste_approaches_87_percent() {
+        let l = LayerSpec::deconv3d("d3", Stage::DisparityRefinement, 32, 32, 24, 30, 40, 3, 2, 1);
+        let waste = l.sparsity_waste();
+        assert!(waste > 0.8 && waste < 0.9, "waste = {waste}");
+        assert_eq!(l.op.dims(), 3);
+    }
+
+    #[test]
+    fn pointwise_costs_scale_with_elements() {
+        let l = LayerSpec::pointwise("relu", Stage::Other, 64, 1, 30, 40, 1);
+        assert_eq!(l.effective_macs(), 64 * 30 * 40);
+        assert_eq!(l.output_dims(), (1, 30, 40));
+        assert_eq!(l.kernel_volume(), 0);
+        assert_eq!(l.weight_bytes(), 0);
+    }
+
+    #[test]
+    fn conv3d_dims() {
+        let l = LayerSpec::conv3d("c3", Stage::MatchingOptimization, 64, 32, 48, 60, 80, 3, 1, 1);
+        assert_eq!(l.output_dims(), (48, 60, 80));
+        assert_eq!(l.kernel_volume(), 64 * 27);
+        let strided = LayerSpec::conv3d("c3s", Stage::MatchingOptimization, 64, 32, 48, 60, 80, 3, 2, 1);
+        assert_eq!(strided.output_dims(), (24, 30, 40));
+    }
+
+    #[test]
+    fn degenerate_dims_are_zero_not_panic() {
+        let l = LayerSpec::conv2d("tiny", Stage::Other, 1, 1, 2, 2, 5, 1, 0);
+        assert_eq!(l.output_dims(), (1, 0, 0));
+        assert_eq!(l.effective_macs(), 0);
+        let d = LayerSpec {
+            name: "empty".into(),
+            stage: Stage::Other,
+            op: LayerOp::Deconv2d { kh: 4, kw: 4, stride: 2, padding: 1 },
+            in_channels: 1,
+            out_channels: 1,
+            in_d: 1,
+            in_h: 0,
+            in_w: 0,
+        };
+        assert_eq!(d.output_dims(), (1, 0, 0));
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(LayerOp::Deconv2d { kh: 4, kw: 4, stride: 2, padding: 1 }.is_deconv());
+        assert!(LayerOp::Deconv3d { kd: 3, kh: 3, kw: 3, stride: 2, padding: 1 }.is_deconv());
+        assert!(LayerOp::Conv2d { kh: 3, kw: 3, stride: 1, padding: 1 }.is_conv());
+        assert!(!LayerOp::Pointwise { ops_per_element: 1 }.is_conv());
+    }
+}

@@ -1,0 +1,193 @@
+//! Whole-network descriptions and per-stage statistics (Fig. 3).
+
+use crate::layer::{LayerSpec, Stage};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A DNN workload as an ordered list of layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (e.g. `"FlowNetC"`).
+    pub name: String,
+    /// Whether the network operates on 3-D cost volumes (GC-Net, PSMNet).
+    pub is_3d: bool,
+    /// Ordered layer list.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// Arithmetic-operation distribution across the stereo-matching stages, i.e.
+/// the data behind one bar of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDistribution {
+    /// Network name.
+    pub network: String,
+    /// Fraction of MACs spent in convolutional feature extraction.
+    pub feature_extraction: f64,
+    /// Fraction of MACs spent in matching optimization.
+    pub matching_optimization: f64,
+    /// Fraction of MACs spent in deconvolutional disparity refinement.
+    pub disparity_refinement: f64,
+    /// Fraction of MACs spent elsewhere.
+    pub other: f64,
+}
+
+impl NetworkSpec {
+    /// Creates a network from a layer list.
+    pub fn new(name: &str, is_3d: bool, layers: Vec<LayerSpec>) -> Self {
+        Self { name: name.to_owned(), is_3d, layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layers that are deconvolutions.
+    pub fn deconv_layers(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().filter(|l| l.op.is_deconv())
+    }
+
+    /// Total effective (transformed) MACs of the network.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::effective_macs).sum()
+    }
+
+    /// Total MACs when deconvolutions are executed naively on the
+    /// zero-upsampled ifmap.
+    pub fn total_naive_macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::naive_macs).sum()
+    }
+
+    /// Total MACs of deconvolution layers only (naive execution).
+    pub fn deconv_naive_macs(&self) -> u64 {
+        self.deconv_layers().map(LayerSpec::naive_macs).sum()
+    }
+
+    /// Total MACs of deconvolution layers only (transformed execution).
+    pub fn deconv_effective_macs(&self) -> u64 {
+        self.deconv_layers().map(LayerSpec::effective_macs).sum()
+    }
+
+    /// Fraction of the network's naive MACs attributable to deconvolution —
+    /// the quantity the paper reports as "38.2 % on average (50 % max)".
+    pub fn deconv_mac_fraction(&self) -> f64 {
+        let total = self.total_naive_macs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.deconv_naive_macs() as f64 / total as f64
+    }
+
+    /// Total weight bytes of the network.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::weight_bytes).sum()
+    }
+
+    /// The largest single-layer ifmap in bytes (used to reason about on-chip
+    /// buffer pressure).
+    pub fn max_ifmap_bytes(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::ifmap_bytes).max().unwrap_or(0)
+    }
+
+    /// MACs grouped by pipeline stage (naive execution, matching the paper's
+    /// accounting of the unmodified networks).
+    pub fn macs_by_stage(&self) -> BTreeMap<&'static str, u64> {
+        let mut map = BTreeMap::new();
+        for layer in &self.layers {
+            *map.entry(layer.stage.label()).or_insert(0) += layer.naive_macs();
+        }
+        map
+    }
+
+    /// The per-stage MAC distribution of Fig. 3.
+    pub fn stage_distribution(&self) -> StageDistribution {
+        let total = self.total_naive_macs().max(1) as f64;
+        let mut fe = 0u64;
+        let mut mo = 0u64;
+        let mut dr = 0u64;
+        let mut other = 0u64;
+        for layer in &self.layers {
+            let macs = layer.naive_macs();
+            match layer.stage {
+                Stage::FeatureExtraction => fe += macs,
+                Stage::MatchingOptimization => mo += macs,
+                Stage::DisparityRefinement => dr += macs,
+                Stage::Other => other += macs,
+            }
+        }
+        StageDistribution {
+            network: self.name.clone(),
+            feature_extraction: fe as f64 / total,
+            matching_optimization: mo as f64 / total,
+            disparity_refinement: dr as f64 / total,
+            other: other as f64 / total,
+        }
+    }
+}
+
+impl StageDistribution {
+    /// Sum of all fractions (≈ 1 for a non-empty network).
+    pub fn total(&self) -> f64 {
+        self.feature_extraction + self.matching_optimization + self.disparity_refinement + self.other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerSpec;
+
+    fn tiny_network() -> NetworkSpec {
+        NetworkSpec::new(
+            "tiny",
+            false,
+            vec![
+                LayerSpec::conv2d("fe1", Stage::FeatureExtraction, 3, 16, 64, 64, 3, 2, 1),
+                LayerSpec::conv2d("mo1", Stage::MatchingOptimization, 16, 32, 32, 32, 3, 1, 1),
+                LayerSpec::deconv2d("dr1", Stage::DisparityRefinement, 32, 16, 32, 32, 4, 2, 1),
+                LayerSpec::pointwise("relu", Stage::Other, 16, 1, 64, 64, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_are_sums_of_layers() {
+        let net = tiny_network();
+        let sum: u64 = net.layers.iter().map(|l| l.effective_macs()).sum();
+        assert_eq!(net.total_macs(), sum);
+        assert!(net.total_naive_macs() > net.total_macs());
+        assert_eq!(net.num_layers(), 4);
+        assert_eq!(net.deconv_layers().count(), 1);
+    }
+
+    #[test]
+    fn deconv_fraction_is_between_zero_and_one() {
+        let net = tiny_network();
+        let f = net.deconv_mac_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        let empty = NetworkSpec::new("empty", false, vec![]);
+        assert_eq!(empty.deconv_mac_fraction(), 0.0);
+        assert_eq!(empty.total_macs(), 0);
+        assert_eq!(empty.max_ifmap_bytes(), 0);
+    }
+
+    #[test]
+    fn stage_distribution_sums_to_one() {
+        let net = tiny_network();
+        let dist = net.stage_distribution();
+        assert!((dist.total() - 1.0).abs() < 1e-9);
+        assert!(dist.feature_extraction > 0.0);
+        assert!(dist.matching_optimization > 0.0);
+        assert!(dist.disparity_refinement > 0.0);
+        let by_stage = net.macs_by_stage();
+        assert_eq!(by_stage.len(), 4);
+    }
+
+    #[test]
+    fn weight_bytes_accumulate() {
+        let net = tiny_network();
+        let expected: u64 = net.layers.iter().map(|l| l.weight_bytes()).sum();
+        assert_eq!(net.total_weight_bytes(), expected);
+        assert!(net.max_ifmap_bytes() >= net.layers[0].ifmap_bytes());
+    }
+}

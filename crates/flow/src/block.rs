@@ -1,0 +1,148 @@
+//! Exhaustive block-matching optical flow baseline.
+//!
+//! The ASV paper discusses block matching (BM) as a motion-estimation
+//! candidate and rejects it for correspondence *propagation* because it only
+//! produces block-granular motion (Sec. 3.3); it keeps BM for the local
+//! correspondence *search*.  This module implements the block-granular motion
+//! estimator both as a baseline to compare Farneback against and as a simple,
+//! independent cross-check in tests.
+
+use crate::field::{FlowError, FlowField};
+use crate::Result;
+use asv_image::cost::{block_sad, BlockSpec};
+use asv_image::Image;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the block-matching flow estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockFlowParams {
+    /// Block size (half-width) used for matching.
+    pub block: BlockSpec,
+    /// Search radius in pixels in both directions.
+    pub search_radius: usize,
+    /// Step between estimated blocks; all pixels in a step×step tile share the
+    /// same motion vector.
+    pub step: usize,
+}
+
+impl Default for BlockFlowParams {
+    fn default() -> Self {
+        Self { block: BlockSpec::new(3), search_radius: 7, step: 4 }
+    }
+}
+
+/// Estimates block-granular motion from `frame0` to `frame1` by exhaustive
+/// SAD search.
+///
+/// # Errors
+///
+/// Returns [`FlowError::FrameMismatch`] when the frames differ in size and
+/// [`FlowError::InvalidParameter`] when `step == 0` or the frames are empty.
+pub fn block_matching_flow(
+    frame0: &Image,
+    frame1: &Image,
+    params: &BlockFlowParams,
+) -> Result<FlowField> {
+    if frame0.width() != frame1.width() || frame0.height() != frame1.height() {
+        return Err(FlowError::frame_mismatch(format!(
+            "{}x{} vs {}x{}",
+            frame0.width(),
+            frame0.height(),
+            frame1.width(),
+            frame1.height()
+        )));
+    }
+    if frame0.is_empty() {
+        return Err(FlowError::invalid_parameter("cannot compute flow of empty frames"));
+    }
+    if params.step == 0 {
+        return Err(FlowError::invalid_parameter("step must be non-zero"));
+    }
+    let width = frame0.width();
+    let height = frame0.height();
+    let mut flow = FlowField::zeros(width, height);
+    let r = params.search_radius as isize;
+    let mut by = 0;
+    while by < height {
+        let mut bx = 0;
+        while bx < width {
+            let cx = (bx + params.step / 2).min(width - 1) as isize;
+            let cy = (by + params.step / 2).min(height - 1) as isize;
+            let mut best_cost = f32::INFINITY;
+            let mut best = (0isize, 0isize);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let cost = block_sad(frame0, frame1, cx, cy, cx + dx, cy + dy, params.block);
+                    // Prefer smaller displacements on ties for a stable result.
+                    let tie_break = (dx * dx + dy * dy) as f32 * 1e-6;
+                    if cost + tie_break < best_cost {
+                        best_cost = cost + tie_break;
+                        best = (dx, dy);
+                    }
+                }
+            }
+            for y in by..(by + params.step).min(height) {
+                for x in bx..(bx + params.step).min(width) {
+                    flow.set(x, y, best.0 as f32, best.1 as f32);
+                }
+            }
+            bx += params.step;
+        }
+        by += params.step;
+    }
+    Ok(flow)
+}
+
+/// Arithmetic operations performed by one block-matching flow computation.
+pub fn block_flow_op_count(width: usize, height: usize, params: &BlockFlowParams) -> u64 {
+    let blocks_x = width.div_ceil(params.step) as u64;
+    let blocks_y = height.div_ceil(params.step) as u64;
+    let candidates = (2 * params.search_radius as u64 + 1).pow(2);
+    let per_candidate = asv_image::cost::sad_ops_per_block(params.block);
+    blocks_x * blocks_y * candidates * per_candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_image::warp::translate;
+
+    fn textured(width: usize, height: usize) -> Image {
+        Image::from_fn(width, height, |x, y| ((x * 17 + y * 29 + (x * y) % 7) % 31) as f32 / 31.0)
+    }
+
+    #[test]
+    fn recovers_integer_translation() {
+        let f0 = textured(48, 32);
+        let f1 = translate(&f0, 4, 2);
+        let flow = block_matching_flow(&f0, &f1, &BlockFlowParams::default()).unwrap();
+        assert_eq!(flow.median_u(), 4.0);
+        assert_eq!(flow.median_v(), 2.0);
+    }
+
+    #[test]
+    fn zero_motion_yields_zero_vectors() {
+        let f0 = textured(32, 32);
+        let flow = block_matching_flow(&f0, &f0, &BlockFlowParams::default()).unwrap();
+        assert_eq!(flow.median_u(), 0.0);
+        assert_eq!(flow.median_v(), 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let f0 = textured(32, 32);
+        let small = textured(16, 32);
+        assert!(block_matching_flow(&f0, &small, &BlockFlowParams::default()).is_err());
+        let bad = BlockFlowParams { step: 0, ..BlockFlowParams::default() };
+        assert!(block_matching_flow(&f0, &f0, &bad).is_err());
+        assert!(block_matching_flow(&Image::default(), &Image::default(), &BlockFlowParams::default())
+            .is_err());
+    }
+
+    #[test]
+    fn op_count_scales_with_search_area() {
+        let small = block_flow_op_count(64, 64, &BlockFlowParams { search_radius: 2, ..Default::default() });
+        let large = block_flow_op_count(64, 64, &BlockFlowParams { search_radius: 8, ..Default::default() });
+        assert!(large > small * 5);
+    }
+}

@@ -1,0 +1,535 @@
+//! Farneback dense optical flow via polynomial expansion.
+//!
+//! The algorithm follows Farneback's two-frame method (cited by the ASV paper
+//! as the motion-estimation component of ISM): every local neighbourhood of
+//! each frame is approximated by a quadratic polynomial using a
+//! Gaussian-weighted least-squares fit; the displacement field is the one that
+//! best explains how the polynomial coefficients move between the two frames.
+//!
+//! The implementation is deliberately structured as the three stages the paper
+//! maps onto the accelerator (Sec. 3.3 and Fig. 8):
+//!
+//! 1. **Gaussian blur** — the polynomial expansion moments and the
+//!    equation-system accumulation are separable Gaussian convolutions
+//!    (`asv_image::gaussian`), which the hardware runs on the systolic array.
+//! 2. **Matrix update** — a point-wise stage that assembles the 2×2 linear
+//!    system `G d = h` from the two expansions and the current flow estimate.
+//! 3. **Compute flow** — a point-wise stage that solves the 2×2 system per
+//!    pixel.
+//!
+//! [`FlowOpBreakdown`] reports the arithmetic-operation split between those
+//! stages so the performance model can reproduce the paper's "99 % of
+//! Farneback is blur + two point-wise stages" claim.
+
+use crate::field::{FlowError, FlowField};
+use crate::Result;
+use asv_image::gaussian::{gaussian_kernel, separable_filter};
+use asv_image::pyramid::Pyramid;
+use asv_image::Image;
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters of the Farneback flow estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FarnebackParams {
+    /// Number of pyramid levels for coarse-to-fine estimation.
+    pub pyramid_levels: usize,
+    /// Standard deviation of the Gaussian applicability window used by the
+    /// polynomial expansion.
+    pub poly_sigma: f32,
+    /// Standard deviation of the Gaussian used to aggregate the per-pixel
+    /// linear systems (the "Gaussian blur" stage).
+    pub blur_sigma: f32,
+    /// Number of fixed-point iterations per pyramid level.
+    pub iterations: usize,
+    /// Minimum pyramid level size in pixels.
+    pub min_level_size: usize,
+}
+
+impl Default for FarnebackParams {
+    fn default() -> Self {
+        Self { pyramid_levels: 3, poly_sigma: 1.2, blur_sigma: 2.0, iterations: 3, min_level_size: 12 }
+    }
+}
+
+/// Quadratic polynomial expansion of an image: per pixel the local signal is
+/// modelled as `f(δ) ≈ δᵀ A δ + bᵀ δ + c` with `A = [[a11, a12], [a12, a22]]`
+/// and `b = [b1, b2]`.
+#[derive(Debug, Clone)]
+pub struct PolyExpansion {
+    a11: Image,
+    a12: Image,
+    a22: Image,
+    b1: Image,
+    b2: Image,
+}
+
+impl PolyExpansion {
+    /// Width of the expanded image.
+    pub fn width(&self) -> usize {
+        self.a11.width()
+    }
+
+    /// Height of the expanded image.
+    pub fn height(&self) -> usize {
+        self.a11.height()
+    }
+}
+
+/// Inverts the symmetric 6×6 normal-equation matrix of the Gaussian-weighted
+/// quadratic basis.  Because the Gaussian window is separable and symmetric,
+/// the matrix is sparse and can be inverted in closed form through small
+/// blocks; for clarity we instead build it explicitly and invert numerically
+/// with Gauss-Jordan elimination (it is only 6×6 and computed once per call).
+fn normal_matrix_inverse(sigma: f32) -> [[f64; 6]; 6] {
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    // Basis order: [1, x, y, x^2, y^2, xy].
+    let mut g = [[0.0f64; 6]; 6];
+    for (iy, wy) in kernel.iter().enumerate() {
+        let dy = iy as isize - radius;
+        for (ix, wx) in kernel.iter().enumerate() {
+            let dx = ix as isize - radius;
+            let w = (*wy as f64) * (*wx as f64);
+            let b = basis(dx as f64, dy as f64);
+            for j in 0..6 {
+                for k in 0..6 {
+                    g[j][k] += w * b[j] * b[k];
+                }
+            }
+        }
+    }
+    invert6(&g)
+}
+
+fn basis(x: f64, y: f64) -> [f64; 6] {
+    [1.0, x, y, x * x, y * y, x * y]
+}
+
+/// Gauss-Jordan inversion of a 6×6 matrix.  Panics only if the matrix is
+/// singular, which cannot happen for a Gaussian window with positive sigma.
+fn invert6(m: &[[f64; 6]; 6]) -> [[f64; 6]; 6] {
+    let mut a = *m;
+    let mut inv = [[0.0f64; 6]; 6];
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for col in 0..6 {
+        // Partial pivoting for numerical stability.
+        let mut pivot = col;
+        for row in col + 1..6 {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = a[col][col];
+        assert!(p.abs() > 1e-12, "normal matrix is singular");
+        for k in 0..6 {
+            a[col][k] /= p;
+            inv[col][k] /= p;
+        }
+        for row in 0..6 {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in 0..6 {
+                a[row][k] -= f * a[col][k];
+                inv[row][k] -= f * inv[col][k];
+            }
+        }
+    }
+    inv
+}
+
+/// Computes the quadratic polynomial expansion of an image.
+///
+/// # Errors
+///
+/// Returns [`FlowError::InvalidParameter`] for an empty image or non-positive
+/// sigma.
+pub fn polynomial_expansion(image: &Image, sigma: f32) -> Result<PolyExpansion> {
+    if image.is_empty() {
+        return Err(FlowError::invalid_parameter("cannot expand an empty image"));
+    }
+    if sigma <= 0.0 {
+        return Err(FlowError::invalid_parameter("poly_sigma must be positive"));
+    }
+    let kernel = gaussian_kernel(sigma);
+    let radius = (kernel.len() / 2) as isize;
+    // 1-D moment filters w(x) * x^p for p = 0, 1, 2.
+    let k0 = kernel.clone();
+    let k1: Vec<f32> = kernel
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| w * (i as isize - radius) as f32)
+        .collect();
+    let k2: Vec<f32> = kernel
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let d = (i as isize - radius) as f32;
+            w * d * d
+        })
+        .collect();
+
+    // Projection of the image on the weighted basis: v_k = Σ w · b_k · f.
+    let v0 = separable_filter(image, &k0, &k0); // 1
+    let v1 = separable_filter(image, &k1, &k0); // x
+    let v2 = separable_filter(image, &k0, &k1); // y
+    let v3 = separable_filter(image, &k2, &k0); // x^2
+    let v4 = separable_filter(image, &k0, &k2); // y^2
+    let v5 = separable_filter(image, &k1, &k1); // xy
+
+    let ginv = normal_matrix_inverse(sigma);
+    let width = image.width();
+    let height = image.height();
+    let mut a11 = Image::zeros(width, height);
+    let mut a12 = Image::zeros(width, height);
+    let mut a22 = Image::zeros(width, height);
+    let mut b1 = Image::zeros(width, height);
+    let mut b2 = Image::zeros(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let v = [
+                v0.at(x, y) as f64,
+                v1.at(x, y) as f64,
+                v2.at(x, y) as f64,
+                v3.at(x, y) as f64,
+                v4.at(x, y) as f64,
+                v5.at(x, y) as f64,
+            ];
+            let mut r = [0.0f64; 6];
+            for (j, rj) in r.iter_mut().enumerate() {
+                for k in 0..6 {
+                    *rj += ginv[j][k] * v[k];
+                }
+            }
+            // r = [c, b1, b2, a11, a22, 2*a12-ish]; basis order [1,x,y,x²,y²,xy].
+            b1.set(x, y, r[1] as f32);
+            b2.set(x, y, r[2] as f32);
+            a11.set(x, y, r[3] as f32);
+            a22.set(x, y, r[4] as f32);
+            a12.set(x, y, (r[5] / 2.0) as f32);
+        }
+    }
+    Ok(PolyExpansion { a11, a12, a22, b1, b2 })
+}
+
+/// One Farneback displacement refinement at a single scale.
+///
+/// Implements the matrix-update stage (assembling `G`, `h` per pixel), the
+/// Gaussian-blur aggregation and the compute-flow stage (solving the 2×2
+/// system) described in the module documentation.
+fn refine_displacement(
+    exp0: &PolyExpansion,
+    exp1: &PolyExpansion,
+    prior: &FlowField,
+    blur_sigma: f32,
+) -> FlowField {
+    let width = exp0.width();
+    let height = exp0.height();
+    let mut g11 = Image::zeros(width, height);
+    let mut g12 = Image::zeros(width, height);
+    let mut g22 = Image::zeros(width, height);
+    let mut h1 = Image::zeros(width, height);
+    let mut h2 = Image::zeros(width, height);
+
+    // --- Matrix update (point-wise) ---
+    for y in 0..height {
+        for x in 0..width {
+            let (du, dv) = prior.at(x, y);
+            let sx = x as f32 + du;
+            let sy = y as f32 + dv;
+            // Average the quadratic terms of the two expansions; sample the
+            // second frame's expansion at the displaced position.
+            let a11 = 0.5 * (exp0.a11.at(x, y) + exp1.a11.sample_bilinear(sx, sy));
+            let a12 = 0.5 * (exp0.a12.at(x, y) + exp1.a12.sample_bilinear(sx, sy));
+            let a22 = 0.5 * (exp0.a22.at(x, y) + exp1.a22.sample_bilinear(sx, sy));
+            let db1 = -0.5 * (exp1.b1.sample_bilinear(sx, sy) - exp0.b1.at(x, y))
+                + a11 * du
+                + a12 * dv;
+            let db2 = -0.5 * (exp1.b2.sample_bilinear(sx, sy) - exp0.b2.at(x, y))
+                + a12 * du
+                + a22 * dv;
+            // Normal equations of A d = Δb.
+            g11.set(x, y, a11 * a11 + a12 * a12);
+            g12.set(x, y, a11 * a12 + a12 * a22);
+            g22.set(x, y, a12 * a12 + a22 * a22);
+            h1.set(x, y, a11 * db1 + a12 * db2);
+            h2.set(x, y, a12 * db1 + a22 * db2);
+        }
+    }
+
+    // --- Gaussian blur aggregation (convolution) ---
+    let g11 = asv_image::gaussian_blur(&g11, blur_sigma);
+    let g12 = asv_image::gaussian_blur(&g12, blur_sigma);
+    let g22 = asv_image::gaussian_blur(&g22, blur_sigma);
+    let h1 = asv_image::gaussian_blur(&h1, blur_sigma);
+    let h2 = asv_image::gaussian_blur(&h2, blur_sigma);
+
+    // --- Compute flow (point-wise 2x2 solve) ---
+    let mut out = FlowField::zeros(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let a = g11.at(x, y);
+            let b = g12.at(x, y);
+            let c = g22.at(x, y);
+            let det = a * c - b * b;
+            if det.abs() < 1e-9 {
+                let (pu, pv) = prior.at(x, y);
+                out.set(x, y, pu, pv);
+                continue;
+            }
+            let r1 = h1.at(x, y);
+            let r2 = h2.at(x, y);
+            let du = (c * r1 - b * r2) / det;
+            let dv = (a * r2 - b * r1) / det;
+            out.set(x, y, du, dv);
+        }
+    }
+    out
+}
+
+/// Estimates the dense optical flow from `frame0` to `frame1`.
+///
+/// # Errors
+///
+/// Returns [`FlowError::FrameMismatch`] when the two frames differ in size
+/// and [`FlowError::InvalidParameter`] for degenerate parameters.
+pub fn farneback_flow(frame0: &Image, frame1: &Image, params: &FarnebackParams) -> Result<FlowField> {
+    if frame0.width() != frame1.width() || frame0.height() != frame1.height() {
+        return Err(FlowError::frame_mismatch(format!(
+            "{}x{} vs {}x{}",
+            frame0.width(),
+            frame0.height(),
+            frame1.width(),
+            frame1.height()
+        )));
+    }
+    if frame0.is_empty() {
+        return Err(FlowError::invalid_parameter("cannot compute flow of empty frames"));
+    }
+    if params.iterations == 0 || params.pyramid_levels == 0 {
+        return Err(FlowError::invalid_parameter("iterations and pyramid_levels must be non-zero"));
+    }
+    let pyr0 = Pyramid::build(frame0, params.pyramid_levels, params.min_level_size)
+        .map_err(|e| FlowError::invalid_parameter(e))?;
+    let pyr1 = Pyramid::build(frame1, params.pyramid_levels, params.min_level_size)
+        .map_err(|e| FlowError::invalid_parameter(e))?;
+    let levels = pyr0.num_levels().min(pyr1.num_levels());
+
+    let mut flow: Option<FlowField> = None;
+    for level in (0..levels).rev() {
+        let im0 = pyr0.level(level);
+        let im1 = pyr1.level(level);
+        let exp0 = polynomial_expansion(im0, params.poly_sigma)?;
+        let exp1 = polynomial_expansion(im1, params.poly_sigma)?;
+        let mut current = match flow.take() {
+            Some(prev) => prev.resample(im0.width(), im0.height()),
+            None => FlowField::zeros(im0.width(), im0.height()),
+        };
+        for _ in 0..params.iterations {
+            current = refine_displacement(&exp0, &exp1, &current, params.blur_sigma);
+        }
+        flow = Some(current);
+    }
+    Ok(flow.expect("at least one pyramid level"))
+}
+
+/// Arithmetic-operation breakdown of one Farneback flow computation, split
+/// into the three stages the ASV hardware distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowOpBreakdown {
+    /// Operations spent in Gaussian-blur style separable convolutions.
+    pub blur_ops: u64,
+    /// Operations spent solving the polynomial-expansion normal equations
+    /// (a per-pixel 6×6 back-substitution, expressible as a 1×1 convolution).
+    pub expansion_solve_ops: u64,
+    /// Operations spent in the point-wise matrix-update stage.
+    pub matrix_update_ops: u64,
+    /// Operations spent in the point-wise compute-flow stage.
+    pub compute_flow_ops: u64,
+}
+
+impl FlowOpBreakdown {
+    /// Total operations across all stages.
+    pub fn total(&self) -> u64 {
+        self.blur_ops + self.expansion_solve_ops + self.matrix_update_ops + self.compute_flow_ops
+    }
+
+    /// Fraction of operations that are convolutions (blur).
+    pub fn blur_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.blur_ops as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Analytical operation count of [`farneback_flow`] for a frame of the given
+/// size, mirroring the loop structure of the implementation.
+pub fn farneback_op_breakdown(width: usize, height: usize, params: &FarnebackParams) -> FlowOpBreakdown {
+    let mut blur = 0u64;
+    let mut expansion = 0u64;
+    let mut matrix = 0u64;
+    let mut solve = 0u64;
+    let poly_taps = gaussian_kernel(params.poly_sigma).len() as u64;
+    let blur_taps = gaussian_kernel(params.blur_sigma).len() as u64;
+    let mut w = width as u64;
+    let mut h = height as u64;
+    for _level in 0..params.pyramid_levels {
+        if w < params.min_level_size as u64 || h < params.min_level_size as u64 {
+            break;
+        }
+        let pixels = w * h;
+        // Polynomial expansion: 6 separable moment filters per frame, 2 frames,
+        // each separable filter is 2 passes of `taps` MACs per pixel, plus the
+        // 6x6 back-substitution (36 MACs) per pixel and frame.
+        blur += 2 * 6 * 2 * poly_taps * pixels;
+        expansion += 2 * 36 * pixels;
+        for _iter in 0..params.iterations {
+            // Matrix update: ~30 arithmetic ops per pixel.
+            matrix += 30 * pixels;
+            // Aggregation: 5 separable blurs.
+            blur += 5 * 2 * blur_taps * pixels;
+            // Compute flow: 2x2 solve, ~12 ops per pixel.
+            solve += 12 * pixels;
+        }
+        w /= 2;
+        h /= 2;
+    }
+    FlowOpBreakdown {
+        blur_ops: blur,
+        expansion_solve_ops: expansion,
+        matrix_update_ops: matrix,
+        compute_flow_ops: solve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv_image::warp::translate;
+
+    fn textured(width: usize, height: usize) -> Image {
+        Image::from_fn(width, height, |x, y| {
+            let fx = x as f32 * 0.35;
+            let fy = y as f32 * 0.23;
+            (fx.sin() * fy.cos() + ((x * 7 + y * 13) % 11) as f32 * 0.05) * 0.5 + 0.5
+        })
+    }
+
+    #[test]
+    fn normal_matrix_inverse_is_inverse() {
+        let kernel_sigma = 1.2;
+        let ginv = normal_matrix_inverse(kernel_sigma);
+        // Rebuild G and check G * Ginv ≈ I.
+        let kernel = gaussian_kernel(kernel_sigma);
+        let radius = (kernel.len() / 2) as isize;
+        let mut g = [[0.0f64; 6]; 6];
+        for (iy, wy) in kernel.iter().enumerate() {
+            for (ix, wx) in kernel.iter().enumerate() {
+                let b = basis((ix as isize - radius) as f64, (iy as isize - radius) as f64);
+                for j in 0..6 {
+                    for k in 0..6 {
+                        g[j][k] += (*wy as f64) * (*wx as f64) * b[j] * b[k];
+                    }
+                }
+            }
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                let mut acc = 0.0;
+                for k in 0..6 {
+                    acc += g[i][k] * ginv[k][j];
+                }
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((acc - expected).abs() < 1e-6, "({i},{j}) = {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_of_linear_ramp_recovers_gradient() {
+        // f(x, y) = 2x + 3y has b = (2, 3) and A = 0 in the interior.
+        let img = Image::from_fn(32, 32, |x, y| 2.0 * x as f32 + 3.0 * y as f32);
+        let exp = polynomial_expansion(&img, 1.2).unwrap();
+        assert!((exp.b1.at(16, 16) - 2.0).abs() < 1e-3);
+        assert!((exp.b2.at(16, 16) - 3.0).abs() < 1e-3);
+        assert!(exp.a11.at(16, 16).abs() < 1e-3);
+        assert!(exp.a22.at(16, 16).abs() < 1e-3);
+    }
+
+    #[test]
+    fn expansion_of_quadratic_recovers_curvature() {
+        // f(x, y) = (x - 16)^2 has a11 = 1 in the interior.
+        let img = Image::from_fn(32, 32, |x, _| {
+            let d = x as f32 - 16.0;
+            d * d
+        });
+        let exp = polynomial_expansion(&img, 1.5).unwrap();
+        assert!((exp.a11.at(16, 16) - 1.0).abs() < 1e-2);
+        assert!(exp.a22.at(16, 16).abs() < 1e-2);
+    }
+
+    #[test]
+    fn expansion_rejects_bad_inputs() {
+        assert!(polynomial_expansion(&Image::default(), 1.0).is_err());
+        assert!(polynomial_expansion(&Image::filled(8, 8, 1.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn flow_recovers_horizontal_translation() {
+        let frame0 = textured(64, 48);
+        let frame1 = translate(&frame0, 3, 0);
+        let flow = farneback_flow(&frame0, &frame1, &FarnebackParams::default()).unwrap();
+        assert!((flow.median_u() - 3.0).abs() < 1.0, "median u = {}", flow.median_u());
+        assert!(flow.median_v().abs() < 1.0, "median v = {}", flow.median_v());
+    }
+
+    #[test]
+    fn flow_recovers_diagonal_translation() {
+        let frame0 = textured(64, 64);
+        let frame1 = translate(&frame0, 2, 1);
+        let flow = farneback_flow(&frame0, &frame1, &FarnebackParams::default()).unwrap();
+        assert!((flow.median_u() - 2.0).abs() < 1.0, "median u = {}", flow.median_u());
+        assert!((flow.median_v() - 1.0).abs() < 1.0, "median v = {}", flow.median_v());
+    }
+
+    #[test]
+    fn zero_motion_produces_near_zero_flow() {
+        let frame = textured(48, 48);
+        let flow = farneback_flow(&frame, &frame, &FarnebackParams::default()).unwrap();
+        assert!(flow.median_u().abs() < 0.1);
+        assert!(flow.median_v().abs() < 0.1);
+    }
+
+    #[test]
+    fn flow_validates_inputs() {
+        let a = Image::filled(32, 32, 0.0);
+        let b = Image::filled(16, 32, 0.0);
+        assert!(farneback_flow(&a, &b, &FarnebackParams::default()).is_err());
+        let bad = FarnebackParams { iterations: 0, ..FarnebackParams::default() };
+        assert!(farneback_flow(&a, &a, &bad).is_err());
+        assert!(farneback_flow(&Image::default(), &Image::default(), &FarnebackParams::default()).is_err());
+    }
+
+    #[test]
+    fn op_breakdown_is_dominated_by_conv_and_pointwise() {
+        let b = farneback_op_breakdown(960, 540, &FarnebackParams::default());
+        assert!(b.total() > 0);
+        // The paper: 99% of Farneback is Gaussian blur + the two point-wise
+        // stages; in this breakdown that is all of the work, with blur taking
+        // the majority share.
+        assert!(b.blur_fraction() > 0.5);
+        // qHD non-key-frame flow cost is tens of millions of operations, not
+        // billions (the DNN costs 10^2-10^4 x more).
+        assert!(b.total() < 2_000_000_000);
+    }
+}

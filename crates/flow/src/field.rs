@@ -1,0 +1,271 @@
+//! Dense displacement fields and their quality metrics.
+
+use asv_image::Image;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for flow estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// The two input frames do not have the same dimensions.
+    FrameMismatch {
+        /// Human readable description.
+        context: String,
+    },
+    /// An algorithm parameter is invalid (zero window, empty image, ...).
+    InvalidParameter {
+        /// Human readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::FrameMismatch { context } => write!(f, "frame mismatch: {context}"),
+            FlowError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl FlowError {
+    /// Builds a [`FlowError::FrameMismatch`] from anything displayable.
+    pub fn frame_mismatch(context: impl fmt::Display) -> Self {
+        FlowError::FrameMismatch { context: context.to_string() }
+    }
+
+    /// Builds a [`FlowError::InvalidParameter`] from anything displayable.
+    pub fn invalid_parameter(context: impl fmt::Display) -> Self {
+        FlowError::InvalidParameter { context: context.to_string() }
+    }
+}
+
+/// A dense per-pixel displacement field.
+///
+/// `u` holds the horizontal and `v` the vertical displacement of each pixel
+/// from the first frame to the second frame (i.e. a pixel at `(x, y)` in
+/// frame `t` appears at `(x + u, y + v)` in frame `t + 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowField {
+    u: Image,
+    v: Image,
+}
+
+impl FlowField {
+    /// Creates an all-zero flow field.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self { u: Image::zeros(width, height), v: Image::zeros(width, height) }
+    }
+
+    /// Creates a flow field from its two component images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::FrameMismatch`] when the components differ in
+    /// size.
+    pub fn from_components(u: Image, v: Image) -> crate::Result<Self> {
+        if u.width() != v.width() || u.height() != v.height() {
+            return Err(FlowError::frame_mismatch(format!(
+                "u {}x{} vs v {}x{}",
+                u.width(),
+                u.height(),
+                v.width(),
+                v.height()
+            )));
+        }
+        Ok(Self { u, v })
+    }
+
+    /// Creates a constant (translational) flow field.
+    pub fn constant(width: usize, height: usize, u: f32, v: f32) -> Self {
+        Self { u: Image::filled(width, height, u), v: Image::filled(width, height, v) }
+    }
+
+    /// Field width in pixels.
+    pub fn width(&self) -> usize {
+        self.u.width()
+    }
+
+    /// Field height in pixels.
+    pub fn height(&self) -> usize {
+        self.u.height()
+    }
+
+    /// Horizontal component image.
+    pub fn u(&self) -> &Image {
+        &self.u
+    }
+
+    /// Vertical component image.
+    pub fn v(&self) -> &Image {
+        &self.v
+    }
+
+    /// Mutable horizontal component image.
+    pub fn u_mut(&mut self) -> &mut Image {
+        &mut self.u
+    }
+
+    /// Mutable vertical component image.
+    pub fn v_mut(&mut self) -> &mut Image {
+        &mut self.v
+    }
+
+    /// Displacement at pixel `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> (f32, f32) {
+        (self.u.at(x, y), self.v.at(x, y))
+    }
+
+    /// Sets the displacement at pixel `(x, y)`.
+    pub fn set(&mut self, x: usize, y: usize, u: f32, v: f32) {
+        self.u.set(x, y, u);
+        self.v.set(x, y, v);
+    }
+
+    /// Bilinearly sampled displacement at a real-valued coordinate.
+    pub fn sample(&self, x: f32, y: f32) -> (f32, f32) {
+        (self.u.sample_bilinear(x, y), self.v.sample_bilinear(x, y))
+    }
+
+    /// Average end-point error against a ground-truth field of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::FrameMismatch`] when the fields differ in size.
+    pub fn average_endpoint_error(&self, truth: &FlowField) -> crate::Result<f32> {
+        if self.width() != truth.width() || self.height() != truth.height() {
+            return Err(FlowError::frame_mismatch(format!(
+                "{}x{} vs {}x{}",
+                self.width(),
+                self.height(),
+                truth.width(),
+                truth.height()
+            )));
+        }
+        let n = self.width() * self.height();
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let mut total = 0.0f64;
+        for y in 0..self.height() {
+            for x in 0..self.width() {
+                let (u1, v1) = self.at(x, y);
+                let (u2, v2) = truth.at(x, y);
+                total += (((u1 - u2).powi(2) + (v1 - v2).powi(2)) as f64).sqrt();
+            }
+        }
+        Ok((total / n as f64) as f32)
+    }
+
+    /// Median of the horizontal component (robust summary used in tests).
+    pub fn median_u(&self) -> f32 {
+        median(self.u.as_slice())
+    }
+
+    /// Median of the vertical component.
+    pub fn median_v(&self) -> f32 {
+        median(self.v.as_slice())
+    }
+
+    /// Scales both components (used when up-sampling between pyramid levels).
+    pub fn scale(&self, factor: f32) -> FlowField {
+        FlowField {
+            u: Image::from_fn(self.width(), self.height(), |x, y| self.u.at(x, y) * factor),
+            v: Image::from_fn(self.width(), self.height(), |x, y| self.v.at(x, y) * factor),
+        }
+    }
+
+    /// Resamples the field to a new resolution, scaling the displacement
+    /// magnitudes by the resolution ratio.
+    pub fn resample(&self, new_width: usize, new_height: usize) -> FlowField {
+        if self.width() == 0 || self.height() == 0 || new_width == 0 || new_height == 0 {
+            return FlowField::zeros(new_width, new_height);
+        }
+        let sx = new_width as f32 / self.width() as f32;
+        let sy = new_height as f32 / self.height() as f32;
+        let u = Image::from_fn(new_width, new_height, |x, y| {
+            self.u.sample_bilinear(x as f32 / sx, y as f32 / sy) * sx
+        });
+        let v = Image::from_fn(new_width, new_height, |x, y| {
+            self.v.sample_bilinear(x as f32 / sx, y as f32 / sy) * sy
+        });
+        FlowField { u, v }
+    }
+}
+
+fn median(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[sorted.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let f = FlowField::constant(4, 3, 1.0, -2.0);
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.height(), 3);
+        assert_eq!(f.at(2, 1), (1.0, -2.0));
+        assert_eq!(f.median_u(), 1.0);
+        assert_eq!(f.median_v(), -2.0);
+    }
+
+    #[test]
+    fn from_components_validates_sizes() {
+        let u = Image::zeros(4, 4);
+        let v = Image::zeros(4, 3);
+        assert!(FlowField::from_components(u.clone(), v).is_err());
+        assert!(FlowField::from_components(u.clone(), u).is_ok());
+    }
+
+    #[test]
+    fn set_and_sample() {
+        let mut f = FlowField::zeros(4, 4);
+        f.set(2, 2, 3.0, 4.0);
+        assert_eq!(f.at(2, 2), (3.0, 4.0));
+        let (u, v) = f.sample(2.0, 2.0);
+        assert_eq!((u, v), (3.0, 4.0));
+    }
+
+    #[test]
+    fn endpoint_error_of_identical_fields_is_zero() {
+        let f = FlowField::constant(8, 8, 0.5, -0.5);
+        assert_eq!(f.average_endpoint_error(&f).unwrap(), 0.0);
+        let g = FlowField::constant(8, 8, 3.5, 3.5);
+        let err = f.average_endpoint_error(&g).unwrap();
+        assert!((err - 5.0).abs() < 1e-5); // 3-4-5 triangle
+        assert!(f.average_endpoint_error(&FlowField::zeros(4, 4)).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_components() {
+        let f = FlowField::constant(4, 4, 1.0, 2.0);
+        let g = f.scale(2.0);
+        assert_eq!(g.at(0, 0), (2.0, 4.0));
+    }
+
+    #[test]
+    fn resample_scales_displacements_with_resolution() {
+        let f = FlowField::constant(8, 8, 1.0, 1.0);
+        let g = f.resample(16, 16);
+        assert_eq!(g.width(), 16);
+        assert_eq!(g.at(8, 8), (2.0, 2.0));
+        let empty = FlowField::zeros(0, 0).resample(4, 4);
+        assert_eq!(empty.at(0, 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn median_of_empty_field() {
+        let f = FlowField::zeros(0, 0);
+        assert_eq!(f.median_u(), 0.0);
+    }
+}

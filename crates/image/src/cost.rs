@@ -1,0 +1,226 @@
+//! Block matching cost functions.
+//!
+//! The ISM algorithm refines propagated correspondences with a local block
+//! matching search using the sum of absolute differences (SAD) cost (Sec. 3.3
+//! of the paper).  The classic stereo baselines additionally use SSD and
+//! zero-mean SAD.  All costs compare a square block centred on a pixel of the
+//! left (reference) image with a block centred on a candidate pixel of the
+//! right (matching) image.
+
+use crate::image::{Image, ImageError};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A square matching block described by its half-width; the full window is
+/// `(2 * radius + 1)` pixels on a side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Half-width of the block.
+    pub radius: usize,
+}
+
+impl BlockSpec {
+    /// Creates a block specification.
+    pub fn new(radius: usize) -> Self {
+        Self { radius }
+    }
+
+    /// Number of pixels in the block.
+    pub fn area(&self) -> usize {
+        let side = 2 * self.radius + 1;
+        side * side
+    }
+}
+
+impl Default for BlockSpec {
+    fn default() -> Self {
+        Self { radius: 3 }
+    }
+}
+
+/// Checks that the two images have identical dimensions.
+fn check_pair(left: &Image, right: &Image) -> Result<()> {
+    if left.width() != right.width() || left.height() != right.height() {
+        return Err(ImageError::dimension_mismatch(format!(
+            "{}x{} vs {}x{}",
+            left.width(),
+            left.height(),
+            right.width(),
+            right.height()
+        )));
+    }
+    Ok(())
+}
+
+/// Sum of absolute differences between the block centred at `(lx, ly)` in
+/// `left` and the block centred at `(rx, ry)` in `right`.
+///
+/// Pixels outside the image are border-clamped, matching the behaviour of the
+/// hardware block-matching engines the paper cites.
+pub fn block_sad(
+    left: &Image,
+    right: &Image,
+    lx: isize,
+    ly: isize,
+    rx: isize,
+    ry: isize,
+    block: BlockSpec,
+) -> f32 {
+    let r = block.radius as isize;
+    let mut acc = 0.0;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let a = left.at_clamped(lx + dx, ly + dy);
+            let b = right.at_clamped(rx + dx, ry + dy);
+            acc += (a - b).abs();
+        }
+    }
+    acc
+}
+
+/// Sum of squared differences analogue of [`block_sad`].
+pub fn block_ssd(
+    left: &Image,
+    right: &Image,
+    lx: isize,
+    ly: isize,
+    rx: isize,
+    ry: isize,
+    block: BlockSpec,
+) -> f32 {
+    let r = block.radius as isize;
+    let mut acc = 0.0;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let d = left.at_clamped(lx + dx, ly + dy) - right.at_clamped(rx + dx, ry + dy);
+            acc += d * d;
+        }
+    }
+    acc
+}
+
+/// Zero-mean SAD: each block has its mean removed before the absolute
+/// differences are accumulated, providing robustness to brightness offsets
+/// between the two cameras.
+pub fn block_zsad(
+    left: &Image,
+    right: &Image,
+    lx: isize,
+    ly: isize,
+    rx: isize,
+    ry: isize,
+    block: BlockSpec,
+) -> f32 {
+    let r = block.radius as isize;
+    let area = block.area() as f32;
+    let mut mean_l = 0.0;
+    let mut mean_r = 0.0;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            mean_l += left.at_clamped(lx + dx, ly + dy);
+            mean_r += right.at_clamped(rx + dx, ry + dy);
+        }
+    }
+    mean_l /= area;
+    mean_r /= area;
+    let mut acc = 0.0;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let a = left.at_clamped(lx + dx, ly + dy) - mean_l;
+            let b = right.at_clamped(rx + dx, ry + dy) - mean_r;
+            acc += (a - b).abs();
+        }
+    }
+    acc
+}
+
+/// Pixel-wise absolute difference image `|left - right|`.
+///
+/// # Errors
+///
+/// Returns [`ImageError::DimensionMismatch`] when the images differ in size.
+pub fn absolute_difference(left: &Image, right: &Image) -> Result<Image> {
+    check_pair(left, right)?;
+    Ok(Image::from_fn(left.width(), left.height(), |x, y| {
+        (left.at(x, y) - right.at(x, y)).abs()
+    }))
+}
+
+/// Number of arithmetic operations performed by one SAD block comparison
+/// (subtract, absolute value, accumulate per pixel).  Used by the performance
+/// model to price the ISM non-key-frame work.
+pub fn sad_ops_per_block(block: BlockSpec) -> u64 {
+    3 * block.area() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_spec_area() {
+        assert_eq!(BlockSpec::new(0).area(), 1);
+        assert_eq!(BlockSpec::new(1).area(), 9);
+        assert_eq!(BlockSpec::new(3).area(), 49);
+        assert_eq!(BlockSpec::default().radius, 3);
+    }
+
+    #[test]
+    fn identical_blocks_have_zero_cost() {
+        let img = Image::from_fn(16, 16, |x, y| ((x * 7 + y * 3) % 13) as f32);
+        let b = BlockSpec::new(2);
+        assert_eq!(block_sad(&img, &img, 8, 8, 8, 8, b), 0.0);
+        assert_eq!(block_ssd(&img, &img, 8, 8, 8, 8, b), 0.0);
+        assert!(block_zsad(&img, &img, 8, 8, 8, 8, b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shifted_block_has_zero_cost_at_true_offset() {
+        let left = Image::from_fn(32, 16, |x, y| ((x * 5 + y * 11) % 17) as f32);
+        // Right image shifted left by 4 (disparity 4).
+        let right = Image::from_fn(32, 16, |x, y| left.at_clamped(x as isize + 4, y as isize));
+        let b = BlockSpec::new(2);
+        // Matching pixel for left (12, 8) is right (8, 8).
+        let at_truth = block_sad(&left, &right, 12, 8, 8, 8, b);
+        let at_wrong = block_sad(&left, &right, 12, 8, 10, 8, b);
+        assert!(at_truth < 1e-6);
+        assert!(at_wrong > at_truth);
+    }
+
+    #[test]
+    fn zsad_ignores_brightness_offset() {
+        let left = Image::from_fn(16, 16, |x, y| ((x + y) % 5) as f32);
+        let mut right = left.clone();
+        right.map_inplace(|v| v + 10.0);
+        let b = BlockSpec::new(2);
+        assert!(block_sad(&left, &right, 8, 8, 8, 8, b) > 1.0);
+        assert!(block_zsad(&left, &right, 8, 8, 8, 8, b) < 1e-4);
+    }
+
+    #[test]
+    fn ssd_penalises_outliers_more_than_sad() {
+        let left = Image::zeros(8, 8);
+        let mut right = Image::zeros(8, 8);
+        right.set(4, 4, 10.0);
+        let b = BlockSpec::new(1);
+        let sad = block_sad(&left, &right, 4, 4, 4, 4, b);
+        let ssd = block_ssd(&left, &right, 4, 4, 4, 4, b);
+        assert_eq!(sad, 10.0);
+        assert_eq!(ssd, 100.0);
+    }
+
+    #[test]
+    fn absolute_difference_image() {
+        let a = Image::filled(4, 4, 3.0);
+        let b = Image::filled(4, 4, 1.0);
+        let d = absolute_difference(&a, &b).unwrap();
+        assert!(d.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(absolute_difference(&a, &Image::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn sad_ops_counts_three_per_pixel() {
+        assert_eq!(sad_ops_per_block(BlockSpec::new(1)), 27);
+        assert_eq!(sad_ops_per_block(BlockSpec::new(3)), 147);
+    }
+}

@@ -1,0 +1,147 @@
+//! Separable Gaussian blur.
+//!
+//! The Farneback optical flow used by ISM spends most of its convolution time
+//! in Gaussian blurs; the ASV software maps them onto the systolic array as
+//! single-output-channel convolution layers (Sec. 5.1, Fig. 8).  This module
+//! provides the functional reference for that mapping.
+
+use crate::image::Image;
+
+/// Builds a normalised 1-D Gaussian kernel for standard deviation `sigma`.
+///
+/// The radius is `ceil(3 sigma)` (covering ≥ 99.7 % of the mass); a
+/// non-positive sigma yields the identity kernel `[1.0]`.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    if sigma <= 0.0 {
+        return vec![1.0];
+    }
+    let radius = (3.0 * sigma).ceil() as isize;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for i in -radius..=radius {
+        kernel.push((-((i * i) as f32) / denom).exp());
+    }
+    let total: f32 = kernel.iter().sum();
+    for v in &mut kernel {
+        *v /= total;
+    }
+    kernel
+}
+
+/// Horizontal 1-D convolution with border clamping.
+fn convolve_horizontal(image: &Image, kernel: &[f32]) -> Image {
+    let radius = (kernel.len() / 2) as isize;
+    Image::from_fn(image.width(), image.height(), |x, y| {
+        let mut acc = 0.0;
+        for (i, &k) in kernel.iter().enumerate() {
+            let dx = i as isize - radius;
+            acc += k * image.at_clamped(x as isize + dx, y as isize);
+        }
+        acc
+    })
+}
+
+/// Vertical 1-D convolution with border clamping.
+fn convolve_vertical(image: &Image, kernel: &[f32]) -> Image {
+    let radius = (kernel.len() / 2) as isize;
+    Image::from_fn(image.width(), image.height(), |x, y| {
+        let mut acc = 0.0;
+        for (i, &k) in kernel.iter().enumerate() {
+            let dy = i as isize - radius;
+            acc += k * image.at_clamped(x as isize, y as isize + dy);
+        }
+        acc
+    })
+}
+
+/// Applies a separable Gaussian blur with standard deviation `sigma`.
+///
+/// A non-positive `sigma` returns a copy of the input.
+pub fn gaussian_blur(image: &Image, sigma: f32) -> Image {
+    let kernel = gaussian_kernel(sigma);
+    if kernel.len() == 1 {
+        return image.clone();
+    }
+    let horizontal = convolve_horizontal(image, &kernel);
+    convolve_vertical(&horizontal, &kernel)
+}
+
+/// Applies an arbitrary separable kernel (horizontal then vertical pass).
+///
+/// Used by the Farneback polynomial expansion, which needs Gaussian-weighted
+/// moment filters in addition to the plain blur.
+pub fn separable_filter(image: &Image, kernel_x: &[f32], kernel_y: &[f32]) -> Image {
+    let horizontal = convolve_horizontal(image, kernel_x);
+    convolve_vertical(&horizontal, kernel_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalised_and_symmetric() {
+        for &sigma in &[0.5, 1.0, 2.5] {
+            let k = gaussian_kernel(sigma);
+            assert_eq!(k.len() % 2, 1, "kernel must have odd length");
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+            // The centre tap is the largest.
+            let centre = k[k.len() / 2];
+            assert!(k.iter().all(|&v| v <= centre + 1e-9));
+        }
+    }
+
+    #[test]
+    fn non_positive_sigma_is_identity() {
+        assert_eq!(gaussian_kernel(0.0), vec![1.0]);
+        assert_eq!(gaussian_kernel(-1.0), vec![1.0]);
+        let img = Image::from_fn(4, 4, |x, y| (x + y) as f32);
+        let out = gaussian_blur(&img, 0.0);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = Image::filled(16, 16, 0.7);
+        let out = gaussian_blur(&img, 2.0);
+        assert!(out.as_slice().iter().all(|&v| (v - 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn blur_spreads_impulse_but_preserves_mass() {
+        let img = Image::from_fn(21, 21, |x, y| if x == 10 && y == 10 { 1.0 } else { 0.0 });
+        let out = gaussian_blur(&img, 1.5);
+        assert!(out.at(10, 10) < 1.0);
+        assert!(out.at(10, 10) > out.at(0, 0));
+        assert!((out.sum() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn blur_reduces_variance_of_noise() {
+        // A checkerboard has maximal high-frequency energy; blurring must pull
+        // every pixel towards the mean.
+        let img = Image::from_fn(32, 32, |x, y| if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
+        let out = gaussian_blur(&img, 1.0);
+        let var = |im: &Image| {
+            let m = im.mean();
+            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+        };
+        assert!(var(&out) < 0.2 * var(&img));
+    }
+
+    #[test]
+    fn separable_filter_applies_both_axes() {
+        let img = Image::from_fn(8, 8, |x, _| x as f32);
+        // Central difference in x, identity in y.
+        let dx = separable_filter(&img, &[-0.5, 0.0, 0.5], &[1.0]);
+        // The interior gradient of a ramp with slope 1 is 1.
+        assert!((dx.at(4, 4) - 1.0).abs() < 1e-6);
+        // Identity in x, central difference in y on a constant-in-y image is 0.
+        let dy = separable_filter(&img, &[1.0], &[-0.5, 0.0, 0.5]);
+        assert!(dy.at(4, 4).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,340 @@
+//! Single-channel floating point image container.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for image construction and image-pair operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Provided pixel buffer does not match `width * height`.
+    DataLength {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Provided number of pixels.
+        actual: usize,
+    },
+    /// Two images that must have identical dimensions do not.
+    DimensionMismatch {
+        /// Human readable description.
+        context: String,
+    },
+    /// A parameter such as a window size or pyramid depth is invalid.
+    InvalidParameter {
+        /// Human readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::DataLength { expected, actual } => {
+                write!(f, "pixel buffer length {actual} does not match image size {expected}")
+            }
+            ImageError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+            ImageError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+impl ImageError {
+    /// Builds a [`ImageError::DimensionMismatch`] from anything displayable.
+    pub fn dimension_mismatch(context: impl fmt::Display) -> Self {
+        ImageError::DimensionMismatch { context: context.to_string() }
+    }
+
+    /// Builds a [`ImageError::InvalidParameter`] from anything displayable.
+    pub fn invalid_parameter(context: impl fmt::Display) -> Self {
+        ImageError::InvalidParameter { context: context.to_string() }
+    }
+}
+
+/// A dense single-channel (grayscale) `f32` image stored row-major.
+///
+/// Pixel `(x, y)` addresses column `x` and row `y`; `(0, 0)` is the top-left
+/// corner, matching the convention of the stereo-matching literature where the
+/// disparity search runs along image rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates an all-zero image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0.0; width * height] }
+    }
+
+    /// Creates an image filled with `value`.
+    pub fn filled(width: usize, height: usize, value: f32) -> Self {
+        Self { width, height, data: vec![value; width * height] }
+    }
+
+    /// Creates an image from a row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::DataLength`] when `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> crate::Result<Self> {
+        if data.len() != width * height {
+            return Err(ImageError::DataLength { expected: width * height, actual: data.len() });
+        }
+        Ok(Self { width, height, data })
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self { width, height, data }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image has zero pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major pixel buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major pixel buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y)` is out of bounds.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Pixel value with the coordinates clamped to the image border.
+    ///
+    /// Accepts signed coordinates so callers can index relative neighbourhoods
+    /// without bounds checks.
+    #[inline]
+    pub fn at_clamped(&self, x: isize, y: isize) -> f32 {
+        if self.width == 0 || self.height == 0 {
+            return 0.0;
+        }
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Bilinearly interpolated value at a real-valued coordinate, with border
+    /// clamping.
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        if self.width == 0 || self.height == 0 {
+            return 0.0;
+        }
+        let x = x.clamp(0.0, (self.width - 1) as f32);
+        let y = y.clamp(0.0, (self.height - 1) as f32);
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let dx = x - x0 as f32;
+        let dy = y - y0 as f32;
+        self.at(x0, y0) * (1.0 - dx) * (1.0 - dy)
+            + self.at(x1, y0) * dx * (1.0 - dy)
+            + self.at(x0, y1) * (1.0 - dx) * dy
+            + self.at(x1, y1) * dx * dy
+    }
+
+    /// Sum of all pixel values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Mean pixel value (0 for an empty image).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            (self.sum() / self.data.len() as f64) as f32
+        }
+    }
+
+    /// Mean absolute difference between two images of identical size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::DimensionMismatch`] when the sizes differ.
+    pub fn mean_abs_diff(&self, other: &Image) -> crate::Result<f32> {
+        if self.width != other.width || self.height != other.height {
+            return Err(ImageError::dimension_mismatch(format!(
+                "{}x{} vs {}x{}",
+                self.width, self.height, other.width, other.height
+            )));
+        }
+        if self.data.is_empty() {
+            return Ok(0.0);
+        }
+        let total: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .sum();
+        Ok((total / self.data.len() as f64) as f32)
+    }
+
+    /// Applies `f` to every pixel in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Downsamples by a factor of two using 2×2 box averaging.
+    pub fn downsample2(&self) -> Image {
+        let nw = (self.width / 2).max(1);
+        let nh = (self.height / 2).max(1);
+        Image::from_fn(nw, nh, |x, y| {
+            let x0 = (2 * x).min(self.width.saturating_sub(1));
+            let y0 = (2 * y).min(self.height.saturating_sub(1));
+            let x1 = (2 * x + 1).min(self.width.saturating_sub(1));
+            let y1 = (2 * y + 1).min(self.height.saturating_sub(1));
+            0.25 * (self.at(x0, y0) + self.at(x1, y0) + self.at(x0, y1) + self.at(x1, y1))
+        })
+    }
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        Image::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let img = Image::from_fn(3, 2, |x, y| (y * 3 + x) as f32);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.len(), 6);
+        assert!(!img.is_empty());
+        assert_eq!(img.at(2, 1), 5.0);
+        assert_eq!(img.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Image::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(Image::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn set_and_map() {
+        let mut img = Image::zeros(2, 2);
+        img.set(1, 1, 4.0);
+        img.map_inplace(|v| v + 1.0);
+        assert_eq!(img.at(1, 1), 5.0);
+        assert_eq!(img.at(0, 0), 1.0);
+        assert_eq!(img.mean(), 2.0);
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let img = Image::from_fn(2, 2, |x, y| (y * 2 + x) as f32);
+        assert_eq!(img.at_clamped(-5, -5), 0.0);
+        assert_eq!(img.at_clamped(10, 10), 3.0);
+        assert_eq!(img.at_clamped(1, 0), 1.0);
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let img = Image::from_fn(2, 2, |x, y| (y * 2 + x) as f32);
+        assert_eq!(img.sample_bilinear(0.0, 0.0), 0.0);
+        assert_eq!(img.sample_bilinear(1.0, 1.0), 3.0);
+        assert!((img.sample_bilinear(0.5, 0.5) - 1.5).abs() < 1e-6);
+        // Out of bounds clamps rather than panicking.
+        assert_eq!(img.sample_bilinear(-3.0, -3.0), 0.0);
+        assert_eq!(img.sample_bilinear(9.0, 9.0), 3.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_checks_dimensions() {
+        let a = Image::filled(2, 2, 1.0);
+        let b = Image::filled(2, 2, 2.0);
+        assert_eq!(a.mean_abs_diff(&b).unwrap(), 1.0);
+        let c = Image::zeros(3, 2);
+        assert!(a.mean_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = Image::filled(8, 6, 3.0);
+        let half = img.downsample2();
+        assert_eq!(half.width(), 4);
+        assert_eq!(half.height(), 3);
+        assert!(half.as_slice().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+        // Degenerate 1x1 image stays 1x1.
+        let tiny = Image::filled(1, 1, 2.0);
+        let d = tiny.downsample2();
+        assert_eq!((d.width(), d.height()), (1, 1));
+    }
+
+    #[test]
+    fn empty_image_is_safe() {
+        let img = Image::default();
+        assert!(img.is_empty());
+        assert_eq!(img.mean(), 0.0);
+        assert_eq!(img.at_clamped(3, 3), 0.0);
+        assert_eq!(img.sample_bilinear(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ImageError::DataLength { expected: 4, actual: 2 };
+        assert!(e.to_string().contains("does not match"));
+        assert!(ImageError::dimension_mismatch("a vs b").to_string().contains("a vs b"));
+        assert!(ImageError::invalid_parameter("window").to_string().contains("window"));
+    }
+}

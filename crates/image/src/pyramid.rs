@@ -1,0 +1,111 @@
+//! Gaussian image pyramids for coarse-to-fine optical flow.
+
+use crate::gaussian::gaussian_blur;
+use crate::image::{Image, ImageError};
+use crate::Result;
+
+/// A Gaussian pyramid: level 0 is the original image, each subsequent level is
+/// blurred and downsampled by two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pyramid {
+    levels: Vec<Image>,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with up to `levels` levels.
+    ///
+    /// Construction stops early when a level would become smaller than
+    /// `min_size` in either dimension, so the returned pyramid may have fewer
+    /// levels than requested (but always at least one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::InvalidParameter`] when `levels == 0` or the
+    /// image is empty.
+    pub fn build(image: &Image, levels: usize, min_size: usize) -> Result<Self> {
+        if levels == 0 {
+            return Err(ImageError::invalid_parameter("pyramid must have at least one level"));
+        }
+        if image.is_empty() {
+            return Err(ImageError::invalid_parameter("cannot build a pyramid from an empty image"));
+        }
+        let mut out = vec![image.clone()];
+        for _ in 1..levels {
+            let prev = out.last().expect("pyramid has at least the base level");
+            if prev.width() / 2 < min_size.max(1) || prev.height() / 2 < min_size.max(1) {
+                break;
+            }
+            let blurred = gaussian_blur(prev, 1.0);
+            out.push(blurred.downsample2());
+        }
+        Ok(Self { levels: out })
+    }
+
+    /// Number of levels actually built.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level `i` (0 is full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= num_levels()`.
+    pub fn level(&self, i: usize) -> &Image {
+        &self.levels[i]
+    }
+
+    /// Iterates levels from coarsest to finest, the order in which
+    /// coarse-to-fine flow refines its estimate.
+    pub fn iter_coarse_to_fine(&self) -> impl Iterator<Item = &Image> {
+        self.levels.iter().rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pyramid_halves_each_level() {
+        let img = Image::filled(64, 48, 1.0);
+        let pyr = Pyramid::build(&img, 4, 4).unwrap();
+        assert_eq!(pyr.num_levels(), 4);
+        assert_eq!((pyr.level(0).width(), pyr.level(0).height()), (64, 48));
+        assert_eq!((pyr.level(1).width(), pyr.level(1).height()), (32, 24));
+        assert_eq!((pyr.level(3).width(), pyr.level(3).height()), (8, 6));
+    }
+
+    #[test]
+    fn pyramid_stops_at_min_size() {
+        let img = Image::filled(16, 16, 1.0);
+        let pyr = Pyramid::build(&img, 10, 4).unwrap();
+        // 16 -> 8 -> 4, stopping before dropping below 4.
+        assert_eq!(pyr.num_levels(), 3);
+        assert_eq!(pyr.level(2).width(), 4);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let img = Image::filled(8, 8, 1.0);
+        assert!(Pyramid::build(&img, 0, 4).is_err());
+        assert!(Pyramid::build(&Image::default(), 3, 4).is_err());
+    }
+
+    #[test]
+    fn coarse_to_fine_iteration_order() {
+        let img = Image::filled(32, 32, 1.0);
+        let pyr = Pyramid::build(&img, 3, 4).unwrap();
+        let widths: Vec<usize> = pyr.iter_coarse_to_fine().map(Image::width).collect();
+        assert_eq!(widths, vec![8, 16, 32]);
+    }
+
+    #[test]
+    fn constant_image_stays_constant_at_all_levels() {
+        let img = Image::filled(32, 32, 0.3);
+        let pyr = Pyramid::build(&img, 3, 4).unwrap();
+        for level in 0..pyr.num_levels() {
+            assert!(pyr.level(level).as_slice().iter().all(|&v| (v - 0.3).abs() < 1e-4));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Screen-space scene objects and procedural textures.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a scene object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// Axis-aligned rectangle.
+    Rectangle,
+    /// Axis-aligned ellipse inscribed in the object's bounding box.
+    Ellipse,
+}
+
+/// Procedural texture: a sum of two sinusoids plus hashed per-pixel noise,
+/// evaluated in *object-local* coordinates so the texture moves rigidly with
+/// the object (required for correspondences to be trackable across frames).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Texture {
+    /// Base intensity in `[0, 1]`.
+    pub base: f32,
+    /// Amplitude of the sinusoidal component.
+    pub amplitude: f32,
+    /// Spatial frequency (radians per pixel) along x.
+    pub freq_x: f32,
+    /// Spatial frequency (radians per pixel) along y.
+    pub freq_y: f32,
+    /// Amplitude of the deterministic per-pixel hash noise.
+    pub hash_amplitude: f32,
+    /// Phase offset distinguishing objects that share frequencies.
+    pub phase: f32,
+}
+
+impl Texture {
+    /// Evaluates the texture at object-local coordinates `(u, v)`.
+    pub fn sample(&self, u: f32, v: f32) -> f32 {
+        let sinusoid = (u * self.freq_x + self.phase).sin() * (v * self.freq_y + self.phase * 0.7).cos();
+        let iu = u.round() as i64;
+        let iv = v.round() as i64;
+        let hashed = hash2(iu, iv);
+        (self.base + self.amplitude * sinusoid + self.hash_amplitude * hashed).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for Texture {
+    fn default() -> Self {
+        Self { base: 0.5, amplitude: 0.3, freq_x: 0.7, freq_y: 0.5, hash_amplitude: 0.1, phase: 0.0 }
+    }
+}
+
+/// Deterministic hash of an integer lattice point mapped to `[-1, 1]`.
+fn hash2(x: i64, y: i64) -> f32 {
+    let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    ((h & 0xFFFF) as f32 / 32768.0) - 1.0
+}
+
+/// A textured fronto-parallel object in screen space.
+///
+/// Positions and sizes are in left-image pixel coordinates; `disparity` is the
+/// horizontal displacement between the left and right projections (larger
+/// disparity ⇒ nearer object).  `velocity` moves the object between frames and
+/// `disparity_rate` changes its depth over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneObject {
+    /// Shape of the object.
+    pub shape: ShapeKind,
+    /// Centre x coordinate in the left image (pixels).
+    pub cx: f32,
+    /// Centre y coordinate in the left image (pixels).
+    pub cy: f32,
+    /// Half-width in pixels.
+    pub half_w: f32,
+    /// Half-height in pixels.
+    pub half_h: f32,
+    /// Disparity in pixels (≥ 0; larger means nearer).
+    pub disparity: f32,
+    /// Per-frame screen velocity (pixels/frame) in x.
+    pub vx: f32,
+    /// Per-frame screen velocity (pixels/frame) in y.
+    pub vy: f32,
+    /// Per-frame disparity change (pixels/frame).
+    pub disparity_rate: f32,
+    /// Texture painted on the object.
+    pub texture: Texture,
+}
+
+impl SceneObject {
+    /// Whether the object covers left-image pixel `(x, y)`.
+    pub fn covers(&self, x: f32, y: f32) -> bool {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        match self.shape {
+            ShapeKind::Rectangle => dx.abs() <= self.half_w && dy.abs() <= self.half_h,
+            ShapeKind::Ellipse => {
+                if self.half_w <= 0.0 || self.half_h <= 0.0 {
+                    return false;
+                }
+                (dx / self.half_w).powi(2) + (dy / self.half_h).powi(2) <= 1.0
+            }
+        }
+    }
+
+    /// Texture intensity of the object at left-image pixel `(x, y)`.
+    pub fn shade(&self, x: f32, y: f32) -> f32 {
+        self.texture.sample(x - self.cx, y - self.cy)
+    }
+
+    /// The object advanced by `frames` time steps.
+    pub fn advanced(&self, frames: f32) -> SceneObject {
+        SceneObject {
+            cx: self.cx + self.vx * frames,
+            cy: self.cy + self.vy * frames,
+            disparity: (self.disparity + self.disparity_rate * frames).max(0.0),
+            ..*self
+        }
+    }
+}
+
+impl Default for SceneObject {
+    fn default() -> Self {
+        Self {
+            shape: ShapeKind::Rectangle,
+            cx: 0.0,
+            cy: 0.0,
+            half_w: 8.0,
+            half_h: 8.0,
+            disparity: 10.0,
+            vx: 0.0,
+            vy: 0.0,
+            disparity_rate: 0.0,
+            texture: Texture::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texture_is_deterministic_and_bounded() {
+        let t = Texture::default();
+        for (u, v) in [(0.0, 0.0), (3.7, -2.1), (100.0, 55.0)] {
+            let a = t.sample(u, v);
+            let b = t.sample(u, v);
+            assert_eq!(a, b);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn texture_varies_spatially() {
+        let t = Texture::default();
+        let values: Vec<f32> = (0..50).map(|i| t.sample(i as f32, 0.0)).collect();
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.1, "texture should not be flat");
+    }
+
+    #[test]
+    fn rectangle_and_ellipse_coverage() {
+        let rect = SceneObject { cx: 10.0, cy: 10.0, half_w: 5.0, half_h: 3.0, ..Default::default() };
+        assert!(rect.covers(10.0, 10.0));
+        assert!(rect.covers(15.0, 13.0));
+        assert!(!rect.covers(16.0, 10.0));
+        let ell = SceneObject { shape: ShapeKind::Ellipse, ..rect };
+        assert!(ell.covers(10.0, 10.0));
+        // The rectangle corner is outside the inscribed ellipse.
+        assert!(!ell.covers(15.0, 13.0));
+        let degenerate = SceneObject { shape: ShapeKind::Ellipse, half_w: 0.0, ..rect };
+        assert!(!degenerate.covers(10.0, 10.0));
+    }
+
+    #[test]
+    fn advanced_moves_and_clamps_disparity() {
+        let obj = SceneObject { vx: 2.0, vy: -1.0, disparity: 4.0, disparity_rate: -3.0, ..Default::default() };
+        let next = obj.advanced(1.0);
+        assert_eq!(next.cx, 2.0);
+        assert_eq!(next.cy, -1.0);
+        assert_eq!(next.disparity, 1.0);
+        // Disparity never goes negative.
+        let far = obj.advanced(5.0);
+        assert_eq!(far.disparity, 0.0);
+    }
+
+    #[test]
+    fn shading_moves_rigidly_with_object() {
+        let obj = SceneObject { cx: 10.0, cy: 10.0, vx: 3.0, ..Default::default() };
+        let before = obj.shade(12.0, 11.0);
+        let moved = obj.advanced(1.0);
+        // The same material point is now 3 pixels to the right.
+        let after = moved.shade(15.0, 11.0);
+        assert!((before - after).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,425 @@
+//! Stereo sequence generation: configuration profiles, frame rendering and
+//! ground truth.
+
+use crate::objects::{SceneObject, ShapeKind, Texture};
+use asv_flow::FlowField;
+use asv_image::Image;
+use asv_stereo::DisparityMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which dataset the generated sequence is meant to stand in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// SceneFlow-like: clean synthetic imagery, moderate motion, no sensor
+    /// noise.
+    SceneFlowLike,
+    /// KITTI-like: larger motion, sensor noise and a brightness mismatch
+    /// between the two cameras.
+    KittiLike,
+}
+
+/// Configuration of the synthetic stereo sequence generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Which dataset the sequence imitates.
+    pub profile: DatasetProfile,
+    /// Number of foreground objects.
+    pub num_objects: usize,
+    /// Background disparity in pixels.
+    pub background_disparity: f32,
+    /// Minimum foreground disparity.
+    pub min_disparity: f32,
+    /// Maximum foreground disparity.
+    pub max_disparity: f32,
+    /// Maximum per-frame screen motion of an object (pixels/frame).
+    pub max_speed: f32,
+    /// Standard deviation of additive Gaussian sensor noise.
+    pub noise_sigma: f32,
+    /// Multiplicative brightness gain applied to the right image only.
+    pub right_gain: f32,
+    /// Seed of the deterministic random generator.
+    pub seed: u64,
+}
+
+impl SceneConfig {
+    /// A SceneFlow-like profile: clean images, moderate motion.
+    pub fn scene_flow_like(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            profile: DatasetProfile::SceneFlowLike,
+            num_objects: 6,
+            background_disparity: 3.0,
+            min_disparity: 6.0,
+            max_disparity: 28.0,
+            max_speed: 2.0,
+            noise_sigma: 0.0,
+            right_gain: 1.0,
+            seed: 1,
+        }
+    }
+
+    /// A KITTI-like profile: faster motion, sensor noise, brightness mismatch.
+    pub fn kitti_like(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            profile: DatasetProfile::KittiLike,
+            num_objects: 8,
+            background_disparity: 2.0,
+            min_disparity: 5.0,
+            max_disparity: 40.0,
+            max_speed: 4.0,
+            noise_sigma: 0.015,
+            right_gain: 1.03,
+            seed: 2,
+        }
+    }
+
+    /// Returns the configuration with a different random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with a different object count.
+    pub fn with_objects(mut self, num_objects: usize) -> Self {
+        self.num_objects = num_objects;
+        self
+    }
+
+    /// Largest disparity that can appear in the generated ground truth,
+    /// rounded up — callers size their disparity search ranges from this.
+    pub fn disparity_ceiling(&self) -> usize {
+        self.max_disparity.ceil() as usize + 2
+    }
+}
+
+/// One rendered stereo frame with its ground truth.
+#[derive(Debug, Clone)]
+pub struct StereoFrame {
+    /// Left (reference) camera image.
+    pub left: Image,
+    /// Right (matching) camera image.
+    pub right: Image,
+    /// Ground-truth disparity registered to the left image.
+    pub ground_truth: DisparityMap,
+    /// Ground-truth optical flow of the left image from this frame to the
+    /// next one (`None` for the last frame of a sequence).
+    pub flow_to_next: Option<FlowField>,
+}
+
+/// A temporally coherent sequence of stereo frames.
+#[derive(Debug, Clone)]
+pub struct StereoSequence {
+    frames: Vec<StereoFrame>,
+    config: SceneConfig,
+}
+
+impl StereoSequence {
+    /// Generates a sequence of `num_frames` frames.
+    ///
+    /// The generator is deterministic for a given configuration (including the
+    /// seed).
+    pub fn generate(config: &SceneConfig, num_frames: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let objects = spawn_objects(config, &mut rng);
+        let background = Texture {
+            base: 0.45,
+            amplitude: 0.2,
+            freq_x: 0.23,
+            freq_y: 0.31,
+            hash_amplitude: 0.05,
+            phase: 0.37,
+        };
+        let mut frames = Vec::with_capacity(num_frames);
+        for t in 0..num_frames {
+            let at_t: Vec<SceneObject> = objects.iter().map(|o| o.advanced(t as f32)).collect();
+            let (left, right, ground_truth) = render(config, &at_t, &background, &mut rng);
+            let flow_to_next = if t + 1 < num_frames {
+                Some(ground_truth_flow(config, &at_t))
+            } else {
+                None
+            };
+            frames.push(StereoFrame { left, right, ground_truth, flow_to_next });
+        }
+        Self { frames, config: config.clone() }
+    }
+
+    /// Number of frames in the sequence.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The rendered frames in temporal order.
+    pub fn frames(&self) -> &[StereoFrame] {
+        &self.frames
+    }
+
+    /// The configuration used to generate the sequence.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+}
+
+fn spawn_objects(config: &SceneConfig, rng: &mut SmallRng) -> Vec<SceneObject> {
+    let mut objects = Vec::with_capacity(config.num_objects);
+    for i in 0..config.num_objects {
+        let shape = if i % 2 == 0 { ShapeKind::Rectangle } else { ShapeKind::Ellipse };
+        let half_w = rng.gen_range(config.width as f32 * 0.06..config.width as f32 * 0.18);
+        let half_h = rng.gen_range(config.height as f32 * 0.08..config.height as f32 * 0.22);
+        let disparity = rng.gen_range(config.min_disparity..config.max_disparity);
+        let texture = Texture {
+            base: rng.gen_range(0.3..0.7),
+            amplitude: rng.gen_range(0.15..0.35),
+            freq_x: rng.gen_range(0.3..1.1),
+            freq_y: rng.gen_range(0.3..1.1),
+            hash_amplitude: rng.gen_range(0.05..0.15),
+            phase: rng.gen_range(0.0..std::f32::consts::TAU),
+        };
+        objects.push(SceneObject {
+            shape,
+            cx: rng.gen_range(0.15 * config.width as f32..0.85 * config.width as f32),
+            cy: rng.gen_range(0.15 * config.height as f32..0.85 * config.height as f32),
+            half_w,
+            half_h,
+            disparity,
+            vx: rng.gen_range(-config.max_speed..config.max_speed),
+            vy: rng.gen_range(-config.max_speed * 0.5..config.max_speed * 0.5),
+            disparity_rate: rng.gen_range(-0.3..0.3),
+            texture,
+        });
+    }
+    // Painter's order: far (small disparity) first so near objects overwrite.
+    objects.sort_by(|a, b| a.disparity.partial_cmp(&b.disparity).unwrap_or(std::cmp::Ordering::Equal));
+    objects
+}
+
+/// Renders one frame: left and right images plus ground-truth disparity.
+fn render(
+    config: &SceneConfig,
+    objects: &[SceneObject],
+    background: &Texture,
+    rng: &mut SmallRng,
+) -> (Image, Image, DisparityMap) {
+    let width = config.width;
+    let height = config.height;
+    let mut left = Image::zeros(width, height);
+    let mut right = Image::zeros(width, height);
+    let mut truth = DisparityMap::invalid(width, height);
+
+    for y in 0..height {
+        for x in 0..width {
+            let xf = x as f32;
+            let yf = y as f32;
+            // Left view: topmost (nearest) object covering the pixel wins.
+            let mut value = background.sample(xf, yf);
+            let mut disparity = config.background_disparity;
+            for obj in objects {
+                if obj.covers(xf, yf) {
+                    value = obj.shade(xf, yf);
+                    disparity = obj.disparity;
+                }
+            }
+            left.set(x, y, value);
+            truth.set(x, y, disparity);
+
+            // Right view: the scene point visible at right-image (x, y) is the
+            // nearest surface whose left-image projection x_l = x + d covers
+            // (x_l, y).  Background is always a candidate.
+            let mut rvalue = background.sample(xf + config.background_disparity, yf);
+            for obj in objects {
+                let xl = xf + obj.disparity;
+                if obj.covers(xl, yf) {
+                    rvalue = obj.shade(xl, yf);
+                }
+            }
+            right.set(x, y, rvalue);
+        }
+    }
+
+    if config.noise_sigma > 0.0 || config.right_gain != 1.0 {
+        apply_sensor_model(&mut left, config.noise_sigma, 1.0, rng);
+        apply_sensor_model(&mut right, config.noise_sigma, config.right_gain, rng);
+    }
+    (left, right, truth)
+}
+
+/// Adds Gaussian noise (Box-Muller) and a gain to an image, clamping to [0,1].
+fn apply_sensor_model(image: &mut Image, sigma: f32, gain: f32, rng: &mut SmallRng) {
+    for v in image.as_mut_slice() {
+        let noise = if sigma > 0.0 {
+            let u1: f32 = rng.gen_range(1e-6..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * sigma
+        } else {
+            0.0
+        };
+        *v = (*v * gain + noise).clamp(0.0, 1.0);
+    }
+}
+
+/// Ground-truth optical flow of the left image from frame `t` to `t + 1`:
+/// each pixel moves with the velocity of the nearest object covering it.
+fn ground_truth_flow(config: &SceneConfig, objects: &[SceneObject]) -> FlowField {
+    let mut flow = FlowField::zeros(config.width, config.height);
+    for y in 0..config.height {
+        for x in 0..config.width {
+            let xf = x as f32;
+            let yf = y as f32;
+            let mut u = 0.0;
+            let mut v = 0.0;
+            for obj in objects {
+                if obj.covers(xf, yf) {
+                    u = obj.vx;
+                    v = obj.vy;
+                }
+            }
+            flow.set(x, y, u, v);
+        }
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SceneConfig::scene_flow_like(48, 32).with_seed(3);
+        let a = StereoSequence::generate(&config, 3);
+        let b = StereoSequence::generate(&config, 3);
+        assert_eq!(a.frames()[2].left, b.frames()[2].left);
+        assert_eq!(a.frames()[2].right, b.frames()[2].right);
+        assert_eq!(a.frames()[2].ground_truth, b.frames()[2].ground_truth);
+    }
+
+    #[test]
+    fn frame_dimensions_and_ground_truth_coverage() {
+        let config = SceneConfig::scene_flow_like(64, 40);
+        let seq = StereoSequence::generate(&config, 2);
+        assert_eq!(seq.len(), 2);
+        assert!(!seq.is_empty());
+        let f = &seq.frames()[0];
+        assert_eq!(f.left.width(), 64);
+        assert_eq!(f.right.height(), 40);
+        // Every pixel has a ground-truth disparity (background included).
+        assert!(f.ground_truth.valid_fraction() > 0.999);
+        assert!(f.flow_to_next.is_some());
+        assert!(seq.frames()[1].flow_to_next.is_none());
+    }
+
+    #[test]
+    fn ground_truth_disparities_are_within_configured_range() {
+        let config = SceneConfig::scene_flow_like(64, 48).with_seed(11);
+        let seq = StereoSequence::generate(&config, 1);
+        let gt = &seq.frames()[0].ground_truth;
+        for y in 0..gt.height() {
+            for x in 0..gt.width() {
+                let d = gt.get(x, y).unwrap();
+                assert!(d >= 0.0 && d <= config.disparity_ceiling() as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_pair_is_consistent_with_ground_truth() {
+        // For pixels whose whole neighbourhood shares one disparity, the left
+        // pixel equals the right pixel shifted by that disparity (no noise on
+        // the SceneFlow-like profile).
+        let config = SceneConfig::scene_flow_like(80, 60).with_seed(5);
+        let seq = StereoSequence::generate(&config, 1);
+        let f = &seq.frames()[0];
+        let gt = &f.ground_truth;
+        let mut checked = 0;
+        let mut consistent = 0;
+        for y in 2..58 {
+            for x in 45..78 {
+                let d = gt.get(x, y).unwrap();
+                let xr = x as f32 - d;
+                if xr < 1.0 {
+                    continue;
+                }
+                // Only test pixels away from disparity discontinuities.
+                let neighbours_same = [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)]
+                    .iter()
+                    .all(|&(nx, ny)| (gt.get(nx, ny).unwrap() - d).abs() < 0.5);
+                if !neighbours_same {
+                    continue;
+                }
+                checked += 1;
+                let lv = f.left.at(x, y);
+                let rv = f.right.sample_bilinear(xr, y as f32);
+                if (lv - rv).abs() < 0.05 {
+                    consistent += 1;
+                }
+            }
+        }
+        assert!(checked > 50, "not enough testable pixels ({checked})");
+        assert!(
+            consistent as f64 / checked as f64 > 0.9,
+            "only {consistent}/{checked} pixels photo-consistent"
+        );
+    }
+
+    #[test]
+    fn sequence_has_temporal_motion() {
+        let config = SceneConfig::scene_flow_like(64, 48).with_seed(9);
+        let seq = StereoSequence::generate(&config, 2);
+        let diff = seq.frames()[0].left.mean_abs_diff(&seq.frames()[1].left).unwrap();
+        assert!(diff > 1e-4, "consecutive frames should differ (diff = {diff})");
+        // And the ground-truth flow is non-trivial somewhere.
+        let flow = seq.frames()[0].flow_to_next.as_ref().unwrap();
+        let max_u = flow
+            .u()
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+        assert!(max_u > 0.0);
+    }
+
+    #[test]
+    fn kitti_profile_adds_noise_and_gain() {
+        let base = SceneConfig::kitti_like(48, 32).with_seed(4);
+        let clean = SceneConfig { noise_sigma: 0.0, right_gain: 1.0, ..base.clone() };
+        let noisy_seq = StereoSequence::generate(&base, 1);
+        let clean_seq = StereoSequence::generate(&clean, 1);
+        let diff = noisy_seq.frames()[0].left.mean_abs_diff(&clean_seq.frames()[0].left).unwrap();
+        assert!(diff > 1e-4, "noise should perturb the image");
+        // The right image of the noisy profile is brighter on average than the
+        // clean one because of the gain.
+        assert!(noisy_seq.frames()[0].right.mean() > clean_seq.frames()[0].right.mean());
+    }
+
+    #[test]
+    fn seeds_change_content() {
+        let a = StereoSequence::generate(&SceneConfig::scene_flow_like(48, 32).with_seed(1), 1);
+        let b = StereoSequence::generate(&SceneConfig::scene_flow_like(48, 32).with_seed(2), 1);
+        assert!(a.frames()[0].left.mean_abs_diff(&b.frames()[0].left).unwrap() > 1e-4);
+    }
+
+    #[test]
+    fn with_objects_controls_complexity() {
+        let config = SceneConfig::scene_flow_like(48, 32).with_objects(0);
+        let seq = StereoSequence::generate(&config, 1);
+        // With no foreground objects every pixel is background disparity.
+        let gt = &seq.frames()[0].ground_truth;
+        for y in 0..gt.height() {
+            for x in 0..gt.width() {
+                assert_eq!(gt.get(x, y).unwrap(), config.background_disparity);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Local block-matching stereo, with and without an initial guess.
+//!
+//! Two entry points matter for ASV:
+//!
+//! * [`block_match`] — the classic full-range local matcher (one of the
+//!   low-accuracy, high-FPS "classic" points of Fig. 1).
+//! * [`refine_with_initial`] — block matching restricted to a small 1-D window
+//!   centred on an externally provided initial disparity.  This is the
+//!   correspondence-*refinement* step of the ISM algorithm (Sec. 3.2, step 4):
+//!   the initial disparity comes from the correspondences propagated from the
+//!   key frame, so a tiny search window suffices.
+
+use crate::disparity::{DisparityMap, StereoError};
+use crate::Result;
+use asv_image::cost::{block_sad, sad_ops_per_block, BlockSpec};
+use asv_image::Image;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the local block matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockMatchParams {
+    /// Matching block half-width.
+    pub block: BlockSpec,
+    /// Largest disparity searched by the full-range matcher.
+    pub max_disparity: usize,
+    /// Half-width of the search window around the initial guess used by
+    /// [`refine_with_initial`].
+    pub refine_radius: usize,
+    /// Enable parabolic sub-pixel refinement of the winning disparity.
+    pub subpixel: bool,
+    /// Maximum allowed SAD (per pixel of the block) for a match to be
+    /// accepted; larger costs mark the pixel invalid.
+    pub max_cost_per_pixel: f32,
+}
+
+impl Default for BlockMatchParams {
+    fn default() -> Self {
+        Self {
+            block: BlockSpec::new(3),
+            max_disparity: 64,
+            refine_radius: 3,
+            subpixel: true,
+            max_cost_per_pixel: f32::INFINITY,
+        }
+    }
+}
+
+fn check_pair(left: &Image, right: &Image) -> Result<()> {
+    if left.width() != right.width() || left.height() != right.height() {
+        return Err(StereoError::dimension_mismatch(format!(
+            "{}x{} vs {}x{}",
+            left.width(),
+            left.height(),
+            right.width(),
+            right.height()
+        )));
+    }
+    if left.is_empty() {
+        return Err(StereoError::invalid_parameter("cannot match empty images"));
+    }
+    Ok(())
+}
+
+/// Searches disparities `lo..=hi` for the best SAD match of the block centred
+/// at `(x, y)`, returning `(best_disparity, best_cost)` with optional
+/// parabolic sub-pixel refinement.
+fn search_range(
+    left: &Image,
+    right: &Image,
+    x: usize,
+    y: usize,
+    lo: usize,
+    hi: usize,
+    params: &BlockMatchParams,
+) -> (f32, f32) {
+    let mut best_d = lo;
+    let mut best_cost = f32::INFINITY;
+    let mut costs: Vec<f32> = Vec::with_capacity(hi - lo + 1);
+    for d in lo..=hi {
+        let cost = block_sad(
+            left,
+            right,
+            x as isize,
+            y as isize,
+            x as isize - d as isize,
+            y as isize,
+            params.block,
+        );
+        costs.push(cost);
+        if cost < best_cost {
+            best_cost = cost;
+            best_d = d;
+        }
+    }
+    if !params.subpixel || best_d == lo || best_d == hi {
+        return (best_d as f32, best_cost);
+    }
+    let i = best_d - lo;
+    let c0 = costs[i - 1];
+    let c1 = costs[i];
+    let c2 = costs[i + 1];
+    let denom = c0 - 2.0 * c1 + c2;
+    if denom.abs() < 1e-9 {
+        return (best_d as f32, best_cost);
+    }
+    let offset = (0.5 * (c0 - c2) / denom).clamp(-0.5, 0.5);
+    (best_d as f32 + offset, best_cost)
+}
+
+/// Full-range local block matching over disparities `0..=max_disparity`.
+///
+/// # Errors
+///
+/// Returns [`StereoError::DimensionMismatch`] for mismatched image sizes and
+/// [`StereoError::InvalidParameter`] for empty images.
+pub fn block_match(left: &Image, right: &Image, params: &BlockMatchParams) -> Result<DisparityMap> {
+    check_pair(left, right)?;
+    let width = left.width();
+    let height = left.height();
+    let mut map = DisparityMap::invalid(width, height);
+    let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
+    for y in 0..height {
+        for x in 0..width {
+            let hi = params.max_disparity.min(x.max(0));
+            let (d, cost) = search_range(left, right, x, y, 0, hi.max(0), params);
+            if cost <= cost_limit {
+                map.set(x, y, d);
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Block matching restricted to `±refine_radius` pixels around `initial`.
+///
+/// Pixels whose initial disparity is invalid fall back to the full-range
+/// search.  This mirrors ISM's non-key-frame refinement: propagated
+/// correspondences provide the initial estimate, and only a small local
+/// search is needed to absorb motion-estimation noise.
+///
+/// # Errors
+///
+/// Returns [`StereoError::DimensionMismatch`] when the images or the initial
+/// map differ in size, and [`StereoError::InvalidParameter`] for empty
+/// images.
+pub fn refine_with_initial(
+    left: &Image,
+    right: &Image,
+    initial: &DisparityMap,
+    params: &BlockMatchParams,
+) -> Result<DisparityMap> {
+    check_pair(left, right)?;
+    if initial.width() != left.width() || initial.height() != left.height() {
+        return Err(StereoError::dimension_mismatch(format!(
+            "initial map {}x{} vs images {}x{}",
+            initial.width(),
+            initial.height(),
+            left.width(),
+            left.height()
+        )));
+    }
+    let width = left.width();
+    let height = left.height();
+    let mut map = DisparityMap::invalid(width, height);
+    let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
+    for y in 0..height {
+        for x in 0..width {
+            let (lo, hi) = match initial.get(x, y) {
+                Some(init) => {
+                    let centre = init.round().max(0.0) as usize;
+                    let lo = centre.saturating_sub(params.refine_radius);
+                    let hi = (centre + params.refine_radius).min(params.max_disparity).min(x.max(0));
+                    (lo.min(hi), hi)
+                }
+                None => (0, params.max_disparity.min(x.max(0))),
+            };
+            let (d, cost) = search_range(left, right, x, y, lo, hi, params);
+            if cost <= cost_limit {
+                map.set(x, y, d);
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Arithmetic operation count of a full-range block match on a frame of the
+/// given size (used by the Fig. 1 frontier and the ISM cost model).
+pub fn block_match_op_count(width: usize, height: usize, params: &BlockMatchParams) -> u64 {
+    let per_pixel = (params.max_disparity as u64 + 1) * sad_ops_per_block(params.block);
+    width as u64 * height as u64 * per_pixel
+}
+
+/// Arithmetic operation count of the ISM refinement search (small window
+/// around the propagated disparity).
+pub fn refine_op_count(width: usize, height: usize, params: &BlockMatchParams) -> u64 {
+    let candidates = 2 * params.refine_radius as u64 + 1;
+    let per_pixel = candidates * sad_ops_per_block(params.block);
+    width as u64 * height as u64 * per_pixel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a rectified pair where the true disparity is `disparity`
+    /// everywhere (right image content shifted left).
+    fn constant_disparity_pair(width: usize, height: usize, disparity: usize) -> (Image, Image) {
+        let right = Image::from_fn(width, height, |x, y| {
+            let fx = x as f32 * 0.7;
+            let fy = y as f32 * 0.4;
+            (fx.sin() + fy.cos() + ((x * 3 + y * 5) % 7) as f32 * 0.11) * 0.5
+        });
+        let left = Image::from_fn(width, height, |x, y| {
+            right.at_clamped(x as isize - disparity as isize, y as isize)
+        });
+        (left, right)
+    }
+
+    fn interior_error(map: &DisparityMap, truth: f32, margin: usize) -> f32 {
+        let mut worst = 0.0f32;
+        for y in margin..map.height() - margin {
+            for x in (margin + truth as usize)..map.width() - margin {
+                if let Some(d) = map.get(x, y) {
+                    worst = worst.max((d - truth).abs());
+                }
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn full_search_recovers_constant_disparity() {
+        let (l, r) = constant_disparity_pair(48, 24, 6);
+        let params = BlockMatchParams { max_disparity: 16, ..Default::default() };
+        let map = block_match(&l, &r, &params).unwrap();
+        assert!(interior_error(&map, 6.0, 5) <= 1.0);
+    }
+
+    #[test]
+    fn refinement_with_correct_initial_matches_full_search() {
+        let (l, r) = constant_disparity_pair(48, 24, 6);
+        let params = BlockMatchParams { max_disparity: 16, refine_radius: 2, ..Default::default() };
+        let initial = DisparityMap::constant(48, 24, 6.0);
+        let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
+        assert!(interior_error(&refined, 6.0, 5) <= 1.0);
+    }
+
+    #[test]
+    fn refinement_recovers_from_slightly_wrong_initial() {
+        let (l, r) = constant_disparity_pair(48, 24, 6);
+        let params = BlockMatchParams { max_disparity: 16, refine_radius: 3, ..Default::default() };
+        // Initial guess off by 2 pixels, inside the refinement radius.
+        let initial = DisparityMap::constant(48, 24, 8.0);
+        let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
+        assert!(interior_error(&refined, 6.0, 6) <= 1.0);
+    }
+
+    #[test]
+    fn refinement_falls_back_to_full_search_for_invalid_initial() {
+        let (l, r) = constant_disparity_pair(48, 24, 6);
+        let params = BlockMatchParams { max_disparity: 16, refine_radius: 1, ..Default::default() };
+        let initial = DisparityMap::invalid(48, 24);
+        let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
+        assert!(interior_error(&refined, 6.0, 6) <= 1.0);
+    }
+
+    #[test]
+    fn cost_threshold_marks_bad_matches_invalid() {
+        // Left and right are uncorrelated noise; with a tight cost threshold
+        // most pixels should be rejected.
+        let left = Image::from_fn(32, 16, |x, y| ((x * 31 + y * 17) % 13) as f32);
+        let right = Image::from_fn(32, 16, |x, y| ((x * 7 + y * 29 + 5) % 11) as f32);
+        let params = BlockMatchParams { max_disparity: 8, max_cost_per_pixel: 0.01, ..Default::default() };
+        let map = block_match(&left, &right, &params).unwrap();
+        assert!(map.valid_fraction() < 0.5);
+    }
+
+    #[test]
+    fn input_validation() {
+        let a = Image::zeros(8, 8);
+        let b = Image::zeros(9, 8);
+        assert!(block_match(&a, &b, &BlockMatchParams::default()).is_err());
+        assert!(block_match(&Image::default(), &Image::default(), &BlockMatchParams::default()).is_err());
+        let init = DisparityMap::invalid(4, 4);
+        assert!(refine_with_initial(&a, &a, &init, &BlockMatchParams::default()).is_err());
+    }
+
+    #[test]
+    fn refinement_is_cheaper_than_full_search() {
+        let params = BlockMatchParams::default();
+        let full = block_match_op_count(960, 540, &params);
+        let refine = refine_op_count(960, 540, &params);
+        // With a 64-disparity full search and a ±3 refinement window, the
+        // refinement is roughly an order of magnitude cheaper.
+        assert!(full > 5 * refine);
+        // The ISM paper's estimate: non-key-frame compute ≈ tens of millions of
+        // operations at qHD.  The refinement piece alone is within that scale.
+        assert!(refine < 1_000_000_000);
+    }
+}

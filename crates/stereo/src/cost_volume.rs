@@ -1,0 +1,206 @@
+//! Per-pixel, per-disparity matching cost volumes.
+//!
+//! Both the classic matchers (block matching, SGM) and the DNN surrogate in
+//! `asv-dnn` operate on a cost volume `C(x, y, d)`: the dissimilarity between
+//! pixel `(x, y)` of the left image and pixel `(x - d, y)` of the right
+//! image, aggregated over a square support window.
+
+use crate::disparity::StereoError;
+use crate::Result;
+use asv_image::cost::{block_sad, BlockSpec};
+use asv_image::Image;
+
+/// A dense cost volume with disparities `0..=max_disparity`.
+#[derive(Debug, Clone)]
+pub struct CostVolume {
+    width: usize,
+    height: usize,
+    max_disparity: usize,
+    /// Row-major `[y][x][d]` costs flattened into one vector.
+    costs: Vec<f32>,
+}
+
+impl CostVolume {
+    /// Builds a SAD cost volume from a rectified pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StereoError::DimensionMismatch`] when the images differ in
+    /// size and [`StereoError::InvalidParameter`] when they are empty.
+    pub fn from_pair(
+        left: &Image,
+        right: &Image,
+        max_disparity: usize,
+        block: BlockSpec,
+    ) -> Result<Self> {
+        if left.width() != right.width() || left.height() != right.height() {
+            return Err(StereoError::dimension_mismatch(format!(
+                "{}x{} vs {}x{}",
+                left.width(),
+                left.height(),
+                right.width(),
+                right.height()
+            )));
+        }
+        if left.is_empty() {
+            return Err(StereoError::invalid_parameter("cannot build a cost volume from empty images"));
+        }
+        let width = left.width();
+        let height = left.height();
+        let levels = max_disparity + 1;
+        let mut costs = vec![0.0f32; width * height * levels];
+        for y in 0..height {
+            for x in 0..width {
+                for d in 0..levels {
+                    let cost = block_sad(
+                        left,
+                        right,
+                        x as isize,
+                        y as isize,
+                        x as isize - d as isize,
+                        y as isize,
+                        block,
+                    );
+                    costs[(y * width + x) * levels + d] = cost;
+                }
+            }
+        }
+        Ok(Self { width, height, max_disparity, costs })
+    }
+
+    /// Volume width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Volume height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Largest disparity hypothesis stored.
+    pub fn max_disparity(&self) -> usize {
+        self.max_disparity
+    }
+
+    /// Number of disparity hypotheses (`max_disparity + 1`).
+    pub fn num_disparities(&self) -> usize {
+        self.max_disparity + 1
+    }
+
+    /// Cost of hypothesis `d` at pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates or disparity are out of range.
+    #[inline]
+    pub fn cost(&self, x: usize, y: usize, d: usize) -> f32 {
+        assert!(x < self.width && y < self.height && d <= self.max_disparity);
+        self.costs[(y * self.width + x) * self.num_disparities() + d]
+    }
+
+    /// Mutable access to the cost of hypothesis `d` at pixel `(x, y)`.
+    #[inline]
+    pub fn cost_mut(&mut self, x: usize, y: usize, d: usize) -> &mut f32 {
+        assert!(x < self.width && y < self.height && d <= self.max_disparity);
+        let levels = self.num_disparities();
+        &mut self.costs[(y * self.width + x) * levels + d]
+    }
+
+    /// Winner-take-all disparity at pixel `(x, y)` with optional parabolic
+    /// sub-pixel interpolation around the minimum.
+    pub fn winner_take_all(&self, x: usize, y: usize, subpixel: bool) -> f32 {
+        let levels = self.num_disparities();
+        let mut best_d = 0usize;
+        let mut best_cost = f32::INFINITY;
+        for d in 0..levels {
+            let c = self.cost(x, y, d);
+            if c < best_cost {
+                best_cost = c;
+                best_d = d;
+            }
+        }
+        if !subpixel || best_d == 0 || best_d + 1 >= levels {
+            return best_d as f32;
+        }
+        let c0 = self.cost(x, y, best_d - 1);
+        let c1 = best_cost;
+        let c2 = self.cost(x, y, best_d + 1);
+        let denom = c0 - 2.0 * c1 + c2;
+        if denom.abs() < 1e-9 {
+            return best_d as f32;
+        }
+        let offset = 0.5 * (c0 - c2) / denom;
+        best_d as f32 + offset.clamp(-0.5, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Left image with a constant-disparity shift of 4 between the pair.
+    fn shifted_pair(width: usize, height: usize, disparity: usize) -> (Image, Image) {
+        let right = Image::from_fn(width, height, |x, y| ((x * 7 + y * 3) % 23) as f32);
+        let left = Image::from_fn(width, height, |x, y| {
+            right.at_clamped(x as isize - disparity as isize, y as isize)
+        });
+        (left, right)
+    }
+
+    #[test]
+    fn volume_dimensions() {
+        let (l, r) = shifted_pair(20, 10, 4);
+        let v = CostVolume::from_pair(&l, &r, 8, BlockSpec::new(1)).unwrap();
+        assert_eq!(v.width(), 20);
+        assert_eq!(v.height(), 10);
+        assert_eq!(v.max_disparity(), 8);
+        assert_eq!(v.num_disparities(), 9);
+    }
+
+    #[test]
+    fn minimum_cost_is_at_true_disparity() {
+        let (l, r) = shifted_pair(32, 16, 4);
+        let v = CostVolume::from_pair(&l, &r, 8, BlockSpec::new(2)).unwrap();
+        // Check interior pixels (away from the left border where the shift
+        // clamps).
+        for y in 4..12 {
+            for x in 12..28 {
+                let wta = v.winner_take_all(x, y, false);
+                assert_eq!(wta, 4.0, "pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_at_truth_is_zero() {
+        let (l, r) = shifted_pair(32, 16, 5);
+        let v = CostVolume::from_pair(&l, &r, 8, BlockSpec::new(1)).unwrap();
+        assert!(v.cost(16, 8, 5) < 1e-6);
+        assert!(v.cost(16, 8, 2) > 0.0);
+    }
+
+    #[test]
+    fn subpixel_interpolation_stays_within_half_pixel() {
+        let (l, r) = shifted_pair(32, 16, 4);
+        let v = CostVolume::from_pair(&l, &r, 8, BlockSpec::new(2)).unwrap();
+        let d = v.winner_take_all(16, 8, true);
+        assert!((d - 4.0).abs() <= 0.5);
+    }
+
+    #[test]
+    fn mismatched_pair_is_error() {
+        let a = Image::zeros(8, 8);
+        let b = Image::zeros(9, 8);
+        assert!(CostVolume::from_pair(&a, &b, 4, BlockSpec::new(1)).is_err());
+        assert!(CostVolume::from_pair(&Image::default(), &Image::default(), 4, BlockSpec::new(1)).is_err());
+    }
+
+    #[test]
+    fn cost_mut_allows_in_place_aggregation() {
+        let (l, r) = shifted_pair(8, 8, 2);
+        let mut v = CostVolume::from_pair(&l, &r, 4, BlockSpec::new(1)).unwrap();
+        *v.cost_mut(3, 3, 2) = 0.125;
+        assert_eq!(v.cost(3, 3, 2), 0.125);
+    }
+}

@@ -1,0 +1,184 @@
+//! Stereo triangulation geometry (Eq. 1 of the ASV paper) and the
+//! depth-sensitivity analysis of Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectified stereo camera rig described by its intrinsic parameters.
+///
+/// Depth is recovered from disparity via similar triangles (Eq. 1 of the
+/// paper): `depth = baseline · focal_length / disparity`, where disparity is
+/// expressed in metres on the image plane (pixels × pixel size).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraRig {
+    /// Distance between the two camera optical centres, in metres.
+    pub baseline_m: f64,
+    /// Focal length of both cameras, in metres.
+    pub focal_length_m: f64,
+    /// Physical size of one pixel on the sensor, in metres.
+    pub pixel_size_m: f64,
+}
+
+impl CameraRig {
+    /// Creates a rig from baseline, focal length and pixel size in metres.
+    pub fn new(baseline_m: f64, focal_length_m: f64, pixel_size_m: f64) -> Self {
+        Self { baseline_m, focal_length_m, pixel_size_m }
+    }
+
+    /// The industry-standard Bumblebee2 rig used in Fig. 4 of the paper:
+    /// baseline 120 mm, focal length 2.5 mm, pixel size 7.4 µm.
+    pub fn bumblebee2() -> Self {
+        Self { baseline_m: 0.120, focal_length_m: 2.5e-3, pixel_size_m: 7.4e-6 }
+    }
+
+    /// Focal length expressed in pixels.
+    pub fn focal_length_pixels(&self) -> f64 {
+        self.focal_length_m / self.pixel_size_m
+    }
+
+    /// Depth (metres) corresponding to a disparity given in pixels.
+    ///
+    /// A non-positive disparity corresponds to a point at infinity and
+    /// returns `f64::INFINITY`.
+    pub fn depth_from_disparity_pixels(&self, disparity_px: f64) -> f64 {
+        if disparity_px <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.baseline_m * self.focal_length_m / (disparity_px * self.pixel_size_m)
+    }
+
+    /// Disparity in pixels corresponding to a depth in metres.
+    ///
+    /// A non-positive depth returns `f64::INFINITY`.
+    pub fn disparity_pixels_from_depth(&self, depth_m: f64) -> f64 {
+        if depth_m <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.baseline_m * self.focal_length_m / (depth_m * self.pixel_size_m)
+    }
+
+    /// Absolute depth estimation error (metres) caused by a disparity error of
+    /// `disparity_error_px` pixels for an object at `distance_m` metres.
+    ///
+    /// This is the quantity plotted in Fig. 4 of the paper: even a
+    /// few-tenths-of-a-pixel disparity error translates into metres of depth
+    /// error at 30 m.
+    pub fn depth_error_for_disparity_error(&self, distance_m: f64, disparity_error_px: f64) -> f64 {
+        let true_disp = self.disparity_pixels_from_depth(distance_m);
+        if !true_disp.is_finite() {
+            return 0.0;
+        }
+        let biased = (true_disp - disparity_error_px).max(1e-9);
+        let biased_depth = self.depth_from_disparity_pixels(biased);
+        (biased_depth - distance_m).abs()
+    }
+}
+
+impl Default for CameraRig {
+    fn default() -> Self {
+        Self::bumblebee2()
+    }
+}
+
+/// One row of the Fig. 4 sensitivity curve: depth error at each probe
+/// distance for a given disparity error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthSensitivityPoint {
+    /// Disparity error in pixels.
+    pub disparity_error_px: f64,
+    /// Depth error (metres) for each probed object distance.
+    pub depth_errors_m: Vec<f64>,
+}
+
+/// Sweeps disparity error from 0 to `max_error_px` and reports the resulting
+/// depth error at each of `distances_m` (the curves of Fig. 4).
+pub fn depth_sensitivity_sweep(
+    rig: &CameraRig,
+    distances_m: &[f64],
+    max_error_px: f64,
+    steps: usize,
+) -> Vec<DepthSensitivityPoint> {
+    let steps = steps.max(2);
+    (0..steps)
+        .map(|i| {
+            let e = max_error_px * i as f64 / (steps - 1) as f64;
+            DepthSensitivityPoint {
+                disparity_error_px: e,
+                depth_errors_m: distances_m
+                    .iter()
+                    .map(|&d| rig.depth_error_for_disparity_error(d, e))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_disparity_roundtrip() {
+        let rig = CameraRig::bumblebee2();
+        for &depth in &[1.0, 5.0, 10.0, 30.0] {
+            let d = rig.disparity_pixels_from_depth(depth);
+            let back = rig.depth_from_disparity_pixels(d);
+            assert!((back - depth).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bumblebee2_focal_length_in_pixels() {
+        let rig = CameraRig::bumblebee2();
+        // 2.5mm / 7.4um ≈ 338 pixels.
+        assert!((rig.focal_length_pixels() - 337.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_map_to_infinity() {
+        let rig = CameraRig::bumblebee2();
+        assert!(rig.depth_from_disparity_pixels(0.0).is_infinite());
+        assert!(rig.depth_from_disparity_pixels(-1.0).is_infinite());
+        assert!(rig.disparity_pixels_from_depth(0.0).is_infinite());
+        assert_eq!(rig.depth_error_for_disparity_error(0.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn figure4_error_magnitudes() {
+        // The paper: two tenths of a pixel of disparity error yields roughly
+        // 0.5 m – 5 m of depth error for objects between 10 m and 30 m.
+        let rig = CameraRig::bumblebee2();
+        let at_10m = rig.depth_error_for_disparity_error(10.0, 0.2);
+        let at_30m = rig.depth_error_for_disparity_error(30.0, 0.2);
+        assert!(at_10m > 0.3 && at_10m < 1.5, "10m error = {at_10m}");
+        assert!(at_30m > 3.0 && at_30m < 8.0, "30m error = {at_30m}");
+        // Farther objects are more sensitive.
+        assert!(at_30m > at_10m);
+    }
+
+    #[test]
+    fn depth_error_grows_monotonically_with_disparity_error() {
+        let rig = CameraRig::bumblebee2();
+        let mut prev = 0.0;
+        for i in 0..10 {
+            let e = rig.depth_error_for_disparity_error(15.0, 0.05 * i as f64);
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn sensitivity_sweep_shape() {
+        let rig = CameraRig::bumblebee2();
+        let sweep = depth_sensitivity_sweep(&rig, &[10.0, 15.0, 30.0], 0.2, 5);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0].disparity_error_px, 0.0);
+        assert!((sweep[4].disparity_error_px - 0.2).abs() < 1e-12);
+        assert_eq!(sweep[0].depth_errors_m.len(), 3);
+        // Zero disparity error ⇒ zero depth error.
+        assert!(sweep[0].depth_errors_m.iter().all(|&e| e.abs() < 1e-9));
+        // The 30 m curve lies above the 10 m curve everywhere.
+        for point in &sweep[1..] {
+            assert!(point.depth_errors_m[2] > point.depth_errors_m[0]);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all tensor kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by tensor constructors and kernels when shapes are
+/// inconsistent or parameters are invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape volume.
+    DataLength {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree on a dimension do not.
+    ShapeMismatch {
+        /// Human readable description of the mismatch.
+        context: String,
+    },
+    /// A kernel parameter (stride, padding, window, ...) is invalid.
+    InvalidParameter {
+        /// Human readable description of the parameter problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLength { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            TensorError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl TensorError {
+    /// Builds a [`TensorError::ShapeMismatch`] from anything displayable.
+    pub fn shape_mismatch(context: impl fmt::Display) -> Self {
+        TensorError::ShapeMismatch { context: context.to_string() }
+    }
+
+    /// Builds a [`TensorError::InvalidParameter`] from anything displayable.
+    pub fn invalid_parameter(context: impl fmt::Display) -> Self {
+        TensorError::InvalidParameter { context: context.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::DataLength { expected: 4, actual: 3 };
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
+        let e = TensorError::shape_mismatch("kernel channels 3 vs ifmap channels 2");
+        assert!(e.to_string().contains("kernel channels"));
+        let e = TensorError::invalid_parameter("stride must be non-zero");
+        assert!(e.to_string().starts_with("invalid parameter"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TensorError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense tensor and neural-network kernel substrate for the ASV reproduction.
+//!
+//! The ASV paper ("ASV: Accelerated Stereo Vision System", MICRO 2019) builds
+//! on stereo-matching DNNs whose dominant operations are convolution and
+//! deconvolution (transposed convolution).  This crate provides the minimal,
+//! dependency-free numerical substrate those algorithms need:
+//!
+//! * [`Tensor4`] — a dense, row-major `N×C×H×W` tensor of `f32`.
+//! * [`Tensor5`] — a dense `N×C×D×H×W` tensor used by the 3-D stereo networks
+//!   (GC-Net, PSMNet) and 3D-GAN.
+//! * [`conv`] — direct 2-D/3-D convolution with stride and padding.
+//! * [`deconv`] — reference transposed convolution, implemented two
+//!   independent ways (zero-insertion + convolution, and output scatter) so the
+//!   software deconvolution transformation in the `asv-deconv` crate can be
+//!   validated against both.
+//! * [`ops`] — ReLU, leaky ReLU, max/average pooling, bilinear upsampling and
+//!   element-wise helpers.
+//!
+//! The implementation favours clarity over raw speed: plain nested loops, no
+//! `unsafe`, no SIMD.  Every kernel is exercised by unit tests and the
+//! cross-crate property tests in `asv-deconv`.
+//!
+//! # Example
+//!
+//! ```
+//! use asv_tensor::{Tensor4, Shape4, conv::{conv2d, Conv2dParams}};
+//!
+//! let input = Tensor4::from_fn(Shape4::new(1, 1, 5, 5), |_, _, h, w| (h * 5 + w) as f32);
+//! let kernel = Tensor4::filled(Shape4::new(1, 1, 3, 3), 1.0 / 9.0);
+//! let out = conv2d(&input, &kernel, &Conv2dParams { stride: 1, padding: 1 }).unwrap();
+//! assert_eq!(out.shape().h, 5);
+//! assert_eq!(out.shape().w, 5);
+//! ```
+
+pub mod conv;
+pub mod deconv;
+pub mod error;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::{Shape4, Shape5};
+pub use tensor::{Tensor4, Tensor5};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

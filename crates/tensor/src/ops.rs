@@ -1,0 +1,276 @@
+//! Element-wise and pooling operations used by the stereo DNN substrate and
+//! the optical-flow / block-matching mappings of the ISM algorithm.
+
+use crate::error::TensorError;
+use crate::shape::Shape4;
+use crate::tensor::Tensor4;
+use crate::Result;
+
+/// Rectified linear unit applied element-wise, returning a new tensor.
+pub fn relu(input: &Tensor4) -> Tensor4 {
+    input.map(|v| v.max(0.0))
+}
+
+/// Leaky rectified linear unit with the given negative slope.
+pub fn leaky_relu(input: &Tensor4, negative_slope: f32) -> Tensor4 {
+    input.map(|v| if v >= 0.0 { v } else { v * negative_slope })
+}
+
+/// Hyperbolic tangent applied element-wise (used by GAN generators).
+pub fn tanh(input: &Tensor4) -> Tensor4 {
+    input.map(f32::tanh)
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(input: &Tensor4) -> Tensor4 {
+    input.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// 2-D max pooling with a square window and matching stride.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for a zero window and
+/// [`TensorError::ShapeMismatch`] when the window does not fit.
+pub fn max_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
+    if window == 0 {
+        return Err(TensorError::invalid_parameter("pooling window must be non-zero"));
+    }
+    let ish = input.shape();
+    if ish.h < window || ish.w < window {
+        return Err(TensorError::shape_mismatch(format!(
+            "max_pool2d: window {window} does not fit input {ish}"
+        )));
+    }
+    let oh = ish.h / window;
+    let ow = ish.w / window;
+    let mut out = Tensor4::zeros(Shape4::new(ish.n, ish.c, oh, ow));
+    for n in 0..ish.n {
+        for c in 0..ish.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            best = best.max(input.at(n, c, oy * window + ky, ox * window + kx));
+                        }
+                    }
+                    out.set(n, c, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D average pooling with a square window and matching stride.
+///
+/// # Errors
+///
+/// Same error conditions as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
+    if window == 0 {
+        return Err(TensorError::invalid_parameter("pooling window must be non-zero"));
+    }
+    let ish = input.shape();
+    if ish.h < window || ish.w < window {
+        return Err(TensorError::shape_mismatch(format!(
+            "avg_pool2d: window {window} does not fit input {ish}"
+        )));
+    }
+    let oh = ish.h / window;
+    let ow = ish.w / window;
+    let norm = (window * window) as f32;
+    let mut out = Tensor4::zeros(Shape4::new(ish.n, ish.c, oh, ow));
+    for n in 0..ish.n {
+        for c in 0..ish.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += input.at(n, c, oy * window + ky, ox * window + kx);
+                        }
+                    }
+                    out.set(n, c, oy, ox, acc / norm);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bilinear upsampling by an integer factor.
+///
+/// Used as the cheap alternative to learned deconvolution when constructing
+/// reference disparity-refinement pipelines.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when `factor == 0`.
+pub fn bilinear_upsample2d(input: &Tensor4, factor: usize) -> Result<Tensor4> {
+    if factor == 0 {
+        return Err(TensorError::invalid_parameter("upsample factor must be non-zero"));
+    }
+    let ish = input.shape();
+    let oh = ish.h * factor;
+    let ow = ish.w * factor;
+    let mut out = Tensor4::zeros(Shape4::new(ish.n, ish.c, oh, ow));
+    for n in 0..ish.n {
+        for c in 0..ish.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Map the output pixel centre back into input coordinates.
+                    let fy = (oy as f32 + 0.5) / factor as f32 - 0.5;
+                    let fx = (ox as f32 + 0.5) / factor as f32 - 0.5;
+                    let y0 = fy.floor().clamp(0.0, (ish.h - 1) as f32) as usize;
+                    let x0 = fx.floor().clamp(0.0, (ish.w - 1) as f32) as usize;
+                    let y1 = (y0 + 1).min(ish.h - 1);
+                    let x1 = (x0 + 1).min(ish.w - 1);
+                    let dy = (fy - y0 as f32).clamp(0.0, 1.0);
+                    let dx = (fx - x0 as f32).clamp(0.0, 1.0);
+                    let v = input.at(n, c, y0, x0) * (1.0 - dy) * (1.0 - dx)
+                        + input.at(n, c, y0, x1) * (1.0 - dy) * dx
+                        + input.at(n, c, y1, x0) * dy * (1.0 - dx)
+                        + input.at(n, c, y1, x1) * dy * dx;
+                    out.set(n, c, oy, ox, v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise addition of two tensors of identical shape.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn add(a: &Tensor4, b: &Tensor4) -> Result<Tensor4> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::shape_mismatch(format!("add: {} vs {}", a.shape(), b.shape())));
+    }
+    let mut out = a.clone();
+    for (o, v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o += v;
+    }
+    Ok(out)
+}
+
+/// Concatenates two tensors along the channel axis.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when batch or spatial dimensions
+/// differ.
+pub fn concat_channels(a: &Tensor4, b: &Tensor4) -> Result<Tensor4> {
+    let (sa, sb) = (a.shape(), b.shape());
+    if sa.n != sb.n || sa.h != sb.h || sa.w != sb.w {
+        return Err(TensorError::shape_mismatch(format!("concat_channels: {sa} vs {sb}")));
+    }
+    let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
+    let mut out = Tensor4::zeros(out_shape);
+    for n in 0..sa.n {
+        for h in 0..sa.h {
+            for w in 0..sa.w {
+                for c in 0..sa.c {
+                    out.set(n, c, h, w, a.at(n, c, h, w));
+                }
+                for c in 0..sb.c {
+                    out.set(n, sa.c + c, h, w, b.at(n, c, h, w));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_leaky_relu() {
+        let t = Tensor4::from_vec(Shape4::new(1, 1, 1, 4), vec![-2.0, -0.5, 0.0, 3.0]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+        assert_eq!(leaky_relu(&t, 0.1).as_slice(), &[-0.2, -0.05, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let t = Tensor4::from_vec(Shape4::new(1, 1, 1, 3), vec![-10.0, 0.0, 10.0]).unwrap();
+        let th = tanh(&t);
+        assert!(th.at(0, 0, 0, 0) < -0.99 && th.at(0, 0, 0, 2) > 0.99);
+        assert_eq!(th.at(0, 0, 0, 1), 0.0);
+        let sg = sigmoid(&t);
+        assert!(sg.at(0, 0, 0, 0) < 0.01 && sg.at(0, 0, 0, 2) > 0.99);
+        assert!((sg.at(0, 0, 0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_selects_maximum() {
+        let t = Tensor4::from_fn(Shape4::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let out = max_pool2d(&t, 2).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let t = Tensor4::from_fn(Shape4::new(1, 1, 2, 2), |_, _, h, w| (h * 2 + w) as f32);
+        let out = avg_pool2d(&t, 2).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 1, 1));
+        assert!((out.at(0, 0, 0, 0) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pooling_rejects_bad_windows() {
+        let t = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        assert!(max_pool2d(&t, 0).is_err());
+        assert!(max_pool2d(&t, 3).is_err());
+        assert!(avg_pool2d(&t, 0).is_err());
+        assert!(avg_pool2d(&t, 3).is_err());
+    }
+
+    #[test]
+    fn bilinear_upsample_preserves_constant_images() {
+        let t = Tensor4::filled(Shape4::new(1, 1, 3, 3), 2.5);
+        let out = bilinear_upsample2d(&t, 2).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 6, 6));
+        assert!(out.as_slice().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+        assert!(bilinear_upsample2d(&t, 0).is_err());
+    }
+
+    #[test]
+    fn bilinear_upsample_interpolates_ramp() {
+        let t = Tensor4::from_fn(Shape4::new(1, 1, 1, 2), |_, _, _, w| w as f32);
+        let out = bilinear_upsample2d(&t, 2).unwrap();
+        // The ramp 0,1 upsampled 2x should be monotonically non-decreasing.
+        let row: Vec<f32> = (0..4).map(|w| out.at(0, 0, 0, w)).collect();
+        assert!(row.windows(2).all(|p| p[0] <= p[1] + 1e-6));
+        assert!(row[0] >= 0.0 && row[3] <= 1.0);
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let a = Tensor4::filled(Shape4::new(1, 1, 2, 2), 1.0);
+        let b = Tensor4::filled(Shape4::new(1, 1, 2, 2), 2.0);
+        let c = add(&a, &b).unwrap();
+        assert!(c.as_slice().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+        let d = Tensor4::zeros(Shape4::new(1, 2, 2, 2));
+        assert!(add(&a, &d).is_err());
+    }
+
+    #[test]
+    fn concat_channels_stacks() {
+        let a = Tensor4::filled(Shape4::new(1, 1, 2, 2), 1.0);
+        let b = Tensor4::filled(Shape4::new(1, 2, 2, 2), 2.0);
+        let c = concat_channels(&a, &b).unwrap();
+        assert_eq!(c.shape(), Shape4::new(1, 3, 2, 2));
+        assert_eq!(c.at(0, 0, 0, 0), 1.0);
+        assert_eq!(c.at(0, 1, 1, 1), 2.0);
+        assert_eq!(c.at(0, 2, 1, 1), 2.0);
+        let bad = Tensor4::zeros(Shape4::new(1, 1, 3, 2));
+        assert!(concat_channels(&a, &bad).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Shape descriptors for 4-D (`N×C×H×W`) and 5-D (`N×C×D×H×W`) tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 4-dimensional tensor laid out as `N×C×H×W` (batch, channel,
+/// height, width), the layout used by every 2-D layer in the stereo DNNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Linear index of element `(n, c, h, w)` in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of bounds for shape {self}");
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns the spatial dimensions `(h, w)`.
+    pub fn spatial(&self) -> (usize, usize) {
+        (self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a 5-dimensional tensor laid out as `N×C×D×H×W`, used by the 3-D
+/// convolutions of GC-Net, PSMNet and 3D-GAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape5 {
+    /// Batch size.
+    pub n: usize,
+    /// Number of channels.
+    pub c: usize,
+    /// Depth (disparity) dimension.
+    pub d: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape5 {
+    /// Creates a new shape.
+    pub fn new(n: usize, c: usize, d: usize, h: usize, w: usize) -> Self {
+        Self { n, c, d, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.n * self.c * self.d * self.h * self.w
+    }
+
+    /// Linear index of element `(n, c, d, h, w)` in row-major order.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.n && c < self.c && d < self.d && h < self.h && w < self.w,
+            "index ({n},{c},{d},{h},{w}) out of bounds for shape {self}"
+        );
+        (((n * self.c + c) * self.d + d) * self.h + h) * self.w + w
+    }
+}
+
+impl fmt::Display for Shape5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}x{}", self.n, self.c, self.d, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape4_volume_and_index() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 4), 4);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn shape5_volume_and_index() {
+        let s = Shape5::new(1, 2, 3, 4, 5);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.index(0, 0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 1, 2, 3, 4), 119);
+        assert_eq!(s.index(0, 0, 1, 0, 0), 20);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "1x2x3x4");
+        assert_eq!(Shape5::new(1, 2, 3, 4, 5).to_string(), "1x2x3x4x5");
+    }
+
+    #[test]
+    fn shape4_spatial() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).spatial(), (3, 4));
+    }
+}

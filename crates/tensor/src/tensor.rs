@@ -1,0 +1,384 @@
+//! Dense `f32` tensors in `N×C×H×W` and `N×C×D×H×W` layout.
+
+use crate::error::TensorError;
+use crate::shape::{Shape4, Shape5};
+use crate::Result;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense 4-D tensor (`N×C×H×W`) of `f32` values stored row-major.
+///
+/// `Tensor4` is the carrier type for images, feature maps and 2-D kernels in
+/// the ASV reproduction.  Kernels are stored as `OutC×InC×KH×KW` with the batch
+/// axis reinterpreted as the output-channel axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    shape: Shape4,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: Shape4) -> Self {
+        Self { shape, data: vec![0.0; shape.volume()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Shape4, value: f32) -> Self {
+        Self { shape, data: vec![value; shape.volume()] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len() != shape.volume()`.
+    pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::DataLength { expected: shape.volume(), actual: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.volume());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn random<R: Rng + ?Sized>(shape: Shape4, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let dist = Uniform::new(lo, hi);
+        let data = (0..shape.volume()).map(|_| dist.sample(rng)).collect();
+        Self { shape, data }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Borrow of the underlying storage in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Sets the value at `(n, c, h, w)`.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let idx = self.shape.index(n, c, h, w);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to the element at `(n, c, h, w)`.
+    #[inline]
+    pub fn add_at(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let idx = self.shape.index(n, c, h, w);
+        self.data[idx] += value;
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied element-wise.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor4) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape_mismatch(format!(
+                "max_abs_diff: {} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Returns the single-channel plane `(n, c)` as a flat `H*W` vector.
+    pub fn channel_plane(&self, n: usize, c: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.shape.h * self.shape.w);
+        for h in 0..self.shape.h {
+            for w in 0..self.shape.w {
+                out.push(self.at(n, c, h, w));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Tensor4 {
+    fn default() -> Self {
+        Tensor4::zeros(Shape4::new(0, 0, 0, 0))
+    }
+}
+
+/// A dense 5-D tensor (`N×C×D×H×W`) of `f32` values stored row-major.
+///
+/// Used by the 3-D convolutions of GC-Net, PSMNet and 3D-GAN, where the `D`
+/// axis is the disparity (or depth) dimension of the cost volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor5 {
+    shape: Shape5,
+    data: Vec<f32>,
+}
+
+impl Tensor5 {
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: Shape5) -> Self {
+        Self { shape, data: vec![0.0; shape.volume()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Shape5, value: f32) -> Self {
+        Self { shape, data: vec![value; shape.volume()] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len() != shape.volume()`.
+    pub fn from_vec(shape: Shape5, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::DataLength { expected: shape.volume(), actual: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, d, h, w)` at every coordinate.
+    pub fn from_fn(
+        shape: Shape5,
+        mut f: impl FnMut(usize, usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(shape.volume());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for d in 0..shape.d {
+                    for h in 0..shape.h {
+                        for w in 0..shape.w {
+                            data.push(f(n, c, d, h, w));
+                        }
+                    }
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn random<R: Rng + ?Sized>(shape: Shape5, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let dist = Uniform::new(lo, hi);
+        let data = (0..shape.volume()).map(|_| dist.sample(rng)).collect();
+        Self { shape, data }
+    }
+
+    /// Shape of the tensor.
+    pub fn shape(&self) -> Shape5 {
+        self.shape
+    }
+
+    /// Borrow of the underlying storage in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at `(n, c, d, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, d: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index(n, c, d, h, w)]
+    }
+
+    /// Sets the value at `(n, c, d, h, w)`.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, d: usize, h: usize, w: usize, value: f32) {
+        let idx = self.shape.index(n, c, d, h, w);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to the element at `(n, c, d, h, w)`.
+    #[inline]
+    pub fn add_at(&mut self, n: usize, c: usize, d: usize, h: usize, w: usize, value: f32) {
+        let idx = self.shape.index(n, c, d, h, w);
+        self.data[idx] += value;
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor5) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::shape_mismatch(format!(
+                "max_abs_diff: {} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+}
+
+impl Default for Tensor5 {
+    fn default() -> Self {
+        Tensor5::zeros(Shape5::new(0, 0, 0, 0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_filled() {
+        let t = Tensor4::zeros(Shape4::new(1, 2, 3, 4));
+        assert_eq!(t.as_slice().len(), 24);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        let t = Tensor4::filled(Shape4::new(1, 1, 2, 2), 3.5);
+        assert!(t.as_slice().iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let err = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0; 3]).unwrap_err();
+        assert_eq!(err, TensorError::DataLength { expected: 4, actual: 3 });
+        assert!(Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_fn_orders_row_major() {
+        let t = Tensor4::from_fn(Shape4::new(1, 1, 2, 3), |_, _, h, w| (h * 3 + w) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(t.at(0, 0, 1, 2), 5.0);
+    }
+
+    #[test]
+    fn set_and_add_at() {
+        let mut t = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        t.set(0, 0, 1, 1, 2.0);
+        t.add_at(0, 0, 1, 1, 3.0);
+        assert_eq!(t.at(0, 0, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn map_and_sum() {
+        let t = Tensor4::filled(Shape4::new(1, 1, 2, 2), 2.0);
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.sum(), 16.0);
+        assert_eq!(t.sum(), 8.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_mismatch() {
+        let a = Tensor4::zeros(Shape4::new(1, 1, 2, 2));
+        let b = Tensor4::zeros(Shape4::new(1, 1, 2, 3));
+        assert!(a.max_abs_diff(&b).is_err());
+        let c = Tensor4::filled(Shape4::new(1, 1, 2, 2), 0.25);
+        assert_eq!(a.max_abs_diff(&c).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = Tensor4::random(Shape4::new(1, 2, 8, 8), -1.0, 1.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn channel_plane_extracts_rows() {
+        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c * 100 + h * 10 + w) as f32);
+        assert_eq!(t.channel_plane(0, 1), vec![100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn tensor5_roundtrip() {
+        let t = Tensor5::from_fn(Shape5::new(1, 1, 2, 2, 2), |_, _, d, h, w| (d * 4 + h * 2 + w) as f32);
+        assert_eq!(t.at(0, 0, 1, 1, 1), 7.0);
+        assert_eq!(t.sum(), 28.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = Tensor5::random(Shape5::new(1, 1, 2, 2, 2), 0.0, 1.0, &mut rng);
+        assert!(r.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn tensor5_from_vec_checks_length() {
+        let err = Tensor5::from_vec(Shape5::new(1, 1, 1, 2, 2), vec![0.0; 3]).unwrap_err();
+        assert!(matches!(err, TensorError::DataLength { .. }));
+    }
+
+    #[test]
+    fn tensor5_set_add_and_diff() {
+        let mut t = Tensor5::zeros(Shape5::new(1, 1, 1, 2, 2));
+        t.set(0, 0, 0, 0, 1, 4.0);
+        t.add_at(0, 0, 0, 0, 1, 1.0);
+        assert_eq!(t.at(0, 0, 0, 0, 1), 5.0);
+        let z = Tensor5::zeros(Shape5::new(1, 1, 1, 2, 2));
+        assert_eq!(t.max_abs_diff(&z).unwrap(), 5.0);
+        let other = Tensor5::zeros(Shape5::new(1, 1, 2, 2, 2));
+        assert!(t.max_abs_diff(&other).is_err());
+    }
+}

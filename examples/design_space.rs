@@ -1,0 +1,42 @@
+//! Accelerator design-space exploration: how the deconvolution optimizations'
+//! benefit changes with PE-array size and on-chip buffer capacity (the
+//! experiment behind Fig. 12), plus the hardware-overhead accounting a chip
+//! architect would check before adopting the ASV extensions.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use asv_accel::overhead::AreaPowerBudget;
+use asv_accel::systolic::SystolicAccelerator;
+use asv_dataflow::{HwConfig, OptLevel};
+use asv_dnn::zoo;
+
+fn main() {
+    let network = zoo::flownetc(192, 384);
+    println!("DCO speedup / energy reduction for FlowNetC, per hardware configuration\n");
+    println!("{:>10}  {:>10}  {:>9}  {:>14}", "PE array", "buffer", "speedup", "energy saved");
+    for &buffer_kb in &[512u64, 1024, 1536, 2048, 3072] {
+        for &dim in &[8usize, 16, 24, 32, 48] {
+            let hw = HwConfig::asv_default()
+                .with_pe_array(dim, dim)
+                .with_buffer_bytes(buffer_kb * 1024);
+            let accel = SystolicAccelerator::asv_default().with_hw(hw);
+            let baseline = accel.run_network(&network, OptLevel::Baseline);
+            let optimized = accel.run_network(&network, OptLevel::Ilar);
+            println!(
+                "{:>7}x{:<3} {:>8} KB  {:>8.2}x  {:>13.1}%",
+                dim,
+                dim,
+                buffer_kb,
+                optimized.speedup_over(&baseline),
+                optimized.energy_reduction_vs(&baseline) * 100.0
+            );
+        }
+    }
+
+    let budget = AreaPowerBudget::asv_16nm();
+    println!("\nASV hardware extension overhead (16 nm, 24x24 PEs):");
+    println!("  per-PE area overhead:   {:.1}%", budget.pe_area_overhead() * 100.0);
+    println!("  per-PE power overhead:  {:.1}%", budget.pe_power_overhead() * 100.0);
+    println!("  total area overhead:    {:.2}%", budget.total_area_overhead() * 100.0);
+    println!("  total power overhead:   {:.2}%", budget.total_power_overhead() * 100.0);
+}

@@ -1,0 +1,58 @@
+//! Quickstart: run the full ASV system on a short synthetic stereo sequence.
+//!
+//! The example builds a small synthetic scene (the dataset substitute), runs
+//! the ISM pipeline with a propagation window of 2, compares its accuracy
+//! against running the key-frame estimator on every frame, and prints the
+//! modelled per-frame speedup and energy saving of the ASV hardware variants.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use asv::perf::AsvVariant;
+use asv::system::{AsvConfig, AsvSystem};
+use asv_scene::{SceneConfig, StereoSequence};
+
+fn main() {
+    // 1. Synthetic stereo video with exact ground-truth disparity.
+    let scene = SceneConfig::scene_flow_like(96, 64).with_seed(42);
+    let sequence = StereoSequence::generate(&scene, 6);
+    println!("generated {} stereo frames of {}x{}", sequence.len(), scene.width, scene.height);
+
+    // 2. The ASV system: ISM pipeline + accelerator performance model.
+    let system = AsvSystem::new(AsvConfig {
+        propagation_window: 2,
+        max_disparity: 32,
+        frame_width: scene.width,
+        frame_height: scene.height,
+        network: "DispNet".to_owned(),
+    });
+
+    // 3. Functional result: per-frame disparity maps.
+    let result = system.process_sequence(&sequence).expect("sequence processes");
+    println!(
+        "processed {} frames: {} key frames, {} non-key frames",
+        result.frames.len(),
+        result.key_frame_count(),
+        result.non_key_frame_count()
+    );
+
+    // 4. Accuracy: ISM vs running the estimator on every frame (Fig. 9).
+    let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
+    println!(
+        "three-pixel error: DNN-every-frame {:.2}%  ISM {:.2}%  (loss {:+.2} pp)",
+        accuracy.dnn_error_rate * 100.0,
+        accuracy.ism_error_rate * 100.0,
+        accuracy.accuracy_loss * 100.0
+    );
+
+    // 5. Performance/energy: the four system variants of Fig. 10.
+    println!("\nper-frame performance on the modelled accelerator:");
+    for report in system.variant_reports() {
+        println!(
+            "  {:<9}  {:>8.2} fps   speedup {:>5.2}x   energy saved {:>5.1}%",
+            report.variant.label(),
+            report.per_frame.fps(),
+            report.speedup,
+            report.energy_reduction * 100.0
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Workspace facade for the ASV reproduction.
+//!
+//! This crate re-exports the public API of every workspace member so the
+//! examples and integration tests can address the whole system through a
+//! single dependency.  Library users should normally depend on the individual
+//! crates (`asv`, `asv-stereo`, `asv-dataflow`, ...) directly.
+
+pub use asv;
+pub use asv_accel as accel;
+pub use asv_dataflow as dataflow;
+pub use asv_deconv as deconv;
+pub use asv_dnn as dnn;
+pub use asv_flow as flow;
+pub use asv_image as image;
+pub use asv_scene as scene;
+pub use asv_stereo as stereo;
+pub use asv_tensor as tensor;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_re_exports_are_wired() {
+        // Touch one item from each re-exported crate so a broken re-export
+        // fails this crate's build/tests immediately.
+        let _ = crate::stereo::triangulation::CameraRig::bumblebee2();
+        let _ = crate::dataflow::HwConfig::asv_default();
+        let _ = crate::accel::EnergyModel::asv_16nm();
+        let _ = crate::dnn::zoo::DEFAULT_HEIGHT;
+        let _ = crate::image::Image::zeros(1, 1);
+        let _ = crate::tensor::Shape4::new(1, 1, 1, 1);
+        let _ = crate::scene::SceneConfig::scene_flow_like(8, 8);
+        let _ = crate::flow::FlowField::zeros(1, 1);
+        let config = crate::asv::AsvConfig::small();
+        assert_eq!(config.propagation_window, 2);
+    }
+}

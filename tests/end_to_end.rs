@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the functional ISM pipeline against the
+//! synthetic dataset, the deconvolution transformation against the tensor
+//! references, and the consistency between the functional algorithms and the
+//! analytical cost models.
+
+use asv_system::asv::ism::FrameKind;
+use asv_system::asv::perf::AsvVariant;
+use asv_system::asv::system::{AsvConfig, AsvSystem};
+use asv_system::deconv::transform::{paper_deconv2d, transformed_deconv2d};
+use asv_system::dnn::zoo;
+use asv_system::scene::{SceneConfig, StereoSequence};
+use asv_system::stereo::triangulation::CameraRig;
+use asv_system::tensor::{Shape4, Tensor4};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_sequence(seed: u64, frames: usize) -> StereoSequence {
+    StereoSequence::generate(
+        &SceneConfig::scene_flow_like(80, 56).with_seed(seed).with_objects(3),
+        frames,
+    )
+}
+
+#[test]
+fn ism_pipeline_matches_ground_truth_on_synthetic_video() {
+    let sequence = small_sequence(31, 4);
+    let system = AsvSystem::new(AsvConfig {
+        propagation_window: 2,
+        max_disparity: 32,
+        frame_width: 80,
+        frame_height: 56,
+        network: "DispNet".to_owned(),
+    });
+    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    assert_eq!(result.frames.len(), 4);
+    assert_eq!(result.key_frame_count(), 2);
+    for (frame, truth) in result.frames.iter().zip(sequence.frames()) {
+        let err = frame.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+        assert!(err < 0.25, "{:?} error {err}", frame.kind);
+    }
+}
+
+#[test]
+fn ism_accuracy_loss_is_small_and_speedup_is_large() {
+    // The paper's headline: ~5x speedup, ~85% energy saving, ~0.02% accuracy
+    // loss.  On the small synthetic setup we require the same qualitative
+    // result: large speedup and energy saving with a sub-5-percentage-point
+    // accuracy change.
+    let sequence = small_sequence(32, 4);
+    let system = AsvSystem::new(AsvConfig {
+        propagation_window: 4,
+        max_disparity: 32,
+        frame_width: 80,
+        frame_height: 56,
+        network: "FlowNetC".to_owned(),
+    });
+    let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
+    assert!(accuracy.accuracy_loss.abs() < 0.05, "accuracy loss {}", accuracy.accuracy_loss);
+
+    let reports = system.variant_reports();
+    let full = reports.iter().find(|r| r.variant == AsvVariant::IsmDco).unwrap();
+    assert!(full.speedup > 2.5, "speedup {}", full.speedup);
+    assert!(full.energy_reduction > 0.5, "energy reduction {}", full.energy_reduction);
+}
+
+#[test]
+fn key_and_non_key_frames_alternate_with_pw2() {
+    let sequence = small_sequence(33, 5);
+    let system = AsvSystem::new(AsvConfig {
+        propagation_window: 2,
+        max_disparity: 32,
+        frame_width: 80,
+        frame_height: 56,
+        network: "DispNet".to_owned(),
+    });
+    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    let kinds: Vec<FrameKind> = result.frames.iter().map(|f| f.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FrameKind::KeyFrame,
+            FrameKind::NonKeyFrame,
+            FrameKind::KeyFrame,
+            FrameKind::NonKeyFrame,
+            FrameKind::KeyFrame
+        ]
+    );
+}
+
+#[test]
+fn deconvolution_transformation_is_exact_across_crates() {
+    // The transformation used by the scheduler must be numerically identical
+    // to the reference deconvolution of the tensor crate for the kernel
+    // shapes that actually appear in the stereo networks (3x3 and 4x4).
+    let mut rng = SmallRng::seed_from_u64(9);
+    for k in [3usize, 4] {
+        let input = Tensor4::random(Shape4::new(1, 3, 6, 7), -1.0, 1.0, &mut rng);
+        let kernel = Tensor4::random(Shape4::new(2, 3, k, k), -1.0, 1.0, &mut rng);
+        let reference = paper_deconv2d(&input, &kernel, 1).unwrap();
+        let transformed = transformed_deconv2d(&input, &kernel, 1).unwrap();
+        assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "kernel {k}x{k}");
+    }
+}
+
+#[test]
+fn disparity_maps_translate_to_sensible_depths() {
+    // Triangulate the ISM output of a synthetic frame with the Bumblebee2 rig
+    // and check the depths are finite and positive wherever disparity is.
+    let sequence = small_sequence(34, 1);
+    let system = AsvSystem::new(AsvConfig {
+        propagation_window: 1,
+        max_disparity: 32,
+        frame_width: 80,
+        frame_height: 56,
+        network: "DispNet".to_owned(),
+    });
+    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    let rig = CameraRig::bumblebee2();
+    let map = &result.frames[0].disparity;
+    let mut checked = 0;
+    for y in 0..map.height() {
+        for x in 0..map.width() {
+            if let Some(d) = map.get(x, y) {
+                if d > 0.5 {
+                    let depth = rig.depth_from_disparity_pixels(d as f64);
+                    assert!(depth.is_finite() && depth > 0.0);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 100, "not enough valid disparities ({checked})");
+}
+
+#[test]
+fn analytical_models_agree_with_network_structure() {
+    // The deconvolution share reported by the layer statistics must be
+    // consistent with what the scheduler sees: optimizing a network with more
+    // deconvolution work must help at least as much as one with less.
+    let accel = asv_system::accel::systolic::SystolicAccelerator::asv_default();
+    let nets = zoo::suite(96, 192, 48);
+    let mut shares_and_speedups: Vec<(f64, f64)> = Vec::new();
+    for net in &nets {
+        let baseline = accel.run_network(net, asv_system::dataflow::OptLevel::Baseline);
+        let optimized = accel.run_network(net, asv_system::dataflow::OptLevel::Ilar);
+        shares_and_speedups.push((net.deconv_mac_fraction(), optimized.speedup_over(&baseline)));
+    }
+    let (max_share_net, _) = shares_and_speedups
+        .iter()
+        .cloned()
+        .fold((0.0f64, 0.0f64), |acc, v| if v.0 > acc.0 { v } else { acc });
+    let (min_share_net, _) = shares_and_speedups
+        .iter()
+        .cloned()
+        .fold((1.0f64, f64::MAX), |acc, v| if v.0 < acc.0 { v } else { acc });
+    // Sanity: shares span a non-trivial range across the four networks.
+    assert!(max_share_net > min_share_net);
+    // And every network benefits from the optimizations.
+    assert!(shares_and_speedups.iter().all(|&(_, s)| s > 1.0));
+}

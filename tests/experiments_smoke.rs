@@ -1,0 +1,88 @@
+//! Smoke tests of the benchmark-harness experiments: every figure/table
+//! generator must run and reproduce the paper's qualitative claims.  (The
+//! full-size outputs are produced by the `fig*` binaries; these tests use the
+//! same code paths.)
+
+use asv_bench::algorithms::{figure4_depth_sensitivity, nonkey_cost_table};
+use asv_bench::hardware::{
+    figure10_speedup_energy, figure11_deconv_opts, figure12_sensitivity, figure13_platforms,
+    figure14_gans, figure3_stage_distribution, overhead_table,
+};
+
+#[test]
+fn figure3_distribution_sums_to_one_per_network() {
+    for dist in figure3_stage_distribution() {
+        assert!((dist.total() - 1.0).abs() < 1e-6, "{dist:?}");
+    }
+}
+
+#[test]
+fn figure4_error_grows_with_distance_and_disparity_error() {
+    let sweep = figure4_depth_sensitivity();
+    for window in sweep.windows(2) {
+        for d in 0..3 {
+            assert!(window[1].depth_errors_m[d] >= window[0].depth_errors_m[d]);
+        }
+    }
+}
+
+#[test]
+fn figure10_headline_numbers_have_paper_shape() {
+    let rows = figure10_speedup_energy();
+    let avg_speedup: f64 = rows.iter().map(|r| r.combined_speedup).sum::<f64>() / rows.len() as f64;
+    let avg_energy: f64 =
+        rows.iter().map(|r| r.combined_energy_reduction).sum::<f64>() / rows.len() as f64;
+    // Paper: 4.9x and 85%; require the same ballpark.
+    assert!(avg_speedup > 3.0 && avg_speedup < 10.0, "speedup {avg_speedup}");
+    assert!(avg_energy > 0.6 && avg_energy < 0.98, "energy {avg_energy}");
+}
+
+#[test]
+fn figure11_three_d_networks_gain_more_from_the_transformation() {
+    let rows = figure11_deconv_opts();
+    let deconv_speedup = |name: &str| {
+        rows.iter().find(|r| r.network == name).map(|r| r.deconv_speedup[2]).unwrap()
+    };
+    // Paper: 3-D networks (GC-Net, PSMNet) see larger deconv-layer speedups
+    // than 2-D networks because they eliminate 8x instead of 4x zero padding.
+    let three_d = (deconv_speedup("GC-Net") + deconv_speedup("PSMNet")) / 2.0;
+    let two_d = (deconv_speedup("DispNet") + deconv_speedup("FlowNetC")) / 2.0;
+    assert!(three_d > two_d, "3-D {three_d} vs 2-D {two_d}");
+}
+
+#[test]
+fn figure12_covers_the_paper_grid() {
+    let cells = figure12_sensitivity();
+    assert_eq!(cells.len(), 7 * 6);
+    // Every configuration benefits from DCO (speedups in the paper's 1.2-1.5x
+    // band, allow a wider band here).
+    assert!(cells.iter().all(|c| c.speedup >= 1.0 && c.speedup < 4.0));
+}
+
+#[test]
+fn figure13_ordering_matches_paper() {
+    let rows = figure13_platforms();
+    let speedup = |name: &str| rows.iter().find(|r| r.name == name).unwrap().speedup_vs_eyeriss;
+    assert!(speedup("ASV-DCO+ISM") > speedup("ASV-ISM"));
+    assert!(speedup("ASV-ISM") > speedup("ASV-DCO"));
+    assert!(speedup("ASV-DCO+ISM") > 2.0);
+    assert!(speedup("GPU") < 1.0);
+}
+
+#[test]
+fn figure14_average_improvements_favour_asv() {
+    let rows = figure14_gans();
+    let avg = |f: fn(&asv_bench::hardware::GanRow) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    assert!(avg(|r| r.asv_speedup) > avg(|r| r.gannx_speedup));
+    assert!(avg(|r| r.asv_energy_reduction) > avg(|r| r.gannx_energy_reduction));
+}
+
+#[test]
+fn overhead_and_nonkey_tables_match_claims() {
+    let b = overhead_table();
+    assert!(b.total_area_overhead() < 0.005);
+    let rows = nonkey_cost_table();
+    assert!(rows.iter().skip(1).all(|r| r.ratio_to_nonkey > 20.0));
+}

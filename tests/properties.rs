@@ -1,0 +1,99 @@
+//! Workspace-level property-based tests on the core invariants that the ASV
+//! design relies on.
+
+use asv_system::deconv::decompose::{decompose_kernel2d, sub_kernel_shapes};
+use asv_system::deconv::transform::{paper_deconv2d, transformed_deconv2d};
+use asv_system::image::{gaussian_blur, Image};
+use asv_system::stereo::triangulation::CameraRig;
+use asv_system::tensor::{Shape4, Tensor4};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sub-kernel decomposition never loses or duplicates kernel elements,
+    /// for any kernel shape up to 3 dimensions.
+    #[test]
+    fn decomposition_preserves_element_count(dims in proptest::collection::vec(1usize..7, 1..=3)) {
+        let shapes = sub_kernel_shapes(&dims);
+        prop_assert_eq!(shapes.len(), 1usize << dims.len());
+        let total: usize = shapes.iter().map(|s| s.iter().product::<usize>()).sum();
+        prop_assert_eq!(total, dims.iter().product::<usize>());
+    }
+
+    /// The 2-D decomposition partitions the kernel's mass: the sum of all
+    /// sub-kernel elements equals the sum of the original kernel elements.
+    #[test]
+    fn decomposition_partitions_kernel_mass(
+        kh in 1usize..6,
+        kw in 1usize..6,
+        co in 1usize..3,
+        ci in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let kernel = Tensor4::random(Shape4::new(co, ci, kh, kw), -1.0, 1.0, &mut rng);
+        let grid = decompose_kernel2d(&kernel).unwrap();
+        let sub_sum: f64 = grid.iter().map(|(_, k)| k.sum()).sum();
+        prop_assert!((sub_sum - kernel.sum()).abs() < 1e-3);
+        prop_assert_eq!(grid.total_elements(), co * ci * kh * kw);
+    }
+
+    /// The transformed deconvolution is exact (not approximate) for every
+    /// shape in the range used by the stereo networks.
+    #[test]
+    fn transformed_deconvolution_is_exact(
+        h in 1usize..5,
+        w in 1usize..5,
+        k in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(k <= 2 * h + 1 && k <= 2 * w + 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input = Tensor4::random(Shape4::new(1, 2, h, w), -1.0, 1.0, &mut rng);
+        let kernel = Tensor4::random(Shape4::new(2, 2, k, k), -1.0, 1.0, &mut rng);
+        let reference = paper_deconv2d(&input, &kernel, 0).unwrap();
+        let transformed = transformed_deconv2d(&input, &kernel, 0).unwrap();
+        prop_assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4);
+    }
+
+    /// Gaussian blur never changes the total image mass by more than a border
+    /// effect, and never produces values outside the input range.
+    #[test]
+    fn gaussian_blur_is_mass_preserving_and_bounded(
+        width in 8usize..24,
+        height in 8usize..24,
+        sigma in 0.5f32..2.5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let img = Image::from_fn(width, height, |_, _| rand::Rng::gen_range(&mut rng, 0.0..1.0));
+        let blurred = gaussian_blur(&img, sigma);
+        let min = img.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = img.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(blurred.as_slice().iter().all(|&v| v >= min - 1e-4 && v <= max + 1e-4));
+        // Border clamping can only move mass towards the interior values, so
+        // the mean stays within the original value range.
+        prop_assert!(blurred.mean() >= min - 1e-4 && blurred.mean() <= max + 1e-4);
+    }
+
+    /// Triangulation round-trips: depth -> disparity -> depth is the identity
+    /// for any positive depth and any sane rig.
+    #[test]
+    fn triangulation_round_trip(
+        depth in 0.5f64..100.0,
+        baseline_mm in 50.0f64..300.0,
+        focal_mm in 1.0f64..8.0,
+    ) {
+        let rig = CameraRig::new(baseline_mm * 1e-3, focal_mm * 1e-3, 7.4e-6);
+        let disparity = rig.disparity_pixels_from_depth(depth);
+        let back = rig.depth_from_disparity_pixels(disparity);
+        prop_assert!((back - depth).abs() < 1e-6 * depth.max(1.0));
+        // Disparity error always inflates depth error monotonically.
+        let e1 = rig.depth_error_for_disparity_error(depth, 0.1);
+        let e2 = rig.depth_error_for_disparity_error(depth, 0.2);
+        prop_assert!(e2 >= e1);
+    }
+}
