@@ -33,7 +33,12 @@ pub struct EyerissModel {
 impl EyerissModel {
     /// Eyeriss configured with the same resources as ASV (Sec. 6.2).
     pub fn matched_to(hw: HwConfig) -> Self {
-        Self { hw, energy: EnergyModel::asv_16nm(), utilization: 0.72, dram_refetch_factor: 1.8 }
+        Self {
+            hw,
+            energy: EnergyModel::asv_16nm(),
+            utilization: 0.72,
+            dram_refetch_factor: 1.8,
+        }
     }
 
     /// Runs one inference of `network`.
@@ -144,7 +149,12 @@ impl GannxModel {
     /// GANNX configured with the same PE and buffer resources as ASV
     /// (Sec. 7.6).
     pub fn matched_to(hw: HwConfig) -> Self {
-        Self { hw, energy: EnergyModel::asv_16nm(), utilization: 0.85, dram_refetch_factor: 1.35 }
+        Self {
+            hw,
+            energy: EnergyModel::asv_16nm(),
+            utilization: 0.85,
+            dram_refetch_factor: 1.35,
+        }
     }
 
     /// Runs one inference of `network` (a GAN generator).
@@ -241,7 +251,11 @@ mod tests {
                 asv_faster += 1;
             }
         }
-        assert!(asv_faster >= suite.len() - 1, "ASV faster on only {asv_faster}/{} GANs", suite.len());
+        assert!(
+            asv_faster >= suite.len() - 1,
+            "ASV faster on only {asv_faster}/{} GANs",
+            suite.len()
+        );
     }
 
     #[test]

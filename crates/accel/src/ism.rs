@@ -40,14 +40,22 @@ impl NonKeyFrameConfig {
             width: 960,
             height: 540,
             flow_downscale: 2,
-            flow: FarnebackParams { pyramid_levels: 2, iterations: 2, ..FarnebackParams::default() },
+            flow: FarnebackParams {
+                pyramid_levels: 2,
+                iterations: 2,
+                ..FarnebackParams::default()
+            },
             refine: BlockMatchParams::default(),
         }
     }
 
     /// A configuration for an arbitrary resolution.
     pub fn with_resolution(width: usize, height: usize) -> Self {
-        Self { width, height, ..Self::qhd() }
+        Self {
+            width,
+            height,
+            ..Self::qhd()
+        }
     }
 }
 
@@ -75,8 +83,7 @@ impl NonKeyFrameOps {
 /// Counts the work of one non-key frame.
 pub fn nonkey_frame_ops(config: &NonKeyFrameConfig) -> NonKeyFrameOps {
     let scale = config.flow_downscale.max(1);
-    let flow =
-        farneback_op_breakdown(config.width / scale, config.height / scale, &config.flow);
+    let flow = farneback_op_breakdown(config.width / scale, config.height / scale, &config.flow);
     // Both the left and right frames need motion vectors (the correspondences
     // move in both views, Sec. 3.2 step 3).  The Gaussian-blur moment filters
     // and the per-pixel expansion solve (a 1×1 convolution over 6 channels)
@@ -105,7 +112,10 @@ pub fn nonkey_frame_ops(config: &NonKeyFrameConfig) -> NonKeyFrameOps {
 }
 
 /// Prices one non-key frame on the given accelerator.
-pub fn nonkey_frame_report(accel: &SystolicAccelerator, config: &NonKeyFrameConfig) -> ExecutionReport {
+pub fn nonkey_frame_report(
+    accel: &SystolicAccelerator,
+    config: &NonKeyFrameConfig,
+) -> ExecutionReport {
     let ops = nonkey_frame_ops(config);
     accel.run_op_counts(ops.array_ops, ops.scalar_ops, ops.dram_bytes)
 }

@@ -71,8 +71,8 @@ impl AreaPowerBudget {
 
     /// Whole-accelerator power overhead fraction of all ASV extensions.
     pub fn total_power_overhead(&self) -> f64 {
-        let extra_w =
-            self.pe_count as f64 * self.pe_sad_extra_power_mw * 1e-3 + self.scalar_extra_power_mw * 1e-3;
+        let extra_w = self.pe_count as f64 * self.pe_sad_extra_power_mw * 1e-3
+            + self.scalar_extra_power_mw * 1e-3;
         extra_w / self.total_power_w
     }
 }
@@ -91,15 +91,31 @@ mod tests {
     fn per_pe_overheads_match_the_paper() {
         let b = AreaPowerBudget::asv_16nm();
         // Sec. 7.1: 6.3 % area and 2.3 % power overhead per PE.
-        assert!((b.pe_area_overhead() - 0.063).abs() < 0.005, "{}", b.pe_area_overhead());
-        assert!((b.pe_power_overhead() - 0.023).abs() < 0.005, "{}", b.pe_power_overhead());
+        assert!(
+            (b.pe_area_overhead() - 0.063).abs() < 0.005,
+            "{}",
+            b.pe_area_overhead()
+        );
+        assert!(
+            (b.pe_power_overhead() - 0.023).abs() < 0.005,
+            "{}",
+            b.pe_power_overhead()
+        );
     }
 
     #[test]
     fn total_overheads_stay_below_half_a_percent_area_and_one_percent_power() {
         let b = AreaPowerBudget::asv_16nm();
-        assert!(b.total_area_overhead() < 0.005, "{}", b.total_area_overhead());
-        assert!(b.total_power_overhead() < 0.02, "{}", b.total_power_overhead());
+        assert!(
+            b.total_area_overhead() < 0.005,
+            "{}",
+            b.total_area_overhead()
+        );
+        assert!(
+            b.total_power_overhead() < 0.02,
+            "{}",
+            b.total_power_overhead()
+        );
         assert!(b.total_area_overhead() > 0.0);
         assert!(b.total_power_overhead() > 0.0);
     }

@@ -84,7 +84,13 @@ mod tests {
     use super::*;
 
     fn report(seconds: f64, energy: f64) -> ExecutionReport {
-        ExecutionReport { seconds, energy_joules: energy, cycles: 100, macs: 10, ..Default::default() }
+        ExecutionReport {
+            seconds,
+            energy_joules: energy,
+            cycles: 100,
+            macs: 10,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct ScalarUnitConfig {
 
 impl Default for ScalarUnitConfig {
     fn default() -> Self {
-        Self { lanes: 8, frequency_hz: 250.0e6 }
+        Self {
+            lanes: 8,
+            frequency_hz: 250.0e6,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl SystolicAccelerator {
 
     /// The evaluation configuration of Sec. 6.1.
     pub fn asv_default() -> Self {
-        Self { hw: HwConfig::asv_default(), scalar: ScalarUnitConfig::default(), energy: EnergyModel::asv_16nm() }
+        Self {
+            hw: HwConfig::asv_default(),
+            scalar: ScalarUnitConfig::default(),
+            energy: EnergyModel::asv_16nm(),
+        }
     }
 
     /// The dataflow hardware configuration.
@@ -68,7 +75,13 @@ impl SystolicAccelerator {
     /// and returns its cost.
     pub fn run_network(&self, network: &NetworkSpec, level: OptLevel) -> ExecutionReport {
         let cost = schedule_network(network, &self.hw, level);
-        self.report_from_counts(cost.total_cycles, cost.total_macs, 0, cost.total_dram_bytes, cost.total_sram_bytes)
+        self.report_from_counts(
+            cost.total_cycles,
+            cost.total_macs,
+            0,
+            cost.total_dram_bytes,
+            cost.total_sram_bytes,
+        )
     }
 
     /// Executes only the deconvolution layers of `network` (the basis of
@@ -76,7 +89,13 @@ impl SystolicAccelerator {
     pub fn run_deconv_layers(&self, network: &NetworkSpec, level: OptLevel) -> ExecutionReport {
         let cost = schedule_network(network, &self.hw, level);
         let deconv = cost.deconv_cost();
-        self.report_from_counts(deconv.cycles, deconv.macs, 0, deconv.dram_bytes(), deconv.sram_bytes)
+        self.report_from_counts(
+            deconv.cycles,
+            deconv.macs,
+            0,
+            deconv.dram_bytes(),
+            deconv.sram_bytes,
+        )
     }
 
     /// Prices work expressed directly as operation counts: `array_ops`
@@ -87,7 +106,12 @@ impl SystolicAccelerator {
     /// The array and the scalar unit overlap in time (the latency is the
     /// maximum of the two), which is how ISM's optical flow and block
     /// matching are mapped (Sec. 5.1).
-    pub fn run_op_counts(&self, array_ops: u64, scalar_ops: u64, dram_bytes: u64) -> ExecutionReport {
+    pub fn run_op_counts(
+        &self,
+        array_ops: u64,
+        scalar_ops: u64,
+        dram_bytes: u64,
+    ) -> ExecutionReport {
         let array_cycles = array_ops.div_ceil(self.hw.pe_count());
         let array_seconds = array_cycles as f64 / self.hw.frequency_hz;
         let scalar_seconds =
@@ -98,7 +122,9 @@ impl SystolicAccelerator {
         let cycles = (seconds * self.hw.frequency_hz).ceil() as u64;
         // All array operands are staged through the SRAM at least once.
         let sram_bytes = dram_bytes + array_ops * 2;
-        let energy = self.energy.energy_joules(array_ops, sram_bytes, dram_bytes, scalar_ops, seconds);
+        let energy = self
+            .energy
+            .energy_joules(array_ops, sram_bytes, dram_bytes, scalar_ops, seconds);
         ExecutionReport {
             cycles,
             seconds,
@@ -119,8 +145,18 @@ impl SystolicAccelerator {
         sram_bytes: u64,
     ) -> ExecutionReport {
         let seconds = self.hw.cycles_to_seconds(cycles);
-        let energy = self.energy.energy_joules(macs, sram_bytes, dram_bytes, scalar_ops, seconds);
-        ExecutionReport { cycles, seconds, macs, scalar_ops, dram_bytes, sram_bytes, energy_joules: energy }
+        let energy = self
+            .energy
+            .energy_joules(macs, sram_bytes, dram_bytes, scalar_ops, seconds);
+        ExecutionReport {
+            cycles,
+            seconds,
+            macs,
+            scalar_ops,
+            dram_bytes,
+            sram_bytes,
+            energy_joules: energy,
+        }
     }
 }
 
@@ -158,7 +194,10 @@ mod tests {
         let deconv_opt = accel.run_deconv_layers(&net, OptLevel::Ilar);
         let full_speedup = full_opt.speedup_over(&full_base);
         let deconv_speedup = deconv_opt.speedup_over(&deconv_base);
-        assert!(deconv_speedup > full_speedup, "deconv {deconv_speedup} vs full {full_speedup}");
+        assert!(
+            deconv_speedup > full_speedup,
+            "deconv {deconv_speedup} vs full {full_speedup}"
+        );
         assert!(deconv_speedup > 2.0, "deconv speedup {deconv_speedup}");
     }
 

@@ -1,0 +1,152 @@
+//! The workspace-level error type.
+//!
+//! Every layer keeps its own focused error enum (`TensorError`, `ImageError`,
+//! `FlowError`, `StereoError`) so kernels stay decoupled, but the system
+//! facade surfaces exactly one type: [`AsvError`]. `From` conversions let
+//! errors from any layer flow through a `?` chain into [`AsvError`], and
+//! [`std::error::Error::source`] preserves the underlying layer error for
+//! callers that want to inspect it.
+
+use asv_flow::FlowError;
+use asv_image::ImageError;
+use asv_stereo::StereoError;
+use asv_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Unified error type of the ASV system facade.
+///
+/// Each variant wraps the error enum of one workspace layer; [`AsvError::Config`]
+/// covers system-level misconfiguration that no single layer owns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsvError {
+    /// An error from the tensor kernels (`asv-tensor`).
+    Tensor(TensorError),
+    /// An error from the image layer (`asv-image`).
+    Image(ImageError),
+    /// An error from optical-flow estimation (`asv-flow`).
+    Flow(FlowError),
+    /// An error from stereo matching (`asv-stereo`).
+    Stereo(StereoError),
+    /// A system-level configuration problem.
+    Config {
+        /// Human readable description.
+        context: String,
+    },
+}
+
+impl AsvError {
+    /// Builds an [`AsvError::Config`] from anything displayable.
+    pub fn config(context: impl fmt::Display) -> Self {
+        AsvError::Config {
+            context: context.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsvError::Tensor(e) => write!(f, "tensor: {e}"),
+            AsvError::Image(e) => write!(f, "image: {e}"),
+            AsvError::Flow(e) => write!(f, "flow: {e}"),
+            AsvError::Stereo(e) => write!(f, "stereo: {e}"),
+            AsvError::Config { context } => write!(f, "configuration: {context}"),
+        }
+    }
+}
+
+impl Error for AsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsvError::Tensor(e) => Some(e),
+            AsvError::Image(e) => Some(e),
+            AsvError::Flow(e) => Some(e),
+            AsvError::Stereo(e) => Some(e),
+            AsvError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for AsvError {
+    fn from(e: TensorError) -> Self {
+        AsvError::Tensor(e)
+    }
+}
+
+impl From<ImageError> for AsvError {
+    fn from(e: ImageError) -> Self {
+        AsvError::Image(e)
+    }
+}
+
+impl From<FlowError> for AsvError {
+    fn from(e: FlowError) -> Self {
+        AsvError::Flow(e)
+    }
+}
+
+impl From<StereoError> for AsvError {
+    fn from(e: StereoError) -> Self {
+        AsvError::Stereo(e)
+    }
+}
+
+/// Convenience alias for results carrying an [`AsvError`].
+pub type Result<T> = std::result::Result<T, AsvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tensor_error_preserves_source() {
+        let inner = TensorError::shape_mismatch("kernel channels 3 vs ifmap channels 2");
+        let e: AsvError = inner.clone().into();
+        assert_eq!(e, AsvError::Tensor(inner.clone()));
+        assert!(e.to_string().starts_with("tensor: "));
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn from_image_error_preserves_source() {
+        let inner = ImageError::dimension_mismatch("4x4 vs 2x2");
+        let e: AsvError = inner.clone().into();
+        assert_eq!(e, AsvError::Image(inner.clone()));
+        assert!(e.to_string().starts_with("image: "));
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn from_flow_error_preserves_source() {
+        let inner = FlowError::frame_mismatch("8x8 vs 8x6");
+        let e: AsvError = inner.clone().into();
+        assert_eq!(e, AsvError::Flow(inner.clone()));
+        assert!(e.to_string().starts_with("flow: "));
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn from_stereo_error_preserves_source() {
+        let inner = StereoError::invalid_parameter("max_disparity must be non-zero");
+        let e: AsvError = inner.clone().into();
+        assert_eq!(e, AsvError::Stereo(inner.clone()));
+        assert!(e.to_string().starts_with("stereo: "));
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn config_errors_have_no_source() {
+        let e = AsvError::config("propagation window must be positive");
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("propagation window"));
+    }
+
+    #[test]
+    fn error_trait_is_object_safe_and_sendable() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AsvError>();
+        let boxed: Box<dyn Error> = Box::new(AsvError::config("x"));
+        assert!(boxed.to_string().contains("configuration"));
+    }
+}

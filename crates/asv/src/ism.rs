@@ -17,13 +17,14 @@
 //! 4. **Refine correspondences** — block matching in a narrow window centred
 //!    on the propagated disparity absorbs motion-estimation noise.
 
+use crate::error::AsvError;
 use asv_dnn::{SurrogateParams, SurrogateStereoDnn};
 use asv_flow::farneback::{farneback_flow, FarnebackParams};
 use asv_flow::FlowField;
 use asv_image::Image;
 use asv_scene::StereoSequence;
 use asv_stereo::block_matching::{refine_with_initial, BlockMatchParams};
-use asv_stereo::{DisparityMap, StereoError};
+use asv_stereo::DisparityMap;
 use serde::{Deserialize, Serialize};
 
 /// Whether a frame was processed as a key frame (DNN) or a non-key frame
@@ -79,7 +80,11 @@ impl Default for IsmConfig {
             propagation_window: 4,
             key_frame_policy: KeyFramePolicy::Static,
             flow: FarnebackParams::default(),
-            refine: BlockMatchParams { max_disparity: 64, refine_radius: 3, ..Default::default() },
+            refine: BlockMatchParams {
+                max_disparity: 64,
+                refine_radius: 3,
+                ..Default::default()
+            },
             surrogate: SurrogateParams::default(),
         }
     }
@@ -104,7 +109,10 @@ pub struct IsmResult {
 impl IsmResult {
     /// Number of key frames in the result.
     pub fn key_frame_count(&self) -> usize {
-        self.frames.iter().filter(|f| f.kind == FrameKind::KeyFrame).count()
+        self.frames
+            .iter()
+            .filter(|f| f.kind == FrameKind::KeyFrame)
+            .count()
     }
 
     /// Number of non-key frames in the result.
@@ -136,8 +144,9 @@ impl IsmPipeline {
     ///
     /// # Errors
     ///
-    /// Propagates matcher errors (mismatched frame sizes, empty frames).
-    pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, StereoError> {
+    /// Propagates flow and matcher errors (mismatched frame sizes, empty
+    /// frames) as [`AsvError`], preserving the originating layer.
+    pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, AsvError> {
         let mut frames = Vec::with_capacity(sequence.len());
         let mut previous: Option<(Image, Image, DisparityMap)> = None;
         let window = self.config.propagation_window.max(1);
@@ -148,15 +157,15 @@ impl IsmPipeline {
             // The adaptive policy re-keys early when the scene moves too fast
             // for propagation to stay reliable.
             if !is_key {
-                if let KeyFramePolicy::AdaptiveMotion { max_median_motion_px } =
-                    self.config.key_frame_policy
+                if let KeyFramePolicy::AdaptiveMotion {
+                    max_median_motion_px,
+                } = self.config.key_frame_policy
                 {
-                    let (prev_left, _, _) =
-                        previous.as_ref().expect("non-key frames always have a predecessor");
-                    let flow = farneback_flow(prev_left, &frame.left, &self.config.flow)
-                        .map_err(|e| StereoError::invalid_parameter(e))?;
-                    let motion =
-                        (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
+                    let (prev_left, _, _) = previous
+                        .as_ref()
+                        .expect("non-key frames always have a predecessor");
+                    let flow = farneback_flow(prev_left, &frame.left, &self.config.flow)?;
+                    let motion = (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
                     if motion > max_median_motion_px {
                         is_key = true;
                     }
@@ -167,8 +176,9 @@ impl IsmPipeline {
                 since_key = 1;
                 (FrameKind::KeyFrame, map)
             } else {
-                let (prev_left, prev_right, prev_disparity) =
-                    previous.as_ref().expect("non-key frames always have a predecessor");
+                let (prev_left, prev_right, prev_disparity) = previous
+                    .as_ref()
+                    .expect("non-key frames always have a predecessor");
                 let map = self.propagate_and_refine(
                     prev_left,
                     prev_right,
@@ -193,12 +203,10 @@ impl IsmPipeline {
         prev_disparity: &DisparityMap,
         left: &Image,
         right: &Image,
-    ) -> Result<DisparityMap, StereoError> {
+    ) -> Result<DisparityMap, AsvError> {
         // Step 3: motion of both views from t to t+1.
-        let flow_left = farneback_flow(prev_left, left, &self.config.flow)
-            .map_err(|e| StereoError::invalid_parameter(e))?;
-        let flow_right = farneback_flow(prev_right, right, &self.config.flow)
-            .map_err(|e| StereoError::invalid_parameter(e))?;
+        let flow_left = farneback_flow(prev_left, left, &self.config.flow)?;
+        let flow_right = farneback_flow(prev_right, right, &self.config.flow)?;
 
         // Steps 2 + 3: reconstruct each correspondence pair from the previous
         // disparity map and move both members along their view's motion.
@@ -206,7 +214,12 @@ impl IsmPipeline {
 
         // Step 4: refine with a narrow block-matching search around the
         // propagated disparity.
-        refine_with_initial(left, right, &propagated, &self.config.refine)
+        Ok(refine_with_initial(
+            left,
+            right,
+            &propagated,
+            &self.config.refine,
+        )?)
     }
 }
 
@@ -226,7 +239,9 @@ pub fn propagate_correspondences(
 
     for y in 0..height {
         for x in 0..width {
-            let Some(d) = prev_disparity.get(x, y) else { continue };
+            let Some(d) = prev_disparity.get(x, y) else {
+                continue;
+            };
             // Left member of the pair moves with the left-view flow.
             let (ul, vl) = flow_left.at(x, y);
             let new_lx = x as f32 + ul;
@@ -261,8 +276,15 @@ mod tests {
     fn pipeline(window: usize, max_disparity: usize) -> IsmPipeline {
         let config = IsmConfig {
             propagation_window: window,
-            refine: BlockMatchParams { max_disparity, refine_radius: 3, ..Default::default() },
-            surrogate: SurrogateParams { max_disparity, occlusion_handling: true },
+            refine: BlockMatchParams {
+                max_disparity,
+                refine_radius: 3,
+                ..Default::default()
+            },
+            surrogate: SurrogateParams {
+                max_disparity,
+                occlusion_handling: true,
+            },
             ..Default::default()
         };
         let surrogate = SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate);
@@ -270,7 +292,9 @@ mod tests {
     }
 
     fn small_sequence(frames: usize, seed: u64) -> StereoSequence {
-        let config = SceneConfig::scene_flow_like(64, 48).with_seed(seed).with_objects(3);
+        let config = SceneConfig::scene_flow_like(64, 48)
+            .with_seed(seed)
+            .with_objects(3);
         StereoSequence::generate(&config, frames)
     }
 
@@ -299,7 +323,10 @@ mod tests {
         let seq = small_sequence(4, 5);
         let result = pipeline(4, 32).process_sequence(&seq).unwrap();
         for (frame, truth) in result.frames.iter().zip(seq.frames()) {
-            let err = frame.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+            let err = frame
+                .disparity
+                .three_pixel_error(&truth.ground_truth)
+                .unwrap();
             assert!(err < 0.25, "{:?} error {err}", frame.kind);
         }
     }
@@ -359,15 +386,25 @@ mod tests {
         let seq = small_sequence(6, 13);
         let base = pipeline(4, 32);
         let make = |policy| {
-            let config = IsmConfig { key_frame_policy: policy, ..*base.config() };
-            IsmPipeline::new(config, SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate))
+            let config = IsmConfig {
+                key_frame_policy: policy,
+                ..*base.config()
+            };
+            IsmPipeline::new(
+                config,
+                SurrogateStereoDnn::new(zoo::dispnet(48, 64), config.surrogate),
+            )
         };
-        let eager = make(KeyFramePolicy::AdaptiveMotion { max_median_motion_px: 0.0 })
-            .process_sequence(&seq)
-            .unwrap();
-        let relaxed = make(KeyFramePolicy::AdaptiveMotion { max_median_motion_px: 1e6 })
-            .process_sequence(&seq)
-            .unwrap();
+        let eager = make(KeyFramePolicy::AdaptiveMotion {
+            max_median_motion_px: 0.0,
+        })
+        .process_sequence(&seq)
+        .unwrap();
+        let relaxed = make(KeyFramePolicy::AdaptiveMotion {
+            max_median_motion_px: 1e6,
+        })
+        .process_sequence(&seq)
+        .unwrap();
         let static_schedule = base.process_sequence(&seq).unwrap();
         assert!(eager.key_frame_count() >= static_schedule.key_frame_count());
         assert_eq!(relaxed.key_frame_count(), static_schedule.key_frame_count());

@@ -36,10 +36,12 @@
 //! assert!(accuracy.ism_error_rate <= 0.5);
 //! ```
 
+pub mod error;
 pub mod ism;
 pub mod perf;
 pub mod system;
 
+pub use error::AsvError;
 pub use ism::{FrameKind, IsmConfig, IsmPipeline, IsmResult, KeyFramePolicy};
 pub use perf::{AsvVariant, SystemPerformanceModel, VariantReport};
 pub use system::{AccuracyReport, AsvConfig, AsvSystem};

@@ -38,7 +38,12 @@ pub enum AsvVariant {
 impl AsvVariant {
     /// All variants in the order used by Fig. 10.
     pub fn all() -> [AsvVariant; 4] {
-        [AsvVariant::Baseline, AsvVariant::Dco, AsvVariant::Ism, AsvVariant::IsmDco]
+        [
+            AsvVariant::Baseline,
+            AsvVariant::Dco,
+            AsvVariant::Ism,
+            AsvVariant::IsmDco,
+        ]
     }
 
     /// Short label used in reports.
@@ -81,13 +86,21 @@ impl SystemPerformanceModel {
         nonkey: NonKeyFrameConfig,
         propagation_window: usize,
     ) -> Self {
-        Self { accelerator, nonkey, propagation_window: propagation_window.max(1) }
+        Self {
+            accelerator,
+            nonkey,
+            propagation_window: propagation_window.max(1),
+        }
     }
 
     /// The paper's default operating point: the ASV accelerator, qHD non-key
     /// frames, PW-4.
     pub fn asv_default() -> Self {
-        Self::new(SystolicAccelerator::asv_default(), NonKeyFrameConfig::qhd(), 4)
+        Self::new(
+            SystolicAccelerator::asv_default(),
+            NonKeyFrameConfig::qhd(),
+            4,
+        )
     }
 
     /// The accelerator being modelled.
@@ -112,7 +125,8 @@ impl SystemPerformanceModel {
             AsvVariant::Ism | AsvVariant::IsmDco => {
                 let nonkey = nonkey_frame_report(&self.accelerator, &self.nonkey);
                 let pw = self.propagation_window as f64;
-                key.scaled(1.0 / pw).combine(&nonkey.scaled((pw - 1.0) / pw))
+                key.scaled(1.0 / pw)
+                    .combine(&nonkey.scaled((pw - 1.0) / pw))
             }
         }
     }
@@ -137,12 +151,18 @@ impl SystemPerformanceModel {
 
     /// Returns a copy of the model with a different propagation window.
     pub fn with_propagation_window(&self, window: usize) -> Self {
-        Self { propagation_window: window.max(1), ..self.clone() }
+        Self {
+            propagation_window: window.max(1),
+            ..self.clone()
+        }
     }
 
     /// Returns a copy of the model with a different accelerator.
     pub fn with_accelerator(&self, accelerator: SystolicAccelerator) -> Self {
-        Self { accelerator, ..self.clone() }
+        Self {
+            accelerator,
+            ..self.clone()
+        }
     }
 }
 
@@ -168,7 +188,10 @@ mod tests {
         let mut energy_reductions = Vec::new();
         for net in zoo::suite(96, 192, 48) {
             let reports = model.variant_reports(&net);
-            let full = reports.iter().find(|r| r.variant == AsvVariant::IsmDco).unwrap();
+            let full = reports
+                .iter()
+                .find(|r| r.variant == AsvVariant::IsmDco)
+                .unwrap();
             speedups.push(full.speedup);
             energy_reductions.push(full.energy_reduction);
         }

@@ -1,6 +1,7 @@
 //! [`AsvSystem`]: the top-level user-facing object combining the functional
 //! ISM pipeline with the performance/energy model.
 
+use crate::error::AsvError;
 use crate::ism::{IsmConfig, IsmPipeline, IsmResult};
 use crate::perf::{AsvVariant, SystemPerformanceModel, VariantReport};
 use asv_accel::ism::NonKeyFrameConfig;
@@ -9,7 +10,6 @@ use asv_dnn::{zoo, NetworkSpec, SurrogateParams, SurrogateStereoDnn};
 use asv_flow::farneback::FarnebackParams;
 use asv_scene::StereoSequence;
 use asv_stereo::block_matching::BlockMatchParams;
-use asv_stereo::StereoError;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a complete ASV system instance.
@@ -89,9 +89,16 @@ impl AsvSystem {
 
     /// Builds a system with an explicit accelerator configuration.
     pub fn with_accelerator(config: AsvConfig, accelerator: SystolicAccelerator) -> Self {
-        let network = network_by_name(&config.network, config.frame_height, config.frame_width, config.max_disparity);
-        let surrogate_params =
-            SurrogateParams { max_disparity: config.max_disparity, occlusion_handling: true };
+        let network = network_by_name(
+            &config.network,
+            config.frame_height,
+            config.frame_width,
+            config.max_disparity,
+        );
+        let surrogate_params = SurrogateParams {
+            max_disparity: config.max_disparity,
+            occlusion_handling: true,
+        };
         let ism_config = IsmConfig {
             propagation_window: config.propagation_window,
             key_frame_policy: crate::ism::KeyFramePolicy::Static,
@@ -103,10 +110,18 @@ impl AsvSystem {
             },
             surrogate: surrogate_params,
         };
-        let pipeline = IsmPipeline::new(ism_config, SurrogateStereoDnn::new(network.clone(), surrogate_params));
+        let pipeline = IsmPipeline::new(
+            ism_config,
+            SurrogateStereoDnn::new(network.clone(), surrogate_params),
+        );
         let nonkey = NonKeyFrameConfig::with_resolution(config.frame_width, config.frame_height);
         let perf = SystemPerformanceModel::new(accelerator, nonkey, config.propagation_window);
-        Self { config, pipeline, perf, network }
+        Self {
+            config,
+            pipeline,
+            perf,
+            network,
+        }
     }
 
     /// The system configuration.
@@ -128,8 +143,9 @@ impl AsvSystem {
     ///
     /// # Errors
     ///
-    /// Propagates matcher errors from the pipeline.
-    pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, StereoError> {
+    /// Propagates flow and matcher errors from the pipeline as the unified
+    /// [`AsvError`].
+    pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, AsvError> {
         self.pipeline.process_sequence(sequence)
     }
 
@@ -138,10 +154,14 @@ impl AsvSystem {
     ///
     /// # Errors
     ///
-    /// Propagates matcher errors from either pipeline.
-    pub fn evaluate_accuracy(&self, sequence: &StereoSequence) -> Result<AccuracyReport, StereoError> {
+    /// Propagates flow and matcher errors from either pipeline as the unified
+    /// [`AsvError`].
+    pub fn evaluate_accuracy(&self, sequence: &StereoSequence) -> Result<AccuracyReport, AsvError> {
         let ism = self.pipeline.process_sequence(sequence)?;
-        let per_frame_config = IsmConfig { propagation_window: 1, ..*self.pipeline.config() };
+        let per_frame_config = IsmConfig {
+            propagation_window: 1,
+            ..*self.pipeline.config()
+        };
         let per_frame_pipeline = IsmPipeline::new(
             per_frame_config,
             SurrogateStereoDnn::new(self.network.clone(), per_frame_config.surrogate),
@@ -159,7 +179,11 @@ impl AsvSystem {
         let n = count.max(1) as f64;
         let ism_error_rate = ism_err / n;
         let dnn_error_rate = dnn_err / n;
-        Ok(AccuracyReport { ism_error_rate, dnn_error_rate, accuracy_loss: ism_error_rate - dnn_error_rate })
+        Ok(AccuracyReport {
+            ism_error_rate,
+            dnn_error_rate,
+            accuracy_loss: ism_error_rate - dnn_error_rate,
+        })
     }
 
     /// Per-frame performance/energy of all system variants on the configured
@@ -195,7 +219,12 @@ mod tests {
     }
 
     fn sequence(frames: usize) -> StereoSequence {
-        StereoSequence::generate(&SceneConfig::scene_flow_like(64, 48).with_seed(21).with_objects(3), frames)
+        StereoSequence::generate(
+            &SceneConfig::scene_flow_like(64, 48)
+                .with_seed(21)
+                .with_objects(3),
+            frames,
+        )
     }
 
     #[test]
@@ -208,7 +237,11 @@ mod tests {
         // Fig. 9: the accuracy loss from ISM is tiny (the paper reports
         // 0.02 % at PW-4 on SceneFlow); allow a small band for the synthetic
         // dataset and surrogate estimator.
-        assert!(report.accuracy_loss < 0.05, "accuracy loss {}", report.accuracy_loss);
+        assert!(
+            report.accuracy_loss < 0.05,
+            "accuracy loss {}",
+            report.accuracy_loss
+        );
         assert!(report.dnn_error_rate < 0.3);
     }
 
@@ -232,7 +265,10 @@ mod tests {
             ("DispNet", "DispNet"),
             ("unknown", "DispNet"),
         ] {
-            let config = AsvConfig { network: name.to_owned(), ..AsvConfig::small() };
+            let config = AsvConfig {
+                network: name.to_owned(),
+                ..AsvConfig::small()
+            };
             let system = AsvSystem::new(config);
             assert_eq!(system.network().name, expected);
         }

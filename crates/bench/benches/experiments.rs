@@ -17,21 +17,43 @@ use std::hint::black_box;
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig03_op_distribution", |b| b.iter(|| black_box(figure3_stage_distribution())));
-    group.bench_function("fig04_depth_sensitivity", |b| b.iter(|| black_box(figure4_depth_sensitivity())));
-    group.bench_function("fig10_speedup_energy", |b| b.iter(|| black_box(figure10_speedup_energy())));
-    group.bench_function("fig11_deconv_opts", |b| b.iter(|| black_box(figure11_deconv_opts())));
-    group.bench_function("fig12_sensitivity", |b| b.iter(|| black_box(figure12_sensitivity())));
-    group.bench_function("fig13_baselines", |b| b.iter(|| black_box(figure13_platforms())));
+    group.bench_function("fig03_op_distribution", |b| {
+        b.iter(|| black_box(figure3_stage_distribution()))
+    });
+    group.bench_function("fig04_depth_sensitivity", |b| {
+        b.iter(|| black_box(figure4_depth_sensitivity()))
+    });
+    group.bench_function("fig10_speedup_energy", |b| {
+        b.iter(|| black_box(figure10_speedup_energy()))
+    });
+    group.bench_function("fig11_deconv_opts", |b| {
+        b.iter(|| black_box(figure11_deconv_opts()))
+    });
+    group.bench_function("fig12_sensitivity", |b| {
+        b.iter(|| black_box(figure12_sensitivity()))
+    });
+    group.bench_function("fig13_baselines", |b| {
+        b.iter(|| black_box(figure13_platforms()))
+    });
     group.bench_function("fig14_gan", |b| b.iter(|| black_box(figure14_gans())));
     group.bench_function("tab_overhead", |b| b.iter(|| black_box(overhead_table())));
-    group.bench_function("tab_nonkey_cost", |b| b.iter(|| black_box(nonkey_cost_table())));
+    group.bench_function("tab_nonkey_cost", |b| {
+        b.iter(|| black_box(nonkey_cost_table()))
+    });
     group.finish();
 
     let mut functional = c.benchmark_group("functional_figures");
     functional.sample_size(10);
-    let tiny = AccuracySetup { width: 48, height: 32, frames: 2, sequences: 1, max_disparity: 16 };
-    functional.bench_function("fig09_accuracy_tiny", |b| b.iter(|| black_box(figure9_accuracy(&tiny))));
+    let tiny = AccuracySetup {
+        width: 48,
+        height: 32,
+        frames: 2,
+        sequences: 1,
+        max_disparity: 16,
+    };
+    functional.bench_function("fig09_accuracy_tiny", |b| {
+        b.iter(|| black_box(figure9_accuracy(&tiny)))
+    });
     functional.finish();
 }
 

@@ -29,7 +29,16 @@ fn bench_conv_and_deconv(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
     group.sample_size(10);
     group.bench_function("conv2d_dense", |b| {
-        b.iter(|| conv2d(black_box(&input), black_box(&conv_kernel), &Conv2dParams { stride: 1, padding: 1 }))
+        b.iter(|| {
+            conv2d(
+                black_box(&input),
+                black_box(&conv_kernel),
+                &Conv2dParams {
+                    stride: 1,
+                    padding: 1,
+                },
+            )
+        })
     });
     group.bench_function("deconv_standard_zero_insert", |b| {
         b.iter(|| paper_deconv2d(black_box(&input), black_box(&deconv_kernel), 1))
@@ -51,14 +60,23 @@ fn bench_ism_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("ism_components");
     group.sample_size(10);
     group.bench_function("farneback_flow_96x64", |b| {
-        b.iter(|| farneback_flow(black_box(&frame0), black_box(&frame1), &FarnebackParams::default()))
+        b.iter(|| {
+            farneback_flow(
+                black_box(&frame0),
+                black_box(&frame1),
+                &FarnebackParams::default(),
+            )
+        })
     });
     group.bench_function("block_match_full_search", |b| {
         b.iter(|| {
             block_match(
                 black_box(&left),
                 black_box(&right),
-                &BlockMatchParams { max_disparity: 32, ..Default::default() },
+                &BlockMatchParams {
+                    max_disparity: 32,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -68,7 +86,11 @@ fn bench_ism_components(c: &mut Criterion) {
                 black_box(&left),
                 black_box(&right),
                 black_box(&initial),
-                &BlockMatchParams { max_disparity: 32, refine_radius: 3, ..Default::default() },
+                &BlockMatchParams {
+                    max_disparity: 32,
+                    refine_radius: 3,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -77,7 +99,52 @@ fn bench_ism_components(c: &mut Criterion) {
             semi_global_match(
                 black_box(&left),
                 black_box(&right),
-                &SgmParams { max_disparity: 32, ..Default::default() },
+                &SgmParams {
+                    max_disparity: 32,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+/// qHD-scale (960x540) stereo kernels: the operating point of the paper's
+/// system evaluation and the reference workload for the `parallel` feature
+/// (compare `cargo bench -p asv-bench` against
+/// `cargo bench -p asv-bench --no-default-features`).
+fn bench_qhd_stereo(c: &mut Criterion) {
+    let width = 960;
+    let height = 540;
+    let max_disparity = 64;
+    let right = Image::from_fn(width, height, |x, y| {
+        ((x as f32 * 0.61).sin() * (y as f32 * 0.37).cos()) + ((x * 3 + y * 7) % 31) as f32 * 0.05
+    });
+    let left = Image::from_fn(width, height, |x, y| {
+        right.at_clamped(x as isize - 24, y as isize)
+    });
+
+    let mut group = c.benchmark_group("kernels_qhd");
+    group.sample_size(10);
+    group.bench_function("cost_volume_qhd_d64", |b| {
+        b.iter(|| {
+            asv_stereo::cost_volume::CostVolume::from_pair(
+                black_box(&left),
+                black_box(&right),
+                max_disparity,
+                asv_image::cost::BlockSpec::new(2),
+            )
+        })
+    });
+    group.bench_function("sgm_qhd_d64", |b| {
+        b.iter(|| {
+            semi_global_match(
+                black_box(&left),
+                black_box(&right),
+                &SgmParams {
+                    max_disparity,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -98,5 +165,11 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv_and_deconv, bench_ism_components, bench_scheduler);
+criterion_group!(
+    benches,
+    bench_conv_and_deconv,
+    bench_ism_components,
+    bench_qhd_stereo,
+    bench_scheduler
+);
 criterion_main!(benches);

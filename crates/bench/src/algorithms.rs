@@ -45,7 +45,13 @@ impl AccuracySetup {
     /// A setup small enough to run in seconds yet large enough to rank the
     /// algorithms the way the paper does.
     pub fn quick() -> Self {
-        Self { width: 96, height: 64, frames: 4, sequences: 2, max_disparity: 32 }
+        Self {
+            width: 96,
+            height: 64,
+            frames: 4,
+            sequences: 2,
+            max_disparity: 32,
+        }
     }
 }
 
@@ -57,7 +63,10 @@ fn sequences(profile_kitti: bool, setup: &AccuracySetup) -> Vec<StereoSequence> 
             } else {
                 SceneConfig::scene_flow_like(setup.width, setup.height)
             };
-            StereoSequence::generate(&base.with_seed(100 + i as u64).with_objects(4), setup.frames)
+            StereoSequence::generate(
+                &base.with_seed(100 + i as u64).with_objects(4),
+                setup.frames,
+            )
         })
         .collect()
 }
@@ -87,7 +96,10 @@ fn ism_error(sequences: &[StereoSequence], pipeline: &IsmPipeline) -> f64 {
     for seq in sequences {
         let result = pipeline.process_sequence(seq).expect("pipeline runs");
         for (frame, truth) in result.frames.iter().zip(seq.frames()) {
-            total += frame.disparity.three_pixel_error(&truth.ground_truth).unwrap_or(1.0);
+            total += frame
+                .disparity
+                .three_pixel_error(&truth.ground_truth)
+                .unwrap_or(1.0);
             count += 1;
         }
     }
@@ -97,19 +109,32 @@ fn ism_error(sequences: &[StereoSequence], pipeline: &IsmPipeline) -> f64 {
 fn surrogate(setup: &AccuracySetup) -> SurrogateStereoDnn {
     SurrogateStereoDnn::new(
         zoo::dispnet(setup.height, setup.width),
-        SurrogateParams { max_disparity: setup.max_disparity, occlusion_handling: true },
+        SurrogateParams {
+            max_disparity: setup.max_disparity,
+            occlusion_handling: true,
+        },
     )
 }
 
 fn ism_pipeline(setup: &AccuracySetup, window: usize) -> IsmPipeline {
-    let params = SurrogateParams { max_disparity: setup.max_disparity, occlusion_handling: true };
+    let params = SurrogateParams {
+        max_disparity: setup.max_disparity,
+        occlusion_handling: true,
+    };
     let config = IsmConfig {
         propagation_window: window,
-        refine: BlockMatchParams { max_disparity: setup.max_disparity, refine_radius: 3, ..Default::default() },
+        refine: BlockMatchParams {
+            max_disparity: setup.max_disparity,
+            refine_radius: 3,
+            ..Default::default()
+        },
         surrogate: params,
         ..Default::default()
     };
-    IsmPipeline::new(config, SurrogateStereoDnn::new(zoo::dispnet(setup.height, setup.width), params))
+    IsmPipeline::new(
+        config,
+        SurrogateStereoDnn::new(zoo::dispnet(setup.height, setup.width), params),
+    )
 }
 
 /// Fig. 1: the accuracy/performance frontier.
@@ -127,8 +152,14 @@ pub fn figure1_frontier(setup: &AccuracySetup) -> Vec<FrontierPoint> {
 
     // Classic algorithms: block matching and three SGM variants of increasing
     // strength (standing in for GCSF / SGBN / HH / ELAS).
-    let bm_params = BlockMatchParams { max_disparity: setup.max_disparity, subpixel: false, ..Default::default() };
-    let bm_err = average_error(&clean, |f| block_match(&f.left, &f.right, &bm_params).unwrap());
+    let bm_params = BlockMatchParams {
+        max_disparity: setup.max_disparity,
+        subpixel: false,
+        ..Default::default()
+    };
+    let bm_err = average_error(&clean, |f| {
+        block_match(&f.left, &f.right, &bm_params).unwrap()
+    });
     let bm_ops = block_match_op_count(960, 540, &bm_params);
     points.push(FrontierPoint {
         name: "BM (classic)".into(),
@@ -139,12 +170,28 @@ pub fn figure1_frontier(setup: &AccuracySetup) -> Vec<FrontierPoint> {
     let sgm_variants: [(&str, SgmParams); 3] = [
         (
             "SGM-fast (classic)",
-            SgmParams { max_disparity: setup.max_disparity, p1: 1.0, p2: 8.0, subpixel: false, ..Default::default() },
+            SgmParams {
+                max_disparity: setup.max_disparity,
+                p1: 1.0,
+                p2: 8.0,
+                subpixel: false,
+                ..Default::default()
+            },
         ),
-        ("SGBN (classic)", SgmParams { max_disparity: setup.max_disparity, ..Default::default() }),
+        (
+            "SGBN (classic)",
+            SgmParams {
+                max_disparity: setup.max_disparity,
+                ..Default::default()
+            },
+        ),
         (
             "SGM-LR (classic)",
-            SgmParams { max_disparity: setup.max_disparity, left_right_check: true, ..Default::default() },
+            SgmParams {
+                max_disparity: setup.max_disparity,
+                left_right_check: true,
+                ..Default::default()
+            },
         ),
     ];
     for (name, params) in sgm_variants {
@@ -165,7 +212,11 @@ pub fn figure1_frontier(setup: &AccuracySetup) -> Vec<FrontierPoint> {
     // on the mobile GPU.
     let dnn = surrogate(setup);
     let dnn_err = average_error(&clean, |f| dnn.infer(&f.left, &f.right).unwrap());
-    for net in zoo::suite(crate::EVAL_HEIGHT, crate::EVAL_WIDTH, crate::EVAL_MAX_DISPARITY) {
+    for net in zoo::suite(
+        crate::EVAL_HEIGHT,
+        crate::EVAL_WIDTH,
+        crate::EVAL_MAX_DISPARITY,
+    ) {
         let acc_report = accel.run_network(&net, OptLevel::Baseline);
         points.push(FrontierPoint {
             name: format!("{}-Acc", net.name),
@@ -184,9 +235,16 @@ pub fn figure1_frontier(setup: &AccuracySetup) -> Vec<FrontierPoint> {
     let ism_err_rate = ism_error(&clean, &ism_pipeline(setup, 4));
     let perf = SystemPerformanceModel::new(accel, NonKeyFrameConfig::qhd(), 4);
     let asv_fps = perf
-        .per_frame_report(&zoo::dispnet(crate::EVAL_HEIGHT, crate::EVAL_WIDTH), AsvVariant::IsmDco)
+        .per_frame_report(
+            &zoo::dispnet(crate::EVAL_HEIGHT, crate::EVAL_WIDTH),
+            AsvVariant::IsmDco,
+        )
         .fps();
-    points.push(FrontierPoint { name: "ASV".into(), error_rate_pct: ism_err_rate * 100.0, fps: asv_fps });
+    points.push(FrontierPoint {
+        name: "ASV".into(),
+        error_rate_pct: ism_err_rate * 100.0,
+        fps: asv_fps,
+    });
     points
 }
 
@@ -246,7 +304,11 @@ pub struct NonKeyCostRow {
 pub fn nonkey_cost_table() -> Vec<NonKeyCostRow> {
     let nonkey = asv_accel::ism::nonkey_frame_ops(&NonKeyFrameConfig::qhd());
     let base = nonkey.total_ops();
-    let mut rows = vec![NonKeyCostRow { name: "ISM non-key frame".into(), ops: base, ratio_to_nonkey: 1.0 }];
+    let mut rows = vec![NonKeyCostRow {
+        name: "ISM non-key frame".into(),
+        ops: base,
+        ratio_to_nonkey: 1.0,
+    }];
     for net in zoo::suite(540, 960, 192) {
         let ops = net.total_naive_macs();
         rows.push(NonKeyCostRow {
@@ -262,7 +324,10 @@ pub fn nonkey_cost_table() -> Vec<NonKeyCostRow> {
 /// the full ASV system on qHD input.
 pub fn asv_qhd_fps() -> f64 {
     let perf = SystemPerformanceModel::asv_default();
-    let report = perf.per_frame_report(&zoo::dispnet(crate::EVAL_HEIGHT, crate::EVAL_WIDTH), AsvVariant::IsmDco);
+    let report = perf.per_frame_report(
+        &zoo::dispnet(crate::EVAL_HEIGHT, crate::EVAL_WIDTH),
+        AsvVariant::IsmDco,
+    );
     // The non-key-frame part is qHD already; the key-frame inference cost is
     // evaluated at the reduced analysis resolution, making this an optimistic
     // but consistent operating point (documented in EXPERIMENTS.md).
@@ -275,7 +340,13 @@ mod tests {
     use super::*;
 
     fn tiny_setup() -> AccuracySetup {
-        AccuracySetup { width: 64, height: 48, frames: 2, sequences: 1, max_disparity: 32 }
+        AccuracySetup {
+            width: 64,
+            height: 48,
+            frames: 2,
+            sequences: 1,
+            max_disparity: 32,
+        }
     }
 
     #[test]

@@ -1,14 +1,10 @@
 //! Fig. 1: accuracy/performance frontier of classic algorithms, stereo DNNs
 //! (accelerator and GPU) and ASV.
-use asv_bench::algorithms::{figure1_frontier, AccuracySetup};
-use asv_bench::table::{fmt3, TextTable};
+use asv_bench::algorithms::AccuracySetup;
 
 fn main() {
-    let points = figure1_frontier(&AccuracySetup::quick());
-    let mut table = TextTable::new(&["system", "error rate (%)", "FPS (qHD)"]);
-    for p in &points {
-        table.row(vec![p.name.clone(), fmt3(p.error_rate_pct), fmt3(p.fps)]);
-    }
-    println!("Figure 1: accuracy/performance frontier (30 FPS = real time)\n");
-    println!("{}", table.render());
+    println!(
+        "{}",
+        asv_bench::figs::fig01_frontier_report(&AccuracySetup::quick())
+    );
 }

@@ -1,19 +1,5 @@
 //! Fig. 3: arithmetic-operation distribution of the stereo DNNs across the
 //! FE / MO / DR stages.
-use asv_bench::hardware::figure3_stage_distribution;
-use asv_bench::table::{fmt_pct, TextTable};
-
 fn main() {
-    let mut table = TextTable::new(&["network", "FE (conv)", "MO (conv)", "DR (deconv)", "other"]);
-    for d in figure3_stage_distribution() {
-        table.row(vec![
-            d.network.clone(),
-            fmt_pct(d.feature_extraction),
-            fmt_pct(d.matching_optimization),
-            fmt_pct(d.disparity_refinement),
-            fmt_pct(d.other),
-        ]);
-    }
-    println!("Figure 3: per-stage MAC distribution of the stereo DNNs\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::fig03_op_distribution_report());
 }

@@ -1,17 +1,4 @@
 //! Fig. 4: depth estimation error vs disparity error (Bumblebee2 rig).
-use asv_bench::algorithms::figure4_depth_sensitivity;
-use asv_bench::table::{fmt3, TextTable};
-
 fn main() {
-    let mut table = TextTable::new(&["disparity error (px)", "depth err @10m (m)", "@15m (m)", "@30m (m)"]);
-    for p in figure4_depth_sensitivity() {
-        table.row(vec![
-            fmt3(p.disparity_error_px),
-            fmt3(p.depth_errors_m[0]),
-            fmt3(p.depth_errors_m[1]),
-            fmt3(p.depth_errors_m[2]),
-        ]);
-    }
-    println!("Figure 4: depth error vs stereo matching (disparity) error\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::fig04_depth_sensitivity_report());
 }

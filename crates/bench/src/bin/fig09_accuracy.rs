@@ -1,20 +1,10 @@
 //! Fig. 9: error-rate comparison between per-frame DNN processing and the
 //! ISM algorithm at PW-2 / PW-4, on both dataset profiles.
-use asv_bench::algorithms::{figure9_accuracy, AccuracySetup};
-use asv_bench::table::{fmt3, TextTable};
+use asv_bench::algorithms::AccuracySetup;
 
 fn main() {
-    let rows = figure9_accuracy(&AccuracySetup::quick());
-    let mut table = TextTable::new(&["dataset", "DNN err (%)", "PW-2 err (%)", "PW-4 err (%)", "PW-4 loss (pp)"]);
-    for r in &rows {
-        table.row(vec![
-            r.dataset.clone(),
-            fmt3(r.dnn_error_pct),
-            fmt3(r.pw2_error_pct),
-            fmt3(r.pw4_error_pct),
-            fmt3(r.pw4_error_pct - r.dnn_error_pct),
-        ]);
-    }
-    println!("Figure 9: ISM accuracy vs per-frame DNN accuracy\n");
-    println!("{}", table.render());
+    println!(
+        "{}",
+        asv_bench::figs::fig09_accuracy_report(&AccuracySetup::quick())
+    );
 }

@@ -1,33 +1,5 @@
 //! Fig. 10: speedup and energy reduction of the ASV variants (ISM, DCO,
 //! DCO+ISM) over the baseline DNN accelerator, per stereo network.
-use asv_bench::hardware::figure10_speedup_energy;
-use asv_bench::table::{fmt3, fmt_pct, TextTable};
-
 fn main() {
-    let rows = figure10_speedup_energy();
-    let mut table = TextTable::new(&[
-        "network", "DCO x", "ISM x", "DCO+ISM x", "DCO energy", "ISM energy", "DCO+ISM energy",
-    ]);
-    let mut avg = [0.0f64; 6];
-    for r in &rows {
-        table.row(vec![
-            r.network.clone(),
-            fmt3(r.dco_speedup),
-            fmt3(r.ism_speedup),
-            fmt3(r.combined_speedup),
-            fmt_pct(r.dco_energy_reduction),
-            fmt_pct(r.ism_energy_reduction),
-            fmt_pct(r.combined_energy_reduction),
-        ]);
-        for (a, v) in avg.iter_mut().zip([
-            r.dco_speedup, r.ism_speedup, r.combined_speedup,
-            r.dco_energy_reduction, r.ism_energy_reduction, r.combined_energy_reduction,
-        ]) { *a += v / rows.len() as f64; }
-    }
-    table.row(vec![
-        "Avg.".into(), fmt3(avg[0]), fmt3(avg[1]), fmt3(avg[2]),
-        fmt_pct(avg[3]), fmt_pct(avg[4]), fmt_pct(avg[5]),
-    ]);
-    println!("Figure 10: ASV variant speedup / energy reduction over the baseline (PW-4)\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::fig10_speedup_energy_report());
 }

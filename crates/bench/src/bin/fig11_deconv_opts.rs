@@ -1,31 +1,6 @@
 //! Fig. 11: contribution of the deconvolution transformation (DCT), the
 //! conventional reuse optimizer (ConvR) and inter-layer activation reuse
 //! (ILAR), on deconvolution layers alone (a) and whole networks (b).
-use asv_bench::hardware::figure11_deconv_opts;
-use asv_bench::table::{fmt3, fmt_pct, TextTable};
-
 fn main() {
-    let rows = figure11_deconv_opts();
-    for (title, pick_speed, pick_energy) in [
-        ("(a) deconvolution layers only", 0usize, 0usize),
-        ("(b) whole network", 1, 1),
-    ] {
-        let mut table = TextTable::new(&[
-            "network", "DCT x", "ConvR x", "ILAR x", "DCT energy", "ConvR energy", "ILAR energy",
-        ]);
-        for r in &rows {
-            let (s, e) = if pick_speed == 0 {
-                (&r.deconv_speedup, &r.deconv_energy_reduction)
-            } else {
-                (&r.network_speedup, &r.network_energy_reduction)
-            };
-            let _ = pick_energy;
-            table.row(vec![
-                r.network.clone(),
-                fmt3(s[0]), fmt3(s[1]), fmt3(s[2]),
-                fmt_pct(e[0]), fmt_pct(e[1]), fmt_pct(e[2]),
-            ]);
-        }
-        println!("Figure 11{title}\n{}", table.render());
-    }
+    print!("{}", asv_bench::figs::fig11_deconv_opts_report());
 }

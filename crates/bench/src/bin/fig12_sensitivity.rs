@@ -1,24 +1,6 @@
 //! Fig. 12: sensitivity of the deconvolution-optimization gains to PE-array
 //! size and on-chip buffer capacity (FlowNetC), each cell normalized to the
 //! baseline with the same resources.
-use asv_bench::hardware::figure12_sensitivity;
-use asv_bench::table::{fmt3, fmt_pct, TextTable};
-
 fn main() {
-    let cells = figure12_sensitivity();
-    let mut speed = TextTable::new(&["buffer \\ PE", "8x8", "16x16", "24x24", "32x32", "40x40", "48x48", "56x56"]);
-    let mut energy = speed.clone();
-    let buffers: Vec<u64> = {
-        let mut b: Vec<u64> = cells.iter().map(|c| c.buffer_bytes).collect();
-        b.dedup();
-        b
-    };
-    for &buffer in &buffers {
-        let row: Vec<_> = cells.iter().filter(|c| c.buffer_bytes == buffer).collect();
-        let label = format!("{:.1} MB", buffer as f64 / (1024.0 * 1024.0));
-        speed.row(std::iter::once(label.clone()).chain(row.iter().map(|c| fmt3(c.speedup))).collect());
-        energy.row(std::iter::once(label).chain(row.iter().map(|c| fmt_pct(c.energy_reduction))).collect());
-    }
-    println!("Figure 12a: DCO speedup vs PE / buffer size (FlowNetC)\n{}", speed.render());
-    println!("Figure 12b: DCO energy reduction vs PE / buffer size (FlowNetC)\n{}", energy.render());
+    print!("{}", asv_bench::figs::fig12_sensitivity_report());
 }

@@ -1,13 +1,5 @@
 //! Fig. 13: ASV vs Eyeriss (with/without the transformation) vs mobile GPU,
 //! normalized to plain Eyeriss.
-use asv_bench::hardware::figure13_platforms;
-use asv_bench::table::{fmt3, TextTable};
-
 fn main() {
-    let mut table = TextTable::new(&["platform", "speedup vs Eyeriss", "normalized energy"]);
-    for r in figure13_platforms() {
-        table.row(vec![r.name.clone(), fmt3(r.speedup_vs_eyeriss), fmt3(r.normalized_energy)]);
-    }
-    println!("Figure 13: platform comparison (normalized to Eyeriss)\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::fig13_baselines_report());
 }

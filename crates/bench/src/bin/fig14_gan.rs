@@ -1,25 +1,5 @@
 //! Fig. 14: GAN generators — ASV's software deconvolution optimizations vs
 //! the dedicated GANNX accelerator, normalized to Eyeriss.
-use asv_bench::hardware::figure14_gans;
-use asv_bench::table::{fmt3, TextTable};
-
 fn main() {
-    let rows = figure14_gans();
-    let mut table = TextTable::new(&["GAN", "ASV speedup", "GANNX speedup", "ASV energy red.", "GANNX energy red."]);
-    let mut avg = [0.0f64; 4];
-    for r in &rows {
-        table.row(vec![
-            r.network.clone(),
-            fmt3(r.asv_speedup),
-            fmt3(r.gannx_speedup),
-            fmt3(r.asv_energy_reduction),
-            fmt3(r.gannx_energy_reduction),
-        ]);
-        for (a, v) in avg.iter_mut().zip([r.asv_speedup, r.gannx_speedup, r.asv_energy_reduction, r.gannx_energy_reduction]) {
-            *a += v / rows.len() as f64;
-        }
-    }
-    table.row(vec!["Avg.".into(), fmt3(avg[0]), fmt3(avg[1]), fmt3(avg[2]), fmt3(avg[3])]);
-    println!("Figure 14: GAN comparison (normalized to Eyeriss)\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::fig14_gan_report());
 }

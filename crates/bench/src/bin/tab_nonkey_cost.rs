@@ -1,12 +1,4 @@
 //! Sec. 3.3: compute cost of an ISM non-key frame vs stereo DNN inference.
-use asv_bench::algorithms::nonkey_cost_table;
-use asv_bench::table::{fmt3, TextTable};
-
 fn main() {
-    let mut table = TextTable::new(&["workload (qHD)", "operations", "x non-key frame"]);
-    for r in nonkey_cost_table() {
-        table.row(vec![r.name.clone(), format!("{}", r.ops), fmt3(r.ratio_to_nonkey)]);
-    }
-    println!("Section 3.3: non-key frame vs DNN inference compute cost\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::tab_nonkey_cost_report());
 }

@@ -1,14 +1,4 @@
 //! Sec. 7.1: hardware area/power overhead of the ASV extensions.
-use asv_bench::hardware::overhead_table;
-use asv_bench::table::{fmt_pct, TextTable};
-
 fn main() {
-    let b = overhead_table();
-    let mut table = TextTable::new(&["quantity", "value"]);
-    table.row(vec!["per-PE area overhead (SAD mode)".into(), fmt_pct(b.pe_area_overhead())]);
-    table.row(vec!["per-PE power overhead (SAD mode)".into(), fmt_pct(b.pe_power_overhead())]);
-    table.row(vec!["total area overhead".into(), fmt_pct(b.total_area_overhead())]);
-    table.row(vec!["total power overhead".into(), fmt_pct(b.total_power_overhead())]);
-    println!("Section 7.1: ASV hardware overhead\n");
-    println!("{}", table.render());
+    println!("{}", asv_bench::figs::tab_overhead_report());
 }

@@ -16,7 +16,11 @@ use asv_dnn::{gan, zoo, NetworkSpec};
 use serde::{Deserialize, Serialize};
 
 fn eval_suite() -> Vec<NetworkSpec> {
-    zoo::suite(crate::EVAL_HEIGHT, crate::EVAL_WIDTH, crate::EVAL_MAX_DISPARITY)
+    zoo::suite(
+        crate::EVAL_HEIGHT,
+        crate::EVAL_WIDTH,
+        crate::EVAL_MAX_DISPARITY,
+    )
 }
 
 fn nonkey_config() -> NonKeyFrameConfig {
@@ -25,7 +29,10 @@ fn nonkey_config() -> NonKeyFrameConfig {
 
 /// Fig. 3: the per-stage MAC distribution of each stereo network.
 pub fn figure3_stage_distribution() -> Vec<StageDistribution> {
-    eval_suite().iter().map(NetworkSpec::stage_distribution).collect()
+    eval_suite()
+        .iter()
+        .map(NetworkSpec::stage_distribution)
+        .collect()
 }
 
 /// One bar group of Fig. 10: speedup and energy reduction of each ASV variant
@@ -55,7 +62,7 @@ pub fn figure10_speedup_energy() -> Vec<SpeedupRow> {
         .iter()
         .map(|net| {
             let reports = model.variant_reports(net);
-            let get = |v: AsvVariant| reports.iter().find(|r| r.variant == v).unwrap().clone();
+            let get = |v: AsvVariant| *reports.iter().find(|r| r.variant == v).unwrap();
             SpeedupRow {
                 network: net.name.clone(),
                 ism_speedup: get(AsvVariant::Ism).speedup,
@@ -133,11 +140,20 @@ pub struct SensitivityCell {
 pub fn figure12_sensitivity() -> Vec<SensitivityCell> {
     let net = zoo::flownetc(crate::EVAL_HEIGHT, crate::EVAL_WIDTH);
     let pe_dims = [8usize, 16, 24, 32, 40, 48, 56];
-    let buffers = [512 * 1024u64, 1024 * 1024, 1536 * 1024, 2048 * 1024, 2560 * 1024, 3 * 1024 * 1024];
+    let buffers = [
+        512 * 1024u64,
+        1024 * 1024,
+        1536 * 1024,
+        2048 * 1024,
+        2560 * 1024,
+        3 * 1024 * 1024,
+    ];
     let mut cells = Vec::new();
     for &buffer in &buffers {
         for &dim in &pe_dims {
-            let hw = HwConfig::asv_default().with_pe_array(dim, dim).with_buffer_bytes(buffer);
+            let hw = HwConfig::asv_default()
+                .with_pe_array(dim, dim)
+                .with_buffer_bytes(buffer);
             let accel = SystolicAccelerator::asv_default().with_hw(hw);
             let baseline = accel.run_network(&net, OptLevel::Baseline);
             let optimized = accel.run_network(&net, OptLevel::Ilar);
@@ -175,15 +191,38 @@ pub fn figure13_platforms() -> Vec<PlatformRow> {
     // Average per-frame reports across networks for each platform/variant.
     let average = |reports: Vec<ExecutionReport>| -> ExecutionReport {
         let n = reports.len() as f64;
-        reports.into_iter().fold(ExecutionReport::default(), |acc, r| acc.combine(&r)).scaled(1.0 / n)
+        reports
+            .into_iter()
+            .fold(ExecutionReport::default(), |acc, r| acc.combine(&r))
+            .scaled(1.0 / n)
     };
 
-    let eyeriss_plain = average(suite.iter().map(|n| eyeriss.run_network(n, false)).collect());
+    let eyeriss_plain = average(
+        suite
+            .iter()
+            .map(|n| eyeriss.run_network(n, false))
+            .collect(),
+    );
     let eyeriss_dct = average(suite.iter().map(|n| eyeriss.run_network(n, true)).collect());
     let gpu_avg = average(suite.iter().map(|n| gpu.run_network(n)).collect());
-    let asv_dco = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::Dco)).collect());
-    let asv_ism = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::Ism)).collect());
-    let asv_full = average(suite.iter().map(|n| model.per_frame_report(n, AsvVariant::IsmDco)).collect());
+    let asv_dco = average(
+        suite
+            .iter()
+            .map(|n| model.per_frame_report(n, AsvVariant::Dco))
+            .collect(),
+    );
+    let asv_ism = average(
+        suite
+            .iter()
+            .map(|n| model.per_frame_report(n, AsvVariant::Ism))
+            .collect(),
+    );
+    let asv_full = average(
+        suite
+            .iter()
+            .map(|n| model.per_frame_report(n, AsvVariant::IsmDco))
+            .collect(),
+    );
 
     let row = |name: &str, report: &ExecutionReport| PlatformRow {
         name: name.to_owned(),
@@ -252,7 +291,8 @@ mod tests {
     fn stage_distribution_covers_four_networks() {
         let rows = figure3_stage_distribution();
         assert_eq!(rows.len(), 4);
-        let avg_dr: f64 = rows.iter().map(|r| r.disparity_refinement).sum::<f64>() / rows.len() as f64;
+        let avg_dr: f64 =
+            rows.iter().map(|r| r.disparity_refinement).sum::<f64>() / rows.len() as f64;
         // Fig. 3: deconvolution (DR) is a significant minority on average.
         assert!(avg_dr > 0.15 && avg_dr < 0.6, "average DR share {avg_dr}");
     }
@@ -278,8 +318,14 @@ mod tests {
             // Deconv-layer speedups: DCT alone already gives a large speedup.
             assert!(row.deconv_speedup[0] > 1.5, "{row:?}");
             // ConvR and ILAR never hurt relative to DCT.
-            assert!(row.deconv_speedup[1] >= row.deconv_speedup[0] * 0.99, "{row:?}");
-            assert!(row.deconv_speedup[2] >= row.deconv_speedup[1] * 0.99, "{row:?}");
+            assert!(
+                row.deconv_speedup[1] >= row.deconv_speedup[0] * 0.99,
+                "{row:?}"
+            );
+            assert!(
+                row.deconv_speedup[2] >= row.deconv_speedup[1] * 0.99,
+                "{row:?}"
+            );
             // ILAR gives at least as much energy reduction as ConvR.
             assert!(
                 row.network_energy_reduction[2] >= row.network_energy_reduction[1] - 1e-9,

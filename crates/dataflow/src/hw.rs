@@ -89,7 +89,9 @@ mod tests {
 
     #[test]
     fn builder_methods_modify_resources() {
-        let hw = HwConfig::asv_default().with_pe_array(8, 8).with_buffer_bytes(512 * 1024);
+        let hw = HwConfig::asv_default()
+            .with_pe_array(8, 8)
+            .with_buffer_bytes(512 * 1024);
         assert_eq!(hw.pe_count(), 64);
         assert_eq!(hw.buffer_bytes, 512 * 1024);
     }

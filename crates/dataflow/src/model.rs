@@ -59,7 +59,12 @@ pub fn ifmap_tile_bytes(workload: &LayerWorkload, positions: u64) -> u64 {
 /// Checks the buffer constraint of Eq. 10 for one round: the ifmap tile, the
 /// loaded filters and the produced ofmap tile must fit in one double-buffer
 /// half.
-pub fn fits_in_buffer(workload: &LayerWorkload, hw: &HwConfig, positions: u64, filters: &[u64]) -> bool {
+pub fn fits_in_buffer(
+    workload: &LayerWorkload,
+    hw: &HwConfig,
+    positions: u64,
+    filters: &[u64],
+) -> bool {
     let mut total = ifmap_tile_bytes(workload, positions);
     for (k, &count) in filters.iter().enumerate() {
         total += workload.filter_bytes(k) * count;
@@ -153,7 +158,10 @@ mod tests {
             load_ifmap: true,
             load_weights: true,
         };
-        let reuse = Round { load_ifmap: false, ..base.clone() };
+        let reuse = Round {
+            load_ifmap: false,
+            ..base.clone()
+        };
         let a = round_cost(&wl, &hw, &base);
         let b = round_cost(&wl, &hw, &reuse);
         assert!(b.dram_read_bytes < a.dram_read_bytes);
@@ -165,7 +173,12 @@ mod tests {
     fn empty_filter_groups_cost_nothing_to_compute() {
         let wl = workload();
         let hw = HwConfig::asv_default();
-        let round = Round { positions: 100, filters: vec![0, 0, 0, 0], load_ifmap: true, load_weights: true };
+        let round = Round {
+            positions: 100,
+            filters: vec![0, 0, 0, 0],
+            load_ifmap: true,
+            load_weights: true,
+        };
         let cost = round_cost(&wl, &hw, &round);
         assert_eq!(cost.compute_cycles, 0);
         assert_eq!(cost.macs, 0);
@@ -177,7 +190,12 @@ mod tests {
         let wl = workload();
         let hw = HwConfig::asv_default().with_buffer_bytes(4096);
         // The whole ifmap plus all filters cannot fit a 4 KB buffer.
-        assert!(!fits_in_buffer(&wl, &hw, wl.ifmap_positions(), &[8, 8, 8, 8]));
+        assert!(!fits_in_buffer(
+            &wl,
+            &hw,
+            wl.ifmap_positions(),
+            &[8, 8, 8, 8]
+        ));
         // A tiny tile with a single filter fits.
         assert!(fits_in_buffer(&wl, &hw, 8, &[1, 0, 0, 0]));
     }

@@ -26,7 +26,12 @@ pub enum OptLevel {
 impl OptLevel {
     /// All levels in ascending order of sophistication.
     pub fn all() -> [OptLevel; 4] {
-        [OptLevel::Baseline, OptLevel::Dct, OptLevel::ConvR, OptLevel::Ilar]
+        [
+            OptLevel::Baseline,
+            OptLevel::Dct,
+            OptLevel::ConvR,
+            OptLevel::Ilar,
+        ]
     }
 
     /// Short label used in reports.
@@ -132,7 +137,11 @@ pub fn schedule_network(network: &NetworkSpec, hw: &HwConfig, level: OptLevel) -
             }
         };
         total.accumulate(&cost);
-        layers.push(LayerReport { name: spec.name.clone(), is_deconv, cost });
+        layers.push(LayerReport {
+            name: spec.name.clone(),
+            is_deconv,
+            cost,
+        });
     }
     NetworkCost {
         network: network.name.clone(),
@@ -158,8 +167,10 @@ mod tests {
     fn optimization_levels_improve_monotonically() {
         let hw = HwConfig::asv_default();
         for net in small_suite() {
-            let costs: Vec<NetworkCost> =
-                OptLevel::all().iter().map(|&lvl| schedule_network(&net, &hw, lvl)).collect();
+            let costs: Vec<NetworkCost> = OptLevel::all()
+                .iter()
+                .map(|&lvl| schedule_network(&net, &hw, lvl))
+                .collect();
             // Cycles: baseline ≥ DCT ≥ ConvR ≥ ILAR.
             for pair in costs.windows(2) {
                 assert!(
@@ -173,7 +184,11 @@ mod tests {
                 );
             }
             // DRAM traffic: ILAR no worse than ConvR.
-            assert!(costs[3].total_dram_bytes <= costs[2].total_dram_bytes, "{}", net.name);
+            assert!(
+                costs[3].total_dram_bytes <= costs[2].total_dram_bytes,
+                "{}",
+                net.name
+            );
         }
     }
 
@@ -189,7 +204,11 @@ mod tests {
             if net.is_3d {
                 assert!(ratio > 5.0, "{}: mac ratio {ratio}", net.name);
             } else {
-                assert!(ratio > 3.0 && ratio < 5.0, "{}: mac ratio {ratio}", net.name);
+                assert!(
+                    ratio > 3.0 && ratio < 5.0,
+                    "{}: mac ratio {ratio}",
+                    net.name
+                );
             }
         }
     }

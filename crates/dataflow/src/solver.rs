@@ -3,8 +3,8 @@
 //! exhaustive reference solver used to validate the greedy heuristic.
 
 use crate::hw::HwConfig;
-use crate::model::{fits_in_buffer, ifmap_tile_bytes, ofmap_bytes, round_cost};
 pub use crate::model::Round;
+use crate::model::{fits_in_buffer, ifmap_tile_bytes, ofmap_bytes, round_cost};
 use crate::workload::LayerWorkload;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,11 @@ impl LayerCost {
 }
 
 /// Prices a full schedule.
-pub fn schedule_cost(workload: &LayerWorkload, hw: &HwConfig, schedule: &LayerSchedule) -> LayerCost {
+pub fn schedule_cost(
+    workload: &LayerWorkload,
+    hw: &HwConfig,
+    schedule: &LayerSchedule,
+) -> LayerCost {
     let mut cost = LayerCost::default();
     for round in &schedule.rounds {
         let rc = round_cost(workload, hw, round);
@@ -91,7 +95,9 @@ fn split_even(total: u64, parts: u64) -> Vec<u64> {
     }
     let base = total / parts;
     let extra = (total % parts) as usize;
-    (0..parts as usize).map(|i| base + if i < extra { 1 } else { 0 }).collect()
+    (0..parts as usize)
+        .map(|i| base + if i < extra { 1 } else { 0 })
+        .collect()
 }
 
 /// Generic static-partition schedule: the on-chip buffer is statically split
@@ -102,7 +108,10 @@ fn split_even(total: u64, parts: u64) -> Vec<u64> {
 pub fn generic_schedule(workload: &LayerWorkload, hw: &HwConfig) -> LayerSchedule {
     let mut rounds = Vec::new();
     if workload.sub_kernels.is_empty() || workload.out_channels == 0 {
-        return LayerSchedule { rounds, reuse: ReuseOrder::WeightStationary };
+        return LayerSchedule {
+            rounds,
+            reuse: ReuseOrder::WeightStationary,
+        };
     }
     let third = (hw.buffer_bytes / 3).max(1);
     let total_positions = workload.ifmap_positions().max(1);
@@ -137,7 +146,10 @@ pub fn generic_schedule(workload: &LayerWorkload, hw: &HwConfig) -> LayerSchedul
             }
         }
     }
-    LayerSchedule { rounds, reuse: ReuseOrder::WeightStationary }
+    LayerSchedule {
+        rounds,
+        reuse: ReuseOrder::WeightStationary,
+    }
 }
 
 /// Builds the filter groups of one ifmap-tile size using the paper's greedy
@@ -246,7 +258,7 @@ fn build_rounds(
         ReuseOrder::IfmapStationary => {
             // Outer loop over ifmap tiles, inner over filter groups: each tile
             // is loaded once, the filters are re-streamed per tile.
-            for (_, &positions) in tiles.iter().enumerate() {
+            for &positions in tiles.iter() {
                 for (g, group) in groups.iter().enumerate() {
                     rounds.push(Round {
                         positions,
@@ -269,13 +281,18 @@ fn build_rounds(
 /// Returns the chosen schedule and its cost.
 pub fn optimized_schedule(workload: &LayerWorkload, hw: &HwConfig) -> (LayerSchedule, LayerCost) {
     if workload.sub_kernels.is_empty() || workload.out_channels == 0 {
-        let schedule = LayerSchedule { rounds: Vec::new(), reuse: ReuseOrder::IfmapStationary };
+        let schedule = LayerSchedule {
+            rounds: Vec::new(),
+            reuse: ReuseOrder::IfmapStationary,
+        };
         let cost = LayerCost::default();
         return (schedule, cost);
     }
     let mut best: Option<(LayerSchedule, LayerCost)> = None;
     for tile in tile_candidates(workload, hw) {
-        let capacity = hw.round_buffer_bytes().saturating_sub(ifmap_tile_bytes(workload, tile));
+        let capacity = hw
+            .round_buffer_bytes()
+            .saturating_sub(ifmap_tile_bytes(workload, tile));
         let Some(groups) = pack_filter_groups(workload, capacity, tile) else {
             continue;
         };
@@ -288,7 +305,8 @@ pub fn optimized_schedule(workload: &LayerWorkload, hw: &HwConfig) -> (LayerSche
             let better = match &best {
                 None => true,
                 Some((_, b)) => {
-                    cost.cycles < b.cycles || (cost.cycles == b.cycles && cost.dram_bytes() < b.dram_bytes())
+                    cost.cycles < b.cycles
+                        || (cost.cycles == b.cycles && cost.dram_bytes() < b.dram_bytes())
                 }
             };
             if better {
@@ -352,7 +370,11 @@ pub fn exhaustive_schedule(workload: &LayerWorkload, hw: &HwConfig) -> Option<La
             let n_groups = channels.div_ceil(group);
             let groups: Vec<Vec<u64>> = (0..n_groups)
                 .map(|g| {
-                    let count = if g == n_groups - 1 { channels - group * (n_groups - 1) } else { group };
+                    let count = if g == n_groups - 1 {
+                        channels - group * (n_groups - 1)
+                    } else {
+                        group
+                    };
                     vec![count; workload.sub_kernels.len()]
                 })
                 .collect();
@@ -360,7 +382,7 @@ pub fn exhaustive_schedule(workload: &LayerWorkload, hw: &HwConfig) -> Option<La
                 let rounds = build_rounds(workload, tile, &groups, reuse);
                 let schedule = LayerSchedule { rounds, reuse };
                 let cost = schedule_cost(workload, hw, &schedule);
-                if best.as_ref().map_or(true, |b| cost.cycles < b.cycles) {
+                if best.as_ref().is_none_or(|b| cost.cycles < b.cycles) {
                     best = Some(cost);
                 }
             }
@@ -393,7 +415,11 @@ mod tests {
             // filters × tile positions must cover channels × total positions.
             let total_positions = wl.ifmap_positions();
             for k in 0..wl.sub_kernels.len() {
-                let covered: u64 = schedule.rounds.iter().map(|r| r.filters[k] * r.positions).sum();
+                let covered: u64 = schedule
+                    .rounds
+                    .iter()
+                    .map(|r| r.filters[k] * r.positions)
+                    .sum();
                 assert_eq!(
                     covered,
                     wl.out_channels as u64 * total_positions,
@@ -420,8 +446,15 @@ mod tests {
             let generic = schedule_cost(&wl, &hw, &generic_schedule(&wl, &hw));
             let (_, optimized) = optimized_schedule(&wl, &hw);
             assert!(optimized.cycles <= generic.cycles, "{}", wl.name);
-            assert!(optimized.dram_bytes() <= generic.dram_bytes(), "{}", wl.name);
-            assert_eq!(optimized.macs, generic.macs, "MACs must not change, only scheduling");
+            assert!(
+                optimized.dram_bytes() <= generic.dram_bytes(),
+                "{}",
+                wl.name
+            );
+            assert_eq!(
+                optimized.macs, generic.macs,
+                "MACs must not change, only scheduling"
+            );
         }
     }
 
@@ -479,8 +512,17 @@ mod tests {
 
     #[test]
     fn layer_cost_accumulation() {
-        let mut a = LayerCost { cycles: 10, macs: 5, ..Default::default() };
-        let b = LayerCost { cycles: 7, macs: 3, dram_read_bytes: 11, ..Default::default() };
+        let mut a = LayerCost {
+            cycles: 10,
+            macs: 5,
+            ..Default::default()
+        };
+        let b = LayerCost {
+            cycles: 7,
+            macs: 3,
+            dram_read_bytes: 11,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.cycles, 17);
         assert_eq!(a.macs, 8);

@@ -83,8 +83,8 @@ impl LayerWorkload {
 
     /// Total ofmap bytes produced by the layer.
     pub fn total_ofmap_bytes(&self) -> u64 {
-        let per_kernel =
-            (self.ifmap_positions() as f64 * self.ofmap_per_position).ceil() as u64 * self.out_channels as u64;
+        let per_kernel = (self.ifmap_positions() as f64 * self.ofmap_per_position).ceil() as u64
+            * self.out_channels as u64;
         per_kernel * self.sub_kernels.len() as u64 * ELEMENT_BYTES
     }
 
@@ -106,7 +106,10 @@ impl LayerWorkload {
     /// MACs performed by one filter of sub-kernel `k` on an ifmap tile of
     /// `positions` ifmap positions.
     pub fn macs_per_filter(&self, k: usize, positions: u64) -> u64 {
-        (positions as f64 * self.ofmap_per_position * self.in_channels as f64 * self.sub_kernels[k].volume() as f64)
+        (positions as f64
+            * self.ofmap_per_position
+            * self.in_channels as f64
+            * self.sub_kernels[k].volume() as f64)
             .ceil() as u64
     }
 
@@ -135,10 +138,16 @@ impl LayerWorkload {
                 }
                 .validated(stride)
             }
-            LayerOp::Conv3d { kd, kh, kw, stride, .. } => {
+            LayerOp::Conv3d {
+                kd, kh, kw, stride, ..
+            } => {
                 let (od, oh, ow) = spec.output_dims();
                 let in_vol = spec.in_d * spec.in_h * spec.in_w;
-                let ratio = if in_vol == 0 { 0.0 } else { (od * oh * ow) as f64 / in_vol as f64 };
+                let ratio = if in_vol == 0 {
+                    0.0
+                } else {
+                    (od * oh * ow) as f64 / in_vol as f64
+                };
                 Self {
                     name: spec.name.clone(),
                     in_channels: spec.in_channels,
@@ -217,7 +226,11 @@ impl LayerWorkload {
                     sub_kernels: shapes
                         .into_iter()
                         .filter(|s| s.iter().all(|&d| d > 0))
-                        .map(|s| SubKernel { kd: 1, kh: s[0], kw: s[1] })
+                        .map(|s| SubKernel {
+                            kd: 1,
+                            kh: s[0],
+                            kw: s[1],
+                        })
                         .collect(),
                     ofmap_per_position: 1.0,
                     from_deconv: true,
@@ -235,7 +248,11 @@ impl LayerWorkload {
                     sub_kernels: shapes
                         .into_iter()
                         .filter(|s| s.iter().all(|&d| d > 0))
-                        .map(|s| SubKernel { kd: s[0], kh: s[1], kw: s[2] })
+                        .map(|s| SubKernel {
+                            kd: s[0],
+                            kh: s[1],
+                            kw: s[2],
+                        })
                         .collect(),
                     ofmap_per_position: 1.0,
                     from_deconv: true,
@@ -304,7 +321,18 @@ mod tests {
 
     #[test]
     fn transformed_3d_deconv_has_eight_sub_kernels() {
-        let spec = LayerSpec::deconv3d("d3", Stage::DisparityRefinement, 32, 16, 12, 20, 24, 3, 2, 1);
+        let spec = LayerSpec::deconv3d(
+            "d3",
+            Stage::DisparityRefinement,
+            32,
+            16,
+            12,
+            20,
+            24,
+            3,
+            2,
+            1,
+        );
         let wl = LayerWorkload::transformed(&spec);
         assert_eq!(wl.sub_kernels.len(), 8);
         assert_eq!(wl.total_weight_bytes(), spec.weight_bytes());

@@ -99,7 +99,9 @@ impl SubKernelGrid2d {
 pub fn decompose_kernel2d(kernel: &Tensor4) -> Result<SubKernelGrid2d> {
     let sh = kernel.shape();
     if sh.h == 0 || sh.w == 0 || sh.n == 0 || sh.c == 0 {
-        return Err(TensorError::invalid_parameter("cannot decompose an empty kernel"));
+        return Err(TensorError::invalid_parameter(
+            "cannot decompose an empty kernel",
+        ));
     }
     let build = |dy: usize, dx: usize| -> Tensor4 {
         let sub_h = (sh.h + 1 - dy) / 2;
@@ -108,7 +110,9 @@ pub fn decompose_kernel2d(kernel: &Tensor4) -> Result<SubKernelGrid2d> {
             kernel.at(oc, ic, 2 * i + dy, 2 * j + dx)
         })
     };
-    Ok(SubKernelGrid2d { kernels: [[build(0, 0), build(0, 1)], [build(1, 0), build(1, 1)]] })
+    Ok(SubKernelGrid2d {
+        kernels: [[build(0, 0), build(0, 1)], [build(1, 0), build(1, 1)]],
+    })
 }
 
 /// The eight sub-kernels of a 3-D deconvolution kernel, indexed by
@@ -126,7 +130,10 @@ impl SubKernelGrid3d {
 
     /// Iterates all eight sub-kernels with their parities.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize, usize), &Tensor5)> {
-        self.kernels.iter().enumerate().map(|(i, k)| (((i >> 2) & 1, (i >> 1) & 1, i & 1), k))
+        self.kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (((i >> 2) & 1, (i >> 1) & 1, i & 1), k))
     }
 
     /// Total number of kernel elements across all sub-kernels.
@@ -144,7 +151,9 @@ impl SubKernelGrid3d {
 pub fn decompose_kernel3d(kernel: &Tensor5) -> Result<SubKernelGrid3d> {
     let sh = kernel.shape();
     if sh.d == 0 || sh.h == 0 || sh.w == 0 || sh.n == 0 || sh.c == 0 {
-        return Err(TensorError::invalid_parameter("cannot decompose an empty kernel"));
+        return Err(TensorError::invalid_parameter(
+            "cannot decompose an empty kernel",
+        ));
     }
     let mut kernels = Vec::with_capacity(8);
     for index in 0..8usize {
@@ -180,7 +189,14 @@ mod tests {
 
     #[test]
     fn shapes_preserve_total_element_count() {
-        for dims in [vec![3, 3], vec![4, 4], vec![5, 3], vec![3, 3, 3], vec![4, 4, 4], vec![2, 5, 7]] {
+        for dims in [
+            vec![3, 3],
+            vec![4, 4],
+            vec![5, 3],
+            vec![3, 3, 3],
+            vec![4, 4, 4],
+            vec![2, 5, 7],
+        ] {
             let total: usize = sub_kernel_shapes(&dims)
                 .iter()
                 .map(|s| s.iter().product::<usize>())

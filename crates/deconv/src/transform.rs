@@ -36,13 +36,26 @@ pub fn upsample_with_ring2d(input: &Tensor4) -> Tensor4 {
 /// 3-D analogue of [`upsample_with_ring2d`].
 pub fn upsample_with_ring3d(input: &Tensor5) -> Tensor5 {
     let sh = input.shape();
-    let mut out = Tensor5::zeros(Shape5::new(sh.n, sh.c, 2 * sh.d + 1, 2 * sh.h + 1, 2 * sh.w + 1));
+    let mut out = Tensor5::zeros(Shape5::new(
+        sh.n,
+        sh.c,
+        2 * sh.d + 1,
+        2 * sh.h + 1,
+        2 * sh.w + 1,
+    ));
     for n in 0..sh.n {
         for c in 0..sh.c {
             for d in 0..sh.d {
                 for h in 0..sh.h {
                     for w in 0..sh.w {
-                        out.set(n, c, 2 * d + 1, 2 * h + 1, 2 * w + 1, input.at(n, c, d, h, w));
+                        out.set(
+                            n,
+                            c,
+                            2 * d + 1,
+                            2 * h + 1,
+                            2 * w + 1,
+                            input.at(n, c, d, h, w),
+                        );
                     }
                 }
             }
@@ -74,7 +87,9 @@ fn check_channels(in_c: usize, kernel_in_c: usize, what: &str) -> Result<()> {
 fn crop_output(full: usize, crop: usize, what: &str) -> Result<usize> {
     full.checked_sub(2 * crop)
         .filter(|&v| v > 0)
-        .ok_or_else(|| TensorError::invalid_parameter(format!("{what}: crop {crop} larger than output {full}")))
+        .ok_or_else(|| {
+            TensorError::invalid_parameter(format!("{what}: crop {crop} larger than output {full}"))
+        })
 }
 
 /// Standard stride-2 deconvolution in the paper's convention: upsample with
@@ -102,12 +117,20 @@ pub fn paper_deconv2d(input: &Tensor4, kernel: &Tensor4, crop: usize) -> Result<
     let out_w = crop_output(full_w, crop, "paper_deconv2d")?;
 
     let upsampled = upsample_with_ring2d(input);
-    let full = conv2d(&upsampled, kernel, &Conv2dParams { stride: 1, padding: 0 })?;
+    let full = conv2d(
+        &upsampled,
+        kernel,
+        &Conv2dParams {
+            stride: 1,
+            padding: 0,
+        },
+    )?;
     debug_assert_eq!(full.shape().h, full_h);
     debug_assert_eq!(full.shape().w, full_w);
-    Ok(Tensor4::from_fn(Shape4::new(ish.n, ksh.n, out_h, out_w), |n, c, h, w| {
-        full.at(n, c, h + crop, w + crop)
-    }))
+    Ok(Tensor4::from_fn(
+        Shape4::new(ish.n, ksh.n, out_h, out_w),
+        |n, c, h, w| full.at(n, c, h + crop, w + crop),
+    ))
 }
 
 /// 3-D analogue of [`paper_deconv2d`] (`kernel` laid out `Co×Ci×KD×KH×KW`).
@@ -119,24 +142,32 @@ pub fn paper_deconv3d(input: &Tensor5, kernel: &Tensor5, crop: usize) -> Result<
     let ish = input.shape();
     let ksh = kernel.shape();
     check_channels(ish.c, ksh.c, "paper_deconv3d")?;
-    let full_d = (2 * ish.d + 2)
-        .checked_sub(ksh.d)
-        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel deeper than upsampled ifmap"))?;
-    let full_h = (2 * ish.h + 2)
-        .checked_sub(ksh.h)
-        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel taller than upsampled ifmap"))?;
-    let full_w = (2 * ish.w + 2)
-        .checked_sub(ksh.w)
-        .ok_or_else(|| TensorError::shape_mismatch("paper_deconv3d: kernel wider than upsampled ifmap"))?;
+    let full_d = (2 * ish.d + 2).checked_sub(ksh.d).ok_or_else(|| {
+        TensorError::shape_mismatch("paper_deconv3d: kernel deeper than upsampled ifmap")
+    })?;
+    let full_h = (2 * ish.h + 2).checked_sub(ksh.h).ok_or_else(|| {
+        TensorError::shape_mismatch("paper_deconv3d: kernel taller than upsampled ifmap")
+    })?;
+    let full_w = (2 * ish.w + 2).checked_sub(ksh.w).ok_or_else(|| {
+        TensorError::shape_mismatch("paper_deconv3d: kernel wider than upsampled ifmap")
+    })?;
     let out_d = crop_output(full_d, crop, "paper_deconv3d")?;
     let out_h = crop_output(full_h, crop, "paper_deconv3d")?;
     let out_w = crop_output(full_w, crop, "paper_deconv3d")?;
 
     let upsampled = upsample_with_ring3d(input);
-    let full = conv3d(&upsampled, kernel, &Conv3dParams { stride: 1, padding: 0 })?;
-    Ok(Tensor5::from_fn(Shape5::new(ish.n, ksh.n, out_d, out_h, out_w), |n, c, d, h, w| {
-        full.at(n, c, d + crop, h + crop, w + crop)
-    }))
+    let full = conv3d(
+        &upsampled,
+        kernel,
+        &Conv3dParams {
+            stride: 1,
+            padding: 0,
+        },
+    )?;
+    Ok(Tensor5::from_fn(
+        Shape5::new(ish.n, ksh.n, out_d, out_h, out_w),
+        |n, c, d, h, w| full.at(n, c, d + crop, h + crop, w + crop),
+    ))
 }
 
 /// Number of output positions of parity `p` along one dimension, for input
@@ -144,7 +175,7 @@ pub fn paper_deconv3d(input: &Tensor5, kernel: &Tensor5, crop: usize) -> Result<
 /// kernel`).
 fn parity_count(input: usize, kernel: usize, p: usize) -> usize {
     let full = 2 * input + 2 - kernel; // guaranteed ≥ 1 by callers
-    // Positions o = 2m + p with o < full.
+                                       // Positions o = 2m + p with o < full.
     if full > p {
         (full - p).div_ceil(2)
     } else {
@@ -216,9 +247,10 @@ pub fn transformed_deconv2d(input: &Tensor4, kernel: &Tensor4, crop: usize) -> R
         }
     }
 
-    Ok(Tensor4::from_fn(Shape4::new(ish.n, ksh.n, out_h, out_w), |n, c, h, w| {
-        full.at(n, c, h + crop, w + crop)
-    }))
+    Ok(Tensor4::from_fn(
+        Shape4::new(ish.n, ksh.n, out_h, out_w),
+        |n, c, h, w| full.at(n, c, h + crop, w + crop),
+    ))
 }
 
 /// 3-D analogue of [`transformed_deconv2d`]: eight dense sub-convolutions
@@ -296,9 +328,10 @@ pub fn transformed_deconv3d(input: &Tensor5, kernel: &Tensor5, crop: usize) -> R
         }
     }
 
-    Ok(Tensor5::from_fn(Shape5::new(ish.n, ksh.n, out_d, out_h, out_w), |n, c, d, h, w| {
-        full.at(n, c, d + crop, h + crop, w + crop)
-    }))
+    Ok(Tensor5::from_fn(
+        Shape5::new(ish.n, ksh.n, out_d, out_h, out_w),
+        |n, c, d, h, w| full.at(n, c, d + crop, h + crop, w + crop),
+    ))
 }
 
 #[cfg(test)]
@@ -348,7 +381,10 @@ mod tests {
             let reference = paper_deconv2d(&input, &kernel, crop).unwrap();
             let transformed = transformed_deconv2d(&input, &kernel, crop).unwrap();
             assert_eq!(reference.shape(), transformed.shape());
-            assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "crop {crop}");
+            assert!(
+                reference.max_abs_diff(&transformed).unwrap() < 1e-4,
+                "crop {crop}"
+            );
         }
     }
 
@@ -389,11 +425,17 @@ mod tests {
             let framework = deconv2d_scatter(
                 &input,
                 &flip_kernel2d(&kernel),
-                &DeconvParams { stride: 2, padding: k - 2 },
+                &DeconvParams {
+                    stride: 2,
+                    padding: k - 2,
+                },
             )
             .unwrap();
             assert_eq!(paper.shape(), framework.shape());
-            assert!(paper.max_abs_diff(&framework).unwrap() < 1e-4, "kernel {k}x{k}");
+            assert!(
+                paper.max_abs_diff(&framework).unwrap() < 1e-4,
+                "kernel {k}x{k}"
+            );
         }
     }
 
@@ -418,7 +460,10 @@ mod tests {
             let reference = paper_deconv3d(&input, &kernel, crop).unwrap();
             let transformed = transformed_deconv3d(&input, &kernel, crop).unwrap();
             assert_eq!(reference.shape(), transformed.shape());
-            assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "crop {crop}");
+            assert!(
+                reference.max_abs_diff(&transformed).unwrap() < 1e-4,
+                "crop {crop}"
+            );
         }
     }
 

@@ -19,7 +19,10 @@ fn deconv_generator(
     output_size: usize,
     output_channels: usize,
 ) -> NetworkSpec {
-    assert!(output_size >= 8 && output_size.is_power_of_two(), "output size must be a power of two ≥ 8");
+    assert!(
+        output_size >= 8 && output_size.is_power_of_two(),
+        "output size must be a power of two ≥ 8"
+    );
     let mut layers = Vec::new();
     let mut channels = base_channels;
     let mut size = 4usize;
@@ -27,7 +30,11 @@ fn deconv_generator(
     while size < output_size {
         let next_size = size * 2;
         let is_last = next_size == output_size;
-        let out_c = if is_last { output_channels } else { (channels / 2).max(output_channels) };
+        let out_c = if is_last {
+            output_channels
+        } else {
+            (channels / 2).max(output_channels)
+        };
         layers.push(LayerSpec::deconv2d(
             &format!("{name}_deconv{index}"),
             Stage::DisparityRefinement,
@@ -159,7 +166,10 @@ mod tests {
         let suite = gannx_suite();
         assert_eq!(suite.len(), 6);
         let names: Vec<&str> = suite.iter().map(|n| n.name.as_str()).collect();
-        assert_eq!(names, vec!["DCGAN", "GP-GAN", "ArtGAN", "MAGAN", "3D-GAN", "DiscoGAN"]);
+        assert_eq!(
+            names,
+            vec!["DCGAN", "GP-GAN", "ArtGAN", "MAGAN", "3D-GAN", "DiscoGAN"]
+        );
     }
 
     #[test]

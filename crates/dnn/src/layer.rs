@@ -168,7 +168,12 @@ impl LayerSpec {
         Self {
             name: name.to_owned(),
             stage,
-            op: LayerOp::Conv2d { kh: kernel, kw: kernel, stride, padding },
+            op: LayerOp::Conv2d {
+                kh: kernel,
+                kw: kernel,
+                stride,
+                padding,
+            },
             in_channels,
             out_channels,
             in_d: 1,
@@ -193,7 +198,12 @@ impl LayerSpec {
         Self {
             name: name.to_owned(),
             stage,
-            op: LayerOp::Deconv2d { kh: kernel, kw: kernel, stride, padding },
+            op: LayerOp::Deconv2d {
+                kh: kernel,
+                kw: kernel,
+                stride,
+                padding,
+            },
             in_channels,
             out_channels,
             in_d: 1,
@@ -219,7 +229,13 @@ impl LayerSpec {
         Self {
             name: name.to_owned(),
             stage,
-            op: LayerOp::Conv3d { kd: kernel, kh: kernel, kw: kernel, stride, padding },
+            op: LayerOp::Conv3d {
+                kd: kernel,
+                kh: kernel,
+                kw: kernel,
+                stride,
+                padding,
+            },
             in_channels,
             out_channels,
             in_d,
@@ -245,7 +261,13 @@ impl LayerSpec {
         Self {
             name: name.to_owned(),
             stage,
-            op: LayerOp::Deconv3d { kd: kernel, kh: kernel, kw: kernel, stride, padding },
+            op: LayerOp::Deconv3d {
+                kd: kernel,
+                kh: kernel,
+                kw: kernel,
+                stride,
+                padding,
+            },
             in_channels,
             out_channels,
             in_d,
@@ -279,20 +301,44 @@ impl LayerSpec {
     /// Output volume `(depth, height, width)`.
     pub fn output_dims(&self) -> (usize, usize, usize) {
         match self.op {
-            LayerOp::Conv2d { kh, kw, stride, padding } => {
-                (self.in_d, conv_out(self.in_h, kh, stride, padding), conv_out(self.in_w, kw, stride, padding))
-            }
-            LayerOp::Deconv2d { kh, kw, stride, padding } => (
+            LayerOp::Conv2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => (
+                self.in_d,
+                conv_out(self.in_h, kh, stride, padding),
+                conv_out(self.in_w, kw, stride, padding),
+            ),
+            LayerOp::Deconv2d {
+                kh,
+                kw,
+                stride,
+                padding,
+            } => (
                 self.in_d,
                 deconv_out(self.in_h, kh, stride, padding),
                 deconv_out(self.in_w, kw, stride, padding),
             ),
-            LayerOp::Conv3d { kd, kh, kw, stride, padding } => (
+            LayerOp::Conv3d {
+                kd,
+                kh,
+                kw,
+                stride,
+                padding,
+            } => (
                 conv_out(self.in_d, kd, stride, padding),
                 conv_out(self.in_h, kh, stride, padding),
                 conv_out(self.in_w, kw, stride, padding),
             ),
-            LayerOp::Deconv3d { kd, kh, kw, stride, padding } => (
+            LayerOp::Deconv3d {
+                kd,
+                kh,
+                kw,
+                stride,
+                padding,
+            } => (
                 deconv_out(self.in_d, kd, stride, padding),
                 deconv_out(self.in_h, kh, stride, padding),
                 deconv_out(self.in_w, kw, stride, padding),
@@ -305,7 +351,9 @@ impl LayerSpec {
     pub fn kernel_volume(&self) -> u64 {
         let spatial = match self.op {
             LayerOp::Conv2d { kh, kw, .. } | LayerOp::Deconv2d { kh, kw, .. } => (kh * kw) as u64,
-            LayerOp::Conv3d { kd, kh, kw, .. } | LayerOp::Deconv3d { kd, kh, kw, .. } => (kd * kh * kw) as u64,
+            LayerOp::Conv3d { kd, kh, kw, .. } | LayerOp::Deconv3d { kd, kh, kw, .. } => {
+                (kd * kh * kw) as u64
+            }
             LayerOp::Pointwise { .. } => 0,
         };
         spatial * self.in_channels as u64
@@ -429,7 +477,18 @@ mod tests {
 
     #[test]
     fn deconv3d_waste_approaches_87_percent() {
-        let l = LayerSpec::deconv3d("d3", Stage::DisparityRefinement, 32, 32, 24, 30, 40, 3, 2, 1);
+        let l = LayerSpec::deconv3d(
+            "d3",
+            Stage::DisparityRefinement,
+            32,
+            32,
+            24,
+            30,
+            40,
+            3,
+            2,
+            1,
+        );
         let waste = l.sparsity_waste();
         assert!(waste > 0.8 && waste < 0.9, "waste = {waste}");
         assert_eq!(l.op.dims(), 3);
@@ -446,10 +505,32 @@ mod tests {
 
     #[test]
     fn conv3d_dims() {
-        let l = LayerSpec::conv3d("c3", Stage::MatchingOptimization, 64, 32, 48, 60, 80, 3, 1, 1);
+        let l = LayerSpec::conv3d(
+            "c3",
+            Stage::MatchingOptimization,
+            64,
+            32,
+            48,
+            60,
+            80,
+            3,
+            1,
+            1,
+        );
         assert_eq!(l.output_dims(), (48, 60, 80));
         assert_eq!(l.kernel_volume(), 64 * 27);
-        let strided = LayerSpec::conv3d("c3s", Stage::MatchingOptimization, 64, 32, 48, 60, 80, 3, 2, 1);
+        let strided = LayerSpec::conv3d(
+            "c3s",
+            Stage::MatchingOptimization,
+            64,
+            32,
+            48,
+            60,
+            80,
+            3,
+            2,
+            1,
+        );
         assert_eq!(strided.output_dims(), (24, 30, 40));
     }
 
@@ -461,7 +542,12 @@ mod tests {
         let d = LayerSpec {
             name: "empty".into(),
             stage: Stage::Other,
-            op: LayerOp::Deconv2d { kh: 4, kw: 4, stride: 2, padding: 1 },
+            op: LayerOp::Deconv2d {
+                kh: 4,
+                kw: 4,
+                stride: 2,
+                padding: 1,
+            },
             in_channels: 1,
             out_channels: 1,
             in_d: 1,
@@ -473,9 +559,28 @@ mod tests {
 
     #[test]
     fn op_kind_predicates() {
-        assert!(LayerOp::Deconv2d { kh: 4, kw: 4, stride: 2, padding: 1 }.is_deconv());
-        assert!(LayerOp::Deconv3d { kd: 3, kh: 3, kw: 3, stride: 2, padding: 1 }.is_deconv());
-        assert!(LayerOp::Conv2d { kh: 3, kw: 3, stride: 1, padding: 1 }.is_conv());
+        assert!(LayerOp::Deconv2d {
+            kh: 4,
+            kw: 4,
+            stride: 2,
+            padding: 1
+        }
+        .is_deconv());
+        assert!(LayerOp::Deconv3d {
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            padding: 1
+        }
+        .is_deconv());
+        assert!(LayerOp::Conv2d {
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            padding: 1
+        }
+        .is_conv());
         assert!(!LayerOp::Pointwise { ops_per_element: 1 }.is_conv());
     }
 }

@@ -34,7 +34,11 @@ pub struct StageDistribution {
 impl NetworkSpec {
     /// Creates a network from a layer list.
     pub fn new(name: &str, is_3d: bool, layers: Vec<LayerSpec>) -> Self {
-        Self { name: name.to_owned(), is_3d, layers }
+        Self {
+            name: name.to_owned(),
+            is_3d,
+            layers,
+        }
     }
 
     /// Number of layers.
@@ -86,7 +90,11 @@ impl NetworkSpec {
     /// The largest single-layer ifmap in bytes (used to reason about on-chip
     /// buffer pressure).
     pub fn max_ifmap_bytes(&self) -> u64 {
-        self.layers.iter().map(LayerSpec::ifmap_bytes).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(LayerSpec::ifmap_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// MACs grouped by pipeline stage (naive execution, matching the paper's
@@ -128,7 +136,10 @@ impl NetworkSpec {
 impl StageDistribution {
     /// Sum of all fractions (≈ 1 for a non-empty network).
     pub fn total(&self) -> f64 {
-        self.feature_extraction + self.matching_optimization + self.disparity_refinement + self.other
+        self.feature_extraction
+            + self.matching_optimization
+            + self.disparity_refinement
+            + self.other
     }
 }
 

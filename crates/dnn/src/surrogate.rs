@@ -32,7 +32,10 @@ pub struct SurrogateParams {
 
 impl Default for SurrogateParams {
     fn default() -> Self {
-        Self { max_disparity: 64, occlusion_handling: true }
+        Self {
+            max_disparity: 64,
+            occlusion_handling: true,
+        }
     }
 }
 
@@ -90,13 +93,18 @@ mod tests {
 
     fn shifted_pair(width: usize, height: usize, disparity: usize) -> (Image, Image, DisparityMap) {
         let right = Image::from_fn(width, height, |x, y| {
-            ((x as f32 * 0.53).sin() + (y as f32 * 0.29).cos() + ((x * 3 + y * 7) % 5) as f32 * 0.1) * 0.4
+            ((x as f32 * 0.53).sin() + (y as f32 * 0.29).cos() + ((x * 3 + y * 7) % 5) as f32 * 0.1)
+                * 0.4
                 + 0.5
         });
         let left = Image::from_fn(width, height, |x, y| {
             right.at_clamped(x as isize - disparity as isize, y as isize)
         });
-        (left, right, DisparityMap::constant(width, height, disparity as f32))
+        (
+            left,
+            right,
+            DisparityMap::constant(width, height, disparity as f32),
+        )
     }
 
     #[test]
@@ -104,7 +112,10 @@ mod tests {
         let (l, r, truth) = shifted_pair(64, 40, 7);
         let surrogate = SurrogateStereoDnn::new(
             zoo::flownetc(40, 64),
-            SurrogateParams { max_disparity: 16, occlusion_handling: true },
+            SurrogateParams {
+                max_disparity: 16,
+                occlusion_handling: true,
+            },
         );
         let map = surrogate.infer(&l, &r).unwrap();
         // DNN-like accuracy: well under the three-pixel threshold almost
@@ -119,11 +130,17 @@ mod tests {
         let (l, r, _) = shifted_pair(48, 32, 5);
         let with = SurrogateStereoDnn::new(
             zoo::dispnet(32, 48),
-            SurrogateParams { max_disparity: 16, occlusion_handling: true },
+            SurrogateParams {
+                max_disparity: 16,
+                occlusion_handling: true,
+            },
         );
         let without = SurrogateStereoDnn::new(
             zoo::dispnet(32, 48),
-            SurrogateParams { max_disparity: 16, occlusion_handling: false },
+            SurrogateParams {
+                max_disparity: 16,
+                occlusion_handling: false,
+            },
         );
         assert_eq!(with.infer(&l, &r).unwrap().valid_fraction(), 1.0);
         assert_eq!(without.infer(&l, &r).unwrap().valid_fraction(), 1.0);

@@ -31,12 +31,35 @@ struct Chain {
 
 impl Chain {
     fn new(channels: usize, d: usize, h: usize, w: usize) -> Self {
-        Self { layers: Vec::new(), channels, d, h, w }
+        Self {
+            layers: Vec::new(),
+            channels,
+            d,
+            h,
+            w,
+        }
     }
 
-    fn conv2d(&mut self, name: &str, stage: Stage, out_c: usize, k: usize, stride: usize) -> &mut Self {
+    fn conv2d(
+        &mut self,
+        name: &str,
+        stage: Stage,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+    ) -> &mut Self {
         let pad = k / 2;
-        let layer = LayerSpec::conv2d(name, stage, self.channels, out_c, self.h, self.w, k, stride, pad);
+        let layer = LayerSpec::conv2d(
+            name,
+            stage,
+            self.channels,
+            out_c,
+            self.h,
+            self.w,
+            k,
+            stride,
+            pad,
+        );
         let (_, h, w) = layer.output_dims();
         self.channels = out_c;
         self.h = h;
@@ -45,9 +68,26 @@ impl Chain {
         self
     }
 
-    fn deconv2d(&mut self, name: &str, stage: Stage, out_c: usize, k: usize, stride: usize) -> &mut Self {
+    fn deconv2d(
+        &mut self,
+        name: &str,
+        stage: Stage,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+    ) -> &mut Self {
         let pad = (k - stride) / 2;
-        let layer = LayerSpec::deconv2d(name, stage, self.channels, out_c, self.h, self.w, k, stride, pad);
+        let layer = LayerSpec::deconv2d(
+            name,
+            stage,
+            self.channels,
+            out_c,
+            self.h,
+            self.w,
+            k,
+            stride,
+            pad,
+        );
         let (_, h, w) = layer.output_dims();
         self.channels = out_c;
         self.h = h;
@@ -56,10 +96,26 @@ impl Chain {
         self
     }
 
-    fn conv3d(&mut self, name: &str, stage: Stage, out_c: usize, k: usize, stride: usize) -> &mut Self {
+    fn conv3d(
+        &mut self,
+        name: &str,
+        stage: Stage,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+    ) -> &mut Self {
         let pad = k / 2;
         let layer = LayerSpec::conv3d(
-            name, stage, self.channels, out_c, self.d, self.h, self.w, k, stride, pad,
+            name,
+            stage,
+            self.channels,
+            out_c,
+            self.d,
+            self.h,
+            self.w,
+            k,
+            stride,
+            pad,
         );
         let (d, h, w) = layer.output_dims();
         self.channels = out_c;
@@ -70,10 +126,26 @@ impl Chain {
         self
     }
 
-    fn deconv3d(&mut self, name: &str, stage: Stage, out_c: usize, k: usize, stride: usize) -> &mut Self {
-        let pad = (k - stride + 1) / 2;
+    fn deconv3d(
+        &mut self,
+        name: &str,
+        stage: Stage,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+    ) -> &mut Self {
+        let pad = (k - stride).div_ceil(2);
         let layer = LayerSpec::deconv3d(
-            name, stage, self.channels, out_c, self.d, self.h, self.w, k, stride, pad,
+            name,
+            stage,
+            self.channels,
+            out_c,
+            self.d,
+            self.h,
+            self.w,
+            k,
+            stride,
+            pad,
         );
         let (d, h, w) = layer.output_dims();
         self.channels = out_c;
@@ -92,7 +164,15 @@ impl Chain {
     }
 
     fn pointwise(&mut self, name: &str, stage: Stage, ops: u64) -> &mut Self {
-        self.layers.push(LayerSpec::pointwise(name, stage, self.channels, self.d, self.h, self.w, ops));
+        self.layers.push(LayerSpec::pointwise(
+            name,
+            stage,
+            self.channels,
+            self.d,
+            self.h,
+            self.w,
+            ops,
+        ));
         self
     }
 
@@ -109,9 +189,27 @@ pub fn flownetc(height: usize, width: usize) -> NetworkSpec {
     // images; we emit each tower explicitly so MAC accounting counts both.
     for tower in ["left", "right"] {
         let mut fe = Chain::new(3, 1, height, width);
-        fe.conv2d(&format!("conv1_{tower}"), Stage::FeatureExtraction, 64, 7, 2)
-            .conv2d(&format!("conv2_{tower}"), Stage::FeatureExtraction, 128, 5, 2)
-            .conv2d(&format!("conv3_{tower}"), Stage::FeatureExtraction, 256, 5, 2);
+        fe.conv2d(
+            &format!("conv1_{tower}"),
+            Stage::FeatureExtraction,
+            64,
+            7,
+            2,
+        )
+        .conv2d(
+            &format!("conv2_{tower}"),
+            Stage::FeatureExtraction,
+            128,
+            5,
+            2,
+        )
+        .conv2d(
+            &format!("conv3_{tower}"),
+            Stage::FeatureExtraction,
+            256,
+            5,
+            2,
+        );
         layers.extend(fe.finish());
     }
 
@@ -201,10 +299,28 @@ pub fn gcnet(height: usize, width: usize, max_disparity: usize) -> NetworkSpec {
     // 2-D feature extraction (two weight-shared towers, half resolution).
     for tower in ["left", "right"] {
         let mut fe = Chain::new(3, 1, height, width);
-        fe.conv2d(&format!("conv1_{tower}"), Stage::FeatureExtraction, 32, 5, 2);
+        fe.conv2d(
+            &format!("conv1_{tower}"),
+            Stage::FeatureExtraction,
+            32,
+            5,
+            2,
+        );
         for i in 0..8 {
-            fe.conv2d(&format!("res{i}a_{tower}"), Stage::FeatureExtraction, 32, 3, 1)
-                .conv2d(&format!("res{i}b_{tower}"), Stage::FeatureExtraction, 32, 3, 1);
+            fe.conv2d(
+                &format!("res{i}a_{tower}"),
+                Stage::FeatureExtraction,
+                32,
+                3,
+                1,
+            )
+            .conv2d(
+                &format!("res{i}b_{tower}"),
+                Stage::FeatureExtraction,
+                32,
+                3,
+                1,
+            );
         }
         fe.conv2d(&format!("feat_{tower}"), Stage::FeatureExtraction, 32, 3, 1);
         layers.extend(fe.finish());
@@ -246,22 +362,76 @@ pub fn psmnet(height: usize, width: usize, max_disparity: usize) -> NetworkSpec 
     // quarter resolution.
     for tower in ["left", "right"] {
         let mut fe = Chain::new(3, 1, height, width);
-        fe.conv2d(&format!("conv0_1_{tower}"), Stage::FeatureExtraction, 32, 3, 2)
-            .conv2d(&format!("conv0_2_{tower}"), Stage::FeatureExtraction, 32, 3, 1)
-            .conv2d(&format!("conv0_3_{tower}"), Stage::FeatureExtraction, 32, 3, 1);
+        fe.conv2d(
+            &format!("conv0_1_{tower}"),
+            Stage::FeatureExtraction,
+            32,
+            3,
+            2,
+        )
+        .conv2d(
+            &format!("conv0_2_{tower}"),
+            Stage::FeatureExtraction,
+            32,
+            3,
+            1,
+        )
+        .conv2d(
+            &format!("conv0_3_{tower}"),
+            Stage::FeatureExtraction,
+            32,
+            3,
+            1,
+        );
         for i in 0..3 {
-            fe.conv2d(&format!("res1_{i}_{tower}"), Stage::FeatureExtraction, 32, 3, 1);
+            fe.conv2d(
+                &format!("res1_{i}_{tower}"),
+                Stage::FeatureExtraction,
+                32,
+                3,
+                1,
+            );
         }
-        fe.conv2d(&format!("down1_{tower}"), Stage::FeatureExtraction, 64, 3, 2);
+        fe.conv2d(
+            &format!("down1_{tower}"),
+            Stage::FeatureExtraction,
+            64,
+            3,
+            2,
+        );
         for i in 0..8 {
-            fe.conv2d(&format!("res2_{i}_{tower}"), Stage::FeatureExtraction, 64, 3, 1);
+            fe.conv2d(
+                &format!("res2_{i}_{tower}"),
+                Stage::FeatureExtraction,
+                64,
+                3,
+                1,
+            );
         }
         for i in 0..3 {
-            fe.conv2d(&format!("res3_{i}_{tower}"), Stage::FeatureExtraction, 128, 3, 1);
+            fe.conv2d(
+                &format!("res3_{i}_{tower}"),
+                Stage::FeatureExtraction,
+                128,
+                3,
+                1,
+            );
         }
         // SPP branches + fusion.
-        fe.conv2d(&format!("spp_fuse_{tower}"), Stage::FeatureExtraction, 128, 3, 1)
-            .conv2d(&format!("lastconv_{tower}"), Stage::FeatureExtraction, 32, 1, 1);
+        fe.conv2d(
+            &format!("spp_fuse_{tower}"),
+            Stage::FeatureExtraction,
+            128,
+            3,
+            1,
+        )
+        .conv2d(
+            &format!("lastconv_{tower}"),
+            Stage::FeatureExtraction,
+            32,
+            1,
+            1,
+        );
         layers.extend(fe.finish());
     }
 
@@ -275,12 +445,48 @@ pub fn psmnet(height: usize, width: usize, max_disparity: usize) -> NetworkSpec 
     // Three stacked hourglasses: each downsamples twice and upsamples twice
     // with 3-D deconvolutions.
     for hg in 0..3 {
-        mo.conv3d(&format!("hg{hg}_down1"), Stage::MatchingOptimization, 64, 3, 2)
-            .conv3d(&format!("hg{hg}_conv1"), Stage::MatchingOptimization, 64, 3, 1)
-            .conv3d(&format!("hg{hg}_down2"), Stage::MatchingOptimization, 64, 3, 2)
-            .conv3d(&format!("hg{hg}_conv2"), Stage::MatchingOptimization, 64, 3, 1)
-            .deconv3d(&format!("hg{hg}_deconv1"), Stage::DisparityRefinement, 64, 3, 2)
-            .deconv3d(&format!("hg{hg}_deconv2"), Stage::DisparityRefinement, 32, 3, 2);
+        mo.conv3d(
+            &format!("hg{hg}_down1"),
+            Stage::MatchingOptimization,
+            64,
+            3,
+            2,
+        )
+        .conv3d(
+            &format!("hg{hg}_conv1"),
+            Stage::MatchingOptimization,
+            64,
+            3,
+            1,
+        )
+        .conv3d(
+            &format!("hg{hg}_down2"),
+            Stage::MatchingOptimization,
+            64,
+            3,
+            2,
+        )
+        .conv3d(
+            &format!("hg{hg}_conv2"),
+            Stage::MatchingOptimization,
+            64,
+            3,
+            1,
+        )
+        .deconv3d(
+            &format!("hg{hg}_deconv1"),
+            Stage::DisparityRefinement,
+            64,
+            3,
+            2,
+        )
+        .deconv3d(
+            &format!("hg{hg}_deconv2"),
+            Stage::DisparityRefinement,
+            32,
+            3,
+            2,
+        );
     }
 
     // Final classification and upsampling to full resolution.
@@ -317,7 +523,11 @@ mod tests {
     fn networks_have_expected_structure() {
         for net in suite(192, 384, 96) {
             assert!(net.num_layers() > 10, "{} too small", net.name);
-            assert!(net.deconv_layers().count() >= 4, "{} lacks deconvs", net.name);
+            assert!(
+                net.deconv_layers().count() >= 4,
+                "{} lacks deconvs",
+                net.name
+            );
             assert!(net.total_macs() > 0);
             match net.name.as_str() {
                 "GC-Net" | "PSMNet" => assert!(net.is_3d),
@@ -359,8 +569,10 @@ mod tests {
     #[test]
     fn three_d_networks_are_heavier_than_two_d() {
         let nets = suite(192, 384, 96);
-        let macs: std::collections::HashMap<_, _> =
-            nets.iter().map(|n| (n.name.clone(), n.total_naive_macs())).collect();
+        let macs: std::collections::HashMap<_, _> = nets
+            .iter()
+            .map(|n| (n.name.clone(), n.total_naive_macs()))
+            .collect();
         assert!(macs["GC-Net"] > macs["FlowNetC"]);
         assert!(macs["PSMNet"] > macs["DispNet"]);
     }

@@ -27,7 +27,11 @@ pub struct BlockFlowParams {
 
 impl Default for BlockFlowParams {
     fn default() -> Self {
-        Self { block: BlockSpec::new(3), search_radius: 7, step: 4 }
+        Self {
+            block: BlockSpec::new(3),
+            search_radius: 7,
+            step: 4,
+        }
     }
 }
 
@@ -53,7 +57,9 @@ pub fn block_matching_flow(
         )));
     }
     if frame0.is_empty() {
-        return Err(FlowError::invalid_parameter("cannot compute flow of empty frames"));
+        return Err(FlowError::invalid_parameter(
+            "cannot compute flow of empty frames",
+        ));
     }
     if params.step == 0 {
         return Err(FlowError::invalid_parameter("step must be non-zero"));
@@ -108,7 +114,9 @@ mod tests {
     use asv_image::warp::translate;
 
     fn textured(width: usize, height: usize) -> Image {
-        Image::from_fn(width, height, |x, y| ((x * 17 + y * 29 + (x * y) % 7) % 31) as f32 / 31.0)
+        Image::from_fn(width, height, |x, y| {
+            ((x * 17 + y * 29 + (x * y) % 7) % 31) as f32 / 31.0
+        })
     }
 
     #[test]
@@ -133,16 +141,37 @@ mod tests {
         let f0 = textured(32, 32);
         let small = textured(16, 32);
         assert!(block_matching_flow(&f0, &small, &BlockFlowParams::default()).is_err());
-        let bad = BlockFlowParams { step: 0, ..BlockFlowParams::default() };
+        let bad = BlockFlowParams {
+            step: 0,
+            ..BlockFlowParams::default()
+        };
         assert!(block_matching_flow(&f0, &f0, &bad).is_err());
-        assert!(block_matching_flow(&Image::default(), &Image::default(), &BlockFlowParams::default())
-            .is_err());
+        assert!(block_matching_flow(
+            &Image::default(),
+            &Image::default(),
+            &BlockFlowParams::default()
+        )
+        .is_err());
     }
 
     #[test]
     fn op_count_scales_with_search_area() {
-        let small = block_flow_op_count(64, 64, &BlockFlowParams { search_radius: 2, ..Default::default() });
-        let large = block_flow_op_count(64, 64, &BlockFlowParams { search_radius: 8, ..Default::default() });
+        let small = block_flow_op_count(
+            64,
+            64,
+            &BlockFlowParams {
+                search_radius: 2,
+                ..Default::default()
+            },
+        );
+        let large = block_flow_op_count(
+            64,
+            64,
+            &BlockFlowParams {
+                search_radius: 8,
+                ..Default::default()
+            },
+        );
         assert!(large > small * 5);
     }
 }

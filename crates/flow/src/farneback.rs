@@ -47,7 +47,13 @@ pub struct FarnebackParams {
 
 impl Default for FarnebackParams {
     fn default() -> Self {
-        Self { pyramid_levels: 3, poly_sigma: 1.2, blur_sigma: 2.0, iterations: 3, min_level_size: 12 }
+        Self {
+            pyramid_levels: 3,
+            poly_sigma: 1.2,
+            blur_sigma: 2.0,
+            iterations: 3,
+            min_level_size: 12,
+        }
     }
 }
 
@@ -188,36 +194,75 @@ pub fn polynomial_expansion(image: &Image, sigma: f32) -> Result<PolyExpansion> 
     let ginv = normal_matrix_inverse(sigma);
     let width = image.width();
     let height = image.height();
-    let mut a11 = Image::zeros(width, height);
-    let mut a12 = Image::zeros(width, height);
-    let mut a22 = Image::zeros(width, height);
+
+    // Point-wise 6x6 solve per pixel. Rows are independent; with the
+    // `parallel` feature they are computed on the rayon pool (this stage is
+    // the non-convolution hot spot of the expansion). The per-pixel
+    // arithmetic is identical in both drivers.
+    let moments = [&v0, &v1, &v2, &v3, &v4, &v5];
+    let solve_row = |y: usize| -> Vec<[f32; 5]> {
+        let rows: [&[f32]; 6] =
+            std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
+        (0..width)
+            .map(|x| {
+                let mut r = [0.0f64; 6];
+                for (j, rj) in r.iter_mut().enumerate() {
+                    for (k, row) in rows.iter().enumerate() {
+                        *rj += ginv[j][k] * row[x] as f64;
+                    }
+                }
+                // r = [c, b1, b2, a11, a22, 2*a12-ish]; basis order
+                // [1, x, y, x², y², xy].
+                [
+                    r[1] as f32,
+                    r[2] as f32,
+                    r[3] as f32,
+                    r[4] as f32,
+                    (r[5] / 2.0) as f32,
+                ]
+            })
+            .collect()
+    };
+
+    #[cfg(feature = "parallel")]
+    let solved: Vec<Vec<[f32; 5]>> = {
+        use rayon::prelude::*;
+        (0..height).into_par_iter().map(solve_row).collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let solved: Vec<Vec<[f32; 5]>> = (0..height).map(solve_row).collect();
+
+    // Single de-interleaving pass into the five output planes.
     let mut b1 = Image::zeros(width, height);
     let mut b2 = Image::zeros(width, height);
-    for y in 0..height {
-        for x in 0..width {
-            let v = [
-                v0.at(x, y) as f64,
-                v1.at(x, y) as f64,
-                v2.at(x, y) as f64,
-                v3.at(x, y) as f64,
-                v4.at(x, y) as f64,
-                v5.at(x, y) as f64,
-            ];
-            let mut r = [0.0f64; 6];
-            for (j, rj) in r.iter_mut().enumerate() {
-                for k in 0..6 {
-                    *rj += ginv[j][k] * v[k];
+    let mut a11 = Image::zeros(width, height);
+    let mut a22 = Image::zeros(width, height);
+    let mut a12 = Image::zeros(width, height);
+    {
+        let planes = [
+            b1.as_mut_slice(),
+            b2.as_mut_slice(),
+            a11.as_mut_slice(),
+            a22.as_mut_slice(),
+            a12.as_mut_slice(),
+        ];
+        let mut planes = planes;
+        for (y, row) in solved.iter().enumerate() {
+            let base = y * width;
+            for (x, cell) in row.iter().enumerate() {
+                for (plane, value) in planes.iter_mut().zip(cell) {
+                    plane[base + x] = *value;
                 }
             }
-            // r = [c, b1, b2, a11, a22, 2*a12-ish]; basis order [1,x,y,x²,y²,xy].
-            b1.set(x, y, r[1] as f32);
-            b2.set(x, y, r[2] as f32);
-            a11.set(x, y, r[3] as f32);
-            a22.set(x, y, r[4] as f32);
-            a12.set(x, y, (r[5] / 2.0) as f32);
         }
     }
-    Ok(PolyExpansion { a11, a12, a22, b1, b2 })
+    Ok(PolyExpansion {
+        a11,
+        a12,
+        a22,
+        b1,
+        b2,
+    })
 }
 
 /// One Farneback displacement refinement at a single scale.
@@ -250,12 +295,10 @@ fn refine_displacement(
             let a11 = 0.5 * (exp0.a11.at(x, y) + exp1.a11.sample_bilinear(sx, sy));
             let a12 = 0.5 * (exp0.a12.at(x, y) + exp1.a12.sample_bilinear(sx, sy));
             let a22 = 0.5 * (exp0.a22.at(x, y) + exp1.a22.sample_bilinear(sx, sy));
-            let db1 = -0.5 * (exp1.b1.sample_bilinear(sx, sy) - exp0.b1.at(x, y))
-                + a11 * du
-                + a12 * dv;
-            let db2 = -0.5 * (exp1.b2.sample_bilinear(sx, sy) - exp0.b2.at(x, y))
-                + a12 * du
-                + a22 * dv;
+            let db1 =
+                -0.5 * (exp1.b1.sample_bilinear(sx, sy) - exp0.b1.at(x, y)) + a11 * du + a12 * dv;
+            let db2 =
+                -0.5 * (exp1.b2.sample_bilinear(sx, sy) - exp0.b2.at(x, y)) + a12 * du + a22 * dv;
             // Normal equations of A d = Δb.
             g11.set(x, y, a11 * a11 + a12 * a12);
             g12.set(x, y, a11 * a12 + a12 * a22);
@@ -301,7 +344,11 @@ fn refine_displacement(
 ///
 /// Returns [`FlowError::FrameMismatch`] when the two frames differ in size
 /// and [`FlowError::InvalidParameter`] for degenerate parameters.
-pub fn farneback_flow(frame0: &Image, frame1: &Image, params: &FarnebackParams) -> Result<FlowField> {
+pub fn farneback_flow(
+    frame0: &Image,
+    frame1: &Image,
+    params: &FarnebackParams,
+) -> Result<FlowField> {
     if frame0.width() != frame1.width() || frame0.height() != frame1.height() {
         return Err(FlowError::frame_mismatch(format!(
             "{}x{} vs {}x{}",
@@ -312,15 +359,19 @@ pub fn farneback_flow(frame0: &Image, frame1: &Image, params: &FarnebackParams) 
         )));
     }
     if frame0.is_empty() {
-        return Err(FlowError::invalid_parameter("cannot compute flow of empty frames"));
+        return Err(FlowError::invalid_parameter(
+            "cannot compute flow of empty frames",
+        ));
     }
     if params.iterations == 0 || params.pyramid_levels == 0 {
-        return Err(FlowError::invalid_parameter("iterations and pyramid_levels must be non-zero"));
+        return Err(FlowError::invalid_parameter(
+            "iterations and pyramid_levels must be non-zero",
+        ));
     }
     let pyr0 = Pyramid::build(frame0, params.pyramid_levels, params.min_level_size)
-        .map_err(|e| FlowError::invalid_parameter(e))?;
+        .map_err(FlowError::invalid_parameter)?;
     let pyr1 = Pyramid::build(frame1, params.pyramid_levels, params.min_level_size)
-        .map_err(|e| FlowError::invalid_parameter(e))?;
+        .map_err(FlowError::invalid_parameter)?;
     let levels = pyr0.num_levels().min(pyr1.num_levels());
 
     let mut flow: Option<FlowField> = None;
@@ -374,7 +425,11 @@ impl FlowOpBreakdown {
 
 /// Analytical operation count of [`farneback_flow`] for a frame of the given
 /// size, mirroring the loop structure of the implementation.
-pub fn farneback_op_breakdown(width: usize, height: usize, params: &FarnebackParams) -> FlowOpBreakdown {
+pub fn farneback_op_breakdown(
+    width: usize,
+    height: usize,
+    params: &FarnebackParams,
+) -> FlowOpBreakdown {
     let mut blur = 0u64;
     let mut expansion = 0u64;
     let mut matrix = 0u64;
@@ -443,11 +498,14 @@ mod tests {
                 }
             }
         }
-        for i in 0..6 {
+        // `j` walks columns of `ginv`, so an iterator form would obscure the
+        // matrix product being checked.
+        #[allow(clippy::needless_range_loop)]
+        for (i, grow) in g.iter().enumerate() {
             for j in 0..6 {
                 let mut acc = 0.0;
-                for k in 0..6 {
-                    acc += g[i][k] * ginv[k][j];
+                for (k, gik) in grow.iter().enumerate() {
+                    acc += gik * ginv[k][j];
                 }
                 let expected = if i == j { 1.0 } else { 0.0 };
                 assert!((acc - expected).abs() < 1e-6, "({i},{j}) = {acc}");
@@ -489,8 +547,16 @@ mod tests {
         let frame0 = textured(64, 48);
         let frame1 = translate(&frame0, 3, 0);
         let flow = farneback_flow(&frame0, &frame1, &FarnebackParams::default()).unwrap();
-        assert!((flow.median_u() - 3.0).abs() < 1.0, "median u = {}", flow.median_u());
-        assert!(flow.median_v().abs() < 1.0, "median v = {}", flow.median_v());
+        assert!(
+            (flow.median_u() - 3.0).abs() < 1.0,
+            "median u = {}",
+            flow.median_u()
+        );
+        assert!(
+            flow.median_v().abs() < 1.0,
+            "median v = {}",
+            flow.median_v()
+        );
     }
 
     #[test]
@@ -498,8 +564,16 @@ mod tests {
         let frame0 = textured(64, 64);
         let frame1 = translate(&frame0, 2, 1);
         let flow = farneback_flow(&frame0, &frame1, &FarnebackParams::default()).unwrap();
-        assert!((flow.median_u() - 2.0).abs() < 1.0, "median u = {}", flow.median_u());
-        assert!((flow.median_v() - 1.0).abs() < 1.0, "median v = {}", flow.median_v());
+        assert!(
+            (flow.median_u() - 2.0).abs() < 1.0,
+            "median u = {}",
+            flow.median_u()
+        );
+        assert!(
+            (flow.median_v() - 1.0).abs() < 1.0,
+            "median v = {}",
+            flow.median_v()
+        );
     }
 
     #[test]
@@ -515,9 +589,17 @@ mod tests {
         let a = Image::filled(32, 32, 0.0);
         let b = Image::filled(16, 32, 0.0);
         assert!(farneback_flow(&a, &b, &FarnebackParams::default()).is_err());
-        let bad = FarnebackParams { iterations: 0, ..FarnebackParams::default() };
+        let bad = FarnebackParams {
+            iterations: 0,
+            ..FarnebackParams::default()
+        };
         assert!(farneback_flow(&a, &a, &bad).is_err());
-        assert!(farneback_flow(&Image::default(), &Image::default(), &FarnebackParams::default()).is_err());
+        assert!(farneback_flow(
+            &Image::default(),
+            &Image::default(),
+            &FarnebackParams::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -34,12 +34,16 @@ impl Error for FlowError {}
 impl FlowError {
     /// Builds a [`FlowError::FrameMismatch`] from anything displayable.
     pub fn frame_mismatch(context: impl fmt::Display) -> Self {
-        FlowError::FrameMismatch { context: context.to_string() }
+        FlowError::FrameMismatch {
+            context: context.to_string(),
+        }
     }
 
     /// Builds a [`FlowError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
-        FlowError::InvalidParameter { context: context.to_string() }
+        FlowError::InvalidParameter {
+            context: context.to_string(),
+        }
     }
 }
 
@@ -57,7 +61,10 @@ pub struct FlowField {
 impl FlowField {
     /// Creates an all-zero flow field.
     pub fn zeros(width: usize, height: usize) -> Self {
-        Self { u: Image::zeros(width, height), v: Image::zeros(width, height) }
+        Self {
+            u: Image::zeros(width, height),
+            v: Image::zeros(width, height),
+        }
     }
 
     /// Creates a flow field from its two component images.
@@ -81,7 +88,10 @@ impl FlowField {
 
     /// Creates a constant (translational) flow field.
     pub fn constant(width: usize, height: usize, u: f32, v: f32) -> Self {
-        Self { u: Image::filled(width, height, u), v: Image::filled(width, height, v) }
+        Self {
+            u: Image::filled(width, height, u),
+            v: Image::filled(width, height, v),
+        }
     }
 
     /// Field width in pixels.

@@ -128,7 +128,11 @@ mod tests {
         let out = gaussian_blur(&img, 1.0);
         let var = |im: &Image| {
             let m = im.mean();
-            im.as_slice().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / im.len() as f32
+            im.as_slice()
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>()
+                / im.len() as f32
         };
         assert!(var(&out) < 0.2 * var(&img));
     }

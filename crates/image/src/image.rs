@@ -30,7 +30,10 @@ impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImageError::DataLength { expected, actual } => {
-                write!(f, "pixel buffer length {actual} does not match image size {expected}")
+                write!(
+                    f,
+                    "pixel buffer length {actual} does not match image size {expected}"
+                )
             }
             ImageError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
             ImageError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
@@ -43,12 +46,16 @@ impl Error for ImageError {}
 impl ImageError {
     /// Builds a [`ImageError::DimensionMismatch`] from anything displayable.
     pub fn dimension_mismatch(context: impl fmt::Display) -> Self {
-        ImageError::DimensionMismatch { context: context.to_string() }
+        ImageError::DimensionMismatch {
+            context: context.to_string(),
+        }
     }
 
     /// Builds a [`ImageError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
-        ImageError::InvalidParameter { context: context.to_string() }
+        ImageError::InvalidParameter {
+            context: context.to_string(),
+        }
     }
 }
 
@@ -67,12 +74,20 @@ pub struct Image {
 impl Image {
     /// Creates an all-zero image.
     pub fn zeros(width: usize, height: usize) -> Self {
-        Self { width, height, data: vec![0.0; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
     }
 
     /// Creates an image filled with `value`.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
-        Self { width, height, data: vec![value; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Creates an image from a row-major pixel buffer.
@@ -82,9 +97,16 @@ impl Image {
     /// Returns [`ImageError::DataLength`] when `data.len() != width * height`.
     pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> crate::Result<Self> {
         if data.len() != width * height {
-            return Err(ImageError::DataLength { expected: width * height, actual: data.len() });
+            return Err(ImageError::DataLength {
+                expected: width * height,
+                actual: data.len(),
+            });
         }
-        Ok(Self { width, height, data })
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Creates an image by evaluating `f(x, y)` at every pixel.
@@ -95,7 +117,11 @@ impl Image {
                 data.push(f(x, y));
             }
         }
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -135,7 +161,10 @@ impl Image {
     /// Panics when `(x, y)` is out of bounds.
     #[inline]
     pub fn at(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -146,7 +175,10 @@ impl Image {
     /// Panics when `(x, y)` is out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -332,9 +364,16 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = ImageError::DataLength { expected: 4, actual: 2 };
+        let e = ImageError::DataLength {
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("does not match"));
-        assert!(ImageError::dimension_mismatch("a vs b").to_string().contains("a vs b"));
-        assert!(ImageError::invalid_parameter("window").to_string().contains("window"));
+        assert!(ImageError::dimension_mismatch("a vs b")
+            .to_string()
+            .contains("a vs b"));
+        assert!(ImageError::invalid_parameter("window")
+            .to_string()
+            .contains("window"));
     }
 }

@@ -24,10 +24,14 @@ impl Pyramid {
     /// image is empty.
     pub fn build(image: &Image, levels: usize, min_size: usize) -> Result<Self> {
         if levels == 0 {
-            return Err(ImageError::invalid_parameter("pyramid must have at least one level"));
+            return Err(ImageError::invalid_parameter(
+                "pyramid must have at least one level",
+            ));
         }
         if image.is_empty() {
-            return Err(ImageError::invalid_parameter("cannot build a pyramid from an empty image"));
+            return Err(ImageError::invalid_parameter(
+                "cannot build a pyramid from an empty image",
+            ));
         }
         let mut out = vec![image.clone()];
         for _ in 1..levels {
@@ -105,7 +109,11 @@ mod tests {
         let img = Image::filled(32, 32, 0.3);
         let pyr = Pyramid::build(&img, 3, 4).unwrap();
         for level in 0..pyr.num_levels() {
-            assert!(pyr.level(level).as_slice().iter().all(|&v| (v - 0.3).abs() < 1e-4));
+            assert!(pyr
+                .level(level)
+                .as_slice()
+                .iter()
+                .all(|&v| (v - 0.3).abs() < 1e-4));
         }
     }
 }

@@ -33,7 +33,8 @@ pub struct Texture {
 impl Texture {
     /// Evaluates the texture at object-local coordinates `(u, v)`.
     pub fn sample(&self, u: f32, v: f32) -> f32 {
-        let sinusoid = (u * self.freq_x + self.phase).sin() * (v * self.freq_y + self.phase * 0.7).cos();
+        let sinusoid =
+            (u * self.freq_x + self.phase).sin() * (v * self.freq_y + self.phase * 0.7).cos();
         let iu = u.round() as i64;
         let iv = v.round() as i64;
         let hashed = hash2(iu, iv);
@@ -43,7 +44,14 @@ impl Texture {
 
 impl Default for Texture {
     fn default() -> Self {
-        Self { base: 0.5, amplitude: 0.3, freq_x: 0.7, freq_y: 0.5, hash_amplitude: 0.1, phase: 0.0 }
+        Self {
+            base: 0.5,
+            amplitude: 0.3,
+            freq_x: 0.7,
+            freq_y: 0.5,
+            hash_amplitude: 0.1,
+            phase: 0.0,
+        }
     }
 }
 
@@ -162,21 +170,40 @@ mod tests {
 
     #[test]
     fn rectangle_and_ellipse_coverage() {
-        let rect = SceneObject { cx: 10.0, cy: 10.0, half_w: 5.0, half_h: 3.0, ..Default::default() };
+        let rect = SceneObject {
+            cx: 10.0,
+            cy: 10.0,
+            half_w: 5.0,
+            half_h: 3.0,
+            ..Default::default()
+        };
         assert!(rect.covers(10.0, 10.0));
         assert!(rect.covers(15.0, 13.0));
         assert!(!rect.covers(16.0, 10.0));
-        let ell = SceneObject { shape: ShapeKind::Ellipse, ..rect };
+        let ell = SceneObject {
+            shape: ShapeKind::Ellipse,
+            ..rect
+        };
         assert!(ell.covers(10.0, 10.0));
         // The rectangle corner is outside the inscribed ellipse.
         assert!(!ell.covers(15.0, 13.0));
-        let degenerate = SceneObject { shape: ShapeKind::Ellipse, half_w: 0.0, ..rect };
+        let degenerate = SceneObject {
+            shape: ShapeKind::Ellipse,
+            half_w: 0.0,
+            ..rect
+        };
         assert!(!degenerate.covers(10.0, 10.0));
     }
 
     #[test]
     fn advanced_moves_and_clamps_disparity() {
-        let obj = SceneObject { vx: 2.0, vy: -1.0, disparity: 4.0, disparity_rate: -3.0, ..Default::default() };
+        let obj = SceneObject {
+            vx: 2.0,
+            vy: -1.0,
+            disparity: 4.0,
+            disparity_rate: -3.0,
+            ..Default::default()
+        };
         let next = obj.advanced(1.0);
         assert_eq!(next.cx, 2.0);
         assert_eq!(next.cy, -1.0);
@@ -188,7 +215,12 @@ mod tests {
 
     #[test]
     fn shading_moves_rigidly_with_object() {
-        let obj = SceneObject { cx: 10.0, cy: 10.0, vx: 3.0, ..Default::default() };
+        let obj = SceneObject {
+            cx: 10.0,
+            cy: 10.0,
+            vx: 3.0,
+            ..Default::default()
+        };
         let before = obj.shade(12.0, 11.0);
         let moved = obj.advanced(1.0);
         // The same material point is now 3 pixels to the right.

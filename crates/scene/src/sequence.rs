@@ -147,9 +147,17 @@ impl StereoSequence {
             } else {
                 None
             };
-            frames.push(StereoFrame { left, right, ground_truth, flow_to_next });
+            frames.push(StereoFrame {
+                left,
+                right,
+                ground_truth,
+                flow_to_next,
+            });
         }
-        Self { frames, config: config.clone() }
+        Self {
+            frames,
+            config: config.clone(),
+        }
     }
 
     /// Number of frames in the sequence.
@@ -176,7 +184,11 @@ impl StereoSequence {
 fn spawn_objects(config: &SceneConfig, rng: &mut SmallRng) -> Vec<SceneObject> {
     let mut objects = Vec::with_capacity(config.num_objects);
     for i in 0..config.num_objects {
-        let shape = if i % 2 == 0 { ShapeKind::Rectangle } else { ShapeKind::Ellipse };
+        let shape = if i % 2 == 0 {
+            ShapeKind::Rectangle
+        } else {
+            ShapeKind::Ellipse
+        };
         let half_w = rng.gen_range(config.width as f32 * 0.06..config.width as f32 * 0.18);
         let half_h = rng.gen_range(config.height as f32 * 0.08..config.height as f32 * 0.22);
         let disparity = rng.gen_range(config.min_disparity..config.max_disparity);
@@ -202,7 +214,11 @@ fn spawn_objects(config: &SceneConfig, rng: &mut SmallRng) -> Vec<SceneObject> {
         });
     }
     // Painter's order: far (small disparity) first so near objects overwrite.
-    objects.sort_by(|a, b| a.disparity.partial_cmp(&b.disparity).unwrap_or(std::cmp::Ordering::Equal));
+    objects.sort_by(|a, b| {
+        a.disparity
+            .partial_cmp(&b.disparity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     objects
 }
 
@@ -378,8 +394,14 @@ mod tests {
     fn sequence_has_temporal_motion() {
         let config = SceneConfig::scene_flow_like(64, 48).with_seed(9);
         let seq = StereoSequence::generate(&config, 2);
-        let diff = seq.frames()[0].left.mean_abs_diff(&seq.frames()[1].left).unwrap();
-        assert!(diff > 1e-4, "consecutive frames should differ (diff = {diff})");
+        let diff = seq.frames()[0]
+            .left
+            .mean_abs_diff(&seq.frames()[1].left)
+            .unwrap();
+        assert!(
+            diff > 1e-4,
+            "consecutive frames should differ (diff = {diff})"
+        );
         // And the ground-truth flow is non-trivial somewhere.
         let flow = seq.frames()[0].flow_to_next.as_ref().unwrap();
         let max_u = flow
@@ -393,10 +415,17 @@ mod tests {
     #[test]
     fn kitti_profile_adds_noise_and_gain() {
         let base = SceneConfig::kitti_like(48, 32).with_seed(4);
-        let clean = SceneConfig { noise_sigma: 0.0, right_gain: 1.0, ..base.clone() };
+        let clean = SceneConfig {
+            noise_sigma: 0.0,
+            right_gain: 1.0,
+            ..base.clone()
+        };
         let noisy_seq = StereoSequence::generate(&base, 1);
         let clean_seq = StereoSequence::generate(&clean, 1);
-        let diff = noisy_seq.frames()[0].left.mean_abs_diff(&clean_seq.frames()[0].left).unwrap();
+        let diff = noisy_seq.frames()[0]
+            .left
+            .mean_abs_diff(&clean_seq.frames()[0].left)
+            .unwrap();
         assert!(diff > 1e-4, "noise should perturb the image");
         // The right image of the noisy profile is brighter on average than the
         // clean one because of the gain.
@@ -407,7 +436,13 @@ mod tests {
     fn seeds_change_content() {
         let a = StereoSequence::generate(&SceneConfig::scene_flow_like(48, 32).with_seed(1), 1);
         let b = StereoSequence::generate(&SceneConfig::scene_flow_like(48, 32).with_seed(2), 1);
-        assert!(a.frames()[0].left.mean_abs_diff(&b.frames()[0].left).unwrap() > 1e-4);
+        assert!(
+            a.frames()[0]
+                .left
+                .mean_abs_diff(&b.frames()[0].left)
+                .unwrap()
+                > 1e-4
+        );
     }
 
     #[test]

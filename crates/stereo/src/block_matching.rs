@@ -107,6 +107,34 @@ fn search_range(
     (best_d as f32 + offset, best_cost)
 }
 
+/// Evaluates a per-pixel matcher over the whole image, one row at a time.
+/// Rows are independent, so with the `parallel` feature they are distributed
+/// over the rayon pool; the returned value is identical either way. Pixels
+/// map to [`crate::disparity::INVALID_DISPARITY`] when no match qualifies.
+#[cfg(feature = "parallel")]
+fn match_per_pixel(
+    width: usize,
+    height: usize,
+    per_pixel: impl Fn(usize, usize) -> f32 + Sync,
+) -> DisparityMap {
+    use rayon::prelude::*;
+    let rows: Vec<Vec<f32>> = (0..height)
+        .into_par_iter()
+        .map(|y| (0..width).map(|x| per_pixel(x, y)).collect())
+        .collect();
+    DisparityMap::from_fn(width, height, |x, y| rows[y][x])
+}
+
+/// Sequential fallback of the row-wise matcher driver.
+#[cfg(not(feature = "parallel"))]
+fn match_per_pixel(
+    width: usize,
+    height: usize,
+    per_pixel: impl Fn(usize, usize) -> f32 + Sync,
+) -> DisparityMap {
+    DisparityMap::from_fn(width, height, per_pixel)
+}
+
 /// Full-range local block matching over disparities `0..=max_disparity`.
 ///
 /// # Errors
@@ -117,18 +145,16 @@ pub fn block_match(left: &Image, right: &Image, params: &BlockMatchParams) -> Re
     check_pair(left, right)?;
     let width = left.width();
     let height = left.height();
-    let mut map = DisparityMap::invalid(width, height);
     let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
-    for y in 0..height {
-        for x in 0..width {
-            let hi = params.max_disparity.min(x.max(0));
-            let (d, cost) = search_range(left, right, x, y, 0, hi.max(0), params);
-            if cost <= cost_limit {
-                map.set(x, y, d);
-            }
+    Ok(match_per_pixel(width, height, |x, y| {
+        let hi = params.max_disparity.min(x);
+        let (d, cost) = search_range(left, right, x, y, 0, hi, params);
+        if cost <= cost_limit {
+            d
+        } else {
+            crate::disparity::INVALID_DISPARITY
         }
-    }
-    Ok(map)
+    }))
 }
 
 /// Block matching restricted to `±refine_radius` pixels around `initial`.
@@ -161,26 +187,26 @@ pub fn refine_with_initial(
     }
     let width = left.width();
     let height = left.height();
-    let mut map = DisparityMap::invalid(width, height);
     let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
-    for y in 0..height {
-        for x in 0..width {
-            let (lo, hi) = match initial.get(x, y) {
-                Some(init) => {
-                    let centre = init.round().max(0.0) as usize;
-                    let lo = centre.saturating_sub(params.refine_radius);
-                    let hi = (centre + params.refine_radius).min(params.max_disparity).min(x.max(0));
-                    (lo.min(hi), hi)
-                }
-                None => (0, params.max_disparity.min(x.max(0))),
-            };
-            let (d, cost) = search_range(left, right, x, y, lo, hi, params);
-            if cost <= cost_limit {
-                map.set(x, y, d);
+    Ok(match_per_pixel(width, height, |x, y| {
+        let (lo, hi) = match initial.get(x, y) {
+            Some(init) => {
+                let centre = init.round().max(0.0) as usize;
+                let lo = centre.saturating_sub(params.refine_radius);
+                let hi = (centre + params.refine_radius)
+                    .min(params.max_disparity)
+                    .min(x);
+                (lo.min(hi), hi)
             }
+            None => (0, params.max_disparity.min(x)),
+        };
+        let (d, cost) = search_range(left, right, x, y, lo, hi, params);
+        if cost <= cost_limit {
+            d
+        } else {
+            crate::disparity::INVALID_DISPARITY
         }
-    }
-    Ok(map)
+    }))
 }
 
 /// Arithmetic operation count of a full-range block match on a frame of the
@@ -231,7 +257,10 @@ mod tests {
     #[test]
     fn full_search_recovers_constant_disparity() {
         let (l, r) = constant_disparity_pair(48, 24, 6);
-        let params = BlockMatchParams { max_disparity: 16, ..Default::default() };
+        let params = BlockMatchParams {
+            max_disparity: 16,
+            ..Default::default()
+        };
         let map = block_match(&l, &r, &params).unwrap();
         assert!(interior_error(&map, 6.0, 5) <= 1.0);
     }
@@ -239,7 +268,11 @@ mod tests {
     #[test]
     fn refinement_with_correct_initial_matches_full_search() {
         let (l, r) = constant_disparity_pair(48, 24, 6);
-        let params = BlockMatchParams { max_disparity: 16, refine_radius: 2, ..Default::default() };
+        let params = BlockMatchParams {
+            max_disparity: 16,
+            refine_radius: 2,
+            ..Default::default()
+        };
         let initial = DisparityMap::constant(48, 24, 6.0);
         let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
         assert!(interior_error(&refined, 6.0, 5) <= 1.0);
@@ -248,7 +281,11 @@ mod tests {
     #[test]
     fn refinement_recovers_from_slightly_wrong_initial() {
         let (l, r) = constant_disparity_pair(48, 24, 6);
-        let params = BlockMatchParams { max_disparity: 16, refine_radius: 3, ..Default::default() };
+        let params = BlockMatchParams {
+            max_disparity: 16,
+            refine_radius: 3,
+            ..Default::default()
+        };
         // Initial guess off by 2 pixels, inside the refinement radius.
         let initial = DisparityMap::constant(48, 24, 8.0);
         let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
@@ -258,7 +295,11 @@ mod tests {
     #[test]
     fn refinement_falls_back_to_full_search_for_invalid_initial() {
         let (l, r) = constant_disparity_pair(48, 24, 6);
-        let params = BlockMatchParams { max_disparity: 16, refine_radius: 1, ..Default::default() };
+        let params = BlockMatchParams {
+            max_disparity: 16,
+            refine_radius: 1,
+            ..Default::default()
+        };
         let initial = DisparityMap::invalid(48, 24);
         let refined = refine_with_initial(&l, &r, &initial, &params).unwrap();
         assert!(interior_error(&refined, 6.0, 6) <= 1.0);
@@ -270,7 +311,11 @@ mod tests {
         // most pixels should be rejected.
         let left = Image::from_fn(32, 16, |x, y| ((x * 31 + y * 17) % 13) as f32);
         let right = Image::from_fn(32, 16, |x, y| ((x * 7 + y * 29 + 5) % 11) as f32);
-        let params = BlockMatchParams { max_disparity: 8, max_cost_per_pixel: 0.01, ..Default::default() };
+        let params = BlockMatchParams {
+            max_disparity: 8,
+            max_cost_per_pixel: 0.01,
+            ..Default::default()
+        };
         let map = block_match(&left, &right, &params).unwrap();
         assert!(map.valid_fraction() < 0.5);
     }
@@ -280,7 +325,12 @@ mod tests {
         let a = Image::zeros(8, 8);
         let b = Image::zeros(9, 8);
         assert!(block_match(&a, &b, &BlockMatchParams::default()).is_err());
-        assert!(block_match(&Image::default(), &Image::default(), &BlockMatchParams::default()).is_err());
+        assert!(block_match(
+            &Image::default(),
+            &Image::default(),
+            &BlockMatchParams::default()
+        )
+        .is_err());
         let init = DisparityMap::invalid(4, 4);
         assert!(refine_with_initial(&a, &a, &init, &BlockMatchParams::default()).is_err());
     }

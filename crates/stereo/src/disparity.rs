@@ -23,7 +23,9 @@ pub enum StereoError {
 impl fmt::Display for StereoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StereoError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+            StereoError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
             StereoError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
         }
     }
@@ -34,12 +36,16 @@ impl Error for StereoError {}
 impl StereoError {
     /// Builds a [`StereoError::DimensionMismatch`] from anything displayable.
     pub fn dimension_mismatch(context: impl fmt::Display) -> Self {
-        StereoError::DimensionMismatch { context: context.to_string() }
+        StereoError::DimensionMismatch {
+            context: context.to_string(),
+        }
     }
 
     /// Builds a [`StereoError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
-        StereoError::InvalidParameter { context: context.to_string() }
+        StereoError::InvalidParameter {
+            context: context.to_string(),
+        }
     }
 }
 
@@ -65,12 +71,16 @@ pub const THREE_PIXEL_THRESHOLD: f32 = 3.0;
 impl DisparityMap {
     /// Creates a map with every pixel marked invalid.
     pub fn invalid(width: usize, height: usize) -> Self {
-        Self { values: Image::filled(width, height, INVALID_DISPARITY) }
+        Self {
+            values: Image::filled(width, height, INVALID_DISPARITY),
+        }
     }
 
     /// Creates a map filled with a constant disparity.
     pub fn constant(width: usize, height: usize, disparity: f32) -> Self {
-        Self { values: Image::filled(width, height, disparity) }
+        Self {
+            values: Image::filled(width, height, disparity),
+        }
     }
 
     /// Creates a map from a raw image of disparities (negative values are
@@ -81,7 +91,9 @@ impl DisparityMap {
 
     /// Creates a map by evaluating `f(x, y)` at every pixel.
     pub fn from_fn(width: usize, height: usize, f: impl FnMut(usize, usize) -> f32) -> Self {
-        Self { values: Image::from_fn(width, height, f) }
+        Self {
+            values: Image::from_fn(width, height, f),
+        }
     }
 
     /// Map width in pixels.
@@ -131,7 +143,7 @@ impl DisparityMap {
 
     /// Fraction of pixels that are valid.
     pub fn valid_fraction(&self) -> f64 {
-        if self.values.len() == 0 {
+        if self.values.is_empty() {
             return 0.0;
         }
         self.valid_count() as f64 / self.values.len() as f64
@@ -329,7 +341,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(StereoError::dimension_mismatch("x").to_string().contains('x'));
-        assert!(StereoError::invalid_parameter("y").to_string().contains('y'));
+        assert!(StereoError::dimension_mismatch("x")
+            .to_string()
+            .contains('x'));
+        assert!(StereoError::invalid_parameter("y")
+            .to_string()
+            .contains('y'));
     }
 }

@@ -63,8 +63,16 @@ fn aggregate_direction(volume: &CostVolume, dir: (isize, isize), p1: f32, p2: f3
 
     // Traversal order: along the direction, so the predecessor is already
     // computed.
-    let xs: Vec<usize> = if dir.0 > 0 { (0..width).collect() } else { (0..width).rev().collect() };
-    let ys: Vec<usize> = if dir.1 > 0 { (0..height).collect() } else { (0..height).rev().collect() };
+    let xs: Vec<usize> = if dir.0 > 0 {
+        (0..width).collect()
+    } else {
+        (0..width).rev().collect()
+    };
+    let ys: Vec<usize> = if dir.1 > 0 {
+        (0..height).collect()
+    } else {
+        (0..height).rev().collect()
+    };
 
     // For horizontal paths iterate x innermost; for vertical paths iterate y
     // innermost.  (For pure horizontal/vertical paths the other loop order is
@@ -81,11 +89,21 @@ fn aggregate_direction(volume: &CostVolume, dir: (isize, isize), p1: f32, p2: f3
                 continue;
             }
             let pbase = (py as usize * width + px as usize) * levels;
-            let prev_min = (0..levels).map(|d| agg[pbase + d]).fold(f32::INFINITY, f32::min);
+            let prev_min = (0..levels)
+                .map(|d| agg[pbase + d])
+                .fold(f32::INFINITY, f32::min);
             for d in 0..levels {
                 let same = agg[pbase + d];
-                let minus = if d > 0 { agg[pbase + d - 1] + p1 } else { f32::INFINITY };
-                let plus = if d + 1 < levels { agg[pbase + d + 1] + p1 } else { f32::INFINITY };
+                let minus = if d > 0 {
+                    agg[pbase + d - 1] + p1
+                } else {
+                    f32::INFINITY
+                };
+                let plus = if d + 1 < levels {
+                    agg[pbase + d + 1] + p1
+                } else {
+                    f32::INFINITY
+                };
                 let jump = prev_min + p2;
                 let best_prev = same.min(minus).min(plus).min(jump);
                 agg[base + d] = volume.cost(x, y, d) + best_prev - prev_min;
@@ -97,13 +115,31 @@ fn aggregate_direction(volume: &CostVolume, dir: (isize, isize), p1: f32, p2: f3
 
 /// Runs SGM over an already-built cost volume, returning the aggregated
 /// volume summed over all directions.
+///
+/// The four directional passes are independent; with the `parallel` feature
+/// they run concurrently on the rayon pool and are reduced in direction
+/// order, so the summation order matches the sequential build.
 fn aggregate_all(volume: &CostVolume, p1: f32, p2: f32) -> Vec<f32> {
     let width = volume.width();
     let height = volume.height();
     let levels = volume.num_disparities();
     let mut total = vec![0.0f32; width * height * levels];
-    for dir in DIRECTIONS {
-        let agg = aggregate_direction(volume, dir, p1, p2);
+
+    #[cfg(feature = "parallel")]
+    let aggregated: Vec<Vec<f32>> = {
+        use rayon::prelude::*;
+        DIRECTIONS
+            .par_iter()
+            .map(|&dir| aggregate_direction(volume, dir, p1, p2))
+            .collect()
+    };
+    #[cfg(not(feature = "parallel"))]
+    let aggregated: Vec<Vec<f32>> = DIRECTIONS
+        .iter()
+        .map(|&dir| aggregate_direction(volume, dir, p1, p2))
+        .collect();
+
+    for agg in aggregated {
         for (t, a) in total.iter_mut().zip(agg) {
             *t += a;
         }
@@ -151,12 +187,20 @@ fn winner_take_all(
 /// range.
 pub fn semi_global_match(left: &Image, right: &Image, params: &SgmParams) -> Result<DisparityMap> {
     if params.max_disparity == 0 {
-        return Err(StereoError::invalid_parameter("max_disparity must be non-zero"));
+        return Err(StereoError::invalid_parameter(
+            "max_disparity must be non-zero",
+        ));
     }
     let volume = CostVolume::from_pair(left, right, params.max_disparity, params.block)?;
     let levels = volume.num_disparities();
     let total = aggregate_all(&volume, params.p1, params.p2);
-    let mut map = winner_take_all(&total, volume.width(), volume.height(), levels, params.subpixel);
+    let mut map = winner_take_all(
+        &total,
+        volume.width(),
+        volume.height(),
+        levels,
+        params.subpixel,
+    );
 
     if params.left_right_check {
         // Match in the other direction by mirroring both images horizontally,
@@ -168,8 +212,13 @@ pub fn semi_global_match(left: &Image, right: &Image, params: &SgmParams) -> Res
         let mr = mirror(right);
         let volume_r = CostVolume::from_pair(&mr, &ml, params.max_disparity, params.block)?;
         let total_r = aggregate_all(&volume_r, params.p1, params.p2);
-        let map_r =
-            winner_take_all(&total_r, volume_r.width(), volume_r.height(), levels, params.subpixel);
+        let map_r = winner_take_all(
+            &total_r,
+            volume_r.width(),
+            volume_r.height(),
+            levels,
+            params.subpixel,
+        );
         let width = map.width();
         for y in 0..map.height() {
             for x in 0..width {
@@ -215,11 +264,17 @@ mod tests {
 
     /// Rectified pair with two fronto-parallel planes: background at disparity
     /// `bg`, a central square at disparity `fg`.
-    fn two_plane_pair(width: usize, height: usize, bg: usize, fg: usize) -> (Image, Image, DisparityMap) {
+    fn two_plane_pair(
+        width: usize,
+        height: usize,
+        bg: usize,
+        fg: usize,
+    ) -> (Image, Image, DisparityMap) {
         let texture = |x: isize, y: isize| -> f32 {
             let xf = x as f32;
             let yf = y as f32;
-            (xf * 0.61).sin() * (yf * 0.37).cos() + ((x.rem_euclid(5) * 3 + y.rem_euclid(7)) as f32) * 0.07
+            (xf * 0.61).sin() * (yf * 0.37).cos()
+                + ((x.rem_euclid(5) * 3 + y.rem_euclid(7)) as f32) * 0.07
         };
         let truth = DisparityMap::from_fn(width, height, |x, y| {
             let inside = x > width / 3 && x < 2 * width / 3 && y > height / 3 && y < 2 * height / 3;
@@ -254,7 +309,10 @@ mod tests {
     #[test]
     fn sgm_recovers_two_plane_scene() {
         let (l, r, truth) = two_plane_pair(48, 32, 4, 10);
-        let params = SgmParams { max_disparity: 16, ..Default::default() };
+        let params = SgmParams {
+            max_disparity: 16,
+            ..Default::default()
+        };
         let map = semi_global_match(&l, &r, &params).unwrap();
         let err = map.three_pixel_error(&truth).unwrap();
         assert!(err < 0.15, "three-pixel error {err}");
@@ -281,13 +339,19 @@ mod tests {
         let sgm_map = semi_global_match(
             &left,
             &right,
-            &SgmParams { max_disparity: 16, ..Default::default() },
+            &SgmParams {
+                max_disparity: 16,
+                ..Default::default()
+            },
         )
         .unwrap();
         let bm_map = crate::block_matching::block_match(
             &left,
             &right,
-            &crate::block_matching::BlockMatchParams { max_disparity: 16, ..Default::default() },
+            &crate::block_matching::BlockMatchParams {
+                max_disparity: 16,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sgm_err = sgm_map.error_rate(&truth, 1.0).unwrap();
@@ -301,13 +365,21 @@ mod tests {
         let no_check = semi_global_match(
             &l,
             &r,
-            &SgmParams { max_disparity: 16, left_right_check: false, ..Default::default() },
+            &SgmParams {
+                max_disparity: 16,
+                left_right_check: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let with_check = semi_global_match(
             &l,
             &r,
-            &SgmParams { max_disparity: 16, left_right_check: true, ..Default::default() },
+            &SgmParams {
+                max_disparity: 16,
+                left_right_check: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(no_check.valid_fraction(), 1.0);
@@ -318,17 +390,41 @@ mod tests {
     #[test]
     fn zero_disparity_range_is_rejected() {
         let img = Image::filled(8, 8, 1.0);
-        let params = SgmParams { max_disparity: 0, ..Default::default() };
+        let params = SgmParams {
+            max_disparity: 0,
+            ..Default::default()
+        };
         assert!(semi_global_match(&img, &img, &params).is_err());
     }
 
     #[test]
     fn op_count_scales_with_disparity_range() {
-        let small = sgm_op_count(100, 100, &SgmParams { max_disparity: 16, ..Default::default() });
-        let large = sgm_op_count(100, 100, &SgmParams { max_disparity: 64, ..Default::default() });
+        let small = sgm_op_count(
+            100,
+            100,
+            &SgmParams {
+                max_disparity: 16,
+                ..Default::default()
+            },
+        );
+        let large = sgm_op_count(
+            100,
+            100,
+            &SgmParams {
+                max_disparity: 64,
+                ..Default::default()
+            },
+        );
         assert!(large > 3 * small);
-        let checked =
-            sgm_op_count(100, 100, &SgmParams { max_disparity: 64, left_right_check: true, ..Default::default() });
+        let checked = sgm_op_count(
+            100,
+            100,
+            &SgmParams {
+                max_disparity: 64,
+                left_right_check: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(checked, 2 * large);
     }
 }

@@ -21,13 +21,21 @@ pub struct CameraRig {
 impl CameraRig {
     /// Creates a rig from baseline, focal length and pixel size in metres.
     pub fn new(baseline_m: f64, focal_length_m: f64, pixel_size_m: f64) -> Self {
-        Self { baseline_m, focal_length_m, pixel_size_m }
+        Self {
+            baseline_m,
+            focal_length_m,
+            pixel_size_m,
+        }
     }
 
     /// The industry-standard Bumblebee2 rig used in Fig. 4 of the paper:
     /// baseline 120 mm, focal length 2.5 mm, pixel size 7.4 µm.
     pub fn bumblebee2() -> Self {
-        Self { baseline_m: 0.120, focal_length_m: 2.5e-3, pixel_size_m: 7.4e-6 }
+        Self {
+            baseline_m: 0.120,
+            focal_length_m: 2.5e-3,
+            pixel_size_m: 7.4e-6,
+        }
     }
 
     /// Focal length expressed in pixels.

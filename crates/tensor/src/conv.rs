@@ -21,7 +21,10 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Self { stride: 1, padding: 0 }
+        Self {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ pub struct Conv3dParams {
 
 impl Default for Conv3dParams {
     fn default() -> Self {
-        Self { stride: 1, padding: 0 }
+        Self {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -65,6 +71,42 @@ pub fn deconv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize
     Some(grown - 2 * padding)
 }
 
+/// Runs `fill(n, oc, plane)` over every `(batch, output-channel)` plane of a
+/// contiguous NCHW-style buffer. Planes are disjoint, so with the `parallel`
+/// feature they are distributed over the rayon pool; the per-plane arithmetic
+/// (and therefore the result) is identical in both drivers.
+#[cfg(feature = "parallel")]
+pub(crate) fn drive_planes(
+    data: &mut [f32],
+    plane_len: usize,
+    planes_per_batch: usize,
+    fill: &(impl Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    use rayon::prelude::*;
+    if plane_len == 0 || data.is_empty() {
+        return;
+    }
+    data.par_chunks_mut(plane_len)
+        .enumerate()
+        .for_each(|(p, plane)| fill(p / planes_per_batch, p % planes_per_batch, plane));
+}
+
+/// Sequential fallback of the plane driver.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn drive_planes(
+    data: &mut [f32],
+    plane_len: usize,
+    planes_per_batch: usize,
+    fill: &(impl Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    if plane_len == 0 || data.is_empty() {
+        return;
+    }
+    for (p, plane) in data.chunks_mut(plane_len).enumerate() {
+        fill(p / planes_per_batch, p % planes_per_batch, plane);
+    }
+}
+
 /// Dense 2-D convolution of `input` (`N×Ci×H×W`) with `kernel`
 /// (`Co×Ci×KH×KW`).
 ///
@@ -86,37 +128,47 @@ pub fn conv2d(input: &Tensor4, kernel: &Tensor4, params: &Conv2dParams) -> Resul
         )));
     }
     let oh = conv_out_dim(ish.h, ksh.h, params.stride, params.padding).ok_or_else(|| {
-        TensorError::shape_mismatch(format!("conv2d: kernel {}x{} does not fit input {}", ksh.h, ksh.w, ish))
+        TensorError::shape_mismatch(format!(
+            "conv2d: kernel {}x{} does not fit input {}",
+            ksh.h, ksh.w, ish
+        ))
     })?;
     let ow = conv_out_dim(ish.w, ksh.w, params.stride, params.padding).ok_or_else(|| {
-        TensorError::shape_mismatch(format!("conv2d: kernel {}x{} does not fit input {}", ksh.h, ksh.w, ish))
+        TensorError::shape_mismatch(format!(
+            "conv2d: kernel {}x{} does not fit input {}",
+            ksh.h, ksh.w, ish
+        ))
     })?;
 
     let mut out = Tensor4::zeros(Shape4::new(ish.n, ksh.n, oh, ow));
     let pad = params.padding as isize;
-    for n in 0..ish.n {
-        for oc in 0..ksh.n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ic in 0..ish.c {
-                        for ky in 0..ksh.h {
-                            for kx in 0..ksh.w {
-                                let iy = (oy * params.stride + ky) as isize - pad;
-                                let ix = (ox * params.stride + kx) as isize - pad;
-                                if iy < 0 || ix < 0 || iy >= ish.h as isize || ix >= ish.w as isize {
-                                    continue;
-                                }
-                                acc += input.at(n, ic, iy as usize, ix as usize)
-                                    * kernel.at(oc, ic, ky, kx);
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    let fill = |n: usize, oc: usize, plane: &mut [f32]| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ic in 0..ish.c {
+                    for ky in 0..ksh.h {
+                        let iy = (oy * params.stride + ky) as isize - pad;
+                        if iy < 0 || iy >= ish.h as isize {
+                            continue;
+                        }
+                        for kx in 0..ksh.w {
+                            let ix = (ox * params.stride + kx) as isize - pad;
+                            if ix < 0 || ix >= ish.w as isize {
+                                continue;
                             }
+                            acc += in_data[ish.index(n, ic, iy as usize, ix as usize)]
+                                * k_data[ksh.index(oc, ic, ky, kx)];
                         }
                     }
-                    out.set(n, oc, oy, ox, acc);
                 }
+                plane[oy * ow + ox] = acc;
             }
         }
-    }
+    };
+    drive_planes(out.as_mut_slice(), oh * ow, ksh.n, &fill);
     Ok(out)
 }
 
@@ -153,40 +205,42 @@ pub fn conv3d(input: &Tensor5, kernel: &Tensor5, params: &Conv3dParams) -> Resul
 
     let mut out = Tensor5::zeros(Shape5::new(ish.n, ksh.n, od, oh, ow));
     let pad = params.padding as isize;
-    for n in 0..ish.n {
-        for oc in 0..ksh.n {
-            for oz in 0..od {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ic in 0..ish.c {
-                            for kz in 0..ksh.d {
-                                for ky in 0..ksh.h {
-                                    for kx in 0..ksh.w {
-                                        let iz = (oz * params.stride + kz) as isize - pad;
-                                        let iy = (oy * params.stride + ky) as isize - pad;
-                                        let ix = (ox * params.stride + kx) as isize - pad;
-                                        if iz < 0
-                                            || iy < 0
-                                            || ix < 0
-                                            || iz >= ish.d as isize
-                                            || iy >= ish.h as isize
-                                            || ix >= ish.w as isize
-                                        {
-                                            continue;
-                                        }
-                                        acc += input.at(n, ic, iz as usize, iy as usize, ix as usize)
-                                            * kernel.at(oc, ic, kz, ky, kx);
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    let fill = |n: usize, oc: usize, plane: &mut [f32]| {
+        for oz in 0..od {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ic in 0..ish.c {
+                        for kz in 0..ksh.d {
+                            let iz = (oz * params.stride + kz) as isize - pad;
+                            if iz < 0 || iz >= ish.d as isize {
+                                continue;
+                            }
+                            for ky in 0..ksh.h {
+                                let iy = (oy * params.stride + ky) as isize - pad;
+                                if iy < 0 || iy >= ish.h as isize {
+                                    continue;
+                                }
+                                for kx in 0..ksh.w {
+                                    let ix = (ox * params.stride + kx) as isize - pad;
+                                    if ix < 0 || ix >= ish.w as isize {
+                                        continue;
                                     }
+                                    acc += in_data
+                                        [ish.index(n, ic, iz as usize, iy as usize, ix as usize)]
+                                        * k_data[ksh.index(oc, ic, kz, ky, kx)];
                                 }
                             }
                         }
-                        out.set(n, oc, oz, oy, ox, acc);
                     }
+                    plane[(oz * oh + oy) * ow + ox] = acc;
                 }
             }
         }
-    }
+    };
+    drive_planes(out.as_mut_slice(), od * oh * ow, ksh.n, &fill);
     Ok(out)
 }
 
@@ -220,34 +274,33 @@ pub fn sad_conv2d(input: &Tensor4, kernel: &Tensor4, params: &Conv2dParams) -> R
 
     let mut out = Tensor4::zeros(Shape4::new(ish.n, ksh.n, oh, ow));
     let pad = params.padding as isize;
-    for n in 0..ish.n {
-        for oc in 0..ksh.n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0f32;
-                    for ic in 0..ish.c {
-                        for ky in 0..ksh.h {
-                            for kx in 0..ksh.w {
-                                let iy = (oy * params.stride + ky) as isize - pad;
-                                let ix = (ox * params.stride + kx) as isize - pad;
-                                let input_val = if iy < 0
-                                    || ix < 0
-                                    || iy >= ish.h as isize
-                                    || ix >= ish.w as isize
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    let fill = |n: usize, oc: usize, plane: &mut [f32]| {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ic in 0..ish.c {
+                    for ky in 0..ksh.h {
+                        for kx in 0..ksh.w {
+                            let iy = (oy * params.stride + ky) as isize - pad;
+                            let ix = (ox * params.stride + kx) as isize - pad;
+                            let input_val =
+                                if iy < 0 || ix < 0 || iy >= ish.h as isize || ix >= ish.w as isize
                                 {
                                     0.0
                                 } else {
-                                    input.at(n, ic, iy as usize, ix as usize)
+                                    in_data[ish.index(n, ic, iy as usize, ix as usize)]
                                 };
-                                acc += (input_val - kernel.at(oc, ic, ky, kx)).abs();
-                            }
+                            acc += (input_val - k_data[ksh.index(oc, ic, ky, kx)]).abs();
                         }
                     }
-                    out.set(n, oc, oy, ox, acc);
                 }
+                plane[oy * ow + ox] = acc;
             }
         }
-    }
+    };
+    drive_planes(out.as_mut_slice(), oh * ow, ksh.n, &fill);
     Ok(out)
 }
 
@@ -285,7 +338,15 @@ mod tests {
         let input = simple_input();
         let mut kernel = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
         kernel.set(0, 0, 1, 1, 1.0);
-        let out = conv2d(&input, &kernel, &Conv2dParams { stride: 1, padding: 1 }).unwrap();
+        let out = conv2d(
+            &input,
+            &kernel,
+            &Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(out.shape(), input.shape());
         assert!(out.max_abs_diff(&input).unwrap() < 1e-6);
     }
@@ -304,7 +365,15 @@ mod tests {
         let input = simple_input();
         let mut kernel = Tensor4::zeros(Shape4::new(1, 1, 1, 1));
         kernel.set(0, 0, 0, 0, 1.0);
-        let out = conv2d(&input, &kernel, &Conv2dParams { stride: 2, padding: 0 }).unwrap();
+        let out = conv2d(
+            &input,
+            &kernel,
+            &Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(out.shape(), Shape4::new(1, 1, 2, 2));
         assert_eq!(out.at(0, 0, 0, 0), 0.0);
         assert_eq!(out.at(0, 0, 0, 1), 2.0);
@@ -332,23 +401,38 @@ mod tests {
     fn zero_stride_is_error() {
         let input = Tensor4::zeros(Shape4::new(1, 1, 4, 4));
         let kernel = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
-        assert!(conv2d(&input, &kernel, &Conv2dParams { stride: 0, padding: 0 }).is_err());
-        assert!(sad_conv2d(&input, &kernel, &Conv2dParams { stride: 0, padding: 0 }).is_err());
+        assert!(conv2d(
+            &input,
+            &kernel,
+            &Conv2dParams {
+                stride: 0,
+                padding: 0
+            }
+        )
+        .is_err());
+        assert!(sad_conv2d(
+            &input,
+            &kernel,
+            &Conv2dParams {
+                stride: 0,
+                padding: 0
+            }
+        )
+        .is_err());
         assert!(conv3d(
             &Tensor5::zeros(Shape5::new(1, 1, 2, 2, 2)),
             &Tensor5::zeros(Shape5::new(1, 1, 1, 1, 1)),
-            &Conv3dParams { stride: 0, padding: 0 }
+            &Conv3dParams {
+                stride: 0,
+                padding: 0
+            }
         )
         .is_err());
     }
 
     #[test]
     fn sad_conv_computes_absolute_differences() {
-        let input = Tensor4::from_vec(
-            Shape4::new(1, 1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let input = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let kernel = Tensor4::filled(Shape4::new(1, 1, 2, 2), 2.5);
         let out = sad_conv2d(&input, &kernel, &Conv2dParams::default()).unwrap();
         // |1-2.5| + |2-2.5| + |3-2.5| + |4-2.5| = 1.5 + 0.5 + 0.5 + 1.5 = 4
@@ -366,7 +450,9 @@ mod tests {
 
     #[test]
     fn conv3d_identity_kernel() {
-        let input = Tensor5::from_fn(Shape5::new(1, 1, 3, 3, 3), |_, _, d, h, w| (d * 9 + h * 3 + w) as f32);
+        let input = Tensor5::from_fn(Shape5::new(1, 1, 3, 3, 3), |_, _, d, h, w| {
+            (d * 9 + h * 3 + w) as f32
+        });
         let mut kernel = Tensor5::zeros(Shape5::new(1, 1, 1, 1, 1));
         kernel.set(0, 0, 0, 0, 0, 1.0);
         let out = conv3d(&input, &kernel, &Conv3dParams::default()).unwrap();
@@ -393,7 +479,10 @@ mod tests {
     fn mac_count_matches_loop_structure() {
         let input = Shape4::new(1, 3, 8, 8);
         let kernel = Shape4::new(16, 3, 3, 3);
-        let params = Conv2dParams { stride: 1, padding: 1 };
+        let params = Conv2dParams {
+            stride: 1,
+            padding: 1,
+        };
         // 1 * 16 output channels * 8*8 outputs * 3*3*3 per output
         assert_eq!(conv2d_mac_count(input, kernel, &params), 16 * 64 * 27);
     }

@@ -37,7 +37,10 @@ pub struct DeconvParams {
 
 impl Default for DeconvParams {
     fn default() -> Self {
-        Self { stride: 2, padding: 0 }
+        Self {
+            stride: 2,
+            padding: 0,
+        }
     }
 }
 
@@ -87,7 +90,14 @@ pub fn zero_insert_upsample3d(input: &Tensor5, stride: usize) -> Result<Tensor5>
             for d in 0..ish.d {
                 for h in 0..ish.h {
                     for w in 0..ish.w {
-                        out.set(n, c, d * stride, h * stride, w * stride, input.at(n, c, d, h, w));
+                        out.set(
+                            n,
+                            c,
+                            d * stride,
+                            h * stride,
+                            w * stride,
+                            input.at(n, c, d, h, w),
+                        );
                     }
                 }
             }
@@ -99,7 +109,9 @@ pub fn zero_insert_upsample3d(input: &Tensor5, stride: usize) -> Result<Tensor5>
 /// Flips a 2-D kernel along both spatial axes (per output/input channel).
 fn flip_kernel2d(kernel: &Tensor4) -> Tensor4 {
     let sh = kernel.shape();
-    Tensor4::from_fn(sh, |oc, ic, ky, kx| kernel.at(oc, ic, sh.h - 1 - ky, sh.w - 1 - kx))
+    Tensor4::from_fn(sh, |oc, ic, ky, kx| {
+        kernel.at(oc, ic, sh.h - 1 - ky, sh.w - 1 - kx)
+    })
 }
 
 /// Flips a 3-D kernel along all three spatial axes.
@@ -156,7 +168,14 @@ pub fn deconv2d_zero_insert(
         ));
     }
     let conv_pad = full_pad_h - params.padding;
-    let out = conv2d(&upsampled, &flipped, &Conv2dParams { stride: 1, padding: conv_pad })?;
+    let out = conv2d(
+        &upsampled,
+        &flipped,
+        &Conv2dParams {
+            stride: 1,
+            padding: conv_pad,
+        },
+    )?;
     let osh = out.shape();
     if osh.h != expected_h || osh.w != expected_w {
         // Non-square kernels with padding can need asymmetric cropping; crop or
@@ -179,7 +198,11 @@ pub fn deconv2d_zero_insert(
 ///
 /// Returns an error when the kernel/input channel counts disagree or the
 /// stride is zero.
-pub fn deconv2d_scatter(input: &Tensor4, kernel: &Tensor4, params: &DeconvParams) -> Result<Tensor4> {
+pub fn deconv2d_scatter(
+    input: &Tensor4,
+    kernel: &Tensor4,
+    params: &DeconvParams,
+) -> Result<Tensor4> {
     if params.stride == 0 {
         return Err(TensorError::invalid_parameter("stride must be non-zero"));
     }
@@ -197,30 +220,39 @@ pub fn deconv2d_scatter(input: &Tensor4, kernel: &Tensor4, params: &DeconvParams
         .ok_or_else(|| TensorError::invalid_parameter("deconv output width underflows"))?;
     let mut out = Tensor4::zeros(Shape4::new(ish.n, ksh.c, oh, ow));
     let pad = params.padding as isize;
-    for n in 0..ish.n {
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    // Each (batch, output-channel) plane receives scatters from every input
+    // pixel but from no other plane, so the planes parallelize; a given
+    // output cell still accumulates its contributions in (ic, iy, ix, ky, kx)
+    // order, exactly as the original scatter order did.
+    let fill = |n: usize, oc: usize, plane: &mut [f32]| {
         for ic in 0..ish.c {
             for iy in 0..ish.h {
                 for ix in 0..ish.w {
-                    let v = input.at(n, ic, iy, ix);
+                    let v = in_data[ish.index(n, ic, iy, ix)];
                     if v == 0.0 {
                         continue;
                     }
-                    for oc in 0..ksh.c {
-                        for ky in 0..ksh.h {
-                            for kx in 0..ksh.w {
-                                let oy = (iy * params.stride + ky) as isize - pad;
-                                let ox = (ix * params.stride + kx) as isize - pad;
-                                if oy < 0 || ox < 0 || oy >= oh as isize || ox >= ow as isize {
-                                    continue;
-                                }
-                                out.add_at(n, oc, oy as usize, ox as usize, v * kernel.at(ic, oc, ky, kx));
+                    for ky in 0..ksh.h {
+                        let oy = (iy * params.stride + ky) as isize - pad;
+                        if oy < 0 || oy >= oh as isize {
+                            continue;
+                        }
+                        for kx in 0..ksh.w {
+                            let ox = (ix * params.stride + kx) as isize - pad;
+                            if ox < 0 || ox >= ow as isize {
+                                continue;
                             }
+                            plane[oy as usize * ow + ox as usize] +=
+                                v * k_data[ksh.index(ic, oc, ky, kx)];
                         }
                     }
                 }
             }
         }
-    }
+    };
+    crate::conv::drive_planes(out.as_mut_slice(), oh * ow, ksh.c, &fill);
     Ok(out)
 }
 
@@ -231,7 +263,11 @@ pub fn deconv2d_scatter(input: &Tensor4, kernel: &Tensor4, params: &DeconvParams
 ///
 /// Returns an error when the kernel/input channel counts disagree or the
 /// stride is zero.
-pub fn deconv3d_scatter(input: &Tensor5, kernel: &Tensor5, params: &DeconvParams) -> Result<Tensor5> {
+pub fn deconv3d_scatter(
+    input: &Tensor5,
+    kernel: &Tensor5,
+    params: &DeconvParams,
+) -> Result<Tensor5> {
     if params.stride == 0 {
         return Err(TensorError::invalid_parameter("stride must be non-zero"));
     }
@@ -251,40 +287,36 @@ pub fn deconv3d_scatter(input: &Tensor5, kernel: &Tensor5, params: &DeconvParams
         .ok_or_else(|| TensorError::invalid_parameter("deconv output width underflows"))?;
     let mut out = Tensor5::zeros(Shape5::new(ish.n, ksh.c, od, oh, ow));
     let pad = params.padding as isize;
-    for n in 0..ish.n {
+    let in_data = input.as_slice();
+    let k_data = kernel.as_slice();
+    // Plane-parallel scatter; see `deconv2d_scatter` for the ordering
+    // argument.
+    let fill = |n: usize, oc: usize, plane: &mut [f32]| {
         for ic in 0..ish.c {
             for iz in 0..ish.d {
                 for iy in 0..ish.h {
                     for ix in 0..ish.w {
-                        let v = input.at(n, ic, iz, iy, ix);
+                        let v = in_data[ish.index(n, ic, iz, iy, ix)];
                         if v == 0.0 {
                             continue;
                         }
-                        for oc in 0..ksh.c {
-                            for kz in 0..ksh.d {
-                                for ky in 0..ksh.h {
-                                    for kx in 0..ksh.w {
-                                        let oz = (iz * params.stride + kz) as isize - pad;
-                                        let oy = (iy * params.stride + ky) as isize - pad;
-                                        let ox = (ix * params.stride + kx) as isize - pad;
-                                        if oz < 0
-                                            || oy < 0
-                                            || ox < 0
-                                            || oz >= od as isize
-                                            || oy >= oh as isize
-                                            || ox >= ow as isize
-                                        {
-                                            continue;
-                                        }
-                                        out.add_at(
-                                            n,
-                                            oc,
-                                            oz as usize,
-                                            oy as usize,
-                                            ox as usize,
-                                            v * kernel.at(ic, oc, kz, ky, kx),
-                                        );
+                        for kz in 0..ksh.d {
+                            let oz = (iz * params.stride + kz) as isize - pad;
+                            if oz < 0 || oz >= od as isize {
+                                continue;
+                            }
+                            for ky in 0..ksh.h {
+                                let oy = (iy * params.stride + ky) as isize - pad;
+                                if oy < 0 || oy >= oh as isize {
+                                    continue;
+                                }
+                                for kx in 0..ksh.w {
+                                    let ox = (ix * params.stride + kx) as isize - pad;
+                                    if ox < 0 || ox >= ow as isize {
+                                        continue;
                                     }
+                                    plane[(oz as usize * oh + oy as usize) * ow + ox as usize] +=
+                                        v * k_data[ksh.index(ic, oc, kz, ky, kx)];
                                 }
                             }
                         }
@@ -292,7 +324,8 @@ pub fn deconv3d_scatter(input: &Tensor5, kernel: &Tensor5, params: &DeconvParams
                 }
             }
         }
-    }
+    };
+    crate::conv::drive_planes(out.as_mut_slice(), od * oh * ow, ksh.c, &fill);
     Ok(out)
 }
 
@@ -324,12 +357,20 @@ pub fn deconv3d_zero_insert(
         ));
     }
     let upsampled = zero_insert_upsample3d(input, params.stride)?;
-    let swapped = Tensor5::from_fn(Shape5::new(ksh.c, ksh.n, ksh.d, ksh.h, ksh.w), |oc, ic, kd, ky, kx| {
-        kernel.at(ic, oc, kd, ky, kx)
-    });
+    let swapped = Tensor5::from_fn(
+        Shape5::new(ksh.c, ksh.n, ksh.d, ksh.h, ksh.w),
+        |oc, ic, kd, ky, kx| kernel.at(ic, oc, kd, ky, kx),
+    );
     let flipped = flip_kernel3d(&swapped);
     let conv_pad = ksh.d - 1 - params.padding;
-    conv3d(&upsampled, &flipped, &Conv3dParams { stride: 1, padding: conv_pad })
+    conv3d(
+        &upsampled,
+        &flipped,
+        &Conv3dParams {
+            stride: 1,
+            padding: conv_pad,
+        },
+    )
 }
 
 /// Fraction of multiply-accumulate operations in a zero-insertion
@@ -376,7 +417,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let input = Tensor4::random(Shape4::new(1, 2, 4, 5), -1.0, 1.0, &mut rng);
         let kernel = Tensor4::random(Shape4::new(2, 3, 3, 3), -1.0, 1.0, &mut rng);
-        let params = DeconvParams { stride: 2, padding: 0 };
+        let params = DeconvParams {
+            stride: 2,
+            padding: 0,
+        };
         let a = deconv2d_zero_insert(&input, &kernel, &params).unwrap();
         let b = deconv2d_scatter(&input, &kernel, &params).unwrap();
         assert_eq!(a.shape(), b.shape());
@@ -388,7 +432,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(13);
         let input = Tensor4::random(Shape4::new(1, 1, 5, 5), -1.0, 1.0, &mut rng);
         let kernel = Tensor4::random(Shape4::new(1, 2, 4, 4), -1.0, 1.0, &mut rng);
-        let params = DeconvParams { stride: 2, padding: 1 };
+        let params = DeconvParams {
+            stride: 2,
+            padding: 1,
+        };
         let a = deconv2d_zero_insert(&input, &kernel, &params).unwrap();
         let b = deconv2d_scatter(&input, &kernel, &params).unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
@@ -400,7 +447,15 @@ mod tests {
         // extra padding of the upsampled map produces a 5x5 ofmap.
         let input = Tensor4::filled(Shape4::new(1, 1, 3, 3), 1.0);
         let kernel = Tensor4::filled(Shape4::new(1, 1, 3, 3), 1.0);
-        let out = deconv2d_scatter(&input, &kernel, &DeconvParams { stride: 2, padding: 1 }).unwrap();
+        let out = deconv2d_scatter(
+            &input,
+            &kernel,
+            &DeconvParams {
+                stride: 2,
+                padding: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(out.shape(), Shape4::new(1, 1, 5, 5));
     }
 
@@ -417,7 +472,15 @@ mod tests {
         let mut input = Tensor4::zeros(Shape4::new(1, 1, 3, 3));
         input.set(0, 0, 0, 0, 1.0);
         let kernel = Tensor4::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w + 1) as f32);
-        let out = deconv2d_scatter(&input, &kernel, &DeconvParams { stride: 2, padding: 1 }).unwrap();
+        let out = deconv2d_scatter(
+            &input,
+            &kernel,
+            &DeconvParams {
+                stride: 2,
+                padding: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(out.at(0, 0, 0, 0), 5.0);
         assert_eq!(out.at(0, 0, 0, 1), 6.0);
         assert_eq!(out.at(0, 0, 1, 1), 9.0);
@@ -436,7 +499,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let input = Tensor5::random(Shape5::new(1, 2, 3, 3, 3), -1.0, 1.0, &mut rng);
         let kernel = Tensor5::random(Shape5::new(2, 2, 3, 3, 3), -1.0, 1.0, &mut rng);
-        let params = DeconvParams { stride: 2, padding: 1 };
+        let params = DeconvParams {
+            stride: 2,
+            padding: 1,
+        };
         let a = deconv3d_zero_insert(&input, &kernel, &params).unwrap();
         let b = deconv3d_scatter(&input, &kernel, &params).unwrap();
         assert_eq!(a.shape(), b.shape());

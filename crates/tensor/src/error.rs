@@ -30,7 +30,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::DataLength { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             TensorError::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
@@ -43,12 +46,16 @@ impl Error for TensorError {}
 impl TensorError {
     /// Builds a [`TensorError::ShapeMismatch`] from anything displayable.
     pub fn shape_mismatch(context: impl fmt::Display) -> Self {
-        TensorError::ShapeMismatch { context: context.to_string() }
+        TensorError::ShapeMismatch {
+            context: context.to_string(),
+        }
     }
 
     /// Builds a [`TensorError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
-        TensorError::InvalidParameter { context: context.to_string() }
+        TensorError::InvalidParameter {
+            context: context.to_string(),
+        }
     }
 }
 
@@ -58,7 +65,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = TensorError::DataLength { expected: 4, actual: 3 };
+        let e = TensorError::DataLength {
+            expected: 4,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
         let e = TensorError::shape_mismatch("kernel channels 3 vs ifmap channels 2");
         assert!(e.to_string().contains("kernel channels"));

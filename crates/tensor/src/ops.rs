@@ -34,7 +34,9 @@ pub fn sigmoid(input: &Tensor4) -> Tensor4 {
 /// [`TensorError::ShapeMismatch`] when the window does not fit.
 pub fn max_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
     if window == 0 {
-        return Err(TensorError::invalid_parameter("pooling window must be non-zero"));
+        return Err(TensorError::invalid_parameter(
+            "pooling window must be non-zero",
+        ));
     }
     let ish = input.shape();
     if ish.h < window || ish.w < window {
@@ -70,7 +72,9 @@ pub fn max_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
 /// Same error conditions as [`max_pool2d`].
 pub fn avg_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
     if window == 0 {
-        return Err(TensorError::invalid_parameter("pooling window must be non-zero"));
+        return Err(TensorError::invalid_parameter(
+            "pooling window must be non-zero",
+        ));
     }
     let ish = input.shape();
     if ish.h < window || ish.w < window {
@@ -110,7 +114,9 @@ pub fn avg_pool2d(input: &Tensor4, window: usize) -> Result<Tensor4> {
 /// Returns [`TensorError::InvalidParameter`] when `factor == 0`.
 pub fn bilinear_upsample2d(input: &Tensor4, factor: usize) -> Result<Tensor4> {
     if factor == 0 {
-        return Err(TensorError::invalid_parameter("upsample factor must be non-zero"));
+        return Err(TensorError::invalid_parameter(
+            "upsample factor must be non-zero",
+        ));
     }
     let ish = input.shape();
     let oh = ish.h * factor;
@@ -148,7 +154,11 @@ pub fn bilinear_upsample2d(input: &Tensor4, factor: usize) -> Result<Tensor4> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add(a: &Tensor4, b: &Tensor4) -> Result<Tensor4> {
     if a.shape() != b.shape() {
-        return Err(TensorError::shape_mismatch(format!("add: {} vs {}", a.shape(), b.shape())));
+        return Err(TensorError::shape_mismatch(format!(
+            "add: {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
     }
     let mut out = a.clone();
     for (o, v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
@@ -166,7 +176,9 @@ pub fn add(a: &Tensor4, b: &Tensor4) -> Result<Tensor4> {
 pub fn concat_channels(a: &Tensor4, b: &Tensor4) -> Result<Tensor4> {
     let (sa, sb) = (a.shape(), b.shape());
     if sa.n != sb.n || sa.h != sb.h || sa.w != sb.w {
-        return Err(TensorError::shape_mismatch(format!("concat_channels: {sa} vs {sb}")));
+        return Err(TensorError::shape_mismatch(format!(
+            "concat_channels: {sa} vs {sb}"
+        )));
     }
     let out_shape = Shape4::new(sa.n, sa.c + sb.c, sa.h, sa.w);
     let mut out = Tensor4::zeros(out_shape);

@@ -21,12 +21,18 @@ pub struct Tensor4 {
 impl Tensor4 {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![0.0; shape.volume()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.volume()],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn filled(shape: Shape4, value: f32) -> Self {
-        Self { shape, data: vec![value; shape.volume()] }
+        Self {
+            shape,
+            data: vec![value; shape.volume()],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -36,7 +42,10 @@ impl Tensor4 {
     /// Returns [`TensorError::DataLength`] if `data.len() != shape.volume()`.
     pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Result<Self> {
         if data.len() != shape.volume() {
-            return Err(TensorError::DataLength { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::DataLength {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -173,12 +182,18 @@ pub struct Tensor5 {
 impl Tensor5 {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: Shape5) -> Self {
-        Self { shape, data: vec![0.0; shape.volume()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.volume()],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn filled(shape: Shape5, value: f32) -> Self {
-        Self { shape, data: vec![value; shape.volume()] }
+        Self {
+            shape,
+            data: vec![value; shape.volume()],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -188,7 +203,10 @@ impl Tensor5 {
     /// Returns [`TensorError::DataLength`] if `data.len() != shape.volume()`.
     pub fn from_vec(shape: Shape5, data: Vec<f32>) -> Result<Self> {
         if data.len() != shape.volume() {
-            return Err(TensorError::DataLength { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::DataLength {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -305,7 +323,13 @@ mod tests {
     #[test]
     fn from_vec_checks_length() {
         let err = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::DataLength { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::DataLength {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0; 4]).is_ok());
     }
 
@@ -350,13 +374,17 @@ mod tests {
 
     #[test]
     fn channel_plane_extracts_rows() {
-        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| (c * 100 + h * 10 + w) as f32);
+        let t = Tensor4::from_fn(Shape4::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 100 + h * 10 + w) as f32
+        });
         assert_eq!(t.channel_plane(0, 1), vec![100.0, 101.0, 110.0, 111.0]);
     }
 
     #[test]
     fn tensor5_roundtrip() {
-        let t = Tensor5::from_fn(Shape5::new(1, 1, 2, 2, 2), |_, _, d, h, w| (d * 4 + h * 2 + w) as f32);
+        let t = Tensor5::from_fn(Shape5::new(1, 1, 2, 2, 2), |_, _, d, h, w| {
+            (d * 4 + h * 2 + w) as f32
+        });
         assert_eq!(t.at(0, 0, 1, 1, 1), 7.0);
         assert_eq!(t.sum(), 28.0);
         let mut rng = SmallRng::seed_from_u64(3);

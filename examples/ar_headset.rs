@@ -32,7 +32,9 @@ fn main() {
         });
         // Full system variant (ISM + deconvolution optimizations).
         let report = system.per_frame_report(asv::perf::AsvVariant::IsmDco);
-        let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
+        let accuracy = system
+            .evaluate_accuracy(&sequence)
+            .expect("accuracy evaluates");
         let fps = report.fps();
         let mj = report.energy_joules * 1e3;
         let ok = fps >= TARGET_FPS && mj <= ENERGY_BUDGET_MJ;

@@ -13,7 +13,10 @@ use asv_dnn::zoo;
 fn main() {
     let network = zoo::flownetc(192, 384);
     println!("DCO speedup / energy reduction for FlowNetC, per hardware configuration\n");
-    println!("{:>10}  {:>10}  {:>9}  {:>14}", "PE array", "buffer", "speedup", "energy saved");
+    println!(
+        "{:>10}  {:>10}  {:>9}  {:>14}",
+        "PE array", "buffer", "speedup", "energy saved"
+    );
     for &buffer_kb in &[512u64, 1024, 1536, 2048, 3072] {
         for &dim in &[8usize, 16, 24, 32, 48] {
             let hw = HwConfig::asv_default()
@@ -35,8 +38,20 @@ fn main() {
 
     let budget = AreaPowerBudget::asv_16nm();
     println!("\nASV hardware extension overhead (16 nm, 24x24 PEs):");
-    println!("  per-PE area overhead:   {:.1}%", budget.pe_area_overhead() * 100.0);
-    println!("  per-PE power overhead:  {:.1}%", budget.pe_power_overhead() * 100.0);
-    println!("  total area overhead:    {:.2}%", budget.total_area_overhead() * 100.0);
-    println!("  total power overhead:   {:.2}%", budget.total_power_overhead() * 100.0);
+    println!(
+        "  per-PE area overhead:   {:.1}%",
+        budget.pe_area_overhead() * 100.0
+    );
+    println!(
+        "  per-PE power overhead:  {:.1}%",
+        budget.pe_power_overhead() * 100.0
+    );
+    println!(
+        "  total area overhead:    {:.2}%",
+        budget.total_area_overhead() * 100.0
+    );
+    println!(
+        "  total power overhead:   {:.2}%",
+        budget.total_power_overhead() * 100.0
+    );
 }

@@ -7,7 +7,6 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use asv::perf::AsvVariant;
 use asv::system::{AsvConfig, AsvSystem};
 use asv_scene::{SceneConfig, StereoSequence};
 
@@ -15,7 +14,12 @@ fn main() {
     // 1. Synthetic stereo video with exact ground-truth disparity.
     let scene = SceneConfig::scene_flow_like(96, 64).with_seed(42);
     let sequence = StereoSequence::generate(&scene, 6);
-    println!("generated {} stereo frames of {}x{}", sequence.len(), scene.width, scene.height);
+    println!(
+        "generated {} stereo frames of {}x{}",
+        sequence.len(),
+        scene.width,
+        scene.height
+    );
 
     // 2. The ASV system: ISM pipeline + accelerator performance model.
     let system = AsvSystem::new(AsvConfig {
@@ -27,7 +31,9 @@ fn main() {
     });
 
     // 3. Functional result: per-frame disparity maps.
-    let result = system.process_sequence(&sequence).expect("sequence processes");
+    let result = system
+        .process_sequence(&sequence)
+        .expect("sequence processes");
     println!(
         "processed {} frames: {} key frames, {} non-key frames",
         result.frames.len(),
@@ -36,7 +42,9 @@ fn main() {
     );
 
     // 4. Accuracy: ISM vs running the estimator on every frame (Fig. 9).
-    let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
+    let accuracy = system
+        .evaluate_accuracy(&sequence)
+        .expect("accuracy evaluates");
     println!(
         "three-pixel error: DNN-every-frame {:.2}%  ISM {:.2}%  (loss {:+.2} pp)",
         accuracy.dnn_error_rate * 100.0,

@@ -26,7 +26,9 @@ fn main() {
         frame_height: scene.height,
         network: "GC-Net".to_owned(),
     });
-    let result = system.process_sequence(&sequence).expect("sequence processes");
+    let result = system
+        .process_sequence(&sequence)
+        .expect("sequence processes");
 
     // The robot's camera rig: a wide-baseline version of the Bumblebee2.
     let rig = CameraRig::new(0.20, 2.5e-3, 7.4e-6);
@@ -46,7 +48,11 @@ fn main() {
         // The synthetic scene uses pixel-level disparities directly; scale
         // them to the rig's disparity range for the depth conversion.
         let depth_m = rig.depth_from_disparity_pixels(max_disparity as f64 * 4.0);
-        let action = if depth_m < CAUTION_DISTANCE_M { "SLOW DOWN" } else { "cruise" };
+        let action = if depth_m < CAUTION_DISTANCE_M {
+            "SLOW DOWN"
+        } else {
+            "cruise"
+        };
         let mode = match frame.kind {
             FrameKind::KeyFrame => "key (DNN)",
             FrameKind::NonKeyFrame => "non-key   ",
@@ -55,7 +61,9 @@ fn main() {
     }
 
     // Check the whole pipeline stays accurate enough for the task.
-    let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
+    let accuracy = system
+        .evaluate_accuracy(&sequence)
+        .expect("accuracy evaluates");
     println!(
         "\nthree-pixel error on this sequence: ISM {:.2}% vs per-frame DNN {:.2}%",
         accuracy.ism_error_rate * 100.0,

@@ -1,0 +1,229 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros — as a small wall-clock
+//! harness. It understands the standard harness flags cargo forwards
+//! (`--bench`, `--test`, name filters) so `cargo bench -- --test` smoke-runs
+//! every benchmark once without timing, exactly like the real crate. There is
+//! no statistical analysis: each benchmark reports min/mean over
+//! `sample_size` timed batches. Replace the `shims/criterion` path dependency
+//! with the real crate once a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point; parses the standard cargo-bench CLI flags.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags the libtest/criterion harness interface defines but
+                // this shim can ignore.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        if self.matches(id) {
+            run_benchmark(id, 20, test_mode, f);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, self.sample_size, self.criterion.test_mode, f);
+        }
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+    batch: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it in batches; in `--test` mode it runs once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.batch as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        let mut b = Bencher {
+            test_mode: true,
+            samples: Vec::new(),
+            batch: 1,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Calibrate a batch size so one timed batch is at least ~2 ms.
+    let mut calibrate = Bencher {
+        test_mode: false,
+        samples: Vec::with_capacity(1),
+        batch: 1,
+    };
+    f(&mut calibrate);
+    let once = calibrate
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_millis(2));
+    let batch =
+        (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64;
+
+    let mut b = Bencher {
+        test_mode: false,
+        samples: Vec::with_capacity(sample_size),
+        batch,
+    };
+    f(&mut b);
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len().max(1) as u32;
+    println!(
+        "{id:<48} min {:>12} mean {:>12} ({} samples x {batch})",
+        fmt(min),
+        fmt(mean),
+        b.samples.len()
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group generated by `criterion_group!`."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert_eq!(ran, 1, "--test mode runs each benchmark exactly once");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nope".into()),
+        };
+        let mut ran = 0;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+    }
+}

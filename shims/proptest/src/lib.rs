@@ -1,0 +1,256 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(...)]`, numeric-range
+//! strategies, `collection::vec`, `prop_assert!`, `prop_assert_eq!` and
+//! `prop_assume!`. Cases are drawn from the deterministic `rand` shim, so
+//! every run exercises the same inputs; there is no shrinking — a failing
+//! case panics with the drawn arguments in the message instead. Replace the
+//! `shims/proptest` path dependency with the real crate once a registry is
+//! reachable.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (stand-in for `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a drawn case did not run to completion.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`.
+    Reject,
+}
+
+/// A source of random values (stand-in for `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u64, u32, i64, i32, f32, f64);
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_inclusive + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` macro and its callers need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines randomized property tests (stand-in for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(
+                    0x70_72_6f_70 ^ stringify!($name).len() as u64,
+                );
+                let mut executed = 0u32;
+                let mut attempts = 0u32;
+                while executed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(64),
+                        "property {} rejected too many cases (prop_assume too strict)",
+                        stringify!($name),
+                    );
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    // The closure gives `prop_assume!` an early-exit channel.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => executed += 1,
+                        Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property. Cases are drawn from a fixed seed,
+/// so a failure always reproduces; re-run with a debugger or println instead
+/// of shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_assume_work(a in 0usize..10, b in 1u64..5) {
+            prop_assume!(a != 3);
+            prop_assert!(a < 10);
+            prop_assert_eq!(b.min(10), b);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in collection::vec(1usize..7, 1..=3)) {
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(v.iter().all(|&x| (1..7).contains(&x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..4) {
+                prop_assert!(x > 100);
+            }
+        }
+        inner();
+    }
+}

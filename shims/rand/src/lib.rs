@@ -1,0 +1,275 @@
+//! Offline stand-in for `rand`, implementing the `rand 0.8` API subset this
+//! workspace uses: `SmallRng::seed_from_u64`, `Rng::gen_range` over literal
+//! ranges, and `distributions::{Distribution, Uniform}`.
+//!
+//! The generator reproduces `rand 0.8`'s `SmallRng` on 64-bit platforms
+//! bit-for-bit — xoshiro256++ seeded through SplitMix64 — and the samplers
+//! use the same recipes as `rand 0.8`'s `Uniform*::sample_single` (the
+//! 23/52-bit `[1, 2)` exponent trick for floats, Lemire widening-multiply
+//! rejection for integers), so seeds calibrated against the real crate draw
+//! the same streams here. Replace the `shims/rand` path dependency with the
+//! real crate once a registry is reachable.
+
+use std::ops::Range;
+
+/// Low-level source of randomness (stand-in for `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generator construction (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open, like rand 0.8).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly (stand-in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// One uniform draw from `[0, 1)` via rand 0.8's `UniformFloat` recipe:
+/// 23 random mantissa bits through the `[1, 2)` exponent trick.
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    f32::from_bits(0x3F80_0000 | (rng.next_u32() >> 9)) - 1.0
+}
+
+/// As [`unit_f32`] with 52 mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    f64::from_bits(0x3FF0_0000_0000_0000 | (rng.next_u64() >> 12)) - 1.0
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty, $unit:ident);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                // rand 0.8's UniformFloat::sample_single: value0_1 * scale +
+                // low, retrying with a nudged-down scale on the (vanishingly
+                // rare) rounding edge where the result lands on `high`.
+                // Degenerate (empty) ranges collapse to `start`, as the
+                // multiply recipe did, so zero-sized inputs stay total.
+                let mut scale = self.end - self.start;
+                if scale <= 0.0 || scale.is_nan() {
+                    let _ = $unit(rng);
+                    return self.start;
+                }
+                loop {
+                    let res = $unit(rng) * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, unit_f32; f64, unit_f64);
+
+macro_rules! int_sample_range {
+    ($($t:ty, $u:ty, $draw:ident, $wide:ty);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // rand 0.8's UniformInt::sample_single: Lemire's widening
+                // multiply with a rejection zone.
+                let range = self.end.wrapping_sub(self.start) as $u;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$draw() as $u;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$u>::BITS) as $u;
+                    let lo = wide as $u;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    usize, u64, next_u64, u128;
+    u64, u64, next_u64, u128;
+    i64, u64, next_u64, u128;
+    isize, u64, next_u64, u128;
+    u32, u32, next_u32, u64;
+    i32, u32, next_u32, u64;
+);
+
+/// Concrete generators (stand-in for `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Bit-exact reproduction of `rand 0.8`'s `SmallRng` on 64-bit targets:
+    /// xoshiro256++ with the reference SplitMix64 seeding.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ reference update (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            // rand_xoshiro truncates (the ++ scrambler has strong low bits).
+            self.next_u64() as u32
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 state fill, as rand_xoshiro does.
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            Self { s }
+        }
+    }
+
+    /// Alias: the std generator is not cryptographic in this shim.
+    pub type StdRng = SmallRng;
+}
+
+/// Distributions (stand-in for `rand::distributions`).
+pub mod distributions {
+    use super::{RngCore, SampleRange};
+
+    /// A value-producing distribution (stand-in for
+    /// `rand::distributions::Distribution`).
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: Copy> Uniform<X> {
+        /// Creates a uniform distribution over `[low, high)`.
+        pub fn new(low: X, high: X) -> Self {
+            Self { low, high }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            // Same recipe as the float `gen_range` path (rand 0.8's
+            // UniformFloat): 23 mantissa bits through the [1, 2) exponent
+            // trick, then scale into [low, high).
+            super::unit_f32(rng) * (self.high - self.low) + self.low
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // As above with 52 mantissa bits.
+            super::unit_f64(rng) * (self.high - self.low) + self.low
+        }
+    }
+
+    macro_rules! uniform_int_dist {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    (self.low..self.high).sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    uniform_int_dist!(usize, u64, u32, i64, i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0.0f32..1.0), b.gen_range(0.0f32..1.0));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_range_sampling() {
+        let dist = Uniform::new(-1.0f32, 1.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,340 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access, so this crate re-implements
+//! the small parallel-iterator surface the workspace's kernels use on top of
+//! `std::thread::scope`: contiguous index chunks are distributed over
+//! `available_parallelism()` worker threads and results are stitched back in
+//! order. Unlike a mock, this delivers real multi-core speedups; unlike real
+//! rayon there is no work-stealing pool, so it is only suitable for the
+//! coarse-grained, evenly-sized row/plane chunks the kernels produce (which
+//! is exactly how they are written). On a single-core machine everything runs
+//! inline with zero thread overhead. Replace the `shims/rayon` path
+//! dependency with the real crate once a registry is reachable.
+
+use std::ops::Range;
+
+/// Number of worker threads the shim will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon-shim join worker panicked"))
+        })
+    }
+}
+
+/// Maps `f` over `0..n`, splitting the index range into one contiguous chunk
+/// per worker; results are returned in index order. The core primitive every
+/// adapter below is built on.
+fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for part in &mut out {
+        flat.append(part);
+    }
+    flat
+}
+
+/// Parallel iterator over `0..n` index ranges.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+/// Parallel map adapter over an index range.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl ParRange {
+    /// Maps each index through `f`.
+    pub fn map<T, F: Fn(usize) -> T + Sync>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` for every index (in parallel across chunks).
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        let lo = self.range.start;
+        par_map_indexed(self.range.len(), |i| f(lo + i));
+    }
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
+    /// Collects the mapped values in index order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let lo = self.range.start;
+        let f = self.f;
+        par_map_indexed(self.range.len(), |i| f(lo + i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs the map for its side effects, discarding results.
+    pub fn for_each<G: Fn(T) + Sync>(self, g: G) {
+        let lo = self.range.start;
+        let f = self.f;
+        par_map_indexed(self.range.len(), |i| g(f(lo + i)));
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        let lo = self.range.start;
+        let f = self.f;
+        par_map_indexed(self.range.len(), |i| f(lo + i))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Conversion into a parallel iterator (stand-in for
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over an immutable slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps each element through `f`, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParSliceMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let slice = self.slice;
+        par_map_indexed(slice.len(), |i| f(&slice[i]));
+    }
+}
+
+/// Parallel map adapter over an immutable slice.
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParSliceMap<'a, T, F> {
+    /// Collects the mapped values in order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let slice = self.slice;
+        let f = self.f;
+        par_map_indexed(slice.len(), |i| f(&slice[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `par_iter` on slices (stand-in for `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item;
+    /// The parallel-iterator type.
+    type Iter;
+    /// Borrowing parallel iterator over `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over mutable, non-overlapping chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attaches the chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        run_chunks(self.chunks, |_, c| f(c));
+    }
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        run_chunks(self.chunks, |i, c| f((i, c)));
+    }
+}
+
+/// Distributes pre-split mutable chunks over the workers. Chunks are handed
+/// out round-robin so a contiguous prefix/suffix imbalance spreads evenly.
+fn run_chunks<T: Send, F: Fn(usize, &mut [T]) + Sync>(chunks: Vec<&mut [T]>, f: F) {
+    let workers = current_num_threads().min(chunks.len().max(1));
+    if workers <= 1 || chunks.len() <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let mut lanes: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, c) in chunks.into_iter().enumerate() {
+        lanes[i % workers].push((i, c));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, c) in lane {
+                        f(i, c);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("rayon-shim worker panicked");
+        }
+    });
+}
+
+/// `par_chunks_mut` on slices (stand-in for `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable chunks of `chunk_size` elements.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// The usual glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn chunks_mut_writes_every_chunk() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn slice_par_iter_maps() {
+        let data = vec![1.0f32; 64];
+        let doubled: Vec<f32> = data.par_iter().map(|&v| v * 2.0).collect();
+        assert!(doubled.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_owned() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn range_sum_matches_sequential() {
+        let s: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 4950);
+    }
+}

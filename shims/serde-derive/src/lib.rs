@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! cannot be fetched. The workspace only uses `#[derive(Serialize,
+//! Deserialize)]` as a forward-compatibility marker (nothing serializes yet),
+//! and the sibling `serde` shim provides blanket trait impls, so these derives
+//! can simply expand to nothing. Swap the `shims/serde*` path dependencies for
+//! the real crates once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

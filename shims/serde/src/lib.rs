@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive, exactly
+//! like the real crate layout) so the workspace compiles without network
+//! access. The traits are blanket-implemented markers: the codebase only
+//! derives them for forward compatibility and never serializes, so no
+//! data-format machinery is needed. Replace the `shims/serde*` path
+//! dependencies with the real crates once a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}

@@ -4,6 +4,38 @@
 //! examples and integration tests can address the whole system through a
 //! single dependency.  Library users should normally depend on the individual
 //! crates (`asv`, `asv-stereo`, `asv-dataflow`, ...) directly.
+//!
+//! The system entry points are reachable both through the `asv` member crate
+//! and through this facade's re-exports; both paths below name the same
+//! items:
+//!
+//! ```
+//! use asv::system::{AsvConfig, AsvSystem};
+//! use asv_system::asv::AsvConfig as FacadeConfig;
+//!
+//! let direct = AsvConfig::small();
+//! let via_facade = FacadeConfig::small();
+//! assert_eq!(direct, via_facade);
+//! let _system = AsvSystem::new(direct);
+//! ```
+//!
+//! Errors from any layer unify into [`AsvError`]:
+//!
+//! ```
+//! use asv_system::AsvError;
+//!
+//! fn demo() -> Result<(), AsvError> {
+//!     let bad = asv_system::tensor::Tensor4::from_vec(
+//!         asv_system::tensor::Shape4::new(1, 1, 2, 2),
+//!         vec![0.0; 3],
+//!     );
+//!     match bad {
+//!         Err(e) => Err(e.into()),
+//!         Ok(_) => Ok(()),
+//!     }
+//! }
+//! assert!(matches!(demo(), Err(AsvError::Tensor(_))));
+//! ```
 
 pub use asv;
 pub use asv_accel as accel;
@@ -15,6 +47,8 @@ pub use asv_image as image;
 pub use asv_scene as scene;
 pub use asv_stereo as stereo;
 pub use asv_tensor as tensor;
+
+pub use asv::error::AsvError;
 
 #[cfg(test)]
 mod tests {

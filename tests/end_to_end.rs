@@ -16,7 +16,9 @@ use rand::SeedableRng;
 
 fn small_sequence(seed: u64, frames: usize) -> StereoSequence {
     StereoSequence::generate(
-        &SceneConfig::scene_flow_like(80, 56).with_seed(seed).with_objects(3),
+        &SceneConfig::scene_flow_like(80, 56)
+            .with_seed(seed)
+            .with_objects(3),
         frames,
     )
 }
@@ -31,11 +33,16 @@ fn ism_pipeline_matches_ground_truth_on_synthetic_video() {
         frame_height: 56,
         network: "DispNet".to_owned(),
     });
-    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    let result = system
+        .process_sequence(&sequence)
+        .expect("processing succeeds");
     assert_eq!(result.frames.len(), 4);
     assert_eq!(result.key_frame_count(), 2);
     for (frame, truth) in result.frames.iter().zip(sequence.frames()) {
-        let err = frame.disparity.three_pixel_error(&truth.ground_truth).unwrap();
+        let err = frame
+            .disparity
+            .three_pixel_error(&truth.ground_truth)
+            .unwrap();
         assert!(err < 0.25, "{:?} error {err}", frame.kind);
     }
 }
@@ -54,13 +61,26 @@ fn ism_accuracy_loss_is_small_and_speedup_is_large() {
         frame_height: 56,
         network: "FlowNetC".to_owned(),
     });
-    let accuracy = system.evaluate_accuracy(&sequence).expect("accuracy evaluates");
-    assert!(accuracy.accuracy_loss.abs() < 0.05, "accuracy loss {}", accuracy.accuracy_loss);
+    let accuracy = system
+        .evaluate_accuracy(&sequence)
+        .expect("accuracy evaluates");
+    assert!(
+        accuracy.accuracy_loss.abs() < 0.05,
+        "accuracy loss {}",
+        accuracy.accuracy_loss
+    );
 
     let reports = system.variant_reports();
-    let full = reports.iter().find(|r| r.variant == AsvVariant::IsmDco).unwrap();
+    let full = reports
+        .iter()
+        .find(|r| r.variant == AsvVariant::IsmDco)
+        .unwrap();
     assert!(full.speedup > 2.5, "speedup {}", full.speedup);
-    assert!(full.energy_reduction > 0.5, "energy reduction {}", full.energy_reduction);
+    assert!(
+        full.energy_reduction > 0.5,
+        "energy reduction {}",
+        full.energy_reduction
+    );
 }
 
 #[test]
@@ -73,7 +93,9 @@ fn key_and_non_key_frames_alternate_with_pw2() {
         frame_height: 56,
         network: "DispNet".to_owned(),
     });
-    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    let result = system
+        .process_sequence(&sequence)
+        .expect("processing succeeds");
     let kinds: Vec<FrameKind> = result.frames.iter().map(|f| f.kind).collect();
     assert_eq!(
         kinds,
@@ -98,7 +120,10 @@ fn deconvolution_transformation_is_exact_across_crates() {
         let kernel = Tensor4::random(Shape4::new(2, 3, k, k), -1.0, 1.0, &mut rng);
         let reference = paper_deconv2d(&input, &kernel, 1).unwrap();
         let transformed = transformed_deconv2d(&input, &kernel, 1).unwrap();
-        assert!(reference.max_abs_diff(&transformed).unwrap() < 1e-4, "kernel {k}x{k}");
+        assert!(
+            reference.max_abs_diff(&transformed).unwrap() < 1e-4,
+            "kernel {k}x{k}"
+        );
     }
 }
 
@@ -114,7 +139,9 @@ fn disparity_maps_translate_to_sensible_depths() {
         frame_height: 56,
         network: "DispNet".to_owned(),
     });
-    let result = system.process_sequence(&sequence).expect("processing succeeds");
+    let result = system
+        .process_sequence(&sequence)
+        .expect("processing succeeds");
     let rig = CameraRig::bumblebee2();
     let map = &result.frames[0].disparity;
     let mut checked = 0;
@@ -149,10 +176,14 @@ fn analytical_models_agree_with_network_structure() {
         .iter()
         .cloned()
         .fold((0.0f64, 0.0f64), |acc, v| if v.0 > acc.0 { v } else { acc });
-    let (min_share_net, _) = shares_and_speedups
-        .iter()
-        .cloned()
-        .fold((1.0f64, f64::MAX), |acc, v| if v.0 < acc.0 { v } else { acc });
+    let (min_share_net, _) =
+        shares_and_speedups
+            .iter()
+            .cloned()
+            .fold(
+                (1.0f64, f64::MAX),
+                |acc, v| if v.0 < acc.0 { v } else { acc },
+            );
     // Sanity: shares span a non-trivial range across the four networks.
     assert!(max_share_net > min_share_net);
     // And every network benefits from the optimizations.

@@ -1,0 +1,51 @@
+//! Integration tests of the unified error layer: errors from any workspace
+//! layer convert into `AsvError` through plain `?` chains, and pipeline
+//! failures surface through `AsvSystem::process_sequence` as the same type.
+
+use asv_system::asv::system::{AsvConfig, AsvSystem};
+use asv_system::scene::{SceneConfig, StereoSequence};
+use asv_system::tensor::{Shape4, Tensor4};
+use asv_system::AsvError;
+use std::error::Error;
+
+/// A `?` chain mixing a tensor-layer failure with the system pipeline: the
+/// `Tensor4` shape mismatch converts into `AsvError` by the same mechanism
+/// that carries pipeline errors out of `process_sequence`.
+fn chain_tensor_then_pipeline(bad_len: usize) -> Result<usize, AsvError> {
+    let tensor = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![0.0; bad_len])?;
+    let sequence = StereoSequence::generate(&SceneConfig::scene_flow_like(64, 48).with_seed(1), 2);
+    let result = AsvSystem::new(AsvConfig::small()).process_sequence(&sequence)?;
+    Ok(result.frames.len() + tensor.shape().volume())
+}
+
+#[test]
+fn tensor_shape_mismatch_surfaces_as_asv_error() {
+    let err = chain_tensor_then_pipeline(3).unwrap_err();
+    assert!(matches!(err, AsvError::Tensor(_)), "{err:?}");
+    assert!(err.to_string().starts_with("tensor: "), "{err}");
+    // The original tensor-layer error is preserved as the source.
+    let source = err.source().expect("wrapped layer error");
+    assert!(
+        source.to_string().contains("does not match shape volume"),
+        "{source}"
+    );
+}
+
+#[test]
+fn valid_chain_passes_through_both_layers() {
+    let value = chain_tensor_then_pipeline(4).expect("valid tensor and sequence");
+    assert_eq!(value, 2 + 4);
+}
+
+#[test]
+fn pipeline_failure_surfaces_as_asv_error() {
+    // A degenerate scene produces empty frames, which the stereo matcher
+    // rejects; the failure must surface through the facade as an AsvError
+    // carrying the stereo layer's error.
+    let sequence = StereoSequence::generate(&SceneConfig::scene_flow_like(0, 0).with_seed(1), 1);
+    let err = AsvSystem::new(AsvConfig::small())
+        .process_sequence(&sequence)
+        .unwrap_err();
+    assert!(matches!(err, AsvError::Stereo(_)), "{err:?}");
+    assert!(err.source().is_some());
+}

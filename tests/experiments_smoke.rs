@@ -30,10 +30,16 @@ fn figure4_error_grows_with_distance_and_disparity_error() {
 fn figure10_headline_numbers_have_paper_shape() {
     let rows = figure10_speedup_energy();
     let avg_speedup: f64 = rows.iter().map(|r| r.combined_speedup).sum::<f64>() / rows.len() as f64;
-    let avg_energy: f64 =
-        rows.iter().map(|r| r.combined_energy_reduction).sum::<f64>() / rows.len() as f64;
+    let avg_energy: f64 = rows
+        .iter()
+        .map(|r| r.combined_energy_reduction)
+        .sum::<f64>()
+        / rows.len() as f64;
     // Paper: 4.9x and 85%; require the same ballpark.
-    assert!(avg_speedup > 3.0 && avg_speedup < 10.0, "speedup {avg_speedup}");
+    assert!(
+        avg_speedup > 3.0 && avg_speedup < 10.0,
+        "speedup {avg_speedup}"
+    );
     assert!(avg_energy > 0.6 && avg_energy < 0.98, "energy {avg_energy}");
 }
 
@@ -41,7 +47,10 @@ fn figure10_headline_numbers_have_paper_shape() {
 fn figure11_three_d_networks_gain_more_from_the_transformation() {
     let rows = figure11_deconv_opts();
     let deconv_speedup = |name: &str| {
-        rows.iter().find(|r| r.network == name).map(|r| r.deconv_speedup[2]).unwrap()
+        rows.iter()
+            .find(|r| r.network == name)
+            .map(|r| r.deconv_speedup[2])
+            .unwrap()
     };
     // Paper: 3-D networks (GC-Net, PSMNet) see larger deconv-layer speedups
     // than 2-D networks because they eliminate 8x instead of 4x zero padding.
@@ -62,7 +71,12 @@ fn figure12_covers_the_paper_grid() {
 #[test]
 fn figure13_ordering_matches_paper() {
     let rows = figure13_platforms();
-    let speedup = |name: &str| rows.iter().find(|r| r.name == name).unwrap().speedup_vs_eyeriss;
+    let speedup = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap()
+            .speedup_vs_eyeriss
+    };
     assert!(speedup("ASV-DCO+ISM") > speedup("ASV-ISM"));
     assert!(speedup("ASV-ISM") > speedup("ASV-DCO"));
     assert!(speedup("ASV-DCO+ISM") > 2.0);
@@ -85,4 +99,98 @@ fn overhead_and_nonkey_tables_match_claims() {
     assert!(b.total_area_overhead() < 0.005);
     let rows = nonkey_cost_table();
     assert!(rows.iter().skip(1).all(|r| r.ratio_to_nonkey > 20.0));
+}
+
+/// Every `fig*` / `tab*` binary is a one-line wrapper around a report
+/// function in `asv_bench::figs`; smoke-running those functions here means a
+/// broken figure generator fails `cargo test` instead of rotting silently in
+/// an unbuilt binary.
+mod fig_binary_entry_points {
+    use asv_bench::algorithms::AccuracySetup;
+    use asv_bench::figs;
+
+    /// A setup small enough that the two functional-accuracy reports stay
+    /// cheap in a smoke test (the binaries use `AccuracySetup::quick`).
+    fn tiny() -> AccuracySetup {
+        AccuracySetup {
+            width: 48,
+            height: 32,
+            frames: 2,
+            sequences: 1,
+            max_disparity: 16,
+        }
+    }
+
+    #[track_caller]
+    fn assert_report(report: String, must_contain: &str) {
+        assert!(
+            report.contains(must_contain),
+            "report missing {must_contain:?}:\n{report}"
+        );
+        // Reports are header + rendered table: at least a title line, a
+        // column-header line and one data row.
+        assert!(
+            report.lines().count() >= 3,
+            "suspiciously short report:\n{report}"
+        );
+    }
+
+    #[test]
+    fn fig01_frontier_runs() {
+        assert_report(figs::fig01_frontier_report(&tiny()), "Figure 1");
+    }
+
+    #[test]
+    fn fig03_op_distribution_runs() {
+        assert_report(figs::fig03_op_distribution_report(), "Figure 3");
+    }
+
+    #[test]
+    fn fig04_depth_sensitivity_runs() {
+        assert_report(figs::fig04_depth_sensitivity_report(), "Figure 4");
+    }
+
+    #[test]
+    fn fig09_accuracy_runs() {
+        assert_report(figs::fig09_accuracy_report(&tiny()), "Figure 9");
+    }
+
+    #[test]
+    fn fig10_speedup_energy_runs() {
+        assert_report(figs::fig10_speedup_energy_report(), "Figure 10");
+    }
+
+    #[test]
+    fn fig11_deconv_opts_runs() {
+        let report = figs::fig11_deconv_opts_report();
+        assert_report(report.clone(), "Figure 11(a) deconvolution layers only");
+        assert_report(report, "Figure 11(b) whole network");
+    }
+
+    #[test]
+    fn fig12_sensitivity_runs() {
+        let report = figs::fig12_sensitivity_report();
+        assert_report(report.clone(), "Figure 12a");
+        assert_report(report, "Figure 12b");
+    }
+
+    #[test]
+    fn fig13_baselines_runs() {
+        assert_report(figs::fig13_baselines_report(), "Figure 13");
+    }
+
+    #[test]
+    fn fig14_gan_runs() {
+        assert_report(figs::fig14_gan_report(), "Figure 14");
+    }
+
+    #[test]
+    fn tab_nonkey_cost_runs() {
+        assert_report(figs::tab_nonkey_cost_report(), "Section 3.3");
+    }
+
+    #[test]
+    fn tab_overhead_runs() {
+        assert_report(figs::tab_overhead_report(), "Section 7.1");
+    }
 }
