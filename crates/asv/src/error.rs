@@ -28,6 +28,11 @@ pub enum AsvError {
     Flow(FlowError),
     /// An error from stereo matching (`asv-stereo`).
     Stereo(StereoError),
+    /// A stereo-network name that is not in the zoo.
+    UnknownNetwork {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// A system-level configuration problem.
     Config {
         /// Human readable description.
@@ -51,6 +56,9 @@ impl fmt::Display for AsvError {
             AsvError::Image(e) => write!(f, "image: {e}"),
             AsvError::Flow(e) => write!(f, "flow: {e}"),
             AsvError::Stereo(e) => write!(f, "stereo: {e}"),
+            AsvError::UnknownNetwork { name } => {
+                write!(f, "unknown stereo network {name:?} (expected one of the zoo names: DispNet, FlowNetC, GC-Net, PSMNet)")
+            }
             AsvError::Config { context } => write!(f, "configuration: {context}"),
         }
     }
@@ -63,7 +71,7 @@ impl Error for AsvError {
             AsvError::Image(e) => Some(e),
             AsvError::Flow(e) => Some(e),
             AsvError::Stereo(e) => Some(e),
-            AsvError::Config { .. } => None,
+            AsvError::UnknownNetwork { .. } | AsvError::Config { .. } => None,
         }
     }
 }
@@ -133,6 +141,16 @@ mod tests {
         assert_eq!(e, AsvError::Stereo(inner.clone()));
         assert!(e.to_string().starts_with("stereo: "));
         assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+
+    #[test]
+    fn unknown_network_errors_name_the_offender() {
+        let e = AsvError::UnknownNetwork {
+            name: "ResNet".to_owned(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("\"ResNet\""));
+        assert!(e.to_string().contains("DispNet"));
     }
 
     #[test]

@@ -16,6 +16,16 @@
 //!    frame; their horizontal offset is the propagated disparity.
 //! 4. **Refine correspondences** — block matching in a narrow window centred
 //!    on the propagated disparity absorbs motion-estimation noise.
+//!
+//! The pipeline has two entry points sharing one implementation:
+//!
+//! * [`IsmState::step`] — the incremental core.  One call processes one
+//!   stereo frame and carries the (previous frames, previous disparity,
+//!   frames-since-key) state forward, which is what a streaming runtime
+//!   (`asv-runtime`) drives one camera frame at a time.
+//! * [`IsmPipeline::process_sequence`] — the batch entry point, a thin loop
+//!   over a fresh [`IsmState`].  Batch and streaming results are therefore
+//!   byte-identical by construction.
 
 use crate::error::AsvError;
 use asv_dnn::{SurrogateParams, SurrogateStereoDnn};
@@ -121,6 +131,116 @@ impl IsmResult {
     }
 }
 
+/// The incremental core of ISM: everything the algorithm must remember
+/// between two consecutive frames of one camera stream.
+///
+/// A state is created fresh (no predecessor frame, so the first [`step`]
+/// always runs the key-frame estimator) and then fed frames one at a time.
+/// [`IsmPipeline::process_sequence`] is a thin loop over this type, and a
+/// streaming runtime holds one `IsmState` per camera session — both produce
+/// byte-identical disparity maps for the same frames because they execute
+/// the same code.
+///
+/// [`step`]: IsmState::step
+#[derive(Debug, Clone)]
+pub struct IsmState {
+    config: IsmConfig,
+    surrogate: SurrogateStereoDnn,
+    /// Previous left/right frames and the disparity estimated for them.
+    previous: Option<(Image, Image, DisparityMap)>,
+    /// Frames processed since the last key frame (1 right after a key frame).
+    since_key: usize,
+}
+
+impl IsmState {
+    /// Creates a fresh state (the next frame will be a key frame).
+    pub fn new(config: IsmConfig, surrogate: SurrogateStereoDnn) -> Self {
+        Self {
+            config,
+            surrogate,
+            previous: None,
+            since_key: 0,
+        }
+    }
+
+    /// The pipeline configuration this state steps under.
+    pub fn config(&self) -> &IsmConfig {
+        &self.config
+    }
+
+    /// Number of frames processed since the last key frame (0 before the
+    /// first frame, 1 right after a key frame).
+    pub fn frames_since_key(&self) -> usize {
+        self.since_key
+    }
+
+    /// Drops all carried state; the next [`IsmState::step`] runs the DNN
+    /// again.  Useful after a stream discontinuity (camera seek, dropped
+    /// frames).
+    pub fn reset(&mut self) {
+        self.previous = None;
+        self.since_key = 0;
+    }
+
+    /// Processes one stereo frame and advances the state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow and matcher errors (mismatched frame sizes, empty
+    /// frames) as [`AsvError`], preserving the originating layer.  The state
+    /// is left unchanged when the frame fails, so a caller may skip the bad
+    /// frame and continue.
+    pub fn step(&mut self, left: &Image, right: &Image) -> Result<FrameResult, AsvError> {
+        let window = self.config.propagation_window.max(1);
+        let mut is_key = self.previous.is_none() || self.since_key >= window;
+        // The adaptive policy re-keys early when the scene moves too fast
+        // for propagation to stay reliable.  The left-view flow it estimates
+        // is exactly the one propagation needs, so it is kept and reused.
+        let mut left_flow = None;
+        if !is_key {
+            if let KeyFramePolicy::AdaptiveMotion {
+                max_median_motion_px,
+            } = self.config.key_frame_policy
+            {
+                let (prev_left, _, _) = self
+                    .previous
+                    .as_ref()
+                    .expect("non-key frames always have a predecessor");
+                let flow = farneback_flow(prev_left, left, &self.config.flow)?;
+                let motion = (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
+                if motion > max_median_motion_px {
+                    is_key = true;
+                } else {
+                    left_flow = Some(flow);
+                }
+            }
+        }
+        let (kind, disparity) = if is_key {
+            let map = self.surrogate.infer(left, right)?;
+            (FrameKind::KeyFrame, map)
+        } else {
+            let (prev_left, prev_right, prev_disparity) = self
+                .previous
+                .as_ref()
+                .expect("non-key frames always have a predecessor");
+            let map = propagate_and_refine(
+                &self.config,
+                prev_left,
+                prev_right,
+                prev_disparity,
+                left,
+                right,
+                left_flow,
+            )?;
+            (FrameKind::NonKeyFrame, map)
+        };
+        // Commit only after every fallible stage succeeded.
+        self.since_key = if is_key { 1 } else { self.since_key + 1 };
+        self.previous = Some((left.clone(), right.clone(), disparity.clone()));
+        Ok(FrameResult { kind, disparity })
+    }
+}
+
 /// The ISM pipeline: a key-frame estimator plus the propagation machinery.
 #[derive(Debug, Clone)]
 pub struct IsmPipeline {
@@ -140,87 +260,154 @@ impl IsmPipeline {
         &self.config
     }
 
+    /// Creates a fresh incremental state for streaming this pipeline one
+    /// frame at a time (one state per camera stream).
+    pub fn state(&self) -> IsmState {
+        IsmState::new(self.config, self.surrogate.clone())
+    }
+
     /// Processes one stereo sequence.
+    ///
+    /// This is exactly [`IsmState::step`] applied to every frame of the
+    /// sequence in order, so batch results match streaming results
+    /// byte-for-byte.
     ///
     /// # Errors
     ///
     /// Propagates flow and matcher errors (mismatched frame sizes, empty
     /// frames) as [`AsvError`], preserving the originating layer.
     pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, AsvError> {
+        let mut state = self.state();
         let mut frames = Vec::with_capacity(sequence.len());
-        let mut previous: Option<(Image, Image, DisparityMap)> = None;
-        let window = self.config.propagation_window.max(1);
-        let mut since_key = 0usize;
-
         for frame in sequence.frames() {
-            let mut is_key = previous.is_none() || since_key >= window;
-            // The adaptive policy re-keys early when the scene moves too fast
-            // for propagation to stay reliable.
-            if !is_key {
-                if let KeyFramePolicy::AdaptiveMotion {
-                    max_median_motion_px,
-                } = self.config.key_frame_policy
-                {
-                    let (prev_left, _, _) = previous
-                        .as_ref()
-                        .expect("non-key frames always have a predecessor");
-                    let flow = farneback_flow(prev_left, &frame.left, &self.config.flow)?;
-                    let motion = (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
-                    if motion > max_median_motion_px {
-                        is_key = true;
-                    }
-                }
-            }
-            let (kind, disparity) = if is_key {
-                let map = self.surrogate.infer(&frame.left, &frame.right)?;
-                since_key = 1;
-                (FrameKind::KeyFrame, map)
-            } else {
-                let (prev_left, prev_right, prev_disparity) = previous
-                    .as_ref()
-                    .expect("non-key frames always have a predecessor");
-                let map = self.propagate_and_refine(
-                    prev_left,
-                    prev_right,
-                    prev_disparity,
-                    &frame.left,
-                    &frame.right,
-                )?;
-                since_key += 1;
-                (FrameKind::NonKeyFrame, map)
-            };
-            previous = Some((frame.left.clone(), frame.right.clone(), disparity.clone()));
-            frames.push(FrameResult { kind, disparity });
+            frames.push(state.step(&frame.left, &frame.right)?);
         }
         Ok(IsmResult { frames })
     }
+}
 
-    /// Steps 2–4 of the algorithm for one non-key frame.
-    fn propagate_and_refine(
-        &self,
-        prev_left: &Image,
-        prev_right: &Image,
-        prev_disparity: &DisparityMap,
-        left: &Image,
-        right: &Image,
-    ) -> Result<DisparityMap, AsvError> {
-        // Step 3: motion of both views from t to t+1.
-        let flow_left = farneback_flow(prev_left, left, &self.config.flow)?;
-        let flow_right = farneback_flow(prev_right, right, &self.config.flow)?;
+/// Steps 2–4 of the algorithm for one non-key frame.  `left_flow`, when
+/// present, is the left-view flow the adaptive key-frame policy already
+/// estimated for this exact frame pair.
+#[allow(clippy::too_many_arguments)]
+fn propagate_and_refine(
+    config: &IsmConfig,
+    prev_left: &Image,
+    prev_right: &Image,
+    prev_disparity: &DisparityMap,
+    left: &Image,
+    right: &Image,
+    left_flow: Option<FlowField>,
+) -> Result<DisparityMap, AsvError> {
+    // Step 3: motion of both views from t to t+1 (the two flow fields are
+    // independent, so the parallel build computes them concurrently unless
+    // the left one is already available).
+    let (flow_left, flow_right) = match left_flow {
+        Some(flow_left) => (flow_left, farneback_flow(prev_right, right, &config.flow)?),
+        None => left_right_flows(prev_left, prev_right, left, right, config)?,
+    };
 
-        // Steps 2 + 3: reconstruct each correspondence pair from the previous
-        // disparity map and move both members along their view's motion.
-        let propagated = propagate_correspondences(prev_disparity, &flow_left, &flow_right);
+    // Steps 2 + 3: reconstruct each correspondence pair from the previous
+    // disparity map and move both members along their view's motion.
+    let propagated = propagate_correspondences(prev_disparity, &flow_left, &flow_right);
 
-        // Step 4: refine with a narrow block-matching search around the
-        // propagated disparity.
-        Ok(refine_with_initial(
-            left,
-            right,
-            &propagated,
-            &self.config.refine,
-        )?)
+    // Step 4: refine with a narrow block-matching search around the
+    // propagated disparity.
+    Ok(refine_with_initial(
+        left,
+        right,
+        &propagated,
+        &config.refine,
+    )?)
+}
+
+/// Computes the left-view and right-view optical flow of one frame step
+/// concurrently (the two estimations share nothing).
+#[cfg(feature = "parallel")]
+fn left_right_flows(
+    prev_left: &Image,
+    prev_right: &Image,
+    left: &Image,
+    right: &Image,
+    config: &IsmConfig,
+) -> Result<(FlowField, FlowField), AsvError> {
+    let (l, r) = rayon::join(
+        || farneback_flow(prev_left, left, &config.flow),
+        || farneback_flow(prev_right, right, &config.flow),
+    );
+    Ok((l?, r?))
+}
+
+/// Sequential fallback of the two-view flow computation.
+#[cfg(not(feature = "parallel"))]
+fn left_right_flows(
+    prev_left: &Image,
+    prev_right: &Image,
+    left: &Image,
+    right: &Image,
+    config: &IsmConfig,
+) -> Result<(FlowField, FlowField), AsvError> {
+    Ok((
+        farneback_flow(prev_left, left, &config.flow)?,
+        farneback_flow(prev_right, right, &config.flow)?,
+    ))
+}
+
+/// Propagated writes produced by one source row `y`: `(x, y, disparity)`
+/// targets in the new frame, in source-column order.
+#[cfg(feature = "parallel")]
+fn row_writes(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+    y: usize,
+) -> Vec<(usize, usize, f32)> {
+    let width = prev_disparity.width();
+    let height = prev_disparity.height();
+    let mut writes = Vec::new();
+    for x in 0..width {
+        let Some(d) = prev_disparity.get(x, y) else {
+            continue;
+        };
+        // Left member of the pair moves with the left-view flow.
+        let (ul, vl) = flow_left.at(x, y);
+        let new_lx = x as f32 + ul;
+        let new_ly = y as f32 + vl;
+        // Right member (at x - d in the right view) moves with the
+        // right-view flow.
+        let rx = x as f32 - d;
+        if rx < 0.0 {
+            continue;
+        }
+        let (ur, _vr) = flow_right.sample(rx, y as f32);
+        let new_rx = rx + ur;
+        let new_d = new_lx - new_rx;
+        let ix = new_lx.round();
+        let iy = new_ly.round();
+        if ix < 0.0 || iy < 0.0 || ix >= width as f32 || iy >= height as f32 || new_d < 0.0 {
+            continue;
+        }
+        writes.push((ix as usize, iy as usize, new_d));
     }
+    writes
+}
+
+/// Applies per-source-row write lists in row order, reproducing exactly the
+/// overwrite semantics of the reference double loop (later source rows win).
+#[cfg(feature = "parallel")]
+fn apply_writes(
+    width: usize,
+    height: usize,
+    rows: impl IntoIterator<Item = Vec<(usize, usize, f32)>>,
+) -> DisparityMap {
+    let mut propagated = DisparityMap::invalid(width, height);
+    for row in rows {
+        for (x, y, d) in row {
+            propagated.set(x, y, d);
+        }
+    }
+    propagated.fill_invalid_horizontally();
+    propagated
 }
 
 /// Moves every correspondence pair of `prev_disparity` along the left/right
@@ -228,7 +415,44 @@ impl IsmPipeline {
 /// frame.  Pixels that receive no propagated correspondence (disocclusions,
 /// pixels that moved out of the frame) are filled from their horizontal
 /// neighbours.
+///
+/// Source rows are independent until the final scatter, so the `parallel`
+/// build computes the flow sampling and target positions row-parallel and
+/// then applies the writes serially in source-row order; the result is
+/// identical to [`propagate_correspondences_serial`] (asserted by a
+/// differential test).
+#[cfg(feature = "parallel")]
 pub fn propagate_correspondences(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+) -> DisparityMap {
+    use rayon::prelude::*;
+    let width = prev_disparity.width();
+    let height = prev_disparity.height();
+    let rows: Vec<Vec<(usize, usize, f32)>> = (0..height)
+        .into_par_iter()
+        .map(|y| row_writes(prev_disparity, flow_left, flow_right, y))
+        .collect();
+    apply_writes(width, height, rows)
+}
+
+/// Sequential build of [`propagate_correspondences`]; delegates to the
+/// serial reference implementation.
+#[cfg(not(feature = "parallel"))]
+pub fn propagate_correspondences(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+) -> DisparityMap {
+    propagate_correspondences_serial(prev_disparity, flow_left, flow_right)
+}
+
+/// Serial reference implementation of correspondence propagation: the plain
+/// double loop, deliberately *not* built from [`row_writes`]/[`apply_writes`]
+/// so the differential test compares two independent implementations.
+/// Compiled in every configuration.
+pub fn propagate_correspondences_serial(
     prev_disparity: &DisparityMap,
     flow_left: &FlowField,
     flow_right: &FlowField,
@@ -236,7 +460,6 @@ pub fn propagate_correspondences(
     let width = prev_disparity.width();
     let height = prev_disparity.height();
     let mut propagated = DisparityMap::invalid(width, height);
-
     for y in 0..height {
         for x in 0..width {
             let Some(d) = prev_disparity.get(x, y) else {
@@ -319,6 +542,46 @@ mod tests {
     }
 
     #[test]
+    fn streaming_state_matches_batch_processing() {
+        // The core refactoring invariant: feeding frames one at a time
+        // through IsmState::step is byte-identical to the batch loop.
+        let seq = small_sequence(5, 8);
+        let pipe = pipeline(3, 32);
+        let batch = pipe.process_sequence(&seq).unwrap();
+        let mut state = pipe.state();
+        for (i, frame) in seq.frames().iter().enumerate() {
+            let streamed = state.step(&frame.left, &frame.right).unwrap();
+            assert_eq!(streamed.kind, batch.frames[i].kind, "frame {i}");
+            assert_eq!(streamed.disparity, batch.frames[i].disparity, "frame {i}");
+            assert!(state.frames_since_key() >= 1);
+        }
+    }
+
+    #[test]
+    fn reset_forces_a_new_key_frame() {
+        let seq = small_sequence(3, 9);
+        let pipe = pipeline(4, 32);
+        let mut state = pipe.state();
+        let f = &seq.frames()[0];
+        assert_eq!(
+            state.step(&f.left, &f.right).unwrap().kind,
+            FrameKind::KeyFrame
+        );
+        let f = &seq.frames()[1];
+        assert_eq!(
+            state.step(&f.left, &f.right).unwrap().kind,
+            FrameKind::NonKeyFrame
+        );
+        state.reset();
+        assert_eq!(state.frames_since_key(), 0);
+        let f = &seq.frames()[2];
+        assert_eq!(
+            state.step(&f.left, &f.right).unwrap().kind,
+            FrameKind::KeyFrame
+        );
+    }
+
+    #[test]
     fn non_key_frames_stay_close_to_ground_truth() {
         let seq = small_sequence(4, 5);
         let result = pipeline(4, 32).process_sequence(&seq).unwrap();
@@ -376,6 +639,48 @@ mod tests {
         let propagated = propagate_correspondences(&prev, &zero, &zero);
         // Every pixel valid after horizontal filling.
         assert_eq!(propagated.valid_fraction(), 1.0);
+    }
+
+    #[test]
+    fn parallel_propagation_matches_serial_reference() {
+        // Differential test: the row-parallel scatter must reproduce the
+        // serial double loop exactly, including the overwrite order when two
+        // source pixels land on the same target.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..8 {
+            let width = rng.gen_range(8usize..24);
+            let height = rng.gen_range(6usize..16);
+            let prev = DisparityMap::from_fn(width, height, |_, _| {
+                if rng.gen_range(0.0f32..1.0) < 0.1 {
+                    -1.0
+                } else {
+                    rng.gen_range(0.0f32..12.0)
+                }
+            });
+            let mut fl = FlowField::zeros(width, height);
+            let mut fr = FlowField::zeros(width, height);
+            for y in 0..height {
+                for x in 0..width {
+                    fl.set(
+                        x,
+                        y,
+                        rng.gen_range(-3.0f32..3.0),
+                        rng.gen_range(-2.0f32..2.0),
+                    );
+                    fr.set(
+                        x,
+                        y,
+                        rng.gen_range(-3.0f32..3.0),
+                        rng.gen_range(-2.0f32..2.0),
+                    );
+                }
+            }
+            let fast = propagate_correspondences(&prev, &fl, &fr);
+            let reference = propagate_correspondences_serial(&prev, &fl, &fr);
+            assert_eq!(fast, reference);
+        }
     }
 
     #[test]

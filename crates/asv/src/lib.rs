@@ -27,7 +27,7 @@
 //! let sequence = StereoSequence::generate(&scene, 4);
 //!
 //! // ASV with a propagation window of 2 (every other frame is a key frame).
-//! let system = AsvSystem::new(AsvConfig { propagation_window: 2, ..AsvConfig::small() });
+//! let system = AsvSystem::new(AsvConfig { propagation_window: 2, ..AsvConfig::small() }).unwrap();
 //! let result = system.process_sequence(&sequence).unwrap();
 //! assert_eq!(result.frames.len(), 4);
 //!
@@ -42,6 +42,8 @@ pub mod perf;
 pub mod system;
 
 pub use error::AsvError;
-pub use ism::{FrameKind, IsmConfig, IsmPipeline, IsmResult, KeyFramePolicy};
+pub use ism::{
+    FrameKind, FrameResult, IsmConfig, IsmPipeline, IsmResult, IsmState, KeyFramePolicy,
+};
 pub use perf::{AsvVariant, SystemPerformanceModel, VariantReport};
 pub use system::{AccuracyReport, AsvConfig, AsvSystem};

@@ -83,18 +83,31 @@ pub struct AsvSystem {
 
 impl AsvSystem {
     /// Builds a system from a configuration, using the default accelerator.
-    pub fn new(config: AsvConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsvError::UnknownNetwork`] when `config.network` names no
+    /// network of the zoo.
+    pub fn new(config: AsvConfig) -> Result<Self, AsvError> {
         Self::with_accelerator(config, SystolicAccelerator::asv_default())
     }
 
     /// Builds a system with an explicit accelerator configuration.
-    pub fn with_accelerator(config: AsvConfig, accelerator: SystolicAccelerator) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsvError::UnknownNetwork`] when `config.network` names no
+    /// network of the zoo.
+    pub fn with_accelerator(
+        config: AsvConfig,
+        accelerator: SystolicAccelerator,
+    ) -> Result<Self, AsvError> {
         let network = network_by_name(
             &config.network,
             config.frame_height,
             config.frame_width,
             config.max_disparity,
-        );
+        )?;
         let surrogate_params = SurrogateParams {
             max_disparity: config.max_disparity,
             occlusion_handling: true,
@@ -116,12 +129,19 @@ impl AsvSystem {
         );
         let nonkey = NonKeyFrameConfig::with_resolution(config.frame_width, config.frame_height);
         let perf = SystemPerformanceModel::new(accelerator, nonkey, config.propagation_window);
-        Self {
+        Ok(Self {
             config,
             pipeline,
             perf,
             network,
-        }
+        })
+    }
+
+    /// The functional ISM pipeline driving [`AsvSystem::process_sequence`];
+    /// streaming runtimes call [`IsmPipeline::state`] on it to obtain one
+    /// incremental state per camera stream.
+    pub fn pipeline(&self) -> &IsmPipeline {
+        &self.pipeline
     }
 
     /// The system configuration.
@@ -198,14 +218,26 @@ impl AsvSystem {
     }
 }
 
-/// Resolves a zoo network by (case-insensitive) name; unknown names fall back
-/// to DispNet.
-fn network_by_name(name: &str, height: usize, width: usize, max_disparity: usize) -> NetworkSpec {
+/// Resolves a zoo network by (case-insensitive) name.
+///
+/// # Errors
+///
+/// Returns [`AsvError::UnknownNetwork`] for names outside the zoo — a
+/// misconfiguration must surface instead of silently running DispNet.
+fn network_by_name(
+    name: &str,
+    height: usize,
+    width: usize,
+    max_disparity: usize,
+) -> Result<NetworkSpec, AsvError> {
     match name.to_ascii_lowercase().as_str() {
-        "flownetc" => zoo::flownetc(height, width),
-        "gc-net" | "gcnet" => zoo::gcnet(height, width, max_disparity.max(32)),
-        "psmnet" => zoo::psmnet(height, width, max_disparity.max(32)),
-        _ => zoo::dispnet(height, width),
+        "flownetc" => Ok(zoo::flownetc(height, width)),
+        "gc-net" | "gcnet" => Ok(zoo::gcnet(height, width, max_disparity.max(32))),
+        "psmnet" => Ok(zoo::psmnet(height, width, max_disparity.max(32))),
+        "dispnet" => Ok(zoo::dispnet(height, width)),
+        _ => Err(AsvError::UnknownNetwork {
+            name: name.to_owned(),
+        }),
     }
 }
 
@@ -215,7 +247,7 @@ mod tests {
     use asv_scene::SceneConfig;
 
     fn small_system() -> AsvSystem {
-        AsvSystem::new(AsvConfig::small())
+        AsvSystem::new(AsvConfig::small()).unwrap()
     }
 
     fn sequence(frames: usize) -> StereoSequence {
@@ -263,14 +295,27 @@ mod tests {
             ("gc-net", "GC-Net"),
             ("PSMNet", "PSMNet"),
             ("DispNet", "DispNet"),
-            ("unknown", "DispNet"),
         ] {
             let config = AsvConfig {
                 network: name.to_owned(),
                 ..AsvConfig::small()
             };
-            let system = AsvSystem::new(config);
+            let system = AsvSystem::new(config).unwrap();
             assert_eq!(system.network().name, expected);
+        }
+    }
+
+    #[test]
+    fn unknown_network_names_are_rejected() {
+        // Unknown names used to silently fall back to DispNet; they must
+        // surface as a configuration error instead.
+        let config = AsvConfig {
+            network: "unknown".to_owned(),
+            ..AsvConfig::small()
+        };
+        match AsvSystem::new(config) {
+            Err(AsvError::UnknownNetwork { name }) => assert_eq!(name, "unknown"),
+            other => panic!("expected UnknownNetwork, got {other:?}"),
         }
     }
 

@@ -160,7 +160,12 @@ fn bench_scheduler(c: &mut Criterion) {
         b.iter(|| schedule_network(black_box(&net), &hw, OptLevel::Baseline))
     });
     group.bench_function("schedule_flownetc_ilar", |b| {
-        b.iter(|| schedule_network(black_box(&net), &hw, OptLevel::Ilar))
+        // The reuse solver memoizes per layer shape; clear the memo each
+        // iteration so the benchmark times the tiling sweep, not map hits.
+        b.iter(|| {
+            asv_dataflow::solver::schedule_cache_clear();
+            schedule_network(black_box(&net), &hw, OptLevel::Ilar)
+        })
     });
     group.finish();
 }

@@ -1,0 +1,20 @@
+//! Criterion benchmark of the streaming engine: serial batch baseline vs
+//! the multi-session scheduler on identical synthetic camera streams.
+
+use asv_bench::streaming::streaming_throughput;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    // Each invocation times both sides internally (serial + concurrent) and
+    // returns the whole report; criterion measures the end-to-end sweep.
+    group.bench_function("throughput_2_sessions_2_workers", |b| {
+        b.iter(|| black_box(streaming_throughput(2, 2, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Serving scalability: aggregate throughput of the `asv-runtime` scheduler
+//! on 8 concurrent camera streams vs the serial batch baseline.
+fn main() {
+    println!("{}", asv_bench::streaming::streaming_report());
+}

@@ -16,6 +16,7 @@
 pub mod algorithms;
 pub mod figs;
 pub mod hardware;
+pub mod streaming;
 pub mod table;
 
 /// Default evaluation resolution for the analytical hardware experiments

@@ -1,0 +1,108 @@
+//! The bounded per-session inbox.
+//!
+//! An [`Inbox`] is a plain bounded FIFO of undecoded stereo frames.  It does
+//! no locking of its own: every inbox lives inside the scheduler's single
+//! engine lock, and *backpressure* is implemented by the scheduler refusing
+//! to enqueue into a full inbox and parking the producer on a condition
+//! variable until a worker drains a slot (see `crate::scheduler`).
+
+use asv_image::Image;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One stereo frame waiting in a session's inbox.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedFrame {
+    /// Left (reference) camera image.
+    pub left: Image,
+    /// Right (matching) camera image.
+    pub right: Image,
+    /// When the frame was accepted into the inbox (for queue-wait
+    /// telemetry).
+    pub queued_at: Instant,
+}
+
+/// A bounded FIFO of frames awaiting processing.
+#[derive(Debug)]
+pub(crate) struct Inbox {
+    frames: VecDeque<QueuedFrame>,
+    capacity: usize,
+}
+
+impl Inbox {
+    /// Creates an empty inbox holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            frames: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of queued frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frame is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the inbox has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() >= self.capacity
+    }
+
+    /// Enqueues a frame; the caller must have checked [`Inbox::is_full`]
+    /// under the engine lock (enforced here in debug builds).
+    pub fn push(&mut self, frame: QueuedFrame) {
+        debug_assert!(!self.is_full(), "push into a full inbox");
+        self.frames.push_back(frame);
+    }
+
+    /// Dequeues the oldest frame.
+    pub fn pop(&mut self) -> Option<QueuedFrame> {
+        self.frames.pop_front()
+    }
+
+    /// Discards every queued frame, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.frames.len();
+        self.frames.clear();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> QueuedFrame {
+        QueuedFrame {
+            left: Image::zeros(2, 2),
+            right: Image::zeros(2, 2),
+            queued_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut inbox = Inbox::new(2);
+        assert!(inbox.is_empty());
+        inbox.push(frame());
+        inbox.push(frame());
+        assert!(inbox.is_full());
+        assert_eq!(inbox.len(), 2);
+        assert!(inbox.pop().is_some());
+        assert!(!inbox.is_full());
+        assert_eq!(inbox.clear(), 1);
+        assert!(inbox.pop().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut inbox = Inbox::new(0);
+        inbox.push(frame());
+        assert!(inbox.is_full());
+    }
+}

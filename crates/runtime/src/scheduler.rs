@@ -1,0 +1,416 @@
+//! The multi-session scheduler: a fixed worker pool multiplexing many
+//! camera streams over bounded inboxes.
+//!
+//! # Execution model
+//!
+//! One [`Scheduler`] owns `N` OS worker threads (`std::thread`) and a table
+//! of [`StreamSession`]s.  All shared state lives behind a single engine
+//! mutex; the heavy per-frame kernel work (DNN surrogate, optical flow,
+//! refinement) runs *outside* the lock, so the lock is only held for
+//! queue/table bookkeeping that costs microseconds.
+//!
+//! # Ordering
+//!
+//! A session's ISM state is physically *taken out* of the table while a
+//! worker steps one of its frames, so a session is never advanced by two
+//! workers at once.  Combined with FIFO inboxes this guarantees that each
+//! session's results appear in exactly the order its frames were submitted —
+//! the property that makes streaming output byte-identical to batch
+//! [`asv::IsmPipeline::process_sequence`].
+//!
+//! # Backpressure
+//!
+//! Every session has a bounded inbox ([`SchedulerConfig::inbox_capacity`]).
+//! [`SessionHandle::submit`] blocks the producer on a condition variable
+//! while its session's inbox is full and wakes when a worker drains a slot.
+//! A slow consumer therefore throttles exactly its own producer — memory per
+//! session is bounded by `inbox_capacity` frames — while other sessions keep
+//! flowing.
+//!
+//! # Fairness
+//!
+//! Idle workers scan the session table round-robin from a shared rotating
+//! cursor: after dispatching from session `i` the next scan starts at
+//! `i + 1`, so a session that always has queued frames cannot starve the
+//! others; with `S` backlogged sessions each gets every `S`-th dispatch.
+//! There is no priority mechanism — streams are peers, as camera feeds
+//! typically are.
+//!
+//! # Failure
+//!
+//! A frame that fails ([`asv::AsvError`]) poisons only its own session: the
+//! error is stored, queued frames are dropped (counted in telemetry), and
+//! later submits to that session return the error.  Other sessions are
+//! unaffected.
+
+use crate::queue::QueuedFrame;
+use crate::session::{SessionId, SessionReport, StreamSession};
+use crate::telemetry::AggregateTelemetry;
+use asv::ism::{IsmResult, IsmState};
+use asv::AsvError;
+use asv_image::Image;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded inbox capacity per session, in frames (clamped to at least
+    /// 1); producers block once their session's inbox is full.
+    pub inbox_capacity: usize,
+}
+
+impl SchedulerConfig {
+    /// A pool with one worker per available core and a small default inbox.
+    pub fn per_core() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            inbox_capacity: 4,
+        }
+    }
+
+    /// Returns the configuration with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the configuration with a different inbox capacity.
+    pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
+        self.inbox_capacity = capacity;
+        self
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self::per_core()
+    }
+}
+
+/// Mutable engine state shared by workers and producers.
+#[derive(Debug)]
+struct Engine {
+    sessions: Vec<StreamSession>,
+    /// Round-robin scan start for the next dispatch.
+    cursor: usize,
+    /// Set by [`Scheduler::join`] (and by drop): no new submissions are
+    /// accepted, workers drain the inboxes and exit.
+    shutdown: bool,
+    /// Frames currently being processed outside the lock.
+    in_flight: usize,
+}
+
+impl Engine {
+    /// Picks the next (session, frame) pair round-robin and marks the
+    /// session busy by taking its state out.
+    fn dispatch_next(&mut self) -> Option<(usize, QueuedFrame, IsmState)> {
+        let n = self.sessions.len();
+        if n == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let idx = (self.cursor + k) % n;
+            if self.sessions[idx].dispatchable() {
+                self.cursor = (idx + 1) % n;
+                let slot = &mut self.sessions[idx];
+                let frame = slot.inbox.pop().expect("dispatchable inbox is non-empty");
+                slot.telemetry.queue_depth.observe(slot.inbox.len());
+                let state = slot.take_state();
+                return Some((idx, frame, state));
+            }
+        }
+        None
+    }
+
+    /// Whether the workers may exit: shutdown requested, nothing queued and
+    /// nothing mid-frame.
+    fn drained(&self) -> bool {
+        self.shutdown && self.in_flight == 0 && self.sessions.iter().all(|s| s.inbox.is_empty())
+    }
+}
+
+/// Condvar-equipped shared engine.
+#[derive(Debug)]
+struct Shared {
+    engine: Mutex<Engine>,
+    /// Workers park here when no session is dispatchable.
+    work: Condvar,
+    /// Producers park here when their session's inbox is full.
+    space: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Engine> {
+        self.engine.lock().expect("runtime engine lock poisoned")
+    }
+}
+
+/// The streaming frame-serving engine: a fixed worker pool serving many
+/// [`StreamSession`]s concurrently with bounded memory.
+///
+/// See the module documentation for the scheduling, backpressure and
+/// fairness model.
+#[derive(Debug)]
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    inbox_capacity: usize,
+    started: Instant,
+}
+
+/// Producer-side handle of one registered session; cheap to clone and
+/// `Send`, so a camera/feeder thread can own one.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    shared: Arc<Shared>,
+    id: SessionId,
+}
+
+/// Everything the engine produced, returned by [`Scheduler::join`].
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-session reports, indexed by [`SessionId::index`] in registration
+    /// order.
+    pub sessions: Vec<SessionReport>,
+    /// The fold of every session's telemetry plus wall-clock throughput.
+    pub aggregate: AggregateTelemetry,
+}
+
+impl RuntimeReport {
+    /// Converts every session into the batch result type, in registration
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first session error encountered.
+    pub fn into_ism_results(self) -> Result<Vec<IsmResult>, AsvError> {
+        self.sessions
+            .into_iter()
+            .map(SessionReport::into_ism_result)
+            .collect()
+    }
+}
+
+impl Scheduler {
+    /// Starts a scheduler with its worker pool running (idle until sessions
+    /// get frames).
+    pub fn new(config: SchedulerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(Engine {
+                sessions: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+                in_flight: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            inbox_capacity: config.inbox_capacity.max(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Registers a new stream around a fresh ISM state (one per camera) and
+    /// returns its producer handle.  Sessions may be added while the engine
+    /// is serving.
+    pub fn add_session(&self, state: IsmState) -> SessionHandle {
+        let mut engine = self.shared.lock();
+        let id = SessionId(engine.sessions.len());
+        engine
+            .sessions
+            .push(StreamSession::new(id, state, self.inbox_capacity));
+        SessionHandle {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.lock().sessions.len()
+    }
+
+    /// Stops accepting submissions, drains every inbox, joins the worker
+    /// pool and returns everything produced.
+    ///
+    /// Producers still blocked in [`SessionHandle::submit`] are woken and
+    /// receive an error; call `join` after the feeders finished to process
+    /// every frame.
+    pub fn join(mut self) -> RuntimeReport {
+        self.signal_shutdown();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("runtime worker panicked");
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let mut engine = self.shared.lock();
+        let sessions: Vec<SessionReport> = engine
+            .sessions
+            .drain(..)
+            .map(|s| {
+                let id = s.id();
+                SessionReport {
+                    id,
+                    frames: s.results,
+                    telemetry: s.telemetry,
+                    error: s.error,
+                }
+            })
+            .collect();
+        drop(engine);
+        let mut aggregate = AggregateTelemetry::default();
+        for session in &sessions {
+            aggregate.absorb(&session.telemetry);
+        }
+        aggregate.wall_seconds = wall_seconds;
+        RuntimeReport {
+            sessions,
+            aggregate,
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        let mut engine = self.shared.lock();
+        engine.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // `join` drains `workers`; this path only runs when the scheduler is
+        // dropped without joining (tests, panics) and must not leave worker
+        // threads running.
+        if !self.workers.is_empty() {
+            self.signal_shutdown();
+            for handle in self.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl SessionHandle {
+    /// The session this handle feeds.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Submits one stereo frame, blocking while the session's inbox is full
+    /// (the backpressure path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the session's stored error if a previous frame failed, or a
+    /// configuration error if the scheduler has been shut down.  In both
+    /// cases the submitted frame is dropped and counted in the session's
+    /// `frames_dropped` telemetry.
+    pub fn submit(&self, left: Image, right: Image) -> Result<(), AsvError> {
+        let mut engine = self.shared.lock();
+        loop {
+            if engine.shutdown {
+                // The session table may already be drained by `join`.
+                if let Some(slot) = engine.sessions.get_mut(self.id.0) {
+                    slot.telemetry.frames_dropped += 1;
+                }
+                return Err(AsvError::config("scheduler is shut down"));
+            }
+            let slot = &mut engine.sessions[self.id.0];
+            if let Some(error) = &slot.error {
+                let error = error.clone();
+                slot.telemetry.frames_dropped += 1;
+                return Err(error);
+            }
+            if !slot.inbox.is_full() {
+                slot.telemetry.frames_submitted += 1;
+                slot.inbox.push(QueuedFrame {
+                    left,
+                    right,
+                    queued_at: Instant::now(),
+                });
+                let depth = slot.inbox.len();
+                slot.telemetry.queue_depth.observe(depth);
+                self.shared.work.notify_all();
+                return Ok(());
+            }
+            engine = self
+                .shared
+                .space
+                .wait(engine)
+                .expect("runtime engine lock poisoned");
+        }
+    }
+
+    /// Current inbox depth of the session (a point-in-time gauge; 0 after
+    /// the scheduler was joined).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .lock()
+            .sessions
+            .get(self.id.0)
+            .map_or(0, |s| s.inbox.len())
+    }
+}
+
+/// Body of one worker thread: dispatch round-robin, step the frame outside
+/// the lock, commit the result, repeat until drained.
+fn worker_loop(shared: &Shared) {
+    let mut engine = shared.lock();
+    loop {
+        if let Some((idx, frame, mut state)) = engine.dispatch_next() {
+            engine.in_flight += 1;
+            drop(engine);
+            // A slot was freed: a producer blocked on this inbox can refill
+            // it while we run the kernels.
+            shared.space.notify_all();
+
+            let waited = frame.queued_at.elapsed();
+            let started = Instant::now();
+            let outcome = state.step(&frame.left, &frame.right);
+            let service = started.elapsed();
+
+            engine = shared.lock();
+            engine.in_flight -= 1;
+            let slot = &mut engine.sessions[idx];
+            slot.put_back(state);
+            match outcome {
+                Ok(result) => {
+                    slot.telemetry.record_frame(result.kind, service, waited);
+                    slot.results.push(result);
+                }
+                Err(error) => {
+                    let dropped = slot.inbox.clear();
+                    slot.telemetry.frames_dropped += dropped as u64;
+                    slot.telemetry.queue_depth.observe(0);
+                    slot.error = Some(error);
+                }
+            }
+            // The session became dispatchable again (its state is back) and
+            // its producer may have been waiting on either condvar.
+            shared.work.notify_all();
+            shared.space.notify_all();
+        } else if engine.drained() {
+            return;
+        } else {
+            engine = shared
+                .work
+                .wait(engine)
+                .expect("runtime engine lock poisoned");
+        }
+    }
+}

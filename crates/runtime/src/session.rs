@@ -1,0 +1,117 @@
+//! Stream sessions: one camera stream = one incremental ISM state plus its
+//! inbox, accumulated results and telemetry.
+
+use crate::queue::Inbox;
+use crate::telemetry::SessionTelemetry;
+use asv::ism::{FrameResult, IsmResult, IsmState};
+use asv::AsvError;
+
+/// Identifier of one stream session within a scheduler, assigned densely in
+/// registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub(crate) usize);
+
+impl SessionId {
+    /// The dense index of the session (also its position in the scheduler's
+    /// session table and final report).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// One camera stream being served: the carried ISM state, the bounded inbox
+/// of frames waiting for a worker, the results produced so far and the
+/// session's telemetry.
+///
+/// Sessions are owned by the scheduler and mutated only under its engine
+/// lock; the ISM state is temporarily *taken out* by the worker processing a
+/// frame, which both releases the lock during the heavy kernel work and
+/// guarantees at most one worker ever advances a given stream (preserving
+/// per-session frame ordering).
+#[derive(Debug)]
+pub struct StreamSession {
+    id: SessionId,
+    /// `None` exactly while a worker is stepping this session's frame.
+    state: Option<IsmState>,
+    pub(crate) inbox: Inbox,
+    pub(crate) results: Vec<FrameResult>,
+    pub(crate) telemetry: SessionTelemetry,
+    pub(crate) error: Option<AsvError>,
+}
+
+impl StreamSession {
+    /// Creates a session around a fresh ISM state.
+    pub(crate) fn new(id: SessionId, state: IsmState, inbox_capacity: usize) -> Self {
+        Self {
+            id,
+            state: Some(state),
+            inbox: Inbox::new(inbox_capacity),
+            results: Vec::new(),
+            telemetry: SessionTelemetry::default(),
+            error: None,
+        }
+    }
+
+    /// The session identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Whether the session can be dispatched right now: it has a queued
+    /// frame, its state is resident (no worker is mid-frame) and it has not
+    /// failed.
+    pub(crate) fn dispatchable(&self) -> bool {
+        self.state.is_some() && !self.inbox.is_empty() && self.error.is_none()
+    }
+
+    /// Takes the ISM state out for processing (the session shows as busy
+    /// until [`StreamSession::put_back`]).
+    pub(crate) fn take_state(&mut self) -> IsmState {
+        self.state.take().expect("session state already taken")
+    }
+
+    /// Returns the ISM state after a worker finished its frame.
+    pub(crate) fn put_back(&mut self, state: IsmState) {
+        debug_assert!(self.state.is_none(), "session state returned twice");
+        self.state = Some(state);
+    }
+}
+
+/// Everything one session produced, extracted when the scheduler shuts
+/// down.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The session identifier.
+    pub id: SessionId,
+    /// Per-frame results in submission order.
+    pub frames: Vec<FrameResult>,
+    /// The session's telemetry.
+    pub telemetry: SessionTelemetry,
+    /// The first error the session hit, if any (frames submitted after it
+    /// were dropped and counted in `telemetry.frames_dropped`).
+    pub error: Option<AsvError>,
+}
+
+impl SessionReport {
+    /// Converts the report into the batch-pipeline result type, surfacing
+    /// the session error if one occurred.
+    ///
+    /// # Errors
+    ///
+    /// Returns the session's stored [`AsvError`] when the stream failed
+    /// mid-flight.
+    pub fn into_ism_result(self) -> Result<IsmResult, AsvError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(IsmResult {
+                frames: self.frames,
+            }),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Runtime observability: latency histograms, queue-depth gauges and
+//! per-session / aggregate counters.
+//!
+//! Everything here is plain data updated under the scheduler's lock — no
+//! atomics, no background collector thread.  Each [`crate::StreamSession`]
+//! owns one [`SessionTelemetry`]; [`AggregateTelemetry`] folds them together
+//! when the scheduler shuts down (or whenever a snapshot is requested).
+
+use asv::FrameKind;
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, so 40 buckets span sub-microsecond to
+/// roughly twelve days.
+const BUCKETS: usize = 40;
+
+/// A fixed-size log₂-bucketed latency histogram.
+///
+/// Recording is O(1) and the memory footprint is constant, so the histogram
+/// can run for the lifetime of a long-lived serving process.  Quantiles are
+/// answered from the bucket counts with linear interpolation inside the
+/// crossing bucket; the true minimum and maximum are tracked exactly.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(us: u64) -> usize {
+        (us.max(1).ilog2() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample in microseconds (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The latency (µs) below which a `q` fraction of samples fall;
+    /// `q` is clamped to `[0, 1]`.  Returns 0 for an empty histogram.
+    ///
+    /// The answer interpolates linearly inside the bucket where the
+    /// cumulative count crosses `q · total`, clamped to the exact observed
+    /// min/max so tiny sample counts do not report impossible values.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = 1u64 << i;
+                let hi = lo << 1;
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + within * (hi - lo) as f64;
+                return (est as u64).clamp(self.min_us, self.max_us);
+            }
+            seen += c;
+        }
+        self.max_us
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile latency in microseconds.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Folds another histogram into this one (used for aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Instantaneous and peak depth of one session's inbox.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueDepthGauge {
+    /// Frames currently queued (waiting for a worker).
+    pub current: usize,
+    /// Largest depth ever observed.
+    pub peak: usize,
+}
+
+impl QueueDepthGauge {
+    /// Sets the current depth, updating the peak.
+    pub fn observe(&mut self, depth: usize) {
+        self.current = depth;
+        self.peak = self.peak.max(depth);
+    }
+}
+
+/// Telemetry of one stream session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTelemetry {
+    /// Frames fully processed (key + non-key).
+    pub frames_processed: u64,
+    /// Frames processed as key frames (DNN inference).
+    pub key_frames: u64,
+    /// Frames processed as non-key frames (propagation + refinement).
+    pub non_key_frames: u64,
+    /// Frames submitted to the session's inbox.
+    pub frames_submitted: u64,
+    /// Frames discarded because the session had already failed.
+    pub frames_dropped: u64,
+    /// Service time per frame: dequeue to finished disparity map.
+    pub service_latency: LatencyHistogram,
+    /// Queue wait per frame: submit to dequeue.
+    pub queue_wait: LatencyHistogram,
+    /// Inbox depth gauge.
+    pub queue_depth: QueueDepthGauge,
+}
+
+impl SessionTelemetry {
+    /// Records one processed frame.
+    pub fn record_frame(&mut self, kind: FrameKind, service: Duration, wait: Duration) {
+        self.frames_processed += 1;
+        match kind {
+            FrameKind::KeyFrame => self.key_frames += 1,
+            FrameKind::NonKeyFrame => self.non_key_frames += 1,
+        }
+        self.service_latency.record(service);
+        self.queue_wait.record(wait);
+    }
+
+    /// Fraction of processed frames that ran the full DNN (0 when no frame
+    /// was processed yet).
+    pub fn key_frame_ratio(&self) -> f64 {
+        if self.frames_processed == 0 {
+            0.0
+        } else {
+            self.key_frames as f64 / self.frames_processed as f64
+        }
+    }
+}
+
+/// Whole-engine telemetry: the fold of every session plus wall-clock
+/// throughput.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateTelemetry {
+    /// Sessions folded into this aggregate.
+    pub sessions: usize,
+    /// Frames fully processed across all sessions.
+    pub frames_processed: u64,
+    /// Key frames across all sessions.
+    pub key_frames: u64,
+    /// Non-key frames across all sessions.
+    pub non_key_frames: u64,
+    /// Frames discarded across all sessions.
+    pub frames_dropped: u64,
+    /// Merged service-time histogram.
+    pub service_latency: LatencyHistogram,
+    /// Merged queue-wait histogram.
+    pub queue_wait: LatencyHistogram,
+    /// Largest inbox depth observed on any session.
+    pub peak_queue_depth: usize,
+    /// Wall-clock time the engine ran, seconds.
+    pub wall_seconds: f64,
+}
+
+impl AggregateTelemetry {
+    /// Folds one session's telemetry into the aggregate.
+    pub fn absorb(&mut self, session: &SessionTelemetry) {
+        self.sessions += 1;
+        self.frames_processed += session.frames_processed;
+        self.key_frames += session.key_frames;
+        self.non_key_frames += session.non_key_frames;
+        self.frames_dropped += session.frames_dropped;
+        self.service_latency.merge(&session.service_latency);
+        self.queue_wait.merge(&session.queue_wait);
+        self.peak_queue_depth = self.peak_queue_depth.max(session.queue_depth.peak);
+    }
+
+    /// Aggregate throughput in frames per second (0 before any wall time
+    /// elapsed).
+    pub fn frames_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.frames_processed as f64 / self.wall_seconds
+        }
+    }
+
+    /// Fraction of processed frames that ran the full DNN.
+    pub fn key_frame_ratio(&self) -> f64 {
+        if self.frames_processed == 0 {
+            0.0
+        } else {
+            self.key_frames as f64 / self.frames_processed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for us in [100u64, 200, 300, 400, 500, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min_us(), 100);
+        assert_eq!(h.max_us(), 10_000);
+        let (p50, p95, p99) = (h.p50_us(), h.p95_us(), h.p99_us());
+        assert!(p50 > 0);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= 10_000);
+        assert!(h.mean_us() > 100.0 && h.mean_us() < 10_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_micros(1_000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_us(), 10);
+        assert_eq!(a.max_us(), 1_000);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let mut g = QueueDepthGauge::default();
+        g.observe(2);
+        g.observe(5);
+        g.observe(1);
+        assert_eq!(g.current, 1);
+        assert_eq!(g.peak, 5);
+    }
+
+    #[test]
+    fn session_counters_split_by_kind() {
+        let mut t = SessionTelemetry::default();
+        t.record_frame(
+            FrameKind::KeyFrame,
+            Duration::from_millis(5),
+            Duration::from_micros(50),
+        );
+        t.record_frame(
+            FrameKind::NonKeyFrame,
+            Duration::from_millis(2),
+            Duration::from_micros(20),
+        );
+        t.record_frame(
+            FrameKind::NonKeyFrame,
+            Duration::from_millis(2),
+            Duration::from_micros(20),
+        );
+        assert_eq!(t.frames_processed, 3);
+        assert_eq!(t.key_frames, 1);
+        assert_eq!(t.non_key_frames, 2);
+        assert!((t.key_frame_ratio() - 1.0 / 3.0).abs() < 1e-12);
+
+        let mut agg = AggregateTelemetry::default();
+        agg.absorb(&t);
+        agg.absorb(&t);
+        assert_eq!(agg.sessions, 2);
+        assert_eq!(agg.frames_processed, 6);
+        assert_eq!(agg.service_latency.count(), 6);
+        agg.wall_seconds = 3.0;
+        assert!((agg.frames_per_second() - 2.0).abs() < 1e-12);
+    }
+}

@@ -38,4 +38,4 @@ mod objects;
 mod sequence;
 
 pub use objects::{SceneObject, ShapeKind, Texture};
-pub use sequence::{DatasetProfile, SceneConfig, StereoFrame, StereoSequence};
+pub use sequence::{DatasetProfile, SceneConfig, SequenceStream, StereoFrame, StereoSequence};

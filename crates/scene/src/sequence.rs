@@ -179,7 +179,37 @@ impl StereoSequence {
     pub fn config(&self) -> &SceneConfig {
         &self.config
     }
+
+    /// Consumes the sequence into a frame-by-frame iterator, for driving a
+    /// streaming runtime (e.g. `asv-runtime` sessions) as if the sequence
+    /// were a live camera feed.  Frames arrive in temporal order.
+    pub fn into_stream(self) -> SequenceStream {
+        SequenceStream {
+            frames: self.frames.into_iter(),
+        }
+    }
 }
+
+/// Frame-by-frame iterator over a consumed [`StereoSequence`] (see
+/// [`StereoSequence::into_stream`]).
+#[derive(Debug)]
+pub struct SequenceStream {
+    frames: std::vec::IntoIter<StereoFrame>,
+}
+
+impl Iterator for SequenceStream {
+    type Item = StereoFrame;
+
+    fn next(&mut self) -> Option<StereoFrame> {
+        self.frames.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.frames.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SequenceStream {}
 
 fn spawn_objects(config: &SceneConfig, rng: &mut SmallRng) -> Vec<SceneObject> {
     let mut objects = Vec::with_capacity(config.num_objects);
@@ -443,6 +473,17 @@ mod tests {
                 .unwrap()
                 > 1e-4
         );
+    }
+
+    #[test]
+    fn into_stream_yields_frames_in_temporal_order() {
+        let config = SceneConfig::scene_flow_like(32, 24).with_seed(6);
+        let seq = StereoSequence::generate(&config, 3);
+        let reference: Vec<Image> = seq.frames().iter().map(|f| f.left.clone()).collect();
+        let stream = seq.into_stream();
+        assert_eq!(stream.len(), 3);
+        let streamed: Vec<Image> = stream.map(|f| f.left).collect();
+        assert_eq!(reference, streamed);
     }
 
     #[test]

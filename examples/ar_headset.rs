@@ -29,7 +29,8 @@ fn main() {
             frame_width: scene.width,
             frame_height: scene.height,
             network: "PSMNet".to_owned(),
-        });
+        })
+        .expect("known network");
         // Full system variant (ISM + deconvolution optimizations).
         let report = system.per_frame_report(asv::perf::AsvVariant::IsmDco);
         let accuracy = system

@@ -28,7 +28,8 @@ fn main() {
         frame_width: scene.width,
         frame_height: scene.height,
         network: "DispNet".to_owned(),
-    });
+    })
+    .expect("known network");
 
     // 3. Functional result: per-frame disparity maps.
     let result = system

@@ -25,7 +25,8 @@ fn main() {
         frame_width: scene.width,
         frame_height: scene.height,
         network: "GC-Net".to_owned(),
-    });
+    })
+    .expect("known network");
     let result = system
         .process_sequence(&sequence)
         .expect("sequence processes");

@@ -16,7 +16,7 @@
 //! let direct = AsvConfig::small();
 //! let via_facade = FacadeConfig::small();
 //! assert_eq!(direct, via_facade);
-//! let _system = AsvSystem::new(direct);
+//! let _system = AsvSystem::new(direct).expect("known network");
 //! ```
 //!
 //! Errors from any layer unify into [`AsvError`]:
@@ -44,6 +44,7 @@ pub use asv_deconv as deconv;
 pub use asv_dnn as dnn;
 pub use asv_flow as flow;
 pub use asv_image as image;
+pub use asv_runtime as runtime;
 pub use asv_scene as scene;
 pub use asv_stereo as stereo;
 pub use asv_tensor as tensor;

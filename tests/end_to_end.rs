@@ -32,7 +32,8 @@ fn ism_pipeline_matches_ground_truth_on_synthetic_video() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
-    });
+    })
+    .expect("known network");
     let result = system
         .process_sequence(&sequence)
         .expect("processing succeeds");
@@ -60,7 +61,8 @@ fn ism_accuracy_loss_is_small_and_speedup_is_large() {
         frame_width: 80,
         frame_height: 56,
         network: "FlowNetC".to_owned(),
-    });
+    })
+    .expect("known network");
     let accuracy = system
         .evaluate_accuracy(&sequence)
         .expect("accuracy evaluates");
@@ -92,7 +94,8 @@ fn key_and_non_key_frames_alternate_with_pw2() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
-    });
+    })
+    .expect("known network");
     let result = system
         .process_sequence(&sequence)
         .expect("processing succeeds");
@@ -138,7 +141,8 @@ fn disparity_maps_translate_to_sensible_depths() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
-    });
+    })
+    .expect("known network");
     let result = system
         .process_sequence(&sequence)
         .expect("processing succeeds");

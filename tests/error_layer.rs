@@ -14,7 +14,7 @@ use std::error::Error;
 fn chain_tensor_then_pipeline(bad_len: usize) -> Result<usize, AsvError> {
     let tensor = Tensor4::from_vec(Shape4::new(1, 1, 2, 2), vec![0.0; bad_len])?;
     let sequence = StereoSequence::generate(&SceneConfig::scene_flow_like(64, 48).with_seed(1), 2);
-    let result = AsvSystem::new(AsvConfig::small()).process_sequence(&sequence)?;
+    let result = AsvSystem::new(AsvConfig::small())?.process_sequence(&sequence)?;
     Ok(result.frames.len() + tensor.shape().volume())
 }
 
@@ -44,6 +44,7 @@ fn pipeline_failure_surfaces_as_asv_error() {
     // carrying the stereo layer's error.
     let sequence = StereoSequence::generate(&SceneConfig::scene_flow_like(0, 0).with_seed(1), 1);
     let err = AsvSystem::new(AsvConfig::small())
+        .expect("known network")
         .process_sequence(&sequence)
         .unwrap_err();
     assert!(matches!(err, AsvError::Stereo(_)), "{err:?}");

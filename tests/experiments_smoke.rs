@@ -194,3 +194,42 @@ mod fig_binary_entry_points {
         assert_report(figs::tab_overhead_report(), "Section 7.1");
     }
 }
+
+#[test]
+fn streaming_throughput_serves_concurrent_sessions() {
+    // The serving-scalability experiment: 8 concurrent streams over a
+    // multi-worker pool vs the serial batch baseline.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cores.clamp(2, 8);
+    let report = asv_bench::streaming::streaming_throughput(8, workers, 3);
+    assert_eq!(report.sessions, 8);
+    assert!(report.serial_fps > 0.0);
+    assert!(report.concurrent_fps > 0.0);
+    // Telemetry must be live: non-zero latency quantiles in order, and the
+    // PW-4 schedule on 3 frames gives exactly one key frame per stream.
+    assert!(report.p50_us > 0);
+    assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+    assert!((report.key_frame_ratio - 1.0 / 3.0).abs() < 1e-9);
+    eprintln!(
+        "streaming scalability recorded (cores={cores}, workers={workers}): serial {:.1} fps, concurrent {:.1} fps, speedup {:.2}x",
+        report.serial_fps, report.concurrent_fps, report.speedup
+    );
+    // The >= 2x scaling claim is only a sound assertion when the serial
+    // baseline is genuinely serial: with the `parallel` feature on, each
+    // batch frame already fans out over every core, so session-level
+    // concurrency cannot multiply it again.  The sequential-kernels CI
+    // configuration (`--no-default-features`) runs the hard assertion on
+    // hosts with enough real cores; elsewhere the numbers above record it.
+    #[cfg(not(feature = "parallel"))]
+    if cores >= 4 {
+        assert!(
+            report.speedup >= 2.0,
+            "8 sessions over {workers} workers should scale >= 2x (got {:.2}x: serial {:.1} fps, concurrent {:.1} fps)",
+            report.speedup,
+            report.serial_fps,
+            report.concurrent_fps
+        );
+    }
+}

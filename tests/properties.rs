@@ -1,14 +1,50 @@
 //! Workspace-level property-based tests on the core invariants that the ASV
 //! design relies on.
 
+use asv_system::asv::ism::{IsmConfig, IsmPipeline, KeyFramePolicy};
 use asv_system::deconv::decompose::{decompose_kernel2d, sub_kernel_shapes};
 use asv_system::deconv::transform::{paper_deconv2d, transformed_deconv2d};
+use asv_system::dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
 use asv_system::image::{gaussian_blur, Image};
+use asv_system::runtime::{serve_sequences, SchedulerConfig};
+use asv_system::scene::{SceneConfig, StereoSequence};
+use asv_system::stereo::block_matching::BlockMatchParams;
 use asv_system::stereo::triangulation::CameraRig;
 use asv_system::tensor::{Shape4, Tensor4};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// A small ISM pipeline over 40x30 frames for the streaming properties.
+fn streaming_pipeline(window: usize, policy: KeyFramePolicy) -> IsmPipeline {
+    let config = IsmConfig {
+        propagation_window: window,
+        key_frame_policy: policy,
+        refine: BlockMatchParams {
+            max_disparity: 16,
+            refine_radius: 3,
+            ..Default::default()
+        },
+        surrogate: SurrogateParams {
+            max_disparity: 16,
+            occlusion_handling: true,
+        },
+        ..Default::default()
+    };
+    IsmPipeline::new(
+        config,
+        SurrogateStereoDnn::new(zoo::dispnet(30, 40), config.surrogate),
+    )
+}
+
+fn streaming_sequence(seed: u64, frames: usize) -> StereoSequence {
+    StereoSequence::generate(
+        &SceneConfig::scene_flow_like(40, 30)
+            .with_seed(seed)
+            .with_objects(2),
+        frames,
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -95,5 +131,70 @@ proptest! {
         let e1 = rig.depth_error_for_disparity_error(depth, 0.1);
         let e2 = rig.depth_error_for_disparity_error(depth, 0.2);
         prop_assert!(e2 >= e1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Streaming and batch ISM are the same algorithm: driving
+    /// `IsmState::step` frame-by-frame is byte-identical to
+    /// `process_sequence`, for any sequence, propagation window and
+    /// key-frame policy.
+    #[test]
+    fn streaming_step_is_byte_identical_to_batch(
+        seed in 0u64..10_000,
+        frames in 2usize..5,
+        window in 1usize..4,
+        policy_kind in 0usize..3,
+        threshold in 0.0f32..2.0,
+    ) {
+        let policy = match policy_kind {
+            0 => KeyFramePolicy::Static,
+            // An adaptive policy with a sub-pixel threshold re-keys often;
+            // a large one reproduces the static schedule.
+            1 => KeyFramePolicy::AdaptiveMotion { max_median_motion_px: threshold },
+            _ => KeyFramePolicy::AdaptiveMotion { max_median_motion_px: 1e6 },
+        };
+        let pipeline = streaming_pipeline(window, policy);
+        let sequence = streaming_sequence(seed, frames);
+        let batch = pipeline.process_sequence(&sequence).unwrap();
+        let mut state = pipeline.state();
+        for (i, frame) in sequence.frames().iter().enumerate() {
+            let streamed = state.step(&frame.left, &frame.right).unwrap();
+            prop_assert_eq!(streamed.kind, batch.frames[i].kind);
+            prop_assert_eq!(&streamed.disparity, &batch.frames[i].disparity);
+        }
+    }
+
+    /// The scheduler never reorders a session's frames: under concurrent
+    /// load (several sessions, several workers, tiny inboxes) every
+    /// session's result stream equals its order-sensitive batch result.
+    #[test]
+    fn scheduler_preserves_per_session_order_under_load(
+        seed in 0u64..10_000,
+        sessions in 2usize..4,
+        frames in 2usize..5,
+        workers in 2usize..5,
+    ) {
+        let pipeline = streaming_pipeline(2, KeyFramePolicy::Static);
+        let streams: Vec<StereoSequence> = (0..sessions)
+            .map(|i| streaming_sequence(seed + i as u64, frames))
+            .collect();
+        let outcome = serve_sequences(
+            &pipeline,
+            &streams,
+            SchedulerConfig::per_core().with_workers(workers).with_inbox_capacity(1),
+        )
+        .unwrap();
+        prop_assert_eq!(outcome.results.len(), sessions);
+        for (stream, result) in streams.iter().zip(&outcome.results) {
+            let batch = pipeline.process_sequence(stream).unwrap();
+            prop_assert_eq!(batch.frames.len(), result.frames.len());
+            for (b, s) in batch.frames.iter().zip(&result.frames) {
+                prop_assert_eq!(b.kind, s.kind);
+                prop_assert_eq!(&b.disparity, &s.disparity);
+            }
+        }
     }
 }
