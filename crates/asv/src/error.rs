@@ -38,12 +38,26 @@ pub enum AsvError {
         /// Human readable description.
         context: String,
     },
+    /// The runtime is shutting down and no longer accepts work.
+    Shutdown,
+    /// Admission control rejected a frame because the target queue is full.
+    Saturated {
+        /// Which queue rejected the frame (session, shard or ingest queue).
+        context: String,
+    },
 }
 
 impl AsvError {
     /// Builds an [`AsvError::Config`] from anything displayable.
     pub fn config(context: impl fmt::Display) -> Self {
         AsvError::Config {
+            context: context.to_string(),
+        }
+    }
+
+    /// Builds an [`AsvError::Saturated`] naming the rejecting queue.
+    pub fn saturated(context: impl fmt::Display) -> Self {
+        AsvError::Saturated {
             context: context.to_string(),
         }
     }
@@ -60,6 +74,10 @@ impl fmt::Display for AsvError {
                 write!(f, "unknown stereo network {name:?} (expected one of the zoo names: DispNet, FlowNetC, GC-Net, PSMNet)")
             }
             AsvError::Config { context } => write!(f, "configuration: {context}"),
+            AsvError::Shutdown => write!(f, "runtime is shut down"),
+            AsvError::Saturated { context } => {
+                write!(f, "admission control rejected the frame: {context} is full")
+            }
         }
     }
 }
@@ -71,7 +89,10 @@ impl Error for AsvError {
             AsvError::Image(e) => Some(e),
             AsvError::Flow(e) => Some(e),
             AsvError::Stereo(e) => Some(e),
-            AsvError::UnknownNetwork { .. } | AsvError::Config { .. } => None,
+            AsvError::UnknownNetwork { .. }
+            | AsvError::Config { .. }
+            | AsvError::Shutdown
+            | AsvError::Saturated { .. } => None,
         }
     }
 }
@@ -151,6 +172,22 @@ mod tests {
         assert!(e.source().is_none());
         assert!(e.to_string().contains("\"ResNet\""));
         assert!(e.to_string().contains("DispNet"));
+    }
+
+    #[test]
+    fn runtime_errors_have_no_source_and_name_the_queue() {
+        let e = AsvError::Shutdown;
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("shut down"));
+        let e = AsvError::saturated("session-3 inbox");
+        assert!(e.source().is_none());
+        assert_eq!(
+            e,
+            AsvError::Saturated {
+                context: "session-3 inbox".to_owned()
+            }
+        );
+        assert!(e.to_string().contains("session-3 inbox"));
     }
 
     #[test]

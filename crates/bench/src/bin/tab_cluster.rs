@@ -1,0 +1,8 @@
+//! Prints the cluster scale-out experiment: sharded-runtime throughput vs
+//! the single-scheduler baseline, swept over shard counts.
+//!
+//! Run with: `cargo run --release -p asv-bench --bin tab_cluster`
+
+fn main() {
+    print!("{}", asv_bench::cluster::cluster_report());
+}

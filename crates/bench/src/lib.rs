@@ -14,6 +14,7 @@
 //! DESIGN.md and the measured-vs-paper numbers in EXPERIMENTS.md.
 
 pub mod algorithms;
+pub mod cluster;
 pub mod figs;
 pub mod hardware;
 pub mod streaming;

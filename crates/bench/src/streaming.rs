@@ -47,8 +47,9 @@ pub struct StreamingThroughputReport {
     pub peak_queue_depth: usize,
 }
 
-/// The ISM pipeline both sides of the comparison share.
-fn streaming_pipeline() -> IsmPipeline {
+/// The ISM pipeline both sides of the comparison share (also used by the
+/// cluster experiment).
+pub(crate) fn streaming_pipeline() -> IsmPipeline {
     let config = IsmConfig {
         propagation_window: 4,
         refine: BlockMatchParams {
@@ -69,7 +70,7 @@ fn streaming_pipeline() -> IsmPipeline {
 }
 
 /// The synthetic camera streams (distinct seeds per stream).
-fn streams(sessions: usize, frames_per_stream: usize) -> Vec<StereoSequence> {
+pub(crate) fn streams(sessions: usize, frames_per_stream: usize) -> Vec<StereoSequence> {
     (0..sessions)
         .map(|i| {
             let scene = SceneConfig::scene_flow_like(STREAM_WIDTH, STREAM_HEIGHT)

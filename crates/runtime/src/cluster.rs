@@ -1,0 +1,379 @@
+//! The multi-scheduler cluster: N independent [`Scheduler`] shards behind
+//! one placement layer.
+//!
+//! # Why shard
+//!
+//! A single [`Scheduler`] multiplexes many sessions over one worker pool and
+//! one engine lock.  Past a few dozen busy streams that lock becomes the
+//! contention point: every submit, dispatch and commit serializes on it.  A
+//! [`Cluster`] runs `N` fully independent schedulers ("shards"), each with
+//! its own lock, worker pool and session table, and only decides *placement*
+//! — which shard owns a new session.  After placement the shards never talk
+//! to each other, so cluster throughput scales with shard count until the
+//! machine itself saturates.
+//!
+//! # Placement
+//!
+//! Sessions are placed by consistent hashing of their routing key over a
+//! ring of virtual nodes ([`ClusterConfig::replicas`] per shard), so the
+//! same key always lands on the same shard and adding shards moves only
+//! `~1/N` of the keys.  Two escape hatches exist ([`Placement`]): an
+//! explicit pinned shard, and a least-loaded fallback that placement
+//! automatically takes when the hashed shard is saturated (every inbox
+//! full).
+//!
+//! # Determinism
+//!
+//! Placement only chooses *where* a session lives; each session's frames
+//! still flow through one shard's FIFO machinery.  Per-session results are
+//! therefore byte-identical to a single scheduler and to batch
+//! [`asv::IsmPipeline::process_sequence`] — the property the simulation
+//! harness in [`crate::sim`] locks down.
+
+use crate::export::render_prometheus;
+use crate::scheduler::{RuntimeReport, Scheduler, SchedulerConfig, SessionHandle};
+use crate::session::SessionReport;
+use crate::telemetry::AggregateTelemetry;
+use asv::ism::IsmState;
+use asv::AsvError;
+
+/// Tuning knobs of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of scheduler shards (clamped to at least 1).
+    pub shards: usize,
+    /// Configuration every shard's scheduler is built with.
+    pub shard: SchedulerConfig,
+    /// Virtual nodes per shard on the consistent-hash ring (clamped to at
+    /// least 1).  More replicas smooth the key distribution.
+    pub replicas: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` shards with per-core schedulers and 16 virtual
+    /// nodes per shard.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            shard: SchedulerConfig::per_core(),
+            replicas: 16,
+        }
+    }
+
+    /// Returns the configuration with a different per-shard scheduler
+    /// configuration.
+    pub fn with_shard_config(mut self, shard: SchedulerConfig) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Returns the configuration with a different virtual-node count.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+/// How [`Cluster::add_session_with`] chooses a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Consistent hash of the routing key, falling back to the least-loaded
+    /// shard when the hashed shard is saturated.  The default.
+    Hashed,
+    /// Pin the session to a specific shard index (explicit override).
+    Pinned(usize),
+    /// Ignore the key and place on the shard with the lowest instantaneous
+    /// load.
+    LeastLoaded,
+}
+
+/// 64-bit FNV-1a with a splitmix64 finalizer — deterministic across runs
+/// and platforms, which is what a placement function must be (`std`'s
+/// `DefaultHasher` explicitly is not).  Raw FNV-1a mixes the final byte
+/// through only one multiply, so short keys differing in their last
+/// characters ("cam-1", "cam-2", ...) cluster on the ring; the finalizer
+/// restores full avalanche.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// The sharded serving engine: a consistent-hash placement layer over `N`
+/// independent [`Scheduler`]s.
+///
+/// See the module documentation for the placement and determinism model.
+#[derive(Debug)]
+pub struct Cluster {
+    shards: Vec<Scheduler>,
+    /// Sorted `(hash, shard)` virtual nodes.
+    ring: Vec<(u64, usize)>,
+}
+
+/// Producer-side handle of one cluster session: the shard's
+/// [`SessionHandle`] plus where and under which key the session was placed.
+#[derive(Debug, Clone)]
+pub struct ClusterSessionHandle {
+    shard: usize,
+    key: String,
+    handle: SessionHandle,
+}
+
+impl ClusterSessionHandle {
+    /// Index of the shard serving this session.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The routing key the session was registered under.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The underlying per-shard session handle (e.g. to hand to the ingest
+    /// layer).
+    pub fn handle(&self) -> &SessionHandle {
+        &self.handle
+    }
+
+    /// Submits one stereo frame to the session's shard; semantics are those
+    /// of [`SessionHandle::submit`] under the shard's shed policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard scheduler's error (session failure,
+    /// [`AsvError::Shutdown`], or [`AsvError::Saturated`]).
+    pub fn submit(&self, left: asv_image::Image, right: asv_image::Image) -> Result<(), AsvError> {
+        self.handle.submit(left, right)
+    }
+
+    /// Current inbox depth of the session on its shard.
+    pub fn queue_depth(&self) -> usize {
+        self.handle.queue_depth()
+    }
+}
+
+/// Everything the cluster produced, returned by [`Cluster::join`].
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-shard runtime reports, indexed by shard.
+    pub shards: Vec<RuntimeReport>,
+    /// Cross-shard merge of every shard's aggregate telemetry.
+    pub aggregate: AggregateTelemetry,
+}
+
+impl ClusterReport {
+    /// Looks a session report up by its routing key (label), searching all
+    /// shards.
+    pub fn session_by_key(&self, key: &str) -> Option<&SessionReport> {
+        self.shards.iter().find_map(|shard| {
+            shard
+                .sessions
+                .iter()
+                .find(|s| s.label.as_deref() == Some(key))
+        })
+    }
+
+    /// Renders the final per-shard telemetry in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        let per_shard: Vec<AggregateTelemetry> =
+            self.shards.iter().map(|s| s.aggregate.clone()).collect();
+        render_prometheus(&per_shard)
+    }
+}
+
+impl Cluster {
+    /// Starts a cluster: `config.shards` independent schedulers, each with
+    /// its own worker pool, plus the consistent-hash ring.
+    pub fn new(config: ClusterConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let replicas = config.replicas.max(1);
+        let shards = (0..shard_count)
+            .map(|_| Scheduler::new(config.shard))
+            .collect();
+        let mut ring = Vec::with_capacity(shard_count * replicas);
+        for shard in 0..shard_count {
+            for replica in 0..replicas {
+                ring.push((
+                    fnv1a(format!("shard-{shard}/vnode-{replica}").as_bytes()),
+                    shard,
+                ));
+            }
+        }
+        ring.sort_unstable();
+        Self { shards, ring }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the consistent-hash ring assigns to `key` (before any
+    /// saturation fallback).
+    pub fn shard_for_key(&self, key: &str) -> usize {
+        let hash = fnv1a(key.as_bytes());
+        // First virtual node clockwise from the key's hash, wrapping.
+        let at = self.ring.partition_point(|&(h, _)| h < hash);
+        self.ring[at % self.ring.len()].1
+    }
+
+    /// The shard with the lowest instantaneous load (ties go to the lowest
+    /// index).
+    pub fn least_loaded_shard(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.load())
+            .map(|(i, _)| i)
+            .expect("cluster has at least one shard")
+    }
+
+    /// Places a new session by consistent hashing of `key` (with the
+    /// least-loaded fallback when the hashed shard is saturated) and
+    /// registers it there.
+    pub fn add_session(&self, key: &str, state: IsmState) -> ClusterSessionHandle {
+        self.add_session_with(Placement::Hashed, key, state)
+            .expect("hashed placement cannot fail")
+    }
+
+    /// Places a new session with an explicit [`Placement`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsvError::Config`] when `Placement::Pinned` names a shard
+    /// index out of range.
+    pub fn add_session_with(
+        &self,
+        placement: Placement,
+        key: &str,
+        state: IsmState,
+    ) -> Result<ClusterSessionHandle, AsvError> {
+        let shard = match placement {
+            Placement::Pinned(shard) => {
+                if shard >= self.shards.len() {
+                    return Err(AsvError::config(format!(
+                        "pinned shard {shard} out of range (cluster has {} shards)",
+                        self.shards.len()
+                    )));
+                }
+                shard
+            }
+            Placement::LeastLoaded => self.least_loaded_shard(),
+            Placement::Hashed => {
+                let hashed = self.shard_for_key(key);
+                if self.shards[hashed].is_saturated() {
+                    self.least_loaded_shard()
+                } else {
+                    hashed
+                }
+            }
+        };
+        let handle = self.shards[shard].add_session_labeled(state, Some(key.to_owned()));
+        Ok(ClusterSessionHandle {
+            shard,
+            key: key.to_owned(),
+            handle,
+        })
+    }
+
+    /// Live per-shard telemetry snapshots (the scrape path).
+    pub fn telemetry(&self) -> Vec<AggregateTelemetry> {
+        self.shards
+            .iter()
+            .map(Scheduler::telemetry_snapshot)
+            .collect()
+    }
+
+    /// Live cross-shard merge of every shard's telemetry.
+    pub fn merged_telemetry(&self) -> AggregateTelemetry {
+        let mut merged = AggregateTelemetry::default();
+        for shard in self.telemetry() {
+            merged.merge(&shard);
+        }
+        merged
+    }
+
+    /// Renders the live per-shard telemetry in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.telemetry())
+    }
+
+    /// Shuts every shard down (draining its inboxes), joins all worker
+    /// pools and returns the per-shard reports plus the cross-shard
+    /// telemetry merge.
+    pub fn join(self) -> ClusterReport {
+        let shards: Vec<RuntimeReport> = self.shards.into_iter().map(Scheduler::join).collect();
+        let mut aggregate = AggregateTelemetry::default();
+        for shard in &shards {
+            aggregate.merge(&shard.aggregate);
+        }
+        ClusterReport { shards, aggregate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_only_cluster(shards: usize) -> Cluster {
+        // Zero-worker shards: cheap to build, nothing runs.
+        Cluster::new(
+            ClusterConfig::new(shards)
+                .with_shard_config(SchedulerConfig::per_core().with_workers(0)),
+        )
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_total() {
+        let cluster = ring_only_cluster(4);
+        for key in ["cam-0", "cam-1", "warehouse/aisle-7", ""] {
+            let shard = cluster.shard_for_key(key);
+            assert!(shard < 4);
+            assert_eq!(shard, cluster.shard_for_key(key), "stable for {key:?}");
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let cluster = ring_only_cluster(4);
+        let mut hit = [0usize; 4];
+        for i in 0..256 {
+            hit[cluster.shard_for_key(&format!("camera-{i}"))] += 1;
+        }
+        assert!(
+            hit.iter().all(|&h| h > 0),
+            "every shard should own keys: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_some_keys() {
+        let four = ring_only_cluster(4);
+        let five = ring_only_cluster(5);
+        let moved = (0..512)
+            .filter(|i| {
+                let key = format!("camera-{i}");
+                four.shard_for_key(&key) != five.shard_for_key(&key)
+            })
+            .count();
+        // Consistent hashing moves ~1/5 of keys; a modulo scheme moves ~4/5.
+        assert!(
+            moved < 512 / 2,
+            "expected a minority of keys to move, got {moved}/512"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Prometheus text-format export of runtime telemetry.
+//!
+//! [`render_prometheus`] turns one [`AggregateTelemetry`] per shard into the
+//! [Prometheus text exposition format]: counters for frame totals, gauges
+//! for queue depths and throughput, and cumulative histograms for the
+//! service-latency and queue-wait distributions, every sample labelled with
+//! its shard index.  The output is scrape-ready — serve it verbatim from an
+//! HTTP `/metrics` endpoint.
+//!
+//! The metric names and label keys below are a stable contract, locked by a
+//! golden integration test; extend the set rather than renaming.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::telemetry::{AggregateTelemetry, LatencyHistogram};
+use std::fmt::Write;
+
+/// One metric family: name, type and help string.
+struct Family {
+    name: &'static str,
+    kind: &'static str,
+    help: &'static str,
+}
+
+impl Family {
+    fn header(&self, out: &mut String) {
+        let _ = writeln!(out, "# HELP {} {}", self.name, self.help);
+        let _ = writeln!(out, "# TYPE {} {}", self.name, self.kind);
+    }
+}
+
+fn sample(out: &mut String, name: &str, shard: usize, value: impl std::fmt::Display) {
+    let _ = writeln!(out, "{name}{{shard=\"{shard}\"}} {value}");
+}
+
+/// Emits one family with a single per-shard value extracted by `get`.
+fn scalar_family(
+    out: &mut String,
+    family: &Family,
+    shards: &[AggregateTelemetry],
+    get: impl Fn(&AggregateTelemetry) -> String,
+) {
+    family.header(out);
+    for (shard, telemetry) in shards.iter().enumerate() {
+        sample(out, family.name, shard, get(telemetry));
+    }
+}
+
+/// Emits one histogram family in cumulative `_bucket`/`_sum`/`_count` form.
+fn histogram_family(
+    out: &mut String,
+    name: &'static str,
+    help: &'static str,
+    shards: &[AggregateTelemetry],
+    get: impl Fn(&AggregateTelemetry) -> &LatencyHistogram,
+) {
+    Family {
+        name,
+        kind: "histogram",
+        help,
+    }
+    .header(out);
+    for (shard, telemetry) in shards.iter().enumerate() {
+        let histogram = get(telemetry);
+        let mut cumulative = 0u64;
+        for (upper_us, count) in histogram.buckets() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{shard=\"{shard}\",le=\"{upper_us}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{shard=\"{shard}\",le=\"+Inf\"}} {}",
+            histogram.count()
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{{shard=\"{shard}\"}} {}",
+            histogram.sum_us()
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{{shard=\"{shard}\"}} {}",
+            histogram.count()
+        );
+    }
+}
+
+/// Renders one telemetry aggregate per shard as a Prometheus text-format
+/// scrape body.  A single-`Scheduler` deployment passes a one-element slice;
+/// the cluster passes one aggregate per shard.
+pub fn render_prometheus(shards: &[AggregateTelemetry]) -> String {
+    let mut out = String::new();
+    Family {
+        name: "asv_cluster_shards",
+        kind: "gauge",
+        help: "Number of scheduler shards in the cluster.",
+    }
+    .header(&mut out);
+    let _ = writeln!(out, "asv_cluster_shards {}", shards.len());
+
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_sessions",
+            kind: "gauge",
+            help: "Registered stream sessions per shard.",
+        },
+        shards,
+        |t| t.sessions.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_frames_submitted_total",
+            kind: "counter",
+            help: "Frames accepted into session inboxes.",
+        },
+        shards,
+        |t| t.frames_submitted.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_frames_processed_total",
+            kind: "counter",
+            help: "Frames fully processed (key + non-key).",
+        },
+        shards,
+        |t| t.frames_processed.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_key_frames_total",
+            kind: "counter",
+            help: "Frames processed with full DNN inference.",
+        },
+        shards,
+        |t| t.key_frames.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_non_key_frames_total",
+            kind: "counter",
+            help: "Frames processed by motion propagation + refinement.",
+        },
+        shards,
+        |t| t.non_key_frames.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_frames_dropped_total",
+            kind: "counter",
+            help: "Frames discarded after a session failure or shutdown.",
+        },
+        shards,
+        |t| t.frames_dropped.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_frames_shed_total",
+            kind: "counter",
+            help: "Frames rejected or displaced by admission control.",
+        },
+        shards,
+        |t| t.frames_shed.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_queue_depth",
+            kind: "gauge",
+            help: "Frames currently queued across the shard's inboxes.",
+        },
+        shards,
+        |t| t.current_queue_depth.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_queue_depth_peak",
+            kind: "gauge",
+            help: "Largest inbox depth ever observed on the shard.",
+        },
+        shards,
+        |t| t.peak_queue_depth.to_string(),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_uptime_seconds",
+            kind: "gauge",
+            help: "Wall-clock seconds the shard has been serving.",
+        },
+        shards,
+        |t| format!("{:.6}", t.wall_seconds),
+    );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_frames_per_second",
+            kind: "gauge",
+            help: "Aggregate processed-frame throughput of the shard.",
+        },
+        shards,
+        |t| format!("{:.6}", t.frames_per_second()),
+    );
+    histogram_family(
+        &mut out,
+        "asv_service_latency_microseconds",
+        "Per-frame service time: dequeue to finished disparity map.",
+        shards,
+        |t| &t.service_latency,
+    );
+    histogram_family(
+        &mut out,
+        "asv_queue_wait_microseconds",
+        "Per-frame queue wait: submit to dequeue.",
+        shards,
+        |t| &t.queue_wait,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asv::FrameKind;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_every_family_per_shard() {
+        let mut a = crate::telemetry::SessionTelemetry::default();
+        a.record_frame(
+            FrameKind::KeyFrame,
+            Duration::from_micros(900),
+            Duration::from_micros(40),
+        );
+        let mut shard = AggregateTelemetry::default();
+        shard.absorb(&a);
+        shard.wall_seconds = 2.0;
+        let text = render_prometheus(&[shard.clone(), shard]);
+        assert!(text.contains("asv_cluster_shards 2"));
+        assert!(text.contains("asv_frames_processed_total{shard=\"0\"} 1"));
+        assert!(text.contains("asv_frames_processed_total{shard=\"1\"} 1"));
+        assert!(text.contains("asv_service_latency_microseconds_bucket{shard=\"0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("asv_service_latency_microseconds_sum{shard=\"1\"} 900"));
+        assert!(text.contains("asv_frames_per_second{shard=\"0\"} 0.500000"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if !line.starts_with('#') {
+                assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! The async ingestion front-end: a bounded submission queue with admission
+//! control between producers and the (cluster of) scheduler(s).
+//!
+//! # Why a front-end
+//!
+//! [`crate::SessionHandle::submit`] under the default `Block` policy couples
+//! a producer to its shard: a camera thread stalls whenever its session's
+//! inbox is full.  Network ingestion cannot afford that — an accept loop
+//! must hand a frame off in microseconds and move to the next socket.  The
+//! [`Ingest`] layer decouples the two sides: producers enqueue into a
+//! bounded submission queue and return immediately; a small pool of
+//! *forwarder* threads drains the queue and performs the (possibly
+//! blocking) shard submits.
+//!
+//! # Admission control
+//!
+//! Two limits guard the queue, both enforced at enqueue time:
+//!
+//! * a **global capacity** ([`IngestConfig::queue_capacity`]) bounding total
+//!   buffered frames, and
+//! * a **per-session quota** ([`IngestConfig::session_quota`]) so one hot
+//!   session can occupy at most `session_quota` of those slots — a
+//!   misbehaving camera cannot starve the cluster's intake.
+//!
+//! When either limit is hit the configured [`ShedPolicy`] applies: `Block`
+//! parks the producer, `Reject` returns [`AsvError::Saturated`], and
+//! `DropOldest` displaces the *submitting session's own* oldest queued frame
+//! (it never steals another session's slot; if the global queue is full
+//! exclusively with other sessions' frames, `DropOldest` blocks like
+//! `Block`, which only happens when `queue_capacity` is undersized for the
+//! session count).
+//!
+//! # Ordering
+//!
+//! Frames of one session are forwarded strictly FIFO: each route is marked
+//! busy while a forwarder carries its frame, so two forwarders never race on
+//! the same session.  Routes are drained round-robin, mirroring the
+//! scheduler's fairness.  This preserves the end-to-end determinism property
+//! (see [`crate::sim`]).
+
+use crate::scheduler::{SessionHandle, ShedPolicy};
+use asv::AsvError;
+use asv_image::Image;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of the ingestion front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Total frames the submission queue may buffer across all routes
+    /// (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// Frames one route may hold in the submission queue (clamped to at
+    /// least 1); the anti-starvation quota.
+    pub session_quota: usize,
+    /// Forwarder threads draining the queue into the shards (clamped to at
+    /// least 1).
+    pub forwarders: usize,
+    /// What `submit` does when a limit is hit.
+    pub policy: ShedPolicy,
+}
+
+impl IngestConfig {
+    /// Returns the configuration with a different global capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Returns the configuration with a different per-session quota.
+    pub fn with_session_quota(mut self, quota: usize) -> Self {
+        self.session_quota = quota;
+        self
+    }
+
+    /// Returns the configuration with a different forwarder count.
+    pub fn with_forwarders(mut self, forwarders: usize) -> Self {
+        self.forwarders = forwarders;
+        self
+    }
+
+    /// Returns the configuration with a different load-shedding policy.
+    pub fn with_policy(mut self, policy: ShedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            session_quota: 8,
+            forwarders: 2,
+            policy: ShedPolicy::Block,
+        }
+    }
+}
+
+/// One registered downstream session and its slice of the submission queue.
+#[derive(Debug)]
+struct Route {
+    sink: SessionHandle,
+    queued: VecDeque<(Image, Image)>,
+    /// A forwarder is currently carrying a frame of this route; no other
+    /// forwarder may touch it (preserves per-session FIFO order).
+    busy: bool,
+    error: Option<AsvError>,
+    accepted: u64,
+    forwarded: u64,
+    shed: u64,
+}
+
+/// Mutable front-end state shared by producers and forwarders.
+#[derive(Debug)]
+struct FrontEnd {
+    routes: Vec<Route>,
+    queued_total: usize,
+    cursor: usize,
+    shutdown: bool,
+    in_flight: usize,
+}
+
+impl FrontEnd {
+    /// Picks the next route with a deliverable frame, round-robin, and
+    /// marks it busy.
+    fn dispatch_next(&mut self) -> Option<(usize, Image, Image)> {
+        let n = self.routes.len();
+        for k in 0..n {
+            let idx = (self.cursor + k) % n;
+            let route = &mut self.routes[idx];
+            if !route.busy && route.error.is_none() {
+                if let Some((left, right)) = route.queued.pop_front() {
+                    route.busy = true;
+                    self.cursor = (idx + 1) % n;
+                    self.queued_total -= 1;
+                    self.in_flight += 1;
+                    return Some((idx, left, right));
+                }
+            }
+        }
+        None
+    }
+
+    fn drained(&self) -> bool {
+        self.shutdown && self.in_flight == 0 && self.queued_total == 0
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    front: Mutex<FrontEnd>,
+    /// Forwarders park here when no route has a deliverable frame.
+    work: Condvar,
+    /// Producers park here when a limit is hit under the `Block` policy.
+    space: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, FrontEnd> {
+        self.front.lock().expect("ingest front-end lock poisoned")
+    }
+}
+
+/// Final per-route accounting, part of [`IngestStats`].
+#[derive(Debug, Clone)]
+pub struct RouteStats {
+    /// Frames accepted into the submission queue.
+    pub accepted: u64,
+    /// Frames successfully handed to the downstream session.
+    pub forwarded: u64,
+    /// Frames shed by admission control (rejected or displaced).
+    pub shed: u64,
+    /// The downstream error that poisoned the route, if any.
+    pub error: Option<AsvError>,
+}
+
+/// Final accounting of one [`Ingest`] front-end, returned by
+/// [`Ingest::join`].
+#[derive(Debug, Clone)]
+pub struct IngestStats {
+    /// Per-route accounting in registration order.
+    pub routes: Vec<RouteStats>,
+}
+
+impl IngestStats {
+    /// Total frames accepted across all routes.
+    pub fn accepted(&self) -> u64 {
+        self.routes.iter().map(|r| r.accepted).sum()
+    }
+
+    /// Total frames forwarded downstream across all routes.
+    pub fn forwarded(&self) -> u64 {
+        self.routes.iter().map(|r| r.forwarded).sum()
+    }
+
+    /// Total frames shed by admission control across all routes.
+    pub fn shed(&self) -> u64 {
+        self.routes.iter().map(|r| r.shed).sum()
+    }
+}
+
+/// The ingestion front-end: producers submit asynchronously, forwarder
+/// threads deliver to the downstream [`SessionHandle`]s.
+///
+/// See the module documentation for the admission-control and ordering
+/// model.
+#[derive(Debug)]
+pub struct Ingest {
+    shared: Arc<Shared>,
+    forwarders: Vec<JoinHandle<()>>,
+    config: IngestConfig,
+}
+
+/// Producer-side handle of one registered route; cheap to clone and `Send`.
+#[derive(Debug, Clone)]
+pub struct RouteHandle {
+    shared: Arc<Shared>,
+    index: usize,
+    config: IngestConfig,
+}
+
+impl Ingest {
+    /// Starts the front-end with its forwarder pool running.
+    pub fn new(config: IngestConfig) -> Self {
+        let shared = Arc::new(Shared {
+            front: Mutex::new(FrontEnd {
+                routes: Vec::new(),
+                queued_total: 0,
+                cursor: 0,
+                shutdown: false,
+                in_flight: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let forwarders = (0..config.forwarders.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || forwarder_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            forwarders,
+            config,
+        }
+    }
+
+    /// Registers a downstream session (e.g.
+    /// [`crate::ClusterSessionHandle::handle`]) and returns the producer's
+    /// route handle.
+    pub fn register(&self, sink: SessionHandle) -> RouteHandle {
+        let mut front = self.shared.lock();
+        let index = front.routes.len();
+        front.routes.push(Route {
+            sink,
+            queued: VecDeque::new(),
+            busy: false,
+            error: None,
+            accepted: 0,
+            forwarded: 0,
+            shed: 0,
+        });
+        RouteHandle {
+            shared: Arc::clone(&self.shared),
+            index,
+            config: self.config,
+        }
+    }
+
+    /// Stops accepting submissions, drains the queue through the
+    /// forwarders, joins them and returns the accounting.
+    ///
+    /// Call `join` on the ingest layer *before* joining the downstream
+    /// scheduler/cluster, so every buffered frame reaches its shard first.
+    pub fn join(mut self) -> IngestStats {
+        self.signal_shutdown();
+        for handle in self.forwarders.drain(..) {
+            handle.join().expect("ingest forwarder panicked");
+        }
+        let mut front = self.shared.lock();
+        let routes = front
+            .routes
+            .drain(..)
+            .map(|r| RouteStats {
+                accepted: r.accepted,
+                forwarded: r.forwarded,
+                shed: r.shed,
+                error: r.error,
+            })
+            .collect();
+        IngestStats { routes }
+    }
+
+    fn signal_shutdown(&self) {
+        let mut front = self.shared.lock();
+        front.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        drop(front);
+    }
+}
+
+impl Drop for Ingest {
+    fn drop(&mut self) {
+        // `join` drains `forwarders`; this path only runs when the front-end
+        // is dropped without joining and must not leave threads running.
+        if !self.forwarders.is_empty() {
+            self.signal_shutdown();
+            for handle in self.forwarders.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl RouteHandle {
+    /// Submits one stereo frame into the submission queue and returns
+    /// without waiting for the shard (unless admission control blocks under
+    /// the `Block` policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns the route's stored downstream error if forwarding previously
+    /// failed, [`AsvError::Shutdown`] after [`Ingest::join`], or
+    /// [`AsvError::Saturated`] under the `Reject` policy when a limit is
+    /// hit.
+    pub fn submit(&self, left: Image, right: Image) -> Result<(), AsvError> {
+        let mut front = self.shared.lock();
+        loop {
+            if front.shutdown {
+                return Err(AsvError::Shutdown);
+            }
+            if let Some(error) = &front.routes[self.index].error {
+                return Err(error.clone());
+            }
+            let over_quota =
+                front.routes[self.index].queued.len() >= self.config.session_quota.max(1);
+            let over_capacity = front.queued_total >= self.config.queue_capacity.max(1);
+            if over_quota || over_capacity {
+                match self.config.policy {
+                    ShedPolicy::Reject => {
+                        let route = &mut front.routes[self.index];
+                        route.shed += 1;
+                        return Err(AsvError::saturated(format!(
+                            "ingest queue (route {})",
+                            self.index
+                        )));
+                    }
+                    ShedPolicy::DropOldest if !front.routes[self.index].queued.is_empty() => {
+                        // Displace this session's own oldest frame; other
+                        // sessions' slots are never touched.
+                        let route = &mut front.routes[self.index];
+                        route.queued.pop_front();
+                        route.shed += 1;
+                        front.queued_total -= 1;
+                    }
+                    // `Block`, or `DropOldest` with nothing of ours queued
+                    // (global queue full of other sessions' frames).
+                    _ => {
+                        front = self
+                            .shared
+                            .space
+                            .wait(front)
+                            .expect("ingest front-end lock poisoned");
+                        continue;
+                    }
+                }
+            }
+            let route = &mut front.routes[self.index];
+            route.queued.push_back((left, right));
+            route.accepted += 1;
+            front.queued_total += 1;
+            self.shared.work.notify_all();
+            return Ok(());
+        }
+    }
+
+    /// Frames of this route currently buffered in the submission queue
+    /// (excludes the frame a forwarder may be carrying).
+    pub fn queued(&self) -> usize {
+        self.shared.lock().routes[self.index].queued.len()
+    }
+}
+
+/// Body of one forwarder thread: pop round-robin, deliver outside the lock,
+/// repeat until drained.
+fn forwarder_loop(shared: &Shared) {
+    let mut front = shared.lock();
+    loop {
+        if let Some((idx, left, right)) = front.dispatch_next() {
+            let sink = front.routes[idx].sink.clone();
+            drop(front);
+            // A queue slot was freed: blocked producers can move.
+            shared.space.notify_all();
+
+            // May block on the shard's own backpressure — by design, the
+            // bounded hand-off happens here, off the producer's thread.
+            let outcome = sink.submit(left, right);
+
+            front = shared.lock();
+            front.in_flight -= 1;
+            let route = &mut front.routes[idx];
+            route.busy = false;
+            match outcome {
+                Ok(()) => route.forwarded += 1,
+                Err(error) => {
+                    // Poison the route and shed whatever it still buffered.
+                    let pending = route.queued.len();
+                    route.queued.clear();
+                    route.shed += pending as u64;
+                    route.error = Some(error);
+                    front.queued_total -= pending;
+                }
+            }
+            shared.work.notify_all();
+            shared.space.notify_all();
+        } else if front.drained() {
+            return;
+        } else {
+            front = shared
+                .work
+                .wait(front)
+                .expect("ingest front-end lock poisoned");
+        }
+    }
+}

@@ -17,7 +17,18 @@
 //!   ratios, log-bucketed latency histograms (p50/p95/p99) and queue-depth
 //!   gauges;
 //! * [`serve_sequences`] — drive whole [`asv_scene::StereoSequence`]s as
-//!   simulated live feeds (one feeder thread per stream).
+//!   simulated live feeds (one feeder thread per stream);
+//! * [`cluster`] — the scale-out layer: a [`Cluster`] of `N` independent
+//!   scheduler shards with consistent-hash session placement (pinned
+//!   override and least-loaded fallback);
+//! * [`ingest`] — the async ingestion front-end: a bounded submission queue
+//!   with per-session quotas and a configurable [`ShedPolicy`]
+//!   (block / reject / drop-oldest) so a hot session cannot starve intake;
+//! * [`export`] — [`render_prometheus`]: the telemetry in Prometheus text
+//!   format, ready to serve from a `/metrics` endpoint;
+//! * [`sim`] — the deterministic simulation harness proving that an
+//!   `N`-shard cluster produces per-session results byte-identical to a
+//!   single scheduler and to batch processing.
 //!
 //! Per-session output is byte-identical to batch processing: the scheduler
 //! never reorders a session's frames and both paths execute the same
@@ -59,13 +70,21 @@
 //! assert!(outcome.aggregate.service_latency.p50_us() > 0);
 //! ```
 
+pub mod cluster;
+pub mod export;
+pub mod ingest;
 mod queue;
 pub mod scheduler;
 pub mod serve;
 pub mod session;
+pub mod sim;
 pub mod telemetry;
 
-pub use scheduler::{RuntimeReport, Scheduler, SchedulerConfig, SessionHandle};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, ClusterSessionHandle, Placement};
+pub use export::render_prometheus;
+pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};
+pub use scheduler::{RuntimeReport, Scheduler, SchedulerConfig, SessionHandle, ShedPolicy};
 pub use serve::{serve_sequences, ServeOutcome};
 pub use session::{SessionId, SessionReport, StreamSession};
+pub use sim::{SimConfig, SimReport, VirtualClock};
 pub use telemetry::{AggregateTelemetry, LatencyHistogram, QueueDepthGauge, SessionTelemetry};

@@ -21,11 +21,13 @@
 //! # Backpressure
 //!
 //! Every session has a bounded inbox ([`SchedulerConfig::inbox_capacity`]).
-//! [`SessionHandle::submit`] blocks the producer on a condition variable
-//! while its session's inbox is full and wakes when a worker drains a slot.
-//! A slow consumer therefore throttles exactly its own producer — memory per
-//! session is bounded by `inbox_capacity` frames — while other sessions keep
-//! flowing.
+//! What happens when an inbox is full is the scheduler's [`ShedPolicy`]:
+//! under the default `Block`, [`SessionHandle::submit`] parks the producer
+//! on a condition variable until a worker drains a slot; `Reject` fails the
+//! submit with [`AsvError::Saturated`]; `DropOldest` displaces the oldest
+//! queued frame of the same session.  In every case a slow consumer costs
+//! only its own producer — memory per session stays bounded by
+//! `inbox_capacity` frames — while other sessions keep flowing.
 //!
 //! # Fairness
 //!
@@ -53,24 +55,59 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// What [`SessionHandle::submit`] does when the session's inbox is full.
+///
+/// The policy trades latency for loss: `Block` is lossless (the producer
+/// waits), `Reject` pushes the decision back to the producer, and
+/// `DropOldest` keeps only the freshest frames — the natural choice for a
+/// live camera where a stale frame is worthless once a newer one exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Park the producer until a worker drains a slot (lossless
+    /// backpressure; the default, and the PR-2 behaviour).
+    #[default]
+    Block,
+    /// Return [`AsvError::Saturated`] immediately; the frame is shed and
+    /// counted in the session's `frames_shed` telemetry.
+    Reject,
+    /// Displace the oldest queued frame of the same session to make room;
+    /// the displaced frame is counted in `frames_shed` and the new frame is
+    /// accepted.  Never blocks and never fails on a full inbox.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Whether the policy can lose frames (everything but `Block`).
+    pub fn is_lossy(&self) -> bool {
+        !matches!(self, ShedPolicy::Block)
+    }
+}
+
 /// Tuning knobs of the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulerConfig {
-    /// Worker threads in the pool (clamped to at least 1).
+    /// Worker threads in the pool.  `0` is allowed and means *manual mode*:
+    /// no worker threads are spawned, inboxes only fill, and [`Scheduler::join`]
+    /// discards whatever is still queued (deterministic admission-control
+    /// tests rely on this).
     pub workers: usize,
     /// Bounded inbox capacity per session, in frames (clamped to at least
-    /// 1); producers block once their session's inbox is full.
+    /// 1).
     pub inbox_capacity: usize,
+    /// What `submit` does when a session's inbox is full.
+    pub shed_policy: ShedPolicy,
 }
 
 impl SchedulerConfig {
-    /// A pool with one worker per available core and a small default inbox.
+    /// A pool with one worker per available core, a small default inbox and
+    /// lossless blocking backpressure.
     pub fn per_core() -> Self {
         Self {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             inbox_capacity: 4,
+            shed_policy: ShedPolicy::Block,
         }
     }
 
@@ -83,6 +120,12 @@ impl SchedulerConfig {
     /// Returns the configuration with a different inbox capacity.
     pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
         self.inbox_capacity = capacity;
+        self
+    }
+
+    /// Returns the configuration with a different load-shedding policy.
+    pub fn with_shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
         self
     }
 }
@@ -161,6 +204,7 @@ pub struct Scheduler {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     inbox_capacity: usize,
+    shed_policy: ShedPolicy,
     started: Instant,
 }
 
@@ -170,6 +214,7 @@ pub struct Scheduler {
 pub struct SessionHandle {
     shared: Arc<Shared>,
     id: SessionId,
+    shed_policy: ShedPolicy,
 }
 
 /// Everything the engine produced, returned by [`Scheduler::join`].
@@ -211,7 +256,7 @@ impl Scheduler {
             work: Condvar::new(),
             space: Condvar::new(),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&shared))
@@ -221,6 +266,7 @@ impl Scheduler {
             shared,
             workers,
             inbox_capacity: config.inbox_capacity.max(1),
+            shed_policy: config.shed_policy,
             started: Instant::now(),
         }
     }
@@ -229,20 +275,56 @@ impl Scheduler {
     /// returns its producer handle.  Sessions may be added while the engine
     /// is serving.
     pub fn add_session(&self, state: IsmState) -> SessionHandle {
+        self.add_session_labeled(state, None)
+    }
+
+    /// Registers a new stream carrying a human-readable label (e.g. the
+    /// cluster routing key) that shows up in the session's final report.
+    pub fn add_session_labeled(&self, state: IsmState, label: Option<String>) -> SessionHandle {
         let mut engine = self.shared.lock();
         let id = SessionId(engine.sessions.len());
         engine
             .sessions
-            .push(StreamSession::new(id, state, self.inbox_capacity));
+            .push(StreamSession::new(id, state, self.inbox_capacity, label));
         SessionHandle {
             shared: Arc::clone(&self.shared),
             id,
+            shed_policy: self.shed_policy,
         }
     }
 
     /// Number of registered sessions.
     pub fn session_count(&self) -> usize {
         self.shared.lock().sessions.len()
+    }
+
+    /// Instantaneous load: frames queued in every inbox plus frames being
+    /// processed right now.  The cluster's least-loaded placement reads
+    /// this.
+    pub fn load(&self) -> usize {
+        let engine = self.shared.lock();
+        engine.in_flight + engine.sessions.iter().map(|s| s.inbox.len()).sum::<usize>()
+    }
+
+    /// Whether every registered session's inbox is full (vacuously false
+    /// with no sessions).  The cluster treats a saturated shard as
+    /// unplaceable and falls back to the least-loaded shard.
+    pub fn is_saturated(&self) -> bool {
+        let engine = self.shared.lock();
+        !engine.sessions.is_empty() && engine.sessions.iter().all(|s| s.inbox.is_full())
+    }
+
+    /// A live fold of every session's telemetry (scrape path): the same
+    /// aggregate [`Scheduler::join`] returns, computed without shutting the
+    /// engine down.
+    pub fn telemetry_snapshot(&self) -> AggregateTelemetry {
+        let engine = self.shared.lock();
+        let mut aggregate = AggregateTelemetry::default();
+        for session in &engine.sessions {
+            aggregate.absorb(&session.telemetry);
+        }
+        aggregate.wall_seconds = self.started.elapsed().as_secs_f64();
+        aggregate
     }
 
     /// Stops accepting submissions, drains every inbox, joins the worker
@@ -261,10 +343,16 @@ impl Scheduler {
         let sessions: Vec<SessionReport> = engine
             .sessions
             .drain(..)
-            .map(|s| {
+            .map(|mut s| {
+                // With zero workers (manual mode) frames may still be
+                // queued; they are discarded now and accounted for.
+                let leftover = s.inbox.clear();
+                s.telemetry.frames_dropped += leftover as u64;
+                s.telemetry.queue_depth.observe(0);
                 let id = s.id();
                 SessionReport {
                     id,
+                    label: s.label,
                     frames: s.results,
                     telemetry: s.telemetry,
                     error: s.error,
@@ -311,15 +399,20 @@ impl SessionHandle {
         self.id
     }
 
-    /// Submits one stereo frame, blocking while the session's inbox is full
-    /// (the backpressure path).
+    /// Submits one stereo frame.  What happens when the session's inbox is
+    /// full depends on the scheduler's [`ShedPolicy`]: `Block` parks the
+    /// producer (the backpressure path), `Reject` fails with
+    /// [`AsvError::Saturated`], and `DropOldest` displaces the oldest queued
+    /// frame of this session.
     ///
     /// # Errors
     ///
-    /// Returns the session's stored error if a previous frame failed, or a
-    /// configuration error if the scheduler has been shut down.  In both
-    /// cases the submitted frame is dropped and counted in the session's
-    /// `frames_dropped` telemetry.
+    /// Returns the session's stored error if a previous frame failed,
+    /// [`AsvError::Shutdown`] if the scheduler has been shut down, or
+    /// [`AsvError::Saturated`] under the `Reject` policy when the inbox is
+    /// full.  A frame that is not accepted is counted in the session's
+    /// `frames_dropped` (failure/shutdown) or `frames_shed` (admission
+    /// control) telemetry.
     pub fn submit(&self, left: Image, right: Image) -> Result<(), AsvError> {
         let mut engine = self.shared.lock();
         loop {
@@ -328,7 +421,7 @@ impl SessionHandle {
                 if let Some(slot) = engine.sessions.get_mut(self.id.0) {
                     slot.telemetry.frames_dropped += 1;
                 }
-                return Err(AsvError::config("scheduler is shut down"));
+                return Err(AsvError::Shutdown);
             }
             let slot = &mut engine.sessions[self.id.0];
             if let Some(error) = &slot.error {
@@ -336,23 +429,36 @@ impl SessionHandle {
                 slot.telemetry.frames_dropped += 1;
                 return Err(error);
             }
-            if !slot.inbox.is_full() {
-                slot.telemetry.frames_submitted += 1;
-                slot.inbox.push(QueuedFrame {
-                    left,
-                    right,
-                    queued_at: Instant::now(),
-                });
-                let depth = slot.inbox.len();
-                slot.telemetry.queue_depth.observe(depth);
-                self.shared.work.notify_all();
-                return Ok(());
+            if slot.inbox.is_full() {
+                match self.shed_policy {
+                    ShedPolicy::Block => {
+                        engine = self
+                            .shared
+                            .space
+                            .wait(engine)
+                            .expect("runtime engine lock poisoned");
+                        continue;
+                    }
+                    ShedPolicy::Reject => {
+                        slot.telemetry.frames_shed += 1;
+                        return Err(AsvError::saturated(format!("{} inbox", self.id)));
+                    }
+                    ShedPolicy::DropOldest => {
+                        slot.inbox.pop();
+                        slot.telemetry.frames_shed += 1;
+                    }
+                }
             }
-            engine = self
-                .shared
-                .space
-                .wait(engine)
-                .expect("runtime engine lock poisoned");
+            slot.telemetry.frames_submitted += 1;
+            slot.inbox.push(QueuedFrame {
+                left,
+                right,
+                queued_at: Instant::now(),
+            });
+            let depth = slot.inbox.len();
+            slot.telemetry.queue_depth.observe(depth);
+            self.shared.work.notify_all();
+            return Ok(());
         }
     }
 

@@ -34,7 +34,8 @@ pub fn serve_sequences(
     let scheduler = Scheduler::new(config);
     let handles: Vec<_> = sequences
         .iter()
-        .map(|_| scheduler.add_session(pipeline.state()))
+        .enumerate()
+        .map(|(i, _)| scheduler.add_session_labeled(pipeline.state(), Some(format!("stream-{i}"))))
         .collect();
     std::thread::scope(|scope| {
         for (sequence, handle) in sequences.iter().zip(&handles) {

@@ -37,6 +37,9 @@ impl std::fmt::Display for SessionId {
 #[derive(Debug)]
 pub struct StreamSession {
     id: SessionId,
+    /// Optional human-readable label (the cluster routing key), carried
+    /// into the final [`SessionReport`] and the Prometheus export.
+    pub(crate) label: Option<String>,
     /// `None` exactly while a worker is stepping this session's frame.
     state: Option<IsmState>,
     pub(crate) inbox: Inbox,
@@ -47,9 +50,15 @@ pub struct StreamSession {
 
 impl StreamSession {
     /// Creates a session around a fresh ISM state.
-    pub(crate) fn new(id: SessionId, state: IsmState, inbox_capacity: usize) -> Self {
+    pub(crate) fn new(
+        id: SessionId,
+        state: IsmState,
+        inbox_capacity: usize,
+        label: Option<String>,
+    ) -> Self {
         Self {
             id,
+            label,
             state: Some(state),
             inbox: Inbox::new(inbox_capacity),
             results: Vec::new(),
@@ -89,6 +98,9 @@ impl StreamSession {
 pub struct SessionReport {
     /// The session identifier.
     pub id: SessionId,
+    /// The label the session was registered under (e.g. the cluster routing
+    /// key), if any.
+    pub label: Option<String>,
     /// Per-frame results in submission order.
     pub frames: Vec<FrameResult>,
     /// The session's telemetry.

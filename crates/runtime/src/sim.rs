@@ -1,0 +1,374 @@
+//! Deterministic cluster simulation harness.
+//!
+//! The runtime's core correctness claim is *determinism*: a frame's
+//! disparity map depends only on its session's frame history, never on how
+//! many shards, workers or queue hops served it.  This module turns that
+//! claim into an executable experiment:
+//!
+//! * a **seeded workload generator** ([`generate_streams`]) producing the
+//!   same synthetic camera streams for the same [`SimConfig::seed`];
+//! * **latency injection** — seeded per-frame submit jitter perturbs thread
+//!   interleavings (different every shard count, reproducible for a seed)
+//!   so the equality check is exercised under many real schedules, plus a
+//!   [`VirtualClock`] for building *exactly* reproducible latency telemetry
+//!   where wall time would be noise (the Prometheus golden test);
+//! * [`run_cluster_sim`] — the proof harness: for each requested shard
+//!   count it routes the workload through the full stack
+//!   (ingest front-end → cluster → shard schedulers) and compares every
+//!   session's results byte-for-byte against batch
+//!   [`IsmPipeline::process_sequence`] and against a single
+//!   [`crate::Scheduler`].
+//!
+//! CI runs this in both feature configurations; see
+//! `crates/runtime/tests/cluster.rs`.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::ingest::{Ingest, IngestConfig};
+use crate::scheduler::{SchedulerConfig, ShedPolicy};
+use crate::serve::serve_sequences;
+use asv::ism::{FrameResult, IsmPipeline, IsmResult};
+use asv::AsvError;
+use asv_scene::{SceneConfig, StereoSequence};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A deterministic logical clock, advancing only when told to.
+///
+/// Real `Instant`s make telemetry content non-reproducible; tests that need
+/// bit-stable histograms (e.g. the Prometheus golden test) drive one of
+/// these instead and inject the resulting durations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock {
+    now_us: u64,
+}
+
+impl VirtualClock {
+    /// A clock at logical time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current logical time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Current logical time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_us as f64 / 1e6
+    }
+
+    /// Advances the clock by `us` microseconds and returns the elapsed
+    /// duration — the injectable stand-in for "this step took `us` µs".
+    pub fn advance_us(&mut self, us: u64) -> Duration {
+        self.now_us += us;
+        Duration::from_micros(us)
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Master seed: workload content and injected jitter both derive from
+    /// it.
+    pub seed: u64,
+    /// Concurrent camera sessions.
+    pub sessions: usize,
+    /// Frames per session.
+    pub frames_per_session: usize,
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Worker threads per scheduler shard.
+    pub workers_per_shard: usize,
+    /// Bounded inbox capacity per session.
+    pub inbox_capacity: usize,
+    /// Upper bound of the injected per-frame submit jitter, microseconds
+    /// (0 disables injection).
+    pub submit_jitter_us: u64,
+}
+
+impl SimConfig {
+    /// A small configuration that keeps the full determinism sweep fast
+    /// enough for CI.
+    pub fn small() -> Self {
+        Self {
+            seed: 0xA5F,
+            sessions: 3,
+            frames_per_session: 4,
+            width: 48,
+            height: 36,
+            workers_per_shard: 2,
+            inbox_capacity: 2,
+            submit_jitter_us: 300,
+        }
+    }
+
+    /// Returns the configuration with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with a different session count.
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Returns the configuration with a different per-session frame count.
+    pub fn with_frames(mut self, frames: usize) -> Self {
+        self.frames_per_session = frames;
+        self
+    }
+}
+
+/// The routing key of simulated session `index` (shared by the harness and
+/// its tests).
+pub fn session_key(index: usize) -> String {
+    format!("sim-cam-{index}")
+}
+
+/// Generates the seeded synthetic camera streams of a simulation.
+pub fn generate_streams(config: &SimConfig) -> Vec<StereoSequence> {
+    (0..config.sessions)
+        .map(|i| {
+            let scene = SceneConfig::scene_flow_like(config.width, config.height)
+                .with_seed(config.seed.wrapping_mul(1009).wrapping_add(i as u64))
+                .with_objects(2);
+            StereoSequence::generate(&scene, config.frames_per_session)
+        })
+        .collect()
+}
+
+/// Outcome of one [`run_cluster_sim`] sweep.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The shard counts the cluster was exercised at.
+    pub shard_counts: Vec<usize>,
+    /// Sessions per run.
+    pub sessions: usize,
+    /// Individual frame results compared against the batch baseline.
+    pub frames_compared: u64,
+    /// Human-readable descriptions of every divergence found (empty on
+    /// success).
+    pub mismatches: Vec<String>,
+}
+
+impl SimReport {
+    /// Whether every compared frame was byte-identical to the batch
+    /// baseline.
+    pub fn is_deterministic(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Compares one session's streamed frames against the batch baseline,
+/// recording any divergence.
+fn compare_session(
+    label: &str,
+    expected: &IsmResult,
+    actual: &[FrameResult],
+    frames_compared: &mut u64,
+    mismatches: &mut Vec<String>,
+) {
+    if expected.frames.len() != actual.len() {
+        mismatches.push(format!(
+            "{label}: {} frames, batch produced {}",
+            actual.len(),
+            expected.frames.len()
+        ));
+        return;
+    }
+    for (frame, (e, a)) in expected.frames.iter().zip(actual).enumerate() {
+        *frames_compared += 1;
+        if e.kind != a.kind {
+            mismatches.push(format!(
+                "{label} frame {frame}: kind {:?}, batch {:?}",
+                a.kind, e.kind
+            ));
+        }
+        if e.disparity != a.disparity {
+            mismatches.push(format!(
+                "{label} frame {frame}: disparity diverges from batch"
+            ));
+        }
+    }
+}
+
+/// Runs the determinism experiment: the seeded workload is processed (a) by
+/// batch [`IsmPipeline::process_sequence`], (b) by a single
+/// [`crate::Scheduler`], and (c) by an [`Ingest`]-fronted [`Cluster`] at
+/// every shard count in `shard_counts`, with seeded submit jitter
+/// perturbing the interleavings.  Every per-session result is compared
+/// byte-for-byte against the batch baseline.
+///
+/// # Errors
+///
+/// Returns the first [`AsvError`] if any serving path fails outright
+/// (result *divergence* is not an error — it is recorded in
+/// [`SimReport::mismatches`]).
+pub fn run_cluster_sim(
+    pipeline: &IsmPipeline,
+    config: &SimConfig,
+    shard_counts: &[usize],
+) -> Result<SimReport, AsvError> {
+    let streams = generate_streams(config);
+    let mut frames_compared = 0u64;
+    let mut mismatches = Vec::new();
+
+    // (a) The batch baseline: the ground truth everything must match.
+    let batch: Vec<IsmResult> = streams
+        .iter()
+        .map(|s| pipeline.process_sequence(s))
+        .collect::<Result<_, _>>()?;
+
+    // (b) A single scheduler (the PR-2 serving path).
+    let shard_config = SchedulerConfig {
+        workers: config.workers_per_shard.max(1),
+        inbox_capacity: config.inbox_capacity,
+        shed_policy: ShedPolicy::Block,
+    };
+    let single = serve_sequences(pipeline, &streams, shard_config)?;
+    for (i, (expected, actual)) in batch.iter().zip(&single.results).enumerate() {
+        compare_session(
+            &format!("single-scheduler {}", session_key(i)),
+            expected,
+            &actual.frames,
+            &mut frames_compared,
+            &mut mismatches,
+        );
+    }
+
+    // (c) The full stack at every requested shard count.
+    for &shards in shard_counts {
+        let cluster = Cluster::new(ClusterConfig::new(shards).with_shard_config(shard_config));
+        // Lossless admission control: determinism requires `Block`.
+        let ingest = Ingest::new(
+            IngestConfig::default()
+                .with_policy(ShedPolicy::Block)
+                .with_queue_capacity((config.sessions * config.inbox_capacity).max(2))
+                .with_session_quota(config.inbox_capacity.max(1)),
+        );
+        let routes: Vec<_> = (0..config.sessions)
+            .map(|i| {
+                let placed = cluster.add_session(&session_key(i), pipeline.state());
+                (ingest.register(placed.handle().clone()), placed)
+            })
+            .collect();
+
+        // Seeded jitter, distinct per shard count so each run explores a
+        // different (but reproducible) interleaving.
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ (shards as u64).wrapping_mul(0x9E37));
+        let jitter: Vec<Vec<u64>> = (0..config.sessions)
+            .map(|_| {
+                (0..config.frames_per_session)
+                    .map(|_| {
+                        if config.submit_jitter_us == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..config.submit_jitter_us)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let feed_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (i, ((route, _), stream)) in routes.iter().zip(&streams).enumerate() {
+                let route = route.clone();
+                let delays = &jitter[i];
+                let feed_errors = &feed_errors;
+                scope.spawn(move || {
+                    for (f, frame) in stream.frames().iter().enumerate() {
+                        if delays[f] > 0 {
+                            std::thread::sleep(Duration::from_micros(delays[f]));
+                        }
+                        if let Err(e) = route.submit(frame.left.clone(), frame.right.clone()) {
+                            feed_errors
+                                .lock()
+                                .expect("sim feed-error lock poisoned")
+                                .push(format!("{}: submit failed: {e}", session_key(i)));
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        // Drain the front-end into the shards, then the shards themselves.
+        ingest.join();
+        let report = cluster.join();
+        mismatches.extend(
+            feed_errors
+                .into_inner()
+                .expect("sim feed-error lock poisoned"),
+        );
+
+        for (i, expected) in batch.iter().enumerate() {
+            let key = session_key(i);
+            let label = format!("{shards}-shard cluster {key}");
+            match report.session_by_key(&key) {
+                Some(session) => {
+                    if let Some(error) = &session.error {
+                        mismatches.push(format!("{label}: session failed: {error}"));
+                    }
+                    compare_session(
+                        &label,
+                        expected,
+                        &session.frames,
+                        &mut frames_compared,
+                        &mut mismatches,
+                    );
+                }
+                None => mismatches.push(format!("{label}: session missing from report")),
+            }
+        }
+    }
+
+    Ok(SimReport {
+        shard_counts: shard_counts.to_vec(),
+        sessions: config.sessions,
+        frames_compared,
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_deterministically() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_us(), 0);
+        let step = clock.advance_us(1_500);
+        assert_eq!(step, Duration::from_micros(1_500));
+        clock.advance_us(500);
+        assert_eq!(clock.now_us(), 2_000);
+        assert!((clock.now_seconds() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_generation_is_seed_stable() {
+        let config = SimConfig::small().with_sessions(2).with_frames(2);
+        let a = generate_streams(&config);
+        let b = generate_streams(&config);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            for (fx, fy) in x.frames().iter().zip(y.frames()) {
+                assert_eq!(fx.left, fy.left);
+                assert_eq!(fx.right, fy.right);
+            }
+        }
+        let other = generate_streams(&config.with_seed(999));
+        assert_ne!(
+            a[0].frames()[0].left,
+            other[0].frames()[0].left,
+            "different seeds must produce different workloads"
+        );
+    }
+}

@@ -66,6 +66,21 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Sum of all recorded samples in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Per-bucket counts as `(upper_bound_us, count)` pairs in ascending
+    /// bucket order; bucket `i` covers `[2^i, 2^(i+1))` µs, so its inclusive
+    /// upper bound is `2^(i+1) - 1`.  Used by the Prometheus renderer.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((1u64 << (i + 1)) - 1, c))
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
@@ -173,8 +188,12 @@ pub struct SessionTelemetry {
     pub non_key_frames: u64,
     /// Frames submitted to the session's inbox.
     pub frames_submitted: u64,
-    /// Frames discarded because the session had already failed.
+    /// Frames discarded outside admission control: submitted after the
+    /// session failed or the scheduler shut down, or still queued when the
+    /// engine drained.
     pub frames_dropped: u64,
+    /// Frames rejected or displaced by admission control (load shedding).
+    pub frames_shed: u64,
     /// Service time per frame: dequeue to finished disparity map.
     pub service_latency: LatencyHistogram,
     /// Queue wait per frame: submit to dequeue.
@@ -218,14 +237,20 @@ pub struct AggregateTelemetry {
     pub key_frames: u64,
     /// Non-key frames across all sessions.
     pub non_key_frames: u64,
+    /// Frames submitted across all sessions.
+    pub frames_submitted: u64,
     /// Frames discarded across all sessions.
     pub frames_dropped: u64,
+    /// Frames shed by admission control across all sessions.
+    pub frames_shed: u64,
     /// Merged service-time histogram.
     pub service_latency: LatencyHistogram,
     /// Merged queue-wait histogram.
     pub queue_wait: LatencyHistogram,
     /// Largest inbox depth observed on any session.
     pub peak_queue_depth: usize,
+    /// Sum of the current inbox depths at snapshot time (0 after shutdown).
+    pub current_queue_depth: usize,
     /// Wall-clock time the engine ran, seconds.
     pub wall_seconds: f64,
 }
@@ -237,10 +262,34 @@ impl AggregateTelemetry {
         self.frames_processed += session.frames_processed;
         self.key_frames += session.key_frames;
         self.non_key_frames += session.non_key_frames;
+        self.frames_submitted += session.frames_submitted;
         self.frames_dropped += session.frames_dropped;
+        self.frames_shed += session.frames_shed;
         self.service_latency.merge(&session.service_latency);
         self.queue_wait.merge(&session.queue_wait);
         self.peak_queue_depth = self.peak_queue_depth.max(session.queue_depth.peak);
+        self.current_queue_depth += session.queue_depth.current;
+    }
+
+    /// Folds another aggregate into this one (cross-shard merge).
+    ///
+    /// Counters and histograms add, peaks take the maximum, and
+    /// `wall_seconds` takes the maximum because shards run concurrently —
+    /// the cluster was up for as long as its longest-running shard, so
+    /// summing would undercount [`AggregateTelemetry::frames_per_second`].
+    pub fn merge(&mut self, other: &AggregateTelemetry) {
+        self.sessions += other.sessions;
+        self.frames_processed += other.frames_processed;
+        self.key_frames += other.key_frames;
+        self.non_key_frames += other.non_key_frames;
+        self.frames_submitted += other.frames_submitted;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_shed += other.frames_shed;
+        self.service_latency.merge(&other.service_latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.current_queue_depth += other.current_queue_depth;
+        self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
     }
 
     /// Aggregate throughput in frames per second (0 before any wall time

@@ -183,5 +183,5 @@ fn submissions_after_join_are_rejected() {
     let err = handle
         .submit(Image::zeros(WIDTH, HEIGHT), Image::zeros(WIDTH, HEIGHT))
         .unwrap_err();
-    assert!(matches!(err, AsvError::Config { .. }), "{err:?}");
+    assert!(matches!(err, AsvError::Shutdown), "{err:?}");
 }

@@ -1,0 +1,304 @@
+//! Golden test of `render_prometheus()`: the metric names, label keys and
+//! line grammar are a scrape contract that must not drift silently.
+//!
+//! The telemetry under test is built with the simulation harness's
+//! `VirtualClock`, so every latency sample — and therefore every rendered
+//! line — is bit-stable across runs and machines.
+
+use asv::FrameKind;
+use asv_runtime::{render_prometheus, AggregateTelemetry, SessionTelemetry, VirtualClock};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds the fixed two-shard telemetry fixture, latencies injected from a
+/// virtual clock.
+fn fixture() -> Vec<AggregateTelemetry> {
+    let mut clock = VirtualClock::new();
+    let mut cam_a = SessionTelemetry {
+        frames_submitted: 4,
+        ..SessionTelemetry::default()
+    };
+    cam_a.record_frame(
+        FrameKind::KeyFrame,
+        clock.advance_us(9_000),
+        clock.advance_us(120),
+    );
+    cam_a.record_frame(
+        FrameKind::NonKeyFrame,
+        clock.advance_us(2_500),
+        clock.advance_us(80),
+    );
+    cam_a.record_frame(
+        FrameKind::NonKeyFrame,
+        clock.advance_us(2_700),
+        clock.advance_us(60),
+    );
+    cam_a.frames_shed = 1;
+    cam_a.queue_depth.observe(2);
+    cam_a.queue_depth.observe(1);
+
+    let mut cam_b = SessionTelemetry {
+        frames_submitted: 2,
+        ..SessionTelemetry::default()
+    };
+    cam_b.record_frame(
+        FrameKind::KeyFrame,
+        clock.advance_us(11_000),
+        clock.advance_us(400),
+    );
+    cam_b.frames_dropped = 1;
+    cam_b.queue_depth.observe(1);
+
+    let mut shard0 = AggregateTelemetry::default();
+    shard0.absorb(&cam_a);
+    shard0.wall_seconds = 2.0;
+    let mut shard1 = AggregateTelemetry::default();
+    shard1.absorb(&cam_b);
+    shard1.wall_seconds = clock.now_seconds();
+    vec![shard0, shard1]
+}
+
+/// The locked metric-family contract: name -> type.
+fn expected_families() -> BTreeMap<&'static str, &'static str> {
+    BTreeMap::from([
+        ("asv_cluster_shards", "gauge"),
+        ("asv_sessions", "gauge"),
+        ("asv_frames_submitted_total", "counter"),
+        ("asv_frames_processed_total", "counter"),
+        ("asv_key_frames_total", "counter"),
+        ("asv_non_key_frames_total", "counter"),
+        ("asv_frames_dropped_total", "counter"),
+        ("asv_frames_shed_total", "counter"),
+        ("asv_queue_depth", "gauge"),
+        ("asv_queue_depth_peak", "gauge"),
+        ("asv_uptime_seconds", "gauge"),
+        ("asv_frames_per_second", "gauge"),
+        ("asv_service_latency_microseconds", "histogram"),
+        ("asv_queue_wait_microseconds", "histogram"),
+    ])
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+/// A deliberately small parser for the Prometheus text exposition format:
+/// `name{key="value",...} value` with `# HELP` / `# TYPE` comments.  Panics
+/// (failing the test) on any malformed line.
+fn parse(text: &str) -> (BTreeMap<String, String>, Vec<Sample>) {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines in the scrape body");
+        assert_eq!(line.trim(), line, "no stray whitespace: {line:?}");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has text");
+            assert!(!help.trim().is_empty(), "empty help for {name}");
+            assert!(helps.insert(name.to_owned()), "duplicate HELP for {name}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown type {kind} for {name}"
+            );
+            assert!(helps.contains(name), "TYPE for {name} must follow its HELP");
+            assert!(
+                types.insert(name.to_owned(), kind.to_owned()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment: {line}");
+            samples.push(parse_sample(line));
+        }
+    }
+    (types, samples)
+}
+
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    let value: f64 = value.parse().unwrap_or_else(|_| {
+        panic!("value of {line:?} must parse as f64");
+    });
+    assert!(value.is_finite(), "non-finite value in {line:?}");
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_owned(), BTreeMap::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').expect("labels close with }");
+            let mut labels = BTreeMap::new();
+            for pair in body.split(',') {
+                let (key, quoted) = pair.split_once('=').expect("label has =");
+                assert!(
+                    key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "bad label key {key:?}"
+                );
+                let unquoted = quoted
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .expect("label value is quoted");
+                assert!(
+                    labels.insert(key.to_owned(), unquoted.to_owned()).is_none(),
+                    "duplicate label {key} in {line}"
+                );
+            }
+            (name.to_owned(), labels)
+        }
+    };
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && name.starts_with(|c: char| c.is_ascii_alphabetic() || c == '_'),
+        "bad metric name {name:?}"
+    );
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Strips histogram sample suffixes back to the family name.
+fn family_of(sample_name: &str, types: &BTreeMap<String, String>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base.to_owned();
+            }
+        }
+    }
+    sample_name.to_owned()
+}
+
+#[test]
+fn scrape_format_is_valid_and_the_family_set_is_locked() {
+    let text = render_prometheus(&fixture());
+    let (types, samples) = parse(&text);
+
+    // The family set is the contract: additions are fine (extend
+    // `expected_families`), renames and removals are not.
+    let expected = expected_families();
+    assert_eq!(
+        types
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect::<BTreeMap<_, _>>(),
+        expected,
+        "metric families drifted"
+    );
+
+    // Every sample belongs to a declared family and (except the cluster-wide
+    // shard gauge) carries a shard label.
+    for sample in &samples {
+        let family = family_of(&sample.name, &types);
+        assert!(types.contains_key(&family), "undeclared family {family}");
+        if sample.name == "asv_cluster_shards" {
+            assert!(sample.labels.is_empty());
+        } else {
+            let shard = sample.labels.get("shard").expect("shard label");
+            assert!(shard == "0" || shard == "1", "unknown shard {shard}");
+        }
+        assert!(sample.value >= 0.0, "negative sample {}", sample.name);
+    }
+
+    // Histogram invariants per (family, shard): cumulative buckets are
+    // non-decreasing, bucket upper bounds strictly ascend, the +Inf bucket
+    // equals _count, and _sum/_count are present.
+    for family in [
+        "asv_service_latency_microseconds",
+        "asv_queue_wait_microseconds",
+    ] {
+        for shard in ["0", "1"] {
+            let of_shard = |suffix: &str| -> Vec<&Sample> {
+                samples
+                    .iter()
+                    .filter(|s| {
+                        s.name == format!("{family}{suffix}")
+                            && s.labels.get("shard").map(String::as_str) == Some(shard)
+                    })
+                    .collect()
+            };
+            let buckets = of_shard("_bucket");
+            assert!(buckets.len() > 1, "{family} shard {shard} has buckets");
+            let mut last_le = f64::NEG_INFINITY;
+            let mut last_cumulative = f64::NEG_INFINITY;
+            let mut inf_value = None;
+            for bucket in &buckets {
+                let le = bucket.labels.get("le").expect("bucket le label");
+                let le_value = if le == "+Inf" {
+                    inf_value = Some(bucket.value);
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>().expect("numeric le")
+                };
+                assert!(le_value > last_le, "le not ascending in {family}");
+                assert!(
+                    bucket.value >= last_cumulative,
+                    "cumulative bucket counts regressed in {family} shard {shard}"
+                );
+                last_le = le_value;
+                last_cumulative = bucket.value;
+            }
+            let count = of_shard("_count");
+            let sum = of_shard("_sum");
+            assert_eq!(count.len(), 1);
+            assert_eq!(sum.len(), 1);
+            assert_eq!(
+                Some(count[0].value),
+                inf_value,
+                "{family} +Inf bucket must equal _count"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_scalar_lines_are_bit_stable() {
+    let text = render_prometheus(&fixture());
+    // The full fixture is virtual-clock driven, so these exact lines are the
+    // golden contract for names, labels and value formatting.
+    let golden = [
+        "asv_cluster_shards 2",
+        "asv_sessions{shard=\"0\"} 1",
+        "asv_sessions{shard=\"1\"} 1",
+        "asv_frames_submitted_total{shard=\"0\"} 4",
+        "asv_frames_submitted_total{shard=\"1\"} 2",
+        "asv_frames_processed_total{shard=\"0\"} 3",
+        "asv_frames_processed_total{shard=\"1\"} 1",
+        "asv_key_frames_total{shard=\"0\"} 1",
+        "asv_key_frames_total{shard=\"1\"} 1",
+        "asv_non_key_frames_total{shard=\"0\"} 2",
+        "asv_non_key_frames_total{shard=\"1\"} 0",
+        "asv_frames_dropped_total{shard=\"0\"} 0",
+        "asv_frames_dropped_total{shard=\"1\"} 1",
+        "asv_frames_shed_total{shard=\"0\"} 1",
+        "asv_frames_shed_total{shard=\"1\"} 0",
+        "asv_queue_depth{shard=\"0\"} 1",
+        "asv_queue_depth{shard=\"1\"} 1",
+        "asv_queue_depth_peak{shard=\"0\"} 2",
+        "asv_queue_depth_peak{shard=\"1\"} 1",
+        "asv_uptime_seconds{shard=\"0\"} 2.000000",
+        "asv_uptime_seconds{shard=\"1\"} 0.025860",
+        "asv_frames_per_second{shard=\"0\"} 1.500000",
+        "asv_service_latency_microseconds_sum{shard=\"0\"} 14200",
+        "asv_service_latency_microseconds_count{shard=\"0\"} 3",
+        "asv_service_latency_microseconds_sum{shard=\"1\"} 11000",
+        "asv_queue_wait_microseconds_sum{shard=\"0\"} 260",
+        "asv_queue_wait_microseconds_count{shard=\"1\"} 1",
+        // Spot-check cumulative buckets at the crossing points: 2500 and
+        // 2700 µs land in [2048, 4096), 9000 in [8192, 16384).
+        "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"2047\"} 0",
+        "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"4095\"} 2",
+        "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"8191\"} 2",
+        "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"16383\"} 3",
+        "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"+Inf\"} 3",
+    ];
+    for line in golden {
+        assert!(
+            text.lines().any(|l| l == line),
+            "golden line missing from scrape body: {line}"
+        );
+    }
+    // Rendering is a pure function of the telemetry.
+    assert_eq!(text, render_prometheus(&fixture()));
+}

@@ -1,0 +1,197 @@
+//! Property tests of `LatencyHistogram` and zero-count edge-case audits of
+//! the whole telemetry layer.
+//!
+//! Locked properties:
+//! * `quantile_us` is monotone in `q` and always inside `[min_us, max_us]`;
+//! * `merge(a, b)` is exactly equivalent to recording every sample into one
+//!   histogram: same count/min/max, bit-identical mean (the sum is tracked
+//!   exactly, not per-bucket), exact p50/p95/p99 match;
+//! * no telemetry accessor panics or returns NaN/inf on empty state.
+
+use asv::FrameKind;
+use asv_runtime::{AggregateTelemetry, LatencyHistogram, SessionTelemetry};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &us in samples {
+        h.record(Duration::from_micros(us));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in collection::vec(0u64..5_000_000, 1..=64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = histogram_of(&samples);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        prop_assert!(
+            h.quantile_us(lo) <= h.quantile_us(hi),
+            "quantile({lo}) = {} > quantile({hi}) = {}",
+            h.quantile_us(lo),
+            h.quantile_us(hi)
+        );
+    }
+
+    #[test]
+    fn quantile_is_bounded_by_observed_extremes(
+        samples in collection::vec(0u64..5_000_000, 1..=64),
+        q in 0.0f64..1.0,
+    ) {
+        let h = histogram_of(&samples);
+        for q in [0.0, q, 1.0] {
+            let v = h.quantile_us(q);
+            prop_assert!(
+                v >= h.min_us() && v <= h.max_us(),
+                "quantile({q}) = {v} outside [{}, {}]",
+                h.min_us(),
+                h.max_us()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_all_samples(
+        a in collection::vec(0u64..2_000_000, 0..=48),
+        b in collection::vec(0u64..2_000_000, 0..=48),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let whole = histogram_of(&all);
+
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min_us(), whole.min_us());
+        prop_assert_eq!(merged.max_us(), whole.max_us());
+        prop_assert_eq!(merged.sum_us(), whole.sum_us());
+        // The sum is tracked exactly, so the mean matches to the bit — well
+        // within the histogram's bucket error.
+        prop_assert!((merged.mean_us() - whole.mean_us()).abs() < 1e-9);
+        // Identical bucket contents mean identical quantile answers.
+        prop_assert_eq!(merged.p50_us(), whole.p50_us());
+        prop_assert_eq!(merged.p95_us(), whole.p95_us());
+        prop_assert_eq!(merged.p99_us(), whole.p99_us());
+        let buckets_merged: Vec<(u64, u64)> = merged.buckets().collect();
+        let buckets_whole: Vec<(u64, u64)> = whole.buckets().collect();
+        prop_assert_eq!(buckets_merged, buckets_whole);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(samples in collection::vec(0u64..2_000_000, 1..=32)) {
+        let reference = histogram_of(&samples);
+        let mut merged = histogram_of(&samples);
+        merged.merge(&LatencyHistogram::new());
+        prop_assert_eq!(merged.count(), reference.count());
+        prop_assert_eq!(merged.min_us(), reference.min_us());
+        prop_assert_eq!(merged.max_us(), reference.max_us());
+        prop_assert_eq!(merged.p50_us(), reference.p50_us());
+
+        let mut other_way = LatencyHistogram::new();
+        other_way.merge(&reference);
+        prop_assert_eq!(other_way.count(), reference.count());
+        prop_assert_eq!(other_way.min_us(), reference.min_us());
+        prop_assert_eq!(other_way.max_us(), reference.max_us());
+        prop_assert_eq!(other_way.p95_us(), reference.p95_us());
+    }
+}
+
+// ---- Zero-count edge-case audit ------------------------------------------
+
+/// Every accessor of an empty histogram must return a finite zero, not
+/// panic, NaN or infinity.
+#[test]
+fn empty_histogram_is_all_finite_zeros() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum_us(), 0);
+    assert_eq!(h.min_us(), 0);
+    assert_eq!(h.max_us(), 0);
+    assert!(h.mean_us() == 0.0 && h.mean_us().is_finite());
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0, f64::NAN] {
+        assert_eq!(h.quantile_us(q), 0, "quantile({q}) on empty");
+    }
+    assert_eq!(h.p50_us(), 0);
+    assert_eq!(h.p95_us(), 0);
+    assert_eq!(h.p99_us(), 0);
+    assert!(h.buckets().all(|(_, count)| count == 0));
+}
+
+/// Out-of-range and NaN quantile arguments on a *non-empty* histogram are
+/// clamped into the observed range rather than panicking.
+#[test]
+fn degenerate_quantile_arguments_are_clamped() {
+    let h = histogram_of(&[100, 200, 300]);
+    for q in [-1.0, 0.0, 1.0, 2.0, f64::NAN] {
+        let v = h.quantile_us(q);
+        assert!(
+            (h.min_us()..=h.max_us()).contains(&v),
+            "quantile({q}) = {v} escaped [{}, {}]",
+            h.min_us(),
+            h.max_us()
+        );
+    }
+}
+
+#[test]
+fn empty_session_telemetry_is_all_finite_zeros() {
+    let t = SessionTelemetry::default();
+    assert_eq!(t.frames_processed, 0);
+    assert!(t.key_frame_ratio() == 0.0 && t.key_frame_ratio().is_finite());
+    assert_eq!(t.service_latency.count(), 0);
+    assert_eq!(t.queue_wait.count(), 0);
+    assert_eq!(t.queue_depth.current, 0);
+    assert_eq!(t.queue_depth.peak, 0);
+}
+
+#[test]
+fn empty_aggregate_telemetry_is_all_finite_zeros() {
+    let a = AggregateTelemetry::default();
+    assert!(a.frames_per_second() == 0.0 && a.frames_per_second().is_finite());
+    assert!(a.key_frame_ratio() == 0.0 && a.key_frame_ratio().is_finite());
+    assert_eq!(a.service_latency.p99_us(), 0);
+
+    // Zero wall time with processed frames must not divide by zero.
+    let mut with_frames = AggregateTelemetry::default();
+    let mut s = SessionTelemetry::default();
+    s.record_frame(
+        FrameKind::KeyFrame,
+        Duration::from_micros(10),
+        Duration::from_micros(1),
+    );
+    with_frames.absorb(&s);
+    assert_eq!(with_frames.wall_seconds, 0.0);
+    assert!(with_frames.frames_per_second().is_finite());
+    assert_eq!(with_frames.frames_per_second(), 0.0);
+}
+
+#[test]
+fn merging_empty_aggregates_stays_finite_and_empty() {
+    let mut a = AggregateTelemetry::default();
+    a.merge(&AggregateTelemetry::default());
+    assert_eq!(a.sessions, 0);
+    assert_eq!(a.frames_processed, 0);
+    assert!(a.frames_per_second().is_finite());
+    assert_eq!(a.service_latency.min_us(), 0);
+
+    // Empty-into-full must not corrupt the extremes.
+    let mut s = SessionTelemetry::default();
+    s.record_frame(
+        FrameKind::NonKeyFrame,
+        Duration::from_micros(500),
+        Duration::from_micros(20),
+    );
+    let mut full = AggregateTelemetry::default();
+    full.absorb(&s);
+    full.merge(&AggregateTelemetry::default());
+    assert_eq!(full.service_latency.min_us(), 500);
+    assert_eq!(full.service_latency.max_us(), 500);
+    assert_eq!(full.frames_processed, 1);
+}

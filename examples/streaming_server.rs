@@ -1,19 +1,23 @@
-//! Streaming server: serve N concurrent simulated camera streams through
-//! the `asv-runtime` scheduler and print per-session and aggregate
-//! telemetry.
+//! Streaming server: serve N simulated camera streams through the sharded
+//! `asv-runtime` cluster and print per-shard telemetry plus a Prometheus
+//! scrape sample.
 //!
 //! Each "camera" is a synthetic stereo sequence turned into a frame-by-frame
 //! feed with `StereoSequence::into_stream()` and driven by its own feeder
-//! thread, exactly as live capture threads would: the feeder blocks
-//! (backpressure) whenever its session's bounded inbox is full, while the
-//! scheduler's worker pool multiplexes all sessions round-robin.
+//! thread.  Frames enter through the async ingest front-end (bounded
+//! submission queue, per-session quota), are routed to a scheduler shard by
+//! consistent hashing of the camera name, and the shard's worker pool
+//! multiplexes its sessions round-robin under bounded-inbox backpressure.
 //!
 //! Run with: `cargo run --release --example streaming_server`
 
 use asv_system::asv::system::{AsvConfig, AsvSystem};
-use asv_system::runtime::{Scheduler, SchedulerConfig};
+use asv_system::runtime::{
+    Cluster, ClusterConfig, Ingest, IngestConfig, SchedulerConfig, ShedPolicy,
+};
 use asv_system::scene::{SceneConfig, StereoSequence};
 
+const SHARDS: usize = 2;
 const CAMERAS: usize = 4;
 const FRAMES_PER_CAMERA: usize = 6;
 const WIDTH: usize = 64;
@@ -30,30 +34,57 @@ fn main() {
     })
     .expect("known network");
 
-    // 2. The engine: a per-core worker pool, two queued frames per camera.
-    let config = SchedulerConfig::per_core().with_inbox_capacity(2);
-    println!(
-        "serving {CAMERAS} cameras x {FRAMES_PER_CAMERA} frames ({WIDTH}x{HEIGHT}) over {} workers",
-        config.workers
+    // 2. The cluster: SHARDS independent schedulers, each with its own
+    //    worker pool, two queued frames per camera.
+    let workers_per_shard = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .div_ceil(SHARDS)
+        .max(1);
+    let cluster = Cluster::new(
+        ClusterConfig::new(SHARDS).with_shard_config(
+            SchedulerConfig::per_core()
+                .with_workers(workers_per_shard)
+                .with_inbox_capacity(2),
+        ),
     );
-    let scheduler = Scheduler::new(config);
+    println!(
+        "serving {CAMERAS} cameras x {FRAMES_PER_CAMERA} frames ({WIDTH}x{HEIGHT}) \
+         over {SHARDS} shards x {workers_per_shard} workers"
+    );
 
-    // 3. One session + one feeder thread per camera.
-    let handles: Vec<_> = (0..CAMERAS)
-        .map(|_| scheduler.add_session(system.pipeline().state()))
+    // 3. The async ingestion front-end: feeders hand frames off here and the
+    //    forwarder pool performs the (possibly blocking) shard submits.
+    let ingest = Ingest::new(
+        IngestConfig::default()
+            .with_policy(ShedPolicy::Block)
+            .with_queue_capacity(CAMERAS * 2)
+            .with_session_quota(2),
+    );
+
+    // 4. One session + one feeder thread per camera, placed by consistent
+    //    hashing of the camera name.
+    let routes: Vec<_> = (0..CAMERAS)
+        .map(|camera| {
+            let placed =
+                cluster.add_session(&format!("camera-{camera}"), system.pipeline().state());
+            println!("  camera-{camera} -> shard {}", placed.shard());
+            ingest.register(placed.handle().clone())
+        })
         .collect();
     std::thread::scope(|scope| {
-        for (camera, handle) in handles.iter().enumerate() {
-            let handle = handle.clone();
+        for (camera, route) in routes.iter().enumerate() {
+            let route = route.clone();
             scope.spawn(move || {
                 let scene = SceneConfig::scene_flow_like(WIDTH, HEIGHT)
                     .with_seed(7 + camera as u64)
                     .with_objects(3);
                 let stream = StereoSequence::generate(&scene, FRAMES_PER_CAMERA).into_stream();
                 for frame in stream {
-                    // Blocks while the session's inbox is full (backpressure).
-                    if handle.submit(frame.left, frame.right).is_err() {
-                        eprintln!("camera {camera}: session failed, stopping feed");
+                    // Returns quickly; admission control blocks only when the
+                    // submission queue or this camera's quota is exhausted.
+                    if route.submit(frame.left, frame.right).is_err() {
+                        eprintln!("camera {camera}: route failed, stopping feed");
                         break;
                     }
                 }
@@ -61,30 +92,47 @@ fn main() {
         }
     });
 
-    // 4. Drain, shut down and report.
-    let report = scheduler.join();
-    println!("\nsession  frames  key  non-key  p50(us)  p95(us)  p99(us)  peak-queue");
-    for session in &report.sessions {
-        let t = &session.telemetry;
+    // 5. Drain the front-end into the shards, then shut the shards down.
+    let stats = ingest.join();
+    let report = cluster.join();
+
+    println!("\nshard  sessions  frames  key  p50(us)  p95(us)  p99(us)  peak-queue");
+    for (shard, runtime) in report.shards.iter().enumerate() {
+        let a = &runtime.aggregate;
         println!(
-            "{:>7}  {:>6}  {:>3}  {:>7}  {:>7}  {:>7}  {:>7}  {:>10}",
-            session.id.index(),
-            t.frames_processed,
-            t.key_frames,
-            t.non_key_frames,
-            t.service_latency.p50_us(),
-            t.service_latency.p95_us(),
-            t.service_latency.p99_us(),
-            t.queue_depth.peak,
+            "{:>5}  {:>8}  {:>6}  {:>3}  {:>7}  {:>7}  {:>7}  {:>10}",
+            shard,
+            a.sessions,
+            a.frames_processed,
+            a.key_frames,
+            a.service_latency.p50_us(),
+            a.service_latency.p95_us(),
+            a.service_latency.p99_us(),
+            a.peak_queue_depth,
         );
     }
     let agg = &report.aggregate;
     println!(
-        "\naggregate: {} frames in {:.2}s = {:.2} frames/s  (key ratio {:.3}, queue-wait p95 {} us)",
+        "\ncluster: {} frames in {:.2}s = {:.2} frames/s  (key ratio {:.3}, \
+         ingest accepted {} / forwarded {} / shed {})",
         agg.frames_processed,
         agg.wall_seconds,
         agg.frames_per_second(),
         agg.key_frame_ratio(),
-        agg.queue_wait.p95_us(),
+        stats.accepted(),
+        stats.forwarded(),
+        stats.shed(),
     );
+
+    // 6. The scrape body a /metrics endpoint would serve (counters + gauges;
+    //    the full output also carries the latency histograms).
+    println!("\nprometheus scrape sample:");
+    for line in report
+        .render_prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
+        .take(18)
+    {
+        println!("  {line}");
+    }
 }
