@@ -28,12 +28,13 @@
 //!   byte-identical by construction.
 
 use crate::error::AsvError;
+use crate::workspace::Workspace;
 use asv_dnn::{SurrogateParams, SurrogateStereoDnn};
-use asv_flow::farneback::{farneback_flow, FarnebackParams};
+use asv_flow::farneback::{farneback_flow_with, FarnebackParams, FlowWorkspace};
 use asv_flow::FlowField;
 use asv_image::Image;
 use asv_scene::StereoSequence;
-use asv_stereo::block_matching::{refine_with_initial, BlockMatchParams};
+use asv_stereo::block_matching::{refine_with_initial_into, BlockMatchParams};
 use asv_stereo::DisparityMap;
 use serde::{Deserialize, Serialize};
 
@@ -184,6 +185,11 @@ impl IsmState {
 
     /// Processes one stereo frame and advances the state.
     ///
+    /// This is the allocating entry point: it creates a throwaway
+    /// [`Workspace`] per call.  A streaming caller should hold a workspace
+    /// across frames and use [`IsmState::step_with`] instead — identical
+    /// results, no steady-state allocations.
+    ///
     /// # Errors
     ///
     /// Propagates flow and matcher errors (mismatched frame sizes, empty
@@ -191,12 +197,59 @@ impl IsmState {
     /// is left unchanged when the frame fails, so a caller may skip the bad
     /// frame and continue.
     pub fn step(&mut self, left: &Image, right: &Image) -> Result<FrameResult, AsvError> {
+        let mut ws = Workspace::new();
+        self.step_with(&mut ws, left, right)
+    }
+
+    /// [`IsmState::step`] threading a reusable per-stream [`Workspace`]:
+    /// byte-identical results, and zero heap allocations in the steady state
+    /// provided the caller recycles consumed result maps with
+    /// [`Workspace::recycle`] (otherwise the one allocation per frame is the
+    /// returned disparity map itself).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IsmState::step`].
+    pub fn step_with(
+        &mut self,
+        ws: &mut Workspace,
+        left: &Image,
+        right: &Image,
+    ) -> Result<FrameResult, AsvError> {
+        let mut out = ws.take_map(left.width(), left.height());
+        match self.step_into(ws, left, right, &mut out) {
+            Ok(kind) => Ok(FrameResult {
+                kind,
+                disparity: out,
+            }),
+            Err(error) => {
+                ws.recycle(out);
+                Err(error)
+            }
+        }
+    }
+
+    /// The zero-allocation core of one frame step: the caller owns both the
+    /// workspace and the output map.  `out` is fully overwritten on success
+    /// and unspecified on error; the state is only advanced on success.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IsmState::step`].
+    pub fn step_into(
+        &mut self,
+        ws: &mut Workspace,
+        left: &Image,
+        right: &Image,
+        out: &mut DisparityMap,
+    ) -> Result<FrameKind, AsvError> {
         let window = self.config.propagation_window.max(1);
         let mut is_key = self.previous.is_none() || self.since_key >= window;
         // The adaptive policy re-keys early when the scene moves too fast
         // for propagation to stay reliable.  The left-view flow it estimates
-        // is exactly the one propagation needs, so it is kept and reused.
-        let mut left_flow = None;
+        // is exactly the one propagation needs, so it is left in the
+        // workspace and reused.
+        let mut have_left_flow = false;
         if !is_key {
             if let KeyFramePolicy::AdaptiveMotion {
                 max_median_motion_px,
@@ -206,38 +259,53 @@ impl IsmState {
                     .previous
                     .as_ref()
                     .expect("non-key frames always have a predecessor");
-                let flow = farneback_flow(prev_left, left, &self.config.flow)?;
-                let motion = (flow.median_u().powi(2) + flow.median_v().powi(2)).sqrt();
+                farneback_flow_with(&mut ws.flow_left, prev_left, left, &self.config.flow)?;
+                let flow = ws.flow_left.flow();
+                let median_u = flow.median_u_with(&mut ws.median_scratch);
+                let median_v = flow.median_v_with(&mut ws.median_scratch);
+                let motion = (median_u.powi(2) + median_v.powi(2)).sqrt();
                 if motion > max_median_motion_px {
                     is_key = true;
                 } else {
-                    left_flow = Some(flow);
+                    have_left_flow = true;
                 }
             }
         }
-        let (kind, disparity) = if is_key {
-            let map = self.surrogate.infer(left, right)?;
-            (FrameKind::KeyFrame, map)
+        let kind = if is_key {
+            self.surrogate
+                .infer_with(&mut ws.stereo, left, right, out)?;
+            FrameKind::KeyFrame
         } else {
             let (prev_left, prev_right, prev_disparity) = self
                 .previous
                 .as_ref()
                 .expect("non-key frames always have a predecessor");
-            let map = propagate_and_refine(
+            propagate_and_refine_into(
                 &self.config,
                 prev_left,
                 prev_right,
                 prev_disparity,
                 left,
                 right,
-                left_flow,
+                have_left_flow,
+                ws,
+                out,
             )?;
-            (FrameKind::NonKeyFrame, map)
+            FrameKind::NonKeyFrame
         };
-        // Commit only after every fallible stage succeeded.
+        // Commit only after every fallible stage succeeded.  The previous
+        // frames and disparity are copied into the retained slots, reusing
+        // their buffers (no allocation once the sizes match).
         self.since_key = if is_key { 1 } else { self.since_key + 1 };
-        self.previous = Some((left.clone(), right.clone(), disparity.clone()));
-        Ok(FrameResult { kind, disparity })
+        match &mut self.previous {
+            Some((prev_left, prev_right, prev_disparity)) => {
+                prev_left.clone_from(left);
+                prev_right.clone_from(right);
+                prev_disparity.clone_from(out);
+            }
+            slot @ None => *slot = Some((left.clone(), right.clone(), out.clone())),
+        }
+        Ok(kind)
     }
 }
 
@@ -278,79 +346,110 @@ impl IsmPipeline {
     /// frames) as [`AsvError`], preserving the originating layer.
     pub fn process_sequence(&self, sequence: &StereoSequence) -> Result<IsmResult, AsvError> {
         let mut state = self.state();
+        // One workspace for the whole sequence: the batch path gets the same
+        // steady-state buffer reuse as a streaming session.
+        let mut ws = Workspace::new();
         let mut frames = Vec::with_capacity(sequence.len());
         for frame in sequence.frames() {
-            frames.push(state.step(&frame.left, &frame.right)?);
+            frames.push(state.step_with(&mut ws, &frame.left, &frame.right)?);
         }
         Ok(IsmResult { frames })
     }
 }
 
-/// Steps 2–4 of the algorithm for one non-key frame.  `left_flow`, when
-/// present, is the left-view flow the adaptive key-frame policy already
-/// estimated for this exact frame pair.
+/// Steps 2–4 of the algorithm for one non-key frame, writing the refined
+/// map into `out`.  When `have_left_flow` is set, `ws.flow_left` already
+/// holds the left-view flow the adaptive key-frame policy estimated for this
+/// exact frame pair.
 #[allow(clippy::too_many_arguments)]
-fn propagate_and_refine(
+fn propagate_and_refine_into(
     config: &IsmConfig,
     prev_left: &Image,
     prev_right: &Image,
     prev_disparity: &DisparityMap,
     left: &Image,
     right: &Image,
-    left_flow: Option<FlowField>,
-) -> Result<DisparityMap, AsvError> {
+    have_left_flow: bool,
+    ws: &mut Workspace,
+    out: &mut DisparityMap,
+) -> Result<(), AsvError> {
     // Step 3: motion of both views from t to t+1 (the two flow fields are
     // independent, so the parallel build computes them concurrently unless
     // the left one is already available).
-    let (flow_left, flow_right) = match left_flow {
-        Some(flow_left) => (flow_left, farneback_flow(prev_right, right, &config.flow)?),
-        None => left_right_flows(prev_left, prev_right, left, right, config)?,
-    };
+    if have_left_flow {
+        farneback_flow_with(&mut ws.flow_right, prev_right, right, &config.flow)?;
+    } else {
+        left_right_flows_with(
+            prev_left,
+            prev_right,
+            left,
+            right,
+            config,
+            &mut ws.flow_left,
+            &mut ws.flow_right,
+        )?;
+    }
 
     // Steps 2 + 3: reconstruct each correspondence pair from the previous
     // disparity map and move both members along their view's motion.
-    let propagated = propagate_correspondences(prev_disparity, &flow_left, &flow_right);
+    propagate_correspondences_into(
+        prev_disparity,
+        ws.flow_left.flow(),
+        ws.flow_right.flow(),
+        &mut ws.propagated,
+    );
 
     // Step 4: refine with a narrow block-matching search around the
     // propagated disparity.
-    Ok(refine_with_initial(
+    refine_with_initial_into(
         left,
         right,
-        &propagated,
+        &ws.propagated,
         &config.refine,
-    )?)
+        &mut ws.refine,
+        out,
+    )?;
+    Ok(())
 }
 
 /// Computes the left-view and right-view optical flow of one frame step
-/// concurrently (the two estimations share nothing).
+/// concurrently (the two estimations share nothing, including their
+/// workspaces).
 #[cfg(feature = "parallel")]
-fn left_right_flows(
+#[allow(clippy::too_many_arguments)]
+fn left_right_flows_with(
     prev_left: &Image,
     prev_right: &Image,
     left: &Image,
     right: &Image,
     config: &IsmConfig,
-) -> Result<(FlowField, FlowField), AsvError> {
+    ws_left: &mut FlowWorkspace,
+    ws_right: &mut FlowWorkspace,
+) -> Result<(), AsvError> {
     let (l, r) = rayon::join(
-        || farneback_flow(prev_left, left, &config.flow),
-        || farneback_flow(prev_right, right, &config.flow),
+        || farneback_flow_with(ws_left, prev_left, left, &config.flow),
+        || farneback_flow_with(ws_right, prev_right, right, &config.flow),
     );
-    Ok((l?, r?))
+    l?;
+    r?;
+    Ok(())
 }
 
 /// Sequential fallback of the two-view flow computation.
 #[cfg(not(feature = "parallel"))]
-fn left_right_flows(
+#[allow(clippy::too_many_arguments)]
+fn left_right_flows_with(
     prev_left: &Image,
     prev_right: &Image,
     left: &Image,
     right: &Image,
     config: &IsmConfig,
-) -> Result<(FlowField, FlowField), AsvError> {
-    Ok((
-        farneback_flow(prev_left, left, &config.flow)?,
-        farneback_flow(prev_right, right, &config.flow)?,
-    ))
+    ws_left: &mut FlowWorkspace,
+    ws_right: &mut FlowWorkspace,
+) -> Result<(), AsvError> {
+    farneback_flow_with(ws_left, prev_left, left, &config.flow)?;
+    farneback_flow_with(ws_right, prev_right, right, &config.flow)?;
+    Ok(())
 }
 
 /// Propagated writes produced by one source row `y`: `(x, y, disparity)`
@@ -392,22 +491,23 @@ fn row_writes(
     writes
 }
 
-/// Applies per-source-row write lists in row order, reproducing exactly the
-/// overwrite semantics of the reference double loop (later source rows win).
+/// Applies per-source-row write lists in row order into a reusable output
+/// map, reproducing exactly the overwrite semantics of the reference double
+/// loop (later source rows win).
 #[cfg(feature = "parallel")]
-fn apply_writes(
+fn apply_writes_into(
     width: usize,
     height: usize,
     rows: impl IntoIterator<Item = Vec<(usize, usize, f32)>>,
-) -> DisparityMap {
-    let mut propagated = DisparityMap::invalid(width, height);
+    out: &mut DisparityMap,
+) {
+    out.reset_invalid(width, height);
     for row in rows {
         for (x, y, d) in row {
-            propagated.set(x, y, d);
+            out.set(x, y, d);
         }
     }
-    propagated.fill_invalid_horizontally();
-    propagated
+    out.fill_invalid_horizontally();
 }
 
 /// Moves every correspondence pair of `prev_disparity` along the left/right
@@ -421,12 +521,26 @@ fn apply_writes(
 /// then applies the writes serially in source-row order; the result is
 /// identical to [`propagate_correspondences_serial`] (asserted by a
 /// differential test).
-#[cfg(feature = "parallel")]
 pub fn propagate_correspondences(
     prev_disparity: &DisparityMap,
     flow_left: &FlowField,
     flow_right: &FlowField,
 ) -> DisparityMap {
+    let mut out = DisparityMap::invalid(0, 0);
+    propagate_correspondences_into(prev_disparity, flow_left, flow_right, &mut out);
+    out
+}
+
+/// [`propagate_correspondences`] writing into a reusable output map
+/// (identical values, no allocation in the sequential build once the map is
+/// warm).
+#[cfg(feature = "parallel")]
+pub fn propagate_correspondences_into(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+    out: &mut DisparityMap,
+) {
     use rayon::prelude::*;
     let width = prev_disparity.width();
     let height = prev_disparity.height();
@@ -434,32 +548,45 @@ pub fn propagate_correspondences(
         .into_par_iter()
         .map(|y| row_writes(prev_disparity, flow_left, flow_right, y))
         .collect();
-    apply_writes(width, height, rows)
+    apply_writes_into(width, height, rows, out);
 }
 
-/// Sequential build of [`propagate_correspondences`]; delegates to the
-/// serial reference implementation.
+/// Sequential build of [`propagate_correspondences_into`]: the same plain
+/// double loop as the serial reference, writing into the reusable map.
 #[cfg(not(feature = "parallel"))]
-pub fn propagate_correspondences(
+pub fn propagate_correspondences_into(
     prev_disparity: &DisparityMap,
     flow_left: &FlowField,
     flow_right: &FlowField,
-) -> DisparityMap {
-    propagate_correspondences_serial(prev_disparity, flow_left, flow_right)
+    out: &mut DisparityMap,
+) {
+    propagate_serial_into(prev_disparity, flow_left, flow_right, out);
 }
 
 /// Serial reference implementation of correspondence propagation: the plain
-/// double loop, deliberately *not* built from [`row_writes`]/[`apply_writes`]
-/// so the differential test compares two independent implementations.
-/// Compiled in every configuration.
+/// double loop, deliberately *not* built from [`row_writes`]/
+/// `apply_writes_into` so the differential test compares two independent
+/// implementations.  Compiled in every configuration.
 pub fn propagate_correspondences_serial(
     prev_disparity: &DisparityMap,
     flow_left: &FlowField,
     flow_right: &FlowField,
 ) -> DisparityMap {
+    let mut out = DisparityMap::invalid(0, 0);
+    propagate_serial_into(prev_disparity, flow_left, flow_right, &mut out);
+    out
+}
+
+/// Body of the serial reference, writing into a reusable map.
+fn propagate_serial_into(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+    propagated: &mut DisparityMap,
+) {
     let width = prev_disparity.width();
     let height = prev_disparity.height();
-    let mut propagated = DisparityMap::invalid(width, height);
+    propagated.reset_invalid(width, height);
     for y in 0..height {
         for x in 0..width {
             let Some(d) = prev_disparity.get(x, y) else {
@@ -487,7 +614,6 @@ pub fn propagate_correspondences_serial(
         }
     }
     propagated.fill_invalid_horizontally();
-    propagated
 }
 
 #[cfg(test)]

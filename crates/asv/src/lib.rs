@@ -40,6 +40,7 @@ pub mod error;
 pub mod ism;
 pub mod perf;
 pub mod system;
+pub mod workspace;
 
 pub use error::AsvError;
 pub use ism::{
@@ -47,3 +48,4 @@ pub use ism::{
 };
 pub use perf::{AsvVariant, SystemPerformanceModel, VariantReport};
 pub use system::{AccuracyReport, AsvConfig, AsvSystem};
+pub use workspace::Workspace;

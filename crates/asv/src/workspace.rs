@@ -1,0 +1,124 @@
+//! Per-session scratch for the streaming hot path.
+//!
+//! [`IsmState::step`] re-allocated every intermediate — two flow pyramids,
+//! twelve polynomial-expansion planes, the SGM cost volume and its
+//! aggregation buffers, the propagated and refined disparity maps — on every
+//! frame.  A [`Workspace`] owns all of that scratch instead: the first frame
+//! of a stream sizes the buffers, and every later frame reuses them, making
+//! steady-state [`IsmState::step_with`] perform **zero heap allocations**
+//! (asserted by the allocation-regression test in `tests/alloc.rs`).
+//!
+//! One workspace serves one stream: the streaming runtime gives every
+//! session its own, so concurrent sessions never contend on the global
+//! allocator.  A workspace carries no algorithmic state — streams may be
+//! reset or re-keyed freely, and feeding differently-sized frames merely
+//! re-warms the buffers.
+//!
+//! [`IsmState::step`]: crate::ism::IsmState::step
+//! [`IsmState::step_with`]: crate::ism::IsmState::step_with
+
+use asv_flow::farneback::FlowWorkspace;
+use asv_image::Image;
+use asv_mem::BufferPool;
+use asv_stereo::{DisparityMap, MatchScratch, SgmWorkspace};
+
+/// Reusable per-stream scratch for the whole ISM frame path: optical flow
+/// (one workspace per camera view, so the two estimations can run
+/// concurrently), the key-frame SGM matcher, the non-key-frame refinement
+/// search and a pool of frame-sized planes that backs the returned disparity
+/// maps.
+#[derive(Debug)]
+pub struct Workspace {
+    pub(crate) flow_left: FlowWorkspace,
+    pub(crate) flow_right: FlowWorkspace,
+    pub(crate) stereo: SgmWorkspace,
+    pub(crate) refine: MatchScratch,
+    pub(crate) propagated: DisparityMap,
+    pub(crate) maps: BufferPool,
+    /// Selection buffer of the adaptive key-frame policy's median-motion
+    /// estimate.
+    pub(crate) median_scratch: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.  No heap allocation happens until the
+    /// first frame is processed, so creating one per call (as the allocating
+    /// [`IsmState::step`] wrapper does) costs nothing beyond losing reuse.
+    ///
+    /// [`IsmState::step`]: crate::ism::IsmState::step
+    pub fn new() -> Self {
+        Self {
+            flow_left: FlowWorkspace::new(),
+            flow_right: FlowWorkspace::new(),
+            stereo: SgmWorkspace::new(),
+            refine: MatchScratch::new(),
+            propagated: DisparityMap::invalid(0, 0),
+            maps: BufferPool::new(),
+            median_scratch: Vec::new(),
+        }
+    }
+
+    /// Checks a `width x height` disparity map out of the plane pool
+    /// (contents unspecified; every caller fully overwrites it).
+    pub(crate) fn take_map(&mut self, width: usize, height: usize) -> DisparityMap {
+        let data = self.maps.take_scratch(width * height);
+        let image = Image::from_vec(width, height, data)
+            .expect("pool buffer has exactly width * height elements");
+        DisparityMap::from_image(image)
+    }
+
+    /// Returns a disparity map's plane to the pool, e.g. a
+    /// [`FrameResult`](crate::ism::FrameResult) the consumer is done with.
+    /// Recycling the previous frame's output before stepping the next frame
+    /// is what closes the allocation loop: the pooled plane becomes the next
+    /// output map.
+    pub fn recycle(&mut self, map: DisparityMap) {
+        self.maps.put(map.into_image().into_vec());
+    }
+
+    /// Bytes retained by the pooled planes and the SGM scratch (the flow
+    /// workspaces add roughly twenty frame-sized planes on top).  Useful for
+    /// capacity-planning many concurrent sessions.
+    pub fn retained_bytes(&self) -> usize {
+        self.maps.retained_bytes() + self.stereo.retained_bytes()
+    }
+
+    /// Releases every retained buffer — the pooled planes, the SGM scratch
+    /// and the flow workspaces (e.g. when a stream goes idle); the next
+    /// frame re-warms them.
+    pub fn trim(&mut self) {
+        *self = Workspace::new();
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_workspace_is_empty() {
+        let ws = Workspace::new();
+        assert_eq!(ws.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn recycled_map_backs_the_next_checkout() {
+        let mut ws = Workspace::new();
+        let map = ws.take_map(8, 4);
+        assert_eq!((map.width(), map.height()), (8, 4));
+        ws.recycle(map);
+        assert!(ws.retained_bytes() >= 8 * 4 * 4);
+        let again = ws.take_map(8, 4);
+        assert_eq!((again.width(), again.height()), (8, 4));
+        assert_eq!(ws.maps.hits(), 1);
+        ws.recycle(again);
+        ws.trim();
+        assert_eq!(ws.retained_bytes(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Steady-state streaming perf baseline: before/after the workspace layer,
+//! emitting the machine-readable `BENCH_streaming.json`.
+//!
+//! ```text
+//! tab_perf [--quick] [--width W] [--height H] [--frames N]
+//!          [--max-disparity D] [--window PW] [--out PATH]
+//! ```
+//!
+//! Defaults to the qHD workload (960×540, 12 measured frames); `--quick` is
+//! the small CI smoke preset.  The JSON lands in `BENCH_streaming.json`
+//! unless `--out` overrides it.
+
+use asv_bench::perf::{steady_state_perf, PerfConfig};
+use asv_mem::alloc_count::CountingAllocator;
+
+// Installing the counting allocator is what makes the report's
+// allocs/frame columns real measurements instead of zeros.
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator::new();
+
+fn parse_args() -> (PerfConfig, String) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The preset is applied first so per-field flags override it regardless
+    // of argument order.
+    let mut cfg = if raw.iter().any(|a| a == "--quick") {
+        PerfConfig::quick()
+    } else {
+        PerfConfig::qhd()
+    };
+    let mut out = String::from("BENCH_streaming.json");
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            "--width" => cfg.width = value("--width").parse().expect("numeric --width"),
+            "--height" => cfg.height = value("--height").parse().expect("numeric --height"),
+            "--frames" => cfg.frames = value("--frames").parse().expect("numeric --frames"),
+            "--max-disparity" => {
+                cfg.max_disparity = value("--max-disparity")
+                    .parse()
+                    .expect("numeric --max-disparity")
+            }
+            "--window" => {
+                cfg.propagation_window = value("--window").parse().expect("numeric --window")
+            }
+            "--out" => out = value("--out"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    (cfg, out)
+}
+
+fn main() {
+    let (cfg, out_path) = parse_args();
+    let report = steady_state_perf(&cfg);
+    print!("{}", report.render_text());
+    let json = report.render_json();
+    std::fs::write(&out_path, &json).expect("write perf baseline json");
+    println!("  wrote {out_path}");
+}

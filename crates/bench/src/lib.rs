@@ -17,6 +17,7 @@ pub mod algorithms;
 pub mod cluster;
 pub mod figs;
 pub mod hardware;
+pub mod perf;
 pub mod streaming;
 pub mod table;
 

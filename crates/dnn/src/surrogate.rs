@@ -17,7 +17,7 @@
 
 use crate::network::NetworkSpec;
 use asv_image::Image;
-use asv_stereo::sgm::{semi_global_match, SgmParams};
+use asv_stereo::sgm::{semi_global_match_with, SgmParams, SgmWorkspace};
 use asv_stereo::{DisparityMap, StereoError};
 use serde::{Deserialize, Serialize};
 
@@ -72,17 +72,38 @@ impl SurrogateStereoDnn {
     /// Propagates [`StereoError`] from the underlying matcher (mismatched
     /// dimensions, empty images).
     pub fn infer(&self, left: &Image, right: &Image) -> Result<DisparityMap, StereoError> {
+        let mut ws = SgmWorkspace::new();
+        let mut out = DisparityMap::invalid(0, 0);
+        self.infer_with(&mut ws, left, right, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SurrogateStereoDnn::infer`] threading a reusable [`SgmWorkspace`]
+    /// and writing into a reusable output map: identical output, zero heap
+    /// allocations once the workspace is warm (same-sized frames).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SurrogateStereoDnn::infer`]; on error the
+    /// contents of `out` are unspecified.
+    pub fn infer_with(
+        &self,
+        ws: &mut SgmWorkspace,
+        left: &Image,
+        right: &Image,
+        out: &mut DisparityMap,
+    ) -> Result<(), StereoError> {
         let sgm_params = SgmParams {
             max_disparity: self.params.max_disparity,
             subpixel: true,
             left_right_check: self.params.occlusion_handling,
             ..SgmParams::default()
         };
-        let mut map = semi_global_match(left, right, &sgm_params)?;
+        semi_global_match_with(ws, left, right, &sgm_params, out)?;
         if self.params.occlusion_handling {
-            map.fill_invalid_horizontally();
+            out.fill_invalid_horizontally();
         }
-        Ok(map)
+        Ok(())
     }
 }
 

@@ -23,7 +23,7 @@
 
 use crate::field::{FlowError, FlowField};
 use crate::Result;
-use asv_image::gaussian::{gaussian_kernel, separable_filter};
+use asv_image::gaussian::{blur_in_place, gaussian_kernel, separable_filter_into};
 use asv_image::pyramid::Pyramid;
 use asv_image::Image;
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,167 @@ impl PolyExpansion {
     /// Height of the expanded image.
     pub fn height(&self) -> usize {
         self.a11.height()
+    }
+
+    /// An empty expansion (0×0 planes, no allocation); populated by
+    /// [`polynomial_expansion_into`].
+    fn empty() -> Self {
+        Self {
+            a11: Image::default(),
+            a12: Image::default(),
+            a22: Image::default(),
+            b1: Image::default(),
+            b2: Image::default(),
+        }
+    }
+}
+
+/// Kernels and matrices derived purely from the flow parameters, cached so
+/// the steady state of a stream never recomputes (or re-allocates) them.
+#[derive(Debug)]
+struct KernelCache {
+    /// Sigma the moment kernels and `ginv` were built for.
+    poly_for: Option<f32>,
+    /// 1-D moment filters `w(x) · x^p` for p = 0, 1, 2.
+    k0: Vec<f32>,
+    k1: Vec<f32>,
+    k2: Vec<f32>,
+    ginv: [[f64; 6]; 6],
+    /// Sigma the aggregation-blur kernel was built for.
+    blur_for: Option<f32>,
+    blur: Vec<f32>,
+    /// Sigma-1.0 kernel of the pyramid's level-to-level smoothing.
+    pyramid: Vec<f32>,
+}
+
+impl KernelCache {
+    fn empty() -> Self {
+        Self {
+            poly_for: None,
+            k0: Vec::new(),
+            k1: Vec::new(),
+            k2: Vec::new(),
+            ginv: [[0.0; 6]; 6],
+            blur_for: None,
+            blur: Vec::new(),
+            pyramid: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the moment kernels and the normal-matrix inverse when
+    /// `sigma` differs from the cached one.
+    fn ensure_poly(&mut self, sigma: f32) {
+        if self.poly_for == Some(sigma) {
+            return;
+        }
+        let kernel = gaussian_kernel(sigma);
+        let radius = (kernel.len() / 2) as isize;
+        self.k1 = kernel
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w * (i as isize - radius) as f32)
+            .collect();
+        self.k2 = kernel
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let d = (i as isize - radius) as f32;
+                w * d * d
+            })
+            .collect();
+        // The zeroth moment filter is the kernel itself; it is moved, not
+        // cloned.
+        self.k0 = kernel;
+        self.ginv = normal_matrix_inverse(sigma);
+        self.poly_for = Some(sigma);
+    }
+
+    /// Rebuilds the aggregation-blur kernel when `sigma` differs from the
+    /// cached one.
+    fn ensure_blur(&mut self, sigma: f32) {
+        if self.blur_for == Some(sigma) {
+            return;
+        }
+        self.blur = gaussian_kernel(sigma);
+        self.blur_for = Some(sigma);
+    }
+
+    /// Builds the pyramid smoothing kernel once.
+    fn ensure_pyramid(&mut self) {
+        if self.pyramid.is_empty() {
+            self.pyramid = gaussian_kernel(1.0);
+        }
+    }
+}
+
+/// Reusable scratch for one Farneback flow estimation: pyramids, polynomial
+/// expansions, the per-iteration matrix/blur planes and the flow double
+/// buffer.
+///
+/// A fresh workspace performs no allocation; the first
+/// [`farneback_flow_with`] call sizes every buffer and subsequent calls on
+/// same-sized frames reuse them, making steady-state flow estimation
+/// allocation-free.  Hold one workspace per camera view (the ISM pipeline
+/// holds two, one for the left and one for the right stream).
+#[derive(Debug)]
+pub struct FlowWorkspace {
+    kernels: KernelCache,
+    pyr0: Pyramid,
+    pyr1: Pyramid,
+    exp0: PolyExpansion,
+    exp1: PolyExpansion,
+    /// The six weighted moment projections of the expansion.
+    moments: [Image; 6],
+    tmp: Image,
+    tmp2: Image,
+    g11: Image,
+    g12: Image,
+    g22: Image,
+    h1: Image,
+    h2: Image,
+    /// Flow double buffer; after a successful [`farneback_flow_with`] call
+    /// `flow_a` holds the final estimate.
+    flow_a: FlowField,
+    flow_b: FlowField,
+}
+
+impl FlowWorkspace {
+    /// Creates an empty workspace (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            kernels: KernelCache::empty(),
+            pyr0: Pyramid::empty(),
+            pyr1: Pyramid::empty(),
+            exp0: PolyExpansion::empty(),
+            exp1: PolyExpansion::empty(),
+            moments: std::array::from_fn(|_| Image::default()),
+            tmp: Image::default(),
+            tmp2: Image::default(),
+            g11: Image::default(),
+            g12: Image::default(),
+            g22: Image::default(),
+            h1: Image::default(),
+            h2: Image::default(),
+            flow_a: FlowField::zeros(0, 0),
+            flow_b: FlowField::zeros(0, 0),
+        }
+    }
+
+    /// The flow estimated by the most recent [`farneback_flow_with`] call.
+    pub fn flow(&self) -> &FlowField {
+        &self.flow_a
+    }
+
+    /// Moves the most recent flow out of the workspace (leaving an empty
+    /// field behind; the next call re-warms the buffer).
+    pub fn take_flow(&mut self) -> FlowField {
+        std::mem::replace(&mut self.flow_a, FlowField::zeros(0, 0))
+    }
+}
+
+impl Default for FlowWorkspace {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -159,94 +320,96 @@ fn invert6(m: &[[f64; 6]; 6]) -> [[f64; 6]; 6] {
 /// Returns [`FlowError::InvalidParameter`] for an empty image or non-positive
 /// sigma.
 pub fn polynomial_expansion(image: &Image, sigma: f32) -> Result<PolyExpansion> {
+    let mut kernels = KernelCache::empty();
+    let mut moments = std::array::from_fn(|_| Image::default());
+    let mut tmp = Image::default();
+    let mut out = PolyExpansion::empty();
+    polynomial_expansion_into(image, sigma, &mut kernels, &mut moments, &mut tmp, &mut out)?;
+    Ok(out)
+}
+
+/// [`polynomial_expansion`] writing into reusable buffers: the kernel cache,
+/// the six moment planes, one convolution intermediate and the output
+/// expansion.  Identical output, no allocation once the buffers are warm.
+fn polynomial_expansion_into(
+    image: &Image,
+    sigma: f32,
+    kernels: &mut KernelCache,
+    moments: &mut [Image; 6],
+    tmp: &mut Image,
+    out: &mut PolyExpansion,
+) -> Result<()> {
     if image.is_empty() {
         return Err(FlowError::invalid_parameter("cannot expand an empty image"));
     }
     if sigma <= 0.0 {
         return Err(FlowError::invalid_parameter("poly_sigma must be positive"));
     }
-    let kernel = gaussian_kernel(sigma);
-    let radius = (kernel.len() / 2) as isize;
-    // 1-D moment filters w(x) * x^p for p = 0, 1, 2.
-    let k0 = kernel.clone();
-    let k1: Vec<f32> = kernel
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| w * (i as isize - radius) as f32)
-        .collect();
-    let k2: Vec<f32> = kernel
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| {
-            let d = (i as isize - radius) as f32;
-            w * d * d
-        })
-        .collect();
+    kernels.ensure_poly(sigma);
+    let (k0, k1, k2) = (&kernels.k0, &kernels.k1, &kernels.k2);
 
-    // Projection of the image on the weighted basis: v_k = Σ w · b_k · f.
-    let v0 = separable_filter(image, &k0, &k0); // 1
-    let v1 = separable_filter(image, &k1, &k0); // x
-    let v2 = separable_filter(image, &k0, &k1); // y
-    let v3 = separable_filter(image, &k2, &k0); // x^2
-    let v4 = separable_filter(image, &k0, &k2); // y^2
-    let v5 = separable_filter(image, &k1, &k1); // xy
+    // Projection of the image on the weighted basis: v_k = Σ w · b_k · f,
+    // in basis order [1, x, y, x², y², xy].
+    let [v0, v1, v2, v3, v4, v5] = moments;
+    separable_filter_into(image, k0, k0, tmp, v0);
+    separable_filter_into(image, k1, k0, tmp, v1);
+    separable_filter_into(image, k0, k1, tmp, v2);
+    separable_filter_into(image, k2, k0, tmp, v3);
+    separable_filter_into(image, k0, k2, tmp, v4);
+    separable_filter_into(image, k1, k1, tmp, v5);
 
-    let ginv = normal_matrix_inverse(sigma);
+    let ginv = kernels.ginv;
     let width = image.width();
     let height = image.height();
+    // Every plane pixel is assigned by the solve below, so no fill.
+    out.b1.reshape_scratch(width, height);
+    out.b2.reshape_scratch(width, height);
+    out.a11.reshape_scratch(width, height);
+    out.a22.reshape_scratch(width, height);
+    out.a12.reshape_scratch(width, height);
 
     // Point-wise 6x6 solve per pixel. Rows are independent; with the
     // `parallel` feature they are computed on the rayon pool (this stage is
     // the non-convolution hot spot of the expansion). The per-pixel
     // arithmetic is identical in both drivers.
-    let moments = [&v0, &v1, &v2, &v3, &v4, &v5];
-    let solve_row = |y: usize| -> Vec<[f32; 5]> {
-        let rows: [&[f32]; 6] =
-            std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
-        (0..width)
-            .map(|x| {
-                let mut r = [0.0f64; 6];
-                for (j, rj) in r.iter_mut().enumerate() {
-                    for (k, row) in rows.iter().enumerate() {
-                        *rj += ginv[j][k] * row[x] as f64;
-                    }
-                }
-                // r = [c, b1, b2, a11, a22, 2*a12-ish]; basis order
-                // [1, x, y, x², y², xy].
-                [
-                    r[1] as f32,
-                    r[2] as f32,
-                    r[3] as f32,
-                    r[4] as f32,
-                    (r[5] / 2.0) as f32,
-                ]
-            })
-            .collect()
+    let moments: [&Image; 6] = [v0, v1, v2, v3, v4, v5];
+    let solve_pixel = |rows: &[&[f32]; 6], x: usize| -> [f32; 5] {
+        let mut r = [0.0f64; 6];
+        for (j, rj) in r.iter_mut().enumerate() {
+            for (k, row) in rows.iter().enumerate() {
+                *rj += ginv[j][k] * row[x] as f64;
+            }
+        }
+        // r = [c, b1, b2, a11, a22, 2*a12-ish]; basis order
+        // [1, x, y, x², y², xy].
+        [
+            r[1] as f32,
+            r[2] as f32,
+            r[3] as f32,
+            r[4] as f32,
+            (r[5] / 2.0) as f32,
+        ]
     };
 
     #[cfg(feature = "parallel")]
-    let solved: Vec<Vec<[f32; 5]>> = {
-        use rayon::prelude::*;
-        (0..height).into_par_iter().map(solve_row).collect()
-    };
-    #[cfg(not(feature = "parallel"))]
-    let solved: Vec<Vec<[f32; 5]>> = (0..height).map(solve_row).collect();
-
-    // Single de-interleaving pass into the five output planes.
-    let mut b1 = Image::zeros(width, height);
-    let mut b2 = Image::zeros(width, height);
-    let mut a11 = Image::zeros(width, height);
-    let mut a22 = Image::zeros(width, height);
-    let mut a12 = Image::zeros(width, height);
     {
-        let planes = [
-            b1.as_mut_slice(),
-            b2.as_mut_slice(),
-            a11.as_mut_slice(),
-            a22.as_mut_slice(),
-            a12.as_mut_slice(),
+        let solve_row = |y: usize| -> Vec<[f32; 5]> {
+            let rows: [&[f32]; 6] =
+                std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
+            (0..width).map(|x| solve_pixel(&rows, x)).collect()
+        };
+        let solved: Vec<Vec<[f32; 5]>> = {
+            use rayon::prelude::*;
+            (0..height).into_par_iter().map(solve_row).collect()
+        };
+        // Single de-interleaving pass into the five output planes.
+        let mut planes = [
+            out.b1.as_mut_slice(),
+            out.b2.as_mut_slice(),
+            out.a11.as_mut_slice(),
+            out.a22.as_mut_slice(),
+            out.a12.as_mut_slice(),
         ];
-        let mut planes = planes;
         for (y, row) in solved.iter().enumerate() {
             let base = y * width;
             for (x, cell) in row.iter().enumerate() {
@@ -256,33 +419,63 @@ pub fn polynomial_expansion(image: &Image, sigma: f32) -> Result<PolyExpansion> 
             }
         }
     }
-    Ok(PolyExpansion {
-        a11,
-        a12,
-        a22,
-        b1,
-        b2,
-    })
+    #[cfg(not(feature = "parallel"))]
+    {
+        // Sequential driver: solve straight into the output planes, with no
+        // intermediate row vectors (this keeps the steady state of the
+        // sequential build allocation-free).
+        let mut planes = [
+            out.b1.as_mut_slice(),
+            out.b2.as_mut_slice(),
+            out.a11.as_mut_slice(),
+            out.a22.as_mut_slice(),
+            out.a12.as_mut_slice(),
+        ];
+        for y in 0..height {
+            let rows: [&[f32]; 6] =
+                std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
+            let base = y * width;
+            for x in 0..width {
+                let cell = solve_pixel(&rows, x);
+                for (plane, value) in planes.iter_mut().zip(&cell) {
+                    plane[base + x] = *value;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
-/// One Farneback displacement refinement at a single scale.
+/// One Farneback displacement refinement at a single scale, writing into
+/// reusable buffers.
 ///
 /// Implements the matrix-update stage (assembling `G`, `h` per pixel), the
 /// Gaussian-blur aggregation and the compute-flow stage (solving the 2×2
-/// system) described in the module documentation.
-fn refine_displacement(
+/// system) described in the module documentation.  `g11`..`h2` are the five
+/// matrix planes (blurred in place with `tmp` as intermediate) and `out`
+/// receives the refined flow.
+#[allow(clippy::too_many_arguments)]
+fn refine_displacement_into(
     exp0: &PolyExpansion,
     exp1: &PolyExpansion,
     prior: &FlowField,
-    blur_sigma: f32,
-) -> FlowField {
+    blur_kernel: &[f32],
+    g11: &mut Image,
+    g12: &mut Image,
+    g22: &mut Image,
+    h1: &mut Image,
+    h2: &mut Image,
+    tmp: &mut Image,
+    out: &mut FlowField,
+) {
     let width = exp0.width();
     let height = exp0.height();
-    let mut g11 = Image::zeros(width, height);
-    let mut g12 = Image::zeros(width, height);
-    let mut g22 = Image::zeros(width, height);
-    let mut h1 = Image::zeros(width, height);
-    let mut h2 = Image::zeros(width, height);
+    // The matrix-update loop assigns every pixel of all five planes.
+    g11.reshape_scratch(width, height);
+    g12.reshape_scratch(width, height);
+    g22.reshape_scratch(width, height);
+    h1.reshape_scratch(width, height);
+    h2.reshape_scratch(width, height);
 
     // --- Matrix update (point-wise) ---
     for y in 0..height {
@@ -309,14 +502,14 @@ fn refine_displacement(
     }
 
     // --- Gaussian blur aggregation (convolution) ---
-    let g11 = asv_image::gaussian_blur(&g11, blur_sigma);
-    let g12 = asv_image::gaussian_blur(&g12, blur_sigma);
-    let g22 = asv_image::gaussian_blur(&g22, blur_sigma);
-    let h1 = asv_image::gaussian_blur(&h1, blur_sigma);
-    let h2 = asv_image::gaussian_blur(&h2, blur_sigma);
+    blur_in_place(g11, blur_kernel, tmp);
+    blur_in_place(g12, blur_kernel, tmp);
+    blur_in_place(g22, blur_kernel, tmp);
+    blur_in_place(h1, blur_kernel, tmp);
+    blur_in_place(h2, blur_kernel, tmp);
 
-    // --- Compute flow (point-wise 2x2 solve) ---
-    let mut out = FlowField::zeros(width, height);
+    // --- Compute flow (point-wise 2x2 solve; every pixel assigned) ---
+    out.reshape_scratch(width, height);
     for y in 0..height {
         for x in 0..width {
             let a = g11.at(x, y);
@@ -335,7 +528,6 @@ fn refine_displacement(
             out.set(x, y, du, dv);
         }
     }
-    out
 }
 
 /// Estimates the dense optical flow from `frame0` to `frame1`.
@@ -349,6 +541,25 @@ pub fn farneback_flow(
     frame1: &Image,
     params: &FarnebackParams,
 ) -> Result<FlowField> {
+    let mut ws = FlowWorkspace::new();
+    farneback_flow_with(&mut ws, frame0, frame1, params)?;
+    Ok(ws.take_flow())
+}
+
+/// [`farneback_flow`] threading a reusable [`FlowWorkspace`]: identical
+/// output, zero heap allocations once the workspace is warm (same-sized
+/// frames).  The estimated flow is left in the workspace, readable through
+/// [`FlowWorkspace::flow`].
+///
+/// # Errors
+///
+/// Same conditions as [`farneback_flow`].
+pub fn farneback_flow_with(
+    ws: &mut FlowWorkspace,
+    frame0: &Image,
+    frame1: &Image,
+    params: &FarnebackParams,
+) -> Result<()> {
     if frame0.width() != frame1.width() || frame0.height() != frame1.height() {
         return Err(FlowError::frame_mismatch(format!(
             "{}x{} vs {}x{}",
@@ -368,28 +579,84 @@ pub fn farneback_flow(
             "iterations and pyramid_levels must be non-zero",
         ));
     }
-    let pyr0 = Pyramid::build(frame0, params.pyramid_levels, params.min_level_size)
+    ws.kernels.ensure_pyramid();
+    ws.pyr0
+        .rebuild(
+            frame0,
+            params.pyramid_levels,
+            params.min_level_size,
+            &ws.kernels.pyramid,
+            &mut ws.tmp,
+            &mut ws.tmp2,
+        )
         .map_err(FlowError::invalid_parameter)?;
-    let pyr1 = Pyramid::build(frame1, params.pyramid_levels, params.min_level_size)
+    ws.pyr1
+        .rebuild(
+            frame1,
+            params.pyramid_levels,
+            params.min_level_size,
+            &ws.kernels.pyramid,
+            &mut ws.tmp,
+            &mut ws.tmp2,
+        )
         .map_err(FlowError::invalid_parameter)?;
-    let levels = pyr0.num_levels().min(pyr1.num_levels());
+    ws.kernels.ensure_blur(params.blur_sigma);
+    let levels = ws.pyr0.num_levels().min(ws.pyr1.num_levels());
 
-    let mut flow: Option<FlowField> = None;
+    let mut first = true;
     for level in (0..levels).rev() {
+        // Split the workspace into its disjoint pieces so each stage can
+        // borrow what it needs.
+        let FlowWorkspace {
+            kernels,
+            pyr0,
+            pyr1,
+            exp0,
+            exp1,
+            moments,
+            tmp,
+            tmp2,
+            g11,
+            g12,
+            g22,
+            h1,
+            h2,
+            flow_a,
+            flow_b,
+            ..
+        } = ws;
         let im0 = pyr0.level(level);
         let im1 = pyr1.level(level);
-        let exp0 = polynomial_expansion(im0, params.poly_sigma)?;
-        let exp1 = polynomial_expansion(im1, params.poly_sigma)?;
-        let mut current = match flow.take() {
-            Some(prev) => prev.resample(im0.width(), im0.height()),
-            None => FlowField::zeros(im0.width(), im0.height()),
-        };
-        for _ in 0..params.iterations {
-            current = refine_displacement(&exp0, &exp1, &current, params.blur_sigma);
+        polynomial_expansion_into(im0, params.poly_sigma, kernels, moments, tmp, exp0)?;
+        polynomial_expansion_into(im1, params.poly_sigma, kernels, moments, tmp, exp1)?;
+        if first {
+            flow_a.reset_zeros(im0.width(), im0.height());
+            first = false;
+        } else {
+            flow_a.resample_into(im0.width(), im0.height(), flow_b);
+            std::mem::swap(flow_a, flow_b);
         }
-        flow = Some(current);
+        for _ in 0..params.iterations {
+            refine_displacement_into(
+                exp0,
+                exp1,
+                flow_a,
+                &kernels.blur,
+                g11,
+                g12,
+                g22,
+                h1,
+                h2,
+                tmp2,
+                flow_b,
+            );
+            std::mem::swap(flow_a, flow_b);
+        }
     }
-    Ok(flow.expect("at least one pyramid level"))
+    // The finest level's flow sits in `flow_a` after the last swap; both
+    // double-buffer fields keep their full-resolution capacity for the next
+    // call, so the steady state never re-allocates.
+    Ok(())
 }
 
 /// Arithmetic-operation breakdown of one Farneback flow computation, split

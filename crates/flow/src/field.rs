@@ -52,10 +52,26 @@ impl FlowError {
 /// `u` holds the horizontal and `v` the vertical displacement of each pixel
 /// from the first frame to the second frame (i.e. a pixel at `(x, y)` in
 /// frame `t` appears at `(x + u, y + v)` in frame `t + 1`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlowField {
     u: Image,
     v: Image,
+}
+
+impl Clone for FlowField {
+    fn clone(&self) -> Self {
+        Self {
+            u: self.u.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Copies `source` reusing both component buffers (see
+    /// [`Image::clone_from`]).
+    fn clone_from(&mut self, source: &Self) {
+        self.u.clone_from(&source.u);
+        self.v.clone_from(&source.v);
+    }
 }
 
 impl FlowField {
@@ -65,6 +81,20 @@ impl FlowField {
             u: Image::zeros(width, height),
             v: Image::zeros(width, height),
         }
+    }
+
+    /// Re-shapes the field to `width x height` with both components zeroed,
+    /// reusing the existing buffers when their capacity suffices.
+    pub fn reset_zeros(&mut self, width: usize, height: usize) {
+        self.u.reset(width, height, 0.0);
+        self.v.reset(width, height, 0.0);
+    }
+
+    /// Re-shapes the field leaving its contents *unspecified* (see
+    /// [`Image::reshape_scratch`]); for kernels that assign every pixel.
+    pub fn reshape_scratch(&mut self, width: usize, height: usize) {
+        self.u.reshape_scratch(width, height);
+        self.v.reshape_scratch(width, height);
     }
 
     /// Creates a flow field from its two component images.
@@ -172,12 +202,26 @@ impl FlowField {
 
     /// Median of the horizontal component (robust summary used in tests).
     pub fn median_u(&self) -> f32 {
-        median(self.u.as_slice())
+        let mut scratch = Vec::new();
+        self.median_u_with(&mut scratch)
     }
 
     /// Median of the vertical component.
     pub fn median_v(&self) -> f32 {
-        median(self.v.as_slice())
+        let mut scratch = Vec::new();
+        self.median_v_with(&mut scratch)
+    }
+
+    /// [`FlowField::median_u`] reusing a caller-owned selection buffer
+    /// (allocation-free once the buffer is warm — the adaptive key-frame
+    /// policy evaluates this every frame).
+    pub fn median_u_with(&self, scratch: &mut Vec<f32>) -> f32 {
+        median(self.u.as_slice(), scratch)
+    }
+
+    /// [`FlowField::median_v`] reusing a caller-owned selection buffer.
+    pub fn median_v_with(&self, scratch: &mut Vec<f32>) -> f32 {
+        median(self.v.as_slice(), scratch)
     }
 
     /// Scales both components (used when up-sampling between pyramid levels).
@@ -191,28 +235,48 @@ impl FlowField {
     /// Resamples the field to a new resolution, scaling the displacement
     /// magnitudes by the resolution ratio.
     pub fn resample(&self, new_width: usize, new_height: usize) -> FlowField {
+        let mut out = FlowField::zeros(0, 0);
+        self.resample_into(new_width, new_height, &mut out);
+        out
+    }
+
+    /// [`FlowField::resample`] writing into a reusable output field (which
+    /// must be a different object than `self`).
+    pub fn resample_into(&self, new_width: usize, new_height: usize, out: &mut FlowField) {
         if self.width() == 0 || self.height() == 0 || new_width == 0 || new_height == 0 {
-            return FlowField::zeros(new_width, new_height);
+            out.reset_zeros(new_width, new_height);
+            return;
         }
         let sx = new_width as f32 / self.width() as f32;
         let sy = new_height as f32 / self.height() as f32;
-        let u = Image::from_fn(new_width, new_height, |x, y| {
-            self.u.sample_bilinear(x as f32 / sx, y as f32 / sy) * sx
-        });
-        let v = Image::from_fn(new_width, new_height, |x, y| {
-            self.v.sample_bilinear(x as f32 / sx, y as f32 / sy) * sy
-        });
-        FlowField { u, v }
+        // Every pixel is assigned below, so the planes need no fill.
+        out.reshape_scratch(new_width, new_height);
+        for y in 0..new_height {
+            for x in 0..new_width {
+                let u = self.u.sample_bilinear(x as f32 / sx, y as f32 / sy) * sx;
+                let v = self.v.sample_bilinear(x as f32 / sx, y as f32 / sy) * sy;
+                out.set(x, y, u, v);
+            }
+        }
     }
 }
 
-fn median(values: &[f32]) -> f32 {
+/// Median by `select_nth_unstable` — O(n) instead of the O(n log n) full
+/// sort, which matters because the adaptive key-frame policy evaluates it on
+/// every frame.  The selected order statistic is identical to
+/// `sorted[len / 2]` under the same comparator.  The selection mutates a
+/// copy of the values held in the caller's reusable `scratch` buffer.
+fn median(values: &[f32], scratch: &mut Vec<f32>) -> f32 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f32> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    sorted[sorted.len() / 2]
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    let mid = scratch.len() / 2;
+    let (_, nth, _) = scratch.select_nth_unstable_by(mid, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *nth
 }
 
 #[cfg(test)]

@@ -67,6 +67,37 @@ pub fn block_sad(
     block: BlockSpec,
 ) -> f32 {
     let r = block.radius as isize;
+    // Interior fast path: when both blocks lie fully inside their images the
+    // taps are two contiguous row slices per block row — no clamping, no
+    // per-tap index arithmetic.  Tap order matches the clamped loop exactly
+    // (rows top to bottom, columns left to right), so the sum is
+    // bit-identical.  This is the hot loop of the ISM refinement search.
+    let lw = left.width() as isize;
+    let rw = right.width() as isize;
+    if lx - r >= 0
+        && ly - r >= 0
+        && lx + r < lw
+        && ly + r < left.height() as isize
+        && rx - r >= 0
+        && ry - r >= 0
+        && rx + r < rw
+        && ry + r < right.height() as isize
+    {
+        let side = (2 * r + 1) as usize;
+        let lpix = left.as_slice();
+        let rpix = right.as_slice();
+        let mut acc = 0.0;
+        for dy in 0..side {
+            let lbase = ((ly - r) as usize + dy) * lw as usize + (lx - r) as usize;
+            let rbase = ((ry - r) as usize + dy) * rw as usize + (rx - r) as usize;
+            let lrow = &lpix[lbase..][..side];
+            let rrow = &rpix[rbase..][..side];
+            for (a, b) in lrow.iter().zip(rrow) {
+                acc += (a - b).abs();
+            }
+        }
+        return acc;
+    }
     let mut acc = 0.0;
     for dy in -r..=r {
         for dx in -r..=r {

@@ -64,11 +64,31 @@ impl ImageError {
 /// Pixel `(x, y)` addresses column `x` and row `y`; `(0, 0)` is the top-left
 /// corner, matching the convention of the stereo-matching literature where the
 /// disparity search runs along image rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Image {
     width: usize,
     height: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Image {
+    fn clone(&self) -> Self {
+        Self {
+            width: self.width,
+            height: self.height,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the existing pixel buffer when
+    /// its capacity suffices (the derived implementation would reallocate).
+    /// This is what makes carrying previous-frame state across a stream
+    /// allocation-free in the steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.width = source.width;
+        self.height = source.height;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Image {
@@ -147,6 +167,36 @@ impl Image {
     /// Row-major pixel buffer.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Consumes the image and returns its row-major pixel buffer, e.g. to
+    /// hand the allocation back to a buffer pool.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Re-shapes the image to `width x height` with every pixel set to
+    /// `value`, reusing the existing buffer when its capacity suffices.
+    /// Equivalent to `*self = Image::filled(width, height, value)` without
+    /// the allocation.
+    pub fn reset(&mut self, width: usize, height: usize, value: f32) {
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, value);
+    }
+
+    /// Re-shapes the image to `width x height` leaving the pixel contents
+    /// *unspecified* (stale data when the size already matches).  For
+    /// kernels that overwrite every pixel: skips the full-plane fill that
+    /// [`Image::reset`] pays.
+    pub fn reshape_scratch(&mut self, width: usize, height: usize) {
+        self.width = width;
+        self.height = height;
+        if self.data.len() != width * height {
+            self.data.clear();
+            self.data.resize(width * height, 0.0);
+        }
     }
 
     /// Mutable row-major pixel buffer.
@@ -263,15 +313,27 @@ impl Image {
 
     /// Downsamples by a factor of two using 2×2 box averaging.
     pub fn downsample2(&self) -> Image {
+        let mut out = Image::default();
+        self.downsample2_into(&mut out);
+        out
+    }
+
+    /// [`Image::downsample2`] writing into a reusable output image.
+    pub fn downsample2_into(&self, out: &mut Image) {
         let nw = (self.width / 2).max(1);
         let nh = (self.height / 2).max(1);
-        Image::from_fn(nw, nh, |x, y| {
-            let x0 = (2 * x).min(self.width.saturating_sub(1));
-            let y0 = (2 * y).min(self.height.saturating_sub(1));
-            let x1 = (2 * x + 1).min(self.width.saturating_sub(1));
-            let y1 = (2 * y + 1).min(self.height.saturating_sub(1));
-            0.25 * (self.at(x0, y0) + self.at(x1, y0) + self.at(x0, y1) + self.at(x1, y1))
-        })
+        out.reshape_scratch(nw, nh);
+        for y in 0..nh {
+            for x in 0..nw {
+                let x0 = (2 * x).min(self.width.saturating_sub(1));
+                let y0 = (2 * y).min(self.height.saturating_sub(1));
+                let x1 = (2 * x + 1).min(self.width.saturating_sub(1));
+                let y1 = (2 * y + 1).min(self.height.saturating_sub(1));
+                let v =
+                    0.25 * (self.at(x0, y0) + self.at(x1, y0) + self.at(x0, y1) + self.at(x1, y1));
+                out.data[y * nw + x] = v;
+            }
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Gaussian image pyramids for coarse-to-fine optical flow.
 
-use crate::gaussian::gaussian_blur;
+use crate::gaussian::{gaussian_kernel, separable_filter_into};
 use crate::image::{Image, ImageError};
 use crate::Result;
 
@@ -23,6 +23,39 @@ impl Pyramid {
     /// Returns [`ImageError::InvalidParameter`] when `levels == 0` or the
     /// image is empty.
     pub fn build(image: &Image, levels: usize, min_size: usize) -> Result<Self> {
+        let mut pyramid = Pyramid::empty();
+        let kernel = gaussian_kernel(1.0);
+        let mut tmp_a = Image::default();
+        let mut tmp_b = Image::default();
+        pyramid.rebuild(image, levels, min_size, &kernel, &mut tmp_a, &mut tmp_b)?;
+        Ok(pyramid)
+    }
+
+    /// Creates a pyramid with no levels, to be populated by
+    /// [`Pyramid::rebuild`].  Useful as a reusable per-stream workspace slot.
+    pub fn empty() -> Self {
+        Self { levels: Vec::new() }
+    }
+
+    /// Rebuilds the pyramid from a new image in place, reusing the level
+    /// buffers of the previous build when the dimensions match (the steady
+    /// state of a video stream).  `kernel` is the level-to-level smoothing
+    /// kernel ([`gaussian_kernel`] with sigma 1.0 reproduces
+    /// [`Pyramid::build`] exactly); `tmp_a`/`tmp_b` are reusable scratch
+    /// images for the blur.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pyramid::build`].
+    pub fn rebuild(
+        &mut self,
+        image: &Image,
+        levels: usize,
+        min_size: usize,
+        kernel: &[f32],
+        tmp_a: &mut Image,
+        tmp_b: &mut Image,
+    ) -> Result<()> {
         if levels == 0 {
             return Err(ImageError::invalid_parameter(
                 "pyramid must have at least one level",
@@ -33,16 +66,28 @@ impl Pyramid {
                 "cannot build a pyramid from an empty image",
             ));
         }
-        let mut out = vec![image.clone()];
+        match self.levels.first_mut() {
+            Some(base) => base.clone_from(image),
+            None => self.levels.push(image.clone()),
+        }
+        let mut built = 1;
         for _ in 1..levels {
-            let prev = out.last().expect("pyramid has at least the base level");
-            if prev.width() / 2 < min_size.max(1) || prev.height() / 2 < min_size.max(1) {
+            let (prev_width, prev_height) = {
+                let prev = &self.levels[built - 1];
+                (prev.width(), prev.height())
+            };
+            if prev_width / 2 < min_size.max(1) || prev_height / 2 < min_size.max(1) {
                 break;
             }
-            let blurred = gaussian_blur(prev, 1.0);
-            out.push(blurred.downsample2());
+            separable_filter_into(&self.levels[built - 1], kernel, kernel, tmp_a, tmp_b);
+            if self.levels.len() <= built {
+                self.levels.push(Image::default());
+            }
+            tmp_b.downsample2_into(&mut self.levels[built]);
+            built += 1;
         }
-        Ok(Self { levels: out })
+        self.levels.truncate(built);
+        Ok(())
     }
 
     /// Number of levels actually built.

@@ -219,6 +219,10 @@ pub struct RouteHandle {
     shared: Arc<Shared>,
     index: usize,
     config: IngestConfig,
+    /// The downstream session, kept out of the front-end lock: the sink is
+    /// immutable after registration, and the recycling path must not
+    /// contend with the forwarders.
+    sink: SessionHandle,
 }
 
 impl Ingest {
@@ -255,7 +259,7 @@ impl Ingest {
         let mut front = self.shared.lock();
         let index = front.routes.len();
         front.routes.push(Route {
-            sink,
+            sink: sink.clone(),
             queued: VecDeque::new(),
             busy: false,
             error: None,
@@ -267,6 +271,7 @@ impl Ingest {
             shared: Arc::clone(&self.shared),
             index,
             config: self.config,
+            sink,
         }
     }
 
@@ -382,6 +387,17 @@ impl RouteHandle {
     /// (excludes the frame a forwarder may be carrying).
     pub fn queued(&self) -> usize {
         self.shared.lock().routes[self.index].queued.len()
+    }
+
+    /// Checks a `width x height` frame out of the downstream scheduler's
+    /// recycling pool (see [`SessionHandle::recycled_frame`]): already-
+    /// processed frame planes flow back through the ingest edge so a
+    /// steady-state producer submits without allocating.  Contents are
+    /// unspecified — overwrite every pixel before submitting.  Does not
+    /// touch the front-end lock, so recycling never contends with the
+    /// forwarders.
+    pub fn recycled_frame(&self, width: usize, height: usize) -> Image {
+        self.sink.recycled_frame(width, height)
     }
 }
 

@@ -49,8 +49,9 @@ use crate::queue::QueuedFrame;
 use crate::session::{SessionId, SessionReport, StreamSession};
 use crate::telemetry::AggregateTelemetry;
 use asv::ism::{IsmResult, IsmState};
-use asv::AsvError;
+use asv::{AsvError, Workspace};
 use asv_image::Image;
+use asv_mem::BufferPool;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -151,8 +152,8 @@ struct Engine {
 
 impl Engine {
     /// Picks the next (session, frame) pair round-robin and marks the
-    /// session busy by taking its state out.
-    fn dispatch_next(&mut self) -> Option<(usize, QueuedFrame, IsmState)> {
+    /// session busy by taking its state and workspace out.
+    fn dispatch_next(&mut self) -> Option<(usize, QueuedFrame, IsmState, Workspace)> {
         let n = self.sessions.len();
         if n == 0 {
             return None;
@@ -164,8 +165,8 @@ impl Engine {
                 let slot = &mut self.sessions[idx];
                 let frame = slot.inbox.pop().expect("dispatchable inbox is non-empty");
                 slot.telemetry.queue_depth.observe(slot.inbox.len());
-                let state = slot.take_state();
-                return Some((idx, frame, state));
+                let (state, workspace) = slot.take_work();
+                return Some((idx, frame, state, workspace));
             }
         }
         None
@@ -186,6 +187,11 @@ struct Shared {
     work: Condvar,
     /// Producers park here when their session's inbox is full.
     space: Condvar,
+    /// Planes of already-processed frames, recycled back to producers
+    /// through [`SessionHandle::recycled_frame`] so the ingest edge can
+    /// build new frames without fresh allocations.  A separate lock from the
+    /// engine: recycling never contends with scheduling.
+    frames: Mutex<BufferPool>,
 }
 
 impl Shared {
@@ -255,6 +261,7 @@ impl Scheduler {
             }),
             work: Condvar::new(),
             space: Condvar::new(),
+            frames: Mutex::new(BufferPool::new()),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -471,6 +478,34 @@ impl SessionHandle {
             .get(self.id.0)
             .map_or(0, |s| s.inbox.len())
     }
+
+    /// Releases the session's retained kernel scratch (hundreds of
+    /// megabytes at qHD — see `asv::Workspace::retained_bytes`) if no
+    /// worker is currently stepping a frame of this session.  Returns
+    /// whether the trim ran; call it when a camera goes idle, the next
+    /// frame re-warms the buffers.
+    pub fn trim_workspace(&self) -> bool {
+        self.shared
+            .lock()
+            .sessions
+            .get_mut(self.id.0)
+            .is_some_and(|s| s.trim_workspace())
+    }
+
+    /// Checks a `width x height` frame out of the scheduler's recycling
+    /// pool: the plane of an already-processed frame when one of the right
+    /// size is available (contents unspecified — overwrite every pixel), a
+    /// fresh zeroed image otherwise.  Submitting recycled frames closes the
+    /// ingest allocation loop under steady-state streaming.
+    pub fn recycled_frame(&self, width: usize, height: usize) -> Image {
+        let data = self
+            .shared
+            .frames
+            .lock()
+            .expect("frame recycling pool lock poisoned")
+            .take_scratch(width * height);
+        Image::from_vec(width, height, data).expect("pool buffer has exactly width * height pixels")
+    }
 }
 
 /// Body of one worker thread: dispatch round-robin, step the frame outside
@@ -478,7 +513,7 @@ impl SessionHandle {
 fn worker_loop(shared: &Shared) {
     let mut engine = shared.lock();
     loop {
-        if let Some((idx, frame, mut state)) = engine.dispatch_next() {
+        if let Some((idx, frame, mut state, mut workspace)) = engine.dispatch_next() {
             engine.in_flight += 1;
             drop(engine);
             // A slot was freed: a producer blocked on this inbox can refill
@@ -487,13 +522,29 @@ fn worker_loop(shared: &Shared) {
 
             let waited = frame.queued_at.elapsed();
             let started = Instant::now();
-            let outcome = state.step(&frame.left, &frame.right);
+            let outcome = state.step_with(&mut workspace, &frame.left, &frame.right);
             let service = started.elapsed();
+
+            // Both planes of the stepped frame are recycled into the
+            // scheduler-wide pool that producers drain through
+            // `SessionHandle::recycled_frame`: a producer that checks out
+            // two planes per frame gets both back, so the ingest loop runs
+            // without fresh allocations.  The one steady-state allocation
+            // left in the engine is the retained result map itself (results
+            // accumulate until `join`, so their planes cannot be reused).
+            {
+                let mut frames = shared
+                    .frames
+                    .lock()
+                    .expect("frame recycling pool lock poisoned");
+                frames.put(frame.left.into_vec());
+                frames.put(frame.right.into_vec());
+            }
 
             engine = shared.lock();
             engine.in_flight -= 1;
             let slot = &mut engine.sessions[idx];
-            slot.put_back(state);
+            slot.put_back(state, workspace);
             match outcome {
                 Ok(result) => {
                     slot.telemetry.record_frame(result.kind, service, waited);

@@ -4,7 +4,7 @@
 use crate::queue::Inbox;
 use crate::telemetry::SessionTelemetry;
 use asv::ism::{FrameResult, IsmResult, IsmState};
-use asv::AsvError;
+use asv::{AsvError, Workspace};
 
 /// Identifier of one stream session within a scheduler, assigned densely in
 /// registration order.
@@ -42,6 +42,11 @@ pub struct StreamSession {
     pub(crate) label: Option<String>,
     /// `None` exactly while a worker is stepping this session's frame.
     state: Option<IsmState>,
+    /// The session's reusable kernel scratch, taken out together with the
+    /// state.  Owning one per session keeps the steady state of every
+    /// stream allocation-free and keeps concurrent sessions off the global
+    /// allocator.
+    workspace: Option<Workspace>,
     pub(crate) inbox: Inbox,
     pub(crate) results: Vec<FrameResult>,
     pub(crate) telemetry: SessionTelemetry,
@@ -60,6 +65,7 @@ impl StreamSession {
             id,
             label,
             state: Some(state),
+            workspace: Some(Workspace::new()),
             inbox: Inbox::new(inbox_capacity),
             results: Vec::new(),
             telemetry: SessionTelemetry::default(),
@@ -79,16 +85,35 @@ impl StreamSession {
         self.state.is_some() && !self.inbox.is_empty() && self.error.is_none()
     }
 
-    /// Takes the ISM state out for processing (the session shows as busy
-    /// until [`StreamSession::put_back`]).
-    pub(crate) fn take_state(&mut self) -> IsmState {
-        self.state.take().expect("session state already taken")
+    /// Takes the ISM state and the session's workspace out for processing
+    /// (the session shows as busy until [`StreamSession::put_back`]).
+    pub(crate) fn take_work(&mut self) -> (IsmState, Workspace) {
+        (
+            self.state.take().expect("session state already taken"),
+            self.workspace
+                .take()
+                .expect("session workspace already taken"),
+        )
     }
 
-    /// Returns the ISM state after a worker finished its frame.
-    pub(crate) fn put_back(&mut self, state: IsmState) {
+    /// Returns the ISM state and workspace after a worker finished its
+    /// frame.
+    pub(crate) fn put_back(&mut self, state: IsmState, workspace: Workspace) {
         debug_assert!(self.state.is_none(), "session state returned twice");
         self.state = Some(state);
+        self.workspace = Some(workspace);
+    }
+
+    /// Releases the workspace's retained kernel scratch if it is resident
+    /// (not taken by a worker right now).  Returns whether the trim ran.
+    pub(crate) fn trim_workspace(&mut self) -> bool {
+        match &mut self.workspace {
+            Some(ws) => {
+                ws.trim();
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -185,3 +185,79 @@ fn submissions_after_join_are_rejected() {
         .unwrap_err();
     assert!(matches!(err, AsvError::Shutdown), "{err:?}");
 }
+
+#[test]
+fn processed_frame_planes_recycle_back_to_producers() {
+    let pipe = pipeline(2);
+    let scheduler = Scheduler::new(SchedulerConfig::per_core().with_workers(1));
+    let handle = scheduler.add_session(pipe.state());
+    // Submit frames with a marker value; the kernels never mutate their
+    // inputs, so a recycled (stale-content) plane still carries it.
+    for _ in 0..3 {
+        handle
+            .submit(
+                Image::filled(WIDTH, HEIGHT, 7.0),
+                Image::filled(WIDTH, HEIGHT, 7.0),
+            )
+            .unwrap();
+    }
+    // Wait until every submitted frame has been stepped (load covers queued
+    // plus in-flight frames).
+    for _ in 0..2000 {
+        if scheduler.load() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(scheduler.load(), 0, "frames still pending");
+    // The pool now holds the processed planes: a matching checkout returns
+    // one of them (identifiable by the marker), correctly shaped.
+    let recycled = handle.recycled_frame(WIDTH, HEIGHT);
+    assert_eq!((recycled.width(), recycled.height()), (WIDTH, HEIGHT));
+    assert!(
+        recycled.as_slice().iter().all(|&v| v == 7.0),
+        "expected a recycled marker plane, got a fresh buffer"
+    );
+    // A size with no recycled plane still yields a usable (zeroed) frame.
+    let fresh = handle.recycled_frame(WIDTH / 2, HEIGHT / 2);
+    assert_eq!((fresh.width(), fresh.height()), (WIDTH / 2, HEIGHT / 2));
+    assert!(fresh.as_slice().iter().all(|&v| v == 0.0));
+    // Resubmitting the recycled plane flows through the engine unchanged.
+    handle.submit(recycled, fresh_frame()).unwrap();
+    let report = scheduler.join();
+    assert_eq!(report.sessions[0].frames.len(), 4);
+    assert!(report.sessions[0].error.is_none());
+}
+
+fn fresh_frame() -> Image {
+    Image::filled(WIDTH, HEIGHT, 7.0)
+}
+
+#[test]
+fn idle_sessions_can_trim_their_workspace() {
+    let pipe = pipeline(2);
+    let seq = sequence(91, 3);
+    let scheduler = Scheduler::new(SchedulerConfig::per_core().with_workers(1));
+    let handle = scheduler.add_session(pipe.state());
+    for frame in seq.frames() {
+        handle
+            .submit(frame.left.clone(), frame.right.clone())
+            .unwrap();
+    }
+    for _ in 0..2000 {
+        if scheduler.load() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // The stream is idle: the trim must run (workspace resident) and later
+    // frames must still process correctly on re-warmed buffers.
+    assert!(handle.trim_workspace());
+    let frame = &seq.frames()[0];
+    handle
+        .submit(frame.left.clone(), frame.right.clone())
+        .unwrap();
+    let report = scheduler.join();
+    assert_eq!(report.sessions[0].frames.len(), 4);
+    assert!(report.sessions[0].error.is_none());
+}

@@ -61,9 +61,39 @@ fn check_pair(left: &Image, right: &Image) -> Result<()> {
     Ok(())
 }
 
+/// Reusable scratch of the per-pixel disparity search: the candidate-cost
+/// row the parabolic sub-pixel refinement reads back.  One per calling
+/// stream; without it every searched pixel would allocate its own vector.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Only the sequential driver reuses the shared buffer; the parallel
+    /// driver gives each row its own (same values either way).
+    #[cfg_attr(feature = "parallel", allow(dead_code))]
+    costs: Vec<f32>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the candidate buffer to hold `candidates` entries up front, so
+    /// the per-pixel search never re-allocates mid-stream — the worst case
+    /// (a full-range fallback for an invalid initial disparity) may first
+    /// occur on any frame, not necessarily during warm-up.
+    #[cfg_attr(feature = "parallel", allow(dead_code))]
+    fn ensure(&mut self, candidates: usize) {
+        self.costs.clear();
+        self.costs.reserve(candidates);
+    }
+}
+
 /// Searches disparities `lo..=hi` for the best SAD match of the block centred
 /// at `(x, y)`, returning `(best_disparity, best_cost)` with optional
-/// parabolic sub-pixel refinement.
+/// parabolic sub-pixel refinement.  `costs` is a reusable candidate buffer
+/// (cleared on entry).
+#[allow(clippy::too_many_arguments)]
 fn search_range(
     left: &Image,
     right: &Image,
@@ -72,10 +102,11 @@ fn search_range(
     lo: usize,
     hi: usize,
     params: &BlockMatchParams,
+    costs: &mut Vec<f32>,
 ) -> (f32, f32) {
     let mut best_d = lo;
     let mut best_cost = f32::INFINITY;
-    let mut costs: Vec<f32> = Vec::with_capacity(hi - lo + 1);
+    costs.clear();
     for d in lo..=hi {
         let cost = block_sad(
             left,
@@ -107,32 +138,49 @@ fn search_range(
     (best_d as f32 + offset, best_cost)
 }
 
-/// Evaluates a per-pixel matcher over the whole image, one row at a time.
-/// Rows are independent, so with the `parallel` feature they are distributed
-/// over the rayon pool; the returned value is identical either way. Pixels
-/// map to [`crate::disparity::INVALID_DISPARITY`] when no match qualifies.
-#[cfg(feature = "parallel")]
-fn match_per_pixel(
+/// Evaluates a per-pixel matcher over the whole image, writing straight into
+/// the rows of a reusable output map.  Rows are independent, so with the
+/// `parallel` feature they are distributed over the rayon pool (each row
+/// with its own candidate buffer); sequentially the caller's scratch is
+/// reused across all pixels and the pass is allocation-free.  The produced
+/// values are identical either way.  Pixels map to
+/// [`crate::disparity::INVALID_DISPARITY`] when no match qualifies.
+fn match_per_pixel_into(
     width: usize,
     height: usize,
-    per_pixel: impl Fn(usize, usize) -> f32 + Sync,
-) -> DisparityMap {
-    use rayon::prelude::*;
-    let rows: Vec<Vec<f32>> = (0..height)
-        .into_par_iter()
-        .map(|y| (0..width).map(|x| per_pixel(x, y)).collect())
-        .collect();
-    DisparityMap::from_fn(width, height, |x, y| rows[y][x])
-}
-
-/// Sequential fallback of the row-wise matcher driver.
-#[cfg(not(feature = "parallel"))]
-fn match_per_pixel(
-    width: usize,
-    height: usize,
-    per_pixel: impl Fn(usize, usize) -> f32 + Sync,
-) -> DisparityMap {
-    DisparityMap::from_fn(width, height, per_pixel)
+    max_candidates: usize,
+    scratch: &mut MatchScratch,
+    out: &mut DisparityMap,
+    per_pixel: impl Fn(usize, usize, &mut Vec<f32>) -> f32 + Sync,
+) {
+    // Every pixel is assigned by the per-pixel matcher (invalid pixels get
+    // the marker value directly), so the plane needs no fill.
+    out.reshape_scratch(width, height);
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        let _ = scratch; // each parallel row carries its own buffer
+        out.as_image_mut()
+            .as_mut_slice()
+            .par_chunks_mut(width)
+            .enumerate()
+            .for_each(|(y, row)| {
+                let mut costs = Vec::with_capacity(max_candidates);
+                for (x, slot) in row.iter_mut().enumerate() {
+                    *slot = per_pixel(x, y, &mut costs);
+                }
+            });
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        scratch.ensure(max_candidates);
+        let data = out.as_image_mut().as_mut_slice();
+        for y in 0..height {
+            for x in 0..width {
+                data[y * width + x] = per_pixel(x, y, &mut scratch.costs);
+            }
+        }
+    }
 }
 
 /// Full-range local block matching over disparities `0..=max_disparity`.
@@ -142,19 +190,47 @@ fn match_per_pixel(
 /// Returns [`StereoError::DimensionMismatch`] for mismatched image sizes and
 /// [`StereoError::InvalidParameter`] for empty images.
 pub fn block_match(left: &Image, right: &Image, params: &BlockMatchParams) -> Result<DisparityMap> {
+    let mut scratch = MatchScratch::new();
+    let mut out = DisparityMap::invalid(0, 0);
+    block_match_into(left, right, params, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`block_match`] writing into a reusable output map with reusable search
+/// scratch: identical output, no allocation once the buffers are warm.
+///
+/// # Errors
+///
+/// Same conditions as [`block_match`].
+pub fn block_match_into(
+    left: &Image,
+    right: &Image,
+    params: &BlockMatchParams,
+    scratch: &mut MatchScratch,
+    out: &mut DisparityMap,
+) -> Result<()> {
     check_pair(left, right)?;
     let width = left.width();
     let height = left.height();
     let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
-    Ok(match_per_pixel(width, height, |x, y| {
-        let hi = params.max_disparity.min(x);
-        let (d, cost) = search_range(left, right, x, y, 0, hi, params);
-        if cost <= cost_limit {
-            d
-        } else {
-            crate::disparity::INVALID_DISPARITY
-        }
-    }))
+    let max_candidates = params.max_disparity + 1;
+    match_per_pixel_into(
+        width,
+        height,
+        max_candidates,
+        scratch,
+        out,
+        |x, y, costs| {
+            let hi = params.max_disparity.min(x);
+            let (d, cost) = search_range(left, right, x, y, 0, hi, params, costs);
+            if cost <= cost_limit {
+                d
+            } else {
+                crate::disparity::INVALID_DISPARITY
+            }
+        },
+    );
+    Ok(())
 }
 
 /// Block matching restricted to `±refine_radius` pixels around `initial`.
@@ -175,6 +251,27 @@ pub fn refine_with_initial(
     initial: &DisparityMap,
     params: &BlockMatchParams,
 ) -> Result<DisparityMap> {
+    let mut scratch = MatchScratch::new();
+    let mut out = DisparityMap::invalid(0, 0);
+    refine_with_initial_into(left, right, initial, params, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`refine_with_initial`] writing into a reusable output map with reusable
+/// search scratch: identical output, no allocation once the buffers are
+/// warm.  This is the ISM non-key-frame hot path.
+///
+/// # Errors
+///
+/// Same conditions as [`refine_with_initial`].
+pub fn refine_with_initial_into(
+    left: &Image,
+    right: &Image,
+    initial: &DisparityMap,
+    params: &BlockMatchParams,
+    scratch: &mut MatchScratch,
+    out: &mut DisparityMap,
+) -> Result<()> {
     check_pair(left, right)?;
     if initial.width() != left.width() || initial.height() != left.height() {
         return Err(StereoError::dimension_mismatch(format!(
@@ -188,25 +285,37 @@ pub fn refine_with_initial(
     let width = left.width();
     let height = left.height();
     let cost_limit = params.max_cost_per_pixel * params.block.area() as f32;
-    Ok(match_per_pixel(width, height, |x, y| {
-        let (lo, hi) = match initial.get(x, y) {
-            Some(init) => {
-                let centre = init.round().max(0.0) as usize;
-                let lo = centre.saturating_sub(params.refine_radius);
-                let hi = (centre + params.refine_radius)
-                    .min(params.max_disparity)
-                    .min(x);
-                (lo.min(hi), hi)
+    // An invalid initial disparity falls back to the full-range search, so
+    // the candidate buffer must fit `max_disparity + 1` entries even when
+    // the refinement window is narrow.
+    let max_candidates = params.max_disparity.max(2 * params.refine_radius) + 1;
+    match_per_pixel_into(
+        width,
+        height,
+        max_candidates,
+        scratch,
+        out,
+        |x, y, costs| {
+            let (lo, hi) = match initial.get(x, y) {
+                Some(init) => {
+                    let centre = init.round().max(0.0) as usize;
+                    let lo = centre.saturating_sub(params.refine_radius);
+                    let hi = (centre + params.refine_radius)
+                        .min(params.max_disparity)
+                        .min(x);
+                    (lo.min(hi), hi)
+                }
+                None => (0, params.max_disparity.min(x)),
+            };
+            let (d, cost) = search_range(left, right, x, y, lo, hi, params, costs);
+            if cost <= cost_limit {
+                d
+            } else {
+                crate::disparity::INVALID_DISPARITY
             }
-            None => (0, params.max_disparity.min(x)),
-        };
-        let (d, cost) = search_range(left, right, x, y, lo, hi, params);
-        if cost <= cost_limit {
-            d
-        } else {
-            crate::disparity::INVALID_DISPARITY
-        }
-    }))
+        },
+    );
+    Ok(())
 }
 
 /// Arithmetic operation count of a full-range block match on a frame of the

@@ -33,6 +33,38 @@ impl CostVolume {
         max_disparity: usize,
         block: BlockSpec,
     ) -> Result<Self> {
+        let mut volume = Self::empty();
+        volume.fill_from_pair(left, right, max_disparity, block)?;
+        Ok(volume)
+    }
+
+    /// An empty volume (no storage); populate with
+    /// [`CostVolume::fill_from_pair`].  Useful as a reusable per-stream
+    /// workspace slot.
+    pub fn empty() -> Self {
+        Self {
+            width: 0,
+            height: 0,
+            max_disparity: 0,
+            costs: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the volume from a new pair in place, reusing the cost
+    /// storage of the previous build when the total size matches (the
+    /// steady state of a video stream).  Identical output to
+    /// [`CostVolume::from_pair`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CostVolume::from_pair`].
+    pub fn fill_from_pair(
+        &mut self,
+        left: &Image,
+        right: &Image,
+        max_disparity: usize,
+        block: BlockSpec,
+    ) -> Result<()> {
         if left.width() != right.width() || left.height() != right.height() {
             return Err(StereoError::dimension_mismatch(format!(
                 "{}x{} vs {}x{}",
@@ -47,20 +79,22 @@ impl CostVolume {
                 "cannot build a cost volume from empty images",
             ));
         }
-        let width = left.width();
-        let height = left.height();
+        self.width = left.width();
+        self.height = left.height();
+        self.max_disparity = max_disparity;
         let levels = max_disparity + 1;
-        let mut costs = vec![0.0f32; width * height * levels];
+        let cells = self.width * self.height * levels;
+        // Every cell is overwritten by the fill, so stale contents need no
+        // clearing; `resize` only touches cells beyond the previous size.
+        if self.costs.len() != cells {
+            self.costs.clear();
+            self.costs.resize(cells, 0.0);
+        }
         #[cfg(feature = "parallel")]
-        fill_costs_separable(left, right, levels, block, &mut costs);
+        fill_costs_separable(left, right, levels, block, &mut self.costs);
         #[cfg(not(feature = "parallel"))]
-        fill_costs_naive(left, right, levels, block, &mut costs);
-        Ok(Self {
-            width,
-            height,
-            max_disparity,
-            costs,
-        })
+        fill_costs_naive(left, right, levels, block, &mut self.costs);
+        Ok(())
     }
 
     /// Volume width in pixels.
@@ -81,6 +115,12 @@ impl CostVolume {
     /// Number of disparity hypotheses (`max_disparity + 1`).
     pub fn num_disparities(&self) -> usize {
         self.max_disparity + 1
+    }
+
+    /// Total number of stored cost cells
+    /// (`width * height * num_disparities`, 0 for an empty volume).
+    pub fn num_cells(&self) -> usize {
+        self.costs.len()
     }
 
     /// Cost of hypothesis `d` at pixel `(x, y)`.
@@ -163,11 +203,26 @@ fn fill_costs_naive(
     }
 }
 
+/// Disparity-block width of the separable fill: the number of disparity
+/// hypotheses whose horizontal-sum planes are kept resident at once.  Large
+/// enough that the final scatter writes contiguous runs of the `[y][x][d]`
+/// volume, small enough that a block's planes stay cache-resident.
+#[cfg(feature = "parallel")]
+const D_BLOCK: usize = 8;
+
 /// Data-parallel cost filling: the block SAD is separable, so for each
 /// disparity the clamped per-pixel absolute differences are box-summed
 /// horizontally and then vertically — `O(W·H·D·B)` instead of `O(W·H·D·B²)`,
 /// with contiguous row accesses instead of per-tap border clamps. Bands of
 /// output rows are independent and run on the rayon pool.
+///
+/// The loop nest is cache-blocked over [`D_BLOCK`] disparities: the vertical
+/// window sums accumulate whole contiguous rows (auto-vectorizable, unlike a
+/// per-pixel column walk) into per-disparity accumulator rows, and the final
+/// transpose writes each pixel's `D_BLOCK` cost entries contiguously — the
+/// disparity loop is innermost over contiguous memory on the store side.
+/// Per-cell arithmetic and summation order are identical to the previous
+/// per-disparity formulation, so the output is bit-identical.
 #[cfg(feature = "parallel")]
 fn fill_costs_separable(
     left: &Image,
@@ -195,37 +250,60 @@ fn fill_costs_separable(
         .for_each(|(band, out)| {
             let y0 = band * rows_per_band;
             let band_rows = out.len() / row_stride;
-            // hsum[i] holds the horizontal window sums of source row
-            // clamp(y0 + i - r); the vertical window of output row y0 + by is
-            // then hsum[by .. by + window].
+            // For disparity j of the current block, hsum[j * span + i] holds
+            // the horizontal window sums of source row clamp(y0 + i - r); the
+            // vertical window of output row y0 + by is rows by .. by + window.
             let span = band_rows + 2 * r;
-            let mut hsum = vec![0.0f32; span * width];
+            let mut hsum = vec![0.0f32; D_BLOCK * span * width];
+            let mut vacc = vec![0.0f32; D_BLOCK * width];
             let mut diff = vec![0.0f32; width + 2 * r];
-            for d in 0..levels {
-                for (i, hrow) in hsum.chunks_mut(width).enumerate() {
-                    let v = ((y0 + i) as isize - r as isize).clamp(0, height as isize - 1) as usize;
-                    let lrow = &lpix[v * width..][..width];
-                    let rrow = &rpix[v * width..][..width];
-                    for (j, slot) in diff.iter_mut().enumerate() {
-                        let u = j as isize - r as isize;
-                        let lu = u.clamp(0, width as isize - 1) as usize;
-                        let ru = (u - d as isize).clamp(0, width as isize - 1) as usize;
-                        *slot = (lrow[lu] - rrow[ru]).abs();
-                    }
-                    for (x, out) in hrow.iter_mut().enumerate() {
-                        *out = diff[x..x + window].iter().sum();
+            let mut d0 = 0;
+            while d0 < levels {
+                let db = D_BLOCK.min(levels - d0);
+                for j in 0..db {
+                    let d = d0 + j;
+                    for (i, hrow) in hsum[j * span * width..][..span * width]
+                        .chunks_mut(width)
+                        .enumerate()
+                    {
+                        let v =
+                            ((y0 + i) as isize - r as isize).clamp(0, height as isize - 1) as usize;
+                        let lrow = &lpix[v * width..][..width];
+                        let rrow = &rpix[v * width..][..width];
+                        for (u, slot) in diff.iter_mut().enumerate() {
+                            let u = u as isize - r as isize;
+                            let lu = u.clamp(0, width as isize - 1) as usize;
+                            let ru = (u - d as isize).clamp(0, width as isize - 1) as usize;
+                            *slot = (lrow[lu] - rrow[ru]).abs();
+                        }
+                        for (x, out) in hrow.iter_mut().enumerate() {
+                            *out = diff[x..x + window].iter().sum();
+                        }
                     }
                 }
                 for by in 0..band_rows {
+                    // Vertical box sums, one contiguous row at a time.
+                    for j in 0..db {
+                        let row_acc = &mut vacc[j * width..][..width];
+                        row_acc.fill(0.0);
+                        for vrow in
+                            hsum[(j * span + by) * width..][..window * width].chunks_exact(width)
+                        {
+                            for (acc, &v) in row_acc.iter_mut().zip(vrow) {
+                                *acc += v;
+                            }
+                        }
+                    }
+                    // Transpose-scatter: each pixel's block of disparities is
+                    // written contiguously.
                     let out_row = &mut out[by * row_stride..][..row_stride];
                     for x in 0..width {
-                        let mut acc = 0.0f32;
-                        for vrow in hsum[by * width..][..window * width].chunks_exact(width) {
-                            acc += vrow[x];
+                        for (j, slot) in out_row[x * levels + d0..][..db].iter_mut().enumerate() {
+                            *slot = vacc[j * width + x];
                         }
-                        out_row[x * levels + d] = acc;
                     }
                 }
+                d0 += D_BLOCK;
             }
         });
 }

@@ -56,9 +56,23 @@ impl StereoError {
 ///
 /// Invalid pixels (occlusions, failed matches) are stored as negative values
 /// and excluded from the accuracy metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct DisparityMap {
     values: Image,
+}
+
+impl Clone for DisparityMap {
+    fn clone(&self) -> Self {
+        Self {
+            values: self.values.clone(),
+        }
+    }
+
+    /// Copies `source` reusing the existing buffer (see
+    /// [`Image::clone_from`]).
+    fn clone_from(&mut self, source: &Self) {
+        self.values.clone_from(&source.values);
+    }
 }
 
 /// Marker value for pixels with no valid disparity.
@@ -94,6 +108,32 @@ impl DisparityMap {
         Self {
             values: Image::from_fn(width, height, f),
         }
+    }
+
+    /// Re-shapes the map to `width x height` with every pixel marked
+    /// invalid, reusing the existing buffer when its capacity suffices.
+    /// Equivalent to `*self = DisparityMap::invalid(width, height)` without
+    /// the allocation.
+    pub fn reset_invalid(&mut self, width: usize, height: usize) {
+        self.values.reset(width, height, INVALID_DISPARITY);
+    }
+
+    /// Re-shapes the map leaving its contents *unspecified* (see
+    /// [`Image::reshape_scratch`]); for kernels that assign every pixel.
+    pub fn reshape_scratch(&mut self, width: usize, height: usize) {
+        self.values.reshape_scratch(width, height);
+    }
+
+    /// Mutable access to the underlying image of disparity values (negative
+    /// values are the invalid marker), for kernels that fill a map row by
+    /// row.
+    pub fn as_image_mut(&mut self) -> &mut Image {
+        &mut self.values
+    }
+
+    /// Consumes the map and returns the underlying image.
+    pub fn into_image(self) -> Image {
+        self.values
     }
 
     /// Map width in pixels.

@@ -36,9 +36,9 @@ pub mod disparity;
 pub mod sgm;
 pub mod triangulation;
 
-pub use block_matching::{block_match, refine_with_initial, BlockMatchParams};
+pub use block_matching::{block_match, refine_with_initial, BlockMatchParams, MatchScratch};
 pub use disparity::{DisparityMap, StereoError};
-pub use sgm::{semi_global_match, SgmParams};
+pub use sgm::{semi_global_match, semi_global_match_with, SgmParams, SgmWorkspace};
 pub use triangulation::CameraRig;
 
 /// Convenience result alias used across the crate.

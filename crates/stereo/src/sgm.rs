@@ -12,6 +12,7 @@ use crate::disparity::{DisparityMap, StereoError};
 use crate::Result;
 use asv_image::cost::BlockSpec;
 use asv_image::Image;
+use asv_mem::BufferPool;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the semi-global matcher.
@@ -54,31 +55,83 @@ impl Default for SgmParams {
 /// runtime of the tests reasonable while preserving SGM's behaviour.
 const DIRECTIONS: [(isize, isize); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
 
-/// Aggregates the cost volume along one direction.
-fn aggregate_direction(volume: &CostVolume, dir: (isize, isize), p1: f32, p2: f32) -> Vec<f32> {
+/// Reusable scratch for [`semi_global_match_with`]: the cost volume, the
+/// aggregation buffers (checked out of a size-keyed [`BufferPool`]) and the
+/// mirrored images / right-reference map of the left-right check.
+///
+/// A fresh workspace performs no allocation; the first match sizes every
+/// buffer and subsequent matches on same-sized pairs reuse them.  One
+/// workspace serves any number of sequential matches (it is keyed by size,
+/// not by content).
+#[derive(Debug)]
+pub struct SgmWorkspace {
+    volume: CostVolume,
+    pool: BufferPool,
+    mirror_l: Image,
+    mirror_r: Image,
+    map_r: DisparityMap,
+}
+
+impl SgmWorkspace {
+    /// Creates an empty workspace (no allocation until first use).
+    pub fn new() -> Self {
+        Self {
+            volume: CostVolume::empty(),
+            pool: BufferPool::new(),
+            mirror_l: Image::default(),
+            mirror_r: Image::default(),
+            map_r: DisparityMap::invalid(0, 0),
+        }
+    }
+
+    /// Bytes currently retained by the workspace (cost volume plus pooled
+    /// aggregation buffers), e.g. for capacity planning of many concurrent
+    /// sessions.
+    pub fn retained_bytes(&self) -> usize {
+        self.volume.num_cells() * std::mem::size_of::<f32>() + self.pool.retained_bytes()
+    }
+
+    /// Releases all retained buffers (e.g. when a stream goes idle).
+    pub fn trim(&mut self) {
+        self.volume = CostVolume::empty();
+        self.pool.trim();
+        self.mirror_l = Image::default();
+        self.mirror_r = Image::default();
+        self.map_r = DisparityMap::invalid(0, 0);
+    }
+}
+
+impl Default for SgmWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregates the cost volume along one direction, writing into a reusable
+/// buffer (resized to the volume; every cell is overwritten).
+fn aggregate_direction_into(
+    volume: &CostVolume,
+    dir: (isize, isize),
+    p1: f32,
+    p2: f32,
+    agg: &mut Vec<f32>,
+) {
     let width = volume.width();
     let height = volume.height();
     let levels = volume.num_disparities();
-    let mut agg = vec![0.0f32; width * height * levels];
+    let cells = width * height * levels;
+    if agg.len() != cells {
+        agg.clear();
+        agg.resize(cells, 0.0);
+    }
 
     // Traversal order: along the direction, so the predecessor is already
-    // computed.
-    let xs: Vec<usize> = if dir.0 > 0 {
-        (0..width).collect()
-    } else {
-        (0..width).rev().collect()
-    };
-    let ys: Vec<usize> = if dir.1 > 0 {
-        (0..height).collect()
-    } else {
-        (0..height).rev().collect()
-    };
-
-    // For horizontal paths iterate x innermost; for vertical paths iterate y
-    // innermost.  (For pure horizontal/vertical paths the other loop order is
-    // irrelevant to correctness.)
-    for &y in &ys {
-        for &x in &xs {
+    // computed.  For horizontal paths iterate x innermost; for vertical paths
+    // the x order is irrelevant to correctness and mirrors the reference.
+    for yi in 0..height {
+        let y = if dir.1 > 0 { yi } else { height - 1 - yi };
+        for xi in 0..width {
+            let x = if dir.0 > 0 { xi } else { width - 1 - xi };
             let px = x as isize - dir.0;
             let py = y as isize - dir.1;
             let base = (y * width + x) * levels;
@@ -110,72 +163,104 @@ fn aggregate_direction(volume: &CostVolume, dir: (isize, isize), p1: f32, p2: f3
             }
         }
     }
-    agg
 }
 
 /// Runs SGM over an already-built cost volume, returning the aggregated
-/// volume summed over all directions.
+/// volume summed over all directions (the buffer is checked out of `pool`;
+/// the caller returns it with [`BufferPool::put`] when done).
 ///
 /// The four directional passes are independent; with the `parallel` feature
 /// they run concurrently on the rayon pool and are reduced in direction
 /// order, so the summation order matches the sequential build.
-fn aggregate_all(volume: &CostVolume, p1: f32, p2: f32) -> Vec<f32> {
-    let width = volume.width();
-    let height = volume.height();
-    let levels = volume.num_disparities();
-    let mut total = vec![0.0f32; width * height * levels];
+fn aggregate_all_pooled(volume: &CostVolume, p1: f32, p2: f32, pool: &mut BufferPool) -> Vec<f32> {
+    let cells = volume.num_cells();
+    let mut total = pool.take_zeroed(cells);
+    let mut dirs: [Vec<f32>; 4] = std::array::from_fn(|_| pool.take_scratch(cells));
 
     #[cfg(feature = "parallel")]
-    let aggregated: Vec<Vec<f32>> = {
-        use rayon::prelude::*;
-        DIRECTIONS
-            .par_iter()
-            .map(|&dir| aggregate_direction(volume, dir, p1, p2))
-            .collect()
-    };
+    {
+        let [d0, d1, d2, d3] = &mut dirs;
+        rayon::join(
+            || {
+                rayon::join(
+                    || aggregate_direction_into(volume, DIRECTIONS[0], p1, p2, d0),
+                    || aggregate_direction_into(volume, DIRECTIONS[1], p1, p2, d1),
+                )
+            },
+            || {
+                rayon::join(
+                    || aggregate_direction_into(volume, DIRECTIONS[2], p1, p2, d2),
+                    || aggregate_direction_into(volume, DIRECTIONS[3], p1, p2, d3),
+                )
+            },
+        );
+    }
     #[cfg(not(feature = "parallel"))]
-    let aggregated: Vec<Vec<f32>> = DIRECTIONS
-        .iter()
-        .map(|&dir| aggregate_direction(volume, dir, p1, p2))
-        .collect();
+    for (agg, &dir) in dirs.iter_mut().zip(&DIRECTIONS) {
+        aggregate_direction_into(volume, dir, p1, p2, agg);
+    }
 
-    for agg in aggregated {
-        for (t, a) in total.iter_mut().zip(agg) {
+    for agg in dirs {
+        for (t, a) in total.iter_mut().zip(&agg) {
             *t += a;
         }
+        pool.put(agg);
     }
     total
 }
 
-fn winner_take_all(
+/// Winner-take-all over an aggregated volume, writing into a reusable map.
+fn winner_take_all_into(
     total: &[f32],
     width: usize,
     height: usize,
     levels: usize,
     subpixel: bool,
-) -> DisparityMap {
-    DisparityMap::from_fn(width, height, |x, y| {
-        let base = (y * width + x) * levels;
-        let mut best_d = 0usize;
-        let mut best_cost = f32::INFINITY;
-        for d in 0..levels {
-            if total[base + d] < best_cost {
-                best_cost = total[base + d];
-                best_d = d;
+    out: &mut DisparityMap,
+) {
+    // Every pixel is assigned below, so the plane needs no fill.
+    out.reshape_scratch(width, height);
+    let dst = out.as_image_mut().as_mut_slice();
+    for y in 0..height {
+        for x in 0..width {
+            let base = (y * width + x) * levels;
+            let mut best_d = 0usize;
+            let mut best_cost = f32::INFINITY;
+            for d in 0..levels {
+                if total[base + d] < best_cost {
+                    best_cost = total[base + d];
+                    best_d = d;
+                }
             }
+            let value = if !subpixel || best_d == 0 || best_d + 1 >= levels {
+                best_d as f32
+            } else {
+                let c0 = total[base + best_d - 1];
+                let c1 = best_cost;
+                let c2 = total[base + best_d + 1];
+                let denom = c0 - 2.0 * c1 + c2;
+                if denom.abs() < 1e-9 {
+                    best_d as f32
+                } else {
+                    best_d as f32 + (0.5 * (c0 - c2) / denom).clamp(-0.5, 0.5)
+                }
+            };
+            dst[y * width + x] = value;
         }
-        if !subpixel || best_d == 0 || best_d + 1 >= levels {
-            return best_d as f32;
+    }
+}
+
+/// Horizontally mirrors `src` into a reusable output image.
+fn mirror_into(src: &Image, out: &mut Image) {
+    let width = src.width();
+    let height = src.height();
+    out.reshape_scratch(width, height);
+    let dst = out.as_mut_slice();
+    for y in 0..height {
+        for x in 0..width {
+            dst[y * width + x] = src.at(width - 1 - x, y);
         }
-        let c0 = total[base + best_d - 1];
-        let c1 = best_cost;
-        let c2 = total[base + best_d + 1];
-        let denom = c0 - 2.0 * c1 + c2;
-        if denom.abs() < 1e-9 {
-            return best_d as f32;
-        }
-        best_d as f32 + (0.5 * (c0 - c2) / denom).clamp(-0.5, 0.5)
-    })
+    }
 }
 
 /// Semi-global stereo matching of a rectified pair.
@@ -186,64 +271,93 @@ fn winner_take_all(
 /// [`StereoError::InvalidParameter`] for empty images or zero disparity
 /// range.
 pub fn semi_global_match(left: &Image, right: &Image, params: &SgmParams) -> Result<DisparityMap> {
+    let mut ws = SgmWorkspace::new();
+    let mut out = DisparityMap::invalid(0, 0);
+    semi_global_match_with(&mut ws, left, right, params, &mut out)?;
+    Ok(out)
+}
+
+/// [`semi_global_match`] threading a reusable [`SgmWorkspace`] and writing
+/// the disparity map into a reusable output: identical output, zero heap
+/// allocations once the workspace is warm (same-sized pairs).
+///
+/// # Errors
+///
+/// Same conditions as [`semi_global_match`]; on error the contents of `out`
+/// are unspecified.
+pub fn semi_global_match_with(
+    ws: &mut SgmWorkspace,
+    left: &Image,
+    right: &Image,
+    params: &SgmParams,
+    out: &mut DisparityMap,
+) -> Result<()> {
     if params.max_disparity == 0 {
         return Err(StereoError::invalid_parameter(
             "max_disparity must be non-zero",
         ));
     }
-    let volume = CostVolume::from_pair(left, right, params.max_disparity, params.block)?;
-    let levels = volume.num_disparities();
-    let total = aggregate_all(&volume, params.p1, params.p2);
-    let mut map = winner_take_all(
+    ws.volume
+        .fill_from_pair(left, right, params.max_disparity, params.block)?;
+    let levels = ws.volume.num_disparities();
+    let total = aggregate_all_pooled(&ws.volume, params.p1, params.p2, &mut ws.pool);
+    winner_take_all_into(
         &total,
-        volume.width(),
-        volume.height(),
+        ws.volume.width(),
+        ws.volume.height(),
         levels,
         params.subpixel,
+        out,
     );
+    ws.pool.put(total);
 
     if params.left_right_check {
         // Match in the other direction by mirroring both images horizontally,
         // which converts right-reference matching into left-reference matching.
-        let mirror = |im: &Image| {
-            Image::from_fn(im.width(), im.height(), |x, y| im.at(im.width() - 1 - x, y))
-        };
-        let ml = mirror(left);
-        let mr = mirror(right);
-        let volume_r = CostVolume::from_pair(&mr, &ml, params.max_disparity, params.block)?;
-        let total_r = aggregate_all(&volume_r, params.p1, params.p2);
-        let map_r = winner_take_all(
+        mirror_into(left, &mut ws.mirror_l);
+        mirror_into(right, &mut ws.mirror_r);
+        ws.volume.fill_from_pair(
+            &ws.mirror_r,
+            &ws.mirror_l,
+            params.max_disparity,
+            params.block,
+        )?;
+        let total_r = aggregate_all_pooled(&ws.volume, params.p1, params.p2, &mut ws.pool);
+        winner_take_all_into(
             &total_r,
-            volume_r.width(),
-            volume_r.height(),
+            ws.volume.width(),
+            ws.volume.height(),
             levels,
             params.subpixel,
+            &mut ws.map_r,
         );
-        let width = map.width();
-        for y in 0..map.height() {
+        ws.pool.put(total_r);
+        let map_r = &ws.map_r;
+        let width = out.width();
+        for y in 0..out.height() {
             for x in 0..width {
-                let Some(d) = map.get(x, y) else { continue };
+                let Some(d) = out.get(x, y) else { continue };
                 // Pixel (x, y) in the left image corresponds to (x - d, y) in
                 // the right image, which is (width - 1 - (x - d), y) in the
                 // mirrored right image.
                 let rx = x as f32 - d;
                 if rx < 0.0 {
-                    map.invalidate(x, y);
+                    out.invalidate(x, y);
                     continue;
                 }
                 let mx = (width as f32 - 1.0 - rx).round() as usize;
                 if mx >= width {
-                    map.invalidate(x, y);
+                    out.invalidate(x, y);
                     continue;
                 }
                 match map_r.get(mx, y) {
                     Some(dr) if (dr - d).abs() <= params.lr_threshold => {}
-                    _ => map.invalidate(x, y),
+                    _ => out.invalidate(x, y),
                 }
             }
         }
     }
-    Ok(map)
+    Ok(())
 }
 
 /// Arithmetic operation count of SGM on a frame of the given size: cost-volume

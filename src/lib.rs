@@ -44,6 +44,7 @@ pub use asv_deconv as deconv;
 pub use asv_dnn as dnn;
 pub use asv_flow as flow;
 pub use asv_image as image;
+pub use asv_mem as mem;
 pub use asv_runtime as runtime;
 pub use asv_scene as scene;
 pub use asv_stereo as stereo;
