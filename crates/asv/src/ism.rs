@@ -183,6 +183,16 @@ impl IsmState {
         self.since_key = 0;
     }
 
+    /// Switches the matching-cost metric of the key-frame estimator.  Takes
+    /// effect from the next key frame; propagated non-key frames are
+    /// unaffected (they refine, not re-match).
+    pub fn set_cost_metric(&mut self, metric: asv_dnn::CostMetric) {
+        self.config.surrogate.metric = metric;
+        let mut params = *self.surrogate.params();
+        params.metric = metric;
+        self.surrogate.set_params(params);
+    }
+
     /// Processes one stereo frame and advances the state.
     ///
     /// This is the allocating entry point: it creates a throwaway
@@ -392,6 +402,15 @@ fn propagate_and_refine_into(
 
     // Steps 2 + 3: reconstruct each correspondence pair from the previous
     // disparity map and move both members along their view's motion.
+    #[cfg(feature = "parallel")]
+    propagate_correspondences_pooled(
+        prev_disparity,
+        ws.flow_left.flow(),
+        ws.flow_right.flow(),
+        &mut ws.propagation_rows,
+        &mut ws.propagated,
+    );
+    #[cfg(not(feature = "parallel"))]
     propagate_correspondences_into(
         prev_disparity,
         ws.flow_left.flow(),
@@ -453,17 +472,19 @@ fn left_right_flows_with(
 }
 
 /// Propagated writes produced by one source row `y`: `(x, y, disparity)`
-/// targets in the new frame, in source-column order.
+/// targets in the new frame, in source-column order, appended to a reusable
+/// (cleared) write list.
 #[cfg(feature = "parallel")]
-fn row_writes(
+fn row_writes_into(
     prev_disparity: &DisparityMap,
     flow_left: &FlowField,
     flow_right: &FlowField,
     y: usize,
-) -> Vec<(usize, usize, f32)> {
+    writes: &mut Vec<(usize, usize, f32)>,
+) {
     let width = prev_disparity.width();
     let height = prev_disparity.height();
-    let mut writes = Vec::new();
+    writes.clear();
     for x in 0..width {
         let Some(d) = prev_disparity.get(x, y) else {
             continue;
@@ -488,7 +509,6 @@ fn row_writes(
         }
         writes.push((ix as usize, iy as usize, new_d));
     }
-    writes
 }
 
 /// Applies per-source-row write lists in row order into a reusable output
@@ -498,12 +518,12 @@ fn row_writes(
 fn apply_writes_into(
     width: usize,
     height: usize,
-    rows: impl IntoIterator<Item = Vec<(usize, usize, f32)>>,
+    rows: &[Vec<(usize, usize, f32)>],
     out: &mut DisparityMap,
 ) {
     out.reset_invalid(width, height);
     for row in rows {
-        for (x, y, d) in row {
+        for &(x, y, d) in row {
             out.set(x, y, d);
         }
     }
@@ -541,14 +561,42 @@ pub fn propagate_correspondences_into(
     flow_right: &FlowField,
     out: &mut DisparityMap,
 ) {
+    let mut rows = Vec::new();
+    propagate_correspondences_pooled(prev_disparity, flow_left, flow_right, &mut rows, out);
+}
+
+/// [`propagate_correspondences_into`] with caller-retained per-row write
+/// lists: the steady-state streaming hot path performs no allocation.  The
+/// write lists are computed row-parallel, each row zipped with its own
+/// retained buffer, then applied serially in source-row order (identical
+/// overwrite semantics to the serial reference).
+#[cfg(feature = "parallel")]
+pub fn propagate_correspondences_pooled(
+    prev_disparity: &DisparityMap,
+    flow_left: &FlowField,
+    flow_right: &FlowField,
+    rows: &mut Vec<Vec<(usize, usize, f32)>>,
+    out: &mut DisparityMap,
+) {
     use rayon::prelude::*;
     let width = prev_disparity.width();
     let height = prev_disparity.height();
-    let rows: Vec<Vec<(usize, usize, f32)>> = (0..height)
-        .into_par_iter()
-        .map(|y| row_writes(prev_disparity, flow_left, flow_right, y))
-        .collect();
-    apply_writes_into(width, height, rows, out);
+    if rows.len() < height {
+        rows.resize_with(height, Vec::new);
+    }
+    for row in &mut rows[..height] {
+        // A source row emits at most one write per column; growing up front
+        // keeps the parallel fill allocation-free.
+        row.clear();
+        row.reserve(width);
+    }
+    rows[..height]
+        .par_chunks_mut(1)
+        .enumerate()
+        .for_each(|(y, row)| {
+            row_writes_into(prev_disparity, flow_left, flow_right, y, &mut row[0]);
+        });
+    apply_writes_into(width, height, &rows[..height], out);
 }
 
 /// Sequential build of [`propagate_correspondences_into`]: the same plain
@@ -633,6 +681,7 @@ mod tests {
             surrogate: SurrogateParams {
                 max_disparity,
                 occlusion_handling: true,
+                ..Default::default()
             },
             ..Default::default()
         };

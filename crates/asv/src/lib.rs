@@ -42,6 +42,7 @@ pub mod perf;
 pub mod system;
 pub mod workspace;
 
+pub use asv_dnn::CostMetric;
 pub use error::AsvError;
 pub use ism::{
     FrameKind, FrameResult, IsmConfig, IsmPipeline, IsmResult, IsmState, KeyFramePolicy,

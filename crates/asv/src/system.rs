@@ -6,7 +6,7 @@ use crate::ism::{IsmConfig, IsmPipeline, IsmResult};
 use crate::perf::{AsvVariant, SystemPerformanceModel, VariantReport};
 use asv_accel::ism::NonKeyFrameConfig;
 use asv_accel::systolic::SystolicAccelerator;
-use asv_dnn::{zoo, NetworkSpec, SurrogateParams, SurrogateStereoDnn};
+use asv_dnn::{zoo, CostMetric, NetworkSpec, SurrogateParams, SurrogateStereoDnn};
 use asv_flow::farneback::FarnebackParams;
 use asv_scene::StereoSequence;
 use asv_stereo::block_matching::BlockMatchParams;
@@ -27,6 +27,9 @@ pub struct AsvConfig {
     /// Which stereo network the key-frame estimator stands in for (used by
     /// the performance model); one of the zoo names.
     pub network: String,
+    /// Matching-cost metric of the key-frame matcher ([`CostMetric::Sad`]
+    /// reference quality, [`CostMetric::Census`] integer SIMD fast path).
+    pub metric: CostMetric,
 }
 
 impl AsvConfig {
@@ -38,6 +41,7 @@ impl AsvConfig {
             frame_width: 960,
             frame_height: 540,
             network: "DispNet".to_owned(),
+            metric: CostMetric::Sad,
         }
     }
 
@@ -49,6 +53,7 @@ impl AsvConfig {
             frame_width: 64,
             frame_height: 48,
             network: "DispNet".to_owned(),
+            metric: CostMetric::Sad,
         }
     }
 }
@@ -111,6 +116,7 @@ impl AsvSystem {
         let surrogate_params = SurrogateParams {
             max_disparity: config.max_disparity,
             occlusion_handling: true,
+            metric: config.metric,
         };
         let ism_config = IsmConfig {
             propagation_window: config.propagation_window,

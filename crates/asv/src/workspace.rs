@@ -38,6 +38,10 @@ pub struct Workspace {
     /// Selection buffer of the adaptive key-frame policy's median-motion
     /// estimate.
     pub(crate) median_scratch: Vec<f32>,
+    /// Per-source-row write lists of the parallel correspondence
+    /// propagation, retained across frames.
+    #[cfg(feature = "parallel")]
+    pub(crate) propagation_rows: Vec<Vec<(usize, usize, f32)>>,
 }
 
 impl Workspace {
@@ -55,6 +59,8 @@ impl Workspace {
             propagated: DisparityMap::invalid(0, 0),
             maps: BufferPool::new(),
             median_scratch: Vec::new(),
+            #[cfg(feature = "parallel")]
+            propagation_rows: Vec::new(),
         }
     }
 

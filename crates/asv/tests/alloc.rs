@@ -3,11 +3,13 @@
 //! Locked properties:
 //! * steady-state `IsmState::step_with` (frames 2..N of a stream, with a
 //!   per-stream [`Workspace`] and result-map recycling) performs **zero**
-//!   heap allocations in the sequential build — the tentpole guarantee of
-//!   the workspace layer;
-//! * in the parallel build (where rayon's scoped tasks inherently allocate)
-//!   the workspace path still performs a small fraction of the allocating
-//!   path's heap traffic;
+//!   heap allocations — in both feature configurations: the sequential
+//!   build always had this, and the persistent worker pool in the offline
+//!   rayon shim (tasks published into static slots, no per-region heap
+//!   traffic) extends it to the parallel build;
+//! * the guarantee covers both cost metrics: the SAD separable fill and
+//!   the census/Hamming integer path both run entirely out of pooled
+//!   workspace buffers;
 //! * the allocating entry points ([`IsmState::step`], which builds a
 //!   throwaway workspace per call) and the workspace path produce
 //!   byte-identical disparity maps under proptest-generated scenes, window
@@ -16,7 +18,7 @@
 
 use asv::ism::{FrameKind, IsmConfig, IsmPipeline};
 use asv::Workspace;
-use asv_dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
+use asv_dnn::{zoo, CostMetric, SurrogateParams, SurrogateStereoDnn};
 use asv_mem::alloc_count::{self, CountingAllocator};
 use asv_scene::{SceneConfig, StereoSequence};
 use asv_stereo::block_matching::BlockMatchParams;
@@ -26,6 +28,16 @@ use proptest::prelude::*;
 static ALLOCATOR: CountingAllocator = CountingAllocator::new();
 
 fn pipeline(width: usize, height: usize, window: usize, max_disparity: usize) -> IsmPipeline {
+    pipeline_with_metric(width, height, window, max_disparity, CostMetric::Sad)
+}
+
+fn pipeline_with_metric(
+    width: usize,
+    height: usize,
+    window: usize,
+    max_disparity: usize,
+    metric: CostMetric,
+) -> IsmPipeline {
     let config = IsmConfig {
         propagation_window: window,
         refine: BlockMatchParams {
@@ -36,6 +48,7 @@ fn pipeline(width: usize, height: usize, window: usize, max_disparity: usize) ->
         surrogate: SurrogateParams {
             max_disparity,
             occlusion_handling: true,
+            metric,
         },
         ..Default::default()
     };
@@ -85,8 +98,10 @@ fn steady_state_allocations_baseline(seq: &StereoSequence, pipe: &IsmPipeline) -
 
 /// The tentpole guarantee: with a warm per-stream workspace, a steady-state
 /// step allocates nothing.  Frames 2..10 of a window-4 stream cover both
-/// non-key frames and re-keyed key frames (frames 4 and 8).
-#[cfg(not(feature = "parallel"))]
+/// non-key frames and re-keyed key frames (frames 4 and 8).  In the
+/// parallel build this additionally locks the rayon shim's persistent
+/// worker pool: parallel regions publish into static task slots and must
+/// not touch the heap.
 #[test]
 fn steady_state_step_performs_zero_allocations() {
     let pipe = pipeline(64, 48, 4, 32);
@@ -101,7 +116,6 @@ fn steady_state_step_performs_zero_allocations() {
 /// The zero-allocation guarantee also covers the adaptive key-frame
 /// policy, whose per-frame median-motion estimate runs through the
 /// workspace's selection buffer.
-#[cfg(not(feature = "parallel"))]
 #[test]
 fn adaptive_policy_steady_state_is_also_zero_allocation() {
     let base = pipeline(64, 48, 4, 32);
@@ -123,27 +137,23 @@ fn adaptive_policy_steady_state_is_also_zero_allocation() {
     );
 }
 
-/// In the parallel build the fork/join machinery allocates per task (the
-/// offline rayon shim spawns scoped threads per parallel call, which
-/// dominates the count), so zero is unreachable there; the workspace must
-/// still strictly reduce the heap traffic of the allocating path — it
-/// removes allocations and adds none.
-#[cfg(feature = "parallel")]
+/// The census/Hamming key-frame metric runs entirely out of the pooled
+/// descriptor grids, u8 cost volume and u16 aggregation scratch — its
+/// steady state (including the re-keyed census key frames at frames 4 and
+/// 8) allocates nothing either.
 #[test]
-fn steady_state_step_allocates_less_than_the_allocating_path() {
-    let pipe = pipeline(64, 48, 4, 32);
+fn census_metric_steady_state_is_also_zero_allocation() {
+    let pipe = pipeline_with_metric(64, 48, 4, 32, CostMetric::Census);
     let seq = sequence(64, 48, 10, 21);
-    let with_workspace = steady_state_allocations(&seq, &pipe);
-    let baseline = steady_state_allocations_baseline(&seq, &pipe);
-    assert!(
-        with_workspace < baseline,
-        "workspace path allocated {with_workspace} times vs baseline {baseline}"
+    let allocs = steady_state_allocations(&seq, &pipe);
+    assert_eq!(
+        allocs, 0,
+        "census-metric steady state allocated {allocs} times over 8 frames"
     );
 }
 
-/// The sequential baseline comparison also holds (and documents the size of
-/// the win the regression test protects).
-#[cfg(not(feature = "parallel"))]
+/// The baseline comparison also holds (and documents the size of the win
+/// the regression test protects).
 #[test]
 fn allocating_path_allocates_and_workspace_path_does_not() {
     let pipe = pipeline(64, 48, 4, 32);

@@ -8,7 +8,7 @@ use asv::perf::{AsvVariant, SystemPerformanceModel};
 use asv_accel::ism::{nonkey_frame_report, NonKeyFrameConfig};
 use asv_accel::systolic::SystolicAccelerator;
 use asv_dataflow::OptLevel;
-use asv_dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
+use asv_dnn::{zoo, CostMetric, SurrogateParams, SurrogateStereoDnn};
 use asv_scene::{SceneConfig, StereoSequence};
 use asv_stereo::block_matching::{block_match, block_match_op_count, BlockMatchParams};
 use asv_stereo::sgm::{semi_global_match, sgm_op_count, SgmParams};
@@ -112,14 +112,24 @@ fn surrogate(setup: &AccuracySetup) -> SurrogateStereoDnn {
         SurrogateParams {
             max_disparity: setup.max_disparity,
             occlusion_handling: true,
+            ..Default::default()
         },
     )
 }
 
 fn ism_pipeline(setup: &AccuracySetup, window: usize) -> IsmPipeline {
+    ism_pipeline_with_metric(setup, window, CostMetric::Sad)
+}
+
+fn ism_pipeline_with_metric(
+    setup: &AccuracySetup,
+    window: usize,
+    metric: CostMetric,
+) -> IsmPipeline {
     let params = SurrogateParams {
         max_disparity: setup.max_disparity,
         occlusion_handling: true,
+        metric,
     };
     let config = IsmConfig {
         propagation_window: window,
@@ -269,6 +279,11 @@ pub struct AccuracyRow {
     pub pw2_error_pct: f64,
     /// Error rate (percent) of ISM with a propagation window of 4.
     pub pw4_error_pct: f64,
+    /// Error rate (percent) of per-frame processing with the census/Hamming
+    /// key-frame metric (the integer SIMD fast path) instead of SAD.
+    pub census_dnn_error_pct: f64,
+    /// Error rate (percent) of ISM at PW-4 with the census key-frame metric.
+    pub census_pw4_error_pct: f64,
 }
 
 /// Fig. 9: ISM accuracy vs per-frame DNN accuracy on both dataset profiles.
@@ -279,11 +294,21 @@ pub fn figure9_accuracy(setup: &AccuracySetup) -> Vec<AccuracyRow> {
         let dnn = ism_error(&seqs, &ism_pipeline(setup, 1));
         let pw2 = ism_error(&seqs, &ism_pipeline(setup, 2));
         let pw4 = ism_error(&seqs, &ism_pipeline(setup, 4));
+        let census_dnn = ism_error(
+            &seqs,
+            &ism_pipeline_with_metric(setup, 1, CostMetric::Census),
+        );
+        let census_pw4 = ism_error(
+            &seqs,
+            &ism_pipeline_with_metric(setup, 4, CostMetric::Census),
+        );
         rows.push(AccuracyRow {
             dataset: name.into(),
             dnn_error_pct: dnn * 100.0,
             pw2_error_pct: pw2 * 100.0,
             pw4_error_pct: pw4 * 100.0,
+            census_dnn_error_pct: census_dnn * 100.0,
+            census_pw4_error_pct: census_pw4 * 100.0,
         });
     }
     rows
@@ -386,6 +411,16 @@ mod tests {
         for row in &rows {
             assert!(row.pw2_error_pct <= row.dnn_error_pct + 5.0, "{row:?}");
             assert!(row.pw4_error_pct <= row.dnn_error_pct + 6.0, "{row:?}");
+            // The census metric is a fast path, not an accuracy upgrade: it
+            // should stay in the same quality class as SAD on this corpus.
+            assert!(
+                row.census_dnn_error_pct <= row.dnn_error_pct + 10.0,
+                "{row:?}"
+            );
+            assert!(
+                row.census_pw4_error_pct <= row.pw4_error_pct + 10.0,
+                "{row:?}"
+            );
         }
     }
 

@@ -4,12 +4,19 @@
 //! ```text
 //! tab_perf [--quick] [--width W] [--height H] [--frames N]
 //!          [--max-disparity D] [--window PW] [--out PATH]
+//!          [--gate] [--gate-file PATH]
 //! ```
 //!
 //! Defaults to the qHD workload (960×540, 12 measured frames); `--quick` is
 //! the small CI smoke preset.  The JSON lands in `BENCH_streaming.json`
 //! unless `--out` overrides it.
+//!
+//! `--gate` turns the run into a CI regression gate: the first run on a
+//! machine records a per-machine fps baseline (under `target/` by default,
+//! overridable with `--gate-file`) and passes; later runs exit non-zero when
+//! any tracked path drops more than 10% below its recorded fps.
 
+use asv_bench::gate::{default_gate_file, run_gate, GateOutcome, DEFAULT_TOLERANCE};
 use asv_bench::perf::{steady_state_perf, PerfConfig};
 use asv_mem::alloc_count::CountingAllocator;
 
@@ -18,7 +25,12 @@ use asv_mem::alloc_count::CountingAllocator;
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator::new();
 
-fn parse_args() -> (PerfConfig, String) {
+struct GateArgs {
+    enabled: bool,
+    file: Option<String>,
+}
+
+fn parse_args() -> (PerfConfig, String, GateArgs) {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // The preset is applied first so per-field flags override it regardless
     // of argument order.
@@ -28,6 +40,10 @@ fn parse_args() -> (PerfConfig, String) {
         PerfConfig::qhd()
     };
     let mut out = String::from("BENCH_streaming.json");
+    let mut gate = GateArgs {
+        enabled: false,
+        file: None,
+    };
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -48,17 +64,41 @@ fn parse_args() -> (PerfConfig, String) {
                 cfg.propagation_window = value("--window").parse().expect("numeric --window")
             }
             "--out" => out = value("--out"),
+            "--gate" => gate.enabled = true,
+            "--gate-file" => gate.file = Some(value("--gate-file")),
             other => panic!("unknown argument {other}"),
         }
     }
-    (cfg, out)
+    (cfg, out, gate)
 }
 
 fn main() {
-    let (cfg, out_path) = parse_args();
+    let (cfg, out_path, gate) = parse_args();
     let report = steady_state_perf(&cfg);
     print!("{}", report.render_text());
     let json = report.render_json();
     std::fs::write(&out_path, &json).expect("write perf baseline json");
     println!("  wrote {out_path}");
+    if gate.enabled {
+        let gate_file = gate.file.unwrap_or_else(|| default_gate_file(&report));
+        let outcome = run_gate(&report, std::path::Path::new(&gate_file), DEFAULT_TOLERANCE)
+            .expect("read/write gate baseline");
+        match outcome {
+            GateOutcome::BaselineWritten => {
+                println!("  gate: no baseline on this machine, wrote {gate_file}");
+            }
+            GateOutcome::Passed(entries) => {
+                for (key, base, fps) in entries {
+                    println!("  gate: {key} {fps:.3} fps vs recorded {base:.3} fps — ok");
+                }
+            }
+            GateOutcome::Failed(failures) => {
+                for failure in &failures {
+                    eprintln!("  gate FAILED: {failure}");
+                }
+                eprintln!("  gate baseline: {gate_file} (delete to re-record)");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -71,7 +71,8 @@ pub fn fig04_depth_sensitivity_report() -> String {
 }
 
 /// Fig. 9: error-rate comparison between per-frame DNN processing and the
-/// ISM algorithm at PW-2 / PW-4, on both dataset profiles.
+/// ISM algorithm at PW-2 / PW-4, on both dataset profiles, for both the SAD
+/// and the census/Hamming key-frame cost metrics.
 pub fn fig09_accuracy_report(setup: &AccuracySetup) -> String {
     let rows = figure9_accuracy(setup);
     let mut table = TextTable::new(&[
@@ -80,6 +81,8 @@ pub fn fig09_accuracy_report(setup: &AccuracySetup) -> String {
         "PW-2 err (%)",
         "PW-4 err (%)",
         "PW-4 loss (pp)",
+        "census DNN (%)",
+        "census PW-4 (%)",
     ]);
     for r in &rows {
         table.row(vec![
@@ -88,6 +91,8 @@ pub fn fig09_accuracy_report(setup: &AccuracySetup) -> String {
             fmt3(r.pw2_error_pct),
             fmt3(r.pw4_error_pct),
             fmt3(r.pw4_error_pct - r.dnn_error_pct),
+            fmt3(r.census_dnn_error_pct),
+            fmt3(r.census_pw4_error_pct),
         ]);
     }
     format!(

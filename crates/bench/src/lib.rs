@@ -16,6 +16,7 @@
 pub mod algorithms;
 pub mod cluster;
 pub mod figs;
+pub mod gate;
 pub mod hardware;
 pub mod perf;
 pub mod streaming;

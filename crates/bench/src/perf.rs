@@ -24,7 +24,7 @@
 
 use asv::ism::{FrameKind, IsmConfig, IsmPipeline};
 use asv::Workspace;
-use asv_dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
+use asv_dnn::{zoo, CostMetric, SurrogateParams, SurrogateStereoDnn};
 use asv_mem::alloc_count;
 use asv_scene::{SceneConfig, StereoSequence};
 use asv_stereo::block_matching::BlockMatchParams;
@@ -99,15 +99,24 @@ pub struct PathReport {
 pub struct PerfReport {
     /// The measured workload.
     pub config: PerfConfig,
+    /// SIMD tier the stereo kernels dispatched to (e.g. `avx2`).
+    pub simd: String,
     /// The allocating path ([`asv::ism::IsmState::step`]): before.
     pub baseline: PathReport,
-    /// The workspace path ([`asv::ism::IsmState::step_with`]): after.
+    /// The workspace path ([`asv::ism::IsmState::step_with`]): after,
+    /// with the SAD cost metric (the recorded reference).
     pub workspace: PathReport,
+    /// The workspace path with the census/Hamming cost metric (the integer
+    /// SIMD key-frame fast path).
+    pub census: PathReport,
     /// `workspace.fps / baseline.fps`.
     pub speedup: f64,
+    /// `workspace.key_mean_us / census.key_mean_us`: how much faster census
+    /// key frames are than SAD key frames on the same stream.
+    pub census_key_speedup: f64,
 }
 
-fn perf_pipeline(cfg: &PerfConfig) -> IsmPipeline {
+fn perf_pipeline(cfg: &PerfConfig, metric: CostMetric) -> IsmPipeline {
     let config = IsmConfig {
         propagation_window: cfg.propagation_window,
         refine: BlockMatchParams {
@@ -118,6 +127,7 @@ fn perf_pipeline(cfg: &PerfConfig) -> IsmPipeline {
         surrogate: SurrogateParams {
             max_disparity: cfg.max_disparity,
             occlusion_handling: true,
+            metric,
         },
         ..Default::default()
     };
@@ -188,13 +198,13 @@ fn measure(
 /// Panics if the pipeline fails on the synthetic stream (it cannot, barring
 /// a bug).
 pub fn steady_state_perf(cfg: &PerfConfig) -> PerfReport {
-    let pipeline = perf_pipeline(cfg);
     let scene = SceneConfig::scene_flow_like(cfg.width, cfg.height)
         .with_seed(42)
         .with_objects(3);
     let seq = StereoSequence::generate(&scene, cfg.frames + 2);
 
     // Before: the allocating entry point (throwaway workspace per frame).
+    let pipeline = perf_pipeline(cfg, CostMetric::Sad);
     let mut state = pipeline.state();
     for frame in &seq.frames()[..2] {
         state.step(&frame.left, &frame.right).expect("warm-up step");
@@ -206,30 +216,39 @@ pub fn steady_state_perf(cfg: &PerfConfig) -> PerfReport {
             .kind
     });
 
-    // After: one warm workspace, recycled result maps.
-    let mut state = pipeline.state();
-    let mut ws = Workspace::new();
-    for frame in &seq.frames()[..2] {
-        let result = state
-            .step_with(&mut ws, &frame.left, &frame.right)
-            .expect("warm-up step");
-        ws.recycle(result.disparity);
-    }
-    let workspace = measure(&seq, |frame| {
-        let result = state
-            .step_with(&mut ws, &frame.left, &frame.right)
-            .expect("workspace step");
-        let kind = result.kind;
-        ws.recycle(result.disparity);
-        kind
-    });
+    // After: one warm workspace, recycled result maps — once per metric.
+    let run_workspace = |metric: CostMetric| {
+        let pipeline = perf_pipeline(cfg, metric);
+        let mut state = pipeline.state();
+        let mut ws = Workspace::new();
+        for frame in &seq.frames()[..2] {
+            let result = state
+                .step_with(&mut ws, &frame.left, &frame.right)
+                .expect("warm-up step");
+            ws.recycle(result.disparity);
+        }
+        measure(&seq, |frame| {
+            let result = state
+                .step_with(&mut ws, &frame.left, &frame.right)
+                .expect("workspace step");
+            let kind = result.kind;
+            ws.recycle(result.disparity);
+            kind
+        })
+    };
+    let workspace = run_workspace(CostMetric::Sad);
+    let census = run_workspace(CostMetric::Census);
 
     let speedup = workspace.fps / baseline.fps.max(1e-9);
+    let census_key_speedup = workspace.key_mean_us as f64 / (census.key_mean_us as f64).max(1e-9);
     PerfReport {
         config: *cfg,
+        simd: asv_stereo::active_level().name().to_owned(),
         baseline,
         workspace,
+        census,
         speedup,
+        census_key_speedup,
     }
 }
 
@@ -249,10 +268,15 @@ impl PerfReport {
             )
         };
         out.push_str(&row("allocating (before)", &self.baseline));
-        out.push_str(&row("workspace (after)", &self.workspace));
+        out.push_str(&row("workspace sad", &self.workspace));
+        out.push_str(&row("workspace census", &self.census));
         out.push_str(&format!(
             "  speedup              {:>8.3}x   ({} key / {} non-key frames measured)\n",
             self.speedup, self.workspace.key_frames, self.workspace.nonkey_frames
+        ));
+        out.push_str(&format!(
+            "  census key speedup   {:>8.3}x   (simd: {})\n",
+            self.census_key_speedup, self.simd
         ));
         out
     }
@@ -282,10 +306,13 @@ impl PerfReport {
             concat!(
                 "{{\n",
                 "  \"workload\": {{\"width\": {}, \"height\": {}, \"frames\": {}, ",
-                "\"max_disparity\": {}, \"propagation_window\": {}, \"parallel\": {}}},\n",
+                "\"max_disparity\": {}, \"propagation_window\": {}, \"parallel\": {}, ",
+                "\"simd\": \"{}\"}},\n",
                 "  \"baseline\": {},\n",
                 "  \"workspace\": {},\n",
-                "  \"speedup\": {:.3}\n",
+                "  \"census\": {},\n",
+                "  \"speedup\": {:.3},\n",
+                "  \"census_key_speedup\": {:.3}\n",
                 "}}\n"
             ),
             c.width,
@@ -294,9 +321,12 @@ impl PerfReport {
             c.max_disparity,
             c.propagation_window,
             cfg!(feature = "parallel"),
+            self.simd,
             path(&self.baseline),
             path(&self.workspace),
-            self.speedup
+            path(&self.census),
+            self.speedup,
+            self.census_key_speedup
         )
     }
 }
@@ -317,7 +347,10 @@ mod tests {
         let report = steady_state_perf(&cfg);
         assert!(report.baseline.fps > 0.0);
         assert!(report.workspace.fps > 0.0);
+        assert!(report.census.fps > 0.0);
         assert!(report.speedup > 0.0);
+        assert!(report.census_key_speedup > 0.0);
+        assert!(!report.simd.is_empty());
         assert_eq!(
             report.workspace.key_frames + report.workspace.nonkey_frames,
             cfg.frames

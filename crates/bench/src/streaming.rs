@@ -60,6 +60,7 @@ pub(crate) fn streaming_pipeline() -> IsmPipeline {
         surrogate: SurrogateParams {
             max_disparity: 32,
             occlusion_handling: true,
+            ..Default::default()
         },
         ..Default::default()
     };

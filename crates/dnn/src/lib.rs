@@ -38,6 +38,7 @@ pub mod network;
 pub mod surrogate;
 pub mod zoo;
 
+pub use asv_stereo::sgm::CostMetric;
 pub use layer::{LayerOp, LayerSpec, Stage};
 pub use network::NetworkSpec;
 pub use surrogate::{SurrogateParams, SurrogateStereoDnn};

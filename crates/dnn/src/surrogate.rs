@@ -17,7 +17,7 @@
 
 use crate::network::NetworkSpec;
 use asv_image::Image;
-use asv_stereo::sgm::{semi_global_match_with, SgmParams, SgmWorkspace};
+use asv_stereo::sgm::{semi_global_match_with, CostMetric, SgmParams, SgmWorkspace};
 use asv_stereo::{DisparityMap, StereoError};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,10 @@ pub struct SurrogateParams {
     pub max_disparity: usize,
     /// Enable the left-right consistency check + occlusion filling.
     pub occlusion_handling: bool,
+    /// Matching-cost metric of the underlying semi-global matcher:
+    /// [`CostMetric::Sad`] is the accuracy reference, [`CostMetric::Census`]
+    /// the integer SIMD fast path.
+    pub metric: CostMetric,
 }
 
 impl Default for SurrogateParams {
@@ -35,6 +39,7 @@ impl Default for SurrogateParams {
         Self {
             max_disparity: 64,
             occlusion_handling: true,
+            metric: CostMetric::Sad,
         }
     }
 }
@@ -63,6 +68,12 @@ impl SurrogateStereoDnn {
     /// The surrogate parameters.
     pub fn params(&self) -> &SurrogateParams {
         &self.params
+    }
+
+    /// Replaces the surrogate parameters, e.g. to switch the cost metric of
+    /// an already-running stream.
+    pub fn set_params(&mut self, params: SurrogateParams) {
+        self.params = params;
     }
 
     /// Estimates the disparity map of a rectified stereo pair.
@@ -97,6 +108,7 @@ impl SurrogateStereoDnn {
             max_disparity: self.params.max_disparity,
             subpixel: true,
             left_right_check: self.params.occlusion_handling,
+            metric: self.params.metric,
             ..SgmParams::default()
         };
         semi_global_match_with(ws, left, right, &sgm_params, out)?;
@@ -136,6 +148,7 @@ mod tests {
             SurrogateParams {
                 max_disparity: 16,
                 occlusion_handling: true,
+                ..Default::default()
             },
         );
         let map = surrogate.infer(&l, &r).unwrap();
@@ -154,6 +167,7 @@ mod tests {
             SurrogateParams {
                 max_disparity: 16,
                 occlusion_handling: true,
+                ..Default::default()
             },
         );
         let without = SurrogateStereoDnn::new(
@@ -161,10 +175,28 @@ mod tests {
             SurrogateParams {
                 max_disparity: 16,
                 occlusion_handling: false,
+                ..Default::default()
             },
         );
         assert_eq!(with.infer(&l, &r).unwrap().valid_fraction(), 1.0);
         assert_eq!(without.infer(&l, &r).unwrap().valid_fraction(), 1.0);
+    }
+
+    #[test]
+    fn census_metric_surrogate_is_accurate_too() {
+        let (l, r, truth) = shifted_pair(64, 40, 7);
+        let surrogate = SurrogateStereoDnn::new(
+            zoo::flownetc(40, 64),
+            SurrogateParams {
+                max_disparity: 16,
+                occlusion_handling: true,
+                metric: CostMetric::Census,
+            },
+        );
+        let map = surrogate.infer(&l, &r).unwrap();
+        let err = map.three_pixel_error(&truth).unwrap();
+        assert!(err < 0.05, "three-pixel error {err}");
+        assert!(map.valid_fraction() > 0.99);
     }
 
     #[test]

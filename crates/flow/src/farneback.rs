@@ -189,6 +189,8 @@ pub struct FlowWorkspace {
     exp1: PolyExpansion,
     /// The six weighted moment projections of the expansion.
     moments: [Image; 6],
+    /// Interleaved per-pixel solve buffer of the parallel expansion driver.
+    solve: Vec<[f32; 5]>,
     tmp: Image,
     tmp2: Image,
     g11: Image,
@@ -212,6 +214,7 @@ impl FlowWorkspace {
             exp0: PolyExpansion::empty(),
             exp1: PolyExpansion::empty(),
             moments: std::array::from_fn(|_| Image::default()),
+            solve: Vec::new(),
             tmp: Image::default(),
             tmp2: Image::default(),
             g11: Image::default(),
@@ -323,20 +326,32 @@ pub fn polynomial_expansion(image: &Image, sigma: f32) -> Result<PolyExpansion> 
     let mut kernels = KernelCache::empty();
     let mut moments = std::array::from_fn(|_| Image::default());
     let mut tmp = Image::default();
+    let mut solve = Vec::new();
     let mut out = PolyExpansion::empty();
-    polynomial_expansion_into(image, sigma, &mut kernels, &mut moments, &mut tmp, &mut out)?;
+    polynomial_expansion_into(
+        image,
+        sigma,
+        &mut kernels,
+        &mut moments,
+        &mut tmp,
+        &mut solve,
+        &mut out,
+    )?;
     Ok(out)
 }
 
 /// [`polynomial_expansion`] writing into reusable buffers: the kernel cache,
-/// the six moment planes, one convolution intermediate and the output
+/// the six moment planes, one convolution intermediate, the interleaved
+/// per-pixel solve buffer (used by the parallel driver) and the output
 /// expansion.  Identical output, no allocation once the buffers are warm.
+#[allow(clippy::too_many_arguments)]
 fn polynomial_expansion_into(
     image: &Image,
     sigma: f32,
     kernels: &mut KernelCache,
     moments: &mut [Image; 6],
     tmp: &mut Image,
+    solve: &mut Vec<[f32; 5]>,
     out: &mut PolyExpansion,
 ) -> Result<()> {
     if image.is_empty() {
@@ -393,15 +408,21 @@ fn polynomial_expansion_into(
 
     #[cfg(feature = "parallel")]
     {
-        let solve_row = |y: usize| -> Vec<[f32; 5]> {
-            let rows: [&[f32]; 6] =
-                std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
-            (0..width).map(|x| solve_pixel(&rows, x)).collect()
-        };
-        let solved: Vec<Vec<[f32; 5]>> = {
-            use rayon::prelude::*;
-            (0..height).into_par_iter().map(solve_row).collect()
-        };
+        use rayon::prelude::*;
+        // Rows are solved on the pool straight into the retained interleaved
+        // buffer (one `[f32; 5]` cell per pixel), so the steady state of the
+        // parallel build is allocation-free too.
+        solve.resize(width * height, [0.0; 5]);
+        solve
+            .par_chunks_mut(width)
+            .enumerate()
+            .for_each(|(y, row)| {
+                let rows: [&[f32]; 6] =
+                    std::array::from_fn(|m| &moments[m].as_slice()[y * width..][..width]);
+                for (x, cell) in row.iter_mut().enumerate() {
+                    *cell = solve_pixel(&rows, x);
+                }
+            });
         // Single de-interleaving pass into the five output planes.
         let mut planes = [
             out.b1.as_mut_slice(),
@@ -410,7 +431,7 @@ fn polynomial_expansion_into(
             out.a22.as_mut_slice(),
             out.a12.as_mut_slice(),
         ];
-        for (y, row) in solved.iter().enumerate() {
+        for (y, row) in solve.chunks_exact(width).enumerate() {
             let base = y * width;
             for (x, cell) in row.iter().enumerate() {
                 for (plane, value) in planes.iter_mut().zip(cell) {
@@ -421,6 +442,7 @@ fn polynomial_expansion_into(
     }
     #[cfg(not(feature = "parallel"))]
     {
+        let _ = solve;
         // Sequential driver: solve straight into the output planes, with no
         // intermediate row vectors (this keeps the steady state of the
         // sequential build allocation-free).
@@ -614,6 +636,7 @@ pub fn farneback_flow_with(
             exp0,
             exp1,
             moments,
+            solve,
             tmp,
             tmp2,
             g11,
@@ -627,8 +650,8 @@ pub fn farneback_flow_with(
         } = ws;
         let im0 = pyr0.level(level);
         let im1 = pyr1.level(level);
-        polynomial_expansion_into(im0, params.poly_sigma, kernels, moments, tmp, exp0)?;
-        polynomial_expansion_into(im1, params.poly_sigma, kernels, moments, tmp, exp1)?;
+        polynomial_expansion_into(im0, params.poly_sigma, kernels, moments, tmp, solve, exp0)?;
+        polynomial_expansion_into(im1, params.poly_sigma, kernels, moments, tmp, solve, exp1)?;
         if first {
             flow_a.reset_zeros(im0.width(), im0.height());
             first = false;

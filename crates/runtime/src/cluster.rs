@@ -250,6 +250,19 @@ impl Cluster {
             .expect("hashed placement cannot fail")
     }
 
+    /// [`Cluster::add_session`] with a per-session key-frame cost metric:
+    /// the [`asv::CostMetric`] override takes effect from the stream's first
+    /// key frame, so differently-configured streams can share one cluster.
+    pub fn add_session_with_metric(
+        &self,
+        key: &str,
+        mut state: IsmState,
+        metric: asv::CostMetric,
+    ) -> ClusterSessionHandle {
+        state.set_cost_metric(metric);
+        self.add_session(key, state)
+    }
+
     /// Places a new session with an explicit [`Placement`].
     ///
     /// # Errors

@@ -80,6 +80,7 @@ pub mod session;
 pub mod sim;
 pub mod telemetry;
 
+pub use asv::CostMetric;
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, ClusterSessionHandle, Placement};
 pub use export::render_prometheus;
 pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};

@@ -285,6 +285,18 @@ impl Scheduler {
         self.add_session_labeled(state, None)
     }
 
+    /// Registers a new stream with a per-session key-frame cost metric (the
+    /// [`asv::CostMetric`] override takes effect from the stream's first key
+    /// frame), leaving other streams on their own metrics.
+    pub fn add_session_with_metric(
+        &self,
+        mut state: IsmState,
+        metric: asv::CostMetric,
+    ) -> SessionHandle {
+        state.set_cost_metric(metric);
+        self.add_session(state)
+    }
+
     /// Registers a new stream carrying a human-readable label (e.g. the
     /// cluster routing key) that shows up in the session's final report.
     pub fn add_session_labeled(&self, state: IsmState, label: Option<String>) -> SessionHandle {

@@ -22,6 +22,7 @@ fn pipeline(width: usize, height: usize, window: usize) -> IsmPipeline {
         surrogate: SurrogateParams {
             max_disparity: 24,
             occlusion_handling: true,
+            ..Default::default()
         },
         ..Default::default()
     };

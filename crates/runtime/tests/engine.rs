@@ -5,7 +5,7 @@ use asv::ism::{IsmConfig, IsmPipeline};
 use asv::AsvError;
 use asv_dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
 use asv_image::Image;
-use asv_runtime::{serve_sequences, Scheduler, SchedulerConfig};
+use asv_runtime::{serve_sequences, CostMetric, Scheduler, SchedulerConfig};
 use asv_scene::{SceneConfig, StereoSequence};
 use asv_stereo::block_matching::BlockMatchParams;
 
@@ -13,6 +13,10 @@ const WIDTH: usize = 48;
 const HEIGHT: usize = 36;
 
 fn pipeline(window: usize) -> IsmPipeline {
+    pipeline_with_metric(window, CostMetric::Sad)
+}
+
+fn pipeline_with_metric(window: usize, metric: CostMetric) -> IsmPipeline {
     let config = IsmConfig {
         propagation_window: window,
         refine: BlockMatchParams {
@@ -23,6 +27,7 @@ fn pipeline(window: usize) -> IsmPipeline {
         surrogate: SurrogateParams {
             max_disparity: 24,
             occlusion_handling: true,
+            metric,
         },
         ..Default::default()
     };
@@ -260,4 +265,44 @@ fn idle_sessions_can_trim_their_workspace() {
     let report = scheduler.join();
     assert_eq!(report.sessions[0].frames.len(), 4);
     assert!(report.sessions[0].error.is_none());
+}
+
+#[test]
+fn per_session_metric_override_matches_a_census_batch_pipeline() {
+    // A session registered with a census override on a SAD-configured state
+    // must produce exactly what a census-configured batch pipeline produces,
+    // while a plain session on the same scheduler stays on SAD.
+    let sad = pipeline(2);
+    let census = pipeline_with_metric(2, CostMetric::Census);
+    let stream = sequence(77, 5);
+
+    let scheduler = Scheduler::new(SchedulerConfig::per_core().with_workers(2));
+    let census_session = scheduler.add_session_with_metric(sad.state(), CostMetric::Census);
+    let sad_session = scheduler.add_session(sad.state());
+    for frame in stream.frames() {
+        census_session
+            .submit(frame.left.clone(), frame.right.clone())
+            .unwrap();
+        sad_session
+            .submit(frame.left.clone(), frame.right.clone())
+            .unwrap();
+    }
+    let report = scheduler.join();
+
+    let census_batch = census.process_sequence(&stream).unwrap();
+    let sad_batch = sad.process_sequence(&stream).unwrap();
+    assert_eq!(report.sessions[0].frames.len(), census_batch.frames.len());
+    for (streamed, batch) in report.sessions[0].frames.iter().zip(&census_batch.frames) {
+        assert_eq!(streamed.disparity, batch.disparity);
+    }
+    for (streamed, batch) in report.sessions[1].frames.iter().zip(&sad_batch.frames) {
+        assert_eq!(streamed.disparity, batch.disparity);
+    }
+    // The two metrics genuinely disagree somewhere, or the override test
+    // would be vacuous.
+    assert!(census_batch
+        .frames
+        .iter()
+        .zip(&sad_batch.frames)
+        .any(|(c, s)| c.disparity != s.disparity));
 }

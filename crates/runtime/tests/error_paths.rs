@@ -26,6 +26,7 @@ fn state() -> IsmState {
         surrogate: SurrogateParams {
             max_disparity: 16,
             occlusion_handling: false,
+            ..Default::default()
         },
         ..Default::default()
     };

@@ -66,10 +66,14 @@ fn check_pair(left: &Image, right: &Image) -> Result<()> {
 /// stream; without it every searched pixel would allocate its own vector.
 #[derive(Debug, Default)]
 pub struct MatchScratch {
-    /// Only the sequential driver reuses the shared buffer; the parallel
-    /// driver gives each row its own (same values either way).
+    /// Shared candidate buffer of the sequential driver.
     #[cfg_attr(feature = "parallel", allow(dead_code))]
     costs: Vec<f32>,
+    /// Per-row candidate buffers of the parallel driver, zipped with the
+    /// output rows so each worker owns a retained buffer and the steady
+    /// state allocates nothing.
+    #[cfg(feature = "parallel")]
+    rows: Vec<Vec<f32>>,
 }
 
 impl MatchScratch {
@@ -86,6 +90,19 @@ impl MatchScratch {
     fn ensure(&mut self, candidates: usize) {
         self.costs.clear();
         self.costs.reserve(candidates);
+    }
+
+    /// Parallel-driver variant of [`MatchScratch::ensure`]: one retained
+    /// candidate buffer per output row, each pre-grown to `candidates`.
+    #[cfg(feature = "parallel")]
+    fn ensure_rows(&mut self, height: usize, candidates: usize) {
+        if self.rows.len() < height {
+            self.rows.resize_with(height, Vec::new);
+        }
+        for row in &mut self.rows[..height] {
+            row.clear();
+            row.reserve(candidates);
+        }
     }
 }
 
@@ -140,10 +157,11 @@ fn search_range(
 
 /// Evaluates a per-pixel matcher over the whole image, writing straight into
 /// the rows of a reusable output map.  Rows are independent, so with the
-/// `parallel` feature they are distributed over the rayon pool (each row
-/// with its own candidate buffer); sequentially the caller's scratch is
-/// reused across all pixels and the pass is allocation-free.  The produced
-/// values are identical either way.  Pixels map to
+/// `parallel` feature they are distributed over the rayon pool, each zipped
+/// with its own retained candidate buffer from the scratch; sequentially the
+/// caller's shared buffer is reused across all pixels.  Either way the pass
+/// is allocation-free once the scratch is warm and the produced values are
+/// identical.  Pixels map to
 /// [`crate::disparity::INVALID_DISPARITY`] when no match qualifies.
 fn match_per_pixel_into(
     width: usize,
@@ -159,15 +177,16 @@ fn match_per_pixel_into(
     #[cfg(feature = "parallel")]
     {
         use rayon::prelude::*;
-        let _ = scratch; // each parallel row carries its own buffer
+        scratch.ensure_rows(height, max_candidates);
         out.as_image_mut()
             .as_mut_slice()
             .par_chunks_mut(width)
+            .zip(scratch.rows.par_chunks_mut(1))
             .enumerate()
-            .for_each(|(y, row)| {
-                let mut costs = Vec::with_capacity(max_candidates);
+            .for_each(|(y, (row, costs))| {
+                let costs = &mut costs[0];
                 for (x, slot) in row.iter_mut().enumerate() {
-                    *slot = per_pixel(x, y, &mut costs);
+                    *slot = per_pixel(x, y, costs);
                 }
             });
     }

@@ -18,6 +18,10 @@ pub struct CostVolume {
     max_disparity: usize,
     /// Row-major `[y][x][d]` costs flattened into one vector.
     costs: Vec<f32>,
+    /// Per-band working planes of the separable fill, retained across fills
+    /// so the steady state of a stream performs no allocation.
+    #[cfg(feature = "parallel")]
+    scratch: Vec<f32>,
 }
 
 impl CostVolume {
@@ -47,6 +51,8 @@ impl CostVolume {
             height: 0,
             max_disparity: 0,
             costs: Vec::new(),
+            #[cfg(feature = "parallel")]
+            scratch: Vec::new(),
         }
     }
 
@@ -91,7 +97,14 @@ impl CostVolume {
             self.costs.resize(cells, 0.0);
         }
         #[cfg(feature = "parallel")]
-        fill_costs_separable(left, right, levels, block, &mut self.costs);
+        fill_costs_separable(
+            left,
+            right,
+            levels,
+            block,
+            &mut self.costs,
+            &mut self.scratch,
+        );
         #[cfg(not(feature = "parallel"))]
         fill_costs_naive(left, right, levels, block, &mut self.costs);
         Ok(())
@@ -223,6 +236,12 @@ const D_BLOCK: usize = 8;
 /// disparity loop is innermost over contiguous memory on the store side.
 /// Per-cell arithmetic and summation order are identical to the previous
 /// per-disparity formulation, so the output is bit-identical.
+///
+/// The inner row kernels (clamped absolute differences, horizontal window
+/// sums, vertical row accumulation) dispatch to the active SIMD tier; all
+/// three preserve the scalar per-output summation order exactly.  Band
+/// scratch lives in a caller-retained buffer zipped with the output bands, so
+/// steady-state fills allocate nothing.
 #[cfg(feature = "parallel")]
 fn fill_costs_separable(
     left: &Image,
@@ -230,7 +249,9 @@ fn fill_costs_separable(
     levels: usize,
     block: BlockSpec,
     costs: &mut [f32],
+    scratch: &mut Vec<f32>,
 ) {
+    use crate::simd;
     use rayon::prelude::*;
 
     let width = left.width();
@@ -238,25 +259,37 @@ fn fill_costs_separable(
     let r = block.radius;
     let window = 2 * r + 1;
     let row_stride = width * levels;
+    let level = simd::active_level();
     // A few bands per worker keeps the tail ragged-band imbalance small.
     let bands = (rayon::current_num_threads() * 4).clamp(1, height.max(1));
     let rows_per_band = height.div_ceil(bands);
+    let n_bands = height.div_ceil(rows_per_band);
+    // Per-band working set: D_BLOCK horizontal-sum planes (sized for the
+    // largest band), D_BLOCK vertical accumulator rows, one difference row.
+    let span_max = rows_per_band + 2 * r;
+    let hsum_cells = D_BLOCK * span_max * width;
+    let vacc_cells = D_BLOCK * width;
+    let per_band = hsum_cells + vacc_cells + (width + 2 * r);
+    if scratch.len() != n_bands * per_band {
+        scratch.clear();
+        scratch.resize(n_bands * per_band, 0.0);
+    }
     let lpix = left.as_slice();
     let rpix = right.as_slice();
 
     costs
         .par_chunks_mut(rows_per_band * row_stride)
+        .zip(scratch.par_chunks_mut(per_band))
         .enumerate()
-        .for_each(|(band, out)| {
+        .for_each(|(band, (out, scratch))| {
             let y0 = band * rows_per_band;
             let band_rows = out.len() / row_stride;
             // For disparity j of the current block, hsum[j * span + i] holds
             // the horizontal window sums of source row clamp(y0 + i - r); the
             // vertical window of output row y0 + by is rows by .. by + window.
             let span = band_rows + 2 * r;
-            let mut hsum = vec![0.0f32; D_BLOCK * span * width];
-            let mut vacc = vec![0.0f32; D_BLOCK * width];
-            let mut diff = vec![0.0f32; width + 2 * r];
+            let (hsum, rest) = scratch.split_at_mut(hsum_cells);
+            let (vacc, diff) = rest.split_at_mut(vacc_cells);
             let mut d0 = 0;
             while d0 < levels {
                 let db = D_BLOCK.min(levels - d0);
@@ -270,15 +303,8 @@ fn fill_costs_separable(
                             ((y0 + i) as isize - r as isize).clamp(0, height as isize - 1) as usize;
                         let lrow = &lpix[v * width..][..width];
                         let rrow = &rpix[v * width..][..width];
-                        for (u, slot) in diff.iter_mut().enumerate() {
-                            let u = u as isize - r as isize;
-                            let lu = u.clamp(0, width as isize - 1) as usize;
-                            let ru = (u - d as isize).clamp(0, width as isize - 1) as usize;
-                            *slot = (lrow[lu] - rrow[ru]).abs();
-                        }
-                        for (x, out) in hrow.iter_mut().enumerate() {
-                            *out = diff[x..x + window].iter().sum();
-                        }
+                        simd::abs_diff_row(level, lrow, rrow, d, r, diff);
+                        simd::hwindow_sums(level, diff, window, hrow);
                     }
                 }
                 for by in 0..band_rows {
@@ -289,9 +315,7 @@ fn fill_costs_separable(
                         for vrow in
                             hsum[(j * span + by) * width..][..window * width].chunks_exact(width)
                         {
-                            for (acc, &v) in row_acc.iter_mut().zip(vrow) {
-                                *acc += v;
-                            }
+                            simd::add_assign_rows(level, row_acc, vrow);
                         }
                     }
                     // Transpose-scatter: each pixel's block of disparities is
@@ -385,8 +409,9 @@ mod tests {
             let block = BlockSpec::new(r);
             let mut naive = vec![0.0f32; w * h * levels];
             let mut fast = vec![0.0f32; w * h * levels];
+            let mut scratch = Vec::new();
             fill_costs_naive(&left, &right, levels, block, &mut naive);
-            fill_costs_separable(&left, &right, levels, block, &mut fast);
+            fill_costs_separable(&left, &right, levels, block, &mut fast, &mut scratch);
             for (i, (a, b)) in naive.iter().zip(&fast).enumerate() {
                 assert!(
                     (a - b).abs() <= 1e-4 * a.abs().max(1.0),

@@ -18,6 +18,11 @@
 //! * [`sgm`] — semi-global matching, the high-accuracy classic baseline
 //!   (SGBN/HH in Fig. 1) and the reference "learned-quality" matcher used by
 //!   the DNN surrogate.
+//! * [`census`] — census transform descriptors and Hamming-distance cost
+//!   volumes, the integer fast-path metric (`CostMetric::Census`) behind the
+//!   SIMD key-frame kernels.
+//! * [`simd`] — runtime-dispatched scalar/SSE4.2/AVX2 kernels shared by the
+//!   matchers, with bit-identical scalar fallbacks.
 //!
 //! # Example
 //!
@@ -31,14 +36,18 @@
 //! ```
 
 pub mod block_matching;
+pub mod census;
 pub mod cost_volume;
 pub mod disparity;
 pub mod sgm;
+pub mod simd;
 pub mod triangulation;
 
 pub use block_matching::{block_match, refine_with_initial, BlockMatchParams, MatchScratch};
+pub use census::{CensusCostVolume, CensusDescriptors, CensusWindow};
 pub use disparity::{DisparityMap, StereoError};
-pub use sgm::{semi_global_match, semi_global_match_with, SgmParams, SgmWorkspace};
+pub use sgm::{semi_global_match, semi_global_match_with, CostMetric, SgmParams, SgmWorkspace};
+pub use simd::{active_level, available_levels, detected_level, SimdLevel};
 pub use triangulation::CameraRig;
 
 /// Convenience result alias used across the crate.

@@ -7,13 +7,38 @@
 //! is also the highest-accuracy classic matcher in this reproduction, which is
 //! why the DNN surrogate in `asv-dnn` builds on it.
 
+use crate::census::{CensusCostVolume, CensusDescriptors, CensusWindow};
 use crate::cost_volume::CostVolume;
 use crate::disparity::{DisparityMap, StereoError};
+use crate::simd::{self, SimdLevel};
 use crate::Result;
 use asv_image::cost::BlockSpec;
 use asv_image::Image;
-use asv_mem::BufferPool;
+use asv_mem::{BufferPool, U16Pool};
 use serde::{Deserialize, Serialize};
+
+/// Matching-cost metric used by the semi-global matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CostMetric {
+    /// `f32` sum-of-absolute-differences over a square block: the original
+    /// metric of this reproduction, the reference for accuracy comparisons.
+    #[default]
+    Sad,
+    /// Census transform + Hamming distance: integer bitwise costs (one byte
+    /// per cell) aggregated by an integer SGM — the SIMD-friendly key-frame
+    /// fast path used by real-time stereo hardware.
+    Census,
+}
+
+impl CostMetric {
+    /// Stable lowercase name (used in benchmark reports and session config).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostMetric::Sad => "sad",
+            CostMetric::Census => "census",
+        }
+    }
+}
 
 /// Parameters of the semi-global matcher.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -22,9 +47,11 @@ pub struct SgmParams {
     pub block: BlockSpec,
     /// Largest disparity hypothesis.
     pub max_disparity: usize,
-    /// Penalty for a one-pixel disparity change between neighbours.
+    /// Penalty for a one-pixel disparity change between neighbours.  The
+    /// census path rounds this to the nearest integer.
     pub p1: f32,
-    /// Penalty for a larger disparity change between neighbours.
+    /// Penalty for a larger disparity change between neighbours.  The census
+    /// path rounds this to the nearest integer.
     pub p2: f32,
     /// Enable parabolic sub-pixel refinement.
     pub subpixel: bool,
@@ -34,6 +61,11 @@ pub struct SgmParams {
     /// Maximum allowed left-right disparity difference when the check is
     /// enabled.
     pub lr_threshold: f32,
+    /// Matching-cost metric (SAD block costs or census/Hamming).
+    pub metric: CostMetric,
+    /// Census comparison window (used when `metric` is
+    /// [`CostMetric::Census`]).
+    pub census_window: CensusWindow,
 }
 
 impl Default for SgmParams {
@@ -46,6 +78,8 @@ impl Default for SgmParams {
             subpixel: true,
             left_right_check: false,
             lr_threshold: 1.5,
+            metric: CostMetric::Sad,
+            census_window: CensusWindow::default(),
         }
     }
 }
@@ -67,6 +101,10 @@ const DIRECTIONS: [(isize, isize); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
 pub struct SgmWorkspace {
     volume: CostVolume,
     pool: BufferPool,
+    census_l: CensusDescriptors,
+    census_r: CensusDescriptors,
+    cvolume: CensusCostVolume,
+    ipool: U16Pool,
     mirror_l: Image,
     mirror_r: Image,
     map_r: DisparityMap,
@@ -78,23 +116,36 @@ impl SgmWorkspace {
         Self {
             volume: CostVolume::empty(),
             pool: BufferPool::new(),
+            census_l: CensusDescriptors::new(),
+            census_r: CensusDescriptors::new(),
+            cvolume: CensusCostVolume::new(),
+            ipool: U16Pool::new(),
             mirror_l: Image::default(),
             mirror_r: Image::default(),
             map_r: DisparityMap::invalid(0, 0),
         }
     }
 
-    /// Bytes currently retained by the workspace (cost volume plus pooled
-    /// aggregation buffers), e.g. for capacity planning of many concurrent
-    /// sessions.
+    /// Bytes currently retained by the workspace (cost volumes, census
+    /// descriptors, pooled aggregation buffers), e.g. for capacity planning
+    /// of many concurrent sessions.
     pub fn retained_bytes(&self) -> usize {
-        self.volume.num_cells() * std::mem::size_of::<f32>() + self.pool.retained_bytes()
+        self.volume.num_cells() * std::mem::size_of::<f32>()
+            + self.pool.retained_bytes()
+            + self.census_l.retained_bytes()
+            + self.census_r.retained_bytes()
+            + self.cvolume.retained_bytes()
+            + self.ipool.retained_bytes()
     }
 
     /// Releases all retained buffers (e.g. when a stream goes idle).
     pub fn trim(&mut self) {
         self.volume = CostVolume::empty();
         self.pool.trim();
+        self.census_l.trim();
+        self.census_r.trim();
+        self.cvolume.trim();
+        self.ipool.trim();
         self.mirror_l = Image::default();
         self.mirror_r = Image::default();
         self.map_r = DisparityMap::invalid(0, 0);
@@ -209,6 +260,141 @@ fn aggregate_all_pooled(volume: &CostVolume, p1: f32, p2: f32, pool: &mut Buffer
     total
 }
 
+/// Integer SGM aggregation along one direction over a census (Hamming) cost
+/// volume.  Same traversal as [`aggregate_direction_into`]; the per-pixel
+/// `min+penalty` inner loop runs at the given SIMD tier.
+fn aggregate_census_direction_into(
+    volume: &CensusCostVolume,
+    dir: (isize, isize),
+    p1: u16,
+    p2: u16,
+    agg: &mut Vec<u16>,
+    level: SimdLevel,
+) {
+    let width = volume.width();
+    let height = volume.height();
+    let levels = volume.num_disparities();
+    let cells = width * height * levels;
+    if agg.len() != cells {
+        agg.clear();
+        agg.resize(cells, 0);
+    }
+    for yi in 0..height {
+        let y = if dir.1 > 0 { yi } else { height - 1 - yi };
+        for xi in 0..width {
+            let x = if dir.0 > 0 { xi } else { width - 1 - xi };
+            let px = x as isize - dir.0;
+            let py = y as isize - dir.1;
+            let base = (y * width + x) * levels;
+            let costs = volume.span(x, y);
+            if px < 0 || py < 0 || px >= width as isize || py >= height as isize {
+                for (slot, &c) in agg[base..base + levels].iter_mut().zip(costs) {
+                    *slot = c as u16;
+                }
+                continue;
+            }
+            let pbase = (py as usize * width + px as usize) * levels;
+            // The predecessor and current spans never overlap (they are at
+            // least one pixel, i.e. `levels` cells, apart).
+            let (prev, out): (&[u16], &mut [u16]) = if pbase < base {
+                let (lo, hi) = agg.split_at_mut(base);
+                (&lo[pbase..pbase + levels], &mut hi[..levels])
+            } else {
+                let (lo, hi) = agg.split_at_mut(pbase);
+                (&hi[..levels], &mut lo[base..base + levels])
+            };
+            simd::census_aggregate_span(level, prev, costs, p1, p2, out);
+        }
+    }
+}
+
+/// Census counterpart of [`aggregate_all_pooled`]: four `u16` directional
+/// passes (parallel with the `parallel` feature) reduced in direction order
+/// with saturating adds.
+fn aggregate_census_all_pooled(
+    volume: &CensusCostVolume,
+    p1: u16,
+    p2: u16,
+    pool: &mut U16Pool,
+    level: SimdLevel,
+) -> Vec<u16> {
+    let cells = volume.num_cells();
+    let mut total = pool.take_zeroed(cells);
+    let mut dirs: [Vec<u16>; 4] = std::array::from_fn(|_| pool.take_scratch(cells));
+
+    #[cfg(feature = "parallel")]
+    {
+        let [d0, d1, d2, d3] = &mut dirs;
+        rayon::join(
+            || {
+                rayon::join(
+                    || aggregate_census_direction_into(volume, DIRECTIONS[0], p1, p2, d0, level),
+                    || aggregate_census_direction_into(volume, DIRECTIONS[1], p1, p2, d1, level),
+                )
+            },
+            || {
+                rayon::join(
+                    || aggregate_census_direction_into(volume, DIRECTIONS[2], p1, p2, d2, level),
+                    || aggregate_census_direction_into(volume, DIRECTIONS[3], p1, p2, d3, level),
+                )
+            },
+        );
+    }
+    #[cfg(not(feature = "parallel"))]
+    for (agg, &dir) in dirs.iter_mut().zip(&DIRECTIONS) {
+        aggregate_census_direction_into(volume, dir, p1, p2, agg, level);
+    }
+
+    for agg in dirs {
+        for (t, a) in total.iter_mut().zip(&agg) {
+            *t = t.saturating_add(*a);
+        }
+        pool.put(agg);
+    }
+    total
+}
+
+/// Winner-take-all over an integer aggregated volume; the sub-pixel parabola
+/// is evaluated on exact `f32` conversions of the integer costs.
+fn winner_take_all_u16_into(
+    total: &[u16],
+    width: usize,
+    height: usize,
+    levels: usize,
+    subpixel: bool,
+    out: &mut DisparityMap,
+) {
+    out.reshape_scratch(width, height);
+    let dst = out.as_image_mut().as_mut_slice();
+    for y in 0..height {
+        for x in 0..width {
+            let base = (y * width + x) * levels;
+            let mut best_d = 0usize;
+            let mut best_cost = u16::MAX;
+            for (d, &c) in total[base..base + levels].iter().enumerate() {
+                if c < best_cost {
+                    best_cost = c;
+                    best_d = d;
+                }
+            }
+            let value = if !subpixel || best_d == 0 || best_d + 1 >= levels {
+                best_d as f32
+            } else {
+                let c0 = f32::from(total[base + best_d - 1]);
+                let c1 = f32::from(best_cost);
+                let c2 = f32::from(total[base + best_d + 1]);
+                let denom = c0 - 2.0 * c1 + c2;
+                if denom.abs() < 1e-9 {
+                    best_d as f32
+                } else {
+                    best_d as f32 + (0.5 * (c0 - c2) / denom).clamp(-0.5, 0.5)
+                }
+            };
+            dst[y * width + x] = value;
+        }
+    }
+}
+
 /// Winner-take-all over an aggregated volume, writing into a reusable map.
 fn winner_take_all_into(
     total: &[f32],
@@ -263,6 +449,79 @@ fn mirror_into(src: &Image, out: &mut Image) {
     }
 }
 
+/// One SAD-metric matching pass: `f32` cost volume, `f32` aggregation,
+/// winner-take-all.
+fn sad_pass(
+    volume: &mut CostVolume,
+    pool: &mut BufferPool,
+    left: &Image,
+    right: &Image,
+    params: &SgmParams,
+    out: &mut DisparityMap,
+) -> Result<()> {
+    volume.fill_from_pair(left, right, params.max_disparity, params.block)?;
+    let levels = volume.num_disparities();
+    let total = aggregate_all_pooled(volume, params.p1, params.p2, pool);
+    winner_take_all_into(
+        &total,
+        volume.width(),
+        volume.height(),
+        levels,
+        params.subpixel,
+        out,
+    );
+    pool.put(total);
+    Ok(())
+}
+
+/// One census-metric matching pass: census transform of both images, Hamming
+/// cost volume, integer aggregation, winner-take-all.  All stages dispatch to
+/// the active SIMD tier.
+#[allow(clippy::too_many_arguments)]
+fn census_pass(
+    census_l: &mut CensusDescriptors,
+    census_r: &mut CensusDescriptors,
+    cvolume: &mut CensusCostVolume,
+    ipool: &mut U16Pool,
+    left: &Image,
+    right: &Image,
+    params: &SgmParams,
+    out: &mut DisparityMap,
+) -> Result<()> {
+    if left.width() != right.width() || left.height() != right.height() {
+        return Err(StereoError::dimension_mismatch(format!(
+            "{}x{} vs {}x{}",
+            left.width(),
+            left.height(),
+            right.width(),
+            right.height()
+        )));
+    }
+    if left.is_empty() {
+        return Err(StereoError::invalid_parameter(
+            "cannot build a cost volume from empty images",
+        ));
+    }
+    let level = simd::active_level();
+    census_l.fill_from(left, params.census_window, level);
+    census_r.fill_from(right, params.census_window, level);
+    cvolume.fill_from_descriptors(census_l, census_r, params.max_disparity, level);
+    let p1 = params.p1.round().max(0.0) as u16;
+    let p2 = params.p2.round().max(0.0) as u16;
+    let levels = cvolume.num_disparities();
+    let total = aggregate_census_all_pooled(cvolume, p1, p2, ipool, level);
+    winner_take_all_u16_into(
+        &total,
+        cvolume.width(),
+        cvolume.height(),
+        levels,
+        params.subpixel,
+        out,
+    );
+    ipool.put(total);
+    Ok(())
+}
+
 /// Semi-global stereo matching of a rectified pair.
 ///
 /// # Errors
@@ -297,42 +556,40 @@ pub fn semi_global_match_with(
             "max_disparity must be non-zero",
         ));
     }
-    ws.volume
-        .fill_from_pair(left, right, params.max_disparity, params.block)?;
-    let levels = ws.volume.num_disparities();
-    let total = aggregate_all_pooled(&ws.volume, params.p1, params.p2, &mut ws.pool);
-    winner_take_all_into(
-        &total,
-        ws.volume.width(),
-        ws.volume.height(),
-        levels,
-        params.subpixel,
-        out,
-    );
-    ws.pool.put(total);
+    // Destructure the workspace so the pass helpers can borrow the pooled
+    // state mutably while the mirror images stay borrowable for the check.
+    let SgmWorkspace {
+        volume,
+        pool,
+        census_l,
+        census_r,
+        cvolume,
+        ipool,
+        mirror_l,
+        mirror_r,
+        map_r,
+    } = ws;
+    match params.metric {
+        CostMetric::Sad => sad_pass(volume, pool, left, right, params, out)?,
+        CostMetric::Census => {
+            census_pass(census_l, census_r, cvolume, ipool, left, right, params, out)?;
+        }
+    }
 
     if params.left_right_check {
         // Match in the other direction by mirroring both images horizontally,
         // which converts right-reference matching into left-reference matching.
-        mirror_into(left, &mut ws.mirror_l);
-        mirror_into(right, &mut ws.mirror_r);
-        ws.volume.fill_from_pair(
-            &ws.mirror_r,
-            &ws.mirror_l,
-            params.max_disparity,
-            params.block,
-        )?;
-        let total_r = aggregate_all_pooled(&ws.volume, params.p1, params.p2, &mut ws.pool);
-        winner_take_all_into(
-            &total_r,
-            ws.volume.width(),
-            ws.volume.height(),
-            levels,
-            params.subpixel,
-            &mut ws.map_r,
-        );
-        ws.pool.put(total_r);
-        let map_r = &ws.map_r;
+        mirror_into(left, mirror_l);
+        mirror_into(right, mirror_r);
+        match params.metric {
+            CostMetric::Sad => sad_pass(volume, pool, mirror_r, mirror_l, params, map_r)?,
+            CostMetric::Census => {
+                census_pass(
+                    census_l, census_r, cvolume, ipool, mirror_r, mirror_l, params, map_r,
+                )?;
+            }
+        }
+        let map_r = &*map_r;
         let width = out.width();
         for y in 0..out.height() {
             for x in 0..width {
@@ -502,13 +759,82 @@ mod tests {
     }
 
     #[test]
-    fn zero_disparity_range_is_rejected() {
-        let img = Image::filled(8, 8, 1.0);
+    fn census_metric_recovers_two_plane_scene() {
+        let (l, r, truth) = two_plane_pair(48, 32, 4, 10);
+        for window in [CensusWindow::W5x5, CensusWindow::W7x7, CensusWindow::W9x7] {
+            let params = SgmParams {
+                max_disparity: 16,
+                metric: CostMetric::Census,
+                census_window: window,
+                p1: 2.0,
+                p2: 16.0,
+                ..Default::default()
+            };
+            let map = semi_global_match(&l, &r, &params).unwrap();
+            let err = map.three_pixel_error(&truth).unwrap();
+            assert!(err < 0.15, "{window:?} three-pixel error {err}");
+        }
+    }
+
+    #[test]
+    fn census_metric_left_right_check_invalidates_occlusions() {
+        let (l, r, _) = two_plane_pair(48, 32, 4, 10);
+        let with_check = semi_global_match(
+            &l,
+            &r,
+            &SgmParams {
+                max_disparity: 16,
+                metric: CostMetric::Census,
+                p2: 16.0,
+                left_right_check: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(with_check.valid_fraction() < 1.0);
+        assert!(with_check.valid_fraction() > 0.5);
+    }
+
+    #[test]
+    fn census_workspace_reuse_matches_fresh_runs() {
+        let (l, r, _) = two_plane_pair(40, 28, 3, 9);
         let params = SgmParams {
-            max_disparity: 0,
+            max_disparity: 12,
+            metric: CostMetric::Census,
+            left_right_check: true,
             ..Default::default()
         };
-        assert!(semi_global_match(&img, &img, &params).is_err());
+        let fresh = semi_global_match(&l, &r, &params).unwrap();
+        let mut ws = SgmWorkspace::new();
+        let mut out = DisparityMap::invalid(0, 0);
+        for _ in 0..3 {
+            semi_global_match_with(&mut ws, &l, &r, &params, &mut out).unwrap();
+            assert_eq!(out.as_image().as_slice(), fresh.as_image().as_slice());
+        }
+        assert!(ws.retained_bytes() > 0);
+        ws.trim();
+        assert_eq!(ws.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_disparity_range_is_rejected() {
+        let img = Image::filled(8, 8, 1.0);
+        for metric in [CostMetric::Sad, CostMetric::Census] {
+            let params = SgmParams {
+                max_disparity: 0,
+                metric,
+                ..Default::default()
+            };
+            assert!(semi_global_match(&img, &img, &params).is_err());
+        }
+        let params = SgmParams {
+            metric: CostMetric::Census,
+            ..Default::default()
+        };
+        let empty = Image::default();
+        assert!(semi_global_match(&empty, &empty, &params).is_err());
+        let other = Image::filled(6, 8, 1.0);
+        assert!(semi_global_match(&img, &other, &params).is_err());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Differential bit-identity tests of the SIMD kernel tiers.
+//!
+//! Every SIMD path in `asv_stereo::simd` promises *bit-identical* results to
+//! its scalar reference — the dispatch level must never change a disparity
+//! map.  These properties draw random inputs (with widths straddling the
+//! 8/16/32-lane remainder boundaries) and compare every available tier
+//! against the scalar tier, bit for bit.
+//!
+//! CI runs this suite twice: once with the default dispatch and once with
+//! `ASV_SIMD=scalar`, plus a `-C target-feature=+avx2` build, so the
+//! comparisons are exercised on every tier the runner supports.
+
+use asv_image::Image;
+use asv_stereo::census::{CensusCostVolume, CensusDescriptors, CensusWindow};
+use asv_stereo::simd::{self, available_levels, SimdLevel};
+use proptest::prelude::*;
+
+/// The non-scalar tiers this machine can run (empty on non-x86 hosts).
+fn simd_levels() -> Vec<SimdLevel> {
+    available_levels()
+        .iter()
+        .copied()
+        .filter(|&l| l != SimdLevel::Scalar)
+        .collect()
+}
+
+fn to_f32(v: &[u32]) -> Vec<f32> {
+    v.iter().map(|&x| (x % 256) as f32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn abs_diff_row_is_bit_identical_across_tiers(
+        lrow in collection::vec(0u32..256, 1..70),
+        rbits in collection::vec(0u32..256, 1..70),
+        d in 0usize..40,
+        r in 0usize..6,
+    ) {
+        let lrow = to_f32(&lrow);
+        let mut rrow = to_f32(&rbits);
+        rrow.resize(lrow.len(), 0.5);
+        let mut reference = vec![0.0f32; lrow.len() + 2 * r];
+        simd::abs_diff_row(SimdLevel::Scalar, &lrow, &rrow, d, r, &mut reference);
+        for level in simd_levels() {
+            let mut out = vec![f32::NAN; reference.len()];
+            simd::abs_diff_row(level, &lrow, &rrow, d, r, &mut out);
+            for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{} abs_diff_row[{}]", level.name(), i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hwindow_sums_is_bit_identical_across_tiers(
+        diff in collection::vec(0u32..256, 1..120),
+        window in 1usize..12,
+    ) {
+        let diff = to_f32(&diff);
+        prop_assume!(diff.len() >= window);
+        let out_len = diff.len() - window + 1;
+        let mut reference = vec![0.0f32; out_len];
+        simd::hwindow_sums(SimdLevel::Scalar, &diff, window, &mut reference);
+        for level in simd_levels() {
+            let mut out = vec![f32::NAN; out_len];
+            simd::hwindow_sums(level, &diff, window, &mut out);
+            for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{} hwindow_sums[{}]", level.name(), i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_rows_is_bit_identical_across_tiers(
+        acc in collection::vec(0u32..256, 1..100),
+        row_bits in collection::vec(0u32..256, 1..100),
+    ) {
+        let acc = to_f32(&acc);
+        let mut row = to_f32(&row_bits);
+        row.resize(acc.len(), 1.25);
+        let mut reference = acc.clone();
+        simd::add_assign_rows(SimdLevel::Scalar, &mut reference, &row);
+        for level in simd_levels() {
+            let mut out = acc.clone();
+            simd::add_assign_rows(level, &mut out, &row);
+            for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "{} add_assign_rows[{}]", level.name(), i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn census_rows_are_bit_identical_across_tiers(
+        pixels in collection::vec(0u32..256, 9..200),
+        width in 1usize..70,
+        which in 0usize..3,
+    ) {
+        let window = [CensusWindow::W5x5, CensusWindow::W7x7, CensusWindow::W9x7][which];
+        let (rx, ry) = (window.rx(), window.ry());
+        let height = 2 * ry + 1;
+        let mut pixels = to_f32(&pixels);
+        pixels.resize(width * height, 7.0);
+        let rows: Vec<&[f32]> = pixels.chunks(width).collect();
+        if window.uses_u32() {
+            let mut reference = vec![0u32; width];
+            simd::census_row_u32(SimdLevel::Scalar, &rows, rx, &mut reference);
+            for level in simd_levels() {
+                let mut out = vec![u32::MAX; width];
+                simd::census_row_u32(level, &rows, rx, &mut out);
+                prop_assert_eq!(&reference, &out, "{} census_row_u32", level.name());
+            }
+        } else {
+            let mut reference = vec![0u64; width];
+            simd::census_row_u64(SimdLevel::Scalar, &rows, rx, &mut reference);
+            for level in simd_levels() {
+                let mut out = vec![u64::MAX; width];
+                simd::census_row_u64(level, &rows, rx, &mut out);
+                prop_assert_eq!(&reference, &out, "{} census_row_u64", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_rows_are_bit_identical_across_tiers(
+        lbits in collection::vec(0u64..u64::MAX, 1..70),
+        rbits in collection::vec(0u64..u64::MAX, 1..70),
+        levels in 1usize..40,
+    ) {
+        let ldesc = lbits;
+        let mut rdesc = rbits;
+        rdesc.resize(ldesc.len(), 0xDEAD_BEEF_F00D_u64);
+        let mut reference = vec![0u8; ldesc.len() * levels];
+        simd::hamming_row_u64(SimdLevel::Scalar, &ldesc, &rdesc, levels, &mut reference);
+        for level in simd_levels() {
+            let mut out = vec![u8::MAX; reference.len()];
+            simd::hamming_row_u64(level, &ldesc, &rdesc, levels, &mut out);
+            prop_assert_eq!(&reference, &out, "{} hamming_row_u64", level.name());
+        }
+
+        let ldesc32: Vec<u32> = ldesc.iter().map(|&v| v as u32).collect();
+        let rdesc32: Vec<u32> = rdesc.iter().map(|&v| v as u32).collect();
+        let mut reference32 = vec![0u8; ldesc32.len() * levels];
+        simd::hamming_row_u32(SimdLevel::Scalar, &ldesc32, &rdesc32, levels, &mut reference32);
+        for level in simd_levels() {
+            let mut out = vec![u8::MAX; reference32.len()];
+            simd::hamming_row_u32(level, &ldesc32, &rdesc32, levels, &mut out);
+            prop_assert_eq!(&reference32, &out, "{} hamming_row_u32", level.name());
+        }
+    }
+
+    #[test]
+    fn census_aggregate_span_is_bit_identical_across_tiers(
+        prev_bits in collection::vec(0u32..65536, 1..70),
+        cost_bits in collection::vec(0u32..64, 1..70),
+        p1 in 0u32..65536,
+        p2 in 0u32..65536,
+    ) {
+        let prev: Vec<u16> = prev_bits.iter().map(|&v| v as u16).collect();
+        let mut cost: Vec<u8> = cost_bits.iter().map(|&v| v as u8).collect();
+        cost.resize(prev.len(), 3);
+        let (p1, p2) = (p1 as u16, p2 as u16);
+        let mut reference = vec![0u16; prev.len()];
+        simd::census_aggregate_span(SimdLevel::Scalar, &prev, &cost, p1, p2, &mut reference);
+        for level in simd_levels() {
+            let mut out = vec![u16::MAX; prev.len()];
+            simd::census_aggregate_span(level, &prev, &cost, p1, p2, &mut out);
+            prop_assert_eq!(&reference, &out, "{} census_aggregate_span", level.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end differential: the full census transform + Hamming cost
+    /// volume, image in, volume out, per tier.
+    #[test]
+    fn census_cost_volume_is_bit_identical_across_tiers(
+        pixels in collection::vec(0u32..256, 1..600),
+        width in 4usize..40,
+        height in 4usize..24,
+        max_disparity in 1usize..24,
+        which in 0usize..3,
+    ) {
+        let window = [CensusWindow::W5x5, CensusWindow::W7x7, CensusWindow::W9x7][which];
+        let mut pixels = to_f32(&pixels);
+        pixels.resize(width * height, 11.0);
+        let left = Image::from_vec(width, height, pixels.clone()).unwrap();
+        let mut shifted = pixels;
+        shifted.rotate_right(3);
+        let right = Image::from_vec(width, height, shifted).unwrap();
+
+        let reference = volume_at(&left, &right, window, max_disparity, SimdLevel::Scalar);
+        for level in simd_levels() {
+            let volume = volume_at(&left, &right, window, max_disparity, level);
+            for y in 0..height {
+                for x in 0..width {
+                    for d in 0..reference.num_disparities() {
+                        prop_assert_eq!(
+                            reference.cost(x, y, d),
+                            volume.cost(x, y, d),
+                            "{} cost({}, {}, {})", level.name(), x, y, d
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn volume_at(
+    left: &Image,
+    right: &Image,
+    window: CensusWindow,
+    max_disparity: usize,
+    level: SimdLevel,
+) -> CensusCostVolume {
+    let mut dl = CensusDescriptors::new();
+    let mut dr = CensusDescriptors::new();
+    dl.fill_from(left, window, level);
+    dr.fill_from(right, window, level);
+    let mut volume = CensusCostVolume::new();
+    volume.fill_from_descriptors(&dl, &dr, max_disparity, level);
+    volume
+}

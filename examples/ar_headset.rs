@@ -29,6 +29,7 @@ fn main() {
             frame_width: scene.width,
             frame_height: scene.height,
             network: "PSMNet".to_owned(),
+            metric: asv::CostMetric::Sad,
         })
         .expect("known network");
         // Full system variant (ISM + deconvolution optimizations).

@@ -28,6 +28,7 @@ fn main() {
         frame_width: scene.width,
         frame_height: scene.height,
         network: "DispNet".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
 

@@ -25,6 +25,10 @@ fn main() {
         frame_width: scene.width,
         frame_height: scene.height,
         network: "GC-Net".to_owned(),
+        // Navigation favours throughput: the census/Hamming key-frame metric
+        // runs on the integer SIMD fast path and is robust to the lighting
+        // changes of outdoor scenes.
+        metric: asv::CostMetric::Census,
     })
     .expect("known network");
     let result = system

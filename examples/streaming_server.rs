@@ -31,6 +31,7 @@ fn main() {
         frame_width: WIDTH,
         frame_height: HEIGHT,
         network: "DispNet".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
 

@@ -1,0 +1,494 @@
+//! Persistent worker pool with allocation-free task dispatch.
+//!
+//! A parallel region is a pair `(job, n)`: a `Fn(usize)` closure and the
+//! number of indices to feed it. The region *publishes* the pair into one of
+//! [`MAX_TASKS`] static slots, participates in executing indices itself, and
+//! waits for stragglers before returning. Detached worker threads scan the
+//! slots and help with whatever is active.
+//!
+//! Lifecycle of a slot (`state`): `FREE → PUBLISHING → ACTIVE → TEARDOWN →
+//! FREE`. Workers guard their access with a reference count acquired *before*
+//! re-validating `ACTIVE`; the publisher moves to `TEARDOWN` before waiting
+//! for the count to drain, which closes the race where a worker observes a
+//! stale `ACTIVE` on a slot that is being retired or republished.
+//!
+//! Nothing in the publish/claim/finish path allocates: slots are static,
+//! synchronization is atomics plus a futex-backed `Mutex`/`Condvar` used only
+//! to park and wake idle workers. A panic inside a job is caught on the
+//! executing thread, stashed (the one allocation, on the panic path only) and
+//! re-thrown on the publishing thread after the region completes.
+
+// The workspace denies `unsafe_code`; the pool is the one shim component that
+// cannot be expressed without it (sharing a non-'static job closure and
+// slicing disjoint mutable chunks across threads), so the override is scoped
+// to this module and every unsafe block carries its invariant.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Number of concurrently-published parallel regions the pool can track.
+/// Deeper nesting degrades gracefully: regions that find no free slot run
+/// inline on the calling thread.
+const MAX_TASKS: usize = 8;
+
+const FREE: usize = 0;
+const PUBLISHING: usize = 1;
+const ACTIVE: usize = 2;
+const TEARDOWN: usize = 3;
+
+/// Type-erased view of a published job closure.
+type RawJob = *const (dyn Fn(usize) + Sync);
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+struct Slot {
+    state: AtomicUsize,
+    /// The published closure, valid only while the protocol says so: written
+    /// under `PUBLISHING` by the sole publisher, read by threads that hold a
+    /// `refs` guard and re-validated `ACTIVE`.
+    job: UnsafeCell<Option<RawJob>>,
+    /// Number of indices in the region.
+    n: AtomicUsize,
+    /// Next unclaimed index (may overshoot `n` by one per participant).
+    next: AtomicUsize,
+    /// Completed indices.
+    done: AtomicUsize,
+    /// Worker threads currently inspecting/executing this slot.
+    refs: AtomicUsize,
+    /// First panic payload raised by a job index, re-thrown by the publisher.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+// SAFETY: `job` is the only non-Sync field; access is serialized by the slot
+// state machine — a single publisher writes it during `PUBLISHING`, readers
+// only dereference it between a `refs` increment and decrement bracketed by
+// an `ACTIVE` re-validation, and the publisher never frees or rewrites the
+// slot until `refs` drains to zero in `TEARDOWN`.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    const fn new() -> Self {
+        Self {
+            state: AtomicUsize::new(FREE),
+            job: UnsafeCell::new(None),
+            n: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            refs: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+struct Pool {
+    slots: [Slot; MAX_TASKS],
+    /// Bumped on every publish; idle workers wait for it to change.
+    epoch: Mutex<u64>,
+    wake: Condvar,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| Slot::new()),
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Publishes `(job, n)` into a free slot, returning its index, or `None`
+    /// if every slot is busy (caller should run inline).
+    fn try_publish(&self, job: RawJob, n: usize) -> Option<usize> {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot
+                .state
+                .compare_exchange(FREE, PUBLISHING, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS makes this thread the sole owner of the
+                // slot until it stores `ACTIVE`; no other thread reads `job`
+                // while the state is `PUBLISHING`.
+                unsafe { *slot.job.get() = Some(job) };
+                slot.n.store(n, Ordering::Relaxed);
+                slot.next.store(0, Ordering::Relaxed);
+                slot.done.store(0, Ordering::Relaxed);
+                slot.state.store(ACTIVE, Ordering::SeqCst);
+                let mut epoch = self.epoch.lock().expect("pool epoch poisoned");
+                *epoch += 1;
+                drop(epoch);
+                self.wake.notify_all();
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Claims and executes indices of slot `idx` until none remain. Returns
+    /// whether any index was executed.
+    fn participate(&self, idx: usize, job: RawJob, n: usize) -> bool {
+        let slot = &self.slots[idx];
+        let mut did = false;
+        loop {
+            let i = slot.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return did;
+            }
+            did = true;
+            // SAFETY: the caller guarantees `job` is the closure currently
+            // published in this slot and keeps its referent alive until
+            // `done == n` and `refs == 0` (enforced by `finish`).
+            let run = AssertUnwindSafe(|| unsafe { (*job)(i) });
+            if let Err(payload) = catch_unwind(run) {
+                let mut guard = slot.panic.lock().expect("pool panic store poisoned");
+                guard.get_or_insert(payload);
+            }
+            slot.done.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Publisher-side completion: help execute, wait for stragglers, retire
+    /// the slot and re-throw any captured panic.
+    fn finish(&self, idx: usize, job: RawJob, n: usize) {
+        self.participate(idx, job, n);
+        let slot = &self.slots[idx];
+        let mut spins = 0u32;
+        while slot.done.load(Ordering::Acquire) < n {
+            backoff(&mut spins);
+        }
+        // Close the door before draining helpers: a worker that saw a stale
+        // `ACTIVE` must re-validate after its `refs` increment and back off.
+        slot.state.store(TEARDOWN, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while slot.refs.load(Ordering::SeqCst) != 0 {
+            backoff(&mut spins);
+        }
+        let payload = slot.panic.lock().expect("pool panic store poisoned").take();
+        slot.state.store(FREE, Ordering::SeqCst);
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let epoch = *self.epoch.lock().expect("pool epoch poisoned");
+            let mut worked = false;
+            for (idx, slot) in self.slots.iter().enumerate() {
+                if slot.state.load(Ordering::SeqCst) != ACTIVE {
+                    continue;
+                }
+                slot.refs.fetch_add(1, Ordering::SeqCst);
+                // Re-validate under the refs guard: if the slot is still
+                // ACTIVE now, the publisher is blocked from retiring it until
+                // our refs drop, so the job pointer and counters are stable.
+                if slot.state.load(Ordering::SeqCst) == ACTIVE {
+                    // SAFETY: `job` was fully published before the `ACTIVE`
+                    // store we just observed, and the refs guard keeps the
+                    // slot (and the closure's referent) alive while we use it.
+                    let job = unsafe { (*slot.job.get()).expect("active slot without job") };
+                    let n = slot.n.load(Ordering::Relaxed);
+                    worked |= self.participate(idx, job, n);
+                }
+                slot.refs.fetch_sub(1, Ordering::SeqCst);
+            }
+            if !worked {
+                let mut guard = self.epoch.lock().expect("pool epoch poisoned");
+                while *guard == epoch {
+                    guard = self.wake.wait(guard).expect("pool epoch poisoned");
+                }
+            }
+        }
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Number of threads a parallel region will be spread over (workers plus the
+/// calling thread). Cached so the hot path never re-queries the OS.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool::new()));
+        for _ in 0..current_num_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name("rayon-shim-worker".into())
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn rayon-shim worker");
+        }
+        pool
+    })
+}
+
+/// Erases the job's borrow lifetime so it can sit in a static slot. Sound
+/// because `finish`/`PublishGuard` never return while any thread can still
+/// reach the pointer.
+fn erase<'a>(job: &'a (dyn Fn(usize) + Sync)) -> RawJob {
+    let raw: *const (dyn Fn(usize) + Sync + 'a) = job;
+    // SAFETY: only the lifetime brand changes; the fat-pointer layout is
+    // identical. The protocol (teardown before free, refs drain) guarantees
+    // no dereference outlives `'a`.
+    unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + 'a), RawJob>(raw) }
+}
+
+/// Region guard: ensures a published slot is fully retired even if the
+/// publishing thread unwinds before calling `finish` (e.g. the first half of
+/// a `join` panics while the second is still enqueued).
+struct PublishGuard {
+    idx: usize,
+    job: RawJob,
+    n: usize,
+    armed: bool,
+}
+
+impl PublishGuard {
+    fn finish(mut self) {
+        self.armed = false;
+        pool().finish(self.idx, self.job, self.n);
+    }
+}
+
+impl Drop for PublishGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            // Already unwinding: drain the region but swallow its panic (the
+            // in-flight one wins).
+            let p = pool();
+            p.participate(self.idx, self.job, self.n);
+            let slot = &p.slots[self.idx];
+            let mut spins = 0u32;
+            while slot.done.load(Ordering::Acquire) < self.n {
+                backoff(&mut spins);
+            }
+            slot.state.store(TEARDOWN, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while slot.refs.load(Ordering::SeqCst) != 0 {
+                backoff(&mut spins);
+            }
+            let _ = slot.panic.lock().expect("pool panic store poisoned").take();
+            slot.state.store(FREE, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n`, spread over the pool. The calling
+/// thread always participates; with a single hardware thread, an empty or
+/// singleton range, or all task slots busy, everything runs inline.
+pub fn run(n: usize, job: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    if n == 1 || current_num_threads() <= 1 {
+        for i in 0..n {
+            job(i);
+        }
+        return;
+    }
+    let raw = erase(job);
+    match pool().try_publish(raw, n) {
+        Some(idx) => PublishGuard {
+            idx,
+            job: raw,
+            n,
+            armed: true,
+        }
+        .finish(),
+        None => {
+            for i in 0..n {
+                job(i);
+            }
+        }
+    }
+}
+
+/// `rayon::join`: runs `a` on the calling thread while `b` is offered to the
+/// pool; whoever gets there first runs `b`, and the caller claims it back if
+/// no worker picked it up.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let b_cell: Mutex<Option<B>> = Mutex::new(Some(b));
+    let rb_cell: Mutex<Option<RB>> = Mutex::new(None);
+    let task = |_i: usize| {
+        let f = b_cell.lock().expect("join task poisoned").take();
+        if let Some(f) = f {
+            let rb = f();
+            *rb_cell.lock().expect("join result poisoned") = Some(rb);
+        }
+    };
+    let raw = erase(&task);
+    match pool().try_publish(raw, 1) {
+        Some(idx) => {
+            let guard = PublishGuard {
+                idx,
+                job: raw,
+                n: 1,
+                armed: true,
+            };
+            let ra = a();
+            guard.finish();
+            let rb = rb_cell
+                .into_inner()
+                .expect("join result poisoned")
+                .expect("join second closure did not run");
+            (ra, rb)
+        }
+        None => {
+            let ra = a();
+            let f = b_cell
+                .into_inner()
+                .expect("join task poisoned")
+                .expect("join second closure consumed without result");
+            (ra, f())
+        }
+    }
+}
+
+/// Collects `f(i)` for `i in 0..n` into a `Vec`, preserving index order.
+/// Allocates the result (collect is not on the zero-alloc streaming path).
+pub fn collect_vec<T: Send>(n: usize, f: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || current_num_threads() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` contents may legally be uninitialized; the region
+    // below writes every index exactly once before the transmute.
+    unsafe { out.set_len(n) };
+    let base = SendPtr(out.as_mut_ptr());
+    run(n, &|i| {
+        let slot = base;
+        // SAFETY: `i < n` is guaranteed by `run`, each index is claimed by
+        // exactly one thread, and the `Vec` outlives the region because
+        // `run` does not return until every index completed.
+        unsafe { slot.0.add(i).write(MaybeUninit::new(f(i))) };
+    });
+    // If a job index panicked, `run` re-threw above and `out` is dropped as
+    // `Vec<MaybeUninit<T>>`, leaking elements instead of double-dropping.
+    let mut out = ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: all `len` elements were initialized exactly once by the region
+    // above, and `MaybeUninit<T>` has the same layout as `T`.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+}
+
+/// A raw pointer that asserts cross-thread safety; used to smuggle disjoint
+/// write targets into `Fn` jobs.
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every use of `SendPtr` writes through disjoint, uniquely-claimed
+// offsets of a live allocation owned by the publishing stack frame, which
+// outlives the parallel region.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared access never aliases a written element.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Lazy chunk view over a mutable slice: chunk `i` is computed on demand so
+/// distributing chunks allocates nothing.
+pub struct SliceParts<T> {
+    base: SendPtr<T>,
+    len: usize,
+    chunk: usize,
+}
+
+impl<T: Send> SliceParts<T> {
+    /// Captures the slice; the returned view must not outlive it (enforced
+    /// by the borrow the caller holds across the parallel region).
+    pub fn new(slice: &mut [T], chunk: usize) -> Self {
+        Self {
+            base: SendPtr(slice.as_mut_ptr()),
+            len: slice.len(),
+            chunk,
+        }
+    }
+
+    /// The `i`-th chunk as a mutable sub-slice.
+    ///
+    /// Disjointness: parallel regions claim each index exactly once, and
+    /// distinct indices map to non-overlapping `[i*chunk, min((i+1)*chunk,
+    /// len))` ranges.
+    #[allow(clippy::mut_from_ref)]
+    pub fn chunk(&self, i: usize) -> &mut [T] {
+        let start = (i * self.chunk).min(self.len);
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: `start..end` is in bounds of the captured slice, each index
+        // `i` is handed to exactly one executing thread, so no two live
+        // sub-slices overlap; the underlying slice outlives the region.
+        unsafe { std::slice::from_raw_parts_mut(self.base.0.add(start), end - start) }
+    }
+}
+
+// SAFETY: see `SendPtr` — the view only ever materializes disjoint chunks.
+unsafe impl<T: Send> Sync for SliceParts<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn slot_exhaustion_falls_back_inline() {
+        // Recursion deeper than MAX_TASKS: inner regions run inline instead
+        // of deadlocking.
+        fn recurse(depth: usize) -> usize {
+            if depth == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| recurse(depth - 1), || recurse(depth - 1));
+            a + b
+        }
+        assert_eq!(recurse(MAX_TASKS + 2), 1 << (MAX_TASKS + 2));
+    }
+
+    #[test]
+    fn collect_vec_is_ordered() {
+        let v = collect_vec(1023, &|i| i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+}

@@ -32,6 +32,7 @@ fn ism_pipeline_matches_ground_truth_on_synthetic_video() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
     let result = system
@@ -61,6 +62,7 @@ fn ism_accuracy_loss_is_small_and_speedup_is_large() {
         frame_width: 80,
         frame_height: 56,
         network: "FlowNetC".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
     let accuracy = system
@@ -94,6 +96,7 @@ fn key_and_non_key_frames_alternate_with_pw2() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
     let result = system
@@ -141,6 +144,7 @@ fn disparity_maps_translate_to_sensible_depths() {
         frame_width: 80,
         frame_height: 56,
         network: "DispNet".to_owned(),
+        metric: asv::CostMetric::Sad,
     })
     .expect("known network");
     let result = system

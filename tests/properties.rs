@@ -28,6 +28,7 @@ fn streaming_pipeline(window: usize, policy: KeyFramePolicy) -> IsmPipeline {
         surrogate: SurrogateParams {
             max_disparity: 16,
             occlusion_handling: true,
+            ..Default::default()
         },
         ..Default::default()
     };
