@@ -36,7 +36,9 @@ use asv_image::Image;
 use asv_scene::StereoSequence;
 use asv_stereo::block_matching::{refine_with_initial_into, BlockMatchParams};
 use asv_stereo::DisparityMap;
+use asv_trace::Stage;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Whether a frame was processed as a key frame (DNN) or a non-key frame
 /// (propagation + refinement).
@@ -253,6 +255,7 @@ impl IsmState {
         right: &Image,
         out: &mut DisparityMap,
     ) -> Result<FrameKind, AsvError> {
+        ws.tracer.frame_start();
         let window = self.config.propagation_window.max(1);
         let mut is_key = self.previous.is_none() || self.since_key >= window;
         // The adaptive policy re-keys early when the scene moves too fast
@@ -269,7 +272,15 @@ impl IsmState {
                     .previous
                     .as_ref()
                     .expect("non-key frames always have a predecessor");
+                let flow_started = Instant::now();
                 farneback_flow_with(&mut ws.flow_left, prev_left, left, &self.config.flow)?;
+                ws.flow_left.timings.record(
+                    Stage::FlowLeft,
+                    flow_started,
+                    flow_started.elapsed(),
+                    0,
+                );
+                ws.tracer.harvest(&ws.flow_left.timings);
                 let flow = ws.flow_left.flow();
                 let median_u = flow.median_u_with(&mut ws.median_scratch);
                 let median_v = flow.median_v_with(&mut ws.median_scratch);
@@ -282,8 +293,11 @@ impl IsmState {
             }
         }
         let kind = if is_key {
+            let infer_span = ws.tracer.enter(Stage::DnnInfer);
             self.surrogate
                 .infer_with(&mut ws.stereo, left, right, out)?;
+            ws.tracer.exit(infer_span);
+            ws.tracer.harvest(ws.stereo.timings());
             FrameKind::KeyFrame
         } else {
             let (prev_left, prev_right, prev_disparity) = self
@@ -315,6 +329,7 @@ impl IsmState {
             }
             slot @ None => *slot = Some((left.clone(), right.clone(), out.clone())),
         }
+        ws.tracer.frame_end(is_key);
         Ok(kind)
     }
 }
@@ -387,7 +402,12 @@ fn propagate_and_refine_into(
     // independent, so the parallel build computes them concurrently unless
     // the left one is already available).
     if have_left_flow {
+        let flow_started = Instant::now();
         farneback_flow_with(&mut ws.flow_right, prev_right, right, &config.flow)?;
+        ws.flow_right
+            .timings
+            .record(Stage::FlowRight, flow_started, flow_started.elapsed(), 0);
+        ws.tracer.harvest(&ws.flow_right.timings);
     } else {
         left_right_flows_with(
             prev_left,
@@ -398,10 +418,16 @@ fn propagate_and_refine_into(
             &mut ws.flow_left,
             &mut ws.flow_right,
         )?;
+        // The two flow calls stage their timings in their own workspaces
+        // (they may have run on pool worker threads); fold both into the
+        // calling thread's tracer.
+        ws.tracer.harvest(&ws.flow_left.timings);
+        ws.tracer.harvest(&ws.flow_right.timings);
     }
 
     // Steps 2 + 3: reconstruct each correspondence pair from the previous
     // disparity map and move both members along their view's motion.
+    let propagate_span = ws.tracer.enter(Stage::Propagate);
     #[cfg(feature = "parallel")]
     propagate_correspondences_pooled(
         prev_disparity,
@@ -417,9 +443,11 @@ fn propagate_and_refine_into(
         ws.flow_right.flow(),
         &mut ws.propagated,
     );
+    ws.tracer.exit(propagate_span);
 
     // Step 4: refine with a narrow block-matching search around the
     // propagated disparity.
+    let refine_span = ws.tracer.enter(Stage::Refine);
     refine_with_initial_into(
         left,
         right,
@@ -428,6 +456,7 @@ fn propagate_and_refine_into(
         &mut ws.refine,
         out,
     )?;
+    ws.tracer.exit(refine_span);
     Ok(())
 }
 
@@ -446,8 +475,22 @@ fn left_right_flows_with(
     ws_right: &mut FlowWorkspace,
 ) -> Result<(), AsvError> {
     let (l, r) = rayon::join(
-        || farneback_flow_with(ws_left, prev_left, left, &config.flow),
-        || farneback_flow_with(ws_right, prev_right, right, &config.flow),
+        || {
+            let started = Instant::now();
+            let result = farneback_flow_with(ws_left, prev_left, left, &config.flow);
+            ws_left
+                .timings
+                .record(Stage::FlowLeft, started, started.elapsed(), 0);
+            result
+        },
+        || {
+            let started = Instant::now();
+            let result = farneback_flow_with(ws_right, prev_right, right, &config.flow);
+            ws_right
+                .timings
+                .record(Stage::FlowRight, started, started.elapsed(), 0);
+            result
+        },
     );
     l?;
     r?;
@@ -466,8 +509,16 @@ fn left_right_flows_with(
     ws_left: &mut FlowWorkspace,
     ws_right: &mut FlowWorkspace,
 ) -> Result<(), AsvError> {
+    let started = Instant::now();
     farneback_flow_with(ws_left, prev_left, left, &config.flow)?;
+    ws_left
+        .timings
+        .record(Stage::FlowLeft, started, started.elapsed(), 0);
+    let started = Instant::now();
     farneback_flow_with(ws_right, prev_right, right, &config.flow)?;
+    ws_right
+        .timings
+        .record(Stage::FlowRight, started, started.elapsed(), 0);
     Ok(())
 }
 

@@ -43,6 +43,7 @@ pub mod system;
 pub mod workspace;
 
 pub use asv_dnn::CostMetric;
+pub use asv_trace as trace;
 pub use error::AsvError;
 pub use ism::{
     FrameKind, FrameResult, IsmConfig, IsmPipeline, IsmResult, IsmState, KeyFramePolicy,

@@ -21,6 +21,7 @@ use asv_flow::farneback::FlowWorkspace;
 use asv_image::Image;
 use asv_mem::BufferPool;
 use asv_stereo::{DisparityMap, MatchScratch, SgmWorkspace};
+use asv_trace::{TraceConfig, Tracer};
 
 /// Reusable per-stream scratch for the whole ISM frame path: optical flow
 /// (one workspace per camera view, so the two estimations can run
@@ -42,6 +43,12 @@ pub struct Workspace {
     /// propagation, retained across frames.
     #[cfg(feature = "parallel")]
     pub(crate) propagation_rows: Vec<Vec<(usize, usize, f32)>>,
+    /// Per-stage span recorder: every [`IsmState::step_with`] call traces
+    /// its pipeline stages here (ring-buffered per session, governed by
+    /// `ASV_TRACE`; see the `asv_trace` crate).
+    ///
+    /// [`IsmState::step_with`]: crate::ism::IsmState::step_with
+    pub tracer: Tracer,
 }
 
 impl Workspace {
@@ -51,6 +58,14 @@ impl Workspace {
     ///
     /// [`IsmState::step`]: crate::ism::IsmState::step
     pub fn new() -> Self {
+        Self::with_trace_config(TraceConfig::from_env())
+    }
+
+    /// [`Workspace::new`] with an explicit tracing configuration instead of
+    /// the `ASV_TRACE` environment default — e.g. to force full-capture mode
+    /// for one profiled session while the rest of the process stays in ring
+    /// mode.  Still allocation-free until the first frame.
+    pub fn with_trace_config(trace: TraceConfig) -> Self {
         Self {
             flow_left: FlowWorkspace::new(),
             flow_right: FlowWorkspace::new(),
@@ -61,6 +76,7 @@ impl Workspace {
             median_scratch: Vec::new(),
             #[cfg(feature = "parallel")]
             propagation_rows: Vec::new(),
+            tracer: Tracer::new(trace),
         }
     }
 
@@ -93,7 +109,7 @@ impl Workspace {
     /// and the flow workspaces (e.g. when a stream goes idle); the next
     /// frame re-warms them.
     pub fn trim(&mut self) {
-        *self = Workspace::new();
+        *self = Workspace::with_trace_config(*self.tracer.config());
     }
 }
 

@@ -152,6 +152,47 @@ fn census_metric_steady_state_is_also_zero_allocation() {
     );
 }
 
+/// Tracing is part of the zero-allocation guarantee: with the tracer
+/// explicitly in ring mode — including slow-frame forensics, which copies
+/// every frame here (threshold 0) — steady state still allocates nothing,
+/// and the spans really were recorded.  The ring and slow buffers are fully
+/// sized by the warm-up frames; steady-state recording only rotates them.
+#[test]
+fn tracing_in_ring_mode_adds_zero_steady_state_allocations() {
+    use asv::trace::{TraceConfig, TraceMode};
+    let pipe = pipeline(64, 48, 4, 32);
+    let seq = sequence(64, 48, 10, 21);
+    let mut state = pipe.state();
+    let mut ws = Workspace::with_trace_config(TraceConfig {
+        mode: TraceMode::Ring,
+        ring_frames: 4,
+        slow_threshold_us: Some(0),
+        slow_retained: 2,
+    });
+    for frame in &seq.frames()[..2] {
+        let result = state.step_with(&mut ws, &frame.left, &frame.right).unwrap();
+        ws.recycle(result.disparity);
+    }
+    let before = alloc_count::allocations();
+    for frame in &seq.frames()[2..] {
+        let result = state.step_with(&mut ws, &frame.left, &frame.right).unwrap();
+        ws.recycle(result.disparity);
+    }
+    let allocs = alloc_count::allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "ring-mode tracing allocated {allocs} times over 8 steady-state frames"
+    );
+    assert_eq!(ws.tracer.frames_recorded(), 10);
+    assert_eq!(ws.tracer.dropped_spans(), 0);
+    let last = ws.tracer.last_frame().expect("a frame was recorded");
+    assert!(!last.spans.is_empty(), "frames carry spans");
+    assert!(
+        ws.tracer.slow_frames().count() > 0,
+        "threshold 0 retains slow frames"
+    );
+}
+
 /// The baseline comparison also holds (and documents the size of the win
 /// the regression test protects).
 #[test]

@@ -134,6 +134,7 @@ mod tests {
             key_frames: 2,
             nonkey_frames: 6,
             allocs_per_frame: 0.0,
+            stages: Vec::new(),
         };
         PerfReport {
             config: PerfConfig::quick(),

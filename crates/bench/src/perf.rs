@@ -23,6 +23,7 @@
 //! [`IsmState::step_with`]: asv::ism::IsmState::step_with
 
 use asv::ism::{FrameKind, IsmConfig, IsmPipeline};
+use asv::trace::{FrameTrace, Stage};
 use asv::Workspace;
 use asv_dnn::{zoo, CostMetric, SurrogateParams, SurrogateStereoDnn};
 use asv_mem::alloc_count;
@@ -72,6 +73,23 @@ impl PerfConfig {
     }
 }
 
+/// Where one pipeline stage's time goes, split by frame kind.  Means come
+/// from the tracer's per-frame span totals; fractions are the stage's share
+/// of the measured step latency of frames of that kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePerf {
+    /// Stable stage name (`asv::trace::Stage::name`).
+    pub stage: String,
+    /// Mean time in this stage per key frame, microseconds.
+    pub key_mean_us: u64,
+    /// Mean time in this stage per non-key frame, microseconds.
+    pub nonkey_mean_us: u64,
+    /// Share of total key-frame latency spent in this stage (0..=1).
+    pub key_fraction: f64,
+    /// Share of total non-key-frame latency spent in this stage (0..=1).
+    pub nonkey_fraction: f64,
+}
+
 /// One side (allocating or workspace) of the measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathReport {
@@ -92,6 +110,10 @@ pub struct PathReport {
     /// Heap allocation events per steady-state frame (0 unless the binary
     /// installs the counting allocator).
     pub allocs_per_frame: f64,
+    /// Per-stage breakdown, in [`Stage::ALL`] order, stages that never ran
+    /// omitted.  Empty for the allocating baseline (its throwaway
+    /// workspaces discard their tracer with every frame).
+    pub stages: Vec<StagePerf>,
 }
 
 /// The full before/after record written to `BENCH_streaming.json`.
@@ -146,21 +168,33 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 }
 
 /// Runs the steady-state frames through `step`, collecting per-frame
-/// latency, kind and allocation counts.
+/// latency, kind, allocation counts and (when the step provides them)
+/// per-stage span totals.
 fn measure(
     seq: &StereoSequence,
-    mut step: impl FnMut(&asv_scene::StereoFrame) -> FrameKind,
+    mut step: impl FnMut(&asv_scene::StereoFrame) -> (FrameKind, Option<[u64; Stage::COUNT]>),
 ) -> PathReport {
     let steady = &seq.frames()[2..];
     let mut latencies = Vec::with_capacity(steady.len());
     let mut kinds = Vec::with_capacity(steady.len());
+    // Summed stage nanoseconds and summed step microseconds, [key, non-key].
+    let mut stage_ns = [[0u64; Stage::COUNT]; 2];
+    let mut kind_us = [0u64; 2];
     let allocs_before = alloc_count::allocations();
     let started = Instant::now();
     for frame in steady {
         let frame_started = Instant::now();
-        let kind = step(frame);
-        latencies.push(frame_started.elapsed().as_micros() as u64);
+        let (kind, totals) = step(frame);
+        let us = frame_started.elapsed().as_micros() as u64;
+        latencies.push(us);
         kinds.push(kind);
+        let side = usize::from(kind != FrameKind::KeyFrame);
+        kind_us[side] += us;
+        if let Some(totals) = totals {
+            for (acc, ns) in stage_ns[side].iter_mut().zip(totals) {
+                *acc += ns;
+            }
+        }
     }
     let elapsed = started.elapsed().as_secs_f64();
     let allocs = alloc_count::allocations() - allocs_before;
@@ -176,6 +210,28 @@ fn measure(
     let key_mean_us = mean_of(FrameKind::KeyFrame);
     let nonkey_mean_us = mean_of(FrameKind::NonKeyFrame);
     let key_frames = kinds.iter().filter(|&&k| k == FrameKind::KeyFrame).count();
+    let nonkey_frames = kinds.len() - key_frames;
+
+    let stages = Stage::ALL
+        .iter()
+        .filter(|stage| stage_ns.iter().any(|side| side[stage.index()] > 0))
+        .map(|stage| {
+            let mean_us = |side: usize, frames: usize| {
+                (stage_ns[side][stage.index()] / 1_000) / frames.max(1) as u64
+            };
+            let fraction = |side: usize| {
+                (stage_ns[side][stage.index()] as f64 / 1_000.0) / (kind_us[side] as f64).max(1.0)
+            };
+            StagePerf {
+                stage: stage.name().to_owned(),
+                key_mean_us: mean_us(0, key_frames),
+                nonkey_mean_us: mean_us(1, nonkey_frames),
+                key_fraction: fraction(0),
+                nonkey_fraction: fraction(1),
+            }
+        })
+        .collect();
+
     let mut sorted = latencies;
     sorted.sort_unstable();
     PathReport {
@@ -185,8 +241,9 @@ fn measure(
         key_mean_us,
         nonkey_mean_us,
         key_frames,
-        nonkey_frames: kinds.len() - key_frames,
+        nonkey_frames,
         allocs_per_frame: allocs as f64 / (kinds.len().max(1)) as f64,
+        stages,
     }
 }
 
@@ -210,10 +267,13 @@ pub fn steady_state_perf(cfg: &PerfConfig) -> PerfReport {
         state.step(&frame.left, &frame.right).expect("warm-up step");
     }
     let baseline = measure(&seq, |frame| {
-        state
+        let kind = state
             .step(&frame.left, &frame.right)
             .expect("baseline step")
-            .kind
+            .kind;
+        // The allocating path builds and discards a workspace per frame, so
+        // its trace (and with it any stage breakdown) is gone by now.
+        (kind, None)
     });
 
     // After: one warm workspace, recycled result maps — once per metric.
@@ -233,7 +293,8 @@ pub fn steady_state_perf(cfg: &PerfConfig) -> PerfReport {
                 .expect("workspace step");
             let kind = result.kind;
             ws.recycle(result.disparity);
-            kind
+            let totals = ws.tracer.last_frame().map(FrameTrace::stage_totals);
+            (kind, totals)
         })
     };
     let workspace = run_workspace(CostMetric::Sad);
@@ -278,6 +339,19 @@ impl PerfReport {
             "  census key speedup   {:>8.3}x   (simd: {})\n",
             self.census_key_speedup, self.simd
         ));
+        if !self.workspace.stages.is_empty() {
+            out.push_str("  stage breakdown (workspace sad):\n");
+            for stage in &self.workspace.stages {
+                out.push_str(&format!(
+                    "    {:<14} key {:>8} us ({:>5.1}%)   non-key {:>8} us ({:>5.1}%)\n",
+                    stage.stage,
+                    stage.key_mean_us,
+                    stage.key_fraction * 100.0,
+                    stage.nonkey_mean_us,
+                    stage.nonkey_fraction * 100.0
+                ));
+            }
+        }
         out
     }
 
@@ -285,12 +359,27 @@ impl PerfReport {
     pub fn render_json(&self) -> String {
         let c = &self.config;
         let path = |p: &PathReport| {
+            let stages = p
+                .stages
+                .iter()
+                .map(|s| {
+                    format!(
+                        concat!(
+                            "{{\"stage\": \"{}\", \"key_mean_us\": {}, ",
+                            "\"nonkey_mean_us\": {}, \"key_fraction\": {:.4}, ",
+                            "\"nonkey_fraction\": {:.4}}}"
+                        ),
+                        s.stage, s.key_mean_us, s.nonkey_mean_us, s.key_fraction, s.nonkey_fraction
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
                 concat!(
                     "{{\"fps\": {:.3}, \"p50_us\": {}, \"p95_us\": {}, ",
                     "\"key_mean_us\": {}, \"nonkey_mean_us\": {}, ",
                     "\"key_frames\": {}, \"nonkey_frames\": {}, ",
-                    "\"allocs_per_frame\": {:.2}}}"
+                    "\"allocs_per_frame\": {:.2}, \"stages\": [{}]}}"
                 ),
                 p.fps,
                 p.p50_us,
@@ -299,7 +388,8 @@ impl PerfReport {
                 p.nonkey_mean_us,
                 p.key_frames,
                 p.nonkey_frames,
-                p.allocs_per_frame
+                p.allocs_per_frame,
+                stages
             )
         };
         format!(
@@ -357,7 +447,29 @@ mod tests {
         );
         // Same schedule on both sides.
         assert_eq!(report.workspace.key_frames, report.baseline.key_frames);
+        // The workspace paths carry a stage breakdown; the allocating
+        // baseline cannot (its tracer dies with each throwaway workspace).
+        assert!(report.baseline.stages.is_empty());
+        for path in [&report.workspace, &report.census] {
+            assert!(!path.stages.is_empty());
+            let dnn = path
+                .stages
+                .iter()
+                .find(|s| s.stage == "dnn_infer")
+                .expect("key frames traced the DNN stage");
+            assert!(dnn.key_mean_us > 0);
+            assert!(dnn.key_fraction > 0.0 && dnn.key_fraction <= 1.0);
+            assert_eq!(dnn.nonkey_mean_us, 0);
+            let refine = path
+                .stages
+                .iter()
+                .find(|s| s.stage == "refine")
+                .expect("non-key frames traced refinement");
+            assert!(refine.nonkey_fraction > 0.0 && refine.nonkey_fraction <= 1.0);
+        }
         let json = report.render_json();
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"stage\": \"dnn_infer\""));
         assert!(json.contains("\"workload\""));
         assert!(json.contains("\"speedup\""));
         assert!(report.render_text().contains("speedup"));

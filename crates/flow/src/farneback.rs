@@ -26,6 +26,7 @@ use crate::Result;
 use asv_image::gaussian::{blur_in_place, gaussian_kernel, separable_filter_into};
 use asv_image::pyramid::Pyramid;
 use asv_image::Image;
+use asv_trace::{KernelTimings, Stage};
 use serde::{Deserialize, Serialize};
 
 /// Tuning parameters of the Farneback flow estimator.
@@ -202,6 +203,11 @@ pub struct FlowWorkspace {
     /// `flow_a` holds the final estimate.
     flow_a: FlowField,
     flow_b: FlowField,
+    /// Per-call kernel timings, staged here so they survive execution on a
+    /// pool worker thread (the parallel build runs the two flow directions
+    /// under `rayon::join`) and can be harvested by the calling thread's
+    /// tracer.  Cleared at the start of every [`farneback_flow_with`] call.
+    pub timings: KernelTimings,
 }
 
 impl FlowWorkspace {
@@ -224,6 +230,7 @@ impl FlowWorkspace {
             h2: Image::default(),
             flow_a: FlowField::zeros(0, 0),
             flow_b: FlowField::zeros(0, 0),
+            timings: KernelTimings::new(),
         }
     }
 
@@ -601,7 +608,9 @@ pub fn farneback_flow_with(
             "iterations and pyramid_levels must be non-zero",
         ));
     }
+    ws.timings.clear();
     ws.kernels.ensure_pyramid();
+    let pyramid_started = std::time::Instant::now();
     ws.pyr0
         .rebuild(
             frame0,
@@ -622,6 +631,12 @@ pub fn farneback_flow_with(
             &mut ws.tmp2,
         )
         .map_err(FlowError::invalid_parameter)?;
+    ws.timings.record(
+        Stage::PyramidBuild,
+        pyramid_started,
+        pyramid_started.elapsed(),
+        1,
+    );
     ws.kernels.ensure_blur(params.blur_sigma);
     let levels = ws.pyr0.num_levels().min(ws.pyr1.num_levels());
 

@@ -31,10 +31,13 @@
 //! harness in [`crate::sim`] locks down.
 
 use crate::export::render_prometheus;
-use crate::scheduler::{RuntimeReport, Scheduler, SchedulerConfig, SessionHandle};
+use crate::scheduler::{
+    RuntimeReport, Scheduler, SchedulerConfig, SchedulerObserver, SessionHandle,
+};
 use crate::session::SessionReport;
 use crate::telemetry::AggregateTelemetry;
 use asv::ism::IsmState;
+use asv::trace::chrome::ChromeTrace;
 use asv::AsvError;
 
 /// Tuning knobs of the cluster.
@@ -325,6 +328,15 @@ impl Cluster {
         render_prometheus(&self.telemetry())
     }
 
+    /// A detached read-only observation handle over every shard, for the
+    /// HTTP metrics endpoint: it can snapshot telemetry and collect frame
+    /// traces but cannot place sessions or shut the cluster down.
+    pub fn observer(&self) -> ClusterObserver {
+        ClusterObserver {
+            shards: self.shards.iter().map(Scheduler::observer).collect(),
+        }
+    }
+
     /// Shuts every shard down (draining its inboxes), joins all worker
     /// pools and returns the per-shard reports plus the cross-shard
     /// telemetry merge.
@@ -335,6 +347,48 @@ impl Cluster {
             aggregate.merge(&shard.aggregate);
         }
         ClusterReport { shards, aggregate }
+    }
+}
+
+/// Read-only cluster-wide observation handle created by
+/// [`Cluster::observer`]; cheap to clone and `Send`, so the HTTP endpoint
+/// can serve scrapes while the cluster runs.  Snapshots taken after the
+/// cluster was joined see empty shards.
+#[derive(Debug, Clone)]
+pub struct ClusterObserver {
+    shards: Vec<SchedulerObserver>,
+}
+
+impl ClusterObserver {
+    /// Number of shards observed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live per-shard telemetry snapshots.
+    pub fn telemetry(&self) -> Vec<AggregateTelemetry> {
+        self.shards
+            .iter()
+            .map(SchedulerObserver::telemetry_snapshot)
+            .collect()
+    }
+
+    /// Renders the live per-shard telemetry in Prometheus text format
+    /// (the `/metrics` scrape body).
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.telemetry())
+    }
+
+    /// Collects every session's captured frame traces into one Chrome
+    /// trace-event JSON document (the `/trace` body): one `pid` per shard,
+    /// one named `tid` per session.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut trace = ChromeTrace::new();
+        for (pid, shard) in self.shards.iter().enumerate() {
+            trace.add_process_name(pid as u32, &format!("shard-{pid}"));
+            shard.add_chrome_trace(&mut trace, pid as u32);
+        }
+        trace.finish()
     }
 }
 

@@ -16,6 +16,52 @@
 use crate::telemetry::{AggregateTelemetry, LatencyHistogram};
 use std::fmt::Write;
 
+/// Emits the per-stage latency histogram family: the same cumulative
+/// `_bucket`/`_sum`/`_count` scheme with a `stage` label next to `shard`.
+/// Stages that never recorded a sample on a shard are omitted (the family
+/// header is always present), so a run with tracing off renders headers
+/// only.
+fn stage_histogram_family(out: &mut String, shards: &[AggregateTelemetry]) {
+    let name = "asv_stage_latency_microseconds";
+    Family {
+        name,
+        kind: "histogram",
+        help: "Per-frame latency of each ISM pipeline stage.",
+    }
+    .header(out);
+    for (shard, telemetry) in shards.iter().enumerate() {
+        for (stage, histogram) in telemetry.stage_latency.stages() {
+            if histogram.count() == 0 {
+                continue;
+            }
+            let stage = stage.name();
+            let mut cumulative = 0u64;
+            for (upper_us, count) in histogram.buckets() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{shard=\"{shard}\",stage=\"{stage}\",le=\"{upper_us}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{shard=\"{shard}\",stage=\"{stage}\",le=\"+Inf\"}} {}",
+                histogram.count()
+            );
+            let _ = writeln!(
+                out,
+                "{name}_sum{{shard=\"{shard}\",stage=\"{stage}\"}} {}",
+                histogram.sum_us()
+            );
+            let _ = writeln!(
+                out,
+                "{name}_count{{shard=\"{shard}\",stage=\"{stage}\"}} {}",
+                histogram.count()
+            );
+        }
+    }
+}
+
 /// One metric family: name, type and help string.
 struct Family {
     name: &'static str,
@@ -226,7 +272,141 @@ pub fn render_prometheus(shards: &[AggregateTelemetry]) -> String {
         shards,
         |t| &t.queue_wait,
     );
+    stage_histogram_family(&mut out, shards);
     out
+}
+
+/// One parsed sample line of a Prometheus text-format scrape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeSample {
+    /// Metric name (for histograms, includes the `_bucket`/`_sum`/`_count`
+    /// suffix).
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl ScrapeSample {
+    /// The value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+fn parse_labels(body: &str, line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {line}"))?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}: {line}"));
+        }
+        let after_eq = &rest[eq + 1..];
+        let value = after_eq
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value: {line}"))?;
+        let close = value
+            .find('"')
+            .ok_or_else(|| format!("unterminated label value: {line}"))?;
+        // The renderer never emits escapes inside label values; reject them
+        // so a regression is caught instead of mis-parsed.
+        if value[..close].contains('\\') {
+            return Err(format!("escaped label value unsupported: {line}"));
+        }
+        labels.push((key.to_string(), value[..close].to_string()));
+        rest = &value[close + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {line}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses and validates a Prometheus text-format scrape body as produced by
+/// [`render_prometheus`]: `# HELP` / `# TYPE` comments with known metric
+/// kinds, and `name{labels} value` samples.  Returns every sample, or a
+/// description of the first malformed line.
+///
+/// This is the validation half of the contract: the integration tests and
+/// the CI scrape of the live `/metrics` endpoint both run every line
+/// through it, so a renderer regression fails loudly.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for any lexical violation:
+/// bad metric or label names, unquoted or escaped label values, missing or
+/// unparsable values, or an unknown `# TYPE` kind.
+pub fn parse_scrape(text: &str) -> Result<Vec<ScrapeSample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            return Err("empty line in scrape body".to_string());
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            let rest = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" if valid_metric_name(name) && !rest.is_empty() => {}
+                "TYPE"
+                    if valid_metric_name(name)
+                        && matches!(rest, "counter" | "gauge" | "histogram" | "summary") => {}
+                _ => return Err(format!("malformed comment line: {line}")),
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample without value: {line}"))?;
+        let value = parse_value(value).ok_or_else(|| format!("unparsable value: {line}"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated label set: {line}"))?;
+                (name, parse_labels(body, line)?)
+            }
+            None => (series, Vec::new()),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("invalid metric name {name:?}: {line}"));
+        }
+        samples.push(ScrapeSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
 }
 
 #[cfg(test)]
@@ -259,6 +439,58 @@ mod tests {
             if !line.starts_with('#') {
                 assert_eq!(line.split(' ').count(), 2, "malformed line: {line}");
             }
+        }
+    }
+
+    #[test]
+    fn stage_histograms_render_with_stage_labels() {
+        use asv::trace::Stage;
+        let mut session = crate::telemetry::SessionTelemetry::default();
+        let mut totals = [0u64; Stage::COUNT];
+        totals[Stage::FlowLeft.index()] = 900_000;
+        totals[Stage::Refine.index()] = 150_000;
+        session.stage_latency.record_frame_totals(&totals);
+        let mut shard = AggregateTelemetry::default();
+        shard.absorb(&session);
+        let text = render_prometheus(&[shard]);
+        assert!(text.contains("# TYPE asv_stage_latency_microseconds histogram"));
+        assert!(text
+            .contains("asv_stage_latency_microseconds_count{shard=\"0\",stage=\"flow_left\"} 1"));
+        assert!(
+            text.contains("asv_stage_latency_microseconds_sum{shard=\"0\",stage=\"refine\"} 150")
+        );
+        // Silent stages are omitted entirely.
+        assert!(!text.contains("stage=\"dnn_infer\""));
+        let samples = parse_scrape(&text).expect("scrape parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "asv_stage_latency_microseconds_bucket"
+                && s.label("stage") == Some("flow_left")
+                && s.label("le") == Some("+Inf")
+                && s.value == 1.0));
+    }
+
+    #[test]
+    fn parser_accepts_the_renderer_and_rejects_malformed_lines() {
+        let shard = AggregateTelemetry::default();
+        let text = render_prometheus(&[shard]);
+        let samples = parse_scrape(&text).expect("renderer output parses");
+        assert!(samples.iter().any(|s| s.name == "asv_cluster_shards"));
+        assert!(samples
+            .iter()
+            .all(|s| s.name.is_empty() || valid_metric_name(&s.name)));
+
+        for bad in [
+            "asv_x{shard=0} 1",             // unquoted label value
+            "asv_x{shard=\"0\"} ",          // missing value
+            "asv_x{shard=\"0\" 1",          // unterminated label set
+            "2asv_x 1",                     // invalid metric name
+            "asv_x{shard=\"0\"} not_a_num", // unparsable value
+            "# TYPE asv_x matrix",          // unknown kind
+            "asv_x{shard=\"a\\\"b\"} 1",    // escaped label value
+            "asv_x{shard=\"0\"}extra 1",    // junk after labels
+        ] {
+            assert!(parse_scrape(bad).is_err(), "accepted malformed: {bad}");
         }
     }
 }

@@ -72,6 +72,7 @@
 
 pub mod cluster;
 pub mod export;
+pub mod http;
 pub mod ingest;
 mod queue;
 pub mod scheduler;
@@ -80,12 +81,20 @@ pub mod session;
 pub mod sim;
 pub mod telemetry;
 
+pub use asv::trace::Stage;
 pub use asv::CostMetric;
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, ClusterSessionHandle, Placement};
-pub use export::render_prometheus;
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterObserver, ClusterReport, ClusterSessionHandle, Placement,
+};
+pub use export::{parse_scrape, render_prometheus, ScrapeSample};
+pub use http::{HttpMetricsSource, MetricsServer};
 pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};
-pub use scheduler::{RuntimeReport, Scheduler, SchedulerConfig, SessionHandle, ShedPolicy};
+pub use scheduler::{
+    RuntimeReport, Scheduler, SchedulerConfig, SchedulerObserver, SessionHandle, ShedPolicy,
+};
 pub use serve::{serve_sequences, ServeOutcome};
 pub use session::{SessionId, SessionReport, StreamSession};
 pub use sim::{SimConfig, SimReport, VirtualClock};
-pub use telemetry::{AggregateTelemetry, LatencyHistogram, QueueDepthGauge, SessionTelemetry};
+pub use telemetry::{
+    AggregateTelemetry, LatencyHistogram, QueueDepthGauge, SessionTelemetry, StageTelemetry,
+};

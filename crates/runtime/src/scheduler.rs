@@ -49,6 +49,8 @@ use crate::queue::QueuedFrame;
 use crate::session::{SessionId, SessionReport, StreamSession};
 use crate::telemetry::AggregateTelemetry;
 use asv::ism::{IsmResult, IsmState};
+use asv::trace::chrome::ChromeTrace;
+use asv::trace::TraceMode;
 use asv::{AsvError, Workspace};
 use asv_image::Image;
 use asv_mem::BufferPool;
@@ -396,6 +398,79 @@ impl Scheduler {
         self.shared.work.notify_all();
         self.shared.space.notify_all();
     }
+
+    /// A detached observation handle for serving live telemetry (e.g. from
+    /// the HTTP endpoint): it reads the engine without being able to submit,
+    /// shut down or otherwise perturb it, and stays valid for the engine's
+    /// lifetime (snapshots after [`Scheduler::join`] see zero sessions).
+    pub fn observer(&self) -> SchedulerObserver {
+        SchedulerObserver {
+            shared: Arc::clone(&self.shared),
+            started: self.started,
+        }
+    }
+}
+
+/// Read-only observation handle of one scheduler shard; cheap to clone and
+/// `Send`, created by [`Scheduler::observer`].
+#[derive(Debug, Clone)]
+pub struct SchedulerObserver {
+    shared: Arc<Shared>,
+    started: Instant,
+}
+
+impl SchedulerObserver {
+    /// A live fold of every session's telemetry, identical to
+    /// [`Scheduler::telemetry_snapshot`].
+    pub fn telemetry_snapshot(&self) -> AggregateTelemetry {
+        let engine = self.shared.lock();
+        let mut aggregate = AggregateTelemetry::default();
+        for session in &engine.sessions {
+            aggregate.absorb(&session.telemetry);
+        }
+        aggregate.wall_seconds = self.started.elapsed().as_secs_f64();
+        aggregate
+    }
+
+    /// Appends every session's captured frame traces to a Chrome trace
+    /// document: `pid` identifies this shard, one `tid` per session (named
+    /// after the session label).  Ring mode contributes the retained ring
+    /// plus any slow-frame forensics not already in it; full mode
+    /// contributes the complete capture.  Sessions whose workspace is
+    /// checked out by a worker mid-frame are skipped — the next scrape
+    /// catches them.
+    pub fn add_chrome_trace(&self, trace: &mut ChromeTrace, pid: u32) {
+        let engine = self.shared.lock();
+        for (index, session) in engine.sessions.iter().enumerate() {
+            let Some(workspace) = session.resident_workspace() else {
+                continue;
+            };
+            let tracer = &workspace.tracer;
+            if tracer.frames_recorded() == 0 {
+                continue;
+            }
+            let tid = index as u32;
+            match &session.label {
+                Some(label) => trace.add_thread_name(pid, tid, label),
+                None => trace.add_thread_name(pid, tid, &format!("session-{index}")),
+            }
+            if tracer.config().mode == TraceMode::Full {
+                for frame in tracer.full_frames() {
+                    trace.add_frame(pid, tid, frame);
+                }
+            } else {
+                let ring: Vec<u64> = tracer.frames().map(|f| f.frame_index).collect();
+                for frame in tracer.frames() {
+                    trace.add_frame(pid, tid, frame);
+                }
+                for frame in tracer.slow_frames() {
+                    if !ring.contains(&frame.frame_index) {
+                        trace.add_frame(pid, tid, frame);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Drop for Scheduler {
@@ -536,6 +611,12 @@ fn worker_loop(shared: &Shared) {
             let started = Instant::now();
             let outcome = state.step_with(&mut workspace, &frame.left, &frame.right);
             let service = started.elapsed();
+            // Harvest the per-stage totals the frame tracer just recorded
+            // (outside the lock; `None` while tracing is off).
+            let stage_totals = workspace
+                .tracer
+                .last_frame()
+                .map(|trace| trace.stage_totals());
 
             // Both planes of the stepped frame are recycled into the
             // scheduler-wide pool that producers drain through
@@ -560,6 +641,9 @@ fn worker_loop(shared: &Shared) {
             match outcome {
                 Ok(result) => {
                     slot.telemetry.record_frame(result.kind, service, waited);
+                    if let Some(totals) = stage_totals {
+                        slot.telemetry.stage_latency.record_frame_totals(&totals);
+                    }
                     slot.results.push(result);
                 }
                 Err(error) => {

@@ -104,6 +104,13 @@ impl StreamSession {
         self.workspace = Some(workspace);
     }
 
+    /// The session's workspace, when resident (`None` while a worker is
+    /// mid-frame with it).  The trace endpoint reads the tracer's captured
+    /// frames through this without blocking the worker.
+    pub(crate) fn resident_workspace(&self) -> Option<&Workspace> {
+        self.workspace.as_ref()
+    }
+
     /// Releases the workspace's retained kernel scratch if it is resident
     /// (not taken by a worker right now).  Returns whether the trim ran.
     pub(crate) fn trim_workspace(&mut self) -> bool {

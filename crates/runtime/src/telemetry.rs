@@ -6,6 +6,7 @@
 //! owns one [`SessionTelemetry`]; [`AggregateTelemetry`] folds them together
 //! when the scheduler shuts down (or whenever a snapshot is requested).
 
+use asv::trace::Stage;
 use asv::FrameKind;
 use std::time::Duration;
 
@@ -177,6 +178,49 @@ impl QueueDepthGauge {
     }
 }
 
+/// Per-pipeline-stage latency histograms, fed from the spans the frame
+/// tracer records during [`IsmState::step_with`] (one total per stage per
+/// frame).  A stage that did not run in a frame (e.g. `dnn_infer` on a
+/// non-key frame) records nothing for that frame.
+///
+/// [`IsmState::step_with`]: asv::ism::IsmState::step_with
+#[derive(Debug, Clone, Default)]
+pub struct StageTelemetry {
+    histograms: [LatencyHistogram; Stage::COUNT],
+}
+
+impl StageTelemetry {
+    /// Records one frame's per-stage totals (nanoseconds, indexed by
+    /// [`Stage::index`], as produced by `FrameTrace::stage_totals`).
+    /// Zero totals — stages that did not run — are skipped.
+    pub fn record_frame_totals(&mut self, totals: &[u64; Stage::COUNT]) {
+        for (stage, &ns) in Stage::ALL.iter().zip(totals.iter()) {
+            if ns > 0 {
+                self.histograms[stage.index()].record(Duration::from_nanos(ns));
+            }
+        }
+    }
+
+    /// The latency histogram of one stage.
+    pub fn histogram(&self, stage: Stage) -> &LatencyHistogram {
+        &self.histograms[stage.index()]
+    }
+
+    /// Iterates `(stage, histogram)` in stable stage order.
+    pub fn stages(&self) -> impl Iterator<Item = (Stage, &LatencyHistogram)> {
+        Stage::ALL
+            .iter()
+            .map(move |&stage| (stage, &self.histograms[stage.index()]))
+    }
+
+    /// Folds another stage telemetry into this one.
+    pub fn merge(&mut self, other: &StageTelemetry) {
+        for (a, b) in self.histograms.iter_mut().zip(other.histograms.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
 /// Telemetry of one stream session.
 #[derive(Debug, Clone, Default)]
 pub struct SessionTelemetry {
@@ -200,6 +244,8 @@ pub struct SessionTelemetry {
     pub queue_wait: LatencyHistogram,
     /// Inbox depth gauge.
     pub queue_depth: QueueDepthGauge,
+    /// Per-pipeline-stage service latency (empty while tracing is off).
+    pub stage_latency: StageTelemetry,
 }
 
 impl SessionTelemetry {
@@ -251,6 +297,8 @@ pub struct AggregateTelemetry {
     pub peak_queue_depth: usize,
     /// Sum of the current inbox depths at snapshot time (0 after shutdown).
     pub current_queue_depth: usize,
+    /// Merged per-pipeline-stage latency histograms.
+    pub stage_latency: StageTelemetry,
     /// Wall-clock time the engine ran, seconds.
     pub wall_seconds: f64,
 }
@@ -269,6 +317,7 @@ impl AggregateTelemetry {
         self.queue_wait.merge(&session.queue_wait);
         self.peak_queue_depth = self.peak_queue_depth.max(session.queue_depth.peak);
         self.current_queue_depth += session.queue_depth.current;
+        self.stage_latency.merge(&session.stage_latency);
     }
 
     /// Folds another aggregate into this one (cross-shard merge).
@@ -289,6 +338,7 @@ impl AggregateTelemetry {
         self.queue_wait.merge(&other.queue_wait);
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.current_queue_depth += other.current_queue_depth;
+        self.stage_latency.merge(&other.stage_latency);
         self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
     }
 

@@ -6,8 +6,28 @@
 //! line — is bit-stable across runs and machines.
 
 use asv::FrameKind;
-use asv_runtime::{render_prometheus, AggregateTelemetry, SessionTelemetry, VirtualClock};
+use asv_runtime::{render_prometheus, AggregateTelemetry, SessionTelemetry, Stage, VirtualClock};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic per-stage totals (nanoseconds) of one key frame.
+fn key_stage_totals() -> [u64; Stage::COUNT] {
+    let mut totals = [0u64; Stage::COUNT];
+    totals[Stage::DnnInfer.index()] = 8_000_000;
+    totals[Stage::CostFill.index()] = 3_000_000;
+    totals[Stage::SgmAggregate.index()] = 4_000_000;
+    totals
+}
+
+/// Deterministic per-stage totals (nanoseconds) of one non-key frame.
+fn non_key_stage_totals() -> [u64; Stage::COUNT] {
+    let mut totals = [0u64; Stage::COUNT];
+    totals[Stage::PyramidBuild.index()] = 150_000;
+    totals[Stage::FlowLeft.index()] = 1_000_000;
+    totals[Stage::FlowRight.index()] = 900_000;
+    totals[Stage::Propagate.index()] = 200_000;
+    totals[Stage::Refine.index()] = 300_000;
+    totals
+}
 
 /// Builds the fixed two-shard telemetry fixture, latencies injected from a
 /// virtual clock.
@@ -35,6 +55,13 @@ fn fixture() -> Vec<AggregateTelemetry> {
     cam_a.frames_shed = 1;
     cam_a.queue_depth.observe(2);
     cam_a.queue_depth.observe(1);
+    cam_a.stage_latency.record_frame_totals(&key_stage_totals());
+    cam_a
+        .stage_latency
+        .record_frame_totals(&non_key_stage_totals());
+    cam_a
+        .stage_latency
+        .record_frame_totals(&non_key_stage_totals());
 
     let mut cam_b = SessionTelemetry {
         frames_submitted: 2,
@@ -47,6 +74,7 @@ fn fixture() -> Vec<AggregateTelemetry> {
     );
     cam_b.frames_dropped = 1;
     cam_b.queue_depth.observe(1);
+    cam_b.stage_latency.record_frame_totals(&key_stage_totals());
 
     let mut shard0 = AggregateTelemetry::default();
     shard0.absorb(&cam_a);
@@ -74,6 +102,7 @@ fn expected_families() -> BTreeMap<&'static str, &'static str> {
         ("asv_frames_per_second", "gauge"),
         ("asv_service_latency_microseconds", "histogram"),
         ("asv_queue_wait_microseconds", "histogram"),
+        ("asv_stage_latency_microseconds", "histogram"),
     ])
 }
 
@@ -199,6 +228,45 @@ fn scrape_format_is_valid_and_the_family_set_is_locked() {
             assert!(shard == "0" || shard == "1", "unknown shard {shard}");
         }
         assert!(sample.value >= 0.0, "negative sample {}", sample.name);
+        // Stage-family samples carry a known stage label; nothing else does.
+        if family_of(&sample.name, &types) == "asv_stage_latency_microseconds" {
+            let stage = sample.labels.get("stage").expect("stage label");
+            assert!(
+                Stage::ALL.iter().any(|s| s.name() == stage),
+                "unknown stage {stage}"
+            );
+        } else {
+            assert!(
+                !sample.labels.contains_key("stage"),
+                "unexpected stage label on {}",
+                sample.name
+            );
+        }
+    }
+
+    // Stage histogram invariant: per (shard, stage) the +Inf bucket equals
+    // _count, and only stages that recorded samples appear.
+    let stage_counts: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "asv_stage_latency_microseconds_count")
+        .collect();
+    assert_eq!(
+        stage_counts.len(),
+        8 + 3,
+        "8 stages on shard 0, 3 on shard 1"
+    );
+    for count in &stage_counts {
+        assert!(count.value > 0.0, "silent stages are omitted");
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "asv_stage_latency_microseconds_bucket"
+                    && s.labels.get("le").map(String::as_str) == Some("+Inf")
+                    && s.labels.get("shard") == count.labels.get("shard")
+                    && s.labels.get("stage") == count.labels.get("stage")
+            })
+            .expect("stage series has a +Inf bucket");
+        assert_eq!(inf.value, count.value, "+Inf bucket equals _count");
     }
 
     // Histogram invariants per (family, shard): cumulative buckets are
@@ -292,6 +360,18 @@ fn golden_scalar_lines_are_bit_stable() {
         "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"8191\"} 2",
         "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"16383\"} 3",
         "asv_service_latency_microseconds_bucket{shard=\"0\",le=\"+Inf\"} 3",
+        // Per-stage histograms: shard 0 saw one key frame (dnn_infer 8 ms)
+        // and two non-key frames (flow_left 1 ms each); shard 1 one key
+        // frame.  Sums are microseconds.
+        "asv_stage_latency_microseconds_sum{shard=\"0\",stage=\"dnn_infer\"} 8000",
+        "asv_stage_latency_microseconds_count{shard=\"0\",stage=\"dnn_infer\"} 1",
+        "asv_stage_latency_microseconds_sum{shard=\"0\",stage=\"flow_left\"} 2000",
+        "asv_stage_latency_microseconds_count{shard=\"0\",stage=\"flow_left\"} 2",
+        "asv_stage_latency_microseconds_sum{shard=\"1\",stage=\"sgm_aggregate\"} 4000",
+        // 1000 µs lands in [512, 1024): cumulative 0 below, 2 at le=1023.
+        "asv_stage_latency_microseconds_bucket{shard=\"0\",stage=\"flow_left\",le=\"511\"} 0",
+        "asv_stage_latency_microseconds_bucket{shard=\"0\",stage=\"flow_left\",le=\"1023\"} 2",
+        "asv_stage_latency_microseconds_bucket{shard=\"0\",stage=\"flow_left\",le=\"+Inf\"} 2",
     ];
     for line in golden {
         assert!(

@@ -15,7 +15,9 @@ use crate::Result;
 use asv_image::cost::BlockSpec;
 use asv_image::Image;
 use asv_mem::{BufferPool, U16Pool};
+use asv_trace::{KernelTimings, Stage};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Matching-cost metric used by the semi-global matcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -108,6 +110,10 @@ pub struct SgmWorkspace {
     mirror_l: Image,
     mirror_r: Image,
     map_r: DisparityMap,
+    /// Cost-fill / aggregation timings of the most recent
+    /// [`semi_global_match_with`] call (two entries per pass; a left-right
+    /// check doubles the passes), for harvesting into a frame tracer.
+    timings: KernelTimings,
 }
 
 impl SgmWorkspace {
@@ -123,7 +129,13 @@ impl SgmWorkspace {
             mirror_l: Image::default(),
             mirror_r: Image::default(),
             map_r: DisparityMap::invalid(0, 0),
+            timings: KernelTimings::new(),
         }
+    }
+
+    /// Stage timings recorded by the most recent matching call.
+    pub fn timings(&self) -> &KernelTimings {
+        &self.timings
     }
 
     /// Bytes currently retained by the workspace (cost volumes, census
@@ -454,14 +466,24 @@ fn mirror_into(src: &Image, out: &mut Image) {
 fn sad_pass(
     volume: &mut CostVolume,
     pool: &mut BufferPool,
+    timings: &mut KernelTimings,
     left: &Image,
     right: &Image,
     params: &SgmParams,
     out: &mut DisparityMap,
 ) -> Result<()> {
+    let fill_started = Instant::now();
     volume.fill_from_pair(left, right, params.max_disparity, params.block)?;
+    timings.record(Stage::CostFill, fill_started, fill_started.elapsed(), 1);
     let levels = volume.num_disparities();
+    let aggregate_started = Instant::now();
     let total = aggregate_all_pooled(volume, params.p1, params.p2, pool);
+    timings.record(
+        Stage::SgmAggregate,
+        aggregate_started,
+        aggregate_started.elapsed(),
+        1,
+    );
     winner_take_all_into(
         &total,
         volume.width(),
@@ -483,6 +505,7 @@ fn census_pass(
     census_r: &mut CensusDescriptors,
     cvolume: &mut CensusCostVolume,
     ipool: &mut U16Pool,
+    timings: &mut KernelTimings,
     left: &Image,
     right: &Image,
     params: &SgmParams,
@@ -503,13 +526,22 @@ fn census_pass(
         ));
     }
     let level = simd::active_level();
+    let fill_started = Instant::now();
     census_l.fill_from(left, params.census_window, level);
     census_r.fill_from(right, params.census_window, level);
     cvolume.fill_from_descriptors(census_l, census_r, params.max_disparity, level);
+    timings.record(Stage::CostFill, fill_started, fill_started.elapsed(), 1);
     let p1 = params.p1.round().max(0.0) as u16;
     let p2 = params.p2.round().max(0.0) as u16;
     let levels = cvolume.num_disparities();
+    let aggregate_started = Instant::now();
     let total = aggregate_census_all_pooled(cvolume, p1, p2, ipool, level);
+    timings.record(
+        Stage::SgmAggregate,
+        aggregate_started,
+        aggregate_started.elapsed(),
+        1,
+    );
     winner_take_all_u16_into(
         &total,
         cvolume.width(),
@@ -568,11 +600,15 @@ pub fn semi_global_match_with(
         mirror_l,
         mirror_r,
         map_r,
+        timings,
     } = ws;
+    timings.clear();
     match params.metric {
-        CostMetric::Sad => sad_pass(volume, pool, left, right, params, out)?,
+        CostMetric::Sad => sad_pass(volume, pool, timings, left, right, params, out)?,
         CostMetric::Census => {
-            census_pass(census_l, census_r, cvolume, ipool, left, right, params, out)?;
+            census_pass(
+                census_l, census_r, cvolume, ipool, timings, left, right, params, out,
+            )?;
         }
     }
 
@@ -582,10 +618,10 @@ pub fn semi_global_match_with(
         mirror_into(left, mirror_l);
         mirror_into(right, mirror_r);
         match params.metric {
-            CostMetric::Sad => sad_pass(volume, pool, mirror_r, mirror_l, params, map_r)?,
+            CostMetric::Sad => sad_pass(volume, pool, timings, mirror_r, mirror_l, params, map_r)?,
             CostMetric::Census => {
                 census_pass(
-                    census_l, census_r, cvolume, ipool, mirror_r, mirror_l, params, map_r,
+                    census_l, census_r, cvolume, ipool, timings, mirror_r, mirror_l, params, map_r,
                 )?;
             }
         }

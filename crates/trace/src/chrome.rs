@@ -1,0 +1,253 @@
+//! Chrome trace-event JSON rendering of captured [`FrameTrace`]s.
+//!
+//! The output is the ["trace event format"] JSON object consumed by
+//! `chrome://tracing` and [Perfetto]: one complete (`"ph": "X"`) event per
+//! span, timestamps in microseconds on the process-wide trace origin, one
+//! *pid* per cluster shard and one *tid* per session, with metadata events
+//! naming the threads after their session labels.  Rendering is
+//! deterministic: byte-identical output for identical frames.
+//!
+//! The renderer is dependency-free (hand-written JSON) because the
+//! vendored serde shim has no JSON serializer; the grammar emitted here is
+//! locked by a golden test.
+//!
+//! ["trace event format"]:
+//! https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+//!
+//! [`FrameTrace`]: crate::FrameTrace
+
+use crate::FrameTrace;
+use std::fmt::Write;
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape_json_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats nanoseconds as a microsecond decimal with three fractional
+/// digits (Chrome timestamps are microseconds; fractions are accepted).
+fn ns_as_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+/// One `"ph": "X"` complete event, pre-formatted: `arg_value` is raw JSON
+/// (already quoted when it is a string).
+struct CompleteEvent<'a> {
+    name: &'a str,
+    ts_ns: u64,
+    dur_ns: u64,
+    frame_index: u64,
+    arg_key: &'a str,
+    arg_value: &'a str,
+}
+
+/// Incremental builder of one Chrome trace-event JSON document.
+///
+/// Add metadata and frames in any order, then call
+/// [`ChromeTrace::finish`]; an empty builder still renders a valid,
+/// loadable document.
+#[derive(Debug)]
+pub struct ChromeTrace {
+    buf: String,
+    events: usize,
+}
+
+impl ChromeTrace {
+    /// Starts an empty trace document.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{\"traceEvents\":["),
+            events: 0,
+        }
+    }
+
+    fn begin_event(&mut self) {
+        if self.events > 0 {
+            self.buf.push(',');
+        }
+        self.buf.push('\n');
+        self.events += 1;
+    }
+
+    /// Emits a metadata event naming process `pid` (e.g. `"shard-0"`).
+    pub fn add_process_name(&mut self, pid: u32, name: &str) {
+        self.begin_event();
+        self.buf
+            .push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(self.buf, "{pid}");
+        self.buf.push_str(",\"tid\":0,\"args\":{\"name\":\"");
+        escape_json_into(&mut self.buf, name);
+        self.buf.push_str("\"}}");
+    }
+
+    /// Emits a metadata event naming thread `tid` of process `pid` (e.g.
+    /// the session label `"camera-3"`).
+    pub fn add_thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.begin_event();
+        self.buf
+            .push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(self.buf, "{pid}");
+        self.buf.push_str(",\"tid\":");
+        let _ = write!(self.buf, "{tid}");
+        self.buf.push_str(",\"args\":{\"name\":\"");
+        escape_json_into(&mut self.buf, name);
+        self.buf.push_str("\"}}");
+    }
+
+    fn add_complete_event(&mut self, pid: u32, tid: u32, event: &CompleteEvent<'_>) {
+        self.begin_event();
+        self.buf.push_str("{\"name\":\"");
+        escape_json_into(&mut self.buf, event.name);
+        self.buf.push_str("\",\"cat\":\"ism\",\"ph\":\"X\",\"ts\":");
+        ns_as_us(&mut self.buf, event.ts_ns);
+        self.buf.push_str(",\"dur\":");
+        ns_as_us(&mut self.buf, event.dur_ns);
+        let _ = write!(self.buf, ",\"pid\":{pid},\"tid\":{tid}");
+        let _ = write!(
+            self.buf,
+            ",\"args\":{{\"frame\":{},\"{}\":",
+            event.frame_index, event.arg_key
+        );
+        self.buf.push_str(event.arg_value);
+        self.buf.push_str("}}");
+    }
+
+    /// Emits one frame's span tree: a root `frame` event covering the
+    /// whole step plus one event per recorded span.
+    pub fn add_frame(&mut self, pid: u32, tid: u32, frame: &FrameTrace) {
+        let kind = if frame.key_frame {
+            "\"key\""
+        } else {
+            "\"non_key\""
+        };
+        self.add_complete_event(
+            pid,
+            tid,
+            &CompleteEvent {
+                name: "frame",
+                ts_ns: frame.epoch_ns,
+                dur_ns: frame.total_ns,
+                frame_index: frame.frame_index,
+                arg_key: "kind",
+                arg_value: kind,
+            },
+        );
+        let mut depth = String::new();
+        for span in &frame.spans {
+            depth.clear();
+            let _ = write!(depth, "{}", span.depth);
+            self.add_complete_event(
+                pid,
+                tid,
+                &CompleteEvent {
+                    name: span.stage.name(),
+                    ts_ns: frame.epoch_ns.saturating_add(span.start_ns),
+                    dur_ns: span.dur_ns,
+                    frame_index: frame.frame_index,
+                    arg_key: "depth",
+                    arg_value: &depth,
+                },
+            );
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn event_count(&self) -> usize {
+        self.events
+    }
+
+    /// Closes the document and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        self.buf
+    }
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanRecord, Stage};
+
+    #[test]
+    fn empty_document_is_well_formed() {
+        let text = ChromeTrace::new().finish();
+        assert_eq!(text, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut trace = ChromeTrace::new();
+        trace.add_thread_name(0, 1, "cam\"3\"\n");
+        let text = trace.finish();
+        assert!(text.contains("cam\\\"3\\\"\\n"));
+    }
+
+    /// Golden test: the exact bytes produced for a hand-built frame.  The
+    /// format is consumed by external tooling (`chrome://tracing`,
+    /// Perfetto), so any change to it must be deliberate.
+    #[test]
+    fn golden_frame_rendering() {
+        let frame = FrameTrace {
+            frame_index: 7,
+            epoch_ns: 1_500,
+            total_ns: 2_000_500,
+            key_frame: true,
+            spans: vec![
+                SpanRecord {
+                    stage: Stage::DnnInfer,
+                    start_ns: 0,
+                    dur_ns: 1_999_000,
+                    depth: 1,
+                },
+                SpanRecord {
+                    stage: Stage::CostFill,
+                    start_ns: 10_250,
+                    dur_ns: 750_000,
+                    depth: 2,
+                },
+            ],
+        };
+        let mut trace = ChromeTrace::new();
+        trace.add_process_name(0, "shard-0");
+        trace.add_thread_name(0, 3, "camera-3");
+        trace.add_frame(0, 3, &frame);
+        assert_eq!(trace.event_count(), 5);
+        let expected = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,",
+            "\"args\":{\"name\":\"shard-0\"}},\n",
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3,",
+            "\"args\":{\"name\":\"camera-3\"}},\n",
+            "{\"name\":\"frame\",\"cat\":\"ism\",\"ph\":\"X\",\"ts\":1.500,",
+            "\"dur\":2000.500,\"pid\":0,\"tid\":3,",
+            "\"args\":{\"frame\":7,\"kind\":\"key\"}},\n",
+            "{\"name\":\"dnn_infer\",\"cat\":\"ism\",\"ph\":\"X\",\"ts\":1.500,",
+            "\"dur\":1999.000,\"pid\":0,\"tid\":3,",
+            "\"args\":{\"frame\":7,\"depth\":1}},\n",
+            "{\"name\":\"cost_fill\",\"cat\":\"ism\",\"ph\":\"X\",\"ts\":11.750,",
+            "\"dur\":750.000,\"pid\":0,\"tid\":3,",
+            "\"args\":{\"frame\":7,\"depth\":2}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        );
+        assert_eq!(trace.finish(), expected);
+    }
+}

@@ -9,13 +9,38 @@
 //! consistent hashing of the camera name, and the shard's worker pool
 //! multiplexes its sessions round-robin under bounded-inbox backpressure.
 //!
+//! While the cluster is live, a [`MetricsServer`] exposes it over HTTP
+//! (`/metrics`, `/trace`, `/healthz`); the example scrapes its own endpoint
+//! and validates the scrape with the same Prometheus-text parser the tests
+//! use, so CI exercises the live observability path on every run.
+//!
 //! Run with: `cargo run --release --example streaming_server`
 
 use asv_system::asv::system::{AsvConfig, AsvSystem};
 use asv_system::runtime::{
-    Cluster, ClusterConfig, Ingest, IngestConfig, SchedulerConfig, ShedPolicy,
+    parse_scrape, Cluster, ClusterConfig, Ingest, IngestConfig, MetricsServer, SchedulerConfig,
+    ShedPolicy,
 };
 use asv_system::scene::{SceneConfig, StereoSequence};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One `GET` against the example's own endpoint, returning the body.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("well-formed HTTP response");
+    assert!(
+        head.starts_with("HTTP/1.1 200 OK"),
+        "GET {path} answered {head}"
+    );
+    body.to_owned()
+}
 
 const SHARDS: usize = 2;
 const CAMERAS: usize = 4;
@@ -54,7 +79,14 @@ fn main() {
          over {SHARDS} shards x {workers_per_shard} workers"
     );
 
-    // 3. The async ingestion front-end: feeders hand frames off here and the
+    // 3. The live observability endpoint: serves the cluster's telemetry
+    //    and traces over HTTP for as long as the cluster runs.
+    let server = MetricsServer::serve("127.0.0.1:0", Arc::new(cluster.observer()))
+        .expect("bind metrics endpoint");
+    let addr = server.local_addr();
+    println!("metrics endpoint: http://{addr}/metrics (also /trace, /healthz)");
+
+    // 4. The async ingestion front-end: feeders hand frames off here and the
     //    forwarder pool performs the (possibly blocking) shard submits.
     let ingest = Ingest::new(
         IngestConfig::default()
@@ -63,7 +95,7 @@ fn main() {
             .with_session_quota(2),
     );
 
-    // 4. One session + one feeder thread per camera, placed by consistent
+    // 5. One session + one feeder thread per camera, placed by consistent
     //    hashing of the camera name.
     let routes: Vec<_> = (0..CAMERAS)
         .map(|camera| {
@@ -93,8 +125,56 @@ fn main() {
         }
     });
 
-    // 5. Drain the front-end into the shards, then shut the shards down.
+    // 6. Drain the front-end into the shards, then scrape the live endpoint
+    //    once every frame has been processed.  The scrape must parse with
+    //    the same Prometheus-text parser the tests use — a malformed line
+    //    here fails the CI run.
     let stats = ingest.join();
+    let observer = cluster.observer();
+    let expected = (CAMERAS * FRAMES_PER_CAMERA) as u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while observer
+        .telemetry()
+        .iter()
+        .map(|shard| shard.frames_processed)
+        .sum::<u64>()
+        < expected
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "cluster did not process {expected} frames in time"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(http_get(addr, "/healthz"), "ok\n");
+    let scrape = http_get(addr, "/metrics");
+    let samples = parse_scrape(&scrape).expect("live /metrics scrape parses cleanly");
+    let processed: f64 = samples
+        .iter()
+        .filter(|s| s.name == "asv_frames_processed_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(processed, expected as f64, "scrape saw every frame");
+    let stage_series = samples
+        .iter()
+        .filter(|s| s.name == "asv_stage_latency_microseconds_count")
+        .count();
+    if asv::trace::TraceMode::from_env() == asv::trace::TraceMode::Off {
+        assert_eq!(stage_series, 0, "ASV_TRACE=off records no stage spans");
+    } else {
+        assert!(stage_series > 0, "scrape carries per-stage histograms");
+    }
+    let trace = http_get(addr, "/trace");
+    assert!(trace.starts_with("{\"traceEvents\":["), "Chrome trace JSON");
+    println!(
+        "live scrape: {} samples ({} per-stage series), /trace {} bytes",
+        samples.len(),
+        stage_series,
+        trace.len()
+    );
+    server.shutdown();
+
+    // 7. Shut the shards down and print the final report.
     let report = cluster.join();
 
     println!("\nshard  sessions  frames  key  p50(us)  p95(us)  p99(us)  peak-queue");
@@ -125,14 +205,23 @@ fn main() {
         stats.shed(),
     );
 
-    // 6. The scrape body a /metrics endpoint would serve (counters + gauges;
-    //    the full output also carries the latency histograms).
+    // 8. A sample of the final scrape body (counters, gauges and the
+    //    per-stage latency sums; the full output also carries the buckets).
     println!("\nprometheus scrape sample:");
     for line in report
         .render_prometheus()
         .lines()
         .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
         .take(18)
+    {
+        println!("  {line}");
+    }
+    println!("  ...");
+    for line in report
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("asv_stage_latency_microseconds_sum"))
+        .take(8)
     {
         println!("  {line}");
     }
