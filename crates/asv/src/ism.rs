@@ -195,6 +195,25 @@ impl IsmState {
         self.surrogate.set_params(params);
     }
 
+    /// Changes the propagation window of a live stream (clamped to at least
+    /// 1).  Takes effect from the next frame: widening the window lets the
+    /// current inter-key run continue longer, narrowing it may make the next
+    /// frame a key frame immediately.  This is one of the accuracy-vs-compute
+    /// knobs a QoS controller actuates under overload (wider window = fewer
+    /// DNN key frames = cheaper stream).
+    pub fn set_propagation_window(&mut self, window: usize) {
+        self.config.propagation_window = window.max(1);
+    }
+
+    /// Changes the key-frame selection policy of a live stream.  Takes
+    /// effect from the next frame.  Raising an
+    /// [`KeyFramePolicy::AdaptiveMotion`] threshold suppresses motion-forced
+    /// re-keys, trading propagation staleness for compute — the second QoS
+    /// actuator next to [`IsmState::set_propagation_window`].
+    pub fn set_key_frame_policy(&mut self, policy: KeyFramePolicy) {
+        self.config.key_frame_policy = policy;
+    }
+
     /// Processes one stereo frame and advances the state.
     ///
     /// This is the allocating entry point: it creates a throwaway

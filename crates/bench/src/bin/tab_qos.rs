@@ -1,0 +1,8 @@
+//! Prints the adaptive-QoS overload experiment: the seeded virtual-time
+//! overload scenario with the controller enabled vs disabled.
+//!
+//! Run with: `cargo run --release -p asv-bench --bin tab_qos`
+
+fn main() {
+    print!("{}", asv_bench::qos::qos_report());
+}

@@ -19,6 +19,7 @@ pub mod figs;
 pub mod gate;
 pub mod hardware;
 pub mod perf;
+pub mod qos;
 pub mod streaming;
 pub mod table;
 

@@ -1,0 +1,87 @@
+//! Adaptive-QoS overload experiment: the seeded virtual-time overload
+//! scenario ([`asv_runtime::run_overload_sim`]) with the controller on vs
+//! off, side by side.
+//!
+//! The workload runs every session at roughly 2.5x its service capacity for
+//! an overload phase, then relaxes.  With QoS enabled each session walks the
+//! degradation ladder (SAD→Census, wider propagation window, relaxed
+//! key-frame motion threshold) until its p95 step latency fits the SLO, and
+//! walks back to full quality once the load drops.  With QoS disabled the
+//! queues grow without bound and the tail collapses.  The sim is
+//! virtual-time and seeded, so every number below is bit-stable.
+
+use asv_runtime::{run_overload_sim, OverloadConfig, OverloadReport, QosAction};
+
+/// Runs the CI overload scenario both ways.
+pub fn qos_overload_pair() -> (OverloadConfig, OverloadReport, OverloadReport) {
+    let config = OverloadConfig::ci();
+    let with_qos = run_overload_sim(&config, true);
+    let without = run_overload_sim(&config, false);
+    (config, with_qos, without)
+}
+
+/// The printable QoS record (the `tab_qos` binary): per-session p95s and
+/// degradation depth under overload, QoS on vs off.
+pub fn qos_report() -> String {
+    let (config, with_qos, without) = qos_overload_pair();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "adaptive QoS under overload: {} sessions / {} workers, SLO p95 <= {}us\n\
+         overload {} frames @ {}us arrivals, then {} frames @ {}us\n",
+        config.sessions,
+        config.workers,
+        config.slo.target_p95_step_us,
+        config.overload_frames,
+        config.overload_interval_us,
+        config.relaxed_frames,
+        config.relaxed_interval_us,
+    ));
+    for (label, report) in [("qos on", &with_qos), ("qos off", &without)] {
+        out.push_str(&format!(
+            "\n  [{label}]  session     overload-p95  relaxed-p95  max-level  final  violations  actuations\n"
+        ));
+        for s in &report.sessions {
+            out.push_str(&format!(
+                "            {:<11} {:>10}us  {:>9}us  {:>9}  {:>5}  {:>10}  {:>10}\n",
+                s.key,
+                s.overload_p95_us,
+                s.relaxed_p95_us,
+                s.max_level,
+                s.final_level,
+                s.slo_violations,
+                s.actuations
+            ));
+        }
+    }
+    out.push_str("\n  actuation totals (qos on): ");
+    for action in QosAction::ALL {
+        out.push_str(&format!(
+            "{}={} ",
+            action.name(),
+            with_qos.total_actuations[action.index()]
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_pair_shows_the_controller_earning_its_keep() {
+        let (config, with_qos, without) = qos_overload_pair();
+        for s in &with_qos.sessions {
+            assert!(s.overload_p95_us <= config.slo.target_p95_step_us);
+            assert_eq!(s.final_level, 0);
+        }
+        for s in &without.sessions {
+            assert!(s.overload_p95_us > config.slo.target_p95_step_us);
+        }
+        let report = qos_report();
+        assert!(report.contains("qos on"));
+        assert!(report.contains("qos off"));
+        assert!(report.contains("census_metric="));
+    }
+}

@@ -31,6 +31,7 @@
 //! harness in [`crate::sim`] locks down.
 
 use crate::export::render_prometheus;
+use crate::qos::QosConfig;
 use crate::scheduler::{
     RuntimeReport, Scheduler, SchedulerConfig, SchedulerObserver, SessionHandle,
 };
@@ -264,6 +265,33 @@ impl Cluster {
     ) -> ClusterSessionHandle {
         state.set_cost_metric(metric);
         self.add_session(key, state)
+    }
+
+    /// [`Cluster::add_session`] under an SLO: the session's shard attaches a
+    /// QoS controller that degrades the stream's ISM knobs when the SLO is
+    /// violated and recovers with hysteresis (see
+    /// [`Scheduler::add_session_qos`]).  The session's current degradation
+    /// level is exported per shard as `asv_qos_level{shard,session}`.
+    pub fn add_session_qos(
+        &self,
+        key: &str,
+        state: IsmState,
+        qos: QosConfig,
+    ) -> ClusterSessionHandle {
+        let shard = {
+            let hashed = self.shard_for_key(key);
+            if self.shards[hashed].is_saturated() {
+                self.least_loaded_shard()
+            } else {
+                hashed
+            }
+        };
+        let handle = self.shards[shard].add_session_qos(state, Some(key.to_owned()), qos);
+        ClusterSessionHandle {
+            shard,
+            key: key.to_owned(),
+            handle,
+        }
     }
 
     /// Places a new session with an explicit [`Placement`].

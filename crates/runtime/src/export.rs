@@ -13,6 +13,7 @@
 //! [Prometheus text exposition format]:
 //! https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use crate::qos::QosAction;
 use crate::telemetry::{AggregateTelemetry, LatencyHistogram};
 use std::fmt::Write;
 
@@ -57,6 +58,51 @@ fn stage_histogram_family(out: &mut String, shards: &[AggregateTelemetry]) {
                 out,
                 "{name}_count{{shard=\"{shard}\",stage=\"{stage}\"}} {}",
                 histogram.count()
+            );
+        }
+    }
+}
+
+/// Emits the QoS actuation counters: one sample per shard per action kind,
+/// zeros included, so dashboards see every action label from the first
+/// scrape.
+fn qos_actuations_family(out: &mut String, shards: &[AggregateTelemetry]) {
+    let name = "asv_qos_actuations_total";
+    Family {
+        name,
+        kind: "counter",
+        help: "QoS knob actuations, by action.",
+    }
+    .header(out);
+    for (shard, telemetry) in shards.iter().enumerate() {
+        for action in QosAction::ALL {
+            let _ = writeln!(
+                out,
+                "{name}{{shard=\"{shard}\",action=\"{}\"}} {}",
+                action.name(),
+                telemetry.qos_actuations[action.index()]
+            );
+        }
+    }
+}
+
+/// Emits the per-session QoS degradation-level gauge: one sample per
+/// SLO-managed session (0 = full quality); sessions without a controller
+/// render nothing under the family header.
+fn qos_level_family(out: &mut String, shards: &[AggregateTelemetry]) {
+    let name = "asv_qos_level";
+    Family {
+        name,
+        kind: "gauge",
+        help: "QoS degradation level of each SLO-managed session (0 = full quality).",
+    }
+    .header(out);
+    for (shard, telemetry) in shards.iter().enumerate() {
+        for sample in &telemetry.qos_sessions {
+            let _ = writeln!(
+                out,
+                "{name}{{shard=\"{shard}\",session=\"{}\"}} {}",
+                sample.session, sample.level
             );
         }
     }
@@ -258,6 +304,18 @@ pub fn render_prometheus(shards: &[AggregateTelemetry]) -> String {
         shards,
         |t| format!("{:.6}", t.frames_per_second()),
     );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_qos_slo_violations_total",
+            kind: "counter",
+            help: "QoS evaluations that found a session violating its SLO.",
+        },
+        shards,
+        |t| t.qos_slo_violations.to_string(),
+    );
+    qos_actuations_family(&mut out, shards);
+    qos_level_family(&mut out, shards);
     histogram_family(
         &mut out,
         "asv_service_latency_microseconds",

@@ -32,6 +32,9 @@ use std::time::Duration;
 /// protects the single accept thread from a stalled client.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Pause after a failed `accept()` before retrying.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
 /// What the endpoint serves.  Implemented by the cluster and scheduler
 /// observers; implement it yourself to serve any other telemetry source.
 pub trait HttpMetricsSource: Send + Sync {
@@ -111,6 +114,11 @@ impl MetricsServer {
                         if stop_flag.load(Ordering::Acquire) {
                             break;
                         }
+                        // A persistent accept failure (EMFILE, ENFILE, ...)
+                        // would otherwise busy-spin this thread at 100% CPU;
+                        // transient per-connection errors (ECONNABORTED) just
+                        // pay one tick.
+                        std::thread::sleep(ACCEPT_ERROR_BACKOFF);
                     }
                 }
             }
@@ -156,8 +164,14 @@ fn handle_connection(stream: TcpStream, source: &dyn HttpMetricsSource) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
+    match reader.read_line(&mut request_line) {
+        // EOF before any request line — the shutdown wake-up connect, port
+        // scans, load-balancer TCP probes.  The peer is gone (or never
+        // spoke); answering 400 would write into a closed socket.
+        Ok(0) => return,
+        Ok(_) if request_line.trim().is_empty() => return,
+        Ok(_) => {}
+        Err(_) => return,
     }
     // Drain the headers so well-behaved clients see the response after a
     // complete request/response cycle; contents are irrelevant.
@@ -291,6 +305,44 @@ mod tests {
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn eof_connection_gets_no_response() {
+        let server = MetricsServer::serve("127.0.0.1:0", Arc::new(StubSource { healthy: true }))
+            .expect("bind");
+        let addr = server.local_addr();
+
+        // Connect and immediately half-close without sending a byte — the
+        // probe pattern (port scans, LB health checks, the shutdown
+        // wake-up).  The server must hang up silently instead of writing
+        // `400 Bad Request` into the dead socket.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read until close");
+        assert!(
+            response.is_empty(),
+            "EOF probe received {} unexpected bytes: {:?}",
+            response.len(),
+            String::from_utf8_lossy(&response)
+        );
+
+        // A blank request line (stray CRLF then close) is equally silent.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"\r\n").expect("send blank line");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read until close");
+        assert!(response.is_empty(), "blank request line must get no bytes");
+
+        // The endpoint still serves real requests afterwards.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK\r\n"));
         server.shutdown();
     }
 

@@ -74,6 +74,7 @@ pub mod cluster;
 pub mod export;
 pub mod http;
 pub mod ingest;
+pub mod qos;
 mod queue;
 pub mod scheduler;
 pub mod serve;
@@ -89,12 +90,20 @@ pub use cluster::{
 pub use export::{parse_scrape, render_prometheus, ScrapeSample};
 pub use http::{HttpMetricsSource, MetricsServer};
 pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};
+pub use qos::{
+    qos_enabled_from_env, QosAction, QosConfig, QosController, QosKnobs, QosTelemetry,
+    QosTransition, SessionSlo,
+};
 pub use scheduler::{
     RuntimeReport, Scheduler, SchedulerConfig, SchedulerObserver, SessionHandle, ShedPolicy,
 };
 pub use serve::{serve_sequences, ServeOutcome};
 pub use session::{SessionId, SessionReport, StreamSession};
-pub use sim::{SimConfig, SimReport, VirtualClock};
+pub use sim::{
+    run_overload_sim, CostModel, OverloadConfig, OverloadReport, OverloadSessionReport, SimConfig,
+    SimReport, VirtualClock,
+};
 pub use telemetry::{
-    AggregateTelemetry, LatencyHistogram, QueueDepthGauge, SessionTelemetry, StageTelemetry,
+    AggregateTelemetry, LatencyHistogram, QosSessionSample, QueueDepthGauge, SessionTelemetry,
+    StageTelemetry,
 };

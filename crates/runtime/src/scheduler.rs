@@ -45,6 +45,7 @@
 //! later submits to that session return the error.  Other sessions are
 //! unaffected.
 
+use crate::qos::{qos_enabled_from_env, QosConfig, QosController};
 use crate::queue::QueuedFrame;
 use crate::session::{SessionId, SessionReport, StreamSession};
 use crate::telemetry::AggregateTelemetry;
@@ -194,6 +195,9 @@ struct Shared {
     /// build new frames without fresh allocations.  A separate lock from the
     /// engine: recycling never contends with scheduling.
     frames: Mutex<BufferPool>,
+    /// Engine start time; workers timestamp QoS observations against it so
+    /// per-session controllers share one monotonic µs clock.
+    started: Instant,
 }
 
 impl Shared {
@@ -254,6 +258,7 @@ impl Scheduler {
     /// Starts a scheduler with its worker pool running (idle until sessions
     /// get frames).
     pub fn new(config: SchedulerConfig) -> Self {
+        let started = Instant::now();
         let shared = Arc::new(Shared {
             engine: Mutex::new(Engine {
                 sessions: Vec::new(),
@@ -264,6 +269,7 @@ impl Scheduler {
             work: Condvar::new(),
             space: Condvar::new(),
             frames: Mutex::new(BufferPool::new()),
+            started,
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -276,7 +282,7 @@ impl Scheduler {
             workers,
             inbox_capacity: config.inbox_capacity.max(1),
             shed_policy: config.shed_policy,
-            started: Instant::now(),
+            started,
         }
     }
 
@@ -302,11 +308,39 @@ impl Scheduler {
     /// Registers a new stream carrying a human-readable label (e.g. the
     /// cluster routing key) that shows up in the session's final report.
     pub fn add_session_labeled(&self, state: IsmState, label: Option<String>) -> SessionHandle {
+        self.register(state, label, None)
+    }
+
+    /// Registers a new stream under an SLO: the session gets a
+    /// [`crate::qos::QosController`] that watches its end-to-end step
+    /// latency and actuates the stream's ISM knobs (cost metric,
+    /// propagation window, adaptive-motion threshold) when the SLO is
+    /// violated, recovering with hysteresis when load drops.  The session's
+    /// current knobs are snapshotted as the full-quality baseline.
+    ///
+    /// `ASV_QOS=off` disables the controller process-wide: the session is
+    /// registered normally and never degrades.
+    pub fn add_session_qos(
+        &self,
+        state: IsmState,
+        label: Option<String>,
+        qos: QosConfig,
+    ) -> SessionHandle {
+        let controller = qos_enabled_from_env().then(|| QosController::for_state(qos, &state));
+        self.register(state, label, controller)
+    }
+
+    fn register(
+        &self,
+        state: IsmState,
+        label: Option<String>,
+        qos: Option<QosController>,
+    ) -> SessionHandle {
         let mut engine = self.shared.lock();
         let id = SessionId(engine.sessions.len());
         engine
             .sessions
-            .push(StreamSession::new(id, state, self.inbox_capacity, label));
+            .push(StreamSession::new(id, state, self.inbox_capacity, label).with_qos(qos));
         SessionHandle {
             shared: Arc::clone(&self.shared),
             id,
@@ -341,8 +375,8 @@ impl Scheduler {
     pub fn telemetry_snapshot(&self) -> AggregateTelemetry {
         let engine = self.shared.lock();
         let mut aggregate = AggregateTelemetry::default();
-        for session in &engine.sessions {
-            aggregate.absorb(&session.telemetry);
+        for (index, session) in engine.sessions.iter().enumerate() {
+            aggregate.absorb_named(&session.telemetry, &session_name(&session.label, index));
         }
         aggregate.wall_seconds = self.started.elapsed().as_secs_f64();
         aggregate
@@ -382,8 +416,8 @@ impl Scheduler {
             .collect();
         drop(engine);
         let mut aggregate = AggregateTelemetry::default();
-        for session in &sessions {
-            aggregate.absorb(&session.telemetry);
+        for (index, session) in sessions.iter().enumerate() {
+            aggregate.absorb_named(&session.telemetry, &session_name(&session.label, index));
         }
         aggregate.wall_seconds = wall_seconds;
         RuntimeReport {
@@ -425,8 +459,8 @@ impl SchedulerObserver {
     pub fn telemetry_snapshot(&self) -> AggregateTelemetry {
         let engine = self.shared.lock();
         let mut aggregate = AggregateTelemetry::default();
-        for session in &engine.sessions {
-            aggregate.absorb(&session.telemetry);
+        for (index, session) in engine.sessions.iter().enumerate() {
+            aggregate.absorb_named(&session.telemetry, &session_name(&session.label, index));
         }
         aggregate.wall_seconds = self.started.elapsed().as_secs_f64();
         aggregate
@@ -595,6 +629,12 @@ impl SessionHandle {
     }
 }
 
+/// The session name used in per-session exports: the registration label, or
+/// the dense `session-{index}` fallback.
+fn session_name(label: &Option<String>, index: usize) -> String {
+    label.clone().unwrap_or_else(|| format!("session-{index}"))
+}
+
 /// Body of one worker thread: dispatch round-robin, step the frame outside
 /// the lock, commit the result, repeat until drained.
 fn worker_loop(shared: &Shared) {
@@ -645,6 +685,12 @@ fn worker_loop(shared: &Shared) {
                         slot.telemetry.stage_latency.record_frame_totals(&totals);
                     }
                     slot.results.push(result);
+                    // The session's QoS loop senses the frame's end-to-end
+                    // step latency (queue wait + service) and may retune the
+                    // just-returned ISM state before the next dispatch.
+                    let completed_us = shared.started.elapsed().as_micros() as u64;
+                    let step_us = (waited + service).as_micros() as u64;
+                    slot.observe_qos(completed_us, step_us);
                 }
                 Err(error) => {
                     let dropped = slot.inbox.clear();

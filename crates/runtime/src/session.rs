@@ -1,6 +1,7 @@
 //! Stream sessions: one camera stream = one incremental ISM state plus its
 //! inbox, accumulated results and telemetry.
 
+use crate::qos::QosController;
 use crate::queue::Inbox;
 use crate::telemetry::SessionTelemetry;
 use asv::ism::{FrameResult, IsmResult, IsmState};
@@ -51,6 +52,9 @@ pub struct StreamSession {
     pub(crate) results: Vec<FrameResult>,
     pub(crate) telemetry: SessionTelemetry,
     pub(crate) error: Option<AsvError>,
+    /// The session's adaptive QoS loop, present only when the session was
+    /// registered with an SLO (and QoS is not disabled via `ASV_QOS`).
+    pub(crate) qos: Option<QosController>,
 }
 
 impl StreamSession {
@@ -70,7 +74,36 @@ impl StreamSession {
             results: Vec::new(),
             telemetry: SessionTelemetry::default(),
             error: None,
+            qos: None,
         }
+    }
+
+    /// Attaches a QoS controller to a freshly created session.
+    pub(crate) fn with_qos(mut self, qos: Option<QosController>) -> Self {
+        if let Some(controller) = &qos {
+            self.telemetry.qos = controller.telemetry();
+        }
+        self.qos = qos;
+        self
+    }
+
+    /// Feeds one completed frame into the session's QoS loop (a no-op for
+    /// sessions without one) and applies any resulting knob change to the
+    /// resident ISM state.  Called under the engine lock right after
+    /// [`StreamSession::put_back`], so the state is guaranteed resident.
+    pub(crate) fn observe_qos(&mut self, completed_us: u64, step_us: u64) {
+        let Some(controller) = &mut self.qos else {
+            return;
+        };
+        if controller.observe_step(completed_us, step_us).is_some() {
+            let knobs = controller.knobs();
+            let state = self
+                .state
+                .as_mut()
+                .expect("state resident when observing qos");
+            knobs.apply(state);
+        }
+        self.telemetry.qos = controller.telemetry();
     }
 
     /// The session identifier.

@@ -24,10 +24,12 @@
 
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::ingest::{Ingest, IngestConfig};
+use crate::qos::{QosAction, QosConfig, QosController, QosKnobs, SessionSlo};
 use crate::scheduler::{SchedulerConfig, ShedPolicy};
 use crate::serve::serve_sequences;
-use asv::ism::{FrameResult, IsmPipeline, IsmResult};
+use asv::ism::{FrameResult, IsmPipeline, IsmResult, KeyFramePolicy};
 use asv::AsvError;
+use asv::CostMetric;
 use asv_scene::{SceneConfig, StereoSequence};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -335,6 +337,303 @@ pub fn run_cluster_sim(
         frames_compared,
         mismatches,
     })
+}
+
+/// Deterministic per-frame service cost as a function of the session's QoS
+/// knobs, used by [`run_overload_sim`].  The numbers mirror the real
+/// pipeline's shape — census key frames are cheaper than SAD (integer SGM
+/// fast path), propagated non-key frames are far cheaper than any key frame
+/// — without paying for real kernels, so the control loop can be exercised
+/// over thousands of virtual frames in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Service time of a SAD key frame, µs.
+    pub key_sad_us: u64,
+    /// Service time of a census key frame, µs.
+    pub key_census_us: u64,
+    /// Service time of a propagated non-key frame, µs.
+    pub non_key_us: u64,
+}
+
+impl CostModel {
+    fn service_us(&self, knobs: &QosKnobs, is_key: bool) -> u64 {
+        if !is_key {
+            self.non_key_us
+        } else if knobs.metric == CostMetric::Census {
+            self.key_census_us
+        } else {
+            self.key_sad_us
+        }
+    }
+}
+
+/// Parameters of one [`run_overload_sim`] experiment: `sessions` symmetric
+/// camera streams arrive every `overload_interval_us` for `overload_frames`
+/// frames (over worker-pool capacity at full quality), then relax to
+/// `relaxed_interval_us` for `relaxed_frames` more frames (under capacity at
+/// every level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Master seed of the per-session motion traces.
+    pub seed: u64,
+    /// Concurrent camera sessions.
+    pub sessions: usize,
+    /// Simulated worker threads shared by all sessions.
+    pub workers: usize,
+    /// Frames per session in the overload phase.
+    pub overload_frames: usize,
+    /// Frames per session in the relaxed phase.
+    pub relaxed_frames: usize,
+    /// Per-session frame arrival interval during overload, µs.
+    pub overload_interval_us: u64,
+    /// Per-session frame arrival interval after the load drops, µs.
+    pub relaxed_interval_us: u64,
+    /// The SLO every session is registered under.
+    pub slo: SessionSlo,
+    /// The per-frame service-cost model.
+    pub cost: CostModel,
+}
+
+impl OverloadConfig {
+    /// The CI scenario: four streams over the capacity of two workers at
+    /// full quality (the ladder's resting level 3 is comfortably under),
+    /// then a relaxed phase long enough for the slow hysteresis to walk all
+    /// the way back to full quality.
+    pub fn ci() -> Self {
+        Self {
+            seed: 0x0A57,
+            sessions: 4,
+            workers: 2,
+            overload_frames: 140,
+            relaxed_frames: 420,
+            overload_interval_us: 10_000,
+            relaxed_interval_us: 40_000,
+            slo: SessionSlo::p95_step_us(40_000),
+            cost: CostModel {
+                key_sad_us: 18_000,
+                key_census_us: 13_000,
+                non_key_us: 1_500,
+            },
+        }
+    }
+
+    /// The QoS loop configuration the scenario registers sessions with: an
+    /// 8-frame window reacts within a few frames of a violation; the
+    /// 150-evaluation recovery streak makes quality probes slower than the
+    /// overload phase itself, so the steady state degrades once and holds.
+    pub fn qos(&self) -> QosConfig {
+        QosConfig::new(self.slo)
+            .with_window(8)
+            .with_streaks(2, 150)
+            .with_recover_margin(0.6)
+    }
+
+    /// The full-quality baseline knobs of every simulated session.
+    pub fn baseline(&self) -> QosKnobs {
+        QosKnobs {
+            propagation_window: 2,
+            key_frame_policy: KeyFramePolicy::AdaptiveMotion {
+                max_median_motion_px: 1.5,
+            },
+            metric: CostMetric::Sad,
+        }
+    }
+
+    fn frames_per_session(&self) -> usize {
+        self.overload_frames + self.relaxed_frames
+    }
+
+    /// Arrival time of `session`'s frame `index` (sessions are phase-offset
+    /// by 1 ms so dispatch order is deterministic but not lock-stepped).
+    fn arrival_us(&self, session: usize, index: usize) -> u64 {
+        let base = if index < self.overload_frames {
+            index as u64 * self.overload_interval_us
+        } else {
+            self.overload_frames as u64 * self.overload_interval_us
+                + (index - self.overload_frames) as u64 * self.relaxed_interval_us
+        };
+        base + session as u64 * 1_000
+    }
+}
+
+/// What one session experienced in the overload experiment.
+#[derive(Debug, Clone)]
+pub struct OverloadSessionReport {
+    /// The session's routing key.
+    pub key: String,
+    /// p95 step latency (µs) over the last half of the overload-phase
+    /// arrivals — the steady state after the controller settled (or, with
+    /// QoS off, after the queue collapse is in full swing).
+    pub overload_p95_us: u64,
+    /// p95 step latency (µs) over the last half of the relaxed-phase
+    /// arrivals.
+    pub relaxed_p95_us: u64,
+    /// Deepest degradation level the session reached.
+    pub max_level: u8,
+    /// Degradation level at the end of the run.
+    pub final_level: u8,
+    /// SLO-violation evaluations counted by the session's controller.
+    pub slo_violations: u64,
+    /// Total knob actuations (degradations + recoveries).
+    pub actuations: u64,
+}
+
+/// Outcome of one [`run_overload_sim`] run.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Whether sessions ran QoS controllers.
+    pub qos_enabled: bool,
+    /// Per-session outcomes, in session order.
+    pub sessions: Vec<OverloadSessionReport>,
+    /// Actuations across all sessions, indexed by [`QosAction::index`].
+    pub total_actuations: [u64; QosAction::COUNT],
+}
+
+impl OverloadReport {
+    /// Whether every session's steady-state overload p95 met the SLO.
+    pub fn all_meet_slo(&self, slo: &SessionSlo) -> bool {
+        self.sessions
+            .iter()
+            .all(|s| s.overload_p95_us <= slo.target_p95_step_us)
+    }
+}
+
+/// Nearest-rank p95 of the last half of `samples` (arrival order).
+fn last_half_p95(samples: &[u64]) -> u64 {
+    let tail = &samples[samples.len() / 2..];
+    if tail.is_empty() {
+        return 0;
+    }
+    let mut sorted = tail.to_vec();
+    sorted.sort_unstable();
+    let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs the deadline-vs-overload experiment in virtual time: a
+/// discrete-event model of the scheduler (worker pool + per-session frame
+/// serialization + FIFO order) serves the seeded workload, with every
+/// session's *real* [`QosController`] in the loop when `qos_enabled` —
+/// exactly the code the production scheduler runs, fed from a
+/// [`VirtualClock`]-style timeline instead of `Instant`s.  Key-frame
+/// selection mirrors ISM: a key every `propagation_window` frames, plus
+/// seeded motion spikes that force re-keys whenever they exceed the
+/// session's `AdaptiveMotion` threshold (so relaxing the threshold — the
+/// level-3 actuation — visibly cheapens the stream).
+///
+/// Fully deterministic: same config, same report, no threads, no wall
+/// clock.
+pub fn run_overload_sim(config: &OverloadConfig, qos_enabled: bool) -> OverloadReport {
+    let sessions = config.sessions.max(1);
+    let frames = config.frames_per_session();
+    let baseline = config.baseline();
+
+    struct SimSession {
+        next_frame: usize,
+        free_us: u64,
+        since_key: usize,
+        knobs: QosKnobs,
+        controller: Option<QosController>,
+        motion: SmallRng,
+        steps: Vec<u64>,
+        max_level: u8,
+    }
+
+    let mut sim: Vec<SimSession> = (0..sessions)
+        .map(|i| SimSession {
+            next_frame: 0,
+            free_us: 0,
+            since_key: 0,
+            knobs: baseline,
+            controller: qos_enabled.then(|| QosController::new(config.qos(), baseline)),
+            motion: SmallRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i as u64),
+            ),
+            steps: Vec::with_capacity(frames),
+            max_level: 0,
+        })
+        .collect();
+    let mut workers = vec![0u64; config.workers.max(1)];
+
+    for _ in 0..sessions * frames {
+        // Dispatch the frame that can start earliest: FIFO per session, one
+        // frame of a session in service at a time — the scheduler's model.
+        let (idx, arrival) = sim
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.next_frame < frames)
+            .map(|(i, s)| (i, config.arrival_us(i, s.next_frame), s.free_us))
+            .min_by_key(|&(i, arrival, free)| (arrival.max(free), i))
+            .map(|(i, arrival, _)| (i, arrival))
+            .expect("frames remain");
+        let worker = workers
+            .iter_mut()
+            .min()
+            .expect("sim has at least one worker");
+        let session = &mut sim[idx];
+
+        // ISM key-frame selection under the session's current knobs.
+        let threshold = match session.knobs.key_frame_policy {
+            KeyFramePolicy::AdaptiveMotion {
+                max_median_motion_px,
+            } => max_median_motion_px,
+            KeyFramePolicy::Static => f32::INFINITY,
+        };
+        let motion: f32 = session.motion.gen_range(0.0..3.0);
+        let is_key = session.next_frame == 0
+            || session.since_key >= session.knobs.propagation_window
+            || motion > threshold;
+        session.since_key = if is_key { 1 } else { session.since_key + 1 };
+
+        let start = arrival.max(session.free_us).max(*worker);
+        let complete = start + config.cost.service_us(&session.knobs, is_key);
+        *worker = complete;
+        session.free_us = complete;
+        session.next_frame += 1;
+        let step_us = complete - arrival;
+        session.steps.push(step_us);
+
+        if let Some(controller) = &mut session.controller {
+            if controller.observe_step(complete, step_us).is_some() {
+                session.knobs = controller.knobs();
+            }
+            session.max_level = session.max_level.max(controller.level());
+        }
+    }
+
+    let mut total_actuations = [0u64; QosAction::COUNT];
+    let reports = sim
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let telemetry = s
+                .controller
+                .as_ref()
+                .map(QosController::telemetry)
+                .unwrap_or_default();
+            for (total, &n) in total_actuations.iter_mut().zip(telemetry.actuations.iter()) {
+                *total += n;
+            }
+            OverloadSessionReport {
+                key: session_key(i),
+                overload_p95_us: last_half_p95(&s.steps[..config.overload_frames]),
+                relaxed_p95_us: last_half_p95(&s.steps[config.overload_frames..]),
+                max_level: s.max_level,
+                final_level: s.controller.as_ref().map_or(0, QosController::level),
+                slo_violations: telemetry.slo_violations,
+                actuations: telemetry.actuations_total(),
+            }
+        })
+        .collect();
+
+    OverloadReport {
+        qos_enabled,
+        sessions: reports,
+        total_actuations,
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! owns one [`SessionTelemetry`]; [`AggregateTelemetry`] folds them together
 //! when the scheduler shuts down (or whenever a snapshot is requested).
 
+use crate::qos::{QosAction, QosTelemetry};
 use asv::trace::Stage;
 use asv::FrameKind;
 use std::time::Duration;
@@ -108,12 +109,20 @@ impl LatencyHistogram {
     /// The latency (µs) below which a `q` fraction of samples fall;
     /// `q` is clamped to `[0, 1]`.  Returns 0 for an empty histogram.
     ///
-    /// The answer interpolates linearly inside the bucket where the
-    /// cumulative count crosses `q · total`, clamped to the exact observed
-    /// min/max so tiny sample counts do not report impossible values.
+    /// The endpoints are exact: `q = 0` returns the smallest and `q = 1` the
+    /// largest recorded sample, both tracked outside the buckets.  Interior
+    /// quantiles interpolate linearly inside the bucket where the cumulative
+    /// count crosses `q · total`, clamped to the exact observed min/max so
+    /// tiny sample counts do not report impossible values.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min_us;
+        }
+        if q >= 1.0 {
+            return self.max_us;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
@@ -246,6 +255,9 @@ pub struct SessionTelemetry {
     pub queue_depth: QueueDepthGauge,
     /// Per-pipeline-stage service latency (empty while tracing is off).
     pub stage_latency: StageTelemetry,
+    /// State of the session's QoS control loop (all zeros — and
+    /// `enabled = false` — for sessions registered without an SLO).
+    pub qos: QosTelemetry,
 }
 
 impl SessionTelemetry {
@@ -299,12 +311,32 @@ pub struct AggregateTelemetry {
     pub current_queue_depth: usize,
     /// Merged per-pipeline-stage latency histograms.
     pub stage_latency: StageTelemetry,
+    /// SLO-violation evaluations across all QoS-managed sessions.
+    pub qos_slo_violations: u64,
+    /// QoS actuations across all sessions, indexed by [`QosAction::index`].
+    pub qos_actuations: [u64; QosAction::COUNT],
+    /// Current QoS degradation level of every SLO-managed session, keyed by
+    /// session name (the registration label, or `session-{index}`).  Feeds
+    /// the per-session `asv_qos_level` gauge in the Prometheus export.
+    pub qos_sessions: Vec<QosSessionSample>,
     /// Wall-clock time the engine ran, seconds.
     pub wall_seconds: f64,
 }
 
+/// One SLO-managed session's QoS level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosSessionSample {
+    /// Session name: the registration label, or `session-{index}`.
+    pub session: String,
+    /// Degradation level (0 = full quality).
+    pub level: u8,
+}
+
 impl AggregateTelemetry {
-    /// Folds one session's telemetry into the aggregate.
+    /// Folds one session's telemetry into the aggregate, without a
+    /// per-session identity ([`AggregateTelemetry::absorb_named`] keeps
+    /// one): QoS counters still add up, but the session contributes no
+    /// `asv_qos_level` gauge.
     pub fn absorb(&mut self, session: &SessionTelemetry) {
         self.sessions += 1;
         self.frames_processed += session.frames_processed;
@@ -318,6 +350,27 @@ impl AggregateTelemetry {
         self.peak_queue_depth = self.peak_queue_depth.max(session.queue_depth.peak);
         self.current_queue_depth += session.queue_depth.current;
         self.stage_latency.merge(&session.stage_latency);
+        self.qos_slo_violations += session.qos.slo_violations;
+        for (total, &n) in self
+            .qos_actuations
+            .iter_mut()
+            .zip(session.qos.actuations.iter())
+        {
+            *total += n;
+        }
+    }
+
+    /// Folds one session's telemetry into the aggregate under its session
+    /// name; a QoS-managed session additionally contributes its current
+    /// degradation level to [`AggregateTelemetry::qos_sessions`].
+    pub fn absorb_named(&mut self, session: &SessionTelemetry, name: &str) {
+        self.absorb(session);
+        if session.qos.enabled {
+            self.qos_sessions.push(QosSessionSample {
+                session: name.to_owned(),
+                level: session.qos.level,
+            });
+        }
     }
 
     /// Folds another aggregate into this one (cross-shard merge).
@@ -339,6 +392,15 @@ impl AggregateTelemetry {
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
         self.current_queue_depth += other.current_queue_depth;
         self.stage_latency.merge(&other.stage_latency);
+        self.qos_slo_violations += other.qos_slo_violations;
+        for (total, &n) in self
+            .qos_actuations
+            .iter_mut()
+            .zip(other.qos_actuations.iter())
+        {
+            *total += n;
+        }
+        self.qos_sessions.extend(other.qos_sessions.iter().cloned());
         self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
     }
 

@@ -6,7 +6,9 @@
 //! line — is bit-stable across runs and machines.
 
 use asv::FrameKind;
-use asv_runtime::{render_prometheus, AggregateTelemetry, SessionTelemetry, Stage, VirtualClock};
+use asv_runtime::{
+    render_prometheus, AggregateTelemetry, QosTelemetry, SessionTelemetry, Stage, VirtualClock,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Deterministic per-stage totals (nanoseconds) of one key frame.
@@ -62,6 +64,15 @@ fn fixture() -> Vec<AggregateTelemetry> {
     cam_a
         .stage_latency
         .record_frame_totals(&non_key_stage_totals());
+    // cam-a is SLO-managed and currently degraded: it contributes the
+    // per-session level gauge plus the violation/actuation counters.
+    cam_a.qos = QosTelemetry {
+        enabled: true,
+        level: 2,
+        max_level_reached: 3,
+        slo_violations: 5,
+        actuations: [2, 1, 1, 3],
+    };
 
     let mut cam_b = SessionTelemetry {
         frames_submitted: 2,
@@ -77,10 +88,10 @@ fn fixture() -> Vec<AggregateTelemetry> {
     cam_b.stage_latency.record_frame_totals(&key_stage_totals());
 
     let mut shard0 = AggregateTelemetry::default();
-    shard0.absorb(&cam_a);
+    shard0.absorb_named(&cam_a, "cam-a");
     shard0.wall_seconds = 2.0;
     let mut shard1 = AggregateTelemetry::default();
-    shard1.absorb(&cam_b);
+    shard1.absorb_named(&cam_b, "cam-b");
     shard1.wall_seconds = clock.now_seconds();
     vec![shard0, shard1]
 }
@@ -100,6 +111,9 @@ fn expected_families() -> BTreeMap<&'static str, &'static str> {
         ("asv_queue_depth_peak", "gauge"),
         ("asv_uptime_seconds", "gauge"),
         ("asv_frames_per_second", "gauge"),
+        ("asv_qos_slo_violations_total", "counter"),
+        ("asv_qos_actuations_total", "counter"),
+        ("asv_qos_level", "gauge"),
         ("asv_service_latency_microseconds", "histogram"),
         ("asv_queue_wait_microseconds", "histogram"),
         ("asv_stage_latency_microseconds", "histogram"),
@@ -348,6 +362,16 @@ fn golden_scalar_lines_are_bit_stable() {
         "asv_uptime_seconds{shard=\"0\"} 2.000000",
         "asv_uptime_seconds{shard=\"1\"} 0.025860",
         "asv_frames_per_second{shard=\"0\"} 1.500000",
+        // QoS: cam-a (shard 0) is SLO-managed at level 2; cam-b carries no
+        // controller, so shard 1 renders zero counters and no level gauge.
+        "asv_qos_slo_violations_total{shard=\"0\"} 5",
+        "asv_qos_slo_violations_total{shard=\"1\"} 0",
+        "asv_qos_actuations_total{shard=\"0\",action=\"census_metric\"} 2",
+        "asv_qos_actuations_total{shard=\"0\",action=\"widen_window\"} 1",
+        "asv_qos_actuations_total{shard=\"0\",action=\"relax_motion\"} 1",
+        "asv_qos_actuations_total{shard=\"0\",action=\"recover\"} 3",
+        "asv_qos_actuations_total{shard=\"1\",action=\"census_metric\"} 0",
+        "asv_qos_level{shard=\"0\",session=\"cam-a\"} 2",
         "asv_service_latency_microseconds_sum{shard=\"0\"} 14200",
         "asv_service_latency_microseconds_count{shard=\"0\"} 3",
         "asv_service_latency_microseconds_sum{shard=\"1\"} 11000",
@@ -379,6 +403,11 @@ fn golden_scalar_lines_are_bit_stable() {
             "golden line missing from scrape body: {line}"
         );
     }
+    // A session without a controller must not export a level gauge.
+    assert!(
+        !text.contains("asv_qos_level{shard=\"1\""),
+        "cam-b has no QoS controller yet exported a level gauge"
+    );
     // Rendering is a pure function of the telemetry.
     assert_eq!(text, render_prometheus(&fixture()));
 }

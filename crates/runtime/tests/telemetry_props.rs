@@ -57,6 +57,26 @@ proptest! {
         }
     }
 
+    /// The endpoints are exact, not bucket approximations: q = 0 is the
+    /// recorded minimum and q = 1 the recorded maximum (both are tracked
+    /// outside the buckets), including clamped out-of-range arguments.
+    #[test]
+    fn quantile_endpoints_are_exact_extremes(
+        samples in collection::vec(0u64..5_000_000, 1..=64),
+    ) {
+        let h = histogram_of(&samples);
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.min_us(), min);
+        prop_assert_eq!(h.max_us(), max);
+        for q in [0.0, -1.0, f64::MIN] {
+            prop_assert_eq!(h.quantile_us(q), min, "quantile({}) != min", q);
+        }
+        for q in [1.0, 2.0, f64::MAX] {
+            prop_assert_eq!(h.quantile_us(q), max, "quantile({}) != max", q);
+        }
+    }
+
     #[test]
     fn merge_is_equivalent_to_recording_all_samples(
         a in collection::vec(0u64..2_000_000, 0..=48),

@@ -18,8 +18,8 @@
 
 use asv_system::asv::system::{AsvConfig, AsvSystem};
 use asv_system::runtime::{
-    parse_scrape, Cluster, ClusterConfig, Ingest, IngestConfig, MetricsServer, SchedulerConfig,
-    ShedPolicy,
+    parse_scrape, Cluster, ClusterConfig, Ingest, IngestConfig, MetricsServer, QosConfig,
+    SchedulerConfig, SessionSlo, ShedPolicy,
 };
 use asv_system::scene::{SceneConfig, StereoSequence};
 use std::io::{Read, Write};
@@ -95,12 +95,19 @@ fn main() {
             .with_session_quota(2),
     );
 
-    // 5. One session + one feeder thread per camera, placed by consistent
-    //    hashing of the camera name.
+    // 5. One SLO-managed session + one feeder thread per camera, placed by
+    //    consistent hashing of the camera name.  The SLO is generous (2 s
+    //    p95), so the adaptive-QoS controller observes every frame but never
+    //    actuates — output stays byte-identical to batch while the
+    //    per-session `asv_qos_level` gauge goes live on `/metrics`.
+    let slo = SessionSlo::p95_step_us(2_000_000);
     let routes: Vec<_> = (0..CAMERAS)
         .map(|camera| {
-            let placed =
-                cluster.add_session(&format!("camera-{camera}"), system.pipeline().state());
+            let placed = cluster.add_session_qos(
+                &format!("camera-{camera}"),
+                system.pipeline().state(),
+                QosConfig::new(slo),
+            );
             println!("  camera-{camera} -> shard {}", placed.shard());
             ingest.register(placed.handle().clone())
         })
@@ -164,12 +171,42 @@ fn main() {
     } else {
         assert!(stage_series > 0, "scrape carries per-stage histograms");
     }
+    // Each SLO-managed camera exports its live degradation level; with the
+    // generous SLO every gauge must read 0 (full quality, zero actuations).
+    let qos_levels: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "asv_qos_level")
+        .collect();
+    if asv_system::runtime::qos_enabled_from_env() {
+        assert_eq!(
+            qos_levels.len(),
+            CAMERAS,
+            "every SLO-managed camera exports an asv_qos_level gauge"
+        );
+        for level in &qos_levels {
+            assert_eq!(
+                level.value,
+                0.0,
+                "camera {:?} degraded under a generous SLO",
+                level.label("session")
+            );
+        }
+        let actuations: f64 = samples
+            .iter()
+            .filter(|s| s.name == "asv_qos_actuations_total")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(actuations, 0.0, "generous SLO must never actuate");
+    } else {
+        assert!(qos_levels.is_empty(), "ASV_QOS=off exports no level gauges");
+    }
     let trace = http_get(addr, "/trace");
     assert!(trace.starts_with("{\"traceEvents\":["), "Chrome trace JSON");
     println!(
-        "live scrape: {} samples ({} per-stage series), /trace {} bytes",
+        "live scrape: {} samples ({} per-stage series, {} QoS level gauges), /trace {} bytes",
         samples.len(),
         stage_series,
+        qos_levels.len(),
         trace.len()
     );
     server.shutdown();
@@ -222,6 +259,13 @@ fn main() {
         .lines()
         .filter(|l| l.starts_with("asv_stage_latency_microseconds_sum"))
         .take(8)
+    {
+        println!("  {line}");
+    }
+    for line in report
+        .render_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("asv_qos"))
     {
         println!("  {line}");
     }
