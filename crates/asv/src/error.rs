@@ -45,6 +45,75 @@ pub enum AsvError {
         /// Which queue rejected the frame (session, shard or ingest queue).
         context: String,
     },
+    /// A frame on the wire failed to decode (network ingest edge).
+    Wire {
+        /// Which structural check rejected the message.
+        fault: WireFault,
+        /// Human readable detail (offsets, expected vs observed values).
+        context: String,
+    },
+    /// A network transport failure (connect, send or ack) that survived the
+    /// client's retry budget.
+    Transport {
+        /// Human readable description of the failed operation.
+        context: String,
+    },
+    /// The scheduler shard holding this session has failed (worker panic,
+    /// poisoned lock or injected fault) and no longer accepts frames.
+    ShardDown {
+        /// Which shard failed and why.
+        context: String,
+    },
+}
+
+/// The structural check that rejected a wire message.
+///
+/// Every decode failure maps to exactly one fault so the transport layer can
+/// count errors per kind (`asv_transport_errors_total{kind}`) without parsing
+/// message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireFault {
+    /// The four magic bytes did not read `ASVF`.
+    BadMagic,
+    /// The header carried an unsupported format version.
+    Version,
+    /// The message ended before the declared length.
+    Truncated,
+    /// The length prefix exceeded the configured maximum frame size.
+    Oversized,
+    /// The frame checksum did not match the message body.
+    Crc,
+    /// The session key was not valid UTF-8.
+    Key,
+    /// The declared lengths were internally inconsistent (length prefix vs
+    /// key length and plane dimensions).
+    Length,
+    /// A frame arrived with a sequence number ahead of the expected one
+    /// (frames were lost or reordered on the wire).
+    Gap,
+}
+
+impl WireFault {
+    /// Stable lower-case name, used as the `kind` label of
+    /// `asv_transport_errors_total`.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFault::BadMagic => "bad_magic",
+            WireFault::Version => "version",
+            WireFault::Truncated => "truncated",
+            WireFault::Oversized => "oversized",
+            WireFault::Crc => "crc",
+            WireFault::Key => "key",
+            WireFault::Length => "length",
+            WireFault::Gap => "gap",
+        }
+    }
+}
+
+impl fmt::Display for WireFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl AsvError {
@@ -58,6 +127,28 @@ impl AsvError {
     /// Builds an [`AsvError::Saturated`] naming the rejecting queue.
     pub fn saturated(context: impl fmt::Display) -> Self {
         AsvError::Saturated {
+            context: context.to_string(),
+        }
+    }
+
+    /// Builds an [`AsvError::Wire`] for one structural decode fault.
+    pub fn wire(fault: WireFault, context: impl fmt::Display) -> Self {
+        AsvError::Wire {
+            fault,
+            context: context.to_string(),
+        }
+    }
+
+    /// Builds an [`AsvError::Transport`] from anything displayable.
+    pub fn transport(context: impl fmt::Display) -> Self {
+        AsvError::Transport {
+            context: context.to_string(),
+        }
+    }
+
+    /// Builds an [`AsvError::ShardDown`] naming the failed shard.
+    pub fn shard_down(context: impl fmt::Display) -> Self {
+        AsvError::ShardDown {
             context: context.to_string(),
         }
     }
@@ -78,6 +169,11 @@ impl fmt::Display for AsvError {
             AsvError::Saturated { context } => {
                 write!(f, "admission control rejected the frame: {context} is full")
             }
+            AsvError::Wire { fault, context } => {
+                write!(f, "wire decode failed ({fault}): {context}")
+            }
+            AsvError::Transport { context } => write!(f, "transport: {context}"),
+            AsvError::ShardDown { context } => write!(f, "shard down: {context}"),
         }
     }
 }
@@ -92,7 +188,10 @@ impl Error for AsvError {
             AsvError::UnknownNetwork { .. }
             | AsvError::Config { .. }
             | AsvError::Shutdown
-            | AsvError::Saturated { .. } => None,
+            | AsvError::Saturated { .. }
+            | AsvError::Wire { .. }
+            | AsvError::Transport { .. }
+            | AsvError::ShardDown { .. } => None,
         }
     }
 }
@@ -188,6 +287,60 @@ mod tests {
             }
         );
         assert!(e.to_string().contains("session-3 inbox"));
+    }
+
+    #[test]
+    fn wire_errors_carry_the_fault_and_a_stable_kind_name() {
+        let e = AsvError::wire(WireFault::Crc, "checksum 0xDEAD vs 0xBEEF");
+        assert!(e.source().is_none());
+        assert_eq!(
+            e,
+            AsvError::Wire {
+                fault: WireFault::Crc,
+                context: "checksum 0xDEAD vs 0xBEEF".to_owned()
+            }
+        );
+        assert!(e.to_string().contains("(crc)"));
+        assert!(e.to_string().contains("0xDEAD"));
+        // The metric label names are a stable contract.
+        let names: Vec<_> = [
+            WireFault::BadMagic,
+            WireFault::Version,
+            WireFault::Truncated,
+            WireFault::Oversized,
+            WireFault::Crc,
+            WireFault::Key,
+            WireFault::Length,
+            WireFault::Gap,
+        ]
+        .iter()
+        .map(|f| f.name())
+        .collect();
+        assert_eq!(
+            names,
+            [
+                "bad_magic",
+                "version",
+                "truncated",
+                "oversized",
+                "crc",
+                "key",
+                "length",
+                "gap"
+            ]
+        );
+    }
+
+    #[test]
+    fn transport_and_shard_down_errors_name_the_failure() {
+        let e = AsvError::transport("connect to 10.0.0.1:9000 failed after 5 retries");
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("transport:"));
+        assert!(e.to_string().contains("5 retries"));
+        let e = AsvError::shard_down("shard 1: worker panicked");
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("shard down"));
+        assert!(e.to_string().contains("shard 1"));
     }
 
     #[test]

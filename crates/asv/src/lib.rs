@@ -44,7 +44,7 @@ pub mod workspace;
 
 pub use asv_dnn::CostMetric;
 pub use asv_trace as trace;
-pub use error::AsvError;
+pub use error::{AsvError, WireFault};
 pub use ism::{
     FrameKind, FrameResult, IsmConfig, IsmPipeline, IsmResult, IsmState, KeyFramePolicy,
 };

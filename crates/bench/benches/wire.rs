@@ -1,0 +1,64 @@
+//! Criterion benchmark of the frame wire format: encode and decode
+//! throughput at streaming frame sizes, with a warm buffer pool so the
+//! numbers reflect the zero-allocation steady state the server runs in.
+
+use asv_image::Image;
+use asv_mem::BufferPool;
+use asv_runtime::wire;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const WIDTH: usize = 128;
+const HEIGHT: usize = 96;
+
+fn frame(salt: f32) -> Image {
+    let data = (0..WIDTH * HEIGHT)
+        .map(|i| (i as f32).mul_add(0.05, salt))
+        .collect();
+    Image::from_vec(WIDTH, HEIGHT, data).expect("sized to match")
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let left = frame(0.0);
+    let right = frame(100.0);
+    let mut group = c.benchmark_group("wire");
+
+    group.bench_function("encode_128x96", |b| {
+        let mut bytes = Vec::new();
+        b.iter(|| {
+            wire::encode_frame_into(&mut bytes, "camera-0", 7, &left, &right)
+                .expect("valid frame encodes");
+            black_box(bytes.len())
+        })
+    });
+
+    let mut encoded = Vec::new();
+    wire::encode_frame_into(&mut encoded, "camera-0", 7, &left, &right)
+        .expect("valid frame encodes");
+
+    group.bench_function("validate_128x96", |b| {
+        b.iter(|| black_box(wire::validate(&encoded, wire::MAX_MESSAGE_BYTES).is_ok()))
+    });
+
+    group.bench_function("decode_warm_pool_128x96", |b| {
+        let mut pool = BufferPool::new();
+        // Warm the pool so the loop measures the allocation-free path.
+        let warm = wire::decode_frame(&encoded, wire::MAX_MESSAGE_BYTES, &mut pool)
+            .expect("valid frame decodes");
+        pool.put(warm.left.into_vec());
+        pool.put(warm.right.into_vec());
+        b.iter(|| {
+            let frame = wire::decode_frame(&encoded, wire::MAX_MESSAGE_BYTES, &mut pool)
+                .expect("valid frame decodes");
+            let checksum = frame.left.as_slice()[0] + frame.right.as_slice()[0];
+            pool.put(frame.left.into_vec());
+            pool.put(frame.right.into_vec());
+            black_box(checksum)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

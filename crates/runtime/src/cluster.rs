@@ -31,6 +31,7 @@
 //! harness in [`crate::sim`] locks down.
 
 use crate::export::render_prometheus;
+use crate::net::TransportCounters;
 use crate::qos::QosConfig;
 use crate::scheduler::{
     RuntimeReport, Scheduler, SchedulerConfig, SchedulerObserver, SessionHandle,
@@ -40,6 +41,8 @@ use crate::telemetry::AggregateTelemetry;
 use asv::ism::IsmState;
 use asv::trace::chrome::ChromeTrace;
 use asv::AsvError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Tuning knobs of the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +128,17 @@ pub struct Cluster {
     shards: Vec<Scheduler>,
     /// Sorted `(hash, shard)` virtual nodes.
     ring: Vec<(u64, usize)>,
+    /// Sessions re-placed *away* from each shard after it failed
+    /// (`asv_sessions_migrated_total{shard}`); shared with observers.
+    migrated: Arc<Vec<AtomicU64>>,
+    /// Transport error counters of the cluster's network edge
+    /// (`asv_transport_errors_total{kind}`); hand
+    /// [`Cluster::transport_counters`] to servers/clients so their failures
+    /// surface in this cluster's scrape.
+    transport: Arc<TransportCounters>,
+    /// Flipped by [`Cluster::begin_drain`] (and by `join`): `/healthz`
+    /// answers 503 so load balancers stop routing before sessions drain.
+    draining: Arc<AtomicBool>,
 }
 
 /// Producer-side handle of one cluster session: the shard's
@@ -218,7 +232,13 @@ impl Cluster {
             }
         }
         ring.sort_unstable();
-        Self { shards, ring }
+        Self {
+            shards,
+            ring,
+            migrated: Arc::new((0..shard_count).map(|_| AtomicU64::new(0)).collect()),
+            transport: Arc::new(TransportCounters::new()),
+            draining: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// Number of shards.
@@ -244,6 +264,119 @@ impl Cluster {
             .min_by_key(|(_, s)| s.load())
             .map(|(i, _)| i)
             .expect("cluster has at least one shard")
+    }
+
+    /// Kills one shard (fault injection, or the supervisor reacting to a
+    /// detected failure): every session on it dies with
+    /// [`AsvError::ShardDown`], queued frames are dropped and counted, and
+    /// subsequent placement skips the shard.  See [`Scheduler::trip`].
+    pub fn trip_shard(&self, shard: usize, context: impl std::fmt::Display) {
+        if let Some(scheduler) = self.shards.get(shard) {
+            scheduler.trip(format!("shard {shard}: {context}"));
+        }
+    }
+
+    /// Whether `shard` has failed (tripped or poisoned).
+    pub fn shard_is_failed(&self, shard: usize) -> bool {
+        self.shards.get(shard).is_some_and(Scheduler::is_failed)
+    }
+
+    /// Number of shards that have not failed.
+    pub fn live_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| !s.is_failed()).count()
+    }
+
+    /// The shard with the lowest instantaneous load among surviving shards.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::ShardDown`] when every shard has failed.
+    pub fn least_loaded_live_shard(&self) -> Result<usize, AsvError> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_failed())
+            .min_by_key(|(_, s)| s.load())
+            .map(|(i, _)| i)
+            .ok_or_else(|| AsvError::shard_down("every shard in the cluster has failed"))
+    }
+
+    /// Failure-aware consistent hashing: walks the ring clockwise from the
+    /// key's hash and returns the first virtual node on a surviving shard,
+    /// so a key's placement is stable while its shard lives and moves
+    /// deterministically when it dies.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::ShardDown`] when every shard has failed.
+    pub fn live_shard_for_key(&self, key: &str) -> Result<usize, AsvError> {
+        let hash = fnv1a(key.as_bytes());
+        let start = self.ring.partition_point(|&(h, _)| h < hash);
+        for k in 0..self.ring.len() {
+            let shard = self.ring[(start + k) % self.ring.len()].1;
+            if !self.shards[shard].is_failed() {
+                return Ok(shard);
+            }
+        }
+        Err(AsvError::shard_down(
+            "every shard in the cluster has failed",
+        ))
+    }
+
+    /// Places a new session on a *surviving* shard: failure-aware
+    /// consistent hashing with the least-loaded-live fallback under
+    /// saturation.  This is the re-placement path a supervisor takes when a
+    /// session's shard dies.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::ShardDown`] when every shard has failed.
+    pub fn add_session_live(
+        &self,
+        key: &str,
+        state: IsmState,
+    ) -> Result<ClusterSessionHandle, AsvError> {
+        let hashed = self.live_shard_for_key(key)?;
+        let shard = if self.shards[hashed].is_saturated() {
+            self.least_loaded_live_shard()?
+        } else {
+            hashed
+        };
+        let handle = self.shards[shard].add_session_labeled(state, Some(key.to_owned()));
+        Ok(ClusterSessionHandle {
+            shard,
+            key: key.to_owned(),
+            handle,
+        })
+    }
+
+    /// Records one session migrated away from `from_shard` (the supervisor
+    /// calls this after a successful re-placement); exported as
+    /// `asv_sessions_migrated_total{shard}`.
+    pub fn record_migration(&self, from_shard: usize) {
+        if let Some(counter) = self.migrated.get(from_shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The transport error counters folded into this cluster's telemetry;
+    /// hand them to [`crate::FrameServer`] / [`crate::FrameClient`] so the
+    /// network edge's failures appear in the scrape.
+    pub fn transport_counters(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.transport)
+    }
+
+    /// Marks the cluster as draining: `/healthz` (via [`ClusterObserver`])
+    /// answers 503 from here on, while `/metrics` keeps serving.  Called
+    /// automatically at the start of [`Cluster::join`]; call it earlier to
+    /// give load balancers a head start.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`Cluster::begin_drain`] (or `join`) has run.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
     }
 
     /// Places a new session by consistent hashing of `key` (with the
@@ -334,12 +467,16 @@ impl Cluster {
         })
     }
 
-    /// Live per-shard telemetry snapshots (the scrape path).
+    /// Live per-shard telemetry snapshots (the scrape path), including the
+    /// cluster-level migration and transport-error counters.
     pub fn telemetry(&self) -> Vec<AggregateTelemetry> {
-        self.shards
+        let mut per_shard: Vec<AggregateTelemetry> = self
+            .shards
             .iter()
             .map(Scheduler::telemetry_snapshot)
-            .collect()
+            .collect();
+        fold_cluster_counters(&mut per_shard, &self.migrated, &self.transport);
+        per_shard
     }
 
     /// Live cross-shard merge of every shard's telemetry.
@@ -362,19 +499,48 @@ impl Cluster {
     pub fn observer(&self) -> ClusterObserver {
         ClusterObserver {
             shards: self.shards.iter().map(Scheduler::observer).collect(),
+            migrated: Arc::clone(&self.migrated),
+            transport: Arc::clone(&self.transport),
+            draining: Arc::clone(&self.draining),
         }
     }
 
     /// Shuts every shard down (draining its inboxes), joins all worker
     /// pools and returns the per-shard reports plus the cross-shard
-    /// telemetry merge.
+    /// telemetry merge.  Flips the drain flag first, so a `/healthz` served
+    /// from a still-live observer answers 503 during the drain.
     pub fn join(self) -> ClusterReport {
-        let shards: Vec<RuntimeReport> = self.shards.into_iter().map(Scheduler::join).collect();
+        self.begin_drain();
+        let mut shards: Vec<RuntimeReport> = self.shards.into_iter().map(Scheduler::join).collect();
+        for (report, counter) in shards.iter_mut().zip(self.migrated.iter()) {
+            report.aggregate.sessions_migrated = counter.load(Ordering::Relaxed);
+        }
+        if let Some(first) = shards.first_mut() {
+            first.aggregate.transport_errors = self.transport.snapshot();
+        }
         let mut aggregate = AggregateTelemetry::default();
         for shard in &shards {
             aggregate.merge(&shard.aggregate);
         }
         ClusterReport { shards, aggregate }
+    }
+}
+
+/// Stamps the cluster-level counters onto the per-shard aggregates:
+/// migrations are attributed to the shard the sessions left; the transport
+/// counters are a cluster-wide edge concern and ride on the first shard's
+/// snapshot (the exporter sums across shards and emits them without a
+/// `shard` label).
+fn fold_cluster_counters(
+    per_shard: &mut [AggregateTelemetry],
+    migrated: &[AtomicU64],
+    transport: &TransportCounters,
+) {
+    for (aggregate, counter) in per_shard.iter_mut().zip(migrated) {
+        aggregate.sessions_migrated = counter.load(Ordering::Relaxed);
+    }
+    if let Some(first) = per_shard.first_mut() {
+        first.transport_errors = transport.snapshot();
     }
 }
 
@@ -385,6 +551,9 @@ impl Cluster {
 #[derive(Debug, Clone)]
 pub struct ClusterObserver {
     shards: Vec<SchedulerObserver>,
+    migrated: Arc<Vec<AtomicU64>>,
+    transport: Arc<TransportCounters>,
+    draining: Arc<AtomicBool>,
 }
 
 impl ClusterObserver {
@@ -393,12 +562,27 @@ impl ClusterObserver {
         self.shards.len()
     }
 
-    /// Live per-shard telemetry snapshots.
+    /// Whether the observed cluster has begun draining (its `join` started
+    /// or `begin_drain` ran): the `/healthz` 503 signal.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Number of observed shards that have not failed.
+    pub fn live_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| !s.is_failed()).count()
+    }
+
+    /// Live per-shard telemetry snapshots, including the cluster-level
+    /// migration and transport-error counters.
     pub fn telemetry(&self) -> Vec<AggregateTelemetry> {
-        self.shards
+        let mut per_shard: Vec<AggregateTelemetry> = self
+            .shards
             .iter()
             .map(SchedulerObserver::telemetry_snapshot)
-            .collect()
+            .collect();
+        fold_cluster_counters(&mut per_shard, &self.migrated, &self.transport);
+        per_shard
     }
 
     /// Renders the live per-shard telemetry in Prometheus text format

@@ -13,6 +13,7 @@
 //! [Prometheus text exposition format]:
 //! https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use crate::net::TransportErrorKind;
 use crate::qos::QosAction;
 use crate::telemetry::{AggregateTelemetry, LatencyHistogram};
 use std::fmt::Write;
@@ -105,6 +106,26 @@ fn qos_level_family(out: &mut String, shards: &[AggregateTelemetry]) {
                 sample.session, sample.level
             );
         }
+    }
+}
+
+/// Emits the transport-error counter: one sample per error kind, summed
+/// across every shard (transport faults are a cluster-edge property, so the
+/// family intentionally carries no `shard` label).
+fn transport_errors_family(out: &mut String, shards: &[AggregateTelemetry]) {
+    let name = "asv_transport_errors_total";
+    Family {
+        name,
+        kind: "counter",
+        help: "Frames rejected at the transport edge, by failure kind.",
+    }
+    .header(out);
+    for kind in TransportErrorKind::ALL {
+        let total: u64 = shards
+            .iter()
+            .map(|telemetry| telemetry.transport_errors[kind.index()])
+            .sum();
+        let _ = writeln!(out, "{name}{{kind=\"{}\"}} {total}", kind.name());
     }
 }
 
@@ -314,6 +335,17 @@ pub fn render_prometheus(shards: &[AggregateTelemetry]) -> String {
         shards,
         |t| t.qos_slo_violations.to_string(),
     );
+    scalar_family(
+        &mut out,
+        &Family {
+            name: "asv_sessions_migrated_total",
+            kind: "counter",
+            help: "Sessions re-placed off this shard after it failed.",
+        },
+        shards,
+        |t| t.sessions_migrated.to_string(),
+    );
+    transport_errors_family(&mut out, shards);
     qos_actuations_family(&mut out, shards);
     qos_level_family(&mut out, shards);
     histogram_family(

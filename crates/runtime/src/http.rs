@@ -58,6 +58,14 @@ impl HttpMetricsSource for ClusterObserver {
     fn trace_json(&self) -> String {
         self.chrome_trace_json()
     }
+
+    /// Healthy while the cluster is serving: once it begins draining
+    /// ([`crate::Cluster::begin_drain`] or `join`) or every shard has
+    /// failed, `/healthz` flips to 503 so load balancers stop routing —
+    /// `/metrics` keeps answering throughout the drain.
+    fn healthy(&self) -> bool {
+        !self.is_draining() && self.live_shard_count() > 0
+    }
 }
 
 impl HttpMetricsSource for SchedulerObserver {
@@ -70,6 +78,11 @@ impl HttpMetricsSource for SchedulerObserver {
         trace.add_process_name(0, "shard-0");
         self.add_chrome_trace(&mut trace, 0);
         trace.finish()
+    }
+
+    /// Healthy until the shard fails or begins shutting down.
+    fn healthy(&self) -> bool {
+        !self.is_shutting_down() && !self.is_failed()
     }
 }
 

@@ -110,6 +110,7 @@ struct Route {
     accepted: u64,
     forwarded: u64,
     shed: u64,
+    discarded: u64,
 }
 
 /// Mutable front-end state shared by producers and forwarders.
@@ -172,6 +173,9 @@ pub struct RouteStats {
     pub forwarded: u64,
     /// Frames shed by admission control (rejected or displaced).
     pub shed: u64,
+    /// Frames refused at the edge because the route was already torn down
+    /// (front-end shut down, or the downstream session had failed).
+    pub discarded: u64,
     /// The downstream error that poisoned the route, if any.
     pub error: Option<AsvError>,
 }
@@ -198,6 +202,11 @@ impl IngestStats {
     /// Total frames shed by admission control across all routes.
     pub fn shed(&self) -> u64 {
         self.routes.iter().map(|r| r.shed).sum()
+    }
+
+    /// Total frames refused at the edge after route teardown.
+    pub fn discarded(&self) -> u64 {
+        self.routes.iter().map(|r| r.discarded).sum()
     }
 }
 
@@ -266,6 +275,7 @@ impl Ingest {
             accepted: 0,
             forwarded: 0,
             shed: 0,
+            discarded: 0,
         });
         RouteHandle {
             shared: Arc::clone(&self.shared),
@@ -293,6 +303,7 @@ impl Ingest {
                 accepted: r.accepted,
                 forwarded: r.forwarded,
                 shed: r.shed,
+                discarded: r.discarded,
                 error: r.error,
             })
             .collect();
@@ -333,13 +344,37 @@ impl RouteHandle {
     /// [`AsvError::Saturated`] under the `Reject` policy when a limit is
     /// hit.
     pub fn submit(&self, left: Image, right: Image) -> Result<(), AsvError> {
+        self.submit_recoverable(left, right)
+            .map_err(|(error, _, _)| error)
+    }
+
+    /// [`RouteHandle::submit`] returning the frame planes alongside the
+    /// error, so a supervisor reacting to a downstream shard failure can
+    /// re-deliver the exact frame to the session's new placement instead of
+    /// losing it.  Refused submits (front-end shut down, route poisoned by
+    /// a downstream failure) count into the route's `discarded` statistic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RouteHandle::submit`], with the frame returned.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_recoverable(
+        &self,
+        left: Image,
+        right: Image,
+    ) -> Result<(), (AsvError, Image, Image)> {
         let mut front = self.shared.lock();
         loop {
             if front.shutdown {
-                return Err(AsvError::Shutdown);
+                // `join` may have drained the route table already.
+                if let Some(route) = front.routes.get_mut(self.index) {
+                    route.discarded += 1;
+                }
+                return Err((AsvError::Shutdown, left, right));
             }
-            if let Some(error) = &front.routes[self.index].error {
-                return Err(error.clone());
+            if let Some(error) = front.routes[self.index].error.clone() {
+                front.routes[self.index].discarded += 1;
+                return Err((error, left, right));
             }
             let over_quota =
                 front.routes[self.index].queued.len() >= self.config.session_quota.max(1);
@@ -349,10 +384,11 @@ impl RouteHandle {
                     ShedPolicy::Reject => {
                         let route = &mut front.routes[self.index];
                         route.shed += 1;
-                        return Err(AsvError::saturated(format!(
-                            "ingest queue (route {})",
-                            self.index
-                        )));
+                        return Err((
+                            AsvError::saturated(format!("ingest queue (route {})", self.index)),
+                            left,
+                            right,
+                        ));
                     }
                     ShedPolicy::DropOldest if !front.routes[self.index].queued.is_empty() => {
                         // Displace this session's own oldest frame; other

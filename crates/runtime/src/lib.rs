@@ -74,13 +74,16 @@ pub mod cluster;
 pub mod export;
 pub mod http;
 pub mod ingest;
+pub mod net;
 pub mod qos;
 mod queue;
 pub mod scheduler;
 pub mod serve;
 pub mod session;
 pub mod sim;
+pub mod supervisor;
 pub mod telemetry;
+pub mod wire;
 
 pub use asv::trace::Stage;
 pub use asv::CostMetric;
@@ -90,6 +93,10 @@ pub use cluster::{
 pub use export::{parse_scrape, render_prometheus, ScrapeSample};
 pub use http::{HttpMetricsSource, MetricsServer};
 pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};
+pub use net::{
+    ClientConfig, FrameClient, FrameServer, FrameSink, NetConfig, SequenceGate, TransportCounters,
+    TransportErrorKind,
+};
 pub use qos::{
     qos_enabled_from_env, QosAction, QosConfig, QosController, QosKnobs, QosTelemetry,
     QosTransition, SessionSlo,
@@ -100,9 +107,11 @@ pub use scheduler::{
 pub use serve::{serve_sequences, ServeOutcome};
 pub use session::{SessionId, SessionReport, StreamSession};
 pub use sim::{
-    run_overload_sim, CostModel, OverloadConfig, OverloadReport, OverloadSessionReport, SimConfig,
-    SimReport, VirtualClock,
+    run_chaos_transport_sim, run_failover_sim, run_overload_sim, ChaosConfig, ChaosReport,
+    CostModel, FailoverConfig, FailoverReport, OverloadConfig, OverloadReport,
+    OverloadSessionReport, SimConfig, SimReport, VirtualClock,
 };
+pub use supervisor::{Delivery, MigrationRecord, Supervisor};
 pub use telemetry::{
     AggregateTelemetry, LatencyHistogram, QosSessionSample, QueueDepthGauge, SessionTelemetry,
     StageTelemetry,

@@ -1,0 +1,911 @@
+//! Fault-tolerant TCP frame transport: the networked ingest edge.
+//!
+//! Mirrors the dependency-free style of [`crate::http`]: everything is
+//! `std::net` + threads, no async runtime, no protocol crates.  Three
+//! pieces:
+//!
+//! * [`FrameServer`] — a `TcpListener` accept loop; each connection reads
+//!   length-prefixed [`crate::wire`] messages, validates them (magic,
+//!   version, CRC, lengths), deduplicates by per-session sequence number
+//!   ([`SequenceGate`]) and hands accepted frames to a [`FrameSink`]
+//!   (typically a [`crate::Supervisor`] routing into the cluster).  A
+//!   half-written message on disconnect is discarded whole — it can never
+//!   reach a session — and every structural failure increments one
+//!   [`TransportErrorKind`] counter.
+//! * [`FrameClient`] — the camera side: per-session sequence numbering, a
+//!   bounded in-flight window, per-operation deadline, and reconnect with
+//!   exponential backoff + seeded jitter.  Unacknowledged frames are
+//!   retransmitted on a fresh connection; the server's sequence gate turns
+//!   at-least-once retransmission into exactly-once delivery.
+//! * [`TransportCounters`] — lock-free error counters by kind, exported as
+//!   the `asv_transport_errors_total{kind}` Prometheus family.
+//!
+//! Backpressure flows end-to-end: a slow shard blocks [`FrameSink::deliver`]
+//! (under [`crate::ShedPolicy::Block`]), which stalls the connection thread,
+//! which fills the TCP window, which parks the client in `write` — the same
+//! lossless-by-default story as the in-process ingest path.
+//!
+//! The `ASV_NET_*` environment knobs (see [`ClientConfig::from_env`] and
+//! [`NetConfig::from_env`]) configure deadlines, window, retry budget and
+//! the maximum accepted message size.
+
+use crate::wire;
+use asv::error::WireFault;
+use asv::AsvError;
+use asv_image::Image;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Pause after a failed `accept()` before retrying (see [`crate::http`]).
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Acknowledgement magic byte, size and status codes: one fixed 10-byte
+/// record `[b'K', status, seq as u64 LE]` per accepted message.
+const ACK_MAGIC: u8 = b'K';
+const ACK_BYTES: usize = 10;
+const ACK_ACCEPTED: u8 = 0;
+const ACK_DUPLICATE: u8 = 1;
+const ACK_GAP: u8 = 2;
+const ACK_ERROR: u8 = 3;
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Why a transport operation failed; the `kind` label of
+/// `asv_transport_errors_total`.  Wire faults map one-to-one; `Io` and
+/// `Deadline` cover socket failures and missed per-frame deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportErrorKind {
+    /// Wire message with bad magic bytes.
+    BadMagic,
+    /// Wire message with an unsupported format version.
+    Version,
+    /// Message truncated: the connection died mid-frame.
+    Truncated,
+    /// Length prefix above the configured maximum message size.
+    Oversized,
+    /// Frame checksum mismatch.
+    Crc,
+    /// Session key not valid UTF-8.
+    Key,
+    /// Internally inconsistent message lengths.
+    Length,
+    /// A sequence-number gap: frames lost or reordered in flight.
+    Gap,
+    /// A socket-level failure (connect, read or write).
+    Io,
+    /// A per-frame deadline expired (connect, write or ack wait).
+    Deadline,
+}
+
+impl TransportErrorKind {
+    /// Number of kinds (the counter-array length).
+    pub const COUNT: usize = 10;
+
+    /// Every kind, in `index` order.
+    pub const ALL: [TransportErrorKind; TransportErrorKind::COUNT] = [
+        TransportErrorKind::BadMagic,
+        TransportErrorKind::Version,
+        TransportErrorKind::Truncated,
+        TransportErrorKind::Oversized,
+        TransportErrorKind::Crc,
+        TransportErrorKind::Key,
+        TransportErrorKind::Length,
+        TransportErrorKind::Gap,
+        TransportErrorKind::Io,
+        TransportErrorKind::Deadline,
+    ];
+
+    /// Stable lower-case name (the Prometheus `kind` label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportErrorKind::Io => "io",
+            TransportErrorKind::Deadline => "deadline",
+            other => other
+                .as_wire_fault()
+                .expect("every non-io kind maps to a wire fault")
+                .name(),
+        }
+    }
+
+    /// Position in [`TransportErrorKind::ALL`] and the counter array.
+    pub fn index(self) -> usize {
+        match self {
+            TransportErrorKind::BadMagic => 0,
+            TransportErrorKind::Version => 1,
+            TransportErrorKind::Truncated => 2,
+            TransportErrorKind::Oversized => 3,
+            TransportErrorKind::Crc => 4,
+            TransportErrorKind::Key => 5,
+            TransportErrorKind::Length => 6,
+            TransportErrorKind::Gap => 7,
+            TransportErrorKind::Io => 8,
+            TransportErrorKind::Deadline => 9,
+        }
+    }
+
+    /// The [`WireFault`] this kind mirrors (`None` for `Io`/`Deadline`).
+    pub fn as_wire_fault(self) -> Option<WireFault> {
+        Some(match self {
+            TransportErrorKind::BadMagic => WireFault::BadMagic,
+            TransportErrorKind::Version => WireFault::Version,
+            TransportErrorKind::Truncated => WireFault::Truncated,
+            TransportErrorKind::Oversized => WireFault::Oversized,
+            TransportErrorKind::Crc => WireFault::Crc,
+            TransportErrorKind::Key => WireFault::Key,
+            TransportErrorKind::Length => WireFault::Length,
+            TransportErrorKind::Gap => WireFault::Gap,
+            TransportErrorKind::Io | TransportErrorKind::Deadline => return None,
+        })
+    }
+
+    /// Maps a decode fault to its counter kind.
+    pub fn of_wire(fault: WireFault) -> Self {
+        match fault {
+            WireFault::BadMagic => TransportErrorKind::BadMagic,
+            WireFault::Version => TransportErrorKind::Version,
+            WireFault::Truncated => TransportErrorKind::Truncated,
+            WireFault::Oversized => TransportErrorKind::Oversized,
+            WireFault::Crc => TransportErrorKind::Crc,
+            WireFault::Key => TransportErrorKind::Key,
+            WireFault::Length => TransportErrorKind::Length,
+            WireFault::Gap => TransportErrorKind::Gap,
+        }
+    }
+}
+
+/// Process-wide transport error counters, shared by servers, clients and
+/// the cluster's telemetry fold (`asv_transport_errors_total{kind}`).
+/// Lock-free: one relaxed atomic per kind.
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    counts: [AtomicU64; TransportErrorKind::COUNT],
+}
+
+impl TransportCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments one kind.
+    pub fn record(&self, kind: TransportErrorKind) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count of one kind.
+    pub fn count(&self, kind: TransportErrorKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// All counts, indexed like [`TransportErrorKind::ALL`].
+    pub fn snapshot(&self) -> [u64; TransportErrorKind::COUNT] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
+
+/// Per-session sequence bookkeeping turning at-least-once retransmission
+/// into exactly-once delivery: each session's frames must arrive in order
+/// (`0, 1, 2, ...`); already-seen numbers are duplicates (acked but not
+/// re-delivered), future numbers are gaps (lost or reordered frames).
+#[derive(Debug, Default)]
+pub struct SequenceGate {
+    next: HashMap<String, u64>,
+}
+
+/// [`SequenceGate::admit`]'s verdict for one arriving frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// The expected next frame: deliver it.
+    Accept,
+    /// Already delivered (a retransmission): acknowledge, do not deliver.
+    Duplicate,
+    /// Ahead of the expected number: frames in between are missing.
+    Gap {
+        /// The sequence number the gate expected.
+        expected: u64,
+    },
+}
+
+impl SequenceGate {
+    /// An empty gate (every session starts at sequence 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies `seq` for `key` and advances the expected number on
+    /// accept.  Allocates only on a session's first frame.
+    pub fn admit(&mut self, key: &str, seq: u64) -> Admit {
+        match self.next.get_mut(key) {
+            Some(next) => {
+                if seq < *next {
+                    Admit::Duplicate
+                } else if seq == *next {
+                    *next += 1;
+                    Admit::Accept
+                } else {
+                    Admit::Gap { expected: *next }
+                }
+            }
+            None if seq == 0 => {
+                self.next.insert(key.to_owned(), 1);
+                Admit::Accept
+            }
+            None => Admit::Gap { expected: 0 },
+        }
+    }
+
+    /// The next sequence number expected for `key` (0 for unseen keys).
+    pub fn expected(&self, key: &str) -> u64 {
+        self.next.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// Where the server puts accepted frames.  Implemented by
+/// [`crate::Supervisor`] (cluster routing with shard-failure re-placement);
+/// implement it yourself to feed any other consumer.
+pub trait FrameSink: Send + Sync {
+    /// Delivers one deduplicated, validated frame.  May block (that is the
+    /// backpressure path); an error is reported to the client as a rejected
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the server acknowledges the frame as failed.
+    fn deliver(&self, key: &str, seq: u64, left: Image, right: Image) -> Result<(), AsvError>;
+
+    /// A `width x height` plane for the decoder to fill, ideally recycled
+    /// from the target session's frame pool so the steady-state decode path
+    /// performs no allocations.  The default allocates a zeroed plane.
+    fn recycled_frame(&self, key: &str, width: usize, height: usize) -> Image {
+        let _ = key;
+        Image::zeros(width, height)
+    }
+}
+
+/// Server-side transport configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Hard ceiling on one message's declared length; a corrupt length
+    /// prefix can never talk the server into unbounded reads.
+    pub max_message_bytes: usize,
+    /// Read timeout while *inside* a message: a peer that stalls mid-frame
+    /// for longer is cut off (the partial frame is discarded).
+    pub read_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_message_bytes: wire::MAX_MESSAGE_BYTES,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Defaults overridden by `ASV_NET_MAX_FRAME_BYTES` and
+    /// `ASV_NET_READ_TIMEOUT_MS`.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(bytes) = env_parse::<usize>("ASV_NET_MAX_FRAME_BYTES") {
+            config.max_message_bytes = bytes;
+        }
+        if let Some(ms) = env_parse::<u64>("ASV_NET_READ_TIMEOUT_MS") {
+            config.read_timeout = Duration::from_millis(ms.max(1));
+        }
+        config
+    }
+}
+
+/// Client-side transport configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-operation deadline: connect, frame write and ack wait each get
+    /// this budget; exceeding it counts a `deadline` transport error and
+    /// triggers a reconnect.
+    pub deadline: Duration,
+    /// Maximum unacknowledged frames in flight before `send` blocks on
+    /// acks — bounds client memory and caps the retransmission burst after
+    /// a reconnect.
+    pub window: usize,
+    /// Reconnect attempts per operation before giving up with
+    /// [`AsvError::Transport`].
+    pub max_retries: u32,
+    /// First reconnect backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed of the jitter source (deterministic in tests).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            window: 4,
+            max_retries: 5,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Defaults overridden by `ASV_NET_DEADLINE_MS`, `ASV_NET_WINDOW`,
+    /// `ASV_NET_RETRIES` and `ASV_NET_BACKOFF_MS`.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Some(ms) = env_parse::<u64>("ASV_NET_DEADLINE_MS") {
+            config.deadline = Duration::from_millis(ms.max(1));
+        }
+        if let Some(window) = env_parse::<usize>("ASV_NET_WINDOW") {
+            config.window = window.max(1);
+        }
+        if let Some(retries) = env_parse::<u32>("ASV_NET_RETRIES") {
+            config.max_retries = retries;
+        }
+        if let Some(ms) = env_parse::<u64>("ASV_NET_BACKOFF_MS") {
+            config.backoff_base = Duration::from_millis(ms.max(1));
+        }
+        config
+    }
+}
+
+/// Exponential backoff with jitter: `min(cap, base * 2^attempt)` plus a
+/// uniform jitter of up to one `base`, so a fleet of reconnecting cameras
+/// does not thundering-herd the server.
+pub fn backoff_delay(config: &ClientConfig, attempt: u32, rng: &mut SmallRng) -> Duration {
+    let base = config.backoff_base.as_millis() as u64;
+    let scaled = base.saturating_mul(1u64 << attempt.min(16));
+    let capped = scaled.min(config.backoff_cap.as_millis() as u64);
+    let jitter = rng.gen_range(0..base.max(1));
+    Duration::from_millis(capped + jitter)
+}
+
+/// Outcome of filling a buffer from the socket.
+enum ReadOutcome {
+    /// Clean close at a message boundary (or server shutdown).
+    Closed,
+    /// Buffer filled.
+    Data,
+    /// The connection failed; counted under this kind.
+    Failed(TransportErrorKind),
+}
+
+/// Fills `buf` completely.  At a message boundary (`boundary`), a clean EOF
+/// or an idle read timeout is not an error; inside a message they are
+/// `Truncated` / `Deadline` respectively.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    boundary: bool,
+) -> ReadOutcome {
+    let mut filled = 0;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && boundary {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Failed(TransportErrorKind::Truncated)
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                if filled == buf.len() {
+                    return ReadOutcome::Data;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled > 0 || !boundary {
+                    return ReadOutcome::Failed(TransportErrorKind::Deadline);
+                }
+                // Idle at a message boundary: keep waiting (the loop re-checks
+                // the stop flag each timeout tick).
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed(TransportErrorKind::Io),
+        }
+    }
+}
+
+/// The TCP frame-ingest server: accepts connections, decodes and validates
+/// wire messages, deduplicates retransmissions and delivers frames to a
+/// [`FrameSink`].  One thread per connection (camera links are few and
+/// long-lived); backpressure propagates through blocking delivery.
+#[derive(Debug)]
+pub struct FrameServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FrameServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts accepting.  Decode
+    /// and transport failures increment `counters`; accepted frames go to
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        sink: Arc<dyn FrameSink>,
+        counters: Arc<TransportCounters>,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(Mutex::new(SequenceGate::new()));
+        let stop_flag = Arc::clone(&stop);
+        let conn_table = Arc::clone(&conns);
+        let thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop_flag.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop_flag.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_table
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push(clone);
+                        }
+                        let sink = Arc::clone(&sink);
+                        let counters = Arc::clone(&counters);
+                        let gate = Arc::clone(&gate);
+                        let stop = Arc::clone(&stop_flag);
+                        workers.push(std::thread::spawn(move || {
+                            handle_connection(stream, &*sink, &gate, &counters, config, &stop);
+                        }));
+                    }
+                    Err(_) => {
+                        if stop_flag.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                    }
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            conns,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs live connections (any half-read message is
+    /// discarded) and joins every connection thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for FrameServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One connection's read-decode-deliver-ack loop.  Returns (closing the
+/// connection) on clean EOF, shutdown, any transport failure or any wire
+/// fault — the client reconnects and retransmits, and the sequence gate
+/// (shared across connections) deduplicates.
+fn handle_connection(
+    mut stream: TcpStream,
+    sink: &dyn FrameSink,
+    gate: &Mutex<SequenceGate>,
+    counters: &TransportCounters,
+    config: NetConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    // Reused across messages: after the first frame of a steady stream,
+    // reads resize within capacity and decode fills recycled planes — the
+    // loop allocates nothing.
+    let mut message: Vec<u8> = Vec::new();
+    loop {
+        let mut prefix = [0u8; 4];
+        match read_full(&mut stream, &mut prefix, stop, true) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Failed(kind) => {
+                counters.record(kind);
+                return;
+            }
+            ReadOutcome::Data => {}
+        }
+        let declared = u32::from_le_bytes(prefix) as usize;
+        if declared > config.max_message_bytes {
+            counters.record(TransportErrorKind::Oversized);
+            return;
+        }
+        message.resize(4 + declared, 0);
+        message[..4].copy_from_slice(&prefix);
+        match read_full(&mut stream, &mut message[4..], stop, false) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Failed(kind) => {
+                // The half-read message dies here, in a connection-local
+                // buffer: nothing of it was delivered, the next session (or
+                // reconnect) starts from a clean boundary.
+                counters.record(kind);
+                return;
+            }
+            ReadOutcome::Data => {}
+        }
+        let frame = match wire::validate(&message, config.max_message_bytes) {
+            Ok(frame) => frame,
+            Err(AsvError::Wire { fault, .. }) => {
+                counters.record(TransportErrorKind::of_wire(fault));
+                return;
+            }
+            Err(_) => {
+                counters.record(TransportErrorKind::Io);
+                return;
+            }
+        };
+        let admit = gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .admit(frame.key, frame.seq);
+        let status = match admit {
+            Admit::Duplicate => ACK_DUPLICATE,
+            Admit::Gap { .. } => {
+                counters.record(TransportErrorKind::Gap);
+                ACK_GAP
+            }
+            Admit::Accept => {
+                let mut left = sink.recycled_frame(frame.key, frame.width, frame.height);
+                let mut right = sink.recycled_frame(frame.key, frame.width, frame.height);
+                match frame.fill_planes(&mut left, &mut right) {
+                    // Delivery may block: that is the backpressure path, and
+                    // the client's unsent frames queue in the TCP window.
+                    Ok(()) => match sink.deliver(frame.key, frame.seq, left, right) {
+                        Ok(()) => ACK_ACCEPTED,
+                        Err(_) => ACK_ERROR,
+                    },
+                    Err(AsvError::Wire { fault, .. }) => {
+                        counters.record(TransportErrorKind::of_wire(fault));
+                        ACK_ERROR
+                    }
+                    Err(_) => ACK_ERROR,
+                }
+            }
+        };
+        let mut ack = [0u8; ACK_BYTES];
+        ack[0] = ACK_MAGIC;
+        ack[1] = status;
+        ack[2..].copy_from_slice(&frame.seq.to_le_bytes());
+        if stream.write_all(&ack).is_err() {
+            counters.record(TransportErrorKind::Io);
+            return;
+        }
+    }
+}
+
+/// The camera-side sender: frames go out with per-session sequence numbers
+/// over one TCP connection; on any failure the client reconnects with
+/// exponential backoff + jitter and retransmits everything unacknowledged.
+/// At most [`ClientConfig::window`] frames are in flight unacknowledged.
+#[derive(Debug)]
+pub struct FrameClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    counters: Arc<TransportCounters>,
+    rng: SmallRng,
+    stream: Option<TcpStream>,
+    next_seq: HashMap<String, u64>,
+    /// Sent-but-unacknowledged messages, oldest first; retransmitted whole
+    /// on reconnect (the server's gate discards duplicates).
+    unacked: VecDeque<(u64, Vec<u8>)>,
+    /// How many of `unacked` are on the current connection already.
+    written: usize,
+    /// Recycled encode buffers (acknowledged messages come back here), so
+    /// a steady stream encodes without allocating.
+    spare: Vec<Vec<u8>>,
+}
+
+impl FrameClient {
+    /// Resolves `addr` and connects, retrying with backoff per `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::Transport`] when the address does not resolve or the
+    /// connection cannot be established within the retry budget.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, AsvError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| AsvError::transport(format!("address resolution failed: {e}")))?
+            .next()
+            .ok_or_else(|| AsvError::transport("address resolved to nothing"))?;
+        let mut client = Self {
+            addr,
+            rng: SmallRng::seed_from_u64(config.jitter_seed),
+            config,
+            counters: Arc::new(TransportCounters::new()),
+            stream: None,
+            next_seq: HashMap::new(),
+            unacked: VecDeque::new(),
+            written: 0,
+            spare: Vec::new(),
+        };
+        client.drive(usize::MAX)?;
+        Ok(client)
+    }
+
+    /// Shares `counters` (e.g. the cluster's) instead of the private set.
+    pub fn with_counters(mut self, counters: Arc<TransportCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The transport error counters this client increments.
+    pub fn counters(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Frames sent and not yet acknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Sends one frame for `key`, assigning the next sequence number.
+    /// Blocks while the in-flight window is full (waiting for acks) and
+    /// transparently reconnects + retransmits on transport failures.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::Wire`] when the planes disagree in size, and
+    /// [`AsvError::Transport`] when the retry budget is exhausted or the
+    /// server reports a protocol failure (sequence gap / session error).
+    pub fn send(&mut self, key: &str, left: &Image, right: &Image) -> Result<(), AsvError> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        let seq = self.next_seq.get(key).copied().unwrap_or(0);
+        wire::encode_frame_into(&mut buf, key, seq, left, right)?;
+        self.next_seq.insert(key.to_owned(), seq + 1);
+        self.unacked.push_back((seq, buf));
+        let window = self.config.window.max(1);
+        self.drive(window.saturating_sub(1))
+    }
+
+    /// Blocks until every sent frame is acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrameClient::send`].
+    pub fn flush(&mut self) -> Result<(), AsvError> {
+        self.drive(0)
+    }
+
+    /// Writes every pending message and reads acks until at most
+    /// `target_unacked` remain in flight, reconnecting on failure.
+    fn drive(&mut self, target_unacked: usize) -> Result<(), AsvError> {
+        let mut attempts = 0u32;
+        loop {
+            let step = self.try_drive(target_unacked);
+            match step {
+                Ok(None) => return Ok(()),
+                Ok(Some(error)) => return Err(error),
+                Err(e) => self.back_off(&e, &mut attempts)?,
+            }
+        }
+    }
+
+    /// One connection's worth of progress; `Ok(Some(_))` is a fatal
+    /// protocol error, `Err` a retriable transport failure.
+    fn try_drive(&mut self, target_unacked: usize) -> std::io::Result<Option<AsvError>> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.deadline)?;
+            stream.set_read_timeout(Some(self.config.deadline))?;
+            stream.set_write_timeout(Some(self.config.deadline))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+            self.written = 0;
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        while self.written < self.unacked.len() {
+            stream.write_all(&self.unacked[self.written].1)?;
+            self.written += 1;
+        }
+        while self.unacked.len() > target_unacked {
+            let mut ack = [0u8; ACK_BYTES];
+            stream.read_exact(&mut ack)?;
+            if ack[0] != ACK_MAGIC {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad ack magic",
+                ));
+            }
+            let mut seq_raw = [0u8; 8];
+            seq_raw.copy_from_slice(&ack[2..]);
+            let seq = u64::from_le_bytes(seq_raw);
+            let Some(&(expected, _)) = self.unacked.front() else {
+                break;
+            };
+            if seq != expected {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "ack out of order",
+                ));
+            }
+            match ack[1] {
+                ACK_ACCEPTED | ACK_DUPLICATE => {
+                    let (_, mut buf) = self.unacked.pop_front().expect("front exists");
+                    buf.clear();
+                    self.spare.push(buf);
+                    self.written = self.written.saturating_sub(1);
+                }
+                ACK_GAP => {
+                    return Ok(Some(AsvError::transport(format!(
+                        "server reported a sequence gap at frame {seq}"
+                    ))));
+                }
+                _ => {
+                    return Ok(Some(AsvError::transport(format!(
+                        "server rejected frame {seq} (session error)"
+                    ))));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Counts the failure, drops the connection and sleeps the backoff;
+    /// errors out when the retry budget is spent.
+    fn back_off(&mut self, error: &std::io::Error, attempts: &mut u32) -> Result<(), AsvError> {
+        let kind = if matches!(
+            error.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            TransportErrorKind::Deadline
+        } else {
+            TransportErrorKind::Io
+        };
+        self.counters.record(kind);
+        self.stream = None;
+        self.written = 0;
+        if *attempts >= self.config.max_retries {
+            return Err(AsvError::transport(format!(
+                "{} unreachable after {} attempts: {error}",
+                self.addr,
+                *attempts + 1
+            )));
+        }
+        std::thread::sleep(backoff_delay(&self.config, *attempts, &mut self.rng));
+        *attempts += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_gate_accepts_in_order_and_flags_the_rest() {
+        let mut gate = SequenceGate::new();
+        assert_eq!(gate.admit("cam", 0), Admit::Accept);
+        assert_eq!(gate.admit("cam", 1), Admit::Accept);
+        assert_eq!(gate.admit("cam", 1), Admit::Duplicate);
+        assert_eq!(gate.admit("cam", 0), Admit::Duplicate);
+        assert_eq!(gate.admit("cam", 5), Admit::Gap { expected: 2 });
+        assert_eq!(gate.admit("cam", 2), Admit::Accept);
+        // Sessions are independent; a fresh key must start at 0.
+        assert_eq!(gate.admit("other", 3), Admit::Gap { expected: 0 });
+        assert_eq!(gate.admit("other", 0), Admit::Accept);
+        assert_eq!(gate.expected("cam"), 3);
+        assert_eq!(gate.expected("unseen"), 0);
+    }
+
+    #[test]
+    fn transport_error_kinds_have_stable_names_and_dense_indices() {
+        for (i, kind) in TransportErrorKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let names: Vec<_> = TransportErrorKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "bad_magic",
+                "version",
+                "truncated",
+                "oversized",
+                "crc",
+                "key",
+                "length",
+                "gap",
+                "io",
+                "deadline"
+            ]
+        );
+        let counters = TransportCounters::new();
+        counters.record(TransportErrorKind::Crc);
+        counters.record(TransportErrorKind::Crc);
+        counters.record(TransportErrorKind::Io);
+        assert_eq!(counters.count(TransportErrorKind::Crc), 2);
+        assert_eq!(counters.total(), 3);
+        assert_eq!(counters.snapshot()[TransportErrorKind::Io.index()], 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_the_cap_plus_jitter() {
+        let config = ClientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(config.jitter_seed);
+        for attempt in 0..12 {
+            let delay = backoff_delay(&config, attempt, &mut rng).as_millis() as u64;
+            let floor = (10u64 << attempt.min(16)).min(200);
+            assert!(delay >= floor, "attempt {attempt}: {delay} < {floor}");
+            assert!(delay < floor + 10, "attempt {attempt}: jitter exceeds base");
+        }
+        // Deterministic for a fixed seed.
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        assert_eq!(
+            backoff_delay(&config, 2, &mut a),
+            backoff_delay(&config, 2, &mut b)
+        );
+    }
+}

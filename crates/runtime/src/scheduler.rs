@@ -151,6 +151,11 @@ struct Engine {
     shutdown: bool,
     /// Frames currently being processed outside the lock.
     in_flight: usize,
+    /// Set when the shard has failed (injected fault via [`Scheduler::trip`]
+    /// or a poisoned engine lock): every session is dead, submissions fail
+    /// with [`AsvError::ShardDown`] and a supervisor may re-place the
+    /// sessions on surviving shards.
+    failed: Option<String>,
 }
 
 impl Engine {
@@ -201,8 +206,45 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the engine, recovering from a poisoned mutex by marking the
+    /// shard failed instead of propagating the panic: producers then get
+    /// [`AsvError::ShardDown`] and a supervisor can re-place the sessions,
+    /// rather than the whole process cascading.
     fn lock(&self) -> MutexGuard<'_, Engine> {
-        self.engine.lock().expect("runtime engine lock poisoned")
+        match self.engine.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => self.mark_poisoned(poisoned.into_inner()),
+        }
+    }
+
+    /// Parks on `condvar` with the same poison recovery as [`Shared::lock`].
+    fn wait_on<'a>(
+        &self,
+        condvar: &Condvar,
+        guard: MutexGuard<'a, Engine>,
+    ) -> MutexGuard<'a, Engine> {
+        match condvar.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => self.mark_poisoned(poisoned.into_inner()),
+        }
+    }
+
+    fn mark_poisoned<'a>(&self, mut guard: MutexGuard<'a, Engine>) -> MutexGuard<'a, Engine> {
+        if guard.failed.is_none() {
+            let context = "engine lock poisoned by a panicked thread".to_owned();
+            for slot in &mut guard.sessions {
+                let dropped = slot.inbox.clear();
+                slot.telemetry.frames_dropped += dropped as u64;
+                if slot.error.is_none() {
+                    slot.error = Some(AsvError::shard_down(context.clone()));
+                }
+            }
+            guard.failed = Some(context);
+            // Wake parked producers (to fail their submits) and workers.
+            self.work.notify_all();
+            self.space.notify_all();
+        }
+        guard
     }
 }
 
@@ -265,6 +307,7 @@ impl Scheduler {
                 cursor: 0,
                 shutdown: false,
                 in_flight: 0,
+                failed: None,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
@@ -338,9 +381,13 @@ impl Scheduler {
     ) -> SessionHandle {
         let mut engine = self.shared.lock();
         let id = SessionId(engine.sessions.len());
-        engine
-            .sessions
-            .push(StreamSession::new(id, state, self.inbox_capacity, label).with_qos(qos));
+        let mut session = StreamSession::new(id, state, self.inbox_capacity, label).with_qos(qos);
+        if let Some(context) = &engine.failed {
+            // Registering on a failed shard yields a dead-on-arrival session
+            // whose first submit reports the failure instead of queueing.
+            session.error = Some(AsvError::shard_down(context.clone()));
+        }
+        engine.sessions.push(session);
         SessionHandle {
             shared: Arc::clone(&self.shared),
             id,
@@ -351,6 +398,38 @@ impl Scheduler {
     /// Number of registered sessions.
     pub fn session_count(&self) -> usize {
         self.shared.lock().sessions.len()
+    }
+
+    /// Kills this shard: every session is marked dead with
+    /// [`AsvError::ShardDown`], queued frames are dropped (and counted) and
+    /// every future submit fails immediately.  Parked producers are woken so
+    /// a lost shard never wedges a feeder.  This is both the fault-injection
+    /// entry point of the failover sim and what the runtime itself invokes
+    /// when it detects a poisoned engine lock.
+    pub fn trip(&self, context: impl std::fmt::Display) {
+        let mut engine = self.shared.lock();
+        if engine.failed.is_some() {
+            return;
+        }
+        let context = context.to_string();
+        for slot in &mut engine.sessions {
+            let dropped = slot.inbox.clear();
+            slot.telemetry.frames_dropped += dropped as u64;
+            if dropped > 0 {
+                slot.telemetry.queue_depth.observe(0);
+            }
+            if slot.error.is_none() {
+                slot.error = Some(AsvError::shard_down(context.clone()));
+            }
+        }
+        engine.failed = Some(context);
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    /// Whether this shard has failed (tripped or poisoned).
+    pub fn is_failed(&self) -> bool {
+        self.shared.lock().failed.is_some()
     }
 
     /// Instantaneous load: frames queued in every inbox plus frames being
@@ -454,6 +533,17 @@ pub struct SchedulerObserver {
 }
 
 impl SchedulerObserver {
+    /// Whether the observed shard has failed (tripped or poisoned).
+    pub fn is_failed(&self) -> bool {
+        self.shared.lock().failed.is_some()
+    }
+
+    /// Whether the observed shard is shutting down (its `join` has begun)
+    /// or has already drained.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.lock().shutdown
+    }
+
     /// A live fold of every session's telemetry, identical to
     /// [`Scheduler::telemetry_snapshot`].
     pub fn telemetry_snapshot(&self) -> AggregateTelemetry {
@@ -536,40 +626,66 @@ impl SessionHandle {
     /// # Errors
     ///
     /// Returns the session's stored error if a previous frame failed,
+    /// [`AsvError::ShardDown`] if the shard has failed,
     /// [`AsvError::Shutdown`] if the scheduler has been shut down, or
     /// [`AsvError::Saturated`] under the `Reject` policy when the inbox is
     /// full.  A frame that is not accepted is counted in the session's
     /// `frames_dropped` (failure/shutdown) or `frames_shed` (admission
     /// control) telemetry.
     pub fn submit(&self, left: Image, right: Image) -> Result<(), AsvError> {
+        self.submit_recoverable(left, right)
+            .map_err(|(error, _, _)| error)
+    }
+
+    /// [`SessionHandle::submit`] that hands the frame back on failure, so a
+    /// supervisor can re-place the session on a surviving shard and resubmit
+    /// the same planes without cloning them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionHandle::submit`], with the rejected
+    /// planes attached.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_recoverable(
+        &self,
+        left: Image,
+        right: Image,
+    ) -> Result<(), (AsvError, Image, Image)> {
         let mut engine = self.shared.lock();
         loop {
+            if let Some(context) = &engine.failed {
+                let error = AsvError::shard_down(context.clone());
+                if let Some(slot) = engine.sessions.get_mut(self.id.0) {
+                    slot.telemetry.frames_dropped += 1;
+                }
+                return Err((error, left, right));
+            }
             if engine.shutdown {
                 // The session table may already be drained by `join`.
                 if let Some(slot) = engine.sessions.get_mut(self.id.0) {
                     slot.telemetry.frames_dropped += 1;
                 }
-                return Err(AsvError::Shutdown);
+                return Err((AsvError::Shutdown, left, right));
             }
             let slot = &mut engine.sessions[self.id.0];
             if let Some(error) = &slot.error {
                 let error = error.clone();
                 slot.telemetry.frames_dropped += 1;
-                return Err(error);
+                return Err((error, left, right));
             }
             if slot.inbox.is_full() {
                 match self.shed_policy {
                     ShedPolicy::Block => {
-                        engine = self
-                            .shared
-                            .space
-                            .wait(engine)
-                            .expect("runtime engine lock poisoned");
+                        engine = self.shared.wait_on(&self.shared.space, engine);
                         continue;
                     }
                     ShedPolicy::Reject => {
                         slot.telemetry.frames_shed += 1;
-                        return Err(AsvError::saturated(format!("{} inbox", self.id)));
+                        return Err((
+                            AsvError::saturated(format!("{} inbox", self.id)),
+                            left,
+                            right,
+                        ));
                     }
                     ShedPolicy::DropOldest => {
                         slot.inbox.pop();
@@ -640,7 +756,7 @@ fn session_name(label: &Option<String>, index: usize) -> String {
 fn worker_loop(shared: &Shared) {
     let mut engine = shared.lock();
     loop {
-        if let Some((idx, frame, mut state, mut workspace)) = engine.dispatch_next() {
+        if let Some((idx, frame, state, workspace)) = engine.dispatch_next() {
             engine.in_flight += 1;
             drop(engine);
             // A slot was freed: a producer blocked on this inbox can refill
@@ -649,8 +765,41 @@ fn worker_loop(shared: &Shared) {
 
             let waited = frame.queued_at.elapsed();
             let started = Instant::now();
-            let outcome = state.step_with(&mut workspace, &frame.left, &frame.right);
+            // The kernels run inside `catch_unwind` so a panicking stereo
+            // step kills only its own session (state and workspace are lost,
+            // the error is stored) instead of poisoning the engine lock and
+            // taking the whole shard down with it.
+            let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let mut state = state;
+                let mut workspace = workspace;
+                let outcome = state.step_with(&mut workspace, &frame.left, &frame.right);
+                (state, workspace, frame, outcome)
+            }));
             let service = started.elapsed();
+            let (state, workspace, frame, outcome) = match step {
+                Ok(parts) => parts,
+                Err(panic) => {
+                    let reason = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_owned());
+                    engine = shared.lock();
+                    engine.in_flight -= 1;
+                    let slot = &mut engine.sessions[idx];
+                    let dropped = slot.inbox.clear();
+                    // The panicked frame plus everything queued behind it.
+                    slot.telemetry.frames_dropped += dropped as u64 + 1;
+                    slot.telemetry.queue_depth.observe(0);
+                    if slot.error.is_none() {
+                        slot.error =
+                            Some(AsvError::config(format!("stereo step panicked: {reason}")));
+                    }
+                    shared.work.notify_all();
+                    shared.space.notify_all();
+                    continue;
+                }
+            };
             // Harvest the per-stage totals the frame tracer just recorded
             // (outside the lock; `None` while tracing is off).
             let stage_totals = workspace
@@ -696,7 +845,11 @@ fn worker_loop(shared: &Shared) {
                     let dropped = slot.inbox.clear();
                     slot.telemetry.frames_dropped += dropped as u64;
                     slot.telemetry.queue_depth.observe(0);
-                    slot.error = Some(error);
+                    // A trip may have stored `ShardDown` while this frame
+                    // was mid-step; the first error wins.
+                    if slot.error.is_none() {
+                        slot.error = Some(error);
+                    }
                 }
             }
             // The session became dispatchable again (its state is back) and
@@ -706,10 +859,7 @@ fn worker_loop(shared: &Shared) {
         } else if engine.drained() {
             return;
         } else {
-            engine = shared
-                .work
-                .wait(engine)
-                .expect("runtime engine lock poisoned");
+            engine = shared.wait_on(&shared.work, engine);
         }
     }
 }

@@ -24,16 +24,19 @@
 
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::ingest::{Ingest, IngestConfig};
+use crate::net::{Admit, FrameSink, SequenceGate, TransportCounters, TransportErrorKind};
 use crate::qos::{QosAction, QosConfig, QosController, QosKnobs, SessionSlo};
 use crate::scheduler::{SchedulerConfig, ShedPolicy};
 use crate::serve::serve_sequences;
+use crate::supervisor::{Delivery, MigrationRecord, Supervisor};
+use crate::wire;
 use asv::ism::{FrameResult, IsmPipeline, IsmResult, KeyFramePolicy};
 use asv::AsvError;
 use asv::CostMetric;
 use asv_scene::{SceneConfig, StereoSequence};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A deterministic logical clock, advancing only when told to.
@@ -185,7 +188,19 @@ fn compare_session(
         ));
         return;
     }
-    for (frame, (e, a)) in expected.frames.iter().zip(actual).enumerate() {
+    compare_frames(label, &expected.frames, actual, frames_compared, mismatches);
+}
+
+/// Byte-compares streamed frames against reference frames position by
+/// position (the caller already aligned and length-checked the slices).
+fn compare_frames(
+    label: &str,
+    expected: &[FrameResult],
+    actual: &[FrameResult],
+    frames_compared: &mut u64,
+    mismatches: &mut Vec<String>,
+) {
+    for (frame, (e, a)) in expected.iter().zip(actual).enumerate() {
         *frames_compared += 1;
         if e.kind != a.kind {
             mismatches.push(format!(
@@ -634,6 +649,540 @@ pub fn run_overload_sim(config: &OverloadConfig, qos_enabled: bool) -> OverloadR
         sessions: reports,
         total_actuations,
     }
+}
+
+/// Per-mille fault rates of the simulated lossy transport, plus the
+/// retransmission budget.  Rates are rolled per delivery *attempt*, so a
+/// frame can be dropped, corrupted and reordered on successive tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed of the fault roll (independent of the workload seed).
+    pub seed: u64,
+    /// Per-mille chance a message vanishes in flight.
+    pub drop_per_mille: u16,
+    /// Per-mille chance a message arrives with one byte flipped.
+    pub corrupt_per_mille: u16,
+    /// Per-mille chance a message arrives cut off mid-frame (the
+    /// half-written-frame-on-disconnect case).
+    pub truncate_per_mille: u16,
+    /// Per-mille chance a delivered message is delivered twice.
+    pub duplicate_per_mille: u16,
+    /// Per-mille chance the *next* frame arrives before this one (the
+    /// delayed/reordered-link case).
+    pub reorder_per_mille: u16,
+    /// Delivery attempts per frame before the link declares the session
+    /// wedged (the assertion the harness exists to keep false).
+    pub max_attempts: usize,
+}
+
+impl ChaosConfig {
+    /// The CI scenario: every fault class well above real-link rates, with
+    /// a retransmission budget that makes loss of progress astronomically
+    /// unlikely while still bounding the sim.
+    pub fn ci() -> Self {
+        Self {
+            seed: 0xC4_05,
+            drop_per_mille: 150,
+            corrupt_per_mille: 100,
+            truncate_per_mille: 80,
+            duplicate_per_mille: 120,
+            reorder_per_mille: 120,
+            max_attempts: 64,
+        }
+    }
+}
+
+/// Outcome of one [`run_chaos_transport_sim`] run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Frames accepted by the receiver exactly once.
+    pub frames_delivered: u64,
+    /// Messages the link dropped.
+    pub frames_dropped: u64,
+    /// Messages delivered with a flipped byte (all must be rejected).
+    pub frames_corrupted: u64,
+    /// Messages delivered cut off mid-frame (all must be rejected).
+    pub frames_truncated: u64,
+    /// Accepted messages the link delivered a second time (all must be
+    /// deduplicated).
+    pub frames_duplicated: u64,
+    /// Messages that arrived ahead of order (all must be refused as gaps).
+    pub frames_reordered: u64,
+    /// Sender retransmissions forced by unacknowledged deliveries.
+    pub retransmissions: u64,
+    /// Total faults counted by the transport counters (every injected
+    /// corruption/truncation/gap must appear here).
+    pub transport_errors: u64,
+    /// Frames byte-compared against the batch baseline.
+    pub frames_compared: u64,
+    /// Human-readable descriptions of every divergence (empty on success).
+    pub mismatches: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether every session's output was byte-identical to batch and no
+    /// session wedged.
+    pub fn is_deterministic(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// What the simulated receiver did with one delivered message; mirrors the
+/// accept/duplicate/reject split of the real TCP server's ack protocol.
+enum Receipt {
+    /// Validated, in order, delivered to the session: acknowledged.
+    Accepted,
+    /// A retransmission of an already-delivered frame: acknowledged
+    /// without re-delivery.
+    Duplicate,
+    /// Rejected (decode fault or sequence gap): the sender must retry.
+    Rejected,
+}
+
+/// The receive path of the chaos sim — the same validate → dedup → deliver
+/// pipeline as [`crate::FrameServer`], minus the socket.
+fn chaos_receive(
+    bytes: &[u8],
+    gate: &mut SequenceGate,
+    counters: &TransportCounters,
+    supervisor: &Supervisor,
+) -> Result<Receipt, AsvError> {
+    let frame = match wire::validate(bytes, wire::MAX_MESSAGE_BYTES) {
+        Ok(frame) => frame,
+        Err(error) => {
+            if let AsvError::Wire { fault, .. } = &error {
+                counters.record(TransportErrorKind::of_wire(*fault));
+            }
+            return Ok(Receipt::Rejected);
+        }
+    };
+    match gate.admit(frame.key, frame.seq) {
+        Admit::Accept => {
+            let mut left = supervisor.recycled_frame(frame.key, frame.width, frame.height);
+            let mut right = supervisor.recycled_frame(frame.key, frame.width, frame.height);
+            frame.fill_planes(&mut left, &mut right)?;
+            supervisor.submit(frame.key, left, right)?;
+            Ok(Receipt::Accepted)
+        }
+        Admit::Duplicate => Ok(Receipt::Duplicate),
+        Admit::Gap { .. } => {
+            counters.record(TransportErrorKind::Gap);
+            Ok(Receipt::Rejected)
+        }
+    }
+}
+
+/// Runs the lossy-transport determinism experiment: every session's frames
+/// are wire-encoded and pushed through a seeded faulty link
+/// (drop/corrupt/truncate/duplicate/reorder) into the real receive pipeline
+/// — [`wire::validate`], a [`SequenceGate`], a [`Supervisor`]-fronted
+/// [`Cluster`] — with at-least-once retransmission until each frame is
+/// acknowledged.  Asserted downstream: every fault was counted, no session
+/// wedged, and every session's output is byte-identical to batch.
+///
+/// Fully deterministic for a given config: single-threaded link, seeded
+/// fault rolls.
+///
+/// # Errors
+///
+/// Returns the first [`AsvError`] if the serving path itself fails
+/// (divergence is recorded in [`ChaosReport::mismatches`], not an error).
+pub fn run_chaos_transport_sim(
+    pipeline: &IsmPipeline,
+    config: &SimConfig,
+    chaos: &ChaosConfig,
+) -> Result<ChaosReport, AsvError> {
+    let streams = generate_streams(config);
+    let batch: Vec<IsmResult> = streams
+        .iter()
+        .map(|s| pipeline.process_sequence(s))
+        .collect::<Result<_, _>>()?;
+
+    let shard_config = SchedulerConfig {
+        workers: config.workers_per_shard.max(1),
+        inbox_capacity: config.inbox_capacity,
+        shed_policy: ShedPolicy::Block,
+    };
+    let cluster = Arc::new(Cluster::new(
+        ClusterConfig::new(1).with_shard_config(shard_config),
+    ));
+    let counters = cluster.transport_counters();
+    let state_pipeline = pipeline.clone();
+    let supervisor = Supervisor::new(Arc::clone(&cluster), move |_| state_pipeline.state());
+
+    let mut gate = SequenceGate::new();
+    let mut report = ChaosReport {
+        frames_delivered: 0,
+        frames_dropped: 0,
+        frames_corrupted: 0,
+        frames_truncated: 0,
+        frames_duplicated: 0,
+        frames_reordered: 0,
+        retransmissions: 0,
+        transport_errors: 0,
+        frames_compared: 0,
+        mismatches: Vec::new(),
+    };
+
+    for (i, stream) in streams.iter().enumerate() {
+        let key = session_key(i);
+        let mut rng =
+            SmallRng::seed_from_u64(chaos.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut pending: std::collections::VecDeque<(u64, Vec<u8>)> =
+            std::collections::VecDeque::new();
+        for (seq, frame) in stream.frames().iter().enumerate() {
+            let mut bytes = Vec::new();
+            wire::encode_frame_into(&mut bytes, &key, seq as u64, &frame.left, &frame.right)?;
+            pending.push_back((seq as u64, bytes));
+        }
+
+        'frames: while let Some((seq, bytes)) = pending.pop_front() {
+            for _attempt in 0..chaos.max_attempts.max(1) {
+                let roll: u32 = rng.gen_range(0u32..1000);
+                let drop_at = u32::from(chaos.drop_per_mille);
+                let corrupt_at = drop_at + u32::from(chaos.corrupt_per_mille);
+                let truncate_at = corrupt_at + u32::from(chaos.truncate_per_mille);
+                let reorder_at = truncate_at + u32::from(chaos.reorder_per_mille);
+                if roll < drop_at {
+                    report.frames_dropped += 1;
+                    report.retransmissions += 1;
+                    continue;
+                }
+                if roll < corrupt_at {
+                    let mut mangled = bytes.clone();
+                    let at = rng.gen_range(0..mangled.len());
+                    mangled[at] ^= 0x41;
+                    if matches!(
+                        chaos_receive(&mangled, &mut gate, &counters, &supervisor)?,
+                        Receipt::Accepted | Receipt::Duplicate
+                    ) {
+                        report
+                            .mismatches
+                            .push(format!("{key} seq {seq}: corrupt message was accepted"));
+                    }
+                    report.frames_corrupted += 1;
+                    report.retransmissions += 1;
+                    continue;
+                }
+                if roll < truncate_at {
+                    let keep = rng.gen_range(4..bytes.len());
+                    if matches!(
+                        chaos_receive(&bytes[..keep], &mut gate, &counters, &supervisor)?,
+                        Receipt::Accepted | Receipt::Duplicate
+                    ) {
+                        report
+                            .mismatches
+                            .push(format!("{key} seq {seq}: truncated message was accepted"));
+                    }
+                    report.frames_truncated += 1;
+                    report.retransmissions += 1;
+                    continue;
+                }
+                if roll < reorder_at {
+                    // The delayed-link case: the next frame overtakes this
+                    // one.  The gate must refuse it (gap), keeping it
+                    // pending for in-order delivery later.
+                    if let Some((ahead_seq, ahead)) = pending.front() {
+                        if matches!(
+                            chaos_receive(ahead, &mut gate, &counters, &supervisor)?,
+                            Receipt::Accepted | Receipt::Duplicate
+                        ) {
+                            report.mismatches.push(format!(
+                                "{key} seq {ahead_seq}: out-of-order message was accepted"
+                            ));
+                        }
+                        report.frames_reordered += 1;
+                    }
+                }
+                match chaos_receive(&bytes, &mut gate, &counters, &supervisor)? {
+                    Receipt::Accepted => report.frames_delivered += 1,
+                    Receipt::Duplicate => {}
+                    Receipt::Rejected => {
+                        report.retransmissions += 1;
+                        continue;
+                    }
+                }
+                if roll >= 1000 - u32::from(chaos.duplicate_per_mille) {
+                    if matches!(
+                        chaos_receive(&bytes, &mut gate, &counters, &supervisor)?,
+                        Receipt::Accepted
+                    ) {
+                        report
+                            .mismatches
+                            .push(format!("{key} seq {seq}: duplicate was re-delivered"));
+                    }
+                    report.frames_duplicated += 1;
+                }
+                continue 'frames;
+            }
+            report.mismatches.push(format!(
+                "{key} seq {seq}: wedged after {} delivery attempts",
+                chaos.max_attempts
+            ));
+        }
+    }
+
+    report.transport_errors = counters.total();
+    supervisor.finish();
+    let cluster = Arc::try_unwrap(cluster).expect("supervisor retained a cluster handle");
+    let outcome = cluster.join();
+    for (i, expected) in batch.iter().enumerate() {
+        let key = session_key(i);
+        let label = format!("chaos-transport {key}");
+        match outcome.session_by_key(&key) {
+            Some(session) => {
+                if let Some(error) = &session.error {
+                    report
+                        .mismatches
+                        .push(format!("{label}: session failed: {error}"));
+                }
+                compare_session(
+                    &label,
+                    expected,
+                    &session.frames,
+                    &mut report.frames_compared,
+                    &mut report.mismatches,
+                );
+            }
+            None => report
+                .mismatches
+                .push(format!("{label}: session missing from report")),
+        }
+    }
+    Ok(report)
+}
+
+/// Parameters of one [`run_failover_sim`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Workload shape (seed, sessions, frames, frame size, shard sizing).
+    pub sim: SimConfig,
+    /// Scheduler shards in the cluster.
+    pub shards: usize,
+    /// The shard to kill; `None` kills the shard serving session 0, which
+    /// guarantees at least one migration.
+    pub victim: Option<usize>,
+    /// Frames per session delivered before the kill (must be at least 1).
+    pub kill_after: usize,
+}
+
+impl FailoverConfig {
+    /// The CI scenario: four sessions over three shards, shard killed
+    /// mid-stream.
+    pub fn ci() -> Self {
+        Self {
+            sim: SimConfig::small().with_sessions(4).with_frames(6),
+            shards: 3,
+            victim: None,
+            kill_after: 3,
+        }
+    }
+}
+
+/// Outcome of one [`run_failover_sim`] run.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// The shard the sim killed.
+    pub victim: usize,
+    /// Every re-placement the supervisor performed.
+    pub migrations: Vec<MigrationRecord>,
+    /// Per session: the frame index that observed the failure and was
+    /// re-delivered as the first (key) frame of the new incarnation
+    /// (`None` for sessions the kill never touched).
+    pub migration_frame: Vec<Option<usize>>,
+    /// Frames byte-compared against their baselines.
+    pub frames_compared: u64,
+    /// Divergences from the byte-identical contract (empty on success).
+    pub mismatches: Vec<String>,
+    /// Sessions that failed a submit after the kill (must be empty: frame
+    /// loss never wedges a session).
+    pub wedged: Vec<String>,
+    /// The final Prometheus scrape, containing the
+    /// `asv_sessions_migrated_total` / `asv_transport_errors_total`
+    /// families.
+    pub scrape: String,
+}
+
+impl FailoverReport {
+    /// Whether recovery was deterministic and every session survived.
+    pub fn is_deterministic(&self) -> bool {
+        self.mismatches.is_empty() && self.wedged.is_empty()
+    }
+}
+
+/// Runs the shard-failure recovery experiment: the seeded workload streams
+/// through a [`Supervisor`]-fronted multi-shard [`Cluster`]; mid-stream one
+/// shard is killed ([`Cluster::trip_shard`]).  The supervisor must re-place
+/// every session of the dead shard onto survivors with a key-frame re-key,
+/// after which each migrated session's output must be byte-identical to a
+/// fresh batch run over its post-migration frames — and untouched sessions
+/// byte-identical to batch over their full stream.  No session may wedge.
+///
+/// Single-threaded frame feed: deterministic migration points for a given
+/// config.
+///
+/// # Errors
+///
+/// Returns the first [`AsvError`] if baseline computation fails (recovery
+/// failures are recorded in the report, not returned).
+pub fn run_failover_sim(
+    pipeline: &IsmPipeline,
+    config: &FailoverConfig,
+) -> Result<FailoverReport, AsvError> {
+    let streams = generate_streams(&config.sim);
+    let batch: Vec<IsmResult> = streams
+        .iter()
+        .map(|s| pipeline.process_sequence(s))
+        .collect::<Result<_, _>>()?;
+
+    let shard_config = SchedulerConfig {
+        workers: config.sim.workers_per_shard.max(1),
+        inbox_capacity: config.sim.inbox_capacity,
+        shed_policy: ShedPolicy::Block,
+    };
+    let cluster = Arc::new(Cluster::new(
+        ClusterConfig::new(config.shards.max(2)).with_shard_config(shard_config),
+    ));
+    let victim = config
+        .victim
+        .unwrap_or_else(|| cluster.shard_for_key(&session_key(0)));
+    let state_pipeline = pipeline.clone();
+    let supervisor = Supervisor::new(Arc::clone(&cluster), move |_| state_pipeline.state());
+
+    let sessions = config.sim.sessions;
+    let frames = config.sim.frames_per_session;
+    let mut migration_frame: Vec<Option<usize>> = vec![None; sessions];
+    let mut wedged = Vec::new();
+    for f in 0..frames {
+        if f == config.kill_after.max(1) {
+            cluster.trip_shard(victim, "failover sim kill");
+        }
+        for (i, stream) in streams.iter().enumerate() {
+            let frame = &stream.frames()[f];
+            let key = session_key(i);
+            match supervisor.submit(&key, frame.left.clone(), frame.right.clone()) {
+                Ok(Delivery::Delivered) => {}
+                Ok(Delivery::Migrated { .. }) => {
+                    if migration_frame[i].is_none() {
+                        migration_frame[i] = Some(f);
+                    }
+                }
+                Err(error) => wedged.push(format!("{key} frame {f}: {error}")),
+            }
+        }
+    }
+
+    let migrations = supervisor.migrations();
+    supervisor.finish();
+    let cluster = Arc::try_unwrap(cluster).expect("supervisor retained a cluster handle");
+    let outcome = cluster.join();
+    let scrape = outcome.render_prometheus();
+
+    let mut frames_compared = 0u64;
+    let mut mismatches = Vec::new();
+    for (i, expected) in batch.iter().enumerate() {
+        let key = session_key(i);
+        match migration_frame[i] {
+            None => {
+                let label = format!("failover untouched {key}");
+                match outcome.session_by_key(&key) {
+                    Some(session) => {
+                        if let Some(error) = &session.error {
+                            mismatches.push(format!("{label}: session failed: {error}"));
+                        }
+                        compare_session(
+                            &label,
+                            expected,
+                            &session.frames,
+                            &mut frames_compared,
+                            &mut mismatches,
+                        );
+                    }
+                    None => mismatches.push(format!("{label}: session missing from report")),
+                }
+            }
+            Some(rekey) => {
+                // The dead incarnation: whatever prefix it processed before
+                // the kill must match the batch prefix byte for byte.
+                let old = outcome.shards[victim]
+                    .sessions
+                    .iter()
+                    .find(|s| s.label.as_deref() == Some(key.as_str()));
+                match old {
+                    Some(session) => {
+                        if session.frames.len() > rekey {
+                            mismatches.push(format!(
+                                "failover dead-shard {key}: processed {} frames, only {rekey} \
+                                 were delivered before the kill",
+                                session.frames.len()
+                            ));
+                        } else {
+                            compare_frames(
+                                &format!("failover dead-shard {key}"),
+                                &expected.frames[..session.frames.len()],
+                                &session.frames,
+                                &mut frames_compared,
+                                &mut mismatches,
+                            );
+                        }
+                    }
+                    None => {
+                        mismatches.push(format!("failover dead-shard {key}: incarnation missing"))
+                    }
+                }
+                // The re-keyed incarnation: byte-identical to a fresh batch
+                // run over the post-migration frames.
+                let to = migrations
+                    .iter()
+                    .find(|m| m.key == key)
+                    .map(|m| m.to)
+                    .unwrap_or(victim);
+                let label = format!("failover re-keyed {key}");
+                let new = outcome.shards[to]
+                    .sessions
+                    .iter()
+                    .find(|s| s.label.as_deref() == Some(key.as_str()));
+                match new {
+                    Some(session) => {
+                        if let Some(error) = &session.error {
+                            mismatches.push(format!("{label}: session failed: {error}"));
+                        }
+                        let mut state = pipeline.state();
+                        let mut suffix = Vec::with_capacity(frames - rekey);
+                        for frame in &streams[i].frames()[rekey..] {
+                            suffix.push(state.step(&frame.left, &frame.right)?);
+                        }
+                        if suffix.len() != session.frames.len() {
+                            mismatches.push(format!(
+                                "{label}: {} frames, expected {} from the re-key point",
+                                session.frames.len(),
+                                suffix.len()
+                            ));
+                        } else {
+                            compare_frames(
+                                &label,
+                                &suffix,
+                                &session.frames,
+                                &mut frames_compared,
+                                &mut mismatches,
+                            );
+                        }
+                    }
+                    None => mismatches.push(format!("{label}: incarnation missing")),
+                }
+            }
+        }
+    }
+
+    Ok(FailoverReport {
+        victim,
+        migrations,
+        migration_frame,
+        frames_compared,
+        mismatches,
+        wedged,
+        scrape,
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! owns one [`SessionTelemetry`]; [`AggregateTelemetry`] folds them together
 //! when the scheduler shuts down (or whenever a snapshot is requested).
 
+use crate::net::TransportErrorKind;
 use crate::qos::{QosAction, QosTelemetry};
 use asv::trace::Stage;
 use asv::FrameKind;
@@ -319,6 +320,15 @@ pub struct AggregateTelemetry {
     /// session name (the registration label, or `session-{index}`).  Feeds
     /// the per-session `asv_qos_level` gauge in the Prometheus export.
     pub qos_sessions: Vec<QosSessionSample>,
+    /// Sessions migrated *away* from this shard after it failed (stamped by
+    /// the cluster from its supervisor-fed counters, zero for standalone
+    /// schedulers).  Feeds `asv_sessions_migrated_total{shard}`.
+    pub sessions_migrated: u64,
+    /// Transport errors of the cluster's network edge by
+    /// [`TransportErrorKind::index`].  A cluster-wide counter set carried on
+    /// the first shard's snapshot (the exporter sums across shards); feeds
+    /// `asv_transport_errors_total{kind}`.
+    pub transport_errors: [u64; TransportErrorKind::COUNT],
     /// Wall-clock time the engine ran, seconds.
     pub wall_seconds: f64,
 }
@@ -401,6 +411,14 @@ impl AggregateTelemetry {
             *total += n;
         }
         self.qos_sessions.extend(other.qos_sessions.iter().cloned());
+        self.sessions_migrated += other.sessions_migrated;
+        for (total, &n) in self
+            .transport_errors
+            .iter_mut()
+            .zip(other.transport_errors.iter())
+        {
+            *total += n;
+        }
         self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
     }
 

@@ -1,0 +1,434 @@
+//! Length-prefixed stereo-frame wire format for the networked ingest edge.
+//!
+//! A message carries one stereo frame (left + right `f32` planes) plus the
+//! routing metadata the server needs: session key, per-session sequence
+//! number and plane dimensions.  The layout is fixed little-endian:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  length prefix (bytes after this field)
+//!      4     4  magic "ASVF"
+//!      8     2  format version (currently 1)
+//!     10     2  key length in bytes
+//!     12     8  sequence number (per session, starting at 0)
+//!     20     4  plane width in pixels
+//!     24     4  plane height in pixels
+//!     28     4  CRC-32 (IEEE) of every byte after the length prefix,
+//!               with this field read as zero
+//!     32     k  session key (UTF-8)
+//!   32+k  4*w*h left plane, f32 little-endian row-major
+//!          4*w*h right plane, f32 little-endian row-major
+//! ```
+//!
+//! Design rules, in service of the robustness guarantees the runtime makes:
+//!
+//! * **No panics on hostile input.**  Every structural violation maps to a
+//!   dedicated [`WireFault`] inside [`AsvError::Wire`] — truncated buffers,
+//!   oversized length prefixes, bad magic, unsupported versions, checksum
+//!   mismatches, invalid UTF-8 keys and inconsistent lengths are all errors,
+//!   never indexing faults.
+//! * **Allocation-free steady state.**  [`encode_frame_into`] reuses the
+//!   caller's buffer and [`decode_frame`] fills planes checked out of a
+//!   recycled [`BufferPool`], so a warm server decodes frames without
+//!   touching the heap (proven by the counting-allocator test in
+//!   `tests/wire.rs`).
+//! * **Whole-message integrity.**  The CRC covers the header fields as well
+//!   as the key and payload, so a bit flip anywhere after the length prefix
+//!   is caught — a flipped length prefix itself is caught by the internal
+//!   length consistency check.
+
+use asv::error::WireFault;
+use asv::AsvError;
+use asv_image::Image;
+use asv_mem::BufferPool;
+
+/// The four magic bytes opening every message (after the length prefix).
+pub const MAGIC: [u8; 4] = *b"ASVF";
+
+/// The wire-format version this build encodes and accepts.
+pub const VERSION: u16 = 1;
+
+/// Byte length of the fixed header, *including* the length prefix.
+pub const HEADER_BYTES: usize = 32;
+
+/// Default upper bound on one message (length prefix excluded): a 4K stereo
+/// pair with key leaves ample headroom, while a corrupt length prefix can
+/// never talk the server into a multi-gigabyte read.
+pub const MAX_MESSAGE_BYTES: usize = 128 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time so the runtime carries no dependency.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 over multiple slices (state in, state out).
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// CRC of a full message body: everything after the length prefix, with the
+/// four checksum bytes at `[28..32)` treated as zero.
+fn message_crc(message: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF;
+    crc = crc32_update(crc, &message[4..28]);
+    crc = crc32_update(crc, &[0, 0, 0, 0]);
+    crc = crc32_update(crc, &message[32..]);
+    !crc
+}
+
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Total message size (length prefix included) for one frame.
+pub fn encoded_len(key: &str, width: usize, height: usize) -> usize {
+    HEADER_BYTES + key.len() + 8 * width * height
+}
+
+/// Serializes one stereo frame into `out`, replacing its contents.
+///
+/// The buffer is cleared and refilled, so a caller that reuses the same
+/// `Vec` across frames of one stream performs no steady-state allocations
+/// (the first frame grows the buffer to its final size).
+///
+/// # Errors
+///
+/// [`AsvError::Wire`] with [`WireFault::Length`] when the planes disagree in
+/// size or the key exceeds the 16-bit key-length field; encoding performs no
+/// I/O and fails on nothing else.
+pub fn encode_frame_into(
+    out: &mut Vec<u8>,
+    key: &str,
+    seq: u64,
+    left: &Image,
+    right: &Image,
+) -> Result<(), AsvError> {
+    if left.width() != right.width() || left.height() != right.height() {
+        return Err(AsvError::wire(
+            WireFault::Length,
+            format!(
+                "left plane {}x{} vs right plane {}x{}",
+                left.width(),
+                left.height(),
+                right.width(),
+                right.height()
+            ),
+        ));
+    }
+    if key.len() > u16::MAX as usize {
+        return Err(AsvError::wire(
+            WireFault::Length,
+            format!(
+                "session key of {} bytes exceeds the 16-bit field",
+                key.len()
+            ),
+        ));
+    }
+    let width = left.width();
+    let height = left.height();
+    let total = encoded_len(key, width, height);
+    out.clear();
+    out.reserve(total);
+    out.extend_from_slice(&u32::to_le_bytes((total - 4) as u32));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(width as u32).to_le_bytes());
+    out.extend_from_slice(&(height as u32).to_le_bytes());
+    out.extend_from_slice(&[0, 0, 0, 0]); // CRC placeholder, patched below.
+    out.extend_from_slice(key.as_bytes());
+    for &px in left.as_slice() {
+        out.extend_from_slice(&px.to_le_bytes());
+    }
+    for &px in right.as_slice() {
+        out.extend_from_slice(&px.to_le_bytes());
+    }
+    let crc = message_crc(out);
+    out[28..32].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// A validated view into an encoded message: header fields plus borrowed
+/// plane bytes, produced by [`validate`] without touching the heap.
+#[derive(Debug)]
+pub struct FrameRef<'a> {
+    /// Session key routing this frame.
+    pub key: &'a str,
+    /// Per-session sequence number.
+    pub seq: u64,
+    /// Plane width in pixels.
+    pub width: usize,
+    /// Plane height in pixels.
+    pub height: usize,
+    left_bytes: &'a [u8],
+    right_bytes: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// Deserializes the two planes into `data` buffers of exactly
+    /// `width * height` elements (checked), little-endian.
+    fn fill_plane(bytes: &[u8], data: &mut [f32]) {
+        for (dst, raw) in data.iter_mut().zip(bytes.chunks_exact(4)) {
+            *dst = f32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
+        }
+    }
+
+    /// Builds the left plane from a recycled pool buffer.
+    pub fn left_into(&self, pool: &mut BufferPool) -> Image {
+        let mut data = pool.take_scratch(self.width * self.height);
+        Self::fill_plane(self.left_bytes, &mut data);
+        Image::from_vec(self.width, self.height, data)
+            .expect("pool buffer has exactly width * height pixels")
+    }
+
+    /// Builds the right plane from a recycled pool buffer.
+    pub fn right_into(&self, pool: &mut BufferPool) -> Image {
+        let mut data = pool.take_scratch(self.width * self.height);
+        Self::fill_plane(self.right_bytes, &mut data);
+        Image::from_vec(self.width, self.height, data)
+            .expect("pool buffer has exactly width * height pixels")
+    }
+
+    /// Deserializes both planes into caller-provided images, which must
+    /// already have this frame's dimensions (e.g. recycled from the target
+    /// shard's frame pool) — the zero-allocation server path.
+    ///
+    /// # Errors
+    ///
+    /// [`AsvError::Wire`] with [`WireFault::Length`] when either image's
+    /// dimensions disagree with the header.
+    pub fn fill_planes(&self, left: &mut Image, right: &mut Image) -> Result<(), AsvError> {
+        for (plane, image) in [(self.left_bytes, &mut *left), (self.right_bytes, right)] {
+            if image.width() != self.width || image.height() != self.height {
+                return Err(AsvError::wire(
+                    WireFault::Length,
+                    format!(
+                        "provided {}x{} plane for a {}x{} frame",
+                        image.width(),
+                        image.height(),
+                        self.width,
+                        self.height
+                    ),
+                ));
+            }
+            Self::fill_plane(plane, image.as_mut_slice());
+        }
+        Ok(())
+    }
+}
+
+/// One decoded stereo frame with owned planes (see [`decode_frame`]).
+#[derive(Debug)]
+pub struct WireFrame<'a> {
+    /// Session key routing this frame (borrowed from the input buffer).
+    pub key: &'a str,
+    /// Per-session sequence number.
+    pub seq: u64,
+    /// Left plane.
+    pub left: Image,
+    /// Right plane.
+    pub right: Image,
+}
+
+/// Structurally validates one complete message (length prefix included) and
+/// returns a borrowed view of its fields.  Performs every check of the
+/// format — length consistency, magic, version, CRC, key UTF-8 — without
+/// allocating.
+///
+/// # Errors
+///
+/// [`AsvError::Wire`] carrying the exact [`WireFault`]; see the module
+/// documentation for the full list.
+pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, AsvError> {
+    if bytes.len() < 4 {
+        return Err(AsvError::wire(
+            WireFault::Truncated,
+            format!("{} bytes cannot hold the length prefix", bytes.len()),
+        ));
+    }
+    let declared = read_u32(bytes, 0) as usize;
+    if declared > max_message_bytes {
+        return Err(AsvError::wire(
+            WireFault::Oversized,
+            format!("length prefix {declared} exceeds the {max_message_bytes} byte limit"),
+        ));
+    }
+    if bytes.len() < 4 + declared {
+        return Err(AsvError::wire(
+            WireFault::Truncated,
+            format!("{} bytes for a declared {}", bytes.len(), 4 + declared),
+        ));
+    }
+    if bytes.len() > 4 + declared {
+        return Err(AsvError::wire(
+            WireFault::Length,
+            format!(
+                "{} bytes but the prefix declares {}",
+                bytes.len(),
+                4 + declared
+            ),
+        ));
+    }
+    if declared < HEADER_BYTES - 4 {
+        return Err(AsvError::wire(
+            WireFault::Truncated,
+            format!("declared body of {declared} bytes is shorter than the header"),
+        ));
+    }
+    if bytes[4..8] != MAGIC {
+        return Err(AsvError::wire(
+            WireFault::BadMagic,
+            format!("{:02x?} is not ASVF", &bytes[4..8]),
+        ));
+    }
+    let version = read_u16(bytes, 8);
+    if version != VERSION {
+        return Err(AsvError::wire(
+            WireFault::Version,
+            format!("version {version} (this build speaks {VERSION})"),
+        ));
+    }
+    let key_len = read_u16(bytes, 10) as usize;
+    let seq = read_u64(bytes, 12);
+    let width = read_u32(bytes, 20) as usize;
+    let height = read_u32(bytes, 24) as usize;
+    let pixels = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(8))
+        .ok_or_else(|| {
+            AsvError::wire(
+                WireFault::Length,
+                format!("plane {width}x{height} overflows"),
+            )
+        })?;
+    let expected = HEADER_BYTES - 4 + key_len + pixels;
+    if declared != expected {
+        return Err(AsvError::wire(
+            WireFault::Length,
+            format!(
+                "prefix declares {declared} bytes but key {key_len} + planes {width}x{height} \
+                 need {expected}"
+            ),
+        ));
+    }
+    let stored_crc = read_u32(bytes, 28);
+    let computed = message_crc(bytes);
+    if stored_crc != computed {
+        return Err(AsvError::wire(
+            WireFault::Crc,
+            format!("stored {stored_crc:#010x} vs computed {computed:#010x}"),
+        ));
+    }
+    let key = std::str::from_utf8(&bytes[HEADER_BYTES..HEADER_BYTES + key_len])
+        .map_err(|e| AsvError::wire(WireFault::Key, format!("session key is not UTF-8: {e}")))?;
+    let planes = &bytes[HEADER_BYTES + key_len..];
+    let (left_bytes, right_bytes) = planes.split_at(pixels / 2);
+    Ok(FrameRef {
+        key,
+        seq,
+        width,
+        height,
+        left_bytes,
+        right_bytes,
+    })
+}
+
+/// [`validate`] plus plane deserialization into recycled pool buffers.
+///
+/// A warm pool (one that has absorbed the planes of a previous same-sized
+/// frame) makes this completely allocation-free; the returned key borrows
+/// from `bytes`.
+///
+/// # Errors
+///
+/// Same conditions as [`validate`].
+pub fn decode_frame<'a>(
+    bytes: &'a [u8],
+    max_message_bytes: usize,
+    pool: &mut BufferPool,
+) -> Result<WireFrame<'a>, AsvError> {
+    let frame = validate(bytes, max_message_bytes)?;
+    let left = frame.left_into(pool);
+    let right = frame.right_into(pool);
+    Ok(WireFrame {
+        key: frame.key,
+        seq: frame.seq,
+        left,
+        right,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_the_ieee_reference_vector() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(!crc32_update(0xFFFF_FFFF, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn encoded_layout_is_stable() {
+        let left = Image::zeros(2, 1);
+        let right = Image::zeros(2, 1);
+        let mut out = Vec::new();
+        encode_frame_into(&mut out, "cam", 7, &left, &right).unwrap();
+        assert_eq!(out.len(), encoded_len("cam", 2, 1));
+        assert_eq!(read_u32(&out, 0) as usize, out.len() - 4);
+        assert_eq!(&out[4..8], b"ASVF");
+        assert_eq!(read_u16(&out, 8), VERSION);
+        assert_eq!(read_u16(&out, 10), 3);
+        assert_eq!(read_u64(&out, 12), 7);
+        assert_eq!(read_u32(&out, 20), 2);
+        assert_eq!(read_u32(&out, 24), 1);
+        assert_eq!(&out[32..35], b"cam");
+    }
+
+    #[test]
+    fn mismatched_planes_refuse_to_encode() {
+        let left = Image::zeros(2, 2);
+        let right = Image::zeros(2, 3);
+        let err = encode_frame_into(&mut Vec::new(), "cam", 0, &left, &right).unwrap_err();
+        assert!(matches!(
+            err,
+            AsvError::Wire {
+                fault: WireFault::Length,
+                ..
+            }
+        ));
+    }
+}

@@ -248,3 +248,101 @@ fn queue_depth_tracks_every_transition() {
     assert_eq!(report.sessions[0].telemetry.queue_depth.peak, 3);
     assert_eq!(handle.queue_depth(), 0, "post-join depth reads zero");
 }
+
+#[test]
+fn tripped_shard_returns_shard_down_with_the_frames_attached() {
+    let scheduler = manual_scheduler(4, ShedPolicy::Block);
+    let handle = scheduler.add_session(state());
+    scheduler.trip("watchdog: worker heartbeat lost");
+
+    let (left, right) = frame();
+    let (err, left, right) = handle.submit_recoverable(left, right).unwrap_err();
+    match &err {
+        AsvError::ShardDown { context } => {
+            assert!(context.contains("heartbeat"), "context: {context}");
+        }
+        other => panic!("expected ShardDown, got {other:?}"),
+    }
+    // The planes come back intact, ready for re-submission on a survivor.
+    assert_eq!((left.width(), left.height()), (WIDTH, HEIGHT));
+    assert_eq!((right.width(), right.height()), (WIDTH, HEIGHT));
+
+    // The plain entry point maps to the same variant.
+    let (left, right) = frame();
+    let err = handle.submit(left, right).unwrap_err();
+    assert!(matches!(err, AsvError::ShardDown { .. }), "{err:?}");
+
+    let report = scheduler.join();
+    let t = &report.sessions[0].telemetry;
+    assert_eq!(t.frames_dropped, 2, "both refused frames were counted");
+}
+
+#[test]
+fn torn_down_route_counts_discarded_frames_and_hands_them_back() {
+    // One-slot manual inbox under Block: frame 1 fills it, frame 2 parks
+    // the forwarder, so the scheduler shutdown deterministically poisons
+    // the route.
+    let scheduler = manual_scheduler(1, ShedPolicy::Block);
+    let sink = scheduler.add_session(state());
+    let ingest = Ingest::new(
+        IngestConfig::default()
+            .with_forwarders(1)
+            .with_queue_capacity(16)
+            .with_session_quota(16)
+            .with_policy(ShedPolicy::Reject),
+    );
+    let route = ingest.register(sink);
+    for _ in 0..2 {
+        let (left, right) = frame();
+        route.submit(left, right).unwrap();
+    }
+    for _ in 0..400 {
+        if route.queued() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(route.queued(), 0, "forwarder should have drained the queue");
+
+    // Shutting the scheduler down wakes the parked forwarder with
+    // `Shutdown`, which poisons the route; every refused submit from here
+    // counts into `discarded` and returns the frame to the caller.
+    let report = scheduler.join();
+    assert_eq!(report.sessions[0].telemetry.frames_submitted, 1);
+    let mut refused = 0u64;
+    for _ in 0..400 {
+        let (left, right) = frame();
+        match route.submit_recoverable(left, right) {
+            Ok(()) => std::thread::sleep(std::time::Duration::from_millis(2)),
+            Err((err, left, right)) => {
+                refused += 1;
+                assert!(matches!(err, AsvError::Shutdown), "{err:?}");
+                assert_eq!((left.width(), left.height()), (WIDTH, HEIGHT));
+                assert_eq!((right.width(), right.height()), (WIDTH, HEIGHT));
+                break;
+            }
+        }
+    }
+    assert_eq!(refused, 1, "the route must eventually refuse");
+    // Two more refusals through both entry points.
+    let (left, right) = frame();
+    assert!(route.submit_recoverable(left, right).is_err());
+    let (left, right) = frame();
+    assert!(matches!(
+        route.submit(left, right).unwrap_err(),
+        AsvError::Shutdown
+    ));
+
+    let stats = ingest.join();
+    assert_eq!(stats.routes.len(), 1);
+    assert_eq!(
+        stats.routes[0].discarded, 3,
+        "every post-teardown submit was counted"
+    );
+    assert_eq!(stats.discarded(), 3);
+    assert!(
+        matches!(stats.routes[0].error, Some(AsvError::Shutdown)),
+        "{:?}",
+        stats.routes[0].error
+    );
+}

@@ -144,3 +144,34 @@ fn live_endpoint_serves_metrics_trace_and_health() {
             > 0
     );
 }
+
+/// The graceful-drain contract: once a cluster begins draining, `/healthz`
+/// answers 503 so load balancers stop routing new sessions — while
+/// `/metrics` keeps serving so the final telemetry remains scrapable.
+#[test]
+fn draining_cluster_flips_healthz_to_503_but_keeps_metrics_up() {
+    use asv_runtime::{Cluster, ClusterConfig};
+
+    let cluster = Cluster::new(ClusterConfig::new(2));
+    let server =
+        MetricsServer::serve("127.0.0.1:0", Arc::new(cluster.observer())).expect("bind endpoint");
+    let addr = server.local_addr();
+
+    let (head, body) = get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "healthy head: {head}");
+    assert_eq!(body, "ok\n");
+
+    cluster.begin_drain();
+    let (head, _) = get(addr, "/healthz");
+    assert!(
+        head.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "draining head: {head}"
+    );
+    // The scrape endpoint stays up through the drain.
+    let (head, body) = get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "metrics head: {head}");
+    parse_scrape(&body).expect("scrape parses while draining");
+
+    server.shutdown();
+    cluster.join();
+}

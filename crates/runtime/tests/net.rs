@@ -1,0 +1,352 @@
+//! TCP transport integration tests: real sockets on the loopback
+//! interface, end-to-end through the wire format, sequence gate and
+//! cluster.
+//!
+//! Locked properties:
+//! * frames streamed through [`FrameClient`] → [`FrameServer`] → a
+//!   [`Supervisor`]-fronted cluster produce output byte-identical to
+//!   batch `process_sequence`;
+//! * a half-written frame on disconnect is discarded whole — counted as
+//!   `truncated`, never delivered, and the next session on a fresh
+//!   connection is unaffected;
+//! * a sender that reconnects and retransmits is deduplicated by the
+//!   server's [`SequenceGate`]: at-least-once in flight, exactly-once
+//!   delivered;
+//! * the client's backoff loop rides out a server that is slow to appear,
+//!   and surfaces a structured [`AsvError::Transport`] once the retry
+//!   budget is spent on a dead endpoint.
+
+use asv::ism::{IsmConfig, IsmPipeline};
+use asv::AsvError;
+use asv_dnn::{zoo, SurrogateParams, SurrogateStereoDnn};
+use asv_image::Image;
+use asv_runtime::sim::{generate_streams, session_key, SimConfig};
+use asv_runtime::wire;
+use asv_runtime::{
+    ClientConfig, Cluster, ClusterConfig, FrameClient, FrameServer, FrameSink, NetConfig,
+    SchedulerConfig, ShedPolicy, Supervisor, TransportCounters, TransportErrorKind,
+};
+use asv_stereo::block_matching::BlockMatchParams;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn pipeline(width: usize, height: usize) -> IsmPipeline {
+    let config = IsmConfig {
+        propagation_window: 3,
+        refine: BlockMatchParams {
+            max_disparity: 16,
+            refine_radius: 2,
+            ..Default::default()
+        },
+        surrogate: SurrogateParams {
+            max_disparity: 16,
+            occlusion_handling: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    IsmPipeline::new(
+        config,
+        SurrogateStereoDnn::new(zoo::dispnet(height, width), config.surrogate),
+    )
+}
+
+/// A sink that records deliveries: enough to observe the server's
+/// accept/discard/dedup decisions without running the stereo pipeline.
+#[derive(Debug, Default)]
+struct RecordingSink {
+    frames: Mutex<Vec<(String, u64)>>,
+}
+
+impl RecordingSink {
+    fn delivered(&self) -> Vec<(String, u64)> {
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl FrameSink for RecordingSink {
+    fn deliver(&self, key: &str, seq: u64, _left: Image, _right: Image) -> Result<(), AsvError> {
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((key.to_owned(), seq));
+        Ok(())
+    }
+}
+
+/// Spins until `probe` holds or the deadline passes (server threads act
+/// asynchronously to the test).
+fn wait_for(mut probe: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn encoded(key: &str, seq: u64, width: usize, height: usize) -> Vec<u8> {
+    let left = Image::zeros(width, height);
+    let right = Image::zeros(width, height);
+    let mut out = Vec::new();
+    wire::encode_frame_into(&mut out, key, seq, &left, &right).expect("valid frame encodes");
+    out
+}
+
+/// Reads one 10-byte ack record `[b'K', status, seq LE]`.
+fn read_ack(stream: &mut TcpStream) -> (u8, u64) {
+    let mut ack = [0u8; 10];
+    stream.read_exact(&mut ack).expect("ack arrives");
+    assert_eq!(ack[0], b'K', "ack magic");
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&ack[2..]);
+    (ack[1], u64::from_le_bytes(raw))
+}
+
+/// The end-to-end determinism proof over real sockets: every session's
+/// frames travel client → TCP → server → supervisor → cluster, and the
+/// per-session disparity maps equal batch `process_sequence`.
+#[test]
+fn tcp_loopback_end_to_end_matches_batch() {
+    let sim = SimConfig::small().with_sessions(2).with_frames(4);
+    let pipe = pipeline(sim.width, sim.height);
+    let streams = generate_streams(&sim);
+    let batch: Vec<_> = streams
+        .iter()
+        .map(|s| pipe.process_sequence(s).unwrap())
+        .collect();
+
+    let cluster = Arc::new(Cluster::new(ClusterConfig::new(1).with_shard_config(
+        SchedulerConfig {
+            workers: 1,
+            inbox_capacity: 2,
+            shed_policy: ShedPolicy::Block,
+        },
+    )));
+    let state_pipe = pipe.clone();
+    let supervisor = Arc::new(Supervisor::new(Arc::clone(&cluster), move |_| {
+        state_pipe.state()
+    }));
+    let server = FrameServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&supervisor) as Arc<dyn FrameSink>,
+        cluster.transport_counters(),
+        NetConfig::default(),
+    )
+    .expect("loopback bind");
+
+    let mut client =
+        FrameClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+    let frames = streams[0].frames().len();
+    for f in 0..frames {
+        for (i, stream) in streams.iter().enumerate() {
+            let frame = &stream.frames()[f];
+            client
+                .send(&session_key(i), &frame.left, &frame.right)
+                .expect("send");
+        }
+    }
+    client.flush().expect("flush");
+    assert_eq!(client.in_flight(), 0, "flush drains the window");
+    drop(client);
+    server.shutdown();
+
+    let supervisor = Arc::try_unwrap(supervisor).expect("server released the sink");
+    supervisor.finish();
+    let outcome = Arc::try_unwrap(cluster)
+        .expect("supervisor released the cluster")
+        .join();
+    for (i, expected) in batch.iter().enumerate() {
+        let key = session_key(i);
+        let session = outcome
+            .session_by_key(&key)
+            .unwrap_or_else(|| panic!("session {key} missing from the report"));
+        assert!(
+            session.error.is_none(),
+            "session {key}: {:?}",
+            session.error
+        );
+        assert_eq!(session.frames.len(), expected.frames.len(), "{key} length");
+        for (f, (got, want)) in session.frames.iter().zip(&expected.frames).enumerate() {
+            assert_eq!(got.kind, want.kind, "{key} frame {f} kind");
+            assert_eq!(
+                got.disparity, want.disparity,
+                "{key} frame {f} disparity diverged from batch"
+            );
+        }
+    }
+}
+
+/// The half-written-frame guarantee: a connection that dies mid-message
+/// loses only that message — it is counted `truncated`, never delivered,
+/// and a subsequent session on a fresh connection streams cleanly.
+#[test]
+fn half_written_frame_is_discarded_and_the_next_session_is_clean() {
+    let sink = Arc::new(RecordingSink::default());
+    let counters = Arc::new(TransportCounters::new());
+    let server = FrameServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&sink) as Arc<dyn FrameSink>,
+        Arc::clone(&counters),
+        NetConfig {
+            read_timeout: Duration::from_millis(100),
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
+
+    // A full frame, acknowledged — then half of the next one, then death.
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.write_all(&encoded("cam-a", 0, 8, 6)).expect("write");
+    assert_eq!(read_ack(&mut conn), (0, 0), "frame 0 accepted");
+    let partial = encoded("cam-a", 1, 8, 6);
+    conn.write_all(&partial[..partial.len() / 2])
+        .expect("write half");
+    drop(conn);
+    wait_for(
+        || counters.count(TransportErrorKind::Truncated) == 1,
+        "the truncated-frame counter",
+    );
+
+    // A different session over a fresh connection is untouched.
+    let mut conn = TcpStream::connect(server.local_addr()).expect("reconnect");
+    for seq in 0..3u64 {
+        conn.write_all(&encoded("cam-b", seq, 8, 6)).expect("write");
+        assert_eq!(read_ack(&mut conn), (0, seq), "cam-b frame {seq} accepted");
+    }
+    drop(conn);
+    server.shutdown();
+
+    let delivered = sink.delivered();
+    assert_eq!(
+        delivered,
+        vec![
+            ("cam-a".to_owned(), 0),
+            ("cam-b".to_owned(), 0),
+            ("cam-b".to_owned(), 1),
+            ("cam-b".to_owned(), 2),
+        ],
+        "the half-written frame must never reach the sink"
+    );
+}
+
+/// Exactly-once delivery over at-least-once retransmission: a sender that
+/// reconnects and replays an already-accepted frame gets a duplicate ack
+/// and the sink sees the frame once.
+#[test]
+fn reconnecting_sender_is_deduplicated_by_the_gate() {
+    let sink = Arc::new(RecordingSink::default());
+    let counters = Arc::new(TransportCounters::new());
+    let server = FrameServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&sink) as Arc<dyn FrameSink>,
+        Arc::clone(&counters),
+        NetConfig::default(),
+    )
+    .expect("loopback bind");
+
+    // First connection: frame 0 delivered and acked, but pretend the ack
+    // was lost — the connection dies and the sender still holds the frame.
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    conn.write_all(&encoded("cam", 0, 8, 6)).expect("write");
+    assert_eq!(read_ack(&mut conn), (0, 0));
+    drop(conn);
+
+    // Reconnect: retransmit frame 0 (deduplicated), then make progress.
+    let mut conn = TcpStream::connect(server.local_addr()).expect("reconnect");
+    conn.write_all(&encoded("cam", 0, 8, 6)).expect("rewrite");
+    assert_eq!(
+        read_ack(&mut conn),
+        (1, 0),
+        "retransmission acked as duplicate"
+    );
+    conn.write_all(&encoded("cam", 1, 8, 6)).expect("write");
+    assert_eq!(read_ack(&mut conn), (0, 1), "next frame accepted");
+    // A frame from the future is refused as a gap, not delivered.
+    conn.write_all(&encoded("cam", 7, 8, 6)).expect("write");
+    assert_eq!(
+        read_ack(&mut conn),
+        (2, 7),
+        "out-of-order frame acked as gap"
+    );
+    drop(conn);
+    server.shutdown();
+
+    assert_eq!(
+        sink.delivered(),
+        vec![("cam".to_owned(), 0), ("cam".to_owned(), 1)],
+        "exactly-once delivery"
+    );
+    assert_eq!(counters.count(TransportErrorKind::Gap), 1);
+}
+
+/// The reconnect/backoff loop in action: the client starts before the
+/// server exists and succeeds once it appears.
+#[test]
+fn client_backoff_rides_out_a_late_server() {
+    // Reserve an address, then free it so the client's first attempts fail.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = placeholder.local_addr().expect("addr");
+    drop(placeholder);
+
+    let sink = Arc::new(RecordingSink::default());
+    let server_sink = Arc::clone(&sink);
+    let server_thread = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        FrameServer::serve(
+            addr,
+            server_sink as Arc<dyn FrameSink>,
+            Arc::new(TransportCounters::new()),
+            NetConfig::default(),
+        )
+        .expect("rebind the reserved address")
+    });
+
+    let config = ClientConfig {
+        deadline: Duration::from_millis(500),
+        max_retries: 20,
+        backoff_base: Duration::from_millis(20),
+        backoff_cap: Duration::from_millis(100),
+        ..ClientConfig::default()
+    };
+    let mut client = FrameClient::connect(addr, config).expect("backoff outlasts the late server");
+    assert!(
+        client.counters().count(TransportErrorKind::Io)
+            + client.counters().count(TransportErrorKind::Deadline)
+            > 0,
+        "the early attempts were counted"
+    );
+    let left = Image::zeros(8, 6);
+    let right = Image::zeros(8, 6);
+    client.send("cam", &left, &right).expect("send");
+    client.flush().expect("flush");
+    drop(client);
+    server_thread.join().expect("server thread").shutdown();
+    assert_eq!(sink.delivered(), vec![("cam".to_owned(), 0)]);
+}
+
+/// A dead endpoint exhausts the retry budget with a structured transport
+/// error instead of hanging.
+#[test]
+fn dead_endpoint_exhausts_the_retry_budget() {
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = placeholder.local_addr().expect("addr");
+    drop(placeholder);
+
+    let config = ClientConfig {
+        deadline: Duration::from_millis(200),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    let error = FrameClient::connect(addr, config).expect_err("nobody is listening");
+    assert!(
+        matches!(error, AsvError::Transport { .. }),
+        "expected AsvError::Transport, got {error:?}"
+    );
+}

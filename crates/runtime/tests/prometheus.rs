@@ -7,7 +7,8 @@
 
 use asv::FrameKind;
 use asv_runtime::{
-    render_prometheus, AggregateTelemetry, QosTelemetry, SessionTelemetry, Stage, VirtualClock,
+    render_prometheus, AggregateTelemetry, QosTelemetry, SessionTelemetry, Stage,
+    TransportErrorKind, VirtualClock,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -90,9 +91,18 @@ fn fixture() -> Vec<AggregateTelemetry> {
     let mut shard0 = AggregateTelemetry::default();
     shard0.absorb_named(&cam_a, "cam-a");
     shard0.wall_seconds = 2.0;
+    // Shard 0 lost a session to a failure (migrated away) and its network
+    // edge counted two CRC faults and one socket error.
+    shard0.sessions_migrated = 1;
+    shard0.transport_errors[TransportErrorKind::Crc.index()] = 2;
+    shard0.transport_errors[TransportErrorKind::Io.index()] = 1;
     let mut shard1 = AggregateTelemetry::default();
     shard1.absorb_named(&cam_b, "cam-b");
     shard1.wall_seconds = clock.now_seconds();
+    // Faults counted on another shard's aggregate must sum into the same
+    // cluster-wide (shard-less) transport family.
+    shard1.transport_errors[TransportErrorKind::Crc.index()] = 1;
+    shard1.transport_errors[TransportErrorKind::Deadline.index()] = 3;
     vec![shard0, shard1]
 }
 
@@ -112,6 +122,8 @@ fn expected_families() -> BTreeMap<&'static str, &'static str> {
         ("asv_uptime_seconds", "gauge"),
         ("asv_frames_per_second", "gauge"),
         ("asv_qos_slo_violations_total", "counter"),
+        ("asv_sessions_migrated_total", "counter"),
+        ("asv_transport_errors_total", "counter"),
         ("asv_qos_actuations_total", "counter"),
         ("asv_qos_level", "gauge"),
         ("asv_service_latency_microseconds", "histogram"),
@@ -230,18 +242,39 @@ fn scrape_format_is_valid_and_the_family_set_is_locked() {
         "metric families drifted"
     );
 
-    // Every sample belongs to a declared family and (except the cluster-wide
-    // shard gauge) carries a shard label.
+    // Every sample belongs to a declared family and (except the two
+    // cluster-wide families: the shard gauge and the shard-less transport
+    // error counter) carries a shard label.
     for sample in &samples {
         let family = family_of(&sample.name, &types);
         assert!(types.contains_key(&family), "undeclared family {family}");
         if sample.name == "asv_cluster_shards" {
             assert!(sample.labels.is_empty());
+        } else if sample.name == "asv_transport_errors_total" {
+            assert!(
+                !sample.labels.contains_key("shard"),
+                "transport errors are a cluster-wide family"
+            );
         } else {
             let shard = sample.labels.get("shard").expect("shard label");
             assert!(shard == "0" || shard == "1", "unknown shard {shard}");
         }
         assert!(sample.value >= 0.0, "negative sample {}", sample.name);
+        // Transport-family samples carry a known error kind; nothing else
+        // carries a kind label.
+        if sample.name == "asv_transport_errors_total" {
+            let kind = sample.labels.get("kind").expect("kind label");
+            assert!(
+                TransportErrorKind::ALL.iter().any(|k| k.name() == kind),
+                "unknown transport error kind {kind}"
+            );
+        } else {
+            assert!(
+                !sample.labels.contains_key("kind"),
+                "unexpected kind label on {}",
+                sample.name
+            );
+        }
         // Stage-family samples carry a known stage label; nothing else does.
         if family_of(&sample.name, &types) == "asv_stage_latency_microseconds" {
             let stage = sample.labels.get("stage").expect("stage label");
@@ -257,6 +290,16 @@ fn scrape_format_is_valid_and_the_family_set_is_locked() {
             );
         }
     }
+
+    // The transport family renders one sample per kind, zeros included.
+    assert_eq!(
+        samples
+            .iter()
+            .filter(|s| s.name == "asv_transport_errors_total")
+            .count(),
+        TransportErrorKind::COUNT,
+        "one transport sample per error kind"
+    );
 
     // Stage histogram invariant: per (shard, stage) the +Inf bucket equals
     // _count, and only stages that recorded samples appear.
@@ -366,6 +409,15 @@ fn golden_scalar_lines_are_bit_stable() {
         // controller, so shard 1 renders zero counters and no level gauge.
         "asv_qos_slo_violations_total{shard=\"0\"} 5",
         "asv_qos_slo_violations_total{shard=\"1\"} 0",
+        // Failure families: migrations are per shard (zeros included);
+        // transport errors are cluster-wide, summed across shards, one
+        // sample per kind with no shard label.
+        "asv_sessions_migrated_total{shard=\"0\"} 1",
+        "asv_sessions_migrated_total{shard=\"1\"} 0",
+        "asv_transport_errors_total{kind=\"bad_magic\"} 0",
+        "asv_transport_errors_total{kind=\"crc\"} 3",
+        "asv_transport_errors_total{kind=\"io\"} 1",
+        "asv_transport_errors_total{kind=\"deadline\"} 3",
         "asv_qos_actuations_total{shard=\"0\",action=\"census_metric\"} 2",
         "asv_qos_actuations_total{shard=\"0\",action=\"widen_window\"} 1",
         "asv_qos_actuations_total{shard=\"0\",action=\"relax_motion\"} 1",
