@@ -94,8 +94,8 @@ pub use export::{parse_scrape, render_prometheus, ScrapeSample};
 pub use http::{HttpMetricsSource, MetricsServer};
 pub use ingest::{Ingest, IngestConfig, IngestStats, RouteHandle, RouteStats};
 pub use net::{
-    ClientConfig, FrameClient, FrameServer, FrameSink, NetConfig, SequenceGate, TransportCounters,
-    TransportErrorKind,
+    Admit, ClientConfig, FrameClient, FrameServer, FrameSink, NetConfig, SequenceGate,
+    TransportCounters, TransportErrorKind,
 };
 pub use qos::{
     qos_enabled_from_env, QosAction, QosConfig, QosController, QosKnobs, QosTelemetry,

@@ -11,12 +11,18 @@
 //!   (typically a [`crate::Supervisor`] routing into the cluster).  A
 //!   half-written message on disconnect is discarded whole — it can never
 //!   reach a session — and every structural failure increments one
-//!   [`TransportErrorKind`] counter.
+//!   [`TransportErrorKind`] counter.  Finished connection threads and
+//!   their entries are reaped as clients churn.
 //! * [`FrameClient`] — the camera side: per-session sequence numbering, a
 //!   bounded in-flight window, per-operation deadline, and reconnect with
 //!   exponential backoff + seeded jitter.  Unacknowledged frames are
 //!   retransmitted on a fresh connection; the server's sequence gate turns
-//!   at-least-once retransmission into exactly-once delivery.
+//!   at-least-once retransmission into exactly-once, in-order delivery by
+//!   running admission and delivery as one per-session critical section
+//!   and committing the sequence advance only after the sink accepts the
+//!   frame.  A client with no sequence state for a key (first use, or a
+//!   restarted producer) opens with a hello handshake and resumes at the
+//!   server's expected sequence instead of being silently deduplicated.
 //! * [`TransportCounters`] — lock-free error counters by kind, exported as
 //!   the `asv_transport_errors_total{kind}` Prometheus family.
 //!
@@ -26,8 +32,8 @@
 //! lossless-by-default story as the in-process ingest path.
 //!
 //! The `ASV_NET_*` environment knobs (see [`ClientConfig::from_env`] and
-//! [`NetConfig::from_env`]) configure deadlines, window, retry budget and
-//! the maximum accepted message size.
+//! [`NetConfig::from_env`]) configure deadlines, window, retry budget, the
+//! maximum accepted message size and the tracked-session cap.
 
 use crate::wire;
 use asv::error::WireFault;
@@ -47,13 +53,16 @@ use std::time::Duration;
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
 
 /// Acknowledgement magic byte, size and status codes: one fixed 10-byte
-/// record `[b'K', status, seq as u64 LE]` per accepted message.
+/// record `[b'K', status, value as u64 LE]` per accepted message, where
+/// `value` is the frame's sequence number — or, for a hello reply
+/// (`ACK_EXPECTED`), the next sequence number the server expects.
 const ACK_MAGIC: u8 = b'K';
 const ACK_BYTES: usize = 10;
 const ACK_ACCEPTED: u8 = 0;
 const ACK_DUPLICATE: u8 = 1;
 const ACK_GAP: u8 = 2;
 const ACK_ERROR: u8 = 3;
+const ACK_EXPECTED: u8 = 4;
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
     std::env::var(name).ok()?.trim().parse().ok()
@@ -197,20 +206,78 @@ impl TransportCounters {
     }
 }
 
+/// Default cap on sessions tracked by a [`SequenceGate`]; see
+/// [`NetConfig::max_sessions`].
+pub const DEFAULT_MAX_SESSIONS: usize = 4096;
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Per-session sequence bookkeeping turning at-least-once retransmission
-/// into exactly-once delivery: each session's frames must arrive in order
-/// (`0, 1, 2, ...`); already-seen numbers are duplicates (acked but not
-/// re-delivered), future numbers are gaps (lost or reordered frames).
-#[derive(Debug, Default)]
+/// into exactly-once, in-order delivery: each session's frames must arrive
+/// in order (`0, 1, 2, ...`); already-delivered numbers are duplicates
+/// (acked but not re-delivered), future numbers are gaps (lost or
+/// reordered frames).
+///
+/// Admission and delivery form one critical section per session:
+/// [`SequenceGate::admit`] runs the delivery closure while holding that
+/// session's slot lock and commits the sequence advance only after the
+/// closure succeeds.  Both halves are load-bearing for the byte-identical
+/// determinism contract:
+///
+/// * two connections racing on one session (a deadline-reconnect whose
+///   predecessor is still blocked inside a backpressured delivery) cannot
+///   interleave — the successor waits on the slot until the predecessor's
+///   outcome is decided, so the sink sees frames strictly in sequence
+///   order;
+/// * a failed delivery (e.g. a saturated shard under
+///   [`crate::ShedPolicy::Reject`]) does not advance the sequence, so the
+///   client's retransmission of that frame is delivered instead of being
+///   misclassified as an already-delivered duplicate — no frame is ever
+///   acknowledged-but-lost.
+///
+/// The gate tracks at most `max_sessions` sessions; beyond the cap the
+/// least-recently-active *idle* session is evicted, so hostile or churny
+/// key sets cannot grow server memory without bound.  An evicted session's
+/// next frame is refused as an explicit gap, never silently misdelivered.
+#[derive(Debug)]
 pub struct SequenceGate {
-    next: HashMap<String, u64>,
+    inner: Mutex<GateMap>,
+    max_sessions: usize,
+}
+
+#[derive(Debug, Default)]
+struct GateMap {
+    sessions: HashMap<String, SessionEntry>,
+    /// Monotonic touch stamp driving least-recently-active eviction.
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct SessionEntry {
+    /// The next expected sequence number, doubling as the per-session
+    /// delivery lock.
+    slot: Arc<Mutex<u64>>,
+    touched: u64,
+}
+
+impl Default for SequenceGate {
+    fn default() -> Self {
+        Self::with_max_sessions(DEFAULT_MAX_SESSIONS)
+    }
 }
 
 /// [`SequenceGate::admit`]'s verdict for one arriving frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admit {
-    /// The expected next frame: deliver it.
-    Accept,
+    /// The expected next frame: delivered, sequence advanced.
+    Delivered,
+    /// The expected next frame, but delivery failed; the sequence was
+    /// *not* advanced, so a retransmission will be delivered.
+    Failed,
     /// Already delivered (a retransmission): acknowledge, do not deliver.
     Duplicate,
     /// Ahead of the expected number: frames in between are missing.
@@ -221,36 +288,98 @@ pub enum Admit {
 }
 
 impl SequenceGate {
-    /// An empty gate (every session starts at sequence 0).
+    /// An empty gate with the default session cap (every session starts at
+    /// sequence 0).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Classifies `seq` for `key` and advances the expected number on
-    /// accept.  Allocates only on a session's first frame.
-    pub fn admit(&mut self, key: &str, seq: u64) -> Admit {
-        match self.next.get_mut(key) {
-            Some(next) => {
-                if seq < *next {
-                    Admit::Duplicate
-                } else if seq == *next {
-                    *next += 1;
-                    Admit::Accept
-                } else {
-                    Admit::Gap { expected: *next }
-                }
-            }
-            None if seq == 0 => {
-                self.next.insert(key.to_owned(), 1);
-                Admit::Accept
-            }
-            None => Admit::Gap { expected: 0 },
+    /// An empty gate evicting idle sessions beyond `max_sessions` (≥ 1).
+    pub fn with_max_sessions(max_sessions: usize) -> Self {
+        Self {
+            inner: Mutex::new(GateMap::default()),
+            max_sessions: max_sessions.max(1),
         }
     }
 
-    /// The next sequence number expected for `key` (0 for unseen keys).
+    /// Fetches (or creates) `key`'s slot and stamps it most recently
+    /// active, evicting the stalest idle sessions beyond the cap.  The map
+    /// lock is held only here — never across a delivery.
+    fn slot(&self, key: &str) -> Arc<Mutex<u64>> {
+        let mut map = lock(&self.inner);
+        map.clock += 1;
+        let clock = map.clock;
+        if let Some(entry) = map.sessions.get_mut(key) {
+            entry.touched = clock;
+            return Arc::clone(&entry.slot);
+        }
+        while map.sessions.len() >= self.max_sessions {
+            // An entry whose slot Arc is held only by the map has no
+            // delivery in flight; evict the stalest such session.
+            let stalest = map
+                .sessions
+                .iter()
+                .filter(|(_, entry)| Arc::strong_count(&entry.slot) == 1)
+                .min_by_key(|(_, entry)| entry.touched)
+                .map(|(key, _)| key.clone());
+            match stalest {
+                Some(stale) => {
+                    map.sessions.remove(&stale);
+                }
+                // Every tracked session is mid-delivery: overshoot rather
+                // than evict live state.
+                None => break,
+            }
+        }
+        let slot = Arc::new(Mutex::new(0));
+        map.sessions.insert(
+            key.to_owned(),
+            SessionEntry {
+                slot: Arc::clone(&slot),
+                touched: clock,
+            },
+        );
+        slot
+    }
+
+    /// Classifies `seq` for `key`; when it is the expected next frame,
+    /// runs `deliver` while holding the session's delivery lock and
+    /// advances the expected number only if it succeeds.  Concurrent calls
+    /// for one session serialize here, so delivery order is sequence
+    /// order.  Allocates only on a session's first frame.
+    pub fn admit(&self, key: &str, seq: u64, deliver: impl FnOnce() -> Result<(), ()>) -> Admit {
+        let slot = self.slot(key);
+        let mut next = lock(&slot);
+        if seq < *next {
+            Admit::Duplicate
+        } else if seq > *next {
+            Admit::Gap { expected: *next }
+        } else if deliver().is_ok() {
+            *next += 1;
+            Admit::Delivered
+        } else {
+            Admit::Failed
+        }
+    }
+
+    /// The next sequence number expected for `key` (0 for unseen keys) —
+    /// the hello reply.  Waits behind an in-flight delivery for `key`, so
+    /// the answer reflects a committed state.
     pub fn expected(&self, key: &str) -> u64 {
-        self.next.get(key).copied().unwrap_or(0)
+        let slot = {
+            let map = lock(&self.inner);
+            match map.sessions.get(key) {
+                Some(entry) => Arc::clone(&entry.slot),
+                None => return 0,
+            }
+        };
+        let next = *lock(&slot);
+        next
+    }
+
+    /// Number of sessions currently tracked.
+    pub fn sessions(&self) -> usize {
+        lock(&self.inner).sessions.len()
     }
 }
 
@@ -285,6 +414,10 @@ pub struct NetConfig {
     /// Read timeout while *inside* a message: a peer that stalls mid-frame
     /// for longer is cut off (the partial frame is discarded).
     pub read_timeout: Duration,
+    /// Sessions tracked by the server's [`SequenceGate`] before the
+    /// stalest idle session is evicted — bounds server memory against
+    /// hostile or churny key sets.
+    pub max_sessions: usize,
 }
 
 impl Default for NetConfig {
@@ -292,13 +425,14 @@ impl Default for NetConfig {
         Self {
             max_message_bytes: wire::MAX_MESSAGE_BYTES,
             read_timeout: Duration::from_secs(2),
+            max_sessions: DEFAULT_MAX_SESSIONS,
         }
     }
 }
 
 impl NetConfig {
-    /// Defaults overridden by `ASV_NET_MAX_FRAME_BYTES` and
-    /// `ASV_NET_READ_TIMEOUT_MS`.
+    /// Defaults overridden by `ASV_NET_MAX_FRAME_BYTES`,
+    /// `ASV_NET_READ_TIMEOUT_MS` and `ASV_NET_MAX_SESSIONS`.
     pub fn from_env() -> Self {
         let mut config = Self::default();
         if let Some(bytes) = env_parse::<usize>("ASV_NET_MAX_FRAME_BYTES") {
@@ -306,6 +440,9 @@ impl NetConfig {
         }
         if let Some(ms) = env_parse::<u64>("ASV_NET_READ_TIMEOUT_MS") {
             config.read_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(sessions) = env_parse::<usize>("ASV_NET_MAX_SESSIONS") {
+            config.max_sessions = sessions.max(1);
         }
         config
     }
@@ -442,7 +579,7 @@ fn read_full(
 pub struct FrameServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -463,30 +600,43 @@ impl FrameServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let gate = Arc::new(Mutex::new(SequenceGate::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let gate = Arc::new(SequenceGate::with_max_sessions(config.max_sessions));
         let stop_flag = Arc::clone(&stop);
         let conn_table = Arc::clone(&conns);
         let thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_conn_id = 0u64;
             while !stop_flag.load(Ordering::Acquire) {
+                // Reap workers whose connections have closed, so a
+                // long-running server with churny clients does not
+                // accumulate handles without bound.
+                let mut i = 0;
+                while i < workers.len() {
+                    if workers[i].is_finished() {
+                        let _ = workers.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
                 match listener.accept() {
                     Ok((stream, _)) => {
                         if stop_flag.load(Ordering::Acquire) {
                             break;
                         }
+                        let conn_id = next_conn_id;
+                        next_conn_id += 1;
                         if let Ok(clone) = stream.try_clone() {
-                            conn_table
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                .push(clone);
+                            lock(&conn_table).insert(conn_id, clone);
                         }
                         let sink = Arc::clone(&sink);
                         let counters = Arc::clone(&counters);
                         let gate = Arc::clone(&gate);
                         let stop = Arc::clone(&stop_flag);
+                        let table = Arc::clone(&conn_table);
                         workers.push(std::thread::spawn(move || {
                             handle_connection(stream, &*sink, &gate, &counters, config, &stop);
+                            lock(&table).remove(&conn_id);
                         }));
                     }
                     Err(_) => {
@@ -525,12 +675,7 @@ impl FrameServer {
             return;
         };
         self.stop.store(true, Ordering::Release);
-        for conn in self
-            .conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .drain(..)
-        {
+        for (_, conn) in lock(&self.conns).drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         // Wake the accept loop so it observes the stop flag.
@@ -548,11 +693,11 @@ impl Drop for FrameServer {
 /// One connection's read-decode-deliver-ack loop.  Returns (closing the
 /// connection) on clean EOF, shutdown, any transport failure or any wire
 /// fault — the client reconnects and retransmits, and the sequence gate
-/// (shared across connections) deduplicates.
+/// (shared across connections) deduplicates and serializes per session.
 fn handle_connection(
     mut stream: TcpStream,
     sink: &dyn FrameSink,
-    gate: &Mutex<SequenceGate>,
+    gate: &SequenceGate,
     counters: &TransportCounters,
     config: NetConfig,
     stop: &AtomicBool,
@@ -591,8 +736,8 @@ fn handle_connection(
             }
             ReadOutcome::Data => {}
         }
-        let frame = match wire::validate(&message, config.max_message_bytes) {
-            Ok(frame) => frame,
+        let parsed = match wire::validate_message(&message, config.max_message_bytes) {
+            Ok(parsed) => parsed,
             Err(AsvError::Wire { fault, .. }) => {
                 counters.record(TransportErrorKind::of_wire(fault));
                 return;
@@ -602,38 +747,46 @@ fn handle_connection(
                 return;
             }
         };
-        let admit = gate
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .admit(frame.key, frame.seq);
-        let status = match admit {
-            Admit::Duplicate => ACK_DUPLICATE,
-            Admit::Gap { .. } => {
-                counters.record(TransportErrorKind::Gap);
-                ACK_GAP
-            }
-            Admit::Accept => {
-                let mut left = sink.recycled_frame(frame.key, frame.width, frame.height);
-                let mut right = sink.recycled_frame(frame.key, frame.width, frame.height);
-                match frame.fill_planes(&mut left, &mut right) {
-                    // Delivery may block: that is the backpressure path, and
-                    // the client's unsent frames queue in the TCP window.
-                    Ok(()) => match sink.deliver(frame.key, frame.seq, left, right) {
-                        Ok(()) => ACK_ACCEPTED,
-                        Err(_) => ACK_ERROR,
-                    },
-                    Err(AsvError::Wire { fault, .. }) => {
-                        counters.record(TransportErrorKind::of_wire(fault));
-                        ACK_ERROR
+        let (status, value) = match parsed {
+            // Session-resume hello: report the committed expected sequence
+            // so a restarted producer picks up where the session stands.
+            wire::Message::Hello { key } => (ACK_EXPECTED, gate.expected(key)),
+            wire::Message::Frame(frame) => {
+                // Admission and delivery run under the session's slot lock:
+                // racing connections serialize, and the sequence advances
+                // only once the sink has accepted the frame.  Delivery may
+                // block — that is the backpressure path, and the client's
+                // unsent frames queue in the TCP window.
+                let admit = gate.admit(frame.key, frame.seq, || {
+                    let mut left = sink.recycled_frame(frame.key, frame.width, frame.height);
+                    let mut right = sink.recycled_frame(frame.key, frame.width, frame.height);
+                    match frame.fill_planes(&mut left, &mut right) {
+                        Ok(()) => sink
+                            .deliver(frame.key, frame.seq, left, right)
+                            .map_err(|_| ()),
+                        Err(AsvError::Wire { fault, .. }) => {
+                            counters.record(TransportErrorKind::of_wire(fault));
+                            Err(())
+                        }
+                        Err(_) => Err(()),
                     }
-                    Err(_) => ACK_ERROR,
-                }
+                });
+                let status = match admit {
+                    Admit::Delivered => ACK_ACCEPTED,
+                    Admit::Failed => ACK_ERROR,
+                    Admit::Duplicate => ACK_DUPLICATE,
+                    Admit::Gap { .. } => {
+                        counters.record(TransportErrorKind::Gap);
+                        ACK_GAP
+                    }
+                };
+                (status, frame.seq)
             }
         };
         let mut ack = [0u8; ACK_BYTES];
         ack[0] = ACK_MAGIC;
         ack[1] = status;
-        ack[2..].copy_from_slice(&frame.seq.to_le_bytes());
+        ack[2..].copy_from_slice(&value.to_le_bytes());
         if stream.write_all(&ack).is_err() {
             counters.record(TransportErrorKind::Io);
             return;
@@ -711,19 +864,69 @@ impl FrameClient {
     /// Blocks while the in-flight window is full (waiting for acks) and
     /// transparently reconnects + retransmits on transport failures.
     ///
+    /// The first frame of each key starts with a hello handshake: the
+    /// client asks the server which sequence number the session stands at
+    /// and resumes there, so a restarted producer keeps delivering instead
+    /// of having every frame silently acknowledged as a duplicate.
+    ///
     /// # Errors
     ///
-    /// [`AsvError::Wire`] when the planes disagree in size, and
-    /// [`AsvError::Transport`] when the retry budget is exhausted or the
-    /// server reports a protocol failure (sequence gap / session error).
+    /// [`AsvError::Wire`] when the planes disagree in size or the key
+    /// exceeds [`wire::MAX_KEY_BYTES`], and [`AsvError::Transport`] when
+    /// the retry budget is exhausted or the server reports a protocol
+    /// failure (sequence gap).
     pub fn send(&mut self, key: &str, left: &Image, right: &Image) -> Result<(), AsvError> {
+        let seq = match self.next_seq.get(key) {
+            Some(&seq) => seq,
+            None => self.resume(key)?,
+        };
         let mut buf = self.spare.pop().unwrap_or_default();
-        let seq = self.next_seq.get(key).copied().unwrap_or(0);
         wire::encode_frame_into(&mut buf, key, seq, left, right)?;
         self.next_seq.insert(key.to_owned(), seq + 1);
         self.unacked.push_back((seq, buf));
         let window = self.config.window.max(1);
         self.drive(window.saturating_sub(1))
+    }
+
+    /// The hello handshake for a key this client has no sequence state
+    /// for: drains in-flight acks, then asks the server for the session's
+    /// expected next sequence number, retrying with backoff like any other
+    /// operation.
+    fn resume(&mut self, key: &str) -> Result<u64, AsvError> {
+        self.drive(0)?;
+        let mut hello = self.spare.pop().unwrap_or_default();
+        wire::encode_hello_into(&mut hello, key)?;
+        let mut attempts = 0u32;
+        let result = loop {
+            match self.try_hello(&hello) {
+                Ok(expected) => break Ok(expected),
+                Err(e) => {
+                    if let Err(fatal) = self.back_off(&e, &mut attempts) {
+                        break Err(fatal);
+                    }
+                }
+            }
+        };
+        hello.clear();
+        self.spare.push(hello);
+        result
+    }
+
+    /// One hello round-trip on the current (or a fresh) connection.
+    fn try_hello(&mut self, hello: &[u8]) -> std::io::Result<u64> {
+        let stream = self.ensure_connected()?;
+        stream.write_all(hello)?;
+        let mut ack = [0u8; ACK_BYTES];
+        stream.read_exact(&mut ack)?;
+        if ack[0] != ACK_MAGIC || ack[1] != ACK_EXPECTED {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bad hello reply",
+            ));
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&ack[2..]);
+        Ok(u64::from_le_bytes(raw))
     }
 
     /// Blocks until every sent frame is acknowledged.
@@ -749,9 +952,9 @@ impl FrameClient {
         }
     }
 
-    /// One connection's worth of progress; `Ok(Some(_))` is a fatal
-    /// protocol error, `Err` a retriable transport failure.
-    fn try_drive(&mut self, target_unacked: usize) -> std::io::Result<Option<AsvError>> {
+    /// Connects (with deadline) if no connection is live, resetting the
+    /// retransmission cursor.
+    fn ensure_connected(&mut self) -> std::io::Result<&mut TcpStream> {
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.config.deadline)?;
             stream.set_read_timeout(Some(self.config.deadline))?;
@@ -760,6 +963,13 @@ impl FrameClient {
             self.stream = Some(stream);
             self.written = 0;
         }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+
+    /// One connection's worth of progress; `Ok(Some(_))` is a fatal
+    /// protocol error, `Err` a retriable transport failure.
+    fn try_drive(&mut self, target_unacked: usize) -> std::io::Result<Option<AsvError>> {
+        self.ensure_connected()?;
         let stream = self.stream.as_mut().expect("connected above");
         while self.written < self.unacked.len() {
             stream.write_all(&self.unacked[self.written].1)?;
@@ -798,10 +1008,13 @@ impl FrameClient {
                         "server reported a sequence gap at frame {seq}"
                     ))));
                 }
+                // A rejected frame (sink failure) was *not* committed by
+                // the server's gate; reconnect and retransmit it instead
+                // of dropping it.
                 _ => {
-                    return Ok(Some(AsvError::transport(format!(
-                        "server rejected frame {seq} (session error)"
-                    ))));
+                    return Err(std::io::Error::other(format!(
+                        "server rejected frame {seq}; retransmitting"
+                    )));
                 }
             }
         }
@@ -839,20 +1052,110 @@ impl FrameClient {
 mod tests {
     use super::*;
 
+    /// Delivery closure for admissions that must not deliver.
+    fn refuse() -> Result<(), ()> {
+        panic!("the gate must not run the delivery closure for this frame")
+    }
+
     #[test]
-    fn sequence_gate_accepts_in_order_and_flags_the_rest() {
-        let mut gate = SequenceGate::new();
-        assert_eq!(gate.admit("cam", 0), Admit::Accept);
-        assert_eq!(gate.admit("cam", 1), Admit::Accept);
-        assert_eq!(gate.admit("cam", 1), Admit::Duplicate);
-        assert_eq!(gate.admit("cam", 0), Admit::Duplicate);
-        assert_eq!(gate.admit("cam", 5), Admit::Gap { expected: 2 });
-        assert_eq!(gate.admit("cam", 2), Admit::Accept);
+    fn sequence_gate_delivers_in_order_and_flags_the_rest() {
+        let gate = SequenceGate::new();
+        assert_eq!(gate.admit("cam", 0, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.admit("cam", 1, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.admit("cam", 1, refuse), Admit::Duplicate);
+        assert_eq!(gate.admit("cam", 0, refuse), Admit::Duplicate);
+        assert_eq!(gate.admit("cam", 5, refuse), Admit::Gap { expected: 2 });
+        assert_eq!(gate.admit("cam", 2, || Ok(())), Admit::Delivered);
         // Sessions are independent; a fresh key must start at 0.
-        assert_eq!(gate.admit("other", 3), Admit::Gap { expected: 0 });
-        assert_eq!(gate.admit("other", 0), Admit::Accept);
+        assert_eq!(gate.admit("other", 3, refuse), Admit::Gap { expected: 0 });
+        assert_eq!(gate.admit("other", 0, || Ok(())), Admit::Delivered);
         assert_eq!(gate.expected("cam"), 3);
         assert_eq!(gate.expected("unseen"), 0);
+    }
+
+    /// The exactly-once commit rule: a failed delivery leaves the expected
+    /// sequence untouched, so the client's retransmission of that frame is
+    /// delivered rather than misclassified as a duplicate.
+    #[test]
+    fn failed_delivery_keeps_the_sequence_for_retransmission() {
+        let gate = SequenceGate::new();
+        assert_eq!(gate.admit("cam", 0, || Ok(())), Admit::Delivered);
+        // The sink rejects frame 1 (e.g. a saturated shard)...
+        assert_eq!(gate.admit("cam", 1, || Err(())), Admit::Failed);
+        assert_eq!(gate.expected("cam"), 1, "failure must not advance");
+        // ...so the retransmission is delivered, not deduplicated.
+        assert_eq!(gate.admit("cam", 1, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.expected("cam"), 2);
+    }
+
+    /// The reconnect race: a new connection retransmits frame 0 and sends
+    /// frame 1 while the old connection is still blocked inside frame 0's
+    /// delivery.  The gate must serialize — no ack and no delivery for the
+    /// newcomer until the in-flight outcome is decided, and the sink sees
+    /// strict sequence order.
+    #[test]
+    fn concurrent_connections_deliver_one_session_in_order() {
+        let gate = Arc::new(SequenceGate::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let slow = {
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                gate.admit("cam", 0, || {
+                    entered_tx.send(()).expect("test alive");
+                    release_rx.recv().expect("released"); // backpressured
+                    lock(&order).push(0u64);
+                    Ok(())
+                })
+            })
+        };
+        entered_rx.recv().expect("delivery entered");
+        let fast = {
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let retransmit = gate.admit("cam", 0, || {
+                    lock(&order).push(100);
+                    Ok(())
+                });
+                let next = gate.admit("cam", 1, || {
+                    lock(&order).push(1);
+                    Ok(())
+                });
+                (retransmit, next)
+            })
+        };
+        // The racing connection must be parked behind the in-flight
+        // delivery, not admitted around it.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            lock(&order).is_empty(),
+            "no delivery may complete while frame 0 is in flight"
+        );
+        release_tx.send(()).expect("slow thread alive");
+        assert_eq!(slow.join().expect("slow"), Admit::Delivered);
+        let (retransmit, next) = fast.join().expect("fast");
+        assert_eq!(retransmit, Admit::Duplicate, "deduplicated after commit");
+        assert_eq!(next, Admit::Delivered);
+        assert_eq!(*lock(&order), vec![0, 1], "sequence order preserved");
+    }
+
+    /// Hostile or churny key sets cannot grow the gate without bound: the
+    /// stalest idle session is evicted at the cap, and its return is an
+    /// explicit gap rather than a silent duplicate.
+    #[test]
+    fn gate_evicts_the_stalest_idle_session_beyond_the_cap() {
+        let gate = SequenceGate::with_max_sessions(2);
+        assert_eq!(gate.admit("a", 0, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.admit("b", 0, || Ok(())), Admit::Delivered);
+        // Touch "a" so "b" is the stalest when "c" arrives.
+        assert_eq!(gate.admit("a", 1, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.admit("c", 0, || Ok(())), Admit::Delivered);
+        assert_eq!(gate.sessions(), 2);
+        assert_eq!(gate.expected("a"), 2, "recently-active session survives");
+        assert_eq!(gate.admit("b", 1, refuse), Admit::Gap { expected: 0 });
     }
 
     #[test]

@@ -743,7 +743,7 @@ enum Receipt {
 /// pipeline as [`crate::FrameServer`], minus the socket.
 fn chaos_receive(
     bytes: &[u8],
-    gate: &mut SequenceGate,
+    gate: &SequenceGate,
     counters: &TransportCounters,
     supervisor: &Supervisor,
 ) -> Result<Receipt, AsvError> {
@@ -756,14 +756,28 @@ fn chaos_receive(
             return Ok(Receipt::Rejected);
         }
     };
-    match gate.admit(frame.key, frame.seq) {
-        Admit::Accept => {
-            let mut left = supervisor.recycled_frame(frame.key, frame.width, frame.height);
-            let mut right = supervisor.recycled_frame(frame.key, frame.width, frame.height);
-            frame.fill_planes(&mut left, &mut right)?;
-            supervisor.submit(frame.key, left, right)?;
-            Ok(Receipt::Accepted)
+    let mut failure: Option<AsvError> = None;
+    let admit = gate.admit(frame.key, frame.seq, || {
+        let mut left = supervisor.recycled_frame(frame.key, frame.width, frame.height);
+        let mut right = supervisor.recycled_frame(frame.key, frame.width, frame.height);
+        if let Err(error) = frame.fill_planes(&mut left, &mut right) {
+            failure = Some(error);
+            return Err(());
         }
+        match supervisor.submit(frame.key, left, right) {
+            Ok(_) => Ok(()),
+            Err(error) => {
+                failure = Some(error);
+                Err(())
+            }
+        }
+    });
+    match admit {
+        Admit::Delivered => Ok(Receipt::Accepted),
+        // The sim treats a pipeline failure as a hard error (the chaos
+        // link only injects transport faults, never sink failures).
+        Admit::Failed => Err(failure
+            .unwrap_or_else(|| AsvError::transport("chaos delivery failed without an error"))),
         Admit::Duplicate => Ok(Receipt::Duplicate),
         Admit::Gap { .. } => {
             counters.record(TransportErrorKind::Gap);
@@ -810,7 +824,7 @@ pub fn run_chaos_transport_sim(
     let state_pipeline = pipeline.clone();
     let supervisor = Supervisor::new(Arc::clone(&cluster), move |_| state_pipeline.state());
 
-    let mut gate = SequenceGate::new();
+    let gate = SequenceGate::new();
     let mut report = ChaosReport {
         frames_delivered: 0,
         frames_dropped: 0,
@@ -853,7 +867,7 @@ pub fn run_chaos_transport_sim(
                     let at = rng.gen_range(0..mangled.len());
                     mangled[at] ^= 0x41;
                     if matches!(
-                        chaos_receive(&mangled, &mut gate, &counters, &supervisor)?,
+                        chaos_receive(&mangled, &gate, &counters, &supervisor)?,
                         Receipt::Accepted | Receipt::Duplicate
                     ) {
                         report
@@ -867,7 +881,7 @@ pub fn run_chaos_transport_sim(
                 if roll < truncate_at {
                     let keep = rng.gen_range(4..bytes.len());
                     if matches!(
-                        chaos_receive(&bytes[..keep], &mut gate, &counters, &supervisor)?,
+                        chaos_receive(&bytes[..keep], &gate, &counters, &supervisor)?,
                         Receipt::Accepted | Receipt::Duplicate
                     ) {
                         report
@@ -884,7 +898,7 @@ pub fn run_chaos_transport_sim(
                     // pending for in-order delivery later.
                     if let Some((ahead_seq, ahead)) = pending.front() {
                         if matches!(
-                            chaos_receive(ahead, &mut gate, &counters, &supervisor)?,
+                            chaos_receive(ahead, &gate, &counters, &supervisor)?,
                             Receipt::Accepted | Receipt::Duplicate
                         ) {
                             report.mismatches.push(format!(
@@ -894,7 +908,7 @@ pub fn run_chaos_transport_sim(
                         report.frames_reordered += 1;
                     }
                 }
-                match chaos_receive(&bytes, &mut gate, &counters, &supervisor)? {
+                match chaos_receive(&bytes, &gate, &counters, &supervisor)? {
                     Receipt::Accepted => report.frames_delivered += 1,
                     Receipt::Duplicate => {}
                     Receipt::Rejected => {
@@ -904,7 +918,7 @@ pub fn run_chaos_transport_sim(
                 }
                 if roll >= 1000 - u32::from(chaos.duplicate_per_mille) {
                     if matches!(
-                        chaos_receive(&bytes, &mut gate, &counters, &supervisor)?,
+                        chaos_receive(&bytes, &gate, &counters, &supervisor)?,
                         Receipt::Accepted
                     ) {
                         report

@@ -20,6 +20,13 @@
 //!          4*w*h right plane, f32 little-endian row-major
 //! ```
 //!
+//! A second message kind, the session-resume **hello** (magic "ASVH"),
+//! shares the same header layout with zero plane dimensions and no payload:
+//! it asks the server which sequence number it expects next for the key, so
+//! a restarted producer resumes where the session stands instead of being
+//! silently deduplicated from 0.  [`validate_message`] distinguishes the
+//! two by magic and returns a [`Message`].
+//!
 //! Design rules, in service of the robustness guarantees the runtime makes:
 //!
 //! * **No panics on hostile input.**  Every structural violation maps to a
@@ -45,8 +52,16 @@ use asv_mem::BufferPool;
 /// The four magic bytes opening every message (after the length prefix).
 pub const MAGIC: [u8; 4] = *b"ASVF";
 
+/// The four magic bytes of a session-resume hello message.
+pub const HELLO_MAGIC: [u8; 4] = *b"ASVH";
+
 /// The wire-format version this build encodes and accepts.
 pub const VERSION: u16 = 1;
+
+/// Hard cap on a session key in bytes, enforced on encode *and* decode:
+/// hostile peers cannot grow server-side per-session state (the sequence
+/// gate keys on the session key) with multi-kilobyte keys.
+pub const MAX_KEY_BYTES: usize = 1024;
 
 /// Byte length of the fixed header, *including* the length prefix.
 pub const HEADER_BYTES: usize = 32;
@@ -125,9 +140,9 @@ pub fn encoded_len(key: &str, width: usize, height: usize) -> usize {
 ///
 /// # Errors
 ///
-/// [`AsvError::Wire`] with [`WireFault::Length`] when the planes disagree in
-/// size or the key exceeds the 16-bit key-length field; encoding performs no
-/// I/O and fails on nothing else.
+/// [`AsvError::Wire`] with [`WireFault::Length`] when the planes disagree
+/// in size, or [`WireFault::Key`] when the key exceeds [`MAX_KEY_BYTES`];
+/// encoding performs no I/O and fails on nothing else.
 pub fn encode_frame_into(
     out: &mut Vec<u8>,
     key: &str,
@@ -147,15 +162,7 @@ pub fn encode_frame_into(
             ),
         ));
     }
-    if key.len() > u16::MAX as usize {
-        return Err(AsvError::wire(
-            WireFault::Length,
-            format!(
-                "session key of {} bytes exceeds the 16-bit field",
-                key.len()
-            ),
-        ));
-    }
+    check_key_len(key.len())?;
     let width = left.width();
     let height = left.height();
     let total = encoded_len(key, width, height);
@@ -176,6 +183,43 @@ pub fn encode_frame_into(
     for &px in right.as_slice() {
         out.extend_from_slice(&px.to_le_bytes());
     }
+    let crc = message_crc(out);
+    out[28..32].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+fn check_key_len(len: usize) -> Result<(), AsvError> {
+    if len > MAX_KEY_BYTES {
+        return Err(AsvError::wire(
+            WireFault::Key,
+            format!("session key of {len} bytes exceeds the {MAX_KEY_BYTES} byte cap"),
+        ));
+    }
+    Ok(())
+}
+
+/// Serializes a session-resume hello for `key` into `out`, replacing its
+/// contents.  Same header layout as a frame, magic [`HELLO_MAGIC`], zero
+/// plane dimensions, no payload.
+///
+/// # Errors
+///
+/// [`AsvError::Wire`] with [`WireFault::Key`] when the key exceeds
+/// [`MAX_KEY_BYTES`].
+pub fn encode_hello_into(out: &mut Vec<u8>, key: &str) -> Result<(), AsvError> {
+    check_key_len(key.len())?;
+    let total = HEADER_BYTES + key.len();
+    out.clear();
+    out.reserve(total);
+    out.extend_from_slice(&u32::to_le_bytes((total - 4) as u32));
+    out.extend_from_slice(&HELLO_MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes()); // sequence field, unused
+    out.extend_from_slice(&0u32.to_le_bytes()); // width
+    out.extend_from_slice(&0u32.to_le_bytes()); // height
+    out.extend_from_slice(&[0, 0, 0, 0]); // CRC placeholder, patched below.
+    out.extend_from_slice(key.as_bytes());
     let crc = message_crc(out);
     out[28..32].copy_from_slice(&crc.to_le_bytes());
     Ok(())
@@ -263,16 +307,30 @@ pub struct WireFrame<'a> {
     pub right: Image,
 }
 
+/// One structurally validated wire message.
+#[derive(Debug)]
+pub enum Message<'a> {
+    /// A stereo frame.
+    Frame(FrameRef<'a>),
+    /// A session-resume hello: the peer asks which sequence number is
+    /// expected next for this session key.
+    Hello {
+        /// Session key being resumed.
+        key: &'a str,
+    },
+}
+
 /// Structurally validates one complete message (length prefix included) and
-/// returns a borrowed view of its fields.  Performs every check of the
-/// format — length consistency, magic, version, CRC, key UTF-8 — without
+/// returns a borrowed view of its fields — a frame or a hello, decided by
+/// the magic bytes.  Performs every check of the format — length
+/// consistency, magic, version, key cap, CRC, key UTF-8 — without
 /// allocating.
 ///
 /// # Errors
 ///
 /// [`AsvError::Wire`] carrying the exact [`WireFault`]; see the module
 /// documentation for the full list.
-pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, AsvError> {
+pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Message<'_>, AsvError> {
     if bytes.len() < 4 {
         return Err(AsvError::wire(
             WireFault::Truncated,
@@ -308,12 +366,16 @@ pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, 
             format!("declared body of {declared} bytes is shorter than the header"),
         ));
     }
-    if bytes[4..8] != MAGIC {
+    let is_hello = if bytes[4..8] == MAGIC {
+        false
+    } else if bytes[4..8] == HELLO_MAGIC {
+        true
+    } else {
         return Err(AsvError::wire(
             WireFault::BadMagic,
-            format!("{:02x?} is not ASVF", &bytes[4..8]),
+            format!("{:02x?} is neither ASVF nor ASVH", &bytes[4..8]),
         ));
-    }
+    };
     let version = read_u16(bytes, 8);
     if version != VERSION {
         return Err(AsvError::wire(
@@ -322,9 +384,16 @@ pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, 
         ));
     }
     let key_len = read_u16(bytes, 10) as usize;
+    check_key_len(key_len)?;
     let seq = read_u64(bytes, 12);
     let width = read_u32(bytes, 20) as usize;
     let height = read_u32(bytes, 24) as usize;
+    if is_hello && (width != 0 || height != 0) {
+        return Err(AsvError::wire(
+            WireFault::Length,
+            format!("hello message declares {width}x{height} planes"),
+        ));
+    }
     let pixels = width
         .checked_mul(height)
         .and_then(|p| p.checked_mul(8))
@@ -354,16 +423,35 @@ pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, 
     }
     let key = std::str::from_utf8(&bytes[HEADER_BYTES..HEADER_BYTES + key_len])
         .map_err(|e| AsvError::wire(WireFault::Key, format!("session key is not UTF-8: {e}")))?;
+    if is_hello {
+        return Ok(Message::Hello { key });
+    }
     let planes = &bytes[HEADER_BYTES + key_len..];
     let (left_bytes, right_bytes) = planes.split_at(pixels / 2);
-    Ok(FrameRef {
+    Ok(Message::Frame(FrameRef {
         key,
         seq,
         width,
         height,
         left_bytes,
         right_bytes,
-    })
+    }))
+}
+
+/// [`validate_message`] narrowed to stereo frames: a structurally valid
+/// hello is refused with [`WireFault::BadMagic`].
+///
+/// # Errors
+///
+/// Same conditions as [`validate_message`].
+pub fn validate(bytes: &[u8], max_message_bytes: usize) -> Result<FrameRef<'_>, AsvError> {
+    match validate_message(bytes, max_message_bytes)? {
+        Message::Frame(frame) => Ok(frame),
+        Message::Hello { .. } => Err(AsvError::wire(
+            WireFault::BadMagic,
+            "hello message where a stereo frame was required".to_owned(),
+        )),
+    }
 }
 
 /// [`validate`] plus plane deserialization into recycled pool buffers.

@@ -14,7 +14,12 @@
 //!   delivered;
 //! * the client's backoff loop rides out a server that is slow to appear,
 //!   and surfaces a structured [`AsvError::Transport`] once the retry
-//!   budget is spent on a dead endpoint.
+//!   budget is spent on a dead endpoint;
+//! * a restarted producer (all client-side sequence state lost) resumes at
+//!   the server's expected sequence via the hello handshake — its frames
+//!   are delivered, never silently acknowledged as duplicates;
+//! * a frame the sink rejects is not committed by the sequence gate: the
+//!   client retransmits it until it is delivered exactly once.
 
 use asv::ism::{IsmConfig, IsmPipeline};
 use asv::AsvError;
@@ -327,6 +332,119 @@ fn client_backoff_rides_out_a_late_server() {
     drop(client);
     server_thread.join().expect("server thread").shutdown();
     assert_eq!(sink.delivered(), vec![("cam".to_owned(), 0)]);
+}
+
+/// A restarted producer has no client-side sequence state, but the session
+/// lives on in the server's gate.  The hello handshake must resume it at
+/// the expected sequence — without it, every frame of the new incarnation
+/// would be acknowledged as a duplicate and silently dropped.
+#[test]
+fn restarted_client_resumes_instead_of_being_silently_deduplicated() {
+    let sink = Arc::new(RecordingSink::default());
+    let server = FrameServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&sink) as Arc<dyn FrameSink>,
+        Arc::new(TransportCounters::new()),
+        NetConfig::default(),
+    )
+    .expect("loopback bind");
+    let left = Image::zeros(8, 6);
+    let right = Image::zeros(8, 6);
+
+    let mut client =
+        FrameClient::connect(server.local_addr(), ClientConfig::default()).expect("connect");
+    for _ in 0..3 {
+        client.send("cam", &left, &right).expect("send");
+    }
+    client.flush().expect("flush");
+    drop(client); // the producer crashes: sequence state is lost
+
+    let mut client =
+        FrameClient::connect(server.local_addr(), ClientConfig::default()).expect("reconnect");
+    for _ in 0..2 {
+        client
+            .send("cam", &left, &right)
+            .expect("send after restart");
+    }
+    client.flush().expect("flush after restart");
+    drop(client);
+    server.shutdown();
+
+    assert_eq!(
+        sink.delivered(),
+        (0..5)
+            .map(|seq| ("cam".to_owned(), seq))
+            .collect::<Vec<_>>(),
+        "the restarted producer's frames must be delivered, not deduplicated"
+    );
+}
+
+/// A sink that rejects the first `failures` deliveries (a saturated shard
+/// under `ShedPolicy::Reject`), then accepts.
+#[derive(Debug, Default)]
+struct RejectingSink {
+    failures: Mutex<u32>,
+    frames: Mutex<Vec<(String, u64)>>,
+}
+
+impl FrameSink for RejectingSink {
+    fn deliver(&self, key: &str, seq: u64, _left: Image, _right: Image) -> Result<(), AsvError> {
+        let mut failures = self
+            .failures
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *failures > 0 {
+            *failures -= 1;
+            return Err(AsvError::transport("shard saturated"));
+        }
+        self.frames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((key.to_owned(), seq));
+        Ok(())
+    }
+}
+
+/// Exactly-once despite sink failure: a rejected frame is not committed by
+/// the gate, so the client's retransmission delivers it — once.
+#[test]
+fn rejected_delivery_is_retransmitted_until_delivered() {
+    let sink = Arc::new(RejectingSink {
+        failures: Mutex::new(1),
+        frames: Mutex::new(Vec::new()),
+    });
+    let server = FrameServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&sink) as Arc<dyn FrameSink>,
+        Arc::new(TransportCounters::new()),
+        NetConfig::default(),
+    )
+    .expect("loopback bind");
+    let config = ClientConfig {
+        max_retries: 5,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(20),
+        ..ClientConfig::default()
+    };
+    let mut client = FrameClient::connect(server.local_addr(), config).expect("connect");
+    let left = Image::zeros(8, 6);
+    let right = Image::zeros(8, 6);
+    client.send("cam", &left, &right).expect("send");
+    client.send("cam", &left, &right).expect("send");
+    client.flush().expect("the rejected frame is retransmitted");
+    drop(client);
+    server.shutdown();
+
+    let delivered = sink
+        .frames
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    assert_eq!(
+        delivered,
+        vec![("cam".to_owned(), 0), ("cam".to_owned(), 1)],
+        "the rejected frame must be delivered exactly once after retransmission"
+    );
 }
 
 /// A dead endpoint exhausts the retry budget with a structured transport

@@ -129,6 +129,59 @@ fn payload_corruption_is_caught_by_the_crc() {
 }
 
 #[test]
+fn hello_round_trips_and_is_not_a_frame() {
+    let mut bytes = Vec::new();
+    wire::encode_hello_into(&mut bytes, "cam-1/front").unwrap();
+    match wire::validate_message(&bytes, MAX_MESSAGE_BYTES).unwrap() {
+        wire::Message::Hello { key } => assert_eq!(key, "cam-1/front"),
+        other => panic!("expected a hello, got {other:?}"),
+    }
+    // The frame-only validator refuses a structurally valid hello.
+    let fault = wire_fault(wire::validate(&bytes, MAX_MESSAGE_BYTES).unwrap_err());
+    assert!(matches!(fault, WireFault::BadMagic), "got {fault:?}");
+    // And hello corruption is caught like frame corruption.
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assert!(wire::validate_message(&bytes, MAX_MESSAGE_BYTES).is_err());
+}
+
+#[test]
+fn oversized_session_key_is_rejected_at_both_ends() {
+    let key = "k".repeat(wire::MAX_KEY_BYTES + 1);
+    let left = plane(4, 4, 0.0);
+    let right = plane(4, 4, 1.0);
+    let mut bytes = Vec::new();
+    let fault = wire_fault(
+        wire::encode_frame_into(&mut bytes, &key, 0, &left, &right)
+            .expect_err("over-cap key must not encode"),
+    );
+    assert!(matches!(fault, WireFault::Key), "got {fault:?}");
+    let fault = wire_fault(
+        wire::encode_hello_into(&mut bytes, &key).expect_err("over-cap hello must not encode"),
+    );
+    assert!(matches!(fault, WireFault::Key), "got {fault:?}");
+
+    // A hand-built message smuggling an over-cap key length is refused by
+    // the validator, so hostile peers cannot grow server-side session
+    // state with multi-kilobyte keys.
+    let key_len = wire::MAX_KEY_BYTES + 1;
+    let declared = HEADER_BYTES - 4 + key_len + 8;
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&u32::to_le_bytes(declared as u32));
+    msg.extend_from_slice(b"ASVF");
+    msg.extend_from_slice(&wire::VERSION.to_le_bytes());
+    msg.extend_from_slice(&u16::to_le_bytes(key_len as u16));
+    msg.extend_from_slice(&0u64.to_le_bytes());
+    msg.extend_from_slice(&1u32.to_le_bytes());
+    msg.extend_from_slice(&1u32.to_le_bytes());
+    msg.extend_from_slice(&[0, 0, 0, 0]);
+    msg.resize(4 + declared, b'k');
+    restamp_crc(&mut msg);
+    let fault = wire_fault(wire::validate(&msg, MAX_MESSAGE_BYTES).unwrap_err());
+    assert!(matches!(fault, WireFault::Key), "got {fault:?}");
+}
+
+#[test]
 fn non_utf8_key_is_rejected() {
     let mut bytes = encoded("abc", 0, 4, 4);
     bytes[HEADER_BYTES] = 0xFF;
