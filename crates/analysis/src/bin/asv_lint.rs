@@ -1,0 +1,75 @@
+//! `asv_lint` — the CI gate around [`asv_analysis`].
+//!
+//! ```sh
+//! cargo run -p asv-analysis --bin asv_lint -- --workspace
+//! asv_lint <path-to-workspace-root>
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on any finding, 2 on usage or I/O
+//! errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Ascends from `start` to the first directory that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`).
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.first().map(String::as_str) {
+        None | Some("--workspace") => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_root(&cwd).or_else(|| {
+                // Fallback: the compile-time manifest dir is
+                // `<root>/crates/analysis`.
+                find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            }) {
+                Some(r) => r,
+                None => {
+                    eprintln!("asv_lint: could not locate the workspace root");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some("--help" | "-h") => {
+            eprintln!(
+                "usage: asv_lint [--workspace | <root-dir>]\n\n\
+                 Runs the four static checks (unsafe/SAFETY audit, hot-path allocation\n\
+                 lint, lock-order analysis, registry consistency) over the workspace\n\
+                 source. Exits 1 on any finding."
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+    };
+
+    match asv_analysis::analyze_default(&root) {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("asv_lint: clean ({} ok)", root.display());
+                ExitCode::SUCCESS
+            } else {
+                println!("asv_lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("asv_lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

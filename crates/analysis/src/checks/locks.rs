@@ -1,0 +1,419 @@
+//! `ASV-L001`: lock-order deadlock detection.
+//!
+//! For every function in the configured runtime lock files this pass
+//! extracts lock acquisitions — `recv.lock()`, `recv.read()`,
+//! `recv.write()` (empty argument lists only, so `io::Write::write(buf)`
+//! never matches) and the free poison-recovering helper `lock(&path)` —
+//! and tracks guard lifetimes through `let` bindings, reassignment,
+//! explicit `drop(guard)` and scope exit.  A lock's identity is
+//! `file_stem::field` (`net::inner`, `scheduler::frames`): an
+//! approximation that treats all instances of one field as one lock,
+//! which over-approximates exactly the way a deadlock detector should.
+//!
+//! Edges: holding `A` while acquiring `B` adds `A -> B`; holding `A`
+//! while *calling* a function whose transitive acquisition set contains
+//! `B` adds the same edge (fixpoint over the workspace call graph).  Any
+//! cycle in the resulting order graph is a potential deadlock and fails
+//! the lint unless an edge in the cycle carries
+//! `// lint: lock-ok(<reason>)`.
+
+use super::CallGraph;
+use crate::model::CallSite;
+use crate::scan::{SourceFile, TokKind};
+use crate::{AnalyzerConfig, Finding, Workspace};
+use std::collections::{HashMap, HashSet};
+
+/// Escape annotation.
+const LOCK_OK: &str = "lint: lock-ok";
+
+/// One lock acquisition inside a fn body.
+struct Acquisition {
+    /// Token index of the acquiring name (`lock`/`read`/`write`).
+    tok: usize,
+    /// 1-based source line.
+    line: usize,
+    /// Lock identity (`file::field`).
+    id: String,
+}
+
+/// A live guard during the linear scan.
+struct Guard {
+    var: Option<String>,
+    id: String,
+    depth: i32,
+}
+
+/// An order edge `from -> to` with its first-seen site.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: usize,
+    annotated: bool,
+}
+
+/// `file_stem` of a relative path (`crates/runtime/src/net.rs` -> `net`).
+fn stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+}
+
+/// Extracts the acquisitions in token range `[start, end)` of `sf`.
+fn acquisitions(
+    sf: &SourceFile,
+    start: usize,
+    end: usize,
+    impl_type: Option<&str>,
+) -> Vec<Acquisition> {
+    let toks = &sf.tokens;
+    let file = stem(&sf.rel);
+    let mut out = Vec::new();
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |k: usize, s: &str| {
+            i + k < end && toks[i + k].kind == TokKind::Punct && toks[i + k].text == s
+        };
+        match t.text.as_str() {
+            // `recv.lock()` / `recv.read()` / `recv.write()`.
+            "lock" | "read" | "write"
+                if i >= 2
+                    && toks[i - 1].text == "."
+                    && next_is(1, "(")
+                    && next_is(2, ")")
+                    && toks[i - 2].kind == TokKind::Ident =>
+            {
+                let recv = &toks[i - 2].text;
+                let field = if recv == "self" {
+                    impl_type.unwrap_or("self")
+                } else {
+                    recv
+                };
+                out.push(Acquisition {
+                    tok: i,
+                    line: t.line,
+                    id: format!("{file}::{field}"),
+                });
+            }
+            // The free poison-recovering helper: `lock(&self.inner)`.
+            "lock" if (i == 0 || toks[i - 1].text != ".") && next_is(1, "(") => {
+                let mut j = i + 2;
+                let mut last = None;
+                let mut depth = 1;
+                while j < end && depth > 0 {
+                    match (toks[j].kind, toks[j].text.as_str()) {
+                        (TokKind::Punct, "(") => depth += 1,
+                        (TokKind::Punct, ")") => depth -= 1,
+                        (TokKind::Ident, name) if name != "self" => last = Some(name),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(field) = last {
+                    out.push(Acquisition {
+                        tok: i,
+                        line: t.line,
+                        id: format!("{file}::{field}"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The binding variable of the statement that starts at `stmt_start`:
+/// `let [mut] x = ...`, `let Ok(x) = ...`, or `x = ...`.
+fn binding_var(toks: &[crate::scan::Token], stmt_start: usize, end: usize) -> Option<String> {
+    let mut j = stmt_start;
+    while j < end && matches!(toks[j].text.as_str(), "if" | "while") {
+        j += 1;
+    }
+    if j < end && toks[j].text == "let" {
+        j += 1;
+        if j < end && toks[j].text == "mut" {
+            j += 1;
+        }
+        if j < end && toks[j].kind == TokKind::Ident {
+            // `let Ok(g)` — unwrap the single-field pattern.
+            if j + 2 < end && toks[j + 1].text == "(" && toks[j + 2].kind == TokKind::Ident {
+                return Some(toks[j + 2].text.clone());
+            }
+            return Some(toks[j].text.clone());
+        }
+        return None;
+    }
+    if j + 1 < end && toks[j].kind == TokKind::Ident && toks[j + 1].text == "=" {
+        return Some(toks[j].text.clone());
+    }
+    None
+}
+
+/// Runs the lock-order analysis.
+pub fn run(ws: &Workspace, config: &AnalyzerConfig) -> Vec<Finding> {
+    let g = CallGraph::build(ws);
+    let lock_file: Vec<bool> = ws
+        .files
+        .iter()
+        .map(|f| config.lock_files.iter().any(|l| f.rel.ends_with(l)))
+        .collect();
+
+    // Direct acquisition sets per node, then the transitive fixpoint over
+    // the call graph (calls to the free `lock` helper are modeled as the
+    // call-site acquisition instead, so the helper itself is excluded).
+    let mut acq: Vec<Vec<Acquisition>> = Vec::with_capacity(g.nodes.len());
+    for node in 0..g.nodes.len() {
+        let (fi, _) = g.nodes[node];
+        let def = g.def(ws, node);
+        if !lock_file[fi] || def.name == "lock" {
+            acq.push(Vec::new());
+            continue;
+        }
+        let list = def.body.map_or_else(Vec::new, |(s, e)| {
+            acquisitions(&ws.files[fi], s, e, def.impl_type.as_deref())
+        });
+        acq.push(list);
+    }
+    let mut trans: Vec<HashSet<String>> = acq
+        .iter()
+        .map(|list| list.iter().map(|a| a.id.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for node in 0..g.nodes.len() {
+            let mut add: Vec<String> = Vec::new();
+            for call in &g.def(ws, node).calls {
+                if call.name == "lock" {
+                    continue;
+                }
+                for target in g.resolve(call) {
+                    for id in &trans[target] {
+                        if !trans[node].contains(id) {
+                            add.push(id.clone());
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                changed = true;
+                trans[node].extend(add);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Linear scan each lock-file fn, tracking live guards and emitting
+    // order edges.
+    let mut edges: HashMap<(String, String), Edge> = HashMap::new();
+    for (node, acq_node) in acq.iter().enumerate() {
+        let (fi, _) = g.nodes[node];
+        if !lock_file[fi] || acq_node.is_empty() && g.def(ws, node).calls.is_empty() {
+            continue;
+        }
+        let def = g.def(ws, node);
+        let Some((start, end)) = def.body else {
+            continue;
+        };
+        let sf = &ws.files[fi];
+        let toks = &sf.tokens;
+        let acq_at: HashMap<usize, &Acquisition> = acq_node.iter().map(|a| (a.tok, a)).collect();
+        let call_at: HashMap<usize, &CallSite> = def.calls.iter().map(|c| (c.tok, c)).collect();
+
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0i32;
+        let mut stmt_start = start;
+        let mut emit = |guards: &[Guard], to: &str, line: usize, annotated: bool| {
+            for gd in guards {
+                edges
+                    .entry((gd.id.clone(), to.to_owned()))
+                    .and_modify(|e| e.annotated |= annotated)
+                    .or_insert(Edge {
+                        from: gd.id.clone(),
+                        to: to.to_owned(),
+                        file: fi,
+                        line,
+                        annotated,
+                    });
+            }
+        };
+        let mut i = start;
+        while i < end {
+            let t = &toks[i];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => {
+                        depth += 1;
+                        stmt_start = i + 1;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        guards.retain(|gd| gd.depth <= depth);
+                        stmt_start = i + 1;
+                    }
+                    ";" => {
+                        guards.retain(|gd| gd.var.is_some());
+                        stmt_start = i + 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            // `drop(guard)` releases early.
+            if t.kind == TokKind::Ident
+                && t.text == "drop"
+                && i + 2 < end
+                && toks[i + 1].text == "("
+                && toks[i + 2].kind == TokKind::Ident
+            {
+                let var = &toks[i + 2].text;
+                guards.retain(|gd| gd.var.as_deref() != Some(var));
+                i += 3;
+                continue;
+            }
+            if let Some(a) = acq_at.get(&i) {
+                let annotated = sf.annotated_above(a.line, LOCK_OK);
+                emit(&guards, &a.id, a.line, annotated);
+                let var = binding_var(toks, stmt_start, end);
+                // Reassignment to an existing guard variable replaces it.
+                if let Some(v) = &var {
+                    guards.retain(|gd| gd.var.as_deref() != Some(v));
+                }
+                guards.push(Guard {
+                    var,
+                    id: a.id.clone(),
+                    depth,
+                });
+                i += 1;
+                continue;
+            }
+            if let Some(call) = call_at.get(&i) {
+                if call.name != "lock" && !guards.is_empty() {
+                    let annotated = sf.annotated_above(call.line, LOCK_OK);
+                    let mut held: HashSet<String> = HashSet::new();
+                    for target in g.resolve(call) {
+                        for id in &trans[target] {
+                            held.insert(id.clone());
+                        }
+                    }
+                    for id in held {
+                        emit(&guards, &id, call.line, annotated);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    // Cycle detection over the id graph (Tarjan SCCs; self-loops count).
+    let mut ids: Vec<&String> = Vec::new();
+    let mut idx: HashMap<&String, usize> = HashMap::new();
+    for e in edges.values() {
+        for id in [&e.from, &e.to] {
+            if !idx.contains_key(id) {
+                idx.insert(id, ids.len());
+                ids.push(id);
+            }
+        }
+    }
+    let n = ids.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges.values() {
+        adj[idx[&e.from]].push(idx[&e.to]);
+    }
+    let sccs = tarjan(n, &adj);
+
+    let mut findings = Vec::new();
+    for scc in sccs {
+        let cyclic = scc.len() > 1 || (scc.len() == 1 && adj[scc[0]].contains(&scc[0]));
+        if !cyclic {
+            continue;
+        }
+        let members: HashSet<&str> = scc.iter().map(|&v| ids[v].as_str()).collect();
+        let mut cycle_edges: Vec<&Edge> = edges
+            .values()
+            .filter(|e| members.contains(e.from.as_str()) && members.contains(e.to.as_str()))
+            .collect();
+        if cycle_edges.iter().any(|e| e.annotated) {
+            continue;
+        }
+        cycle_edges.sort_by_key(|e| (&ws.files[e.file].rel, e.line));
+        let site = cycle_edges[0];
+        let mut names: Vec<&str> = members.iter().copied().collect();
+        names.sort_unstable();
+        findings.push(Finding {
+            code: "ASV-L001",
+            file: ws.files[site.file].rel.clone(),
+            line: site.line,
+            message: format!(
+                "lock-order cycle between {{{}}} — potential deadlock (annotate an edge with \
+                 `// lint: lock-ok(<reason>)` if the order is proven safe)",
+                names.join(", ")
+            ),
+        });
+    }
+    findings
+}
+
+/// Tarjan's strongly-connected components.
+fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<usize>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strong(v: usize, st: &mut State<'_>) {
+        st.index[v] = st.next;
+        st.low[v] = st.next;
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for k in 0..st.adj[v].len() {
+            let w = st.adj[v][k];
+            if st.index[w] == usize::MAX {
+                strong(w, st);
+                st.low[v] = st.low[v].min(st.low[w]);
+            } else if st.on_stack[w] {
+                st.low[v] = st.low[v].min(st.index[w]);
+            }
+        }
+        if st.low[v] == st.index[v] {
+            let mut scc = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("tarjan stack underflow");
+                st.on_stack[w] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.out.push(scc);
+        }
+    }
+    let mut st = State {
+        adj,
+        index: vec![usize::MAX; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v] == usize::MAX {
+            strong(v, &mut st);
+        }
+    }
+    st.out
+}

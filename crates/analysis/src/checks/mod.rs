@@ -1,0 +1,130 @@
+//! The four lint passes: unsafe audit, hot-path allocation, lock-order,
+//! and registry consistency — plus the shared name-resolution-lite call
+//! graph the reachability-based passes ([`alloc`], [`locks`]) build on.
+
+pub mod alloc;
+pub mod locks;
+pub mod registry;
+pub mod unsafe_audit;
+
+use crate::model::{self, CallKind, CallSite, FnDef, UBIQUITOUS_METHODS};
+use crate::Workspace;
+use std::collections::{HashMap, HashSet};
+
+/// The workspace call graph: one node per production (non-test) function
+/// in library sources, with call sites resolved *by name*.
+///
+/// Resolution over-approximates (any same-named method may be the target),
+/// which is the right bias for lints that must cover cold branches; the
+/// [`UBIQUITOUS_METHODS`] list keeps std-prelude names from connecting
+/// everything to everything.
+pub(crate) struct CallGraph {
+    /// `(file index, fn index)` per node.
+    pub nodes: Vec<(usize, usize)>,
+    methods_by_name: HashMap<String, Vec<usize>>,
+    free_by_name: HashMap<String, Vec<usize>>,
+    by_qual: HashMap<String, Vec<usize>>,
+    impl_types: HashSet<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every production fn in library sources
+    /// (`src/` excluding `src/bin`, tests, benches, examples, and
+    /// `#[cfg(test)]` spans).
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut g = CallGraph {
+            nodes: Vec::new(),
+            methods_by_name: HashMap::new(),
+            free_by_name: HashMap::new(),
+            by_qual: HashMap::new(),
+            impl_types: HashSet::new(),
+        };
+        for (fi, sf) in ws.files.iter().enumerate() {
+            // The analyzer itself never runs on the frame path; keeping it
+            // out of the graph stops generic fn names (`run`, `build`)
+            // from aliasing into the hot set.
+            if !ws.is_library_source(fi) || sf.rel.starts_with("crates/analysis/") {
+                continue;
+            }
+            let test_spans = model::test_spans(sf);
+            for (di, def) in ws.models[fi].fns.iter().enumerate() {
+                let anchor = def.body.map_or(usize::MAX, |(s, _)| s);
+                if test_spans.iter().any(|&(s, e)| s < anchor && anchor < e) {
+                    continue;
+                }
+                let node = g.nodes.len();
+                g.nodes.push((fi, di));
+                if let Some(t) = &def.impl_type {
+                    g.impl_types.insert(t.clone());
+                    g.methods_by_name
+                        .entry(def.name.clone())
+                        .or_default()
+                        .push(node);
+                    g.by_qual.entry(def.qual.clone()).or_default().push(node);
+                } else {
+                    g.free_by_name
+                        .entry(def.name.clone())
+                        .or_default()
+                        .push(node);
+                }
+            }
+        }
+        g
+    }
+
+    /// The [`FnDef`] behind a node.
+    pub fn def<'w>(&self, ws: &'w Workspace, node: usize) -> &'w FnDef {
+        let (fi, di) = self.nodes[node];
+        &ws.models[fi].fns[di]
+    }
+
+    /// Possible workspace targets of a call site.
+    pub fn resolve(&self, call: &CallSite) -> Vec<usize> {
+        let none: Vec<usize> = Vec::new();
+        match call.kind {
+            CallKind::Macro => none,
+            CallKind::Method => {
+                if UBIQUITOUS_METHODS.contains(&call.name.as_str()) {
+                    none
+                } else {
+                    self.methods_by_name
+                        .get(&call.name)
+                        .cloned()
+                        .unwrap_or_default()
+                }
+            }
+            CallKind::Path => match &call.qual {
+                Some(q) if self.impl_types.contains(q) => self
+                    .by_qual
+                    .get(&format!("{q}::{}", call.name))
+                    .cloned()
+                    .unwrap_or_default(),
+                // `module::helper(...)` or a std type (`Vec::new`): only a
+                // free fn of the same name can be the target.
+                _ => self
+                    .free_by_name
+                    .get(&call.name)
+                    .cloned()
+                    .unwrap_or_default(),
+            },
+            CallKind::Free => {
+                let mut out = self
+                    .free_by_name
+                    .get(&call.name)
+                    .cloned()
+                    .unwrap_or_default();
+                // A bare `deliver()` may invoke a closure wrapping a
+                // method: fall back to same-named methods.
+                if !UBIQUITOUS_METHODS.contains(&call.name.as_str()) {
+                    out.extend(
+                        self.methods_by_name
+                            .get(&call.name)
+                            .cloned()
+                            .unwrap_or_default(),
+                    );
+                }
+                out
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! `ASV-U001` / `ASV-U002`: the unsafe/SAFETY audit.
+//!
+//! Every `unsafe` block, `unsafe fn` item and `unsafe impl` must carry a
+//! `// SAFETY:` comment (a `# Safety` doc section also counts for fns).
+//! clippy's `undocumented_unsafe_blocks` covers blocks only; this pass
+//! extends the requirement to fn declarations — the gap that left the
+//! `#[target_feature]` kernels in `crates/stereo/src/simd.rs` undocumented.
+//!
+//! `ASV-U002` then audits *call sites* of `#[target_feature]` functions:
+//! executing one on a CPU without the feature is UB regardless of the
+//! function's own soundness, so every call must sit inside a documented
+//! unsafe site (a SAFETY-annotated `unsafe` block — the `SimdLevel`
+//! dispatch layer pattern — or a documented `unsafe fn`, e.g. a sibling
+//! kernel).
+//!
+//! Exemption: an `unsafe fn` implementing a trait method (`unsafe impl
+//! GlobalAlloc for ...` methods) inherits the trait's safety contract and
+//! needs no per-fn SAFETY comment; the `unsafe impl` itself still needs
+//! one.
+
+use crate::model::{self, FnDef, UBIQUITOUS_METHODS};
+use crate::scan::{SourceFile, TokKind};
+use crate::{Finding, Workspace};
+
+/// Annotation accepted on any unsafe construct.
+const SAFETY: &str = "SAFETY:";
+/// Doc-section spelling accepted on `unsafe fn` declarations.
+const SAFETY_DOC: &str = "# Safety";
+
+/// An `unsafe { ... }` block: token span and whether it is documented.
+struct UnsafeBlock {
+    start: usize,
+    end: usize,
+    line: usize,
+    documented: bool,
+}
+
+/// Collects every `unsafe {` block in a file.
+fn unsafe_blocks(sf: &SourceFile) -> Vec<UnsafeBlock> {
+    let toks = &sf.tokens;
+    let close = model::match_braces(toks);
+    let mut blocks = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "unsafe"
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Punct
+            && toks[i + 1].text == "{"
+            && close[i + 1] != usize::MAX
+        {
+            blocks.push(UnsafeBlock {
+                start: i + 1,
+                end: close[i + 1],
+                line: toks[i].line,
+                documented: sf.annotated_above(toks[i].line, SAFETY),
+            });
+        }
+    }
+    blocks
+}
+
+/// Whether the fn declaration carries a SAFETY comment or `# Safety` doc
+/// section.
+fn fn_documented(sf: &SourceFile, def: &FnDef) -> bool {
+    sf.annotated_above(def.line, SAFETY) || sf.annotated_above(def.line, SAFETY_DOC)
+}
+
+/// Whether `def` is a `#[target_feature]` function.
+fn is_target_feature(def: &FnDef) -> bool {
+    def.attrs.iter().any(|a| a.contains("target_feature"))
+}
+
+/// Runs the unsafe audit over the whole workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let blocks: Vec<Vec<UnsafeBlock>> = ws.files.iter().map(unsafe_blocks).collect();
+
+    for (fi, sf) in ws.files.iter().enumerate() {
+        // U001 on blocks.
+        for b in &blocks[fi] {
+            if !b.documented {
+                findings.push(Finding {
+                    code: "ASV-U001",
+                    file: sf.rel.clone(),
+                    line: b.line,
+                    message: "`unsafe` block without a `// SAFETY:` comment".to_owned(),
+                });
+            }
+        }
+        // U001 on `unsafe impl` items.
+        let toks = &sf.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text == "unsafe"
+                && i + 1 < toks.len()
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 1].text == "impl"
+                && !sf.annotated_above(toks[i].line, SAFETY)
+            {
+                findings.push(Finding {
+                    code: "ASV-U001",
+                    file: sf.rel.clone(),
+                    line: toks[i].line,
+                    message: "`unsafe impl` without a `// SAFETY:` comment".to_owned(),
+                });
+            }
+        }
+        // U001 on `unsafe fn` declarations (trait-impl methods exempt:
+        // they implement the trait's documented contract).
+        for def in &ws.models[fi].fns {
+            if def.is_unsafe && def.impl_trait.is_none() && !fn_documented(sf, def) {
+                findings.push(Finding {
+                    code: "ASV-U001",
+                    file: sf.rel.clone(),
+                    line: def.line,
+                    message: format!(
+                        "`unsafe fn {}` without a `// SAFETY:` comment or `# Safety` doc section",
+                        def.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // U002: calls to #[target_feature] fns must come from documented
+    // unsafe sites.
+    let mut tf_names: Vec<&str> = Vec::new();
+    for m in &ws.models {
+        for def in &m.fns {
+            if is_target_feature(def) {
+                tf_names.push(&def.name);
+            }
+        }
+    }
+    if tf_names.is_empty() {
+        return findings;
+    }
+
+    for (fi, sf) in ws.files.iter().enumerate() {
+        for def in &ws.models[fi].fns {
+            let caller_documented_unsafe =
+                def.is_unsafe && (def.impl_trait.is_some() || fn_documented(sf, def));
+            for call in &def.calls {
+                if !tf_names.contains(&call.name.as_str()) {
+                    continue;
+                }
+                if call.kind == model::CallKind::Method
+                    && UBIQUITOUS_METHODS.contains(&call.name.as_str())
+                {
+                    continue;
+                }
+                if caller_documented_unsafe {
+                    continue;
+                }
+                let in_documented_block = blocks[fi]
+                    .iter()
+                    .any(|b| b.documented && b.start < call.tok && call.tok < b.end);
+                if !in_documented_block {
+                    findings.push(Finding {
+                        code: "ASV-U002",
+                        file: sf.rel.clone(),
+                        line: call.line,
+                        message: format!(
+                            "`{}` is `#[target_feature]` but this call is outside any \
+                             documented unsafe site",
+                            call.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}

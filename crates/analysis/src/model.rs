@@ -1,0 +1,678 @@
+//! Name-resolution-lite structural model: functions, impl contexts, and
+//! call sites extracted from the token stream.
+//!
+//! The model deliberately stops far short of type checking.  Functions are
+//! identified by `Type::name` (impl methods) or bare `name` (free
+//! functions); call sites are resolved *by name*: a `recv.m(...)` call may
+//! target any workspace method named `m`, a `Type::f(...)` call targets
+//! `Type::f` when the workspace defines it, and a bare `f(...)` call
+//! targets any function named `f`.  That over-approximates reachability —
+//! exactly the right bias for the allocation and lock-order lints, which
+//! must cover branches tests never execute — and a small
+//! [`UBIQUITOUS_METHODS`] list keeps std-prelude method names (`len`,
+//! `iter`, `min`, ...) from linking the whole workspace into one blob.
+
+use crate::scan::{SourceFile, TokKind, Token};
+
+/// Method names so common they are overwhelmingly std methods; bare
+/// `recv.name()` calls to these never resolve into the workspace (a
+/// workspace function of the same name is still reachable through a
+/// qualified `Type::name` call).
+pub const UBIQUITOUS_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_mut_ptr",
+    "as_mut_slice",
+    "as_ptr",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "ceil",
+    "chain",
+    "chars",
+    "clamp",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "count_ones",
+    "default",
+    "drain",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "exp",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "flat_map",
+    "flatten",
+    "floor",
+    "flush",
+    "fold",
+    "for_each",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "inspect",
+    "into_iter",
+    "is_char_boundary",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "is_some_and",
+    "iter",
+    "join",
+    "iter_mut",
+    "keys",
+    "last",
+    "len",
+    "ln",
+    "load",
+    "lock",
+    "log2",
+    "map",
+    "map_err",
+    "map_or",
+    "map_while",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "mul_add",
+    "next",
+    "nth",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "position",
+    "pow",
+    "powf",
+    "powi",
+    "product",
+    "push",
+    "push_str",
+    "read",
+    "recv",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "send",
+    "set_len",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "split_first",
+    "split_last",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "store",
+    "sum",
+    "swap",
+    "take",
+    "then",
+    "then_some",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "unzip",
+    "values",
+    "values_mut",
+    "wait",
+    "windows",
+    "wrapping_add",
+    "wrapping_mul",
+    "wrapping_sub",
+    "write",
+    "write_all",
+    "zip",
+];
+
+/// Rust keywords: excluded from call-site detection (`if (...)` is not a
+/// call) and from identifier-based item parsing.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "union", "unsafe", "use", "where", "while",
+];
+
+/// Whether `s` is a Rust keyword.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(...)` — resolved by method name across the workspace.
+    Method,
+    /// `Qual::name(...)` — resolved as `Qual::name`, falling back to bare
+    /// name when `Qual` is not a workspace type.
+    Path,
+    /// `name(...)` — a free call (or a closure/fn-pointer invocation).
+    Free,
+    /// `name!(...)` — a macro invocation.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (last path segment / method / macro name).
+    pub name: String,
+    /// Qualifier for [`CallKind::Path`] calls (`Vec` in `Vec::new`).
+    pub qual: Option<String>,
+    /// Shape of the call.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// Token index of the called name.
+    pub tok: usize,
+}
+
+/// One `fn` item.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` for impl methods / trait-default methods, else `name`.
+    pub qual: String,
+    /// Enclosing `impl` self-type (last path segment), if any.
+    pub impl_type: Option<String>,
+    /// Enclosing `impl Trait for Type` trait name, if any.
+    pub impl_trait: Option<String>,
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Attribute text collected from the `#[...]` stack above the fn.
+    pub attrs: Vec<String>,
+    /// Token range of the body, exclusive of the braces; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites inside the body.
+    pub calls: Vec<CallSite>,
+}
+
+/// The per-file structural model.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Functions defined in the file, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// `impl` block context covering a token span.
+#[derive(Debug)]
+struct ImplSpan {
+    type_name: Option<String>,
+    trait_name: Option<String>,
+    start: usize,
+    end: usize,
+}
+
+/// Builds the structural model of one scanned file.
+pub fn build_model(file_idx: usize, sf: &SourceFile) -> FileModel {
+    let toks = &sf.tokens;
+    let close = match_braces(toks);
+    let impls = impl_spans(toks, &close);
+    let traits = trait_spans(toks, &close);
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            if let Some(def) = parse_fn(file_idx, toks, i, &close, &impls, &traits) {
+                i = def.body.map_or(i + 1, |(_, end)| end);
+                fns.push(def);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    FileModel { fns }
+}
+
+/// `open brace index -> close brace index` for every matched `{`.
+pub fn match_braces(toks: &[Token]) -> Vec<usize> {
+    let mut close = vec![usize::MAX; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => stack.push(i),
+                "}" => {
+                    if let Some(open) = stack.pop() {
+                        close[open] = i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    close
+}
+
+/// Token spans of `#[cfg(test)] mod ... { ... }` blocks, so checks that
+/// model production reachability can exclude test-only code.
+pub fn test_spans(sf: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &sf.tokens;
+    let close = match_braces(toks);
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if is_cfg_test {
+            // Find the `{` of the item this attribute decorates (a test
+            // module or a lone test fn).
+            let mut j = i + 7;
+            while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+                if toks[j].kind == TokKind::Punct && toks[j].text == ";" {
+                    break;
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "{" && close[j] != usize::MAX {
+                spans.push((j, close[j]));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Every `impl ... {` block: its (type, trait) names and body token span.
+fn impl_spans(toks: &[Token], close: &[usize]) -> Vec<ImplSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "impl" {
+            // Collect path segments until the opening brace, tracking the
+            // `for` keyword that splits `impl Trait for Type`.
+            let mut pre_for: Vec<String> = Vec::new();
+            let mut post_for: Vec<String> = Vec::new();
+            let mut saw_for = false;
+            let mut angle = 0i32;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let t = &toks[j];
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "<") => angle += 1,
+                    (TokKind::Punct, ">") => angle -= 1,
+                    (TokKind::Punct, "{") if angle <= 0 => break,
+                    (TokKind::Punct, ";") => break,
+                    (TokKind::Ident, "for") if angle <= 0 => saw_for = true,
+                    (TokKind::Ident, "where") if angle <= 0 => {
+                        // `where` clauses never contain braces; skip to `{`.
+                        while j + 1 < toks.len()
+                            && !(toks[j + 1].kind == TokKind::Punct && toks[j + 1].text == "{")
+                        {
+                            j += 1;
+                        }
+                    }
+                    (TokKind::Ident, name) if angle <= 0 && !is_keyword(name) => {
+                        if saw_for {
+                            post_for.push(name.to_owned());
+                        } else {
+                            pre_for.push(name.to_owned());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "{" {
+                let end = close[j];
+                let (type_name, trait_name) = if saw_for {
+                    (post_for.last().cloned(), pre_for.first().cloned())
+                } else {
+                    (pre_for.last().cloned(), None)
+                };
+                if end != usize::MAX {
+                    spans.push(ImplSpan {
+                        type_name,
+                        trait_name,
+                        start: j,
+                        end,
+                    });
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Every `trait Name {` body span, so default methods qualify as
+/// `Name::method`.
+fn trait_spans(toks: &[Token], close: &[usize]) -> Vec<ImplSpan> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "trait"
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < toks.len() {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokKind::Punct, "<") => angle += 1,
+                    (TokKind::Punct, ">") => angle -= 1,
+                    (TokKind::Punct, "{") if angle <= 0 => break,
+                    (TokKind::Punct, ";") => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "{" && close[j] != usize::MAX {
+                spans.push(ImplSpan {
+                    type_name: Some(name),
+                    trait_name: None,
+                    start: j,
+                    end: close[j],
+                });
+            }
+        }
+    }
+    spans
+}
+
+/// Parses the `fn` item whose `fn` keyword sits at token `at`.
+fn parse_fn(
+    file_idx: usize,
+    toks: &[Token],
+    at: usize,
+    close: &[usize],
+    impls: &[ImplSpan],
+    traits: &[ImplSpan],
+) -> Option<FnDef> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident || is_keyword(&name_tok.text) {
+        // `fn(` — a fn-pointer type, not an item.
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let (is_unsafe, attrs) = modifiers_and_attrs(toks, at);
+    // Find the body `{` (or `;`) after the signature: parens and angles
+    // must be balanced, and `->` must not count its `>` as closing.
+    let mut j = at + 2;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut body = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "<" => angle += 1,
+                ">" if !prev_is(toks, j, "-") => angle = (angle - 1).max(0),
+                "{" if paren == 0 && angle == 0 => {
+                    let end = close[j];
+                    if end == usize::MAX {
+                        return None;
+                    }
+                    body = Some((j + 1, end));
+                    break;
+                }
+                ";" if paren == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let ctx = impls
+        .iter()
+        .chain(traits.iter())
+        .filter(|s| s.start < at && at < s.end)
+        .max_by_key(|s| s.start);
+    let impl_type = ctx.and_then(|s| s.type_name.clone());
+    let impl_trait = ctx.and_then(|s| s.trait_name.clone());
+    let qual = match &impl_type {
+        Some(t) => format!("{t}::{name}"),
+        None => name.clone(),
+    };
+    let calls = body.map_or_else(Vec::new, |(s, e)| collect_calls(toks, s, e));
+    Some(FnDef {
+        name,
+        qual,
+        impl_type,
+        impl_trait,
+        file: file_idx,
+        line: name_tok.line,
+        is_unsafe,
+        attrs,
+        body,
+        calls,
+    })
+}
+
+/// Walks backwards over the modifier stack (`pub(crate) const unsafe
+/// extern "C"`) and the attribute stack above a `fn`, returning whether the
+/// fn is `unsafe` and the collected attribute texts.
+fn modifiers_and_attrs(toks: &[Token], fn_at: usize) -> (bool, Vec<String>) {
+    let mut is_unsafe = false;
+    let mut attrs = Vec::new();
+    let mut j = fn_at;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "unsafe") => is_unsafe = true,
+            (TokKind::Ident, "pub" | "const" | "async" | "extern" | "default") => {}
+            (TokKind::Str, _) => {} // the ABI string of `extern "C"`
+            (TokKind::Punct, ")") => {
+                // The visibility scope of `pub(crate)` etc.
+                let mut depth = 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match toks[j].text.as_str() {
+                        ")" => depth += 1,
+                        "(" => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            (TokKind::Punct, "]") => {
+                // An attribute `#[...]`: collect its inner text.
+                let end = j;
+                let mut depth = 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match toks[j].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                let inner: Vec<&str> = toks[j + 1..end].iter().map(|t| t.text.as_str()).collect();
+                attrs.push(inner.join(" "));
+                if j > 0 && toks[j - 1].text == "#" {
+                    j -= 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    (is_unsafe, attrs)
+}
+
+fn prev_is(toks: &[Token], at: usize, text: &str) -> bool {
+    at > 0 && toks[at - 1].text == text
+}
+
+/// Extracts every call site in the token range `[start, end)`.
+pub fn collect_calls(toks: &[Token], start: usize, end: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        // Macro invocation: `name ! ( | [ | {`.
+        if i + 1 < end && toks[i + 1].text == "!" && toks[i + 1].kind == TokKind::Punct {
+            if i + 2 < end && matches!(toks[i + 2].text.as_str(), "(" | "[" | "{") {
+                calls.push(CallSite {
+                    name: t.text.clone(),
+                    qual: None,
+                    kind: CallKind::Macro,
+                    line: t.line,
+                    tok: i,
+                });
+            }
+            continue;
+        }
+        // `name (` possibly with a `::<...>` turbofish in between.
+        let mut j = i + 1;
+        if j + 1 < end && toks[j].text == ":" && toks[j + 1].text == ":" {
+            if j + 2 < end && toks[j + 2].text == "<" {
+                let mut angle = 1i32;
+                j += 3;
+                while j < end && angle > 0 {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" if !prev_is(toks, j, "-") => angle -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                continue; // a path segment, the call is detected at its end
+            }
+        }
+        if j >= end || !(toks[j].kind == TokKind::Punct && toks[j].text == "(") {
+            continue;
+        }
+        // Definition sites (`fn name(`) are not calls.
+        if i > 0 && toks[i - 1].kind == TokKind::Ident && toks[i - 1].text == "fn" {
+            continue;
+        }
+        let (kind, qual) = if i > 0 && toks[i - 1].text == "." {
+            (CallKind::Method, None)
+        } else if i > 1 && toks[i - 1].text == ":" && toks[i - 2].text == ":" {
+            let q = if i > 2 && toks[i - 3].kind == TokKind::Ident {
+                Some(toks[i - 3].text.clone())
+            } else {
+                None
+            };
+            (CallKind::Path, q)
+        } else {
+            (CallKind::Free, None)
+        };
+        calls.push(CallSite {
+            name: t.text.clone(),
+            qual,
+            kind,
+            line: t.line,
+            tok: i,
+        });
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn model(src: &str) -> (SourceFile, FileModel) {
+        let sf = SourceFile::scan("t.rs", src);
+        let m = build_model(0, &sf);
+        (sf, m)
+    }
+
+    #[test]
+    fn qualifies_impl_methods() {
+        let (_, m) = model("impl Foo { pub fn bar(&self) {} }\nfn free() {}\n");
+        assert_eq!(m.fns[0].qual, "Foo::bar");
+        assert_eq!(m.fns[1].qual, "free");
+    }
+
+    #[test]
+    fn trait_impls_record_the_trait() {
+        let (_, m) = model("impl Sink for Foo { fn deliver(&self) {} }");
+        assert_eq!(m.fns[0].qual, "Foo::deliver");
+        assert_eq!(m.fns[0].impl_trait.as_deref(), Some("Sink"));
+    }
+
+    #[test]
+    fn attrs_and_unsafe_are_attached() {
+        let (_, m) = model("#[target_feature(enable = \"avx2\")]\npub unsafe fn k(x: &[f32]) {}");
+        assert!(m.fns[0].is_unsafe);
+        assert!(m.fns[0].attrs.iter().any(|a| a.contains("target_feature")));
+    }
+
+    #[test]
+    fn calls_of_every_shape() {
+        let (_, m) = model(
+            "fn f() { g(); recv.m(); Vec::new(); x.collect::<Vec<u8>>(); vec![1]; format!(\"x\"); }",
+        );
+        let c = &m.fns[0].calls;
+        let by = |n: &str| c.iter().find(|cs| cs.name == n).unwrap();
+        assert_eq!(by("g").kind, CallKind::Free);
+        assert_eq!(by("m").kind, CallKind::Method);
+        assert_eq!(by("new").qual.as_deref(), Some("Vec"));
+        assert_eq!(by("collect").kind, CallKind::Method);
+        assert_eq!(by("vec").kind, CallKind::Macro);
+        assert_eq!(by("format").kind, CallKind::Macro);
+    }
+
+    #[test]
+    fn generic_fn_signature_finds_body() {
+        let (_, m) = model("fn f<T: Fn(usize) -> bool>(x: T) -> Vec<u8> { inner() }");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].calls[0].name, "inner");
+    }
+}

@@ -1,0 +1,497 @@
+//! A hand-rolled Rust token scanner: the lexical layer every check builds
+//! on.
+//!
+//! This is deliberately *not* a parser — no `syn`, no grammar.  It produces
+//! exactly the facts the four lint passes need and nothing more:
+//!
+//! * a token stream (identifiers, numbers, punctuation) with line numbers,
+//!   with comments and literal *contents* stripped so keyword scans and
+//!   brace matching can never be fooled by `"unsafe"` inside a string or a
+//!   commented-out `Mutex`;
+//! * every comment, by line, so the annotation escapes (`// SAFETY:`,
+//!   `// lint: alloc-ok(...)`, `// lint: lock-ok(...)`) can be matched to
+//!   the construct they document;
+//! * every string literal, by line, so the registry check can harvest
+//!   `ASV_*` environment-knob names and `asv_*` Prometheus family names;
+//! * per-line code/comment flags, so "the contiguous comment block above
+//!   this item" is computable.
+//!
+//! Handled lexical obstacles: nested block comments, raw strings with any
+//! `#` count, byte/char literals with escapes, lifetimes vs char literals,
+//! and float literals vs range expressions (`0..n`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `foo`).
+    Ident,
+    /// A numeric literal (`0x1f`, `1_024`, `3.5e2`).
+    Num,
+    /// A single punctuation character (`{`, `:`, `<`, ...).
+    Punct,
+    /// A lifetime (`'a`, `'static`), kept distinct so it never looks like a
+    /// char literal or an identifier.
+    Lifetime,
+    /// A string/char/byte literal; `text` holds the *contents* (quotes and
+    /// escapes included verbatim).
+    Str,
+}
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim token text (for [`TokKind::Punct`] a single character).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One comment (line `//` or block `/* */`), anchored at its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment text without the delimiters.
+    pub text: String,
+}
+
+/// One string literal and where it appeared.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based source line.
+    pub line: usize,
+    /// Literal contents (no quotes; escape sequences verbatim).
+    pub value: String,
+}
+
+/// A scanned source file: the input of every check.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the analyzed root, with `/` separators.
+    pub rel: String,
+    /// Token stream (comments and literals stripped to [`TokKind::Str`]).
+    pub tokens: Vec<Token>,
+    /// Every comment, in order.
+    pub comments: Vec<Comment>,
+    /// Every string literal, in order.
+    pub strings: Vec<StrLit>,
+    /// `line_has_code[l]` — line `l` (1-based) holds at least one token.
+    pub line_has_code: Vec<bool>,
+    /// `line_has_comment[l]` — line `l` intersects a comment.
+    pub line_has_comment: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Scans `source`, recording it under the relative path `rel`.
+    pub fn scan(rel: &str, source: &str) -> SourceFile {
+        let mut lx = Lexer::new(source);
+        lx.run();
+        let lines = source.lines().count() + 2;
+        let mut line_has_code = vec![false; lines];
+        let mut line_has_comment = vec![false; lines];
+        for t in &lx.tokens {
+            if t.line < lines {
+                line_has_code[t.line] = true;
+            }
+        }
+        for c in &lx.comments {
+            let span = c.text.lines().count().max(1);
+            if let Some(slice) = line_has_comment.get_mut(c.line..(c.line + span).min(lines)) {
+                slice.fill(true);
+            }
+        }
+        SourceFile {
+            rel: rel.to_owned(),
+            tokens: lx.tokens,
+            comments: lx.comments,
+            strings: lx.strings,
+            line_has_code,
+            line_has_comment,
+        }
+    }
+
+    /// All comment text that starts on `line`, concatenated.
+    pub fn comment_on(&self, line: usize) -> Option<&Comment> {
+        self.comments.iter().find(|c| c.line == line)
+    }
+
+    /// Whether the contiguous run of comment-only lines directly above
+    /// `line` (skipping attribute-only and blank lines) contains `needle`.
+    /// This is the shared "is this construct annotated?" predicate: it
+    /// accepts the annotation on the construct's own line (a trailing
+    /// comment) or anywhere in the comment block introducing it.
+    pub fn annotated_above(&self, line: usize, needle: &str) -> bool {
+        let hit = |l: usize| {
+            self.comments
+                .iter()
+                .any(|c| c.line == l && c.text.contains(needle))
+        };
+        if hit(line) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            if l < self.line_has_comment.len() && self.line_has_comment[l] {
+                if hit(l) {
+                    return true;
+                }
+                // A code-bearing line above ends the comment block unless
+                // it is an attribute (annotations may sit above `#[...]`).
+                if self.line_has_code[l] && !self.line_is_attribute(l) {
+                    return false;
+                }
+                continue;
+            }
+            if l < self.line_has_code.len() && self.line_has_code[l] {
+                if self.line_is_attribute(l) {
+                    continue;
+                }
+                return false;
+            }
+            // Blank line: keep walking (rustfmt sometimes separates the
+            // doc block from the attribute stack).
+            if !self.line_has_comment.get(l).copied().unwrap_or(false) {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Whether line `l`'s first token is the `#` of an attribute.
+    fn line_is_attribute(&self, l: usize) -> bool {
+        self.tokens
+            .iter()
+            .find(|t| t.line >= l)
+            .is_some_and(|t| t.line == l && t.kind == TokKind::Punct && t.text == "#")
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+    strings: Vec<StrLit>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(false),
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => {
+                    if self.raw_string_ahead(1) {
+                        self.raw_string(1);
+                    } else {
+                        self.ident();
+                    }
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.pos += 1;
+                    self.string(false);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.pos += 2;
+                    self.char_lit();
+                }
+                b'b' if self.peek(1) == b'r' && self.raw_string_ahead(2) => self.raw_string(2),
+                b'\'' => self.quote(),
+                _ if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let line = self.line;
+                    let c = self.bump();
+                    if c.is_ascii() {
+                        self.tokens.push(Token {
+                            kind: TokKind::Punct,
+                            text: (c as char).to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump();
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.comments.push(Comment { line, text });
+    }
+
+    fn string(&mut self, _raw: bool) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let value = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.strings.push(StrLit {
+            line,
+            value: value.clone(),
+        });
+        self.tokens.push(Token {
+            kind: TokKind::Str,
+            text: value,
+            line,
+        });
+    }
+
+    /// Whether `r`/`br` at the current position opens a raw string:
+    /// `offset` hashes (possibly zero) followed by `"`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut k = offset;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        self.peek(k) == b'"'
+    }
+
+    fn raw_string(&mut self, prefix: usize) {
+        let line = self.line;
+        self.pos += prefix; // `r` or `br`
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        'outer: while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        self.bump();
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            self.bump();
+        }
+        let value = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.pos += hashes;
+        self.strings.push(StrLit {
+            line,
+            value: value.clone(),
+        });
+        self.tokens.push(Token {
+            kind: TokKind::Str,
+            text: value,
+            line,
+        });
+    }
+
+    /// A `'`: lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        // `'label:` / `'a` — a lifetime or loop label when the character
+        // after the identifier is not a closing quote.
+        if (next.is_ascii_alphabetic() || next == b'_') && self.peek(2) != b'\'' {
+            let line = self.line;
+            self.bump();
+            let start = self.pos;
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+            });
+            return;
+        }
+        self.bump();
+        self.char_lit();
+    }
+
+    /// Body of a char literal, opening quote already consumed.
+    fn char_lit(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let value = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.tokens.push(Token {
+            kind: TokKind::Str,
+            text: value,
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token {
+            kind: TokKind::Ident,
+            text,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                // `1.5` continues the literal; `0..n` does not.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token {
+            kind: TokKind::Num,
+            text,
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "// unsafe in a comment\nlet x = \"unsafe { }\"; /* Mutex */\n",
+        );
+        assert!(!f.tokens.iter().any(|t| t.text == "unsafe"));
+        assert!(!f.tokens.iter().any(|t| t.text == "Mutex"));
+        assert_eq!(f.comments.len(), 2);
+        assert_eq!(f.strings[0].value, "unsafe { }");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "let a = r#\"quote \" inside\"#; let b = '\\''; let c: &'static str = \"s\";",
+        );
+        assert_eq!(f.strings[0].value, "quote \" inside");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::scan("t.rs", "/* outer /* inner */ still */ fn x() {}\n");
+        assert!(f.tokens.iter().any(|t| t.text == "fn"));
+        assert!(f.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn numbers_vs_ranges() {
+        let f = SourceFile::scan("t.rs", "for i in 0..1_024 { let y = 1.5e3; }");
+        let nums: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1_024", "1.5e3"]);
+    }
+
+    #[test]
+    fn annotation_lookup_walks_comment_block() {
+        let src = "// SAFETY: fine because reasons\n#[inline]\nunsafe fn f() {}\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(f.annotated_above(3, "SAFETY:"));
+        assert!(!f.annotated_above(3, "lint: alloc-ok"));
+    }
+}

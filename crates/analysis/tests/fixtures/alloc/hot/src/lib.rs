@@ -1,0 +1,25 @@
+//! Allocation-lint fixture: a hot-path root, a reachable helper with a
+//! raw and an annotated allocation, and an unreachable function.
+
+pub struct IsmState {
+    scratch: Vec<usize>,
+}
+
+impl IsmState {
+    pub fn step_with(&mut self, n: usize) -> usize {
+        self.scratch.clear();
+        helper(n)
+    }
+}
+
+fn helper(n: usize) -> usize {
+    let mut rows = Vec::new();
+    rows.push(n);
+    // lint: alloc-ok(cold fallback, measured)
+    let annotated = vec![0usize; n];
+    rows.len() + annotated.len()
+}
+
+pub fn unreachable_scratch() -> Vec<u8> {
+    Vec::with_capacity(64)
+}

@@ -1,0 +1,42 @@
+//! Lock-order fixture: an inverted Mutex pair (cycle) and a second pair
+//! whose inversion carries a `lock-ok` annotation.
+
+use std::sync::Mutex;
+
+pub struct Engine {
+    state: Mutex<u32>,
+    journal: Mutex<u32>,
+    queue: Mutex<u32>,
+    stats: Mutex<u32>,
+}
+
+impl Engine {
+    pub fn forward(&self) {
+        let s = self.state.lock().unwrap();
+        let j = self.journal.lock().unwrap();
+        drop(j);
+        drop(s);
+    }
+
+    pub fn backward(&self) {
+        let j = self.journal.lock().unwrap();
+        let s = self.state.lock().unwrap();
+        drop(s);
+        drop(j);
+    }
+
+    pub fn drain(&self) {
+        let q = self.queue.lock().unwrap();
+        let st = self.stats.lock().unwrap();
+        drop(st);
+        drop(q);
+    }
+
+    pub fn report(&self) {
+        let st = self.stats.lock().unwrap();
+        // lint: lock-ok(report is only ever called from the drain thread)
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        drop(st);
+    }
+}

@@ -1,0 +1,9 @@
+//! Renders the fixture metric families.
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE asv_frames_total counter\n");
+    out.push_str("# TYPE asv_hidden_total counter\n");
+    out.push_str("# TYPE asv_unlocked_total counter\n");
+    out
+}

@@ -1,0 +1,4 @@
+//! The fixture knob registry.
+
+/// Window-size knob.
+pub const GOOD: &str = "ASV_GOOD";

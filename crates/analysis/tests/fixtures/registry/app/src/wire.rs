@@ -1,0 +1,6 @@
+//! Fixture wire constants.
+
+/// Format version, documented with its value in README.
+pub const VERSION: u32 = 3;
+/// Session-key cap, deliberately missing from README.
+pub const MAX_KEY_BYTES: usize = 64;

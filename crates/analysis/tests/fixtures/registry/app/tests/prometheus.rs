@@ -1,0 +1,7 @@
+//! Fixture golden scrape: locks the exported families.
+
+#[test]
+fn golden_scrape_contains_families() {
+    let text = "asv_frames_total 1\nasv_hidden_total 2\n";
+    assert!(text.contains("asv_frames_total"));
+}

@@ -1,0 +1,42 @@
+//! Unsafe-audit fixture: one documented and one undocumented unsafe
+//! block, documented and undocumented `#[target_feature]` kernels, and
+//! an `unsafe impl` pair.
+
+pub struct Wrapper(*const f32);
+
+// SAFETY: the raw pointer is never dereferenced off-thread.
+unsafe impl Send for Wrapper {}
+
+unsafe impl Sync for Wrapper {}
+
+pub fn touch(values: &mut [f32]) {
+    // SAFETY: the caller guarantees `values` has at least one element.
+    unsafe {
+        *values.get_unchecked_mut(0) = 1.0;
+    }
+    unsafe {
+        *values.get_unchecked_mut(0) = 2.0;
+    }
+}
+
+/// # Safety
+///
+/// Caller must ensure the CPU supports `avx2`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_avx2(values: &[f32]) -> f32 {
+    values.iter().sum()
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn max_avx2(values: &[f32]) -> f32 {
+    values.iter().fold(0.0, f32::max)
+}
+
+pub fn dispatch(values: &[f32]) -> f32 {
+    // SAFETY: callers probe for avx2 before selecting this path.
+    unsafe { sum_avx2(values) }
+}
+
+pub fn rogue(values: &[f32]) -> f32 {
+    unsafe { max_avx2(values) }
+}

@@ -127,7 +127,7 @@ impl AsvError {
     /// Builds an [`AsvError::Saturated`] naming the rejecting queue.
     pub fn saturated(context: impl fmt::Display) -> Self {
         AsvError::Saturated {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 
@@ -135,7 +135,7 @@ impl AsvError {
     pub fn wire(fault: WireFault, context: impl fmt::Display) -> Self {
         AsvError::Wire {
             fault,
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 
@@ -149,7 +149,7 @@ impl AsvError {
     /// Builds an [`AsvError::ShardDown`] naming the failed shard.
     pub fn shard_down(context: impl fmt::Display) -> Self {
         AsvError::ShardDown {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 }

@@ -346,7 +346,7 @@ impl IsmState {
                 prev_right.clone_from(right);
                 prev_disparity.clone_from(out);
             }
-            slot @ None => *slot = Some((left.clone(), right.clone(), out.clone())),
+            slot @ None => *slot = Some((left.clone(), right.clone(), out.clone())), // lint: alloc-ok(first frame only; steady state clone_from-reuses buffers)
         }
         ws.tracer.frame_end(is_key);
         Ok(kind)
@@ -631,7 +631,7 @@ pub fn propagate_correspondences_into(
     flow_right: &FlowField,
     out: &mut DisparityMap,
 ) {
-    let mut rows = Vec::new();
+    let mut rows = Vec::new(); // lint: alloc-ok(compat wrapper; streaming uses the pooled variant)
     propagate_correspondences_pooled(prev_disparity, flow_left, flow_right, &mut rows, out);
 }
 

@@ -138,7 +138,7 @@ impl KernelCache {
             .iter()
             .enumerate()
             .map(|(i, &w)| w * (i as isize - radius) as f32)
-            .collect();
+            .collect(); // lint: alloc-ok(kernel-cache fill, amortized)
         self.k2 = kernel
             .iter()
             .enumerate()
@@ -146,9 +146,9 @@ impl KernelCache {
                 let d = (i as isize - radius) as f32;
                 w * d * d
             })
-            .collect();
-        // The zeroth moment filter is the kernel itself; it is moved, not
-        // cloned.
+            .collect(); // lint: alloc-ok(kernel-cache fill, amortized)
+                        // The zeroth moment filter is the kernel itself; it is moved, not
+                        // cloned.
         self.k0 = kernel;
         self.ginv = normal_matrix_inverse(sigma);
         self.poly_for = Some(sigma);
@@ -590,6 +590,7 @@ pub fn farneback_flow_with(
     params: &FarnebackParams,
 ) -> Result<()> {
     if frame0.width() != frame1.width() || frame0.height() != frame1.height() {
+        // lint: alloc-ok(error path)
         return Err(FlowError::frame_mismatch(format!(
             "{}x{} vs {}x{}",
             frame0.width(),

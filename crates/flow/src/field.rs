@@ -35,14 +35,14 @@ impl FlowError {
     /// Builds a [`FlowError::FrameMismatch`] from anything displayable.
     pub fn frame_mismatch(context: impl fmt::Display) -> Self {
         FlowError::FrameMismatch {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 
     /// Builds a [`FlowError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
         FlowError::InvalidParameter {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 }
@@ -61,8 +61,8 @@ pub struct FlowField {
 impl Clone for FlowField {
     fn clone(&self) -> Self {
         Self {
-            u: self.u.clone(),
-            v: self.v.clone(),
+            u: self.u.clone(), // lint: alloc-ok(deep copy by Clone contract; hot path uses clone_from)
+            v: self.v.clone(), // lint: alloc-ok(deep copy by Clone contract; hot path uses clone_from)
         }
     }
 

@@ -41,6 +41,7 @@ impl Default for BlockSpec {
 /// Checks that the two images have identical dimensions.
 fn check_pair(left: &Image, right: &Image) -> Result<()> {
     if left.width() != right.width() || left.height() != right.height() {
+        // lint: alloc-ok(error path)
         return Err(ImageError::dimension_mismatch(format!(
             "{}x{} vs {}x{}",
             left.width(),

@@ -13,10 +13,10 @@ use crate::image::Image;
 /// non-positive sigma yields the identity kernel `[1.0]`.
 pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
     if sigma <= 0.0 {
-        return vec![1.0];
+        return vec![1.0]; // lint: alloc-ok(degenerate-sigma identity kernel)
     }
     let radius = (3.0 * sigma).ceil() as isize;
-    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize); // lint: alloc-ok(kernel build, cached by callers)
     let denom = 2.0 * sigma * sigma;
     for i in -radius..=radius {
         kernel.push((-((i * i) as f32) / denom).exp());

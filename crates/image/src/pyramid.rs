@@ -68,7 +68,7 @@ impl Pyramid {
         }
         match self.levels.first_mut() {
             Some(base) => base.clone_from(image),
-            None => self.levels.push(image.clone()),
+            None => self.levels.push(image.clone()), // lint: alloc-ok(first rebuild only; later frames clone_from)
         }
         let mut built = 1;
         for _ in 1..levels {

@@ -87,7 +87,7 @@ impl<T: Copy + Default> Pool<T> {
             self.free.swap_remove(pos)
         } else {
             self.misses += 1;
-            vec![T::default(); len]
+            vec![T::default(); len] // lint: alloc-ok(pool miss, amortized)
         }
     }
 

@@ -268,8 +268,8 @@ impl Ingest {
         let mut front = self.shared.lock();
         let index = front.routes.len();
         front.routes.push(Route {
-            sink: sink.clone(),
-            queued: VecDeque::new(),
+            sink: sink.clone(),      // lint: alloc-ok(route registration, once per session)
+            queued: VecDeque::new(), // lint: alloc-ok(route registration, once per session)
             busy: false,
             error: None,
             accepted: 0,
@@ -278,7 +278,7 @@ impl Ingest {
             discarded: 0,
         });
         RouteHandle {
-            shared: Arc::clone(&self.shared),
+            shared: Arc::clone(&self.shared), // lint: alloc-ok(route registration, once per session)
             index,
             config: self.config,
             sink,
@@ -372,6 +372,7 @@ impl RouteHandle {
                 }
                 return Err((AsvError::Shutdown, left, right));
             }
+            // lint: alloc-ok(failed-route error propagation)
             if let Some(error) = front.routes[self.index].error.clone() {
                 front.routes[self.index].discarded += 1;
                 return Err((error, left, right));
@@ -385,7 +386,7 @@ impl RouteHandle {
                         let route = &mut front.routes[self.index];
                         route.shed += 1;
                         return Err((
-                            AsvError::saturated(format!("ingest queue (route {})", self.index)),
+                            AsvError::saturated(format!("ingest queue (route {})", self.index)), // lint: alloc-ok(error path on shed)
                             left,
                             right,
                         ));

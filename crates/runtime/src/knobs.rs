@@ -1,0 +1,190 @@
+//! The `ASV_*` environment-knob registry: the single in-code source of
+//! truth for every environment variable the system reads.
+//!
+//! Each knob is declared once in [`REGISTRY`] with its accepted values,
+//! default, and effect — the same columns as README's "Environment knobs"
+//! table, which the `asv-analysis` lint (`ASV-R001`/`ASV-R002`) keeps in
+//! sync with the code.  Runtime-owned knobs are *read* through this module
+//! too ([`parse`], [`flag_enabled`]); the `ASV_SIMD` and `ASV_TRACE*`
+//! readers live in `asv-stereo` / `asv-trace` (which cannot depend on this
+//! crate) but their names are still registered here, and the lint
+//! (`ASV-R007`) fails if any crate grows an env read this registry does
+//! not list.
+
+/// Caps the SIMD dispatch tier of the stereo kernels (read in
+/// `asv-stereo`).
+pub const SIMD: &str = "ASV_SIMD";
+/// Span-recording mode of the tracer (read in `asv-trace`).
+pub const TRACE: &str = "ASV_TRACE";
+/// Slow-frame forensics threshold in microseconds (read in `asv-trace`).
+pub const TRACE_SLOW_US: &str = "ASV_TRACE_SLOW_US";
+/// Kill switch for the adaptive QoS controllers.
+pub const QOS: &str = "ASV_QOS";
+/// Per-operation deadline of the frame client, in milliseconds.
+pub const NET_DEADLINE_MS: &str = "ASV_NET_DEADLINE_MS";
+/// Maximum unacknowledged frames in flight before the client blocks.
+pub const NET_WINDOW: &str = "ASV_NET_WINDOW";
+/// Reconnect attempts per operation before the client gives up.
+pub const NET_RETRIES: &str = "ASV_NET_RETRIES";
+/// First reconnect backoff in milliseconds (doubles per failure).
+pub const NET_BACKOFF_MS: &str = "ASV_NET_BACKOFF_MS";
+/// Hard ceiling on one wire message, in bytes.
+pub const NET_MAX_FRAME_BYTES: &str = "ASV_NET_MAX_FRAME_BYTES";
+/// Server-side stall budget inside a message, in milliseconds.
+pub const NET_READ_TIMEOUT_MS: &str = "ASV_NET_READ_TIMEOUT_MS";
+/// Sessions tracked by the server's sequence gate before eviction.
+pub const NET_MAX_SESSIONS: &str = "ASV_NET_MAX_SESSIONS";
+
+/// One registered environment knob: the in-code mirror of a row of
+/// README's "Environment knobs" table.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// The environment variable name (`ASV_*`).
+    pub name: &'static str,
+    /// Accepted values, human-readable.
+    pub values: &'static str,
+    /// Default when unset (or the value is unparseable).
+    pub default: &'static str,
+    /// What the knob does.
+    pub effect: &'static str,
+}
+
+/// Every environment knob the system reads, across all crates.
+pub const REGISTRY: &[Knob] = &[
+    Knob {
+        name: SIMD,
+        values: "scalar | sse4.2 | avx2",
+        default: "auto-detect",
+        effect: "caps the SIMD dispatch tier of the stereo kernels",
+    },
+    Knob {
+        name: TRACE,
+        values: "off | ring | full",
+        default: "ring",
+        effect: "span recording mode of the per-stage tracer",
+    },
+    Knob {
+        name: TRACE_SLOW_US,
+        values: "integer microseconds",
+        default: "unset",
+        effect: "threshold above which a frame is copied into the slow-frame forensics ring",
+    },
+    Knob {
+        name: QOS,
+        values: "off | 0 | false disables",
+        default: "enabled",
+        effect: "kill switch for the adaptive QoS controllers",
+    },
+    Knob {
+        name: NET_DEADLINE_MS,
+        values: "integer milliseconds",
+        default: "2000",
+        effect: "per-operation deadline of the frame client",
+    },
+    Knob {
+        name: NET_WINDOW,
+        values: "integer >= 1",
+        default: "4",
+        effect: "maximum unacknowledged frames in flight",
+    },
+    Knob {
+        name: NET_RETRIES,
+        values: "integer",
+        default: "5",
+        effect: "reconnect attempts per operation",
+    },
+    Knob {
+        name: NET_BACKOFF_MS,
+        values: "integer milliseconds",
+        default: "50",
+        effect: "first reconnect backoff, doubling per consecutive failure",
+    },
+    Knob {
+        name: NET_MAX_FRAME_BYTES,
+        values: "integer bytes",
+        default: "134217728",
+        effect: "hard ceiling on one wire message",
+    },
+    Knob {
+        name: NET_READ_TIMEOUT_MS,
+        values: "integer milliseconds",
+        default: "2000",
+        effect: "server-side stall budget inside a message",
+    },
+    Knob {
+        name: NET_MAX_SESSIONS,
+        values: "integer >= 1",
+        default: "4096",
+        effect: "sessions tracked by the sequence gate before idle eviction",
+    },
+];
+
+/// The registry entry for `name`, if registered.
+pub fn spec(name: &str) -> Option<&'static Knob> {
+    REGISTRY.iter().find(|k| k.name == name)
+}
+
+/// Reads and parses knob `name`; `None` when unset or unparseable (callers
+/// keep their default).
+pub fn parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    debug_assert!(spec(name).is_some(), "unregistered env knob {name}");
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Reads an on/off knob with the house convention: unset means enabled,
+/// `off` / `0` / `false` (case-insensitive) disable, anything else keeps
+/// the feature on.
+pub fn flag_enabled(name: &str) -> bool {
+    debug_assert!(spec(name).is_some(), "unregistered env knob {name}");
+    flag_value_enabled(std::env::var(name).ok().as_deref())
+}
+
+/// Pure decision behind [`flag_enabled`].
+fn flag_value_enabled(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false"
+        ),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_well_formed() {
+        for (i, k) in REGISTRY.iter().enumerate() {
+            assert!(
+                k.name.starts_with("ASV_"),
+                "{} lacks the ASV_ prefix",
+                k.name
+            );
+            assert!(!k.effect.is_empty() && !k.values.is_empty() && !k.default.is_empty());
+            assert!(
+                REGISTRY[i + 1..].iter().all(|o| o.name != k.name),
+                "duplicate registry entry {}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn spec_finds_registered_knobs() {
+        assert_eq!(spec(NET_WINDOW).expect("registered").default, "4");
+        assert!(spec("ASV_NO_SUCH_KNOB").is_none());
+    }
+
+    #[test]
+    fn flag_convention() {
+        assert!(flag_value_enabled(None));
+        assert!(flag_value_enabled(Some("on")));
+        assert!(flag_value_enabled(Some("anything")));
+        assert!(!flag_value_enabled(Some("off")));
+        assert!(!flag_value_enabled(Some(" OFF ")));
+        assert!(!flag_value_enabled(Some("0")));
+        assert!(!flag_value_enabled(Some("false")));
+    }
+}

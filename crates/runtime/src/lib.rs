@@ -74,6 +74,7 @@ pub mod cluster;
 pub mod export;
 pub mod http;
 pub mod ingest;
+pub mod knobs;
 pub mod net;
 pub mod qos;
 mod queue;

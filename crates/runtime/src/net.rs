@@ -35,6 +35,7 @@
 //! [`NetConfig::from_env`]) configure deadlines, window, retry budget, the
 //! maximum accepted message size and the tracked-session cap.
 
+use crate::knobs;
 use crate::wire;
 use asv::error::WireFault;
 use asv::AsvError;
@@ -63,10 +64,6 @@ const ACK_DUPLICATE: u8 = 1;
 const ACK_GAP: u8 = 2;
 const ACK_ERROR: u8 = 3;
 const ACK_EXPECTED: u8 = 4;
-
-fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
 
 /// Why a transport operation failed; the `kind` label of
 /// `asv_transport_errors_total`.  Wire faults map one-to-one; `Io` and
@@ -311,7 +308,7 @@ impl SequenceGate {
         let clock = map.clock;
         if let Some(entry) = map.sessions.get_mut(key) {
             entry.touched = clock;
-            return Arc::clone(&entry.slot);
+            return Arc::clone(&entry.slot); // lint: alloc-ok(Arc refcount bump, no heap alloc)
         }
         while map.sessions.len() >= self.max_sessions {
             // An entry whose slot Arc is held only by the map has no
@@ -321,7 +318,7 @@ impl SequenceGate {
                 .iter()
                 .filter(|(_, entry)| Arc::strong_count(&entry.slot) == 1)
                 .min_by_key(|(_, entry)| entry.touched)
-                .map(|(key, _)| key.clone());
+                .map(|(key, _)| key.clone()); // lint: alloc-ok(stale-session eviction, bounded by max_sessions)
             match stalest {
                 Some(stale) => {
                     map.sessions.remove(&stale);
@@ -331,11 +328,11 @@ impl SequenceGate {
                 None => break,
             }
         }
-        let slot = Arc::new(Mutex::new(0));
+        let slot = Arc::new(Mutex::new(0)); // lint: alloc-ok(new-session slot, once per stream)
         map.sessions.insert(
-            key.to_owned(),
+            key.to_owned(), // lint: alloc-ok(new-session slot, once per stream)
             SessionEntry {
-                slot: Arc::clone(&slot),
+                slot: Arc::clone(&slot), // lint: alloc-ok(new-session slot, once per stream)
                 touched: clock,
             },
         );
@@ -435,13 +432,13 @@ impl NetConfig {
     /// `ASV_NET_READ_TIMEOUT_MS` and `ASV_NET_MAX_SESSIONS`.
     pub fn from_env() -> Self {
         let mut config = Self::default();
-        if let Some(bytes) = env_parse::<usize>("ASV_NET_MAX_FRAME_BYTES") {
+        if let Some(bytes) = knobs::parse::<usize>(knobs::NET_MAX_FRAME_BYTES) {
             config.max_message_bytes = bytes;
         }
-        if let Some(ms) = env_parse::<u64>("ASV_NET_READ_TIMEOUT_MS") {
+        if let Some(ms) = knobs::parse::<u64>(knobs::NET_READ_TIMEOUT_MS) {
             config.read_timeout = Duration::from_millis(ms.max(1));
         }
-        if let Some(sessions) = env_parse::<usize>("ASV_NET_MAX_SESSIONS") {
+        if let Some(sessions) = knobs::parse::<usize>(knobs::NET_MAX_SESSIONS) {
             config.max_sessions = sessions.max(1);
         }
         config
@@ -488,16 +485,16 @@ impl ClientConfig {
     /// `ASV_NET_RETRIES` and `ASV_NET_BACKOFF_MS`.
     pub fn from_env() -> Self {
         let mut config = Self::default();
-        if let Some(ms) = env_parse::<u64>("ASV_NET_DEADLINE_MS") {
+        if let Some(ms) = knobs::parse::<u64>(knobs::NET_DEADLINE_MS) {
             config.deadline = Duration::from_millis(ms.max(1));
         }
-        if let Some(window) = env_parse::<usize>("ASV_NET_WINDOW") {
+        if let Some(window) = knobs::parse::<usize>(knobs::NET_WINDOW) {
             config.window = window.max(1);
         }
-        if let Some(retries) = env_parse::<u32>("ASV_NET_RETRIES") {
+        if let Some(retries) = knobs::parse::<u32>(knobs::NET_RETRIES) {
             config.max_retries = retries;
         }
-        if let Some(ms) = env_parse::<u64>("ASV_NET_BACKOFF_MS") {
+        if let Some(ms) = knobs::parse::<u64>(knobs::NET_BACKOFF_MS) {
             config.backoff_base = Duration::from_millis(ms.max(1));
         }
         config
@@ -676,6 +673,8 @@ impl FrameServer {
         };
         self.stop.store(true, Ordering::Release);
         for (_, conn) in lock(&self.conns).drain() {
+            // lint: lock-ok(this is TcpStream::shutdown — a syscall, not
+            // FrameServer::shutdown — so no workspace lock is re-entered)
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
         // Wake the accept loop so it observes the stop flag.

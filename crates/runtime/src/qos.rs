@@ -53,13 +53,7 @@ pub const MAX_QOS_LEVEL: u8 = 3;
 /// their SLO config but never actuate), mirroring the `ASV_SIMD`/`ASV_TRACE`
 /// debugging knobs.
 pub fn qos_enabled_from_env() -> bool {
-    match std::env::var("ASV_QOS") {
-        Ok(value) => !matches!(
-            value.trim().to_ascii_lowercase().as_str(),
-            "off" | "0" | "false"
-        ),
-        Err(_) => true,
-    }
+    crate::knobs::flag_enabled(crate::knobs::QOS)
 }
 
 /// The service-level objective of one session.  At least one target should

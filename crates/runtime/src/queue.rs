@@ -33,7 +33,7 @@ impl Inbox {
     /// Creates an empty inbox holding at most `capacity` frames.
     pub fn new(capacity: usize) -> Self {
         Self {
-            frames: VecDeque::with_capacity(capacity),
+            frames: VecDeque::with_capacity(capacity), // lint: alloc-ok(inbox construction, once per session)
             capacity: capacity.max(1),
         }
     }

@@ -231,12 +231,12 @@ impl Shared {
 
     fn mark_poisoned<'a>(&self, mut guard: MutexGuard<'a, Engine>) -> MutexGuard<'a, Engine> {
         if guard.failed.is_none() {
-            let context = "engine lock poisoned by a panicked thread".to_owned();
+            let context = "engine lock poisoned by a panicked thread".to_owned(); // lint: alloc-ok(shard-failure path)
             for slot in &mut guard.sessions {
                 let dropped = slot.inbox.clear();
                 slot.telemetry.frames_dropped += dropped as u64;
                 if slot.error.is_none() {
-                    slot.error = Some(AsvError::shard_down(context.clone()));
+                    slot.error = Some(AsvError::shard_down(context.clone())); // lint: alloc-ok(shard-failure path)
                 }
             }
             guard.failed = Some(context);
@@ -385,11 +385,11 @@ impl Scheduler {
         if let Some(context) = &engine.failed {
             // Registering on a failed shard yields a dead-on-arrival session
             // whose first submit reports the failure instead of queueing.
-            session.error = Some(AsvError::shard_down(context.clone()));
+            session.error = Some(AsvError::shard_down(context.clone())); // lint: alloc-ok(session registration, once per stream)
         }
         engine.sessions.push(session);
         SessionHandle {
-            shared: Arc::clone(&self.shared),
+            shared: Arc::clone(&self.shared), // lint: alloc-ok(session registration, once per stream)
             id,
             shed_policy: self.shed_policy,
         }
@@ -654,7 +654,7 @@ impl SessionHandle {
         let mut engine = self.shared.lock();
         loop {
             if let Some(context) = &engine.failed {
-                let error = AsvError::shard_down(context.clone());
+                let error = AsvError::shard_down(context.clone()); // lint: alloc-ok(error path)
                 if let Some(slot) = engine.sessions.get_mut(self.id.0) {
                     slot.telemetry.frames_dropped += 1;
                 }
@@ -669,7 +669,7 @@ impl SessionHandle {
             }
             let slot = &mut engine.sessions[self.id.0];
             if let Some(error) = &slot.error {
-                let error = error.clone();
+                let error = error.clone(); // lint: alloc-ok(error path)
                 slot.telemetry.frames_dropped += 1;
                 return Err((error, left, right));
             }
@@ -682,7 +682,7 @@ impl SessionHandle {
                     ShedPolicy::Reject => {
                         slot.telemetry.frames_shed += 1;
                         return Err((
-                            AsvError::saturated(format!("{} inbox", self.id)),
+                            AsvError::saturated(format!("{} inbox", self.id)), // lint: alloc-ok(error path on shed)
                             left,
                             right,
                         ));
@@ -726,6 +726,8 @@ impl SessionHandle {
             .lock()
             .sessions
             .get_mut(self.id.0)
+            // lint: lock-ok(this is Slot::trim_workspace on the already-
+            // guarded entry, not SessionHandle::trim_workspace)
             .is_some_and(|s| s.trim_workspace())
     }
 

@@ -71,7 +71,7 @@ impl StreamSession {
             state: Some(state),
             workspace: Some(Workspace::new()),
             inbox: Inbox::new(inbox_capacity),
-            results: Vec::new(),
+            results: Vec::new(), // lint: alloc-ok(session construction, once per stream)
             telemetry: SessionTelemetry::default(),
             error: None,
             qos: None,

@@ -192,7 +192,7 @@ fn check_key_len(len: usize) -> Result<(), AsvError> {
     if len > MAX_KEY_BYTES {
         return Err(AsvError::wire(
             WireFault::Key,
-            format!("session key of {len} bytes exceeds the {MAX_KEY_BYTES} byte cap"),
+            format!("session key of {len} bytes exceeds the {MAX_KEY_BYTES} byte cap"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     Ok(())
@@ -334,25 +334,26 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
     if bytes.len() < 4 {
         return Err(AsvError::wire(
             WireFault::Truncated,
-            format!("{} bytes cannot hold the length prefix", bytes.len()),
+            format!("{} bytes cannot hold the length prefix", bytes.len()), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     let declared = read_u32(bytes, 0) as usize;
     if declared > max_message_bytes {
         return Err(AsvError::wire(
             WireFault::Oversized,
-            format!("length prefix {declared} exceeds the {max_message_bytes} byte limit"),
+            format!("length prefix {declared} exceeds the {max_message_bytes} byte limit"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     if bytes.len() < 4 + declared {
         return Err(AsvError::wire(
             WireFault::Truncated,
-            format!("{} bytes for a declared {}", bytes.len(), 4 + declared),
+            format!("{} bytes for a declared {}", bytes.len(), 4 + declared), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     if bytes.len() > 4 + declared {
         return Err(AsvError::wire(
             WireFault::Length,
+            // lint: alloc-ok(error path, frame already rejected)
             format!(
                 "{} bytes but the prefix declares {}",
                 bytes.len(),
@@ -363,7 +364,7 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
     if declared < HEADER_BYTES - 4 {
         return Err(AsvError::wire(
             WireFault::Truncated,
-            format!("declared body of {declared} bytes is shorter than the header"),
+            format!("declared body of {declared} bytes is shorter than the header"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     let is_hello = if bytes[4..8] == MAGIC {
@@ -373,14 +374,14 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
     } else {
         return Err(AsvError::wire(
             WireFault::BadMagic,
-            format!("{:02x?} is neither ASVF nor ASVH", &bytes[4..8]),
+            format!("{:02x?} is neither ASVF nor ASVH", &bytes[4..8]), // lint: alloc-ok(error path, frame already rejected)
         ));
     };
     let version = read_u16(bytes, 8);
     if version != VERSION {
         return Err(AsvError::wire(
             WireFault::Version,
-            format!("version {version} (this build speaks {VERSION})"),
+            format!("version {version} (this build speaks {VERSION})"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     let key_len = read_u16(bytes, 10) as usize;
@@ -391,7 +392,7 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
     if is_hello && (width != 0 || height != 0) {
         return Err(AsvError::wire(
             WireFault::Length,
-            format!("hello message declares {width}x{height} planes"),
+            format!("hello message declares {width}x{height} planes"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     let pixels = width
@@ -400,13 +401,14 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
         .ok_or_else(|| {
             AsvError::wire(
                 WireFault::Length,
-                format!("plane {width}x{height} overflows"),
+                format!("plane {width}x{height} overflows"), // lint: alloc-ok(error path, frame already rejected)
             )
         })?;
     let expected = HEADER_BYTES - 4 + key_len + pixels;
     if declared != expected {
         return Err(AsvError::wire(
             WireFault::Length,
+            // lint: alloc-ok(error path, frame already rejected)
             format!(
                 "prefix declares {declared} bytes but key {key_len} + planes {width}x{height} \
                  need {expected}"
@@ -418,11 +420,11 @@ pub fn validate_message(bytes: &[u8], max_message_bytes: usize) -> Result<Messag
     if stored_crc != computed {
         return Err(AsvError::wire(
             WireFault::Crc,
-            format!("stored {stored_crc:#010x} vs computed {computed:#010x}"),
+            format!("stored {stored_crc:#010x} vs computed {computed:#010x}"), // lint: alloc-ok(error path, frame already rejected)
         ));
     }
     let key = std::str::from_utf8(&bytes[HEADER_BYTES..HEADER_BYTES + key_len])
-        .map_err(|e| AsvError::wire(WireFault::Key, format!("session key is not UTF-8: {e}")))?;
+        .map_err(|e| AsvError::wire(WireFault::Key, format!("session key is not UTF-8: {e}")))?; // lint: alloc-ok(error path, frame already rejected)
     if is_hello {
         return Ok(Message::Hello { key });
     }

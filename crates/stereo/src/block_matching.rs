@@ -47,6 +47,7 @@ impl Default for BlockMatchParams {
 
 fn check_pair(left: &Image, right: &Image) -> Result<()> {
     if left.width() != right.width() || left.height() != right.height() {
+        // lint: alloc-ok(error path)
         return Err(StereoError::dimension_mismatch(format!(
             "{}x{} vs {}x{}",
             left.width(),
@@ -293,6 +294,7 @@ pub fn refine_with_initial_into(
 ) -> Result<()> {
     check_pair(left, right)?;
     if initial.width() != left.width() || initial.height() != left.height() {
+        // lint: alloc-ok(error path)
         return Err(StereoError::dimension_mismatch(format!(
             "initial map {}x{} vs images {}x{}",
             initial.width(),

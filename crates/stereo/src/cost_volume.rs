@@ -72,6 +72,7 @@ impl CostVolume {
         block: BlockSpec,
     ) -> Result<()> {
         if left.width() != right.width() || left.height() != right.height() {
+            // lint: alloc-ok(error path)
             return Err(StereoError::dimension_mismatch(format!(
                 "{}x{} vs {}x{}",
                 left.width(),

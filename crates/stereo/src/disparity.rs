@@ -37,14 +37,14 @@ impl StereoError {
     /// Builds a [`StereoError::DimensionMismatch`] from anything displayable.
     pub fn dimension_mismatch(context: impl fmt::Display) -> Self {
         StereoError::DimensionMismatch {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 
     /// Builds a [`StereoError::InvalidParameter`] from anything displayable.
     pub fn invalid_parameter(context: impl fmt::Display) -> Self {
         StereoError::InvalidParameter {
-            context: context.to_string(),
+            context: context.to_string(), // lint: alloc-ok(error path)
         }
     }
 }
@@ -64,7 +64,7 @@ pub struct DisparityMap {
 impl Clone for DisparityMap {
     fn clone(&self) -> Self {
         Self {
-            values: self.values.clone(),
+            values: self.values.clone(), // lint: alloc-ok(deep copy by Clone contract; hot path uses clone_from)
         }
     }
 

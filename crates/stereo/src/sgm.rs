@@ -512,6 +512,7 @@ fn census_pass(
     out: &mut DisparityMap,
 ) -> Result<()> {
     if left.width() != right.width() || left.height() != right.height() {
+        // lint: alloc-ok(error path)
         return Err(StereoError::dimension_mismatch(format!(
             "{}x{} vs {}x{}",
             left.width(),

@@ -379,6 +379,11 @@ fn census_aggregate_span_scalar(prev: &[u16], cost: &[u8], p1: u16, p2: u16, out
 mod x86 {
     use std::arch::x86_64::*;
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` (the dispatcher checks
+    /// `is_x86_feature_detected!`).  Slice bounds are clamped internally,
+    /// so no further preconditions apply.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn abs_diff_row_avx2(
         lrow: &[f32],
@@ -410,6 +415,11 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2`, and that
+    /// `diff.len() >= out.len() + window - 1` so every window sum has a
+    /// full source span (the call sites size `diff` exactly this way).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn hwindow_sums_avx2(diff: &[f32], window: usize, out: &mut [f32]) {
         let n = out.len();
@@ -432,6 +442,11 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and that
+    /// `row.len() >= acc.len()` (the vector tail reads both at the same
+    /// indices).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn add_assign_rows_avx2(acc: &mut [f32], row: &[f32]) {
         let n = acc.len();
@@ -450,6 +465,11 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and that every row in
+    /// `rows` has at least `out.len()` elements; the border columns fall
+    /// back to the clamped scalar path internally.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn census_row_u64_avx2(rows: &[&[f32]], rx: usize, out: &mut [u64]) {
         let width = out.len();
@@ -498,6 +518,10 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and that every row in
+    /// `rows` has at least `out.len()` elements, as for the u64 variant.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn census_row_u32_avx2(rows: &[&[f32]], rx: usize, out: &mut [u32]) {
         let width = out.len();
@@ -540,6 +564,10 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `sse4.2` and `popcnt`; the body
+    /// is the safe scalar kernel, recompiled with hardware popcount.
     #[target_feature(enable = "sse4.2", enable = "popcnt")]
     pub(super) unsafe fn hamming_row_u64_popcnt(
         ldesc: &[u64],
@@ -552,6 +580,10 @@ mod x86 {
         super::hamming_row_u64_scalar(ldesc, rdesc, levels, out);
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `sse4.2` and `popcnt`; the body
+    /// is the safe scalar kernel, recompiled with hardware popcount.
     #[target_feature(enable = "sse4.2", enable = "popcnt")]
     pub(super) unsafe fn hamming_row_u32_popcnt(
         ldesc: &[u32],
@@ -564,6 +596,11 @@ mod x86 {
 
     /// Per-64-bit-lane popcount via the nibble-LUT `vpshufb` trick reduced
     /// with `vpsadbw`; exactly matches `u64::count_ones` per lane.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2`; the body is pure
+    /// register arithmetic with no memory access.
     #[target_feature(enable = "avx2")]
     unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
         // Pure register arithmetic, no memory access: the intrinsics are safe
@@ -579,6 +616,11 @@ mod x86 {
         _mm256_sad_epu8(cnt, _mm256_setzero_si256())
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and `popcnt`, and that
+    /// `ldesc.len() == rdesc.len()` with `out.len() >= ldesc.len() *
+    /// levels` (each pixel writes one `levels`-long cost span).
     #[target_feature(enable = "avx2", enable = "popcnt")]
     pub(super) unsafe fn hamming_row_u64_avx2(
         ldesc: &[u64],
@@ -615,6 +657,10 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and `popcnt`, with the
+    /// same slice contract as the u64 variant.
     #[target_feature(enable = "avx2", enable = "popcnt")]
     pub(super) unsafe fn hamming_row_u32_avx2(
         ldesc: &[u32],
@@ -662,6 +708,11 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports `avx2` and that `prev`, `cost`
+    /// and `out` all have exactly `levels` elements (one cost per
+    /// disparity level).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn census_aggregate_span_avx2(
         prev: &[u16],

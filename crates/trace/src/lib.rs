@@ -260,7 +260,7 @@ pub struct FrameTrace {
 impl FrameTrace {
     fn with_span_capacity() -> Self {
         Self {
-            spans: Vec::with_capacity(MAX_SPANS_PER_FRAME),
+            spans: Vec::with_capacity(MAX_SPANS_PER_FRAME), // lint: alloc-ok(span buffer sized once; ring slots reuse it)
             ..Self::default()
         }
     }
@@ -523,7 +523,7 @@ impl Tracer {
         }
         if self.config.mode == TraceMode::Full {
             if self.full.len() < FULL_MODE_FRAME_CAP {
-                self.full.push(self.current.clone());
+                self.full.push(self.current.clone()); // lint: alloc-ok(full-trace mode only, capped at FULL_MODE_FRAME_CAP)
             } else {
                 self.dropped_frames += 1;
             }

@@ -228,7 +228,7 @@ pub fn current_num_threads() -> usize {
 fn pool() -> &'static Pool {
     static POOL: OnceLock<&'static Pool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let pool: &'static Pool = Box::leak(Box::new(Pool::new()));
+        let pool: &'static Pool = Box::leak(Box::new(Pool::new())); // lint: alloc-ok(one-time global pool init)
         for _ in 0..current_num_threads().saturating_sub(1) {
             std::thread::Builder::new()
                 .name("rayon-shim-worker".into())
